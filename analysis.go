@@ -1,0 +1,100 @@
+package dvod
+
+import (
+	"dvod/internal/baseline"
+	"dvod/internal/core"
+	"dvod/internal/placement"
+	"dvod/internal/topology"
+)
+
+// Selector is a server-selection policy (the VRA or a baseline).
+type Selector = core.Selector
+
+// NewVRA returns the paper's Virtual Routing Algorithm with normalization
+// constant K (0 selects the paper's default, 10).
+func NewVRA(k float64) Selector { return core.VRA{NormalizationK: k} }
+
+// SelectorByName returns a policy by name: "vra", "minhop", "random",
+// "static". The seed only affects "random".
+func SelectorByName(name string, seed int64) (Selector, error) {
+	return baseline.ByName(name, seed)
+}
+
+// LinkWeight is one link's computed Link Validation Number.
+type LinkWeight struct {
+	Link LinkID
+	// LVN is the routing cost (equation 1): larger is worse.
+	LVN float64
+}
+
+// EvaluateLinks computes the LVN of every link from a utilization snapshot
+// (fraction of capacity in use per link; omitted links are idle) using the
+// paper's equations (1)-(4) with K = 10. This is the pure-algorithm entry
+// point — no servers, sockets, or state.
+func EvaluateLinks(spec TopologySpec, utilization map[LinkID]float64) ([]LinkWeight, error) {
+	g, err := buildGraph(spec)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := topology.NewSnapshot(g, utilization)
+	if err != nil {
+		return nil, err
+	}
+	weights, err := snap.Weights(topology.DefaultNormalizationK)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]LinkWeight, 0, len(weights))
+	for _, l := range g.Links() {
+		out = append(out, LinkWeight{Link: l.ID, LVN: weights[l.ID]})
+	}
+	return out, nil
+}
+
+// Demand weights each client site by how much it requests a title (any
+// consistent unit), for PlanPlacement.
+type Demand = placement.Demand
+
+// PlanPlacement answers the initialization-phase question: given the
+// network state and the per-site demand for a title, which k sites should
+// hold its first replicas? Placement minimizes the demand-weighted LVN cost
+// of each site reaching its nearest replica (exact for small networks,
+// greedy beyond). It returns the chosen sites and the expected cost.
+func PlanPlacement(spec TopologySpec, utilization map[LinkID]float64, demand Demand, k int) ([]NodeID, float64, error) {
+	g, err := buildGraph(spec)
+	if err != nil {
+		return nil, 0, err
+	}
+	snap, err := topology.NewSnapshot(g, utilization)
+	if err != nil {
+		return nil, 0, err
+	}
+	m, err := placement.NewCostMatrix(snap)
+	if err != nil {
+		return nil, 0, err
+	}
+	sites, err := placement.Optimize(m, demand, k)
+	if err != nil {
+		return nil, 0, err
+	}
+	cost, err := m.ExpectedCost(sites, demand)
+	if err != nil {
+		return nil, 0, err
+	}
+	return sites, cost, nil
+}
+
+// SelectServer runs one stateless VRA decision: given the network state and
+// the servers holding the requested title, which should serve a client
+// homed at home, and over which route?
+func SelectServer(spec TopologySpec, utilization map[LinkID]float64, home NodeID, candidates []NodeID) (Decision, error) {
+	g, err := buildGraph(spec)
+	if err != nil {
+		return Decision{}, err
+	}
+	snap, err := topology.NewSnapshot(g, utilization)
+	if err != nil {
+		return Decision{}, err
+	}
+	return core.VRA{}.Select(snap, home, candidates)
+}

@@ -1,0 +1,367 @@
+// Benchmarks regenerating the paper's evaluation artifacts — one per table,
+// figure, and experiment (see DESIGN.md's per-experiment index) — plus the
+// Ext-1..Ext-5 extension studies and microbenchmarks of the core algorithm
+// stages. Run with:
+//
+//	go test -bench=. -benchmem
+package dvod_test
+
+import (
+	"testing"
+	"time"
+
+	"dvod"
+	"dvod/internal/cache"
+	"dvod/internal/core"
+	"dvod/internal/disk"
+	"dvod/internal/experiments"
+	"dvod/internal/grnet"
+	"dvod/internal/media"
+	"dvod/internal/routing"
+	"dvod/internal/striping"
+	"dvod/internal/topology"
+)
+
+// --- Paper tables -----------------------------------------------------------
+
+// BenchmarkTable2SNMPPoll regenerates Table 2: the emulated network carries
+// the measured background traffic and the SNMP agents poll it into the DB at
+// each of the four sample times.
+func BenchmarkTable2SNMPPoll(b *testing.B) {
+	for b.Loop() {
+		if _, err := experiments.Table2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3LVN regenerates Table 3: all 28 Link Validation Numbers
+// from the Table 2 snapshot via equations (1)-(4).
+func BenchmarkTable3LVN(b *testing.B) {
+	for b.Loop() {
+		if _, err := experiments.Table3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchTrace regenerates one Dijkstra walk table.
+func benchTrace(b *testing.B, st grnet.SampleTime) {
+	b.Helper()
+	snap, err := grnet.Snapshot(st)
+	if err != nil {
+		b.Fatal(err)
+	}
+	weights, err := snap.Weights(topology.DefaultNormalizationK)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ct := routing.CostTable(weights)
+	b.ResetTimer()
+	for b.Loop() {
+		if _, _, err := routing.DijkstraTrace(snap.Graph(), ct, grnet.Patra); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4DijkstraTrace regenerates Table 4 (Experiment A's walk).
+func BenchmarkTable4DijkstraTrace(b *testing.B) { benchTrace(b, grnet.At8am) }
+
+// BenchmarkTable5DijkstraTrace regenerates Table 5 (Experiment B's walk).
+func BenchmarkTable5DijkstraTrace(b *testing.B) { benchTrace(b, grnet.At10am) }
+
+// --- Paper experiments A-D ---------------------------------------------------
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for b.Loop() {
+		if _, err := experiments.RunExperiment(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExperimentA reproduces Experiment A (8am; documented erratum).
+func BenchmarkExperimentA(b *testing.B) { benchExperiment(b, "A") }
+
+// BenchmarkExperimentB reproduces Experiment B (10am).
+func BenchmarkExperimentB(b *testing.B) { benchExperiment(b, "B") }
+
+// BenchmarkExperimentC reproduces Experiment C (4pm).
+func BenchmarkExperimentC(b *testing.B) { benchExperiment(b, "C") }
+
+// BenchmarkExperimentD reproduces Experiment D (6pm).
+func BenchmarkExperimentD(b *testing.B) { benchExperiment(b, "D") }
+
+// --- Extension studies (Ext-1..Ext-5) ----------------------------------------
+
+// BenchmarkExtRoutingPolicies runs a compact Ext-1 replay: all four routing
+// policies over an identical 10-minute diurnal trace.
+func BenchmarkExtRoutingPolicies(b *testing.B) {
+	cfg := experiments.DefaultRoutingStudyConfig()
+	cfg.Duration = 10 * time.Minute
+	cfg.RatePerSec = 0.01
+	for b.Loop() {
+		if _, err := experiments.RoutingStudy(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtCachePolicies runs a compact Ext-2 sweep: DMA/LRU/LFU/none
+// against a single Zipf stream.
+func BenchmarkExtCachePolicies(b *testing.B) {
+	cfg := experiments.DefaultCacheStudyConfig()
+	cfg.Thetas = []float64{0.729}
+	cfg.Requests = 500
+	for b.Loop() {
+		if _, err := experiments.CacheStudy(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtClusterSize runs a compact Ext-3 sweep: two cluster sizes
+// through the congestion-injection trial.
+func BenchmarkExtClusterSize(b *testing.B) {
+	cfg := experiments.DefaultClusterSweepConfig()
+	cfg.TitleBytes = 512 << 10
+	cfg.ClusterSizes = []int64{64 << 10, 512 << 10}
+	cfg.CongestAfter = time.Second
+	for b.Loop() {
+		if _, err := experiments.ClusterSweep(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtStripingWidth runs Ext-4: modeled read parallelism for widths
+// 1..16.
+func BenchmarkExtStripingWidth(b *testing.B) {
+	title := media.Title{Name: "feature", SizeBytes: 64 << 20, BitrateMbps: 1.5}
+	widths := []int{1, 2, 4, 8, 16}
+	for b.Loop() {
+		if _, err := experiments.StripingSweep(title, 256<<10, widths); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtNormalizationK runs Ext-5: experiments A-D under seven K
+// values.
+func BenchmarkExtNormalizationK(b *testing.B) {
+	ks := []float64{1, 2, 5, 10, 20, 50, 100}
+	for b.Loop() {
+		if _, err := experiments.KSweep(ks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtGranularity runs a compact Ext-6 comparison: whole-title vs
+// segment caching under partial viewing.
+func BenchmarkExtGranularity(b *testing.B) {
+	cfg := experiments.DefaultGranularityStudyConfig()
+	cfg.Sessions = 300
+	for b.Loop() {
+		if _, err := experiments.GranularityStudy(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtScalability runs a compact Ext-7 sweep: VRA decisions on 6-
+// and 50-node random topologies.
+func BenchmarkExtScalability(b *testing.B) {
+	cfg := experiments.DefaultScalabilityStudyConfig()
+	cfg.Sizes = []int{6, 50}
+	cfg.Decisions = 10
+	for b.Loop() {
+		if _, err := experiments.ScalabilityStudy(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtParallelFetch runs Ext-8: sequential vs multi-replica
+// parallel delivery of a 1 MiB title.
+func BenchmarkExtParallelFetch(b *testing.B) {
+	cfg := experiments.DefaultParallelFetchConfig()
+	cfg.TitleBytes = 1 << 20
+	for b.Loop() {
+		if _, err := experiments.ParallelFetch(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtBlocking runs a compact Ext-9 trial: one load point, all four
+// policies with QoS-gated admission.
+func BenchmarkExtBlocking(b *testing.B) {
+	cfg := experiments.DefaultBlockingStudyConfig()
+	cfg.ArrivalsPerHour = []float64{18}
+	cfg.Duration = 2 * time.Hour
+	for b.Loop() {
+		if _, err := experiments.BlockingStudy(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtPlacement runs Ext-10: exact k-median placement sweeps.
+func BenchmarkExtPlacement(b *testing.B) {
+	cfg := experiments.DefaultPlacementStudyConfig()
+	cfg.RandomTrials = 10
+	for b.Loop() {
+		if _, err := experiments.PlacementStudy(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExtAdaptation runs a compact Ext-11 trial: four cache policies
+// through a two-phase popularity flip.
+func BenchmarkExtAdaptation(b *testing.B) {
+	cfg := experiments.DefaultAdaptationStudyConfig()
+	cfg.PhaseRequests = 400
+	cfg.Window = 80
+	for b.Loop() {
+		if _, err := experiments.AdaptationStudy(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Core-stage microbenchmarks ----------------------------------------------
+
+// BenchmarkLVNWeights measures one full link-weighting pass (equations 1-4
+// over the 7-link backbone).
+func BenchmarkLVNWeights(b *testing.B) {
+	snap, err := grnet.Snapshot(grnet.At4pm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for b.Loop() {
+		if _, err := snap.Weights(topology.DefaultNormalizationK); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVRASelect measures one complete Figure 5 decision (weighting +
+// Dijkstra + candidate choice).
+func BenchmarkVRASelect(b *testing.B) {
+	snap, err := grnet.Snapshot(grnet.At10am)
+	if err != nil {
+		b.Fatal(err)
+	}
+	candidates := []topology.NodeID{grnet.Thessaloniki, grnet.Xanthi}
+	vra := core.VRA{}
+	b.ResetTimer()
+	for b.Loop() {
+		if _, err := vra.Select(snap, grnet.Patra, candidates); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStripingWrite measures striping a 1 MiB title over 4 disks in
+// 64 KiB clusters, including content generation and rollback bookkeeping.
+func BenchmarkStripingWrite(b *testing.B) {
+	title := media.Title{Name: "bench", SizeBytes: 1 << 20, BitrateMbps: 1.5}
+	for b.Loop() {
+		arr, err := disk.NewUniformArray("b", 4, 1<<20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := striping.Write(arr, title, 64<<10, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDMAOnRequest measures the admission/eviction decision under a
+// churning working set.
+func BenchmarkDMAOnRequest(b *testing.B) {
+	arr, err := disk.NewUniformArray("b", 4, 64<<10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dma, err := cache.NewDMA(cache.Config{Array: arr, ClusterBytes: 4 << 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	titles := make([]media.Title, 16)
+	for i := range titles {
+		titles[i] = media.Title{
+			Name:        "t" + string(rune('a'+i)),
+			SizeBytes:   32 << 10,
+			BitrateMbps: 1.5,
+		}
+	}
+	b.ResetTimer()
+	i := 0
+	for b.Loop() {
+		if _, err := dma.OnRequest(titles[i%len(titles)]); err != nil {
+			b.Fatal(err)
+		}
+		i++
+	}
+}
+
+// BenchmarkLiveWatch measures a full end-to-end delivery over real localhost
+// TCP: a 256 KiB title in 32 KiB clusters, preloaded at the home server (the
+// hot local-service path).
+func BenchmarkLiveWatch(b *testing.B) {
+	svc, err := dvod.New(dvod.GRNETTopology(),
+		dvod.WithClusterBytes(32<<10),
+		dvod.WithDisks(2, 8<<20))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := svc.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close()
+	title := dvod.Title{Name: "bench-live", SizeBytes: 256 << 10, BitrateMbps: 1.5}
+	if err := svc.AddTitle(title); err != nil {
+		b.Fatal(err)
+	}
+	if err := svc.Preload("U2", title.Name); err != nil {
+		b.Fatal(err)
+	}
+	player, err := svc.Player("U2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(title.SizeBytes)
+	b.ResetTimer()
+	for b.Loop() {
+		stats, err := player.Watch(title.Name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !stats.Verified {
+			b.Fatal("not verified")
+		}
+	}
+}
+
+// BenchmarkPublicSelectServer measures the stateless public-API decision
+// path (graph build + snapshot + VRA).
+func BenchmarkPublicSelectServer(b *testing.B) {
+	spec := dvod.GRNETTopology()
+	util, err := dvod.GRNETUtilization("10am")
+	if err != nil {
+		b.Fatal(err)
+	}
+	candidates := []dvod.NodeID{"U4", "U5"}
+	b.ResetTimer()
+	for b.Loop() {
+		if _, err := dvod.SelectServer(spec, util, "U2", candidates); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

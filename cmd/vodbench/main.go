@@ -1,0 +1,210 @@
+// Command vodbench runs the extension studies catalogued in DESIGN.md:
+//
+//	Ext-1  -study routing   VRA vs min-hop/random/static under diurnal load
+//	Ext-2  -study cache     DMA vs LRU/LFU/none across Zipf skews
+//	Ext-3  -study cluster   cluster size vs mid-stream adaptivity
+//	Ext-4  -study striping  striping width vs read parallelism
+//	Ext-5  -study k         normalization-constant sensitivity
+//	Ext-6  -study granularity  whole-title vs segment caching (partial viewing)
+//	Ext-7  -study scale     VRA decision latency vs network size
+//	Ext-8  -study parallel  single-server vs multi-server parallel fetch
+//	Ext-9  -study blocking  admission control: blocking vs offered load
+//	Ext-10 -study placement initial replica placement quality (k-median)
+//	Ext-11 -study adaptation cache recovery speed after a popularity flip
+//	       -study all       everything (default)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"dvod/internal/experiments"
+	"dvod/internal/media"
+)
+
+func main() {
+	study := flag.String("study", "all", "routing | cache | cluster | striping | k | all")
+	seed := flag.Int64("seed", 1, "random seed for workload generation")
+	duration := flag.Duration("duration", time.Hour, "simulated trace duration (routing study)")
+	rate := flag.Float64("rate", 0.02, "request arrivals per second (routing study)")
+	csvDir := flag.String("csv", "", "also write each study's rows as CSV into this directory")
+	flag.Parse()
+	if err := run(os.Stdout, *study, *seed, *duration, *rate, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "vodbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, study string, seed int64, duration time.Duration, rate float64, csvDir string) error {
+	writeCSV := func(name string, rows any) error {
+		if csvDir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(csvDir, name+".csv"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return experiments.WriteRowsCSV(f, rows)
+	}
+	known := false
+	if study == "routing" || study == "all" {
+		known = true
+		cfg := experiments.DefaultRoutingStudyConfig()
+		cfg.Seed = seed
+		cfg.Duration = duration
+		cfg.RatePerSec = rate
+		rows, err := experiments.RoutingStudy(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "Ext-1. Routing policy comparison (identical diurnal trace per policy)")
+		fmt.Fprintln(w, experiments.FormatRoutingStudy(rows))
+		if err := writeCSV("routing", rows); err != nil {
+			return err
+		}
+	}
+	if study == "cache" || study == "all" {
+		known = true
+		cfg := experiments.DefaultCacheStudyConfig()
+		cfg.Seed = seed
+		cells, err := experiments.CacheStudy(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "Ext-2. Cache policy comparison across Zipf skews (20% cache)")
+		fmt.Fprintln(w, experiments.FormatCacheStudy(cells))
+		if err := writeCSV("cache", cells); err != nil {
+			return err
+		}
+	}
+	if study == "cluster" || study == "all" {
+		known = true
+		cfg := experiments.DefaultClusterSweepConfig()
+		cfg.Seed = seed
+		rows, err := experiments.ClusterSweep(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "Ext-3. Cluster size vs mid-stream re-routing (congestion injected at 2s)")
+		fmt.Fprintln(w, experiments.FormatClusterSweep(rows))
+		if err := writeCSV("cluster", rows); err != nil {
+			return err
+		}
+	}
+	if study == "striping" || study == "all" {
+		known = true
+		title := media.Title{Name: "feature", SizeBytes: 64 << 20, BitrateMbps: 1.5}
+		rows, err := experiments.StripingSweep(title, 256<<10, []int{1, 2, 4, 8, 16})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "Ext-4. Striping width vs modeled read parallelism (64 MiB title)")
+		fmt.Fprintln(w, experiments.FormatStripingSweep(rows))
+		if err := writeCSV("striping", rows); err != nil {
+			return err
+		}
+	}
+	if study == "k" || study == "all" {
+		known = true
+		rows, err := experiments.KSweep([]float64{1, 2, 5, 10, 20, 50, 100})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "Ext-5. Normalization constant K vs case-study decisions")
+		fmt.Fprintln(w, experiments.FormatKSweep(rows))
+	}
+	if study == "granularity" || study == "all" {
+		known = true
+		cfg := experiments.DefaultGranularityStudyConfig()
+		cfg.Seed = seed
+		rows, err := experiments.GranularityStudy(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "Ext-6. Caching granularity under partial viewing (10-100% watched)")
+		fmt.Fprintln(w, experiments.FormatGranularityStudy(rows))
+		if err := writeCSV("granularity", rows); err != nil {
+			return err
+		}
+	}
+	if study == "scale" || study == "all" {
+		known = true
+		cfg := experiments.DefaultScalabilityStudyConfig()
+		cfg.Seed = seed
+		rows, err := experiments.ScalabilityStudy(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "Ext-7. VRA decision latency vs network size (random topologies)")
+		fmt.Fprintln(w, experiments.FormatScalabilityStudy(rows))
+		if err := writeCSV("scale", rows); err != nil {
+			return err
+		}
+	}
+	if study == "parallel" || study == "all" {
+		known = true
+		rows, err := experiments.ParallelFetch(experiments.DefaultParallelFetchConfig())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "Ext-8. Single-server vs multi-server parallel fetch (8am, 3 replicas)")
+		fmt.Fprintln(w, experiments.FormatParallelFetch(rows))
+		if err := writeCSV("parallel", rows); err != nil {
+			return err
+		}
+	}
+	if study == "blocking" || study == "all" {
+		known = true
+		cfg := experiments.DefaultBlockingStudyConfig()
+		cfg.Seed = seed
+		cells, err := experiments.BlockingStudy(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "Ext-9. Admission control: blocking probability vs offered load")
+		fmt.Fprintln(w, experiments.FormatBlockingStudy(cells))
+		if err := writeCSV("blocking", cells); err != nil {
+			return err
+		}
+	}
+	if study == "placement" || study == "all" {
+		known = true
+		cfg := experiments.DefaultPlacementStudyConfig()
+		cfg.Seed = seed
+		rows, err := experiments.PlacementStudy(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "Ext-10. Initial replica placement quality (4pm, skewed demand)")
+		fmt.Fprintln(w, experiments.FormatPlacementStudy(rows))
+		if err := writeCSV("placement", rows); err != nil {
+			return err
+		}
+	}
+	if study == "adaptation" || study == "all" {
+		known = true
+		cfg := experiments.DefaultAdaptationStudyConfig()
+		cfg.Seed = seed
+		rows, err := experiments.AdaptationStudy(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "Ext-11. Cache adaptation after a popularity flip (windowed hit ratio)")
+		fmt.Fprintln(w, experiments.FormatAdaptationStudy(rows))
+		if err := writeCSV("adaptation", rows); err != nil {
+			return err
+		}
+	}
+	if !known {
+		return fmt.Errorf("unknown study %q", study)
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunSingleStudies(t *testing.T) {
+	cases := []struct {
+		study string
+		want  string
+	}{
+		{"striping", "Ext-4"},
+		{"k", "Ext-5"},
+		{"cluster", "Ext-3"},
+	}
+	for _, tc := range cases {
+		var b strings.Builder
+		if err := run(&b, tc.study, 1, time.Minute, 0.01, ""); err != nil {
+			t.Fatalf("run(%s): %v", tc.study, err)
+		}
+		if !strings.Contains(b.String(), tc.want) {
+			t.Errorf("run(%s) missing %q:\n%s", tc.study, tc.want, b.String())
+		}
+	}
+}
+
+func TestRunRoutingStudyShortTrace(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "routing", 1, 15*time.Minute, 0.01, ""); err != nil {
+		t.Fatalf("run(routing): %v", err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "vra") || !strings.Contains(out, "minhop") {
+		t.Fatalf("routing output:\n%s", out)
+	}
+}
+
+func TestRunUnknownStudy(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "bogus", 1, time.Minute, 1, ""); err == nil {
+		t.Fatal("unknown study accepted")
+	}
+}
+
+// TestRunAllStudies exercises every study once with a short routing trace.
+func TestRunAllStudies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full study sweep")
+	}
+	dir := t.TempDir()
+	var b strings.Builder
+	if err := run(&b, "all", 1, 15*time.Minute, 0.01, dir); err != nil {
+		t.Fatalf("run(all): %v", err)
+	}
+	// The CSV exports landed.
+	for _, name := range []string{"routing", "cache", "cluster", "striping",
+		"granularity", "scale", "parallel", "blocking", "placement", "adaptation"} {
+		data, err := os.ReadFile(filepath.Join(dir, name+".csv"))
+		if err != nil {
+			t.Errorf("csv %s: %v", name, err)
+			continue
+		}
+		if !strings.Contains(string(data), ",") {
+			t.Errorf("csv %s looks empty: %q", name, data)
+		}
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Ext-1", "Ext-2", "Ext-3", "Ext-4", "Ext-5", "Ext-6", "Ext-7", "Ext-8", "Ext-9", "Ext-10", "Ext-11",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %s", want)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"dvod"
+)
+
+// liveService brings up a service with one preloaded title.
+func liveService(t *testing.T) (*dvod.Service, string) {
+	t.Helper()
+	svc, err := dvod.New(dvod.GRNETTopology(),
+		dvod.WithClusterBytes(8<<10),
+		dvod.WithDisks(2, 1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = svc.Close() })
+	title := dvod.Title{Name: "clip", SizeBytes: 24 << 10, BitrateMbps: 1.5}
+	if err := svc.AddTitle(title); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Preload("U2", "clip"); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := svc.ServerAddr("U2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc, addr
+}
+
+func TestRunList(t *testing.T) {
+	_, addr := liveService(t)
+	var b strings.Builder
+	if err := run(&b, "U2", addr, "", true); err != nil {
+		t.Fatalf("run -list: %v", err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "clip") || !strings.Contains(out, "*") {
+		t.Fatalf("list output:\n%s", out)
+	}
+}
+
+func TestRunWatch(t *testing.T) {
+	_, addr := liveService(t)
+	var b strings.Builder
+	if err := run(&b, "U2", addr, "clip", false); err != nil {
+		t.Fatalf("run -title: %v", err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "verified=true") || !strings.Contains(out, "sources:") {
+		t.Fatalf("watch output:\n%s", out)
+	}
+}
+
+func TestRunNeedsTitleOrList(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "U2", "127.0.0.1:1", "", false); err == nil {
+		t.Fatal("missing -title/-list accepted")
+	}
+}
+
+func TestRunWatchUnknownTitle(t *testing.T) {
+	_, addr := liveService(t)
+	var b strings.Builder
+	if err := run(&b, "U2", addr, "ghost", false); err == nil {
+		t.Fatal("unknown title accepted")
+	}
+}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"dvod/internal/client"
+	"dvod/internal/topology"
+	"dvod/internal/transport"
+)
+
+// testConfig uses ephemeral ports and small titles.
+func testConfig() config {
+	return config{
+		basePort:     0,
+		numTitles:    3,
+		titleBytes:   64 << 10,
+		clusterBytes: 16 << 10,
+		snmpInterval: time.Second,
+		webPort:      0,
+		adminToken:   "tok", // forces the web module on (ephemeral port)
+	}
+}
+
+func TestSetupAndWatch(t *testing.T) {
+	var b strings.Builder
+	dep, err := setup(&b, testConfig())
+	if err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	defer dep.Close()
+	out := b.String()
+	for _, want := range []string{"movie-0", "server U1", "listening on", "web module"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("setup output missing %q:\n%s", want, out)
+		}
+	}
+
+	// A client can list and watch through any home server.
+	addr, err := dep.Service.ServerAddr("U2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	book := transport.NewAddrBook()
+	book.Set(topology.NodeID("U2"), addr)
+	p, err := client.NewPlayer("U2", book)
+	if err != nil {
+		t.Fatal(err)
+	}
+	titles, err := p.ListTitles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(titles) != 3 {
+		t.Fatalf("titles = %d", len(titles))
+	}
+	stats, err := p.Watch("movie-0")
+	if err != nil {
+		t.Fatalf("Watch: %v", err)
+	}
+	if !stats.Verified || stats.BytesReceived != 64<<10 {
+		t.Fatalf("stats = %+v", stats)
+	}
+
+	// The web module answers.
+	resp, err := http.Get("http://" + dep.WebAddr + "/titles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var webTitles []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&webTitles); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(webTitles) != 3 {
+		t.Fatalf("web titles = %d", len(webTitles))
+	}
+}
+
+func TestSetupWithoutWeb(t *testing.T) {
+	cfg := testConfig()
+	cfg.adminToken = ""
+	cfg.webPort = 0
+	var b strings.Builder
+	dep, err := setup(&b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+	if dep.WebAddr != "" {
+		t.Fatalf("web module started unexpectedly at %s", dep.WebAddr)
+	}
+	if strings.Contains(b.String(), "web module") {
+		t.Fatal("output mentions web module")
+	}
+}
+
+func TestEnabledWord(t *testing.T) {
+	if enabledWord(true) != "enabled" || enabledWord(false) != "disabled" {
+		t.Fatal("enabledWord wrong")
+	}
+}
+
+// TestSetupCustomTopology boots the deployment from a topology file.
+func TestSetupCustomTopology(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "topo.json")
+	topo := `{
+	  "nodes": ["edge", "origin"],
+	  "links": [{"a": "edge", "b": "origin", "capacityMbps": 18}]
+	}`
+	if err := os.WriteFile(path, []byte(topo), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.topologyPath = path
+	cfg.adminToken = ""
+	var b strings.Builder
+	dep, err := setup(&b, cfg)
+	if err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	defer dep.Close()
+	if !strings.Contains(b.String(), "server edge") || !strings.Contains(b.String(), "server origin") {
+		t.Fatalf("output:\n%s", b.String())
+	}
+	// Bad path fails cleanly.
+	cfg.topologyPath = filepath.Join(dir, "missing.json")
+	if _, err := setup(&b, cfg); err == nil {
+		t.Fatal("missing topology accepted")
+	}
+}

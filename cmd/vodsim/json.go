@@ -1,0 +1,89 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dvod/internal/experiments"
+	"dvod/internal/routing"
+	"dvod/internal/topology"
+)
+
+// reportJSON is the machine-readable form of the whole case study.
+type reportJSON struct {
+	Table2      []experiments.Table2Row `json:"table2"`
+	Table3      []experiments.Table3Row `json:"table3"`
+	Experiments []experimentJSON        `json:"experiments"`
+}
+
+// experimentJSON flattens one reproduced experiment.
+type experimentJSON struct {
+	ID           string            `json:"id"`
+	Time         string            `json:"time"`
+	Home         topology.NodeID   `json:"home"`
+	Candidates   []topology.NodeID `json:"candidates"`
+	Server       topology.NodeID   `json:"server"`
+	Path         string            `json:"path"`
+	Cost         float64           `json:"cost"`
+	PaperServer  topology.NodeID   `json:"paperServer"`
+	PaperPath    string            `json:"paperPath"`
+	PaperCost    float64           `json:"paperCost"`
+	MatchesPaper bool              `json:"matchesPaper"`
+	Erratum      string            `json:"erratum,omitempty"`
+	Alternatives []alternativeJSON `json:"alternatives"`
+}
+
+type alternativeJSON struct {
+	Server topology.NodeID `json:"server"`
+	Path   string          `json:"path"`
+	Cost   float64         `json:"cost"`
+}
+
+// runJSON emits the full reproduction as one indented JSON document.
+func runJSON(w io.Writer) error {
+	t2, err := experiments.Table2()
+	if err != nil {
+		return err
+	}
+	t3, err := experiments.Table3()
+	if err != nil {
+		return err
+	}
+	report := reportJSON{Table2: t2, Table3: t3}
+	for _, id := range []string{"A", "B", "C", "D"} {
+		res, err := experiments.RunExperiment(id)
+		if err != nil {
+			return err
+		}
+		ej := experimentJSON{
+			ID:           res.Experiment.ID,
+			Time:         res.Experiment.Time.String(),
+			Home:         res.Experiment.Home,
+			Candidates:   res.Experiment.Candidates,
+			Server:       res.Decision.Server,
+			Path:         res.Decision.Path.String(),
+			Cost:         res.Decision.Cost,
+			PaperServer:  res.Experiment.PaperServer,
+			PaperPath:    res.Experiment.PaperPath,
+			PaperCost:    res.Experiment.PaperCost,
+			MatchesPaper: res.MatchesPaper,
+			Erratum:      res.Experiment.Erratum,
+		}
+		for _, alt := range res.Alternatives {
+			p := routing.Path(alt.Path)
+			ej.Alternatives = append(ej.Alternatives, alternativeJSON{
+				Server: alt.Server,
+				Path:   p.String(),
+				Cost:   p.Cost,
+			})
+		}
+		report.Experiments = append(report.Experiments, ej)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		return fmt.Errorf("encode report: %w", err)
+	}
+	return nil
+}

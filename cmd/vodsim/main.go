@@ -1,0 +1,93 @@
+// Command vodsim regenerates the paper's case study: the network-status
+// table (Table 2), the Link Validation Numbers (Table 3), the Dijkstra walk
+// tables (Tables 4 and 5), and the four routing experiments A-D.
+//
+// Usage:
+//
+//	vodsim            # everything
+//	vodsim -table 3   # one table
+//	vodsim -exp B     # one experiment (A-D)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dvod/internal/experiments"
+	"dvod/internal/grnet"
+)
+
+func main() {
+	table := flag.Int("table", 0, "print one table (2-5); 0 prints all")
+	exp := flag.String("exp", "", "run one experiment (A-D); empty runs all")
+	asJSON := flag.Bool("json", false, "emit the whole reproduction as one JSON document")
+	flag.Parse()
+	var err error
+	if *asJSON {
+		err = runJSON(os.Stdout)
+	} else {
+		err = run(os.Stdout, *table, *exp)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vodsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, table int, exp string) error {
+	all := table == 0 && exp == ""
+	if table == 2 || all {
+		rows, err := experiments.Table2()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "Table 2. The Network status (measured via emulated SNMP)")
+		fmt.Fprintln(w, experiments.FormatTable2(rows))
+	}
+	if table == 3 || all {
+		rows, err := experiments.Table3()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "Table 3. The Link Validation Numbers (recomputed vs paper)")
+		fmt.Fprintln(w, experiments.FormatTable3(rows))
+	}
+	if table == 4 || all {
+		if err := printTrace(w, "A", 4); err != nil {
+			return err
+		}
+	}
+	if table == 5 || all {
+		if err := printTrace(w, "B", 5); err != nil {
+			return err
+		}
+	}
+	ids := []string{exp}
+	if exp == "" {
+		if !all && table != 0 {
+			return nil
+		}
+		ids = []string{"A", "B", "C", "D"}
+	}
+	for _, id := range ids {
+		res, err := experiments.RunExperiment(id)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, experiments.FormatExperiment(res))
+	}
+	return nil
+}
+
+func printTrace(w io.Writer, expID string, tableNum int) error {
+	res, err := experiments.RunExperiment(expID)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Table %d. The Dijkstra's algorithm table for experiment %s (source %s)\n",
+		tableNum, expID, res.Experiment.Home)
+	fmt.Fprintln(w, experiments.FormatTrace(res.Trace, grnet.Patra))
+	return nil
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunAllTables(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, 0, ""); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Table 2. The Network status",
+		"Table 3. The Link Validation Numbers",
+		"Table 4. The Dijkstra's algorithm table for experiment A",
+		"Table 5. The Dijkstra's algorithm table for experiment B",
+		"Experiment A (8am)",
+		"Experiment B (10am)",
+		"Experiment C (4pm)",
+		"Experiment D (6pm)",
+		"MATCHES PAPER",
+		"erratum",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunSingleTable(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, 3, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Table 3") {
+		t.Fatalf("missing table 3:\n%s", out)
+	}
+	if strings.Contains(out, "Table 2") || strings.Contains(out, "Experiment") {
+		t.Fatalf("single-table run printed extra output:\n%s", out)
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, 0, "B"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Experiment B") || strings.Contains(out, "Experiment C") {
+		t.Fatalf("single-experiment run wrong:\n%s", out)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, 0, "Z"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var b strings.Builder
+	if err := runJSON(&b); err != nil {
+		t.Fatalf("runJSON: %v", err)
+	}
+	var report struct {
+		Table2      []any `json:"table2"`
+		Table3      []any `json:"table3"`
+		Experiments []struct {
+			ID           string `json:"id"`
+			MatchesPaper bool   `json:"matchesPaper"`
+			Erratum      string `json:"erratum"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &report); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(report.Table2) != 7 || len(report.Table3) != 7 || len(report.Experiments) != 4 {
+		t.Fatalf("report shape: %d/%d/%d", len(report.Table2), len(report.Table3), len(report.Experiments))
+	}
+	if report.Experiments[0].ID != "A" || report.Experiments[0].MatchesPaper || report.Experiments[0].Erratum == "" {
+		t.Fatalf("experiment A = %+v", report.Experiments[0])
+	}
+	for _, e := range report.Experiments[1:] {
+		if !e.MatchesPaper {
+			t.Fatalf("experiment %s should match paper", e.ID)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+// Package dvod is a dynamic distributed Video-on-Demand service for
+// best-effort IP networks, reproducing Bouras, Kapoulas, Konidaris &
+// Sevasti, "A Dynamic Distributed Video on Demand Service" (ICDCS 2000).
+//
+// The service distributes video titles over a set of cooperating video
+// servers and routes every request with two algorithms:
+//
+//   - the Disk Manipulation Algorithm (DMA) keeps each server's disk array
+//     stocked with the titles most popular among its own clients, striping
+//     each cached title across the array in fixed-size clusters;
+//   - the Virtual Routing Algorithm (VRA) weights every network link with a
+//     Link Validation Number derived from SNMP utilization statistics and
+//     serves each request from the replica with the cheapest Dijkstra path,
+//     re-evaluating at every cluster boundary so an in-flight playback can
+//     switch servers when conditions change.
+//
+// # Quick start
+//
+//	svc, err := dvod.New(dvod.GRNETTopology())
+//	if err != nil { ... }
+//	if err := svc.Start(); err != nil { ... }
+//	defer svc.Close()
+//
+//	title := dvod.Title{Name: "zorba", SizeBytes: 8 << 20, BitrateMbps: 1.5}
+//	_ = svc.AddTitle(title)
+//	_ = svc.Preload("U4", "zorba") // place the initial copy at Thessaloniki
+//
+//	player, _ := svc.Player("U2") // a client homed at Patra
+//	stats, _ := player.Watch("zorba")
+//	fmt.Println(stats.Sources)    // which server delivered each cluster
+//
+// For pure algorithm evaluation without sockets, use EvaluateLinks and
+// SelectServer. The cmd/vodsim tool regenerates every table and figure of
+// the paper's case study; see DESIGN.md and EXPERIMENTS.md.
+package dvod

@@ -1,0 +1,538 @@
+package dvod
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"dvod/internal/cache"
+	"dvod/internal/client"
+	"dvod/internal/clock"
+	"dvod/internal/core"
+	"dvod/internal/db"
+	"dvod/internal/disk"
+	"dvod/internal/grnet"
+	"dvod/internal/media"
+	"dvod/internal/metrics"
+	"dvod/internal/server"
+	"dvod/internal/snmp"
+	"dvod/internal/topology"
+	"dvod/internal/transport"
+	"dvod/internal/web"
+)
+
+// Re-exported domain types, so downstream users need only this package.
+type (
+	// NodeID names a video-server site.
+	NodeID = topology.NodeID
+	// LinkID canonically names a network link.
+	LinkID = topology.LinkID
+	// Title describes a video title.
+	Title = media.Title
+	// Decision is a VRA server-selection outcome.
+	Decision = core.Decision
+	// Player watches titles through a home server.
+	Player = client.Player
+	// PlaybackStats summarizes one watch session.
+	PlaybackStats = client.PlaybackStats
+)
+
+// MakeLinkID builds the canonical ID for the unordered node pair.
+func MakeLinkID(a, b NodeID) LinkID { return topology.MakeLinkID(a, b) }
+
+// LinkSpec declares one bidirectional link of the service topology.
+type LinkSpec struct {
+	A, B         NodeID
+	CapacityMbps float64
+}
+
+// TopologySpec declares the service's overlay network.
+type TopologySpec struct {
+	Nodes []NodeID
+	Links []LinkSpec
+}
+
+// GRNETTopology returns the paper's case-study network: the Greek Research
+// and Technology Network backbone of Figure 6 (six sites, seven links).
+func GRNETTopology() TopologySpec {
+	spec := TopologySpec{Nodes: grnet.Nodes()}
+	for _, l := range grnet.Table2() {
+		spec.Links = append(spec.Links, LinkSpec{A: l.A, B: l.B, CapacityMbps: l.CapacityMbps})
+	}
+	return spec
+}
+
+// buildGraph converts a spec into a validated graph.
+func buildGraph(spec TopologySpec) (*topology.Graph, error) {
+	g := topology.NewGraph()
+	for _, n := range spec.Nodes {
+		if err := g.AddNode(n); err != nil {
+			return nil, err
+		}
+	}
+	for _, l := range spec.Links {
+		if _, err := g.AddLink(l.A, l.B, l.CapacityMbps); err != nil {
+			return nil, err
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Service is a running distributed VoD deployment: one video server per
+// topology node (on localhost TCP), a shared database module, SNMP polling
+// of delivered traffic, DMA caching, and VRA routing.
+type Service struct {
+	opts    options
+	graph   *topology.Graph
+	db      *db.DB
+	book    *transport.AddrBook
+	counter *transport.Counters
+	servers map[NodeID]*server.Server
+	poller  *snmp.Poller
+	planner *core.Planner
+	health  *db.Health
+
+	mu      sync.Mutex
+	stopped map[NodeID]bool
+	hbStop  chan struct{}
+	hbDone  chan struct{}
+	started bool
+	closed  bool
+}
+
+// New assembles a service over the topology. Call Start to bring the
+// servers online.
+func New(spec TopologySpec, opts ...Option) (*Service, error) {
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	g, err := buildGraph(spec)
+	if err != nil {
+		return nil, fmt.Errorf("dvod: topology: %w", err)
+	}
+	d := db.New(g)
+	book := transport.NewAddrBook()
+	counters := transport.NewCounters()
+	var (
+		health    *db.Health
+		available func(NodeID) bool
+	)
+	if o.failoverMaxAge > 0 {
+		health, err = db.NewHealth(o.failoverMaxAge)
+		if err != nil {
+			return nil, err
+		}
+		available = health.Filter(o.clock.Now)
+	}
+	planner, err := core.NewPlanner(d, o.selector, available)
+	if err != nil {
+		return nil, err
+	}
+	svc := &Service{
+		opts:    o,
+		graph:   g,
+		db:      d,
+		book:    book,
+		counter: counters,
+		servers: make(map[NodeID]*server.Server, g.NumNodes()),
+		planner: planner,
+		health:  health,
+		stopped: make(map[NodeID]bool),
+		hbStop:  make(chan struct{}),
+		hbDone:  make(chan struct{}),
+	}
+	for _, node := range g.Nodes() {
+		count, capBytes := o.arrayShape(node)
+		arr, err := disk.NewUniformArray(string(node), count, capBytes)
+		if err != nil {
+			return nil, err
+		}
+		dma, err := cache.NewDMA(cache.Config{Array: arr, ClusterBytes: o.clusterBytes})
+		if err != nil {
+			return nil, err
+		}
+		nodePlanner, err := core.NewPlanner(d, o.selector, available)
+		if err != nil {
+			return nil, err
+		}
+		srv, err := server.New(server.Config{
+			Node:         node,
+			DB:           d,
+			Planner:      nodePlanner,
+			Array:        arr,
+			Cache:        dma,
+			ClusterBytes: o.clusterBytes,
+			Book:         book,
+			Counters:     counters,
+			ListenAddr:   o.listenAddrs[node],
+			Clock:        o.clock,
+		})
+		if err != nil {
+			return nil, err
+		}
+		svc.servers[node] = srv
+		if err := d.RegisterServer(node, "dvod video server", o.clock.Now()); err != nil {
+			return nil, err
+		}
+	}
+	return svc, nil
+}
+
+// Start brings every video server online and begins SNMP polling of the
+// service's own delivered traffic.
+func (s *Service) Start() error {
+	if s.closed {
+		return errors.New("dvod: service closed")
+	}
+	if s.started {
+		return errors.New("dvod: service already started")
+	}
+	for _, node := range s.graph.Nodes() {
+		if err := s.servers[node].Start(); err != nil {
+			_ = s.Close()
+			return err
+		}
+	}
+	est, err := snmp.NewRateEstimator(s.counter, s.opts.clock)
+	if err != nil {
+		_ = s.Close()
+		return err
+	}
+	var agents []*snmp.Agent
+	for _, node := range s.graph.Nodes() {
+		a, err := snmp.NewAgent(node, s.graph, est)
+		if err != nil {
+			_ = s.Close()
+			return err
+		}
+		agents = append(agents, a)
+	}
+	poller, err := snmp.NewPoller(snmp.PollerConfig{
+		Agents:   agents,
+		DB:       s.db,
+		Clock:    s.opts.clock,
+		Interval: s.opts.snmpInterval,
+	})
+	if err != nil {
+		_ = s.Close()
+		return err
+	}
+	s.poller = poller
+	poller.Start()
+	if s.health != nil {
+		// Seed immediate liveness, then heartbeat in the background.
+		now := s.opts.clock.Now()
+		for _, node := range s.graph.Nodes() {
+			s.health.Heartbeat(node, now)
+		}
+		go s.heartbeatLoop()
+	} else {
+		close(s.hbDone)
+	}
+	s.started = true
+	return nil
+}
+
+// heartbeatLoop refreshes liveness for every non-stopped server.
+func (s *Service) heartbeatLoop() {
+	defer close(s.hbDone)
+	for {
+		select {
+		case <-s.opts.clock.After(s.opts.failoverInterval):
+			now := s.opts.clock.Now()
+			s.mu.Lock()
+			for _, node := range s.graph.Nodes() {
+				if !s.stopped[node] {
+					s.health.Heartbeat(node, now)
+				}
+			}
+			s.mu.Unlock()
+		case <-s.hbStop:
+			return
+		}
+	}
+}
+
+// StopServer takes one video server offline: its listener closes, its
+// heartbeats stop, and (with failover enabled) the routing immediately
+// stops considering it — the dynamic-adjustment behaviour the paper claims
+// for "server configuration changes".
+func (s *Service) StopServer(node NodeID) error {
+	srv, ok := s.servers[node]
+	if !ok {
+		return fmt.Errorf("dvod: %w: %s", topology.ErrNodeUnknown, node)
+	}
+	s.mu.Lock()
+	s.stopped[node] = true
+	s.mu.Unlock()
+	if s.health != nil {
+		s.health.MarkDown(node)
+	}
+	return srv.Close()
+}
+
+// Close stops polling and shuts every server down. It is idempotent.
+func (s *Service) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.started && s.health != nil {
+		close(s.hbStop)
+		<-s.hbDone
+	}
+	if s.poller != nil {
+		s.poller.Stop()
+	}
+	var firstErr error
+	for _, srv := range s.servers {
+		if err := srv.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// AddTitle registers a title in the service catalog.
+func (s *Service) AddTitle(t Title) error {
+	return s.db.Catalog().AddTitle(t)
+}
+
+// Titles lists the catalog.
+func (s *Service) Titles() []Title { return s.db.Catalog().Titles() }
+
+// Preload places a copy of a title on the node's disk array — the paper's
+// initialization phase.
+func (s *Service) Preload(node NodeID, title string) error {
+	srv, ok := s.servers[node]
+	if !ok {
+		return fmt.Errorf("dvod: %w: %s", topology.ErrNodeUnknown, node)
+	}
+	t, err := s.db.Catalog().Title(title)
+	if err != nil {
+		return err
+	}
+	return srv.Preload(t)
+}
+
+// Holders lists the servers currently storing the title.
+func (s *Service) Holders(title string) ([]NodeID, error) {
+	return s.db.Catalog().Holders(title)
+}
+
+// Player returns a player homed at the given node. The service must be
+// started.
+func (s *Service) Player(home NodeID, opts ...client.Option) (*Player, error) {
+	if !s.started {
+		return nil, errors.New("dvod: service not started")
+	}
+	if _, ok := s.servers[home]; !ok {
+		return nil, fmt.Errorf("dvod: %w: %s", topology.ErrNodeUnknown, home)
+	}
+	return client.NewPlayer(home, s.book, opts...)
+}
+
+// Plan runs the routing policy for a hypothetical request without
+// transferring anything: which server would serve a client homed at home?
+func (s *Service) Plan(home NodeID, title string) (Decision, error) {
+	return s.planner.Plan(home, title)
+}
+
+// SetLinkTraffic injects an externally measured link load (Mbps) into the
+// limited-access database — the administrator/manual path the paper
+// describes alongside automatic SNMP insertion.
+func (s *Service) SetLinkTraffic(a, b NodeID, usedMbps float64) error {
+	return s.db.UpsertLinkStats(topology.MakeLinkID(a, b), usedMbps, s.opts.clock.Now())
+}
+
+// LinkUtilization reads the latest recorded utilization of a link.
+func (s *Service) LinkUtilization(a, b NodeID) (float64, error) {
+	st, err := s.db.LinkStats(topology.MakeLinkID(a, b))
+	if err != nil {
+		return 0, err
+	}
+	return st.Utilization, nil
+}
+
+// SaveState serializes the service's database — registered servers, link
+// statistics, catalog, and holdings — so a later deployment over the same
+// topology can resume via LoadState without re-running initialization.
+// Disk contents are not saved; preload titles again after LoadState (their
+// bytes regenerate deterministically).
+func (s *Service) SaveState(w io.Writer) error { return s.db.Save(w) }
+
+// LoadState applies a SaveState snapshot onto a freshly constructed,
+// not-yet-populated service over the same topology.
+func (s *Service) LoadState(r io.Reader) error { return s.db.Load(r) }
+
+// MetricsSnapshot is a point-in-time copy of one server's metrics.
+type MetricsSnapshot = metrics.Snapshot
+
+// Metrics returns a snapshot of every video server's counters (requests,
+// clusters served, DMA hits/admissions, fetch retries, errors).
+func (s *Service) Metrics() map[NodeID]MetricsSnapshot {
+	out := make(map[NodeID]MetricsSnapshot, len(s.servers))
+	for node, srv := range s.servers {
+		out[node] = srv.Metrics().Snapshot()
+	}
+	return out
+}
+
+// WebHandler returns the paper's web interface modules as an http.Handler:
+// the full-access module (browse, search, POST /request running the VRA) and
+// the limited-access module under /admin (including /admin/metrics) guarded
+// by the bearer token (empty token disables the admin endpoints).
+func (s *Service) WebHandler(adminToken string) (http.Handler, error) {
+	return web.New(web.Config{
+		DB:         s.db,
+		Planner:    s.planner,
+		AdminToken: adminToken,
+		Clock:      s.opts.clock,
+		Metrics:    s.Metrics,
+	})
+}
+
+// ServerAddr returns a node's live TCP endpoint ("" before Start).
+func (s *Service) ServerAddr(node NodeID) (string, error) {
+	srv, ok := s.servers[node]
+	if !ok {
+		return "", fmt.Errorf("dvod: %w: %s", topology.ErrNodeUnknown, node)
+	}
+	return srv.Addr(), nil
+}
+
+// options configures New.
+type options struct {
+	clusterBytes      int64
+	disksPerServer    int
+	diskCapacityBytes int64
+	nodeDisks         map[NodeID]diskShape
+	snmpInterval      time.Duration
+	selector          core.Selector
+	clock             clock.Clock
+	listenAddrs       map[NodeID]string
+	failoverInterval  time.Duration
+	failoverMaxAge    time.Duration
+}
+
+type diskShape struct {
+	count         int
+	capacityBytes int64
+}
+
+func defaultOptions() options {
+	return options{
+		clusterBytes:      256 << 10,
+		disksPerServer:    4,
+		diskCapacityBytes: 64 << 20,
+		nodeDisks:         map[NodeID]diskShape{},
+		snmpInterval:      90 * time.Second,
+		selector:          core.VRA{},
+		clock:             clock.Wall{},
+		listenAddrs:       map[NodeID]string{},
+	}
+}
+
+// arrayShape resolves the disk shape for a node (per-node override or the
+// service default).
+func (o options) arrayShape(node NodeID) (int, int64) {
+	if s, ok := o.nodeDisks[node]; ok {
+		return s.count, s.capacityBytes
+	}
+	return o.disksPerServer, o.diskCapacityBytes
+}
+
+func (o options) validate() error {
+	switch {
+	case o.clusterBytes <= 0:
+		return fmt.Errorf("dvod: bad cluster size %d", o.clusterBytes)
+	case o.disksPerServer <= 0:
+		return fmt.Errorf("dvod: bad disk count %d", o.disksPerServer)
+	case o.diskCapacityBytes <= 0:
+		return fmt.Errorf("dvod: bad disk capacity %d", o.diskCapacityBytes)
+	case o.snmpInterval <= 0:
+		return fmt.Errorf("dvod: bad SNMP interval %v", o.snmpInterval)
+	case o.selector == nil:
+		return errors.New("dvod: nil selector")
+	case o.clock == nil:
+		return errors.New("dvod: nil clock")
+	}
+	for node, s := range o.nodeDisks {
+		if s.count <= 0 || s.capacityBytes <= 0 {
+			return fmt.Errorf("dvod: bad disk shape for %s: %d × %d", node, s.count, s.capacityBytes)
+		}
+	}
+	if (o.failoverInterval > 0) != (o.failoverMaxAge > 0) {
+		return errors.New("dvod: failover needs both interval and max age")
+	}
+	if o.failoverMaxAge > 0 && o.failoverInterval >= o.failoverMaxAge {
+		return fmt.Errorf("dvod: failover interval %v must be below max age %v",
+			o.failoverInterval, o.failoverMaxAge)
+	}
+	return nil
+}
+
+// Option customizes New.
+type Option func(*options)
+
+// WithClusterBytes sets the DMA/VRA cluster size c (default 256 KiB).
+func WithClusterBytes(c int64) Option {
+	return func(o *options) { o.clusterBytes = c }
+}
+
+// WithDisks sets each server's array shape (default 4 × 64 MiB).
+func WithDisks(count int, capacityBytes int64) Option {
+	return func(o *options) {
+		o.disksPerServer = count
+		o.diskCapacityBytes = capacityBytes
+	}
+}
+
+// WithNodeDisks overrides the array shape of one node (heterogeneous
+// deployments; e.g. a small edge cache next to large origin servers).
+func WithNodeDisks(node NodeID, count int, capacityBytes int64) Option {
+	return func(o *options) {
+		o.nodeDisks[node] = diskShape{count: count, capacityBytes: capacityBytes}
+	}
+}
+
+// WithSNMPInterval sets the statistics refresh period (default 90 s; the
+// paper suggests 1-2 minutes).
+func WithSNMPInterval(d time.Duration) Option {
+	return func(o *options) { o.snmpInterval = d }
+}
+
+// WithSelector replaces the routing policy (default: the paper's VRA).
+func WithSelector(sel core.Selector) Option {
+	return func(o *options) { o.selector = sel }
+}
+
+// WithListenAddr pins one node's TCP endpoint (default 127.0.0.1:0).
+func WithListenAddr(node NodeID, addr string) Option {
+	return func(o *options) { o.listenAddrs[node] = addr }
+}
+
+// WithClock substitutes the time source (tests).
+func WithClock(c clock.Clock) Option {
+	return func(o *options) { o.clock = c }
+}
+
+// WithFailover enables heartbeat-based server failover: servers heartbeat
+// every interval and routing ignores any server whose last heartbeat is
+// older than maxAge. Disabled by default.
+func WithFailover(interval, maxAge time.Duration) Option {
+	return func(o *options) {
+		o.failoverInterval = interval
+		o.failoverMaxAge = maxAge
+	}
+}

@@ -1,0 +1,246 @@
+package dvod
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestGRNETTopologySpec(t *testing.T) {
+	spec := GRNETTopology()
+	if len(spec.Nodes) != 6 || len(spec.Links) != 7 {
+		t.Fatalf("spec = %d nodes %d links", len(spec.Nodes), len(spec.Links))
+	}
+}
+
+func TestNewValidatesTopology(t *testing.T) {
+	if _, err := New(TopologySpec{}); err == nil {
+		t.Fatal("empty topology accepted")
+	}
+	disconnected := TopologySpec{Nodes: []NodeID{"A", "B"}}
+	if _, err := New(disconnected); err == nil {
+		t.Fatal("disconnected topology accepted")
+	}
+	bad := GRNETTopology()
+	bad.Links[0].CapacityMbps = -1
+	if _, err := New(bad); err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+}
+
+func TestNewValidatesOptions(t *testing.T) {
+	spec := GRNETTopology()
+	cases := []Option{
+		WithClusterBytes(0),
+		WithDisks(0, 1024),
+		WithDisks(2, 0),
+		WithSNMPInterval(0),
+		WithSelector(nil),
+		WithClock(nil),
+	}
+	for i, opt := range cases {
+		if _, err := New(spec, opt); err == nil {
+			t.Fatalf("option case %d accepted", i)
+		}
+	}
+}
+
+func TestServiceEndToEnd(t *testing.T) {
+	svc, err := New(GRNETTopology(),
+		WithClusterBytes(4096),
+		WithDisks(3, 1<<20),
+		WithSNMPInterval(50*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := svc.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer svc.Close()
+
+	title := Title{Name: "zorba", SizeBytes: 40_000, BitrateMbps: 1.5}
+	if err := svc.AddTitle(title); err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.Titles(); len(got) != 1 || got[0].Name != "zorba" {
+		t.Fatalf("Titles = %v", got)
+	}
+	if err := svc.Preload("U4", "zorba"); err != nil {
+		t.Fatalf("Preload: %v", err)
+	}
+	holders, err := svc.Holders("zorba")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(holders) != 1 || holders[0] != "U4" {
+		t.Fatalf("Holders = %v", holders)
+	}
+
+	// Seed link statistics with the paper's 10am snapshot so Plan has a
+	// network view (Experiment B's conditions).
+	loads := map[[2]NodeID]float64{
+		{"U2", "U1"}: 1.82, {"U2", "U3"}: 0.00017, {"U4", "U1"}: 7.0,
+		{"U4", "U5"}: 0.52, {"U4", "U3"}: 1.48, {"U1", "U6"}: 2.5,
+		{"U5", "U6"}: 0.0001,
+	}
+	for pair, mbps := range loads {
+		if err := svc.SetLinkTraffic(pair[0], pair[1], mbps); err != nil {
+			t.Fatal(err)
+		}
+	}
+	u, err := svc.LinkUtilization("U2", "U1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(u-0.91) > 1e-9 {
+		t.Fatalf("utilization = %g, want 0.91", u)
+	}
+
+	dec, err := svc.Plan("U2", "zorba")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Server != "U4" || dec.Path.String() != "U2,U3,U4" {
+		t.Fatalf("Plan = %+v, want Thessaloniki via U2,U3,U4", dec)
+	}
+
+	// A Patra client watches; delivery comes from U4 and verifies.
+	p, err := svc.Player("U2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := p.Watch("zorba")
+	if err != nil {
+		t.Fatalf("Watch: %v", err)
+	}
+	if !stats.Verified || stats.BytesReceived != title.SizeBytes {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if len(stats.Sources) == 0 {
+		t.Fatal("no sources recorded")
+	}
+	// With 3 MiB arrays the 40 kB title is admitted by Patra's DMA on the
+	// watch, so delivery is local.
+	if stats.Sources[0] != "U2" {
+		t.Fatalf("source = %s, want local U2 after DMA admission", stats.Sources[0])
+	}
+
+	addr, err := svc.ServerAddr("U4")
+	if err != nil || addr == "" {
+		t.Fatalf("ServerAddr = %q, %v", addr, err)
+	}
+	if _, err := svc.ServerAddr("U99"); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+	if _, err := svc.Player("U99"); err == nil {
+		t.Fatal("unknown home accepted")
+	}
+	if err := svc.Preload("U99", "zorba"); err == nil {
+		t.Fatal("unknown preload node accepted")
+	}
+	if err := svc.Preload("U4", "ghost"); err == nil {
+		t.Fatal("unknown preload title accepted")
+	}
+}
+
+func TestServiceLifecycleErrors(t *testing.T) {
+	svc, err := New(GRNETTopology(), WithDisks(1, 1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Player("U1"); err == nil {
+		t.Fatal("Player before Start accepted")
+	}
+	if err := svc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Start(); err == nil {
+		t.Fatal("double Start accepted")
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal("second Close errored")
+	}
+	if err := svc.Start(); err == nil {
+		t.Fatal("Start after Close accepted")
+	}
+}
+
+func TestEvaluateLinksGRNET(t *testing.T) {
+	spec := GRNETTopology()
+	// 8am utilizations from Table 2.
+	util := map[LinkID]float64{
+		MakeLinkID("U2", "U1"): 0.10,
+		MakeLinkID("U2", "U3"): 0.00005,
+		MakeLinkID("U4", "U1"): 0.094,
+		MakeLinkID("U4", "U5"): 0.24,
+		MakeLinkID("U4", "U3"): 0.15,
+		MakeLinkID("U1", "U6"): 0.027,
+		MakeLinkID("U5", "U6"): 0.00005,
+	}
+	weights, err := EvaluateLinks(spec, util)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(weights) != 7 {
+		t.Fatalf("weights = %d", len(weights))
+	}
+	byID := map[LinkID]float64{}
+	for _, w := range weights {
+		byID[w.Link] = w.LVN
+	}
+	// Paper Table 3, 8am column (±0.01).
+	if got := byID[MakeLinkID("U2", "U1")]; math.Abs(got-0.083) > 0.01 {
+		t.Fatalf("Patra-Athens LVN = %g, paper 0.083", got)
+	}
+	if got := byID[MakeLinkID("U4", "U1")]; math.Abs(got-0.2819) > 0.01 {
+		t.Fatalf("Thess-Athens LVN = %g, paper 0.2819", got)
+	}
+	if _, err := EvaluateLinks(TopologySpec{}, nil); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+}
+
+func TestSelectServerExperimentB(t *testing.T) {
+	spec := GRNETTopology()
+	util := map[LinkID]float64{
+		MakeLinkID("U2", "U1"): 0.91,
+		MakeLinkID("U2", "U3"): 0.000085,
+		MakeLinkID("U4", "U1"): 0.3889,
+		MakeLinkID("U4", "U5"): 0.26,
+		MakeLinkID("U4", "U3"): 0.74,
+		MakeLinkID("U1", "U6"): 0.1389,
+		MakeLinkID("U5", "U6"): 0.00005,
+	}
+	dec, err := SelectServer(spec, util, "U2", []NodeID{"U4", "U5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Server != "U4" || dec.Path.String() != "U2,U3,U4" {
+		t.Fatalf("decision = %+v", dec)
+	}
+	if math.Abs(dec.Cost-1.007) > 0.02 {
+		t.Fatalf("cost = %g, paper 1.007", dec.Cost)
+	}
+	if _, err := SelectServer(TopologySpec{}, nil, "U2", nil); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+}
+
+func TestSelectorByName(t *testing.T) {
+	for _, name := range []string{"vra", "minhop", "random", "static"} {
+		sel, err := SelectorByName(name, 1)
+		if err != nil || sel.Name() != name {
+			t.Fatalf("SelectorByName(%s) = %v, %v", name, sel, err)
+		}
+	}
+	if _, err := SelectorByName("nope", 1); err == nil {
+		t.Fatal("unknown selector accepted")
+	}
+	if NewVRA(0).Name() != "vra" {
+		t.Fatal("NewVRA wrong")
+	}
+}

@@ -1,0 +1,75 @@
+package dvod_test
+
+import (
+	"fmt"
+	"log"
+
+	"dvod"
+)
+
+// ExampleSelectServer reproduces the paper's Experiment B as a stateless
+// call: at 10am a Patra client's title lives at Thessaloniki and Xanthi, and
+// the Virtual Routing Algorithm picks the cheaper replica.
+func ExampleSelectServer() {
+	util, err := dvod.GRNETUtilization("10am")
+	if err != nil {
+		log.Fatal(err)
+	}
+	dec, err := dvod.SelectServer(dvod.GRNETTopology(), util, "U2",
+		[]dvod.NodeID{"U4", "U5"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("download from %s via %s\n", dvod.GRNETCityName(dec.Server), dec.Path)
+	// Output:
+	// download from Thessaloniki via U2,U3,U4
+}
+
+// ExampleEvaluateLinks computes one Link Validation Number from the paper's
+// Table 2 measurements (the 4pm Patra-Athens cell of Table 3).
+func ExampleEvaluateLinks() {
+	util, err := dvod.GRNETUtilization("4pm")
+	if err != nil {
+		log.Fatal(err)
+	}
+	weights, err := dvod.EvaluateLinks(dvod.GRNETTopology(), util)
+	if err != nil {
+		log.Fatal(err)
+	}
+	target := dvod.MakeLinkID("U2", "U1")
+	for _, w := range weights {
+		if w.Link == target {
+			fmt.Printf("LVN(Patra-Athens, 4pm) = %.3f\n", w.LVN)
+		}
+	}
+	// Output:
+	// LVN(Patra-Athens, 4pm) = 0.687
+}
+
+// ExampleService shows the minimal live deployment: publish a title, place
+// one copy, and plan a request.
+func ExampleService() {
+	svc, err := dvod.New(dvod.GRNETTopology(), dvod.WithDisks(2, 1<<20))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := svc.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Close()
+
+	title := dvod.Title{Name: "zorba", SizeBytes: 100_000, BitrateMbps: 1.5}
+	if err := svc.AddTitle(title); err != nil {
+		log.Fatal(err)
+	}
+	if err := svc.Preload("U4", "zorba"); err != nil {
+		log.Fatal(err)
+	}
+	holders, err := svc.Holders("zorba")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("holders:", holders)
+	// Output:
+	// holders: [U4]
+}

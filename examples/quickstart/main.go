@@ -1,0 +1,95 @@
+// Quickstart: bring up the six-site VoD service on localhost, publish one
+// title at Thessaloniki, and watch it from a client homed at Patra. The
+// delivery is verified byte-for-byte and reports which server each cluster
+// came from.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dvod"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	svc, err := dvod.New(dvod.GRNETTopology(),
+		dvod.WithClusterBytes(64<<10),
+		dvod.WithDisks(4, 16<<20),
+		dvod.WithSNMPInterval(time.Second),
+	)
+	if err != nil {
+		return err
+	}
+	if err := svc.Start(); err != nil {
+		return err
+	}
+	defer svc.Close()
+
+	title := dvod.Title{Name: "zorba-the-greek", SizeBytes: 2 << 20, BitrateMbps: 1.5}
+	if err := svc.AddTitle(title); err != nil {
+		return err
+	}
+	if err := svc.Preload("U4", title.Name); err != nil { // Thessaloniki
+		return err
+	}
+
+	// Tell the routing algorithm what the network looks like (the paper's
+	// 10am SNMP snapshot); in steady state the service's own SNMP poller
+	// keeps this fresh automatically.
+	util, err := dvod.GRNETUtilization("10am")
+	if err != nil {
+		return err
+	}
+	for id, u := range util {
+		a, b, err := id.Endpoints()
+		if err != nil {
+			return err
+		}
+		spec := dvod.GRNETTopology()
+		for _, l := range spec.Links {
+			if dvod.MakeLinkID(l.A, l.B) == id {
+				if err := svc.SetLinkTraffic(a, b, u*l.CapacityMbps); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	// Where would a Patra client be served from?
+	dec, err := svc.Plan("U2", title.Name)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("VRA plan for a Patra client: fetch from %s (%s) via %s, cost %.4f\n",
+		dec.Server, dvod.GRNETCityName(dec.Server), dec.Path, dec.Cost)
+
+	// Actually watch it.
+	player, err := svc.Player("U2")
+	if err != nil {
+		return err
+	}
+	stats, err := player.Watch(title.Name)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("delivered %d bytes in %d clusters, verified=%v, elapsed=%v\n",
+		stats.BytesReceived, stats.NumClusters, stats.Verified, stats.Elapsed.Round(time.Millisecond))
+	fmt.Printf("first cluster came from %s; the title is now cached at Patra too: %v\n",
+		stats.Sources[0], holders(svc, title.Name))
+	return nil
+}
+
+func holders(svc *dvod.Service, title string) []dvod.NodeID {
+	h, err := svc.Holders(title)
+	if err != nil {
+		return nil
+	}
+	return h
+}

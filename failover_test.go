@@ -1,0 +1,178 @@
+package dvod
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// seedTenAM loads the paper's 10am link statistics into the service.
+func seedTenAM(t *testing.T, svc *Service) {
+	t.Helper()
+	util, err := GRNETUtilization("10am")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range GRNETTopology().Links {
+		id := MakeLinkID(l.A, l.B)
+		if err := svc.SetLinkTraffic(l.A, l.B, util[id]*l.CapacityMbps); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFailoverOptionValidation(t *testing.T) {
+	spec := GRNETTopology()
+	if _, err := New(spec, WithFailover(time.Second, 0)); err == nil {
+		t.Fatal("half-configured failover accepted")
+	}
+	if _, err := New(spec, WithFailover(0, time.Second)); err == nil {
+		t.Fatal("half-configured failover accepted")
+	}
+	if _, err := New(spec, WithFailover(time.Second, time.Second)); err == nil {
+		t.Fatal("interval >= max age accepted")
+	}
+}
+
+// TestFailoverReroutesAroundDeadServer exercises the full loop: with two
+// replicas, stopping the preferred server makes both planning and live
+// delivery fall over to the survivor.
+func TestFailoverReroutesAroundDeadServer(t *testing.T) {
+	svc, err := New(GRNETTopology(),
+		WithClusterBytes(4096),
+		WithDisks(2, 1<<20),
+		WithNodeDisks("U2", 1, 1024), // home cannot cache
+		WithFailover(20*time.Millisecond, 80*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	seedTenAM(t, svc)
+
+	title := Title{Name: "failover-movie", SizeBytes: 20_000, BitrateMbps: 1.5}
+	if err := svc.AddTitle(title); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []NodeID{"U4", "U5"} {
+		if err := svc.Preload(h, title.Name); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	dec, err := svc.Plan("U2", title.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Server != "U4" {
+		t.Fatalf("initial plan = %s, want U4 (10am Experiment B conditions)", dec.Server)
+	}
+
+	// Kill Thessaloniki; its heartbeats stop immediately (MarkDown).
+	if err := svc.StopServer("U4"); err != nil {
+		t.Fatal(err)
+	}
+	dec, err = svc.Plan("U2", title.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Server != "U5" {
+		t.Fatalf("post-failure plan = %s, want survivor U5", dec.Server)
+	}
+
+	// Live delivery also routes around the corpse.
+	p, err := svc.Player("U2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := p.Watch(title.Name)
+	if err != nil {
+		t.Fatalf("Watch after failover: %v", err)
+	}
+	if !stats.Verified {
+		t.Fatal("failover delivery not verified")
+	}
+	for i, src := range stats.Sources {
+		if src != "U5" {
+			t.Fatalf("cluster %d source = %s, want U5", i, src)
+		}
+	}
+
+	if err := svc.StopServer("U99"); err == nil {
+		t.Fatal("unknown node accepted")
+	}
+}
+
+func TestServiceWebHandler(t *testing.T) {
+	svc, err := New(GRNETTopology(), WithDisks(2, 1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	seedTenAM(t, svc)
+
+	title := Title{Name: "web-movie", SizeBytes: 10_000, BitrateMbps: 1.5}
+	if err := svc.AddTitle(title); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Preload("U4", title.Name); err != nil {
+		t.Fatal(err)
+	}
+
+	h, err := svc.WebHandler("tok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	web := httptest.NewServer(h)
+	defer web.Close()
+
+	// Full-access: catalog.
+	resp, err := http.Get(web.URL + "/titles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var titles []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&titles); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(titles) != 1 {
+		t.Fatalf("titles = %v", titles)
+	}
+
+	// Full-access: request → VRA decision.
+	resp, err = http.Post(web.URL+"/request", "application/json",
+		strings.NewReader(`{"home":"U2","title":"web-movie"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dec map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&dec); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if dec["server"] != "U4" {
+		t.Fatalf("decision = %v", dec)
+	}
+
+	// Limited-access with the right token.
+	req, _ := http.NewRequest(http.MethodGet, web.URL+"/admin/links", nil)
+	req.Header.Set("Authorization", "Bearer tok")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("admin links = %d", resp.StatusCode)
+	}
+}

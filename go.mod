@@ -1,0 +1,3 @@
+module dvod
+
+go 1.24

@@ -1,0 +1,43 @@
+package dvod
+
+import (
+	"fmt"
+
+	"dvod/internal/grnet"
+	"dvod/internal/topology"
+)
+
+// GRNETSampleTimes lists the paper's four measurement instants, in order:
+// "8am", "10am", "4pm", "6pm".
+func GRNETSampleTimes() []string {
+	times := grnet.SampleTimes()
+	out := make([]string, len(times))
+	for i, t := range times {
+		out[i] = t.String()
+	}
+	return out
+}
+
+// GRNETUtilization returns the per-link utilization fractions measured on
+// the GRNET backbone at one of the paper's Table 2 sample times ("8am",
+// "10am", "4pm", "6pm").
+func GRNETUtilization(sample string) (map[LinkID]float64, error) {
+	var st grnet.SampleTime
+	for _, t := range grnet.SampleTimes() {
+		if t.String() == sample {
+			st = t
+			break
+		}
+	}
+	if st == 0 {
+		return nil, fmt.Errorf("unknown sample time %q (want 8am, 10am, 4pm or 6pm)", sample)
+	}
+	out := make(map[LinkID]float64, 7)
+	for _, row := range grnet.Table2() {
+		out[topology.MakeLinkID(row.A, row.B)] = row.Utilization(st)
+	}
+	return out, nil
+}
+
+// GRNETCityName maps a GRNET node ID (U1..U6) to its city.
+func GRNETCityName(n NodeID) string { return grnet.CityName(n) }

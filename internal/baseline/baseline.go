@@ -1,0 +1,174 @@
+// Package baseline provides the comparison server-selection policies the
+// extension studies measure the VRA against:
+//
+//   - MinHop: classic shortest-path-by-hop-count routing, blind to load;
+//   - Random: pick any replica uniformly at random, route by hop count;
+//   - Static: always the same (lexicographically first) replica — a fixed
+//     primary server, the pre-CDN deployment style.
+//
+// All honor the home-server short circuit so the comparison isolates the
+// remote-selection policy itself.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"dvod/internal/core"
+	"dvod/internal/routing"
+	"dvod/internal/topology"
+)
+
+// localOrNil returns the local-service decision when home holds the title.
+func localOrNil(home topology.NodeID, candidates []topology.NodeID) *core.Decision {
+	for _, c := range candidates {
+		if c == home {
+			return &core.Decision{
+				Server: home,
+				Path:   routing.Path{Nodes: []topology.NodeID{home}},
+				Local:  true,
+			}
+		}
+	}
+	return nil
+}
+
+// minHopPath computes the fewest-hops path from home to dst.
+func minHopTree(snap *topology.Snapshot, home topology.NodeID) (*routing.Tree, error) {
+	return routing.ShortestPaths(snap.Graph(), routing.MinHopWeights(snap.Graph()), home)
+}
+
+// MinHop selects the candidate with the fewest hops from the home server.
+type MinHop struct{}
+
+var _ core.Selector = MinHop{}
+
+// Name implements core.Selector.
+func (MinHop) Name() string { return "minhop" }
+
+// Select implements core.Selector.
+func (MinHop) Select(snap *topology.Snapshot, home topology.NodeID, candidates []topology.NodeID) (core.Decision, error) {
+	if len(candidates) == 0 {
+		return core.Decision{}, core.ErrNoCandidates
+	}
+	if d := localOrNil(home, candidates); d != nil {
+		return *d, nil
+	}
+	tree, err := minHopTree(snap, home)
+	if err != nil {
+		return core.Decision{}, fmt.Errorf("minhop: %w", err)
+	}
+	best, err := routing.CheapestTo(tree, candidates)
+	if err != nil {
+		return core.Decision{}, fmt.Errorf("minhop: %w", err)
+	}
+	return core.Decision{Server: best.Dest(), Path: best, Cost: best.Cost}, nil
+}
+
+// Random selects a uniformly random reachable candidate and routes to it by
+// hop count. It is safe for concurrent use.
+type Random struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+var _ core.Selector = (*Random)(nil)
+
+// NewRandom builds the policy with a deterministic seed.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements core.Selector.
+func (*Random) Name() string { return "random" }
+
+// Select implements core.Selector.
+func (r *Random) Select(snap *topology.Snapshot, home topology.NodeID, candidates []topology.NodeID) (core.Decision, error) {
+	if len(candidates) == 0 {
+		return core.Decision{}, core.ErrNoCandidates
+	}
+	if d := localOrNil(home, candidates); d != nil {
+		return *d, nil
+	}
+	tree, err := minHopTree(snap, home)
+	if err != nil {
+		return core.Decision{}, fmt.Errorf("random: %w", err)
+	}
+	reachable := make([]topology.NodeID, 0, len(candidates))
+	for _, c := range candidates {
+		if tree.Reachable(c) {
+			reachable = append(reachable, c)
+		}
+	}
+	if len(reachable) == 0 {
+		return core.Decision{}, core.ErrNoReachable
+	}
+	sort.Slice(reachable, func(i, j int) bool { return reachable[i] < reachable[j] })
+	r.mu.Lock()
+	pick := reachable[r.rng.Intn(len(reachable))]
+	r.mu.Unlock()
+	path, err := tree.PathTo(pick)
+	if err != nil {
+		return core.Decision{}, fmt.Errorf("random: %w", err)
+	}
+	return core.Decision{Server: pick, Path: path, Cost: path.Cost}, nil
+}
+
+// Static always selects the lexicographically first reachable candidate —
+// a fixed primary replica.
+type Static struct{}
+
+var _ core.Selector = Static{}
+
+// Name implements core.Selector.
+func (Static) Name() string { return "static" }
+
+// Select implements core.Selector.
+func (Static) Select(snap *topology.Snapshot, home topology.NodeID, candidates []topology.NodeID) (core.Decision, error) {
+	if len(candidates) == 0 {
+		return core.Decision{}, core.ErrNoCandidates
+	}
+	if d := localOrNil(home, candidates); d != nil {
+		return *d, nil
+	}
+	tree, err := minHopTree(snap, home)
+	if err != nil {
+		return core.Decision{}, fmt.Errorf("static: %w", err)
+	}
+	sorted := append([]topology.NodeID(nil), candidates...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, c := range sorted {
+		if !tree.Reachable(c) {
+			continue
+		}
+		path, err := tree.PathTo(c)
+		if err != nil {
+			continue
+		}
+		return core.Decision{Server: c, Path: path, Cost: path.Cost}, nil
+	}
+	return core.Decision{}, core.ErrNoReachable
+}
+
+// ByName returns the selector with the given policy name; the VRA itself is
+// included so harnesses can look every policy up uniformly.
+func ByName(name string, seed int64) (core.Selector, error) {
+	switch name {
+	case "vra":
+		return core.VRA{}, nil
+	case "minhop":
+		return MinHop{}, nil
+	case "random":
+		return NewRandom(seed), nil
+	case "static":
+		return Static{}, nil
+	default:
+		return nil, errors.New("unknown policy " + name)
+	}
+}
+
+// Names lists the available policy names, VRA first.
+func Names() []string { return []string{"vra", "minhop", "random", "static"} }

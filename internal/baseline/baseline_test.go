@@ -1,0 +1,200 @@
+package baseline
+
+import (
+	"errors"
+	"testing"
+
+	"dvod/internal/core"
+	"dvod/internal/grnet"
+	"dvod/internal/topology"
+)
+
+func snap8(t *testing.T) *topology.Snapshot {
+	t.Helper()
+	s, err := grnet.Snapshot(grnet.At8am)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNames(t *testing.T) {
+	names := Names()
+	if len(names) != 4 || names[0] != "vra" {
+		t.Fatalf("Names = %v", names)
+	}
+	for _, n := range names {
+		s, err := ByName(n, 1)
+		if err != nil {
+			t.Fatalf("ByName(%s): %v", n, err)
+		}
+		if s.Name() != n {
+			t.Fatalf("ByName(%s).Name() = %s", n, s.Name())
+		}
+	}
+	if _, err := ByName("bogus", 1); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestMinHopPicksFewestHops(t *testing.T) {
+	s := snap8(t)
+	// From Patra: Athens is 1 hop, Xanthi 3 hops.
+	d, err := MinHop{}.Select(s, grnet.Patra, []topology.NodeID{grnet.Xanthi, grnet.Athens})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Server != grnet.Athens || d.Path.Hops() != 1 {
+		t.Fatalf("decision = %+v, want Athens at 1 hop", d)
+	}
+}
+
+func TestMinHopIgnoresLoad(t *testing.T) {
+	// Unlike the VRA, min-hop picks the heavily loaded 1-hop route.
+	g := topology.NewGraph()
+	for _, n := range []topology.NodeID{"C", "S", "R"} {
+		if err := g.AddNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	direct, err := g.AddLink("C", "S", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddLink("C", "R", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddLink("R", "S", 2); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := topology.NewSnapshot(g, map[topology.LinkID]float64{direct: 0.99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := MinHop{}.Select(snap, "C", []topology.NodeID{"S"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Path.String() != "C,S" {
+		t.Fatalf("min-hop path = %s, want the (congested) direct link", d.Path)
+	}
+}
+
+func TestAllPoliciesLocalShortCircuit(t *testing.T) {
+	s := snap8(t)
+	for _, name := range Names() {
+		sel, err := ByName(name, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := sel.Select(s, grnet.Patra, []topology.NodeID{grnet.Xanthi, grnet.Patra})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !d.Local || d.Server != grnet.Patra {
+			t.Fatalf("%s ignored local replica: %+v", name, d)
+		}
+	}
+}
+
+func TestAllPoliciesNoCandidates(t *testing.T) {
+	s := snap8(t)
+	for _, name := range Names() {
+		sel, err := ByName(name, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sel.Select(s, grnet.Patra, nil); !errors.Is(err, core.ErrNoCandidates) {
+			t.Fatalf("%s no-candidate error = %v", name, err)
+		}
+	}
+}
+
+func TestRandomCoversAllCandidates(t *testing.T) {
+	s := snap8(t)
+	r := NewRandom(42)
+	cands := []topology.NodeID{grnet.Thessaloniki, grnet.Xanthi, grnet.Heraklio}
+	seen := map[topology.NodeID]int{}
+	for range 200 {
+		d, err := r.Select(s, grnet.Patra, cands)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[d.Server]++
+		if d.Path.Source() != grnet.Patra || d.Path.Dest() != d.Server {
+			t.Fatalf("path %s inconsistent with server %s", d.Path, d.Server)
+		}
+	}
+	for _, c := range cands {
+		if seen[c] == 0 {
+			t.Fatalf("random never picked %s: %v", c, seen)
+		}
+	}
+}
+
+func TestRandomDeterministicSeed(t *testing.T) {
+	s := snap8(t)
+	cands := []topology.NodeID{grnet.Thessaloniki, grnet.Xanthi, grnet.Heraklio}
+	a, b := NewRandom(9), NewRandom(9)
+	for range 50 {
+		da, err := a.Select(s, grnet.Patra, cands)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := b.Select(s, grnet.Patra, cands)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if da.Server != db.Server {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestStaticAlwaysFirst(t *testing.T) {
+	s := snap8(t)
+	for range 5 {
+		d, err := Static{}.Select(s, grnet.Patra,
+			[]topology.NodeID{grnet.Xanthi, grnet.Thessaloniki, grnet.Heraklio})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Lexicographically first: U4 (Thessaloniki) < U5 < U6.
+		if d.Server != grnet.Thessaloniki {
+			t.Fatalf("static picked %s, want U4", d.Server)
+		}
+	}
+}
+
+func TestPoliciesUnreachableCandidates(t *testing.T) {
+	g := topology.NewGraph()
+	for _, n := range []topology.NodeID{"A", "B", "island"} {
+		if err := g.AddNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := g.AddLink("A", "B", 2); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := topology.NewSnapshot(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"minhop", "random", "static"} {
+		sel, err := ByName(name, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sel.Select(snap, "A", []topology.NodeID{"island"}); err == nil {
+			t.Fatalf("%s accepted unreachable-only candidates", name)
+		}
+		// Mixed: reachable B wins.
+		d, err := sel.Select(snap, "A", []topology.NodeID{"island", "B"})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if d.Server != "B" {
+			t.Fatalf("%s picked %s, want B", name, d.Server)
+		}
+	}
+}

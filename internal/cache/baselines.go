@@ -1,0 +1,217 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"dvod/internal/media"
+	"dvod/internal/striping"
+)
+
+// recencyPolicy implements LRU and LFU over the same array/striping
+// mechanics as the DMA, for the paper's design-choice ablations. Both admit
+// on every miss, evicting victims until the newcomer fits.
+type recencyPolicy struct {
+	cfg  Config
+	name string
+	// victim picks the next title to evict from state; caller holds mu.
+	victim func(p *recencyPolicy) (string, bool)
+
+	mu       sync.Mutex
+	resident map[string]striping.Layout
+	lastUse  map[string]int64 // logical request counter at last touch
+	freq     map[string]int64
+	tick     int64
+	stats    Stats
+}
+
+var _ Policy = (*recencyPolicy)(nil)
+
+func newRecencyPolicy(cfg Config, name string, victim func(*recencyPolicy) (string, bool)) (*recencyPolicy, error) {
+	if cfg.Array == nil {
+		return nil, fmt.Errorf("%s: nil array", name)
+	}
+	if cfg.ClusterBytes <= 0 {
+		return nil, fmt.Errorf("%s: %w: %d", name, striping.ErrBadCluster, cfg.ClusterBytes)
+	}
+	return &recencyPolicy{
+		cfg:      cfg,
+		name:     name,
+		victim:   victim,
+		resident: make(map[string]striping.Layout),
+		lastUse:  make(map[string]int64),
+		freq:     make(map[string]int64),
+	}, nil
+}
+
+// NewLRU returns a least-recently-used title cache over the array.
+func NewLRU(cfg Config) (Policy, error) {
+	return newRecencyPolicy(cfg, "lru", func(p *recencyPolicy) (string, bool) {
+		var (
+			name  string
+			use   int64
+			found bool
+		)
+		for n := range p.resident {
+			u := p.lastUse[n]
+			if !found || u < use || (u == use && n < name) {
+				name, use, found = n, u, true
+			}
+		}
+		return name, found
+	})
+}
+
+// NewLFU returns a least-frequently-used title cache over the array.
+func NewLFU(cfg Config) (Policy, error) {
+	return newRecencyPolicy(cfg, "lfu", func(p *recencyPolicy) (string, bool) {
+		var (
+			name  string
+			f     int64
+			found bool
+		)
+		for n := range p.resident {
+			c := p.freq[n]
+			if !found || c < f || (c == f && n < name) {
+				name, f, found = n, c, true
+			}
+		}
+		return name, found
+	})
+}
+
+// Name implements Policy.
+func (p *recencyPolicy) Name() string { return p.name }
+
+// OnRequest implements Policy: touch on hit; on miss, evict victims until
+// the title fits, then admit.
+func (p *recencyPolicy) OnRequest(t media.Title) (Outcome, error) {
+	if err := t.Validate(); err != nil {
+		return Outcome{}, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Requests++
+	p.tick++
+	p.lastUse[t.Name] = p.tick
+	p.freq[t.Name]++
+
+	if _, ok := p.resident[t.Name]; ok {
+		p.stats.Hits++
+		return Outcome{Hit: true}, nil
+	}
+
+	var evicted []string
+	for !striping.Fits(p.cfg.Array, t, p.cfg.ClusterBytes) {
+		victim, ok := p.victim(p)
+		if !ok {
+			// Nothing left to evict; title simply cannot be stored.
+			return Outcome{Evicted: evicted}, nil
+		}
+		if err := striping.Delete(p.cfg.Array, p.resident[victim]); err != nil {
+			return Outcome{Evicted: evicted}, fmt.Errorf("%s evict %s: %w", p.name, victim, err)
+		}
+		delete(p.resident, victim)
+		evicted = append(evicted, victim)
+		p.stats.Evictions++
+	}
+	layout, err := striping.Write(p.cfg.Array, t, p.cfg.ClusterBytes, p.cfg.contentFor(t.Name))
+	if err != nil {
+		return Outcome{Evicted: evicted}, fmt.Errorf("%s admit %s: %w", p.name, t.Name, err)
+	}
+	p.resident[t.Name] = layout
+	p.stats.Admitted++
+	return Outcome{Admitted: true, Evicted: evicted}, nil
+}
+
+// Resident implements Policy.
+func (p *recencyPolicy) Resident(name string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.resident[name]
+	return ok
+}
+
+// ResidentTitles implements Policy.
+func (p *recencyPolicy) ResidentTitles() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.resident))
+	for n := range p.resident {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Layout implements Policy.
+func (p *recencyPolicy) Layout(name string) (striping.Layout, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	l, ok := p.resident[name]
+	return l, ok
+}
+
+// Stats returns a copy of the run counters.
+func (p *recencyPolicy) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// None is the no-cache baseline: every request misses and nothing is stored.
+type None struct {
+	mu    sync.Mutex
+	stats Stats
+}
+
+var _ Policy = (*None)(nil)
+
+// NewNone returns the no-cache policy.
+func NewNone() *None { return &None{} }
+
+// Name implements Policy.
+func (n *None) Name() string { return "none" }
+
+// OnRequest implements Policy: always a miss.
+func (n *None) OnRequest(t media.Title) (Outcome, error) {
+	if err := t.Validate(); err != nil {
+		return Outcome{}, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats.Requests++
+	return Outcome{}, nil
+}
+
+// Resident implements Policy.
+func (n *None) Resident(string) bool { return false }
+
+// ResidentTitles implements Policy.
+func (n *None) ResidentTitles() []string { return nil }
+
+// Layout implements Policy.
+func (n *None) Layout(string) (striping.Layout, bool) { return striping.Layout{}, false }
+
+// Stats returns a copy of the run counters.
+func (n *None) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// StatsOf extracts run counters from any of this package's policies.
+func StatsOf(p Policy) (Stats, error) {
+	switch v := p.(type) {
+	case *DMA:
+		return v.Stats(), nil
+	case *recencyPolicy:
+		return v.Stats(), nil
+	case *None:
+		return v.Stats(), nil
+	default:
+		return Stats{}, errors.New("unknown policy type")
+	}
+}

@@ -1,0 +1,463 @@
+package cache
+
+import (
+	"testing"
+
+	"dvod/internal/disk"
+	"dvod/internal/media"
+)
+
+func title(name string, size int64) media.Title {
+	return media.Title{Name: name, SizeBytes: size, BitrateMbps: 1.5}
+}
+
+// newDMA builds a DMA over an array of n disks × capacity bytes.
+func newDMA(t *testing.T, nDisks int, capacity int64, opts ...func(*Config)) *DMA {
+	t.Helper()
+	arr, err := disk.NewUniformArray("c", nDisks, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Array: arr, ClusterBytes: 10}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	m, err := NewDMA(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewDMAValidation(t *testing.T) {
+	if _, err := NewDMA(Config{}); err == nil {
+		t.Fatal("NewDMA accepted nil array")
+	}
+	arr, err := disk.NewUniformArray("x", 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDMA(Config{Array: arr, ClusterBytes: 0}); err == nil {
+		t.Fatal("NewDMA accepted zero cluster")
+	}
+}
+
+func TestDMAAdmitsWhenFits(t *testing.T) {
+	m := newDMA(t, 2, 100)
+	out, err := m.OnRequest(title("a", 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Admitted || out.Hit || len(out.Evicted) != 0 {
+		t.Fatalf("first request outcome = %+v, want plain admission", out)
+	}
+	if !m.Resident("a") {
+		t.Fatal("title not resident after admission")
+	}
+	// Second request is a hit and earns a point.
+	out, err = m.OnRequest(title("a", 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Hit || out.Admitted {
+		t.Fatalf("second request outcome = %+v, want hit", out)
+	}
+	if m.Points("a") != 1 {
+		t.Fatalf("points = %d, want 1", m.Points("a"))
+	}
+}
+
+func TestDMAEvictsLeastPopular(t *testing.T) {
+	// Array: 1 disk × 100 bytes. a and b fill it (50 each); c (60) cannot
+	// fit. Popularity: a requested 3×, b 1×. Then repeated requests for c
+	// must eventually evict b (least popular), never a.
+	m := newDMA(t, 1, 100)
+	for range 3 {
+		if _, err := m.OnRequest(title("a", 50)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.OnRequest(title("b", 50)); err != nil {
+		t.Fatal(err)
+	}
+	// c: point accrues per miss; b has 0 points, so first c request (1 pt)
+	// already beats b.
+	out, err := m.OnRequest(title("c", 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Evicted) != 1 || out.Evicted[0] != "b" {
+		t.Fatalf("evicted %v, want [b]", out.Evicted)
+	}
+	// After evicting b (50 freed, 50 used by a), c (60) still does not
+	// fit; Figure 2 gives up (no EvictUntilFits).
+	if out.Admitted {
+		t.Fatal("c admitted though it cannot fit next to a")
+	}
+	if m.Resident("b") {
+		t.Fatal("b still resident")
+	}
+	if !m.Resident("a") {
+		t.Fatal("a evicted though most popular")
+	}
+}
+
+func TestDMAEvictUntilFits(t *testing.T) {
+	m := newDMA(t, 1, 100, func(c *Config) { c.EvictUntilFits = true })
+	if _, err := m.OnRequest(title("a", 50)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.OnRequest(title("b", 50)); err != nil {
+		t.Fatal(err)
+	}
+	// c (100 bytes) needs both evicted; with one point it beats both
+	// zero-point residents.
+	out, err := m.OnRequest(title("c", 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Admitted || len(out.Evicted) != 2 {
+		t.Fatalf("outcome = %+v, want admission after evicting both", out)
+	}
+	if !m.Resident("c") || m.Resident("a") || m.Resident("b") {
+		t.Fatal("residency wrong after evict-until-fits")
+	}
+}
+
+func TestDMADoesNotEvictMorePopular(t *testing.T) {
+	m := newDMA(t, 1, 100)
+	// a gets 5 points.
+	for range 6 {
+		if _, err := m.OnRequest(title("a", 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// b misses twice: 2 points < a's 5 → no eviction.
+	for range 2 {
+		out, err := m.OnRequest(title("b", 100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out.Evicted) != 0 || out.Admitted {
+			t.Fatalf("outcome = %+v, want nothing", out)
+		}
+	}
+	if !m.Resident("a") {
+		t.Fatal("a evicted by less popular b")
+	}
+	// b keeps getting requested; at 6 points it finally displaces a.
+	for range 4 {
+		if _, err := m.OnRequest(title("b", 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !m.Resident("b") || m.Resident("a") {
+		t.Fatalf("b should displace a once strictly more popular (a=%d b=%d)",
+			m.Points("a"), m.Points("b"))
+	}
+}
+
+func TestDMAAdmitThreshold(t *testing.T) {
+	m := newDMA(t, 1, 100, func(c *Config) { c.AdmitThreshold = 3 })
+	if _, err := m.OnRequest(title("a", 100)); err != nil {
+		t.Fatal(err)
+	}
+	// b misses; below threshold nothing happens even though it has more
+	// points than a (0).
+	for i := range 2 {
+		out, err := m.OnRequest(title("b", 100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out.Evicted) != 0 {
+			t.Fatalf("request %d evicted %v before threshold", i, out.Evicted)
+		}
+	}
+	out, err := m.OnRequest(title("b", 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Admitted {
+		t.Fatalf("outcome at threshold = %+v, want admission", out)
+	}
+}
+
+func TestDMAStatsAndResidentTitles(t *testing.T) {
+	m := newDMA(t, 2, 200)
+	for _, name := range []string{"b", "a", "a"} {
+		if _, err := m.OnRequest(title(name, 50)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := m.Stats()
+	if s.Requests != 3 || s.Hits != 1 || s.Admitted != 2 || s.Evictions != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.HitRatio() != 1.0/3.0 {
+		t.Fatalf("HitRatio = %g", s.HitRatio())
+	}
+	titles := m.ResidentTitles()
+	if len(titles) != 2 || titles[0] != "a" || titles[1] != "b" {
+		t.Fatalf("ResidentTitles = %v", titles)
+	}
+	if _, ok := m.Layout("a"); !ok {
+		t.Fatal("Layout missing for resident title")
+	}
+	if _, ok := m.Layout("zzz"); ok {
+		t.Fatal("Layout present for absent title")
+	}
+	if (Stats{}).HitRatio() != 0 {
+		t.Fatal("empty HitRatio should be 0")
+	}
+}
+
+func TestDMARejectsInvalidTitle(t *testing.T) {
+	m := newDMA(t, 1, 100)
+	if _, err := m.OnRequest(media.Title{}); err == nil {
+		t.Fatal("OnRequest accepted invalid title")
+	}
+}
+
+func TestDMAPreload(t *testing.T) {
+	m := newDMA(t, 1, 100)
+	if err := m.Preload(title("a", 60)); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Resident("a") {
+		t.Fatal("preloaded title not resident")
+	}
+	// Idempotent.
+	if err := m.Preload(title("a", 60)); err != nil {
+		t.Fatal(err)
+	}
+	// Too big to fit alongside a.
+	if err := m.Preload(title("big", 60)); err == nil {
+		t.Fatal("Preload accepted non-fitting title")
+	}
+	if err := m.Preload(media.Title{}); err == nil {
+		t.Fatal("Preload accepted invalid title")
+	}
+}
+
+func TestDMAEvictionTieBreakDeterministic(t *testing.T) {
+	// Two residents with equal points: lexicographically smallest goes.
+	m := newDMA(t, 1, 100)
+	if _, err := m.OnRequest(title("bb", 50)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.OnRequest(title("aa", 50)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.OnRequest(title("c", 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Evicted) != 1 || out.Evicted[0] != "aa" {
+		t.Fatalf("evicted %v, want [aa] (lexicographic tie-break)", out.Evicted)
+	}
+	if !out.Admitted {
+		t.Fatal("c should be admitted into freed space")
+	}
+}
+
+func TestLRUEvictsLeastRecent(t *testing.T) {
+	arr, err := disk.NewUniformArray("l", 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewLRU(Config{Array: arr, ClusterBytes: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "lru" {
+		t.Fatalf("Name = %s", p.Name())
+	}
+	for _, n := range []string{"a", "b"} {
+		if _, err := p.OnRequest(title(n, 50)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch a so b is least recent.
+	if _, err := p.OnRequest(title("a", 50)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.OnRequest(title("c", 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Admitted || len(out.Evicted) != 1 || out.Evicted[0] != "b" {
+		t.Fatalf("outcome = %+v, want admit after evicting b", out)
+	}
+	if !p.Resident("a") || !p.Resident("c") || p.Resident("b") {
+		t.Fatalf("residency wrong: %v", p.ResidentTitles())
+	}
+}
+
+func TestLFUEvictsLeastFrequent(t *testing.T) {
+	arr, err := disk.NewUniformArray("f", 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewLFU(Config{Array: arr, ClusterBytes: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "lfu" {
+		t.Fatalf("Name = %s", p.Name())
+	}
+	// a requested 3×, b once.
+	for range 3 {
+		if _, err := p.OnRequest(title("a", 50)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := p.OnRequest(title("b", 50)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.OnRequest(title("c", 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Admitted || len(out.Evicted) != 1 || out.Evicted[0] != "b" {
+		t.Fatalf("outcome = %+v, want admit after evicting b", out)
+	}
+}
+
+func TestRecencyPolicyOversizedTitle(t *testing.T) {
+	arr, err := disk.NewUniformArray("l", 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewLRU(Config{Array: arr, ClusterBytes: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.OnRequest(title("a", 50)); err != nil {
+		t.Fatal(err)
+	}
+	// 200 bytes can never fit; the policy evicts everything then gives up.
+	out, err := p.OnRequest(title("huge", 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Admitted {
+		t.Fatal("oversized title admitted")
+	}
+	if len(p.ResidentTitles()) != 0 {
+		t.Fatalf("residents after oversized miss: %v", p.ResidentTitles())
+	}
+}
+
+func TestRecencyPolicyValidation(t *testing.T) {
+	if _, err := NewLRU(Config{}); err == nil {
+		t.Fatal("NewLRU accepted nil array")
+	}
+	arr, err := disk.NewUniformArray("v", 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewLFU(Config{Array: arr}); err == nil {
+		t.Fatal("NewLFU accepted zero cluster")
+	}
+	p, err := NewLRU(Config{Array: arr, ClusterBytes: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.OnRequest(media.Title{}); err == nil {
+		t.Fatal("OnRequest accepted invalid title")
+	}
+}
+
+func TestNonePolicy(t *testing.T) {
+	n := NewNone()
+	if n.Name() != "none" {
+		t.Fatalf("Name = %s", n.Name())
+	}
+	out, err := n.OnRequest(title("a", 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Hit || out.Admitted {
+		t.Fatalf("outcome = %+v, want pure miss", out)
+	}
+	if n.Resident("a") || n.ResidentTitles() != nil {
+		t.Fatal("None should never store")
+	}
+	if _, ok := n.Layout("a"); ok {
+		t.Fatal("None returned a layout")
+	}
+	if _, err := n.OnRequest(media.Title{}); err == nil {
+		t.Fatal("None accepted invalid title")
+	}
+	if s := n.Stats(); s.Requests != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestStatsOf(t *testing.T) {
+	m := newDMA(t, 1, 100)
+	if _, err := m.OnRequest(title("a", 10)); err != nil {
+		t.Fatal(err)
+	}
+	s, err := StatsOf(m)
+	if err != nil || s.Requests != 1 {
+		t.Fatalf("StatsOf(DMA) = %+v, %v", s, err)
+	}
+	arr, err := disk.NewUniformArray("s", 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lru, err := NewLRU(Config{Array: arr, ClusterBytes: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := StatsOf(lru); err != nil {
+		t.Fatalf("StatsOf(lru): %v", err)
+	}
+	if _, err := StatsOf(NewNone()); err != nil {
+		t.Fatalf("StatsOf(none): %v", err)
+	}
+}
+
+func TestDMADecayHalvesPoints(t *testing.T) {
+	// DecayEvery=4: after the 4th request every title's points halve.
+	m := newDMA(t, 1, 100, func(c *Config) { c.DecayEvery = 4 })
+	// Three hits on a: points 1, 2, 3.
+	for range 4 {
+		if _, err := m.OnRequest(title("a", 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The 4th request triggered decay after incrementing... order: decay
+	// runs before the hit is counted, so points were 2/2=1, then +1 = 2.
+	if got := m.Points("a"); got != 2 {
+		t.Fatalf("points after decay boundary = %d, want 2", got)
+	}
+}
+
+func TestDMADecayEnablesDriftRecovery(t *testing.T) {
+	// Without decay a long-hot title blocks a new favourite forever-ish;
+	// with decay the newcomer wins after points age out.
+	hot, cold := title("hot", 100), title("cold", 100)
+	run := func(decay int64) bool {
+		m := newDMA(t, 1, 100, func(c *Config) { c.DecayEvery = decay })
+		for range 50 {
+			if _, err := m.OnRequest(hot); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Tastes flip: only cold requested now.
+		for range 30 {
+			if _, err := m.OnRequest(cold); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return m.Resident("cold")
+	}
+	if run(0) {
+		t.Fatal("without decay the cold title displaced 49 points in 30 requests")
+	}
+	if !run(10) {
+		t.Fatal("with decay the cold title never displaced the stale favourite")
+	}
+}

@@ -1,0 +1,151 @@
+// Package catalog is the full-access view of the service database: the video
+// titles the service offers and which video servers currently hold each one.
+// It backs the user-facing web module's browse/search functions and supplies
+// the VRA with its candidate-server lists.
+package catalog
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"dvod/internal/media"
+	"dvod/internal/topology"
+)
+
+// Errors reported by the catalog.
+var (
+	ErrTitleExists  = errors.New("title already in catalog")
+	ErrTitleUnknown = errors.New("title not in catalog")
+)
+
+// Catalog is safe for concurrent use.
+type Catalog struct {
+	mu      sync.RWMutex
+	titles  map[string]media.Title
+	holders map[string]map[topology.NodeID]bool
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		titles:  make(map[string]media.Title),
+		holders: make(map[string]map[topology.NodeID]bool),
+	}
+}
+
+// AddTitle registers a new title.
+func (c *Catalog) AddTitle(t media.Title) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.titles[t.Name]; ok {
+		return fmt.Errorf("%w: %s", ErrTitleExists, t.Name)
+	}
+	c.titles[t.Name] = t
+	c.holders[t.Name] = make(map[topology.NodeID]bool)
+	return nil
+}
+
+// Title returns the title's metadata.
+func (c *Catalog) Title(name string) (media.Title, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.titles[name]
+	if !ok {
+		return media.Title{}, fmt.Errorf("%w: %s", ErrTitleUnknown, name)
+	}
+	return t, nil
+}
+
+// Titles returns all titles sorted by name.
+func (c *Catalog) Titles() []media.Title {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]media.Title, 0, len(c.titles))
+	for _, t := range c.titles {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// NumTitles returns the catalog size.
+func (c *Catalog) NumTitles() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.titles)
+}
+
+// Search returns titles whose name contains the query, case-insensitively,
+// sorted by name. An empty query returns every title.
+func (c *Catalog) Search(query string) []media.Title {
+	q := strings.ToLower(query)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []media.Title
+	for _, t := range c.titles {
+		if strings.Contains(strings.ToLower(t.Name), q) {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// SetHolding records whether node currently stores the title.
+func (c *Catalog) SetHolding(node topology.NodeID, name string, holds bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h, ok := c.holders[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrTitleUnknown, name)
+	}
+	if holds {
+		h[node] = true
+	} else {
+		delete(h, node)
+	}
+	return nil
+}
+
+// Holds reports whether node currently stores the title.
+func (c *Catalog) Holds(node topology.NodeID, name string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.holders[name][node]
+}
+
+// Holders returns the servers storing the title, sorted.
+func (c *Catalog) Holders(name string) ([]topology.NodeID, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	h, ok := c.holders[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrTitleUnknown, name)
+	}
+	out := make([]topology.NodeID, 0, len(h))
+	for n := range h {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// TitlesHeldBy returns the names of titles the node stores, sorted.
+func (c *Catalog) TitlesHeldBy(node topology.NodeID) []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []string
+	for name, h := range c.holders {
+		if h[node] {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

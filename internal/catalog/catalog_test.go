@@ -1,0 +1,170 @@
+package catalog
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"dvod/internal/media"
+	"dvod/internal/topology"
+)
+
+func title(name string) media.Title {
+	return media.Title{Name: name, SizeBytes: 100, BitrateMbps: 1.5}
+}
+
+func TestAddAndLookup(t *testing.T) {
+	c := New()
+	if err := c.AddTitle(title("Zorba the Greek")); err != nil {
+		t.Fatalf("AddTitle: %v", err)
+	}
+	got, err := c.Title("Zorba the Greek")
+	if err != nil {
+		t.Fatalf("Title: %v", err)
+	}
+	if got.SizeBytes != 100 {
+		t.Fatalf("Title = %+v", got)
+	}
+	if _, err := c.Title("missing"); !errors.Is(err, ErrTitleUnknown) {
+		t.Fatalf("missing title error = %v", err)
+	}
+	if c.NumTitles() != 1 {
+		t.Fatalf("NumTitles = %d", c.NumTitles())
+	}
+}
+
+func TestAddTitleValidation(t *testing.T) {
+	c := New()
+	if err := c.AddTitle(media.Title{}); err == nil {
+		t.Fatal("AddTitle accepted invalid title")
+	}
+	if err := c.AddTitle(title("dup")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddTitle(title("dup")); !errors.Is(err, ErrTitleExists) {
+		t.Fatalf("duplicate error = %v", err)
+	}
+}
+
+func TestTitlesSorted(t *testing.T) {
+	c := New()
+	for _, n := range []string{"c", "a", "b"} {
+		if err := c.AddTitle(title(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := c.Titles()
+	if len(got) != 3 || got[0].Name != "a" || got[2].Name != "c" {
+		t.Fatalf("Titles = %v", got)
+	}
+}
+
+func TestSearch(t *testing.T) {
+	c := New()
+	for _, n := range []string{"The Matrix", "Matrix Reloaded", "Casablanca"} {
+		if err := c.AddTitle(title(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := c.Search("matrix")
+	if len(got) != 2 || got[0].Name != "Matrix Reloaded" || got[1].Name != "The Matrix" {
+		t.Fatalf("Search(matrix) = %v", got)
+	}
+	if all := c.Search(""); len(all) != 3 {
+		t.Fatalf("Search(\"\") returned %d titles", len(all))
+	}
+	if none := c.Search("zzz"); len(none) != 0 {
+		t.Fatalf("Search(zzz) = %v", none)
+	}
+}
+
+func TestHolders(t *testing.T) {
+	c := New()
+	if err := c.AddTitle(title("m")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetHolding("U2", "m", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetHolding("U1", "m", true); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Holds("U2", "m") || c.Holds("U3", "m") {
+		t.Fatal("Holds wrong")
+	}
+	h, err := c.Holders("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h) != 2 || h[0] != "U1" || h[1] != "U2" {
+		t.Fatalf("Holders = %v", h)
+	}
+	if err := c.SetHolding("U2", "m", false); err != nil {
+		t.Fatal(err)
+	}
+	h, err = c.Holders("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h) != 1 || h[0] != "U1" {
+		t.Fatalf("Holders after removal = %v", h)
+	}
+	if err := c.SetHolding("U1", "missing", true); !errors.Is(err, ErrTitleUnknown) {
+		t.Fatalf("SetHolding unknown title error = %v", err)
+	}
+	if _, err := c.Holders("missing"); !errors.Is(err, ErrTitleUnknown) {
+		t.Fatalf("Holders unknown title error = %v", err)
+	}
+}
+
+func TestTitlesHeldBy(t *testing.T) {
+	c := New()
+	for _, n := range []string{"x", "y", "z"} {
+		if err := c.AddTitle(title(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, n := range []string{"z", "x"} {
+		if err := c.SetHolding("U4", n, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := c.TitlesHeldBy("U4")
+	if len(got) != 2 || got[0] != "x" || got[1] != "z" {
+		t.Fatalf("TitlesHeldBy = %v", got)
+	}
+	if got := c.TitlesHeldBy("U9"); len(got) != 0 {
+		t.Fatalf("TitlesHeldBy(unknown) = %v", got)
+	}
+}
+
+func TestCatalogConcurrent(t *testing.T) {
+	c := New()
+	if err := c.AddTitle(title("m")); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	nodes := []topology.NodeID{"U1", "U2", "U3", "U4"}
+	for _, n := range nodes {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range 100 {
+				if err := c.SetHolding(n, "m", true); err != nil {
+					t.Errorf("SetHolding: %v", err)
+					return
+				}
+				_ = c.Holds(n, "m")
+				_, _ = c.Holders("m")
+			}
+		}()
+	}
+	wg.Wait()
+	h, err := c.Holders("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h) != len(nodes) {
+		t.Fatalf("Holders = %v", h)
+	}
+}

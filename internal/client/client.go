@@ -1,0 +1,253 @@
+// Package client implements the live-plane player: it connects to the
+// client's home video server (the paper resolves this from the requesting
+// IP; here the mapping is explicit), requests a title, receives it cluster
+// by cluster, verifies content integrity, observes mid-stream server
+// switches, and accounts playback stalls against the title's bitrate.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dvod/internal/media"
+	"dvod/internal/topology"
+	"dvod/internal/transport"
+)
+
+// Player watches titles through one home server.
+type Player struct {
+	home topology.NodeID
+	book *transport.AddrBook
+	// verify enables byte-level content verification of each cluster.
+	verify bool
+}
+
+// Option configures a Player.
+type Option func(*Player)
+
+// WithoutVerification disables per-cluster content checking (useful for
+// throughput benchmarks).
+func WithoutVerification() Option {
+	return func(p *Player) { p.verify = false }
+}
+
+// NewPlayer builds a player homed at the given node.
+func NewPlayer(home topology.NodeID, book *transport.AddrBook, opts ...Option) (*Player, error) {
+	if home == "" {
+		return nil, errors.New("player: empty home node")
+	}
+	if book == nil {
+		return nil, errors.New("player: nil address book")
+	}
+	p := &Player{home: home, book: book, verify: true}
+	for _, o := range opts {
+		o(p)
+	}
+	return p, nil
+}
+
+// Home returns the player's home server node.
+func (p *Player) Home() topology.NodeID { return p.home }
+
+// ListTitles queries the home server's catalog view.
+func (p *Player) ListTitles() ([]transport.TitleInfo, error) {
+	conn, err := p.dialHome()
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	req, err := transport.Encode(transport.TypeTitles, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := conn.WriteMessage(req); err != nil {
+		return nil, err
+	}
+	m, err := conn.ReadMessage()
+	if err != nil {
+		return nil, err
+	}
+	if rerr := transport.AsError(m); rerr != nil {
+		return nil, rerr
+	}
+	payload, err := transport.Decode[transport.TitlesPayload](m)
+	if err != nil {
+		return nil, err
+	}
+	return payload.Titles, nil
+}
+
+// ClusterRecord describes one delivered cluster.
+type ClusterRecord struct {
+	Index     int
+	Length    int64
+	Source    topology.NodeID
+	ArrivedAt time.Time
+}
+
+// PlaybackStats summarizes one watch session.
+type PlaybackStats struct {
+	Title         string
+	NumClusters   int
+	BytesReceived int64
+	// Verified is true when every cluster matched the canonical content
+	// (always true when verification is disabled and delivery succeeded —
+	// in that case it reports delivery, not content).
+	Verified bool
+	// Switches counts mid-stream source changes observed by the client.
+	Switches int
+	// Sources is the serving node of each cluster, in order.
+	Sources []topology.NodeID
+	// StartupDelay is the time to the first cluster's arrival.
+	StartupDelay time.Duration
+	// Stalls and StallTime account rebuffering: playback consumes each
+	// cluster over its bitrate-duration, and a cluster arriving after its
+	// deadline stalls the playout.
+	Stalls    int
+	StallTime time.Duration
+	// Elapsed is total wall time from request to last byte.
+	Elapsed time.Duration
+	Records []ClusterRecord
+}
+
+func (p *Player) dialHome() (*transport.Conn, error) {
+	addr, err := p.book.Lookup(p.home)
+	if err != nil {
+		return nil, err
+	}
+	return transport.Dial(addr)
+}
+
+// Watch requests a title from the home server and consumes the delivery
+// stream.
+func (p *Player) Watch(title string) (PlaybackStats, error) {
+	return p.WatchFrom(title, 0)
+}
+
+// WatchFrom requests delivery starting at the given cluster index — the
+// interactive-VoD seek operation. Cluster 0 is equivalent to Watch.
+func (p *Player) WatchFrom(title string, startCluster int) (PlaybackStats, error) {
+	if startCluster < 0 {
+		return PlaybackStats{}, fmt.Errorf("negative start cluster %d", startCluster)
+	}
+	conn, err := p.dialHome()
+	if err != nil {
+		return PlaybackStats{}, err
+	}
+	defer conn.Close()
+
+	start := time.Now()
+	req, err := transport.Encode(transport.TypeWatch, transport.WatchPayload{
+		Title:        title,
+		StartCluster: startCluster,
+	})
+	if err != nil {
+		return PlaybackStats{}, err
+	}
+	if err := conn.WriteMessage(req); err != nil {
+		return PlaybackStats{}, err
+	}
+	head, err := conn.ReadMessage()
+	if err != nil {
+		return PlaybackStats{}, err
+	}
+	if rerr := transport.AsError(head); rerr != nil {
+		return PlaybackStats{}, rerr
+	}
+	if head.Type != transport.TypeWatchOK {
+		return PlaybackStats{}, fmt.Errorf("unexpected reply %q", head.Type)
+	}
+	info, err := transport.Decode[transport.WatchOKPayload](head)
+	if err != nil {
+		return PlaybackStats{}, err
+	}
+
+	stats := PlaybackStats{
+		Title:       info.Title,
+		NumClusters: info.NumClusters,
+		Verified:    true,
+	}
+	var lastSource topology.NodeID
+	for {
+		var payload transport.ClusterPayload
+		m, body, err := conn.ReadMessageWithBody(func(m transport.Message) (int64, error) {
+			switch m.Type {
+			case transport.TypeWatchDone:
+				return 0, nil
+			case transport.TypeError:
+				return 0, nil
+			case transport.TypeCluster:
+				pl, err := transport.Decode[transport.ClusterPayload](m)
+				if err != nil {
+					return 0, err
+				}
+				payload = pl
+				return pl.Length, nil
+			default:
+				return 0, fmt.Errorf("unexpected stream message %q", m.Type)
+			}
+		})
+		if err != nil {
+			return stats, err
+		}
+		if m.Type == transport.TypeWatchDone {
+			break
+		}
+		if rerr := transport.AsError(m); rerr != nil {
+			return stats, rerr
+		}
+		rec := ClusterRecord{
+			Index:     payload.Index,
+			Length:    payload.Length,
+			Source:    payload.Source,
+			ArrivedAt: time.Now(),
+		}
+		stats.Records = append(stats.Records, rec)
+		stats.Sources = append(stats.Sources, payload.Source)
+		stats.BytesReceived += int64(len(body))
+		if int64(len(body)) != payload.Length {
+			return stats, fmt.Errorf("cluster %d: got %d bytes, want %d",
+				payload.Index, len(body), payload.Length)
+		}
+		if p.verify && !media.Verify(info.Title, payload.Offset, body) {
+			stats.Verified = false
+			return stats, fmt.Errorf("cluster %d failed content verification", payload.Index)
+		}
+		if lastSource != "" && payload.Source != lastSource {
+			stats.Switches++
+		}
+		lastSource = payload.Source
+	}
+	stats.Elapsed = time.Since(start)
+	wantBytes := info.SizeBytes - int64(startCluster)*info.ClusterBytes
+	if wantBytes < 0 {
+		wantBytes = 0
+	}
+	if stats.BytesReceived != wantBytes {
+		return stats, fmt.Errorf("received %d bytes, want %d", stats.BytesReceived, wantBytes)
+	}
+	p.accountPlayback(&stats, info, start)
+	return stats, nil
+}
+
+// accountPlayback derives startup delay and stalls from cluster arrival
+// times: playout starts at the first cluster's arrival and consumes each
+// cluster over length·8/bitrate seconds; a late cluster stalls the playhead
+// until it arrives.
+func (p *Player) accountPlayback(stats *PlaybackStats, info transport.WatchOKPayload, start time.Time) {
+	if len(stats.Records) == 0 || info.BitrateMbps <= 0 {
+		return
+	}
+	stats.StartupDelay = stats.Records[0].ArrivedAt.Sub(start)
+	playhead := stats.Records[0].ArrivedAt
+	for _, rec := range stats.Records {
+		if rec.ArrivedAt.After(playhead) {
+			stats.Stalls++
+			stats.StallTime += rec.ArrivedAt.Sub(playhead)
+			playhead = rec.ArrivedAt
+		}
+		playDur := time.Duration(float64(rec.Length*8) / (info.BitrateMbps * 1e6) * float64(time.Second))
+		playhead = playhead.Add(playDur)
+	}
+}

@@ -1,0 +1,169 @@
+package client_test
+
+import (
+	"testing"
+	"time"
+
+	"dvod/internal/cache"
+	"dvod/internal/client"
+	"dvod/internal/core"
+	"dvod/internal/db"
+	"dvod/internal/disk"
+	"dvod/internal/grnet"
+	"dvod/internal/media"
+	"dvod/internal/server"
+	"dvod/internal/topology"
+	"dvod/internal/transport"
+)
+
+// miniCluster brings up two live servers (Patra as home with a tiny array,
+// Xanthi as the replica holder) so every client path — list, watch, seek,
+// holders, parallel — runs over real sockets from this package's tests.
+func miniCluster(t *testing.T) (*transport.AddrBook, *db.DB) {
+	t.Helper()
+	g, err := grnet.Backbone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := db.New(g)
+	t0 := time.Date(2000, time.April, 10, 8, 0, 0, 0, time.UTC)
+	for _, row := range grnet.Table2() {
+		id := topology.MakeLinkID(row.A, row.B)
+		if err := d.UpsertLinkStats(id, row.TrafficMbps[0], t0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	book := transport.NewAddrBook()
+	shapes := map[topology.NodeID]int64{
+		grnet.Patra:  512,     // cannot cache anything real
+		grnet.Xanthi: 1 << 20, // replica holder
+	}
+	for node, capBytes := range shapes {
+		arr, err := disk.NewUniformArray(string(node), 2, capBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dma, err := cache.NewDMA(cache.Config{Array: arr, ClusterBytes: 1024})
+		if err != nil {
+			t.Fatal(err)
+		}
+		planner, err := core.NewPlanner(d, core.VRA{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := server.New(server.Config{
+			Node: node, DB: d, Planner: planner, Array: arr, Cache: dma,
+			ClusterBytes: 1024, Book: book,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = srv.Close() })
+		if node == grnet.Xanthi {
+			title := media.Title{Name: "feature", SizeBytes: 5*1024 + 37, BitrateMbps: 1.5}
+			if err := d.Catalog().AddTitle(title); err != nil {
+				t.Fatal(err)
+			}
+			if err := srv.Preload(title); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return book, d
+}
+
+func TestClientEndToEnd(t *testing.T) {
+	book, _ := miniCluster(t)
+	p, err := client.NewPlayer(grnet.Patra, book)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// List.
+	titles, err := p.ListTitles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(titles) != 1 || titles[0].Name != "feature" || titles[0].Resident {
+		t.Fatalf("titles = %+v", titles)
+	}
+	// Watch (remote fetch through the home server).
+	stats, err := p.Watch("feature")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Verified || stats.BytesReceived != 5*1024+37 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.NumClusters != 6 || stats.StartupDelay < 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	for _, src := range stats.Sources {
+		if src != grnet.Xanthi {
+			t.Fatalf("source = %s", src)
+		}
+	}
+	// Seek.
+	tail, err := p.WatchFrom("feature", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tail.BytesReceived != 37 {
+		t.Fatalf("tail bytes = %d", tail.BytesReceived)
+	}
+	// Holders + parallel fetch (single holder).
+	info, err := p.Holders("feature")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Holders) != 1 || info.Holders[0] != grnet.Xanthi {
+		t.Fatalf("holders = %v", info.Holders)
+	}
+	par, err := p.WatchParallel("feature")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !par.Verified || par.BytesReceived != 5*1024+37 {
+		t.Fatalf("parallel stats = %+v", par)
+	}
+}
+
+func TestClientWithoutVerificationStillChecksLengths(t *testing.T) {
+	book, _ := miniCluster(t)
+	p, err := client.NewPlayer(grnet.Patra, book, client.WithoutVerification())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := p.Watch("feature")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.BytesReceived != 5*1024+37 {
+		t.Fatalf("bytes = %d", stats.BytesReceived)
+	}
+}
+
+func TestClientErrors(t *testing.T) {
+	book, _ := miniCluster(t)
+	p, err := client.NewPlayer(grnet.Patra, book)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Watch("ghost"); err == nil {
+		t.Fatal("unknown title accepted")
+	}
+	if _, err := p.WatchFrom("feature", -1); err == nil {
+		t.Fatal("negative seek accepted")
+	}
+	if _, err := p.WatchFrom("feature", 99); err == nil {
+		t.Fatal("out-of-range seek accepted")
+	}
+	if _, err := p.Holders("ghost"); err == nil {
+		t.Fatal("unknown holders accepted")
+	}
+	if _, err := p.WatchParallel("ghost"); err == nil {
+		t.Fatal("unknown parallel title accepted")
+	}
+}

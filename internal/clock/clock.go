@@ -1,0 +1,158 @@
+// Package clock provides time sources for the VoD service.
+//
+// The service runs in two planes: a live plane driven by the wall clock, and
+// an emulated plane (package netsim, the experiment harness) driven by a
+// virtual clock that tests and benchmarks advance manually. Everything that
+// needs "now" or a timer takes a Clock so the two planes share code.
+package clock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock is a source of time. Implementations must be safe for concurrent use.
+type Clock interface {
+	// Now returns the current instant.
+	Now() time.Time
+	// After returns a channel that delivers the (then-current) time once d
+	// has elapsed on this clock.
+	After(d time.Duration) <-chan time.Time
+	// Sleep blocks until d has elapsed on this clock.
+	Sleep(d time.Duration)
+}
+
+// Wall is the real-time clock backed by package time.
+type Wall struct{}
+
+var _ Clock = Wall{}
+
+// Now returns time.Now().
+func (Wall) Now() time.Time { return time.Now() }
+
+// After returns time.After(d).
+func (Wall) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Sleep calls time.Sleep(d).
+func (Wall) Sleep(d time.Duration) { time.Sleep(d) }
+
+// Virtual is a manually advanced clock. Time moves only when Advance or
+// AdvanceTo is called, which fires any timers that come due in order.
+// The zero value is not usable; call NewVirtual.
+type Virtual struct {
+	mu      sync.Mutex
+	now     time.Time
+	timers  timerHeap
+	nextSeq int64
+}
+
+var _ Clock = (*Virtual)(nil)
+
+// NewVirtual returns a virtual clock starting at the given instant.
+func NewVirtual(start time.Time) *Virtual {
+	return &Virtual{now: start}
+}
+
+// Now returns the virtual current instant.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// After returns a channel that fires when the virtual clock reaches now+d.
+// A non-positive d fires at the current instant on the next Advance call
+// (or immediately, matching time.After's behaviour of firing promptly).
+func (v *Virtual) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	when := v.now.Add(d)
+	if d <= 0 {
+		ch <- v.now
+		return ch
+	}
+	heap.Push(&v.timers, &timer{when: when, seq: v.nextSeq, ch: ch})
+	v.nextSeq++
+	return ch
+}
+
+// Sleep blocks the calling goroutine until the virtual clock has been
+// advanced past now+d by some other goroutine.
+func (v *Virtual) Sleep(d time.Duration) {
+	<-v.After(d)
+}
+
+// Advance moves the clock forward by d, firing due timers in timestamp order.
+func (v *Virtual) Advance(d time.Duration) {
+	v.mu.Lock()
+	target := v.now.Add(d)
+	v.mu.Unlock()
+	v.AdvanceTo(target)
+}
+
+// AdvanceTo moves the clock to instant t (no-op if t is not after now),
+// firing due timers in timestamp order.
+func (v *Virtual) AdvanceTo(t time.Time) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if t.Before(v.now) {
+		return
+	}
+	for len(v.timers) > 0 && !v.timers[0].when.After(t) {
+		tm := heap.Pop(&v.timers).(*timer)
+		v.now = tm.when
+		tm.ch <- tm.when
+	}
+	v.now = t
+}
+
+// PendingTimers reports how many timers are armed but not yet fired.
+func (v *Virtual) PendingTimers() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.timers)
+}
+
+// NextTimer returns the due time of the earliest armed timer and true, or a
+// zero time and false when no timer is armed. Event loops use it to advance
+// the clock straight to the next interesting instant.
+func (v *Virtual) NextTimer() (time.Time, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if len(v.timers) == 0 {
+		return time.Time{}, false
+	}
+	return v.timers[0].when, true
+}
+
+type timer struct {
+	when time.Time
+	seq  int64
+	ch   chan time.Time
+}
+
+type timerHeap []*timer
+
+func (h timerHeap) Len() int { return len(h) }
+
+func (h timerHeap) Less(i, j int) bool {
+	if !h[i].when.Equal(h[j].when) {
+		return h[i].when.Before(h[j].when)
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h timerHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *timerHeap) Push(x any) { *h = append(*h, x.(*timer)) }
+
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}

@@ -1,0 +1,197 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2000, time.April, 10, 8, 0, 0, 0, time.UTC)
+
+func TestVirtualNow(t *testing.T) {
+	v := NewVirtual(epoch)
+	if got := v.Now(); !got.Equal(epoch) {
+		t.Fatalf("Now() = %v, want %v", got, epoch)
+	}
+}
+
+func TestVirtualAdvance(t *testing.T) {
+	v := NewVirtual(epoch)
+	v.Advance(90 * time.Second)
+	want := epoch.Add(90 * time.Second)
+	if got := v.Now(); !got.Equal(want) {
+		t.Fatalf("Now() after Advance = %v, want %v", got, want)
+	}
+}
+
+func TestVirtualAdvanceToBackwardsIsNoop(t *testing.T) {
+	v := NewVirtual(epoch)
+	v.AdvanceTo(epoch.Add(-time.Hour))
+	if got := v.Now(); !got.Equal(epoch) {
+		t.Fatalf("Now() after backwards AdvanceTo = %v, want %v", got, epoch)
+	}
+}
+
+func TestVirtualAfterFiresAtDeadline(t *testing.T) {
+	v := NewVirtual(epoch)
+	ch := v.After(10 * time.Minute)
+
+	v.Advance(9 * time.Minute)
+	select {
+	case tm := <-ch:
+		t.Fatalf("timer fired early at %v", tm)
+	default:
+	}
+
+	v.Advance(2 * time.Minute)
+	select {
+	case tm := <-ch:
+		want := epoch.Add(10 * time.Minute)
+		if !tm.Equal(want) {
+			t.Fatalf("timer fired with %v, want %v", tm, want)
+		}
+	default:
+		t.Fatal("timer did not fire after deadline passed")
+	}
+}
+
+func TestVirtualAfterNonPositiveFiresImmediately(t *testing.T) {
+	v := NewVirtual(epoch)
+	select {
+	case tm := <-v.After(0):
+		if !tm.Equal(epoch) {
+			t.Fatalf("immediate timer delivered %v, want %v", tm, epoch)
+		}
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+	select {
+	case <-v.After(-time.Second):
+	default:
+		t.Fatal("After(negative) did not fire immediately")
+	}
+}
+
+func TestVirtualTimersFireInOrder(t *testing.T) {
+	v := NewVirtual(epoch)
+	var (
+		mu    sync.Mutex
+		order []int
+	)
+	durations := []time.Duration{3 * time.Second, time.Second, 2 * time.Second}
+	var wg sync.WaitGroup
+	for i, d := range durations {
+		ch := v.After(d)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-ch
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		}()
+		_ = i
+	}
+	// Advance past all deadlines; each receiver records its index. Because
+	// channel sends happen in timestamp order under the clock lock, the
+	// receive order (after all have completed) reflects firing order only
+	// per-timer; assert set membership and count instead of strict order,
+	// then assert strict order using a single-goroutine drain below.
+	v.Advance(5 * time.Second)
+	wg.Wait()
+	if len(order) != 3 {
+		t.Fatalf("fired %d timers, want 3", len(order))
+	}
+
+	// Deterministic ordering check: drain sequentially.
+	v2 := NewVirtual(epoch)
+	a := v2.After(3 * time.Second)
+	b := v2.After(time.Second)
+	c := v2.After(2 * time.Second)
+	v2.Advance(5 * time.Second)
+	ta, tb, tc := <-a, <-b, <-c
+	if !tb.Before(tc) || !tc.Before(ta) {
+		t.Fatalf("timer stamps out of order: a=%v b=%v c=%v", ta, tb, tc)
+	}
+}
+
+func TestVirtualSameDeadlineFIFO(t *testing.T) {
+	v := NewVirtual(epoch)
+	a := v.After(time.Second)
+	b := v.After(time.Second)
+	v.Advance(time.Second)
+	ta, tb := <-a, <-b
+	if !ta.Equal(tb) {
+		t.Fatalf("same-deadline timers delivered different stamps %v, %v", ta, tb)
+	}
+}
+
+func TestVirtualPendingTimers(t *testing.T) {
+	v := NewVirtual(epoch)
+	if n := v.PendingTimers(); n != 0 {
+		t.Fatalf("PendingTimers = %d, want 0", n)
+	}
+	_ = v.After(time.Minute)
+	_ = v.After(time.Hour)
+	if n := v.PendingTimers(); n != 2 {
+		t.Fatalf("PendingTimers = %d, want 2", n)
+	}
+	v.Advance(time.Minute)
+	if n := v.PendingTimers(); n != 1 {
+		t.Fatalf("PendingTimers after firing one = %d, want 1", n)
+	}
+}
+
+func TestVirtualNextTimer(t *testing.T) {
+	v := NewVirtual(epoch)
+	if _, ok := v.NextTimer(); ok {
+		t.Fatal("NextTimer reported an armed timer on a fresh clock")
+	}
+	_ = v.After(time.Hour)
+	_ = v.After(time.Minute)
+	when, ok := v.NextTimer()
+	if !ok {
+		t.Fatal("NextTimer found no timer after arming two")
+	}
+	if want := epoch.Add(time.Minute); !when.Equal(want) {
+		t.Fatalf("NextTimer = %v, want %v", when, want)
+	}
+}
+
+func TestVirtualSleepUnblocksOnAdvance(t *testing.T) {
+	v := NewVirtual(epoch)
+	done := make(chan struct{})
+	go func() {
+		v.Sleep(time.Second)
+		close(done)
+	}()
+	// Wait for the sleeper to arm its timer before advancing.
+	for v.PendingTimers() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	v.Advance(2 * time.Second)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Sleep did not return after clock advance")
+	}
+}
+
+func TestWallNow(t *testing.T) {
+	w := Wall{}
+	before := time.Now()
+	got := w.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("Wall.Now() = %v outside [%v, %v]", got, before, after)
+	}
+}
+
+func TestWallAfter(t *testing.T) {
+	w := Wall{}
+	select {
+	case <-w.After(time.Millisecond):
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wall.After(1ms) did not fire")
+	}
+}

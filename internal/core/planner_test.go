@@ -1,0 +1,275 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dvod/internal/db"
+	"dvod/internal/grnet"
+	"dvod/internal/media"
+	"dvod/internal/topology"
+)
+
+var t0 = time.Date(2000, time.April, 10, 8, 0, 0, 0, time.UTC)
+
+// plannerFixture: GRNET DB at the given sample time with one title held by
+// the listed nodes.
+func plannerFixture(t *testing.T, st grnet.SampleTime, title media.Title, holders ...topology.NodeID) (*db.DB, *Planner) {
+	t.Helper()
+	g, err := grnet.Backbone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := db.New(g)
+	for _, row := range grnet.Table2() {
+		id := topology.MakeLinkID(row.A, row.B)
+		if err := d.UpsertLinkStats(id, row.TrafficMbps[int(st)-1], t0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Catalog().AddTitle(title); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range holders {
+		if err := d.SetHolding(h, title.Name, true, t0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := NewPlanner(d, VRA{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, p
+}
+
+func movie(size int64) media.Title {
+	return media.Title{Name: "movie", SizeBytes: size, BitrateMbps: 1.5}
+}
+
+func TestNewPlannerValidation(t *testing.T) {
+	if _, err := NewPlanner(nil, VRA{}, nil); err == nil {
+		t.Fatal("nil db accepted")
+	}
+	g, err := grnet.Backbone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPlanner(db.New(g), nil, nil); err == nil {
+		t.Fatal("nil selector accepted")
+	}
+}
+
+func TestPlannerPlanExperimentB(t *testing.T) {
+	_, p := plannerFixture(t, grnet.At10am, movie(1000), grnet.Thessaloniki, grnet.Xanthi)
+	if p.Selector().Name() != "vra" {
+		t.Fatalf("Selector = %s", p.Selector().Name())
+	}
+	d, err := p.Plan(grnet.Patra, "movie")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Server != grnet.Thessaloniki || d.Path.String() != "U2,U3,U4" {
+		t.Fatalf("decision = %+v, paper: Thessaloniki via U2,U3,U4", d)
+	}
+}
+
+func TestPlannerUnknownTitle(t *testing.T) {
+	_, p := plannerFixture(t, grnet.At8am, movie(1000), grnet.Xanthi)
+	if _, err := p.Plan(grnet.Patra, "ghost"); err == nil {
+		t.Fatal("unknown title accepted")
+	}
+}
+
+func TestPlannerNoHolders(t *testing.T) {
+	_, p := plannerFixture(t, grnet.At8am, movie(1000)) // no holders
+	if _, err := p.Plan(grnet.Patra, "movie"); !errors.Is(err, ErrNoCandidates) {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func TestPlannerAvailabilityFilter(t *testing.T) {
+	g, err := grnet.Backbone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := db.New(g)
+	for _, row := range grnet.Table2() {
+		id := topology.MakeLinkID(row.A, row.B)
+		if err := d.UpsertLinkStats(id, row.TrafficMbps[1], t0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Catalog().AddTitle(movie(1000)); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []topology.NodeID{grnet.Thessaloniki, grnet.Xanthi} {
+		if err := d.SetHolding(h, "movie", true, t0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Thessaloniki is down: the filter excludes it and the VRA falls back
+	// to Xanthi.
+	down := map[topology.NodeID]bool{grnet.Thessaloniki: true}
+	p, err := NewPlanner(d, VRA{}, func(n topology.NodeID) bool { return !down[n] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := p.Candidates("movie")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 1 || cands[0] != grnet.Xanthi {
+		t.Fatalf("candidates = %v", cands)
+	}
+	dec, err := p.Plan(grnet.Patra, "movie")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Server != grnet.Xanthi {
+		t.Fatalf("server = %s, want Xanthi with Thessaloniki down", dec.Server)
+	}
+	// All down → no candidates.
+	down[grnet.Xanthi] = true
+	if _, err := p.Plan(grnet.Patra, "movie"); !errors.Is(err, ErrNoCandidates) {
+		t.Fatalf("all-down error = %v", err)
+	}
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	// 1000-byte title, 300-byte clusters → 4 clusters.
+	title := movie(1000)
+	_, p := plannerFixture(t, grnet.At10am, title, grnet.Thessaloniki, grnet.Xanthi)
+	s, err := NewSession(p, grnet.Patra, title, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumClusters() != 4 || s.Done() {
+		t.Fatalf("NumClusters = %d, Done = %v", s.NumClusters(), s.Done())
+	}
+	if s.Title().Name != "movie" || s.Home() != grnet.Patra {
+		t.Fatal("accessors wrong")
+	}
+	for i := range 4 {
+		cd, err := s.PlanNext()
+		if err != nil {
+			t.Fatalf("PlanNext(%d): %v", i, err)
+		}
+		if cd.Cluster != i {
+			t.Fatalf("cluster = %d, want %d", cd.Cluster, i)
+		}
+		if cd.Decision.Server != grnet.Thessaloniki {
+			t.Fatalf("cluster %d server = %s", i, cd.Decision.Server)
+		}
+		if cd.Switched {
+			t.Fatalf("cluster %d reported a switch under static conditions", i)
+		}
+	}
+	if !s.Done() || s.Switches() != 0 {
+		t.Fatalf("Done = %v, Switches = %d", s.Done(), s.Switches())
+	}
+	if len(s.Decisions()) != 4 {
+		t.Fatalf("Decisions = %d", len(s.Decisions()))
+	}
+	if _, err := s.PlanNext(); err == nil {
+		t.Fatal("PlanNext after completion accepted")
+	}
+	// Last cluster covers the 100-byte tail.
+	last := s.Decisions()[3]
+	if last.Offset != 900 || last.Length != 100 {
+		t.Fatalf("tail cluster = %+v", last)
+	}
+}
+
+// TestSessionMidStreamSwitch replays the paper's scenario: conditions change
+// between clusters (8am → 10am), so the optimal server flips from the 8am
+// best (Thessaloniki via Ioannina, per the corrected Experiment A) to the
+// 10am best... which is also Thessaloniki — so instead we flip the traffic
+// the other way round to force a switch to Xanthi.
+func TestSessionMidStreamSwitch(t *testing.T) {
+	title := movie(600) // 2 clusters of 300
+	d, p := plannerFixture(t, grnet.At10am, title, grnet.Thessaloniki, grnet.Xanthi)
+	s, err := NewSession(p, grnet.Patra, title, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd0, err := s.PlanNext()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cd0.Decision.Server != grnet.Thessaloniki {
+		t.Fatalf("cluster 0 server = %s", cd0.Decision.Server)
+	}
+	// Congest the Ioannina path (both its links to full) so Xanthi wins.
+	for _, pair := range [][2]topology.NodeID{
+		{grnet.Patra, grnet.Ioannina},
+		{grnet.Thessaloniki, grnet.Ioannina},
+		{grnet.Thessaloniki, grnet.Athens},
+	} {
+		id := topology.MakeLinkID(pair[0], pair[1])
+		l, err := d.Graph().LinkByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.UpsertLinkStats(id, l.CapacityMbps, t0.Add(time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cd1, err := s.PlanNext()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cd1.Decision.Server != grnet.Xanthi {
+		t.Fatalf("cluster 1 server = %s, want Xanthi after congestion", cd1.Decision.Server)
+	}
+	if !cd1.Switched || s.Switches() != 1 {
+		t.Fatalf("switch not recorded: %+v, switches=%d", cd1, s.Switches())
+	}
+}
+
+func TestNewSessionValidation(t *testing.T) {
+	title := movie(1000)
+	_, p := plannerFixture(t, grnet.At8am, title, grnet.Xanthi)
+	if _, err := NewSession(nil, grnet.Patra, title, 100); err == nil {
+		t.Fatal("nil planner accepted")
+	}
+	if _, err := NewSession(p, grnet.Patra, title, 0); err == nil {
+		t.Fatal("zero cluster accepted")
+	}
+	if _, err := NewSession(p, "U99", title, 100); err == nil {
+		t.Fatal("unknown home accepted")
+	}
+	if _, err := NewSession(p, grnet.Patra, media.Title{}, 100); err == nil {
+		t.Fatal("invalid title accepted")
+	}
+}
+
+func TestSessionPlanNextFailureDoesNotAdvance(t *testing.T) {
+	title := movie(600)
+	d, p := plannerFixture(t, grnet.At8am, title, grnet.Xanthi)
+	s, err := NewSession(p, grnet.Patra, title, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Remove the only holder: planning fails, session stays at cluster 0.
+	if err := d.SetHolding(grnet.Xanthi, title.Name, false, t0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PlanNext(); !errors.Is(err, ErrNoCandidates) {
+		t.Fatalf("error = %v", err)
+	}
+	if s.Done() || len(s.Decisions()) != 0 {
+		t.Fatal("failed PlanNext advanced the session")
+	}
+	// Holder comes back: planning resumes at cluster 0.
+	if err := d.SetHolding(grnet.Xanthi, title.Name, true, t0); err != nil {
+		t.Fatal(err)
+	}
+	cd, err := s.PlanNext()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cd.Cluster != 0 {
+		t.Fatalf("resumed at cluster %d, want 0", cd.Cluster)
+	}
+}

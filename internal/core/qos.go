@@ -1,0 +1,125 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dvod/internal/routing"
+	"dvod/internal/topology"
+)
+
+// The paper's QoS goal: "a minimum QoS, which should be equal to the minimum
+// video frame rate for which a video can be considered decent". Concretely,
+// the chosen route must have enough residual bandwidth to sustain the
+// title's bitrate, or the request should not be admitted on that route.
+
+// ErrInsufficientBandwidth reports a route that cannot sustain a bitrate.
+var ErrInsufficientBandwidth = errors.New("route cannot sustain bitrate")
+
+// QoSError carries the admission-check details.
+type QoSError struct {
+	// NeededMbps is the title bitrate.
+	NeededMbps float64
+	// AvailableMbps is the route's bottleneck residual bandwidth.
+	AvailableMbps float64
+	// Bottleneck is the limiting link.
+	Bottleneck topology.LinkID
+}
+
+// Error implements error.
+func (e *QoSError) Error() string {
+	return fmt.Sprintf("route needs %.3f Mbps but bottleneck %s has %.3f Mbps free",
+		e.NeededMbps, e.Bottleneck, e.AvailableMbps)
+}
+
+// Unwrap lets errors.Is match ErrInsufficientBandwidth.
+func (e *QoSError) Unwrap() error { return ErrInsufficientBandwidth }
+
+// ResidualMbps returns the minimum residual bandwidth along the path —
+// capacity × (1 − utilization) at the bottleneck — and the bottleneck link.
+// A zero-hop (local) path has infinite residual.
+func ResidualMbps(snap *topology.Snapshot, path routing.Path) (float64, topology.LinkID, error) {
+	if path.Hops() == 0 {
+		return math.Inf(1), "", nil
+	}
+	residual := math.Inf(1)
+	var bottleneck topology.LinkID
+	for _, id := range path.Links() {
+		l, err := snap.Graph().LinkByID(id)
+		if err != nil {
+			return 0, "", err
+		}
+		free := l.CapacityMbps * (1 - snap.Utilization(id))
+		if free < 0 {
+			free = 0
+		}
+		if free < residual {
+			residual = free
+			bottleneck = id
+		}
+	}
+	return residual, bottleneck, nil
+}
+
+// CheckQoS verifies the route can sustain the bitrate, returning a *QoSError
+// (matching ErrInsufficientBandwidth) when it cannot.
+func CheckQoS(snap *topology.Snapshot, path routing.Path, bitrateMbps float64) error {
+	if bitrateMbps <= 0 {
+		return fmt.Errorf("non-positive bitrate %g", bitrateMbps)
+	}
+	residual, bottleneck, err := ResidualMbps(snap, path)
+	if err != nil {
+		return err
+	}
+	if residual < bitrateMbps {
+		return &QoSError{
+			NeededMbps:    bitrateMbps,
+			AvailableMbps: residual,
+			Bottleneck:    bottleneck,
+		}
+	}
+	return nil
+}
+
+// SelectWithQoS runs the selector's policy but admits only candidates whose
+// route passes the QoS check, trying them cheapest-first. It returns
+// ErrInsufficientBandwidth (wrapped) when every reachable candidate fails.
+//
+// For the VRA this implements the paper's "enforce routing rather than wait
+// for a best effort algorithm": the request is steered to a replica that can
+// actually sustain playback, or refused outright.
+func SelectWithQoS(sel Selector, snap *topology.Snapshot, home topology.NodeID,
+	candidates []topology.NodeID, bitrateMbps float64) (Decision, error) {
+	remaining := append([]topology.NodeID(nil), candidates...)
+	var lastQoS error
+	for len(remaining) > 0 {
+		dec, err := sel.Select(snap, home, remaining)
+		if err != nil {
+			if lastQoS != nil && (errors.Is(err, ErrNoCandidates) || errors.Is(err, ErrNoReachable)) {
+				return Decision{}, lastQoS
+			}
+			return Decision{}, err
+		}
+		if err := CheckQoS(snap, dec.Path, bitrateMbps); err != nil {
+			if !errors.Is(err, ErrInsufficientBandwidth) {
+				return Decision{}, err
+			}
+			lastQoS = err
+			// Drop the failing candidate and retry with the rest.
+			kept := remaining[:0]
+			for _, c := range remaining {
+				if c != dec.Server {
+					kept = append(kept, c)
+				}
+			}
+			remaining = kept
+			continue
+		}
+		return dec, nil
+	}
+	if lastQoS != nil {
+		return Decision{}, lastQoS
+	}
+	return Decision{}, ErrNoCandidates
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"dvod/internal/grnet"
+	"dvod/internal/routing"
+	"dvod/internal/topology"
+)
+
+func TestResidualMbps(t *testing.T) {
+	snap := snapshotAt(t, grnet.At8am)
+	// Patra→Athens: 2 Mbps at 10% → 1.8 free.
+	p := routing.Path{Nodes: []topology.NodeID{grnet.Patra, grnet.Athens}}
+	res, bn, err := ResidualMbps(snap, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res-1.8) > 1e-9 {
+		t.Fatalf("residual = %g, want 1.8", res)
+	}
+	if bn != topology.MakeLinkID(grnet.Patra, grnet.Athens) {
+		t.Fatalf("bottleneck = %s", bn)
+	}
+	// Two-hop path: bottleneck is the thinner residual.
+	p2 := routing.Path{Nodes: []topology.NodeID{grnet.Patra, grnet.Athens, grnet.Thessaloniki}}
+	res2, bn2, err := ResidualMbps(snap, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Athens-Thessaloniki: 18 at 9.44% → 16.3 free; Patra link 1.8 wins.
+	if math.Abs(res2-1.8) > 1e-9 || bn2 != topology.MakeLinkID(grnet.Patra, grnet.Athens) {
+		t.Fatalf("residual = %g bottleneck %s", res2, bn2)
+	}
+	// Local path: infinite.
+	res3, _, err := ResidualMbps(snap, routing.Path{Nodes: []topology.NodeID{grnet.Patra}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(res3, 1) {
+		t.Fatalf("local residual = %g", res3)
+	}
+	// Unknown link errors.
+	bad := routing.Path{Nodes: []topology.NodeID{"X", "Y"}}
+	if _, _, err := ResidualMbps(snap, bad); err == nil {
+		t.Fatal("unknown link accepted")
+	}
+}
+
+func TestCheckQoS(t *testing.T) {
+	snap := snapshotAt(t, grnet.At8am)
+	p := routing.Path{Nodes: []topology.NodeID{grnet.Patra, grnet.Athens}} // 1.8 free
+	if err := CheckQoS(snap, p, 1.5); err != nil {
+		t.Fatalf("1.5 Mbps over 1.8 free rejected: %v", err)
+	}
+	err := CheckQoS(snap, p, 1.9)
+	if !errors.Is(err, ErrInsufficientBandwidth) {
+		t.Fatalf("1.9 Mbps over 1.8 free error = %v", err)
+	}
+	var qe *QoSError
+	if !errors.As(err, &qe) {
+		t.Fatalf("error type = %T", err)
+	}
+	if qe.NeededMbps != 1.9 || math.Abs(qe.AvailableMbps-1.8) > 1e-9 {
+		t.Fatalf("QoSError = %+v", qe)
+	}
+	if qe.Error() == "" {
+		t.Fatal("empty error text")
+	}
+	if err := CheckQoS(snap, p, 0); err == nil {
+		t.Fatal("zero bitrate accepted")
+	}
+}
+
+func TestCheckQoSOverloadedLinkHasZeroResidual(t *testing.T) {
+	g := topology.NewGraph()
+	for _, n := range []topology.NodeID{"A", "B"} {
+		if err := g.AddNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	id, err := g.AddLink("A", "B", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := topology.NewSnapshot(g, map[topology.LinkID]float64{id: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := ResidualMbps(snap, routing.Path{Nodes: []topology.NodeID{"A", "B"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != 0 {
+		t.Fatalf("overloaded residual = %g, want clamped 0", res)
+	}
+}
+
+// TestSelectWithQoS pins the admission behaviour: the cheapest candidate is
+// skipped when its route cannot sustain the bitrate and the next one wins.
+func TestSelectWithQoS(t *testing.T) {
+	// Home H; replica R1 behind a thin congested link (cheap by LVN but
+	// low residual); replica R2 behind a fat link (costlier but roomy).
+	g := topology.NewGraph()
+	for _, n := range []topology.NodeID{"H", "R1", "R2"} {
+		if err := g.AddNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	thin, err := g.AddLink("H", "R1", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fat, err := g.AddLink("H", "R2", 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Thin link 10% used → residual 1.8 < bitrate 4. Fat link 50% used →
+	// LVN is high (NV .45+ LU .9) but residual 9 ≥ 4.
+	snap, err := topology.NewSnapshot(g, map[topology.LinkID]float64{
+		thin: 0.10,
+		fat:  0.50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plain VRA prefers R1 (cheaper LVN).
+	plain, err := VRA{}.Select(snap, "H", []topology.NodeID{"R1", "R2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Server != "R1" {
+		t.Fatalf("plain decision = %s, want R1", plain.Server)
+	}
+	// QoS-gated selection at 4 Mbps skips R1.
+	dec, err := SelectWithQoS(VRA{}, snap, "H", []topology.NodeID{"R1", "R2"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Server != "R2" {
+		t.Fatalf("QoS decision = %s, want R2", dec.Server)
+	}
+	// At 1.5 Mbps R1 passes and stays the choice.
+	dec, err = SelectWithQoS(VRA{}, snap, "H", []topology.NodeID{"R1", "R2"}, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Server != "R1" {
+		t.Fatalf("low-rate decision = %s, want R1", dec.Server)
+	}
+	// At 10 Mbps nobody passes.
+	_, err = SelectWithQoS(VRA{}, snap, "H", []topology.NodeID{"R1", "R2"}, 10)
+	if !errors.Is(err, ErrInsufficientBandwidth) {
+		t.Fatalf("overload error = %v", err)
+	}
+	// Local service always passes.
+	dec, err = SelectWithQoS(VRA{}, snap, "H", []topology.NodeID{"H"}, 100)
+	if err != nil || !dec.Local {
+		t.Fatalf("local = %+v, %v", dec, err)
+	}
+	// No candidates.
+	if _, err := SelectWithQoS(VRA{}, snap, "H", nil, 1); !errors.Is(err, ErrNoCandidates) {
+		t.Fatalf("no candidates error = %v", err)
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"errors"
+	"sync"
+
+	"dvod/internal/db"
+	"dvod/internal/topology"
+)
+
+// Watcher implements the paper's continuous re-evaluation verbatim: "the
+// routing algorithm also continues to run at the connecting server ... it
+// continues to validate the network routes constantly". It subscribes to the
+// database's change events and re-plans a request whenever link statistics
+// or holdings move, emitting a notification each time the optimal server or
+// route changes. The live server consults the planner at every cluster
+// boundary anyway; the Watcher serves dashboards, prefetchers, and tests
+// that want to observe optimum movement as it happens.
+type Watcher struct {
+	planner *Planner
+	home    topology.NodeID
+	title   string
+
+	mu      sync.Mutex
+	last    *Decision
+	updates chan Decision
+	stop    chan struct{}
+	done    chan struct{}
+	cancel  func()
+}
+
+// NewWatcher starts watching the optimal server for (home, title). The
+// initial decision is delivered as the first update. Call Stop to release
+// the database subscription.
+func NewWatcher(p *Planner, home topology.NodeID, title string, buffer int) (*Watcher, error) {
+	if p == nil {
+		return nil, errors.New("watcher: nil planner")
+	}
+	if buffer < 1 {
+		buffer = 1
+	}
+	events, cancel := p.db.Subscribe(16)
+	w := &Watcher{
+		planner: p,
+		home:    home,
+		title:   title,
+		updates: make(chan Decision, buffer),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		cancel:  cancel,
+	}
+	// Deliver the initial decision (if one exists) before any events.
+	if dec, err := p.Plan(home, title); err == nil {
+		w.push(dec)
+	}
+	go w.loop(events)
+	return w, nil
+}
+
+// Updates delivers a Decision each time the optimum changes. The channel is
+// closed by Stop.
+func (w *Watcher) Updates() <-chan Decision { return w.updates }
+
+// Current returns the most recent decision, if any.
+func (w *Watcher) Current() (Decision, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.last == nil {
+		return Decision{}, false
+	}
+	return *w.last, true
+}
+
+// Stop unsubscribes and waits for the watcher goroutine to exit.
+func (w *Watcher) Stop() {
+	close(w.stop)
+	<-w.done
+}
+
+func (w *Watcher) loop(events <-chan db.Event) {
+	defer close(w.done)
+	defer close(w.updates)
+	defer w.cancel()
+	for {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				return
+			}
+			if !w.relevant(ev) {
+				continue
+			}
+			dec, err := w.planner.Plan(w.home, w.title)
+			if err != nil {
+				continue // transiently unservable; keep watching
+			}
+			w.push(dec)
+		case <-w.stop:
+			return
+		}
+	}
+}
+
+// relevant filters events that cannot move this request's optimum.
+func (w *Watcher) relevant(ev db.Event) bool {
+	switch ev.Kind {
+	case db.EventLinkStatsUpdated:
+		return true
+	case db.EventHoldingChanged:
+		return ev.Title == w.title
+	default:
+		return false
+	}
+}
+
+// push records and (non-blockingly) delivers a decision if it differs from
+// the last one.
+func (w *Watcher) push(dec Decision) {
+	w.mu.Lock()
+	changed := w.last == nil ||
+		w.last.Server != dec.Server ||
+		w.last.Path.String() != dec.Path.String()
+	if changed {
+		w.last = &dec
+	}
+	w.mu.Unlock()
+	if !changed {
+		return
+	}
+	select {
+	case w.updates <- dec:
+	default:
+		// Slow consumer: drop intermediate updates; Current() always has
+		// the latest.
+	}
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"dvod/internal/grnet"
+	"dvod/internal/media"
+	"dvod/internal/topology"
+)
+
+// waitUpdate receives the next update with a timeout.
+func waitUpdate(t *testing.T, w *Watcher) Decision {
+	t.Helper()
+	select {
+	case dec, ok := <-w.Updates():
+		if !ok {
+			t.Fatal("updates channel closed")
+		}
+		return dec
+	case <-time.After(5 * time.Second):
+		t.Fatal("no update within timeout")
+		return Decision{}
+	}
+}
+
+func TestWatcherTracksOptimum(t *testing.T) {
+	title := movie(1000)
+	d, p := plannerFixture(t, grnet.At10am, title, grnet.Thessaloniki, grnet.Xanthi)
+	w, err := NewWatcher(p, grnet.Patra, title.Name, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Stop()
+
+	// Initial decision: Experiment B's Thessaloniki.
+	first := waitUpdate(t, w)
+	if first.Server != grnet.Thessaloniki {
+		t.Fatalf("initial = %s", first.Server)
+	}
+	cur, ok := w.Current()
+	if !ok || cur.Server != grnet.Thessaloniki {
+		t.Fatalf("Current = %+v, %v", cur, ok)
+	}
+
+	// Congest the Ioannina route: the optimum flips to Xanthi and the
+	// watcher reports it.
+	for _, pair := range [][2]topology.NodeID{
+		{grnet.Patra, grnet.Ioannina},
+		{grnet.Thessaloniki, grnet.Ioannina},
+		{grnet.Thessaloniki, grnet.Athens},
+	} {
+		id := topology.MakeLinkID(pair[0], pair[1])
+		l, err := d.Graph().LinkByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.UpsertLinkStats(id, l.CapacityMbps, t0.Add(time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Drain updates until the flip arrives (intermediate stats updates may
+	// deliver unchanged decisions that are filtered, or partial flips).
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case dec, ok := <-w.Updates():
+			if !ok {
+				t.Fatal("updates closed early")
+			}
+			if dec.Server == grnet.Xanthi {
+				return // success
+			}
+		case <-deadline:
+			cur, _ := w.Current()
+			t.Fatalf("optimum never flipped; current = %+v", cur)
+		}
+	}
+}
+
+func TestWatcherIgnoresIrrelevantHoldings(t *testing.T) {
+	title := movie(1000)
+	d, p := plannerFixture(t, grnet.At10am, title, grnet.Xanthi)
+	if err := d.Catalog().AddTitle(movie2("other")); err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWatcher(p, grnet.Patra, title.Name, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Stop()
+	_ = waitUpdate(t, w) // initial
+
+	// A holding change for a different title must not produce an update.
+	if err := d.SetHolding(grnet.Athens, "other", true, t0); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case dec := <-w.Updates():
+		t.Fatalf("irrelevant event produced update %+v", dec)
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+func TestWatcherHoldingChangeFlipsDecision(t *testing.T) {
+	title := movie(1000)
+	d, p := plannerFixture(t, grnet.At10am, title, grnet.Xanthi)
+	w, err := NewWatcher(p, grnet.Patra, title.Name, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Stop()
+	first := waitUpdate(t, w)
+	if first.Server != grnet.Xanthi {
+		t.Fatalf("initial = %s", first.Server)
+	}
+	// A cheaper replica appears (Thessaloniki at 10am): the watcher
+	// reports the new optimum.
+	if err := d.SetHolding(grnet.Thessaloniki, title.Name, true, t0); err != nil {
+		t.Fatal(err)
+	}
+	next := waitUpdate(t, w)
+	if next.Server != grnet.Thessaloniki {
+		t.Fatalf("after holding change = %s", next.Server)
+	}
+}
+
+func TestWatcherStopClosesUpdates(t *testing.T) {
+	title := movie(1000)
+	_, p := plannerFixture(t, grnet.At8am, title, grnet.Xanthi)
+	w, err := NewWatcher(p, grnet.Patra, title.Name, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = waitUpdate(t, w)
+	w.Stop()
+	if _, ok := <-w.Updates(); ok {
+		t.Fatal("updates not closed after Stop")
+	}
+}
+
+func TestNewWatcherValidation(t *testing.T) {
+	if _, err := NewWatcher(nil, grnet.Patra, "x", 1); err == nil {
+		t.Fatal("nil planner accepted")
+	}
+}
+
+func TestWatcherUnservableTitleHasNoInitial(t *testing.T) {
+	title := movie(1000)
+	_, p := plannerFixture(t, grnet.At8am, title) // no holders
+	w, err := NewWatcher(p, grnet.Patra, title.Name, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Stop()
+	if _, ok := w.Current(); ok {
+		t.Fatal("unservable title produced a decision")
+	}
+}
+
+// movie2 builds a second distinct title for holder-noise tests.
+func movie2(name string) media.Title {
+	return media.Title{Name: name, SizeBytes: 1000, BitrateMbps: 1.5}
+}

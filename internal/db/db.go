@@ -1,0 +1,276 @@
+// Package db implements the paper's database module: the shared store both
+// interface modules read and write. It is conceptually split the way the
+// paper splits it:
+//
+//   - the full-access sub-module (titles available on each server) is the
+//     embedded catalog, readable by the user-facing web module;
+//   - the limited-access sub-module (network links' bandwidth, SNMP-sampled
+//     utilization, server configuration) is writable only by administrators
+//     and the SNMP statistics module.
+//
+// The VRA reads both: candidate servers from the full-access side and link
+// weights from the limited-access side. Change events are published to
+// subscribers so the continuous re-evaluation loop can react to updates
+// without polling.
+package db
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"dvod/internal/catalog"
+	"dvod/internal/topology"
+)
+
+// Errors reported by the database module.
+var (
+	ErrServerExists  = errors.New("server already registered")
+	ErrServerUnknown = errors.New("server not registered")
+	ErrStale         = errors.New("no statistics recorded for link")
+)
+
+// ServerEntry is a limited-access record describing one registered video
+// server (the configuration the paper's initialization phase collects).
+type ServerEntry struct {
+	Node         topology.NodeID `json:"node"`
+	Description  string          `json:"description"`
+	RegisteredAt time.Time       `json:"registeredAt"`
+}
+
+// LinkStats is a limited-access record: the latest SNMP sample for one link.
+type LinkStats struct {
+	ID          topology.LinkID `json:"id"`
+	UsedMbps    float64         `json:"usedMbps"`
+	Utilization float64         `json:"utilization"`
+	UpdatedAt   time.Time       `json:"updatedAt"`
+}
+
+// EventKind labels change notifications.
+type EventKind int
+
+// The change-event kinds.
+const (
+	EventServerRegistered EventKind = iota + 1
+	EventLinkStatsUpdated
+	EventHoldingChanged
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventServerRegistered:
+		return "server-registered"
+	case EventLinkStatsUpdated:
+		return "link-stats-updated"
+	case EventHoldingChanged:
+		return "holding-changed"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one change notification.
+type Event struct {
+	Kind  EventKind
+	Node  topology.NodeID // server events
+	Link  topology.LinkID // link events
+	Title string          // holding events
+	At    time.Time
+}
+
+// DB is the database module. All methods are safe for concurrent use.
+type DB struct {
+	graph   *topology.Graph
+	catalog *catalog.Catalog
+
+	mu      sync.RWMutex
+	servers map[topology.NodeID]ServerEntry
+	stats   map[topology.LinkID]LinkStats
+	subs    map[int]chan Event
+	nextSub int
+}
+
+// New builds a database over the static topology. The graph must be
+// validated by the caller; the DB treats it as immutable.
+func New(g *topology.Graph) *DB {
+	return &DB{
+		graph:   g,
+		catalog: catalog.New(),
+		servers: make(map[topology.NodeID]ServerEntry),
+		stats:   make(map[topology.LinkID]LinkStats),
+		subs:    make(map[int]chan Event),
+	}
+}
+
+// Graph returns the static topology.
+func (d *DB) Graph() *topology.Graph { return d.graph }
+
+// Catalog returns the full-access sub-module.
+func (d *DB) Catalog() *catalog.Catalog { return d.catalog }
+
+// RegisterServer records a video server joining the service (the paper's
+// initialization phase). The node must exist in the topology.
+func (d *DB) RegisterServer(node topology.NodeID, description string, at time.Time) error {
+	if !d.graph.HasNode(node) {
+		return fmt.Errorf("%w: %s", topology.ErrNodeUnknown, node)
+	}
+	d.mu.Lock()
+	if _, ok := d.servers[node]; ok {
+		d.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrServerExists, node)
+	}
+	d.servers[node] = ServerEntry{Node: node, Description: description, RegisteredAt: at}
+	d.mu.Unlock()
+	d.publish(Event{Kind: EventServerRegistered, Node: node, At: at})
+	return nil
+}
+
+// Server returns a registered server's entry.
+func (d *DB) Server(node topology.NodeID) (ServerEntry, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	e, ok := d.servers[node]
+	if !ok {
+		return ServerEntry{}, fmt.Errorf("%w: %s", ErrServerUnknown, node)
+	}
+	return e, nil
+}
+
+// Servers returns all registered servers sorted by node ID.
+func (d *DB) Servers() []ServerEntry {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]ServerEntry, 0, len(d.servers))
+	for _, e := range d.servers {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// UpsertLinkStats records the latest SNMP sample for a link. Utilization is
+// derived from used bandwidth and the link's configured capacity.
+func (d *DB) UpsertLinkStats(id topology.LinkID, usedMbps float64, at time.Time) error {
+	l, err := d.graph.LinkByID(id)
+	if err != nil {
+		return err
+	}
+	if usedMbps < 0 {
+		usedMbps = 0
+	}
+	d.mu.Lock()
+	d.stats[id] = LinkStats{
+		ID:          id,
+		UsedMbps:    usedMbps,
+		Utilization: usedMbps / l.CapacityMbps,
+		UpdatedAt:   at,
+	}
+	d.mu.Unlock()
+	d.publish(Event{Kind: EventLinkStatsUpdated, Link: id, At: at})
+	return nil
+}
+
+// LinkStats returns the latest sample for a link.
+func (d *DB) LinkStats(id topology.LinkID) (LinkStats, error) {
+	if _, err := d.graph.LinkByID(id); err != nil {
+		return LinkStats{}, err
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	s, ok := d.stats[id]
+	if !ok {
+		return LinkStats{}, fmt.Errorf("%w: %s", ErrStale, id)
+	}
+	return s, nil
+}
+
+// AllLinkStats returns the latest samples for every reported link, sorted by
+// link ID.
+func (d *DB) AllLinkStats() []LinkStats {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]LinkStats, 0, len(d.stats))
+	for _, s := range d.stats {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// SetHolding records that a node stores (or no longer stores) a title,
+// updating the full-access catalog and notifying subscribers.
+func (d *DB) SetHolding(node topology.NodeID, title string, holds bool, at time.Time) error {
+	if err := d.catalog.SetHolding(node, title, holds); err != nil {
+		return err
+	}
+	d.publish(Event{Kind: EventHoldingChanged, Node: node, Title: title, At: at})
+	return nil
+}
+
+// Snapshot builds a topology snapshot from the latest link statistics.
+// Links with no sample yet are treated as idle, matching the paper's
+// behaviour before the first SNMP poll lands.
+func (d *DB) Snapshot() (*topology.Snapshot, error) {
+	d.mu.RLock()
+	util := make(map[topology.LinkID]float64, len(d.stats))
+	for id, s := range d.stats {
+		util[id] = s.Utilization
+	}
+	d.mu.RUnlock()
+	return topology.NewSnapshot(d.graph, util)
+}
+
+// StaleLinks returns links whose latest sample is older than maxAge at the
+// given instant (or never reported), sorted. The paper's SNMP module is
+// expected to refresh every 1-2 minutes; stale links indicate a dead agent.
+func (d *DB) StaleLinks(now time.Time, maxAge time.Duration) []topology.LinkID {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var out []topology.LinkID
+	for _, l := range d.graph.Links() {
+		s, ok := d.stats[l.ID]
+		if !ok || now.Sub(s.UpdatedAt) > maxAge {
+			out = append(out, l.ID)
+		}
+	}
+	return out
+}
+
+// Subscribe registers a change-event channel with the given buffer size and
+// returns it with a cancel function. Events that would block a full
+// subscriber are dropped (slow consumers must size their buffers).
+func (d *DB) Subscribe(buffer int) (<-chan Event, func()) {
+	if buffer < 1 {
+		buffer = 1
+	}
+	ch := make(chan Event, buffer)
+	d.mu.Lock()
+	id := d.nextSub
+	d.nextSub++
+	d.subs[id] = ch
+	d.mu.Unlock()
+	cancel := func() {
+		d.mu.Lock()
+		if _, ok := d.subs[id]; ok {
+			delete(d.subs, id)
+			close(ch)
+		}
+		d.mu.Unlock()
+	}
+	return ch, cancel
+}
+
+// publish delivers an event to all subscribers without blocking.
+func (d *DB) publish(ev Event) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	for _, ch := range d.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package db
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dvod/internal/topology"
+)
+
+// Health tracks per-server liveness via heartbeats, implementing the VRA's
+// "poll all of those servers to find out which ones can provide the video"
+// step without a synchronous poll: servers heartbeat into the database and
+// the planner filters candidates by heartbeat freshness. It is kept separate
+// from the DB proper so the heartbeat hot path never contends with catalog
+// or statistics access.
+type Health struct {
+	mu       sync.RWMutex
+	lastSeen map[topology.NodeID]time.Time
+	maxAge   time.Duration
+}
+
+// NewHealth returns a tracker that considers a server alive when its last
+// heartbeat is at most maxAge old.
+func NewHealth(maxAge time.Duration) (*Health, error) {
+	if maxAge <= 0 {
+		return nil, fmt.Errorf("health: non-positive max age %v", maxAge)
+	}
+	return &Health{
+		lastSeen: make(map[topology.NodeID]time.Time),
+		maxAge:   maxAge,
+	}, nil
+}
+
+// Heartbeat records that the node was alive at the given instant.
+func (h *Health) Heartbeat(node topology.NodeID, at time.Time) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if cur, ok := h.lastSeen[node]; !ok || at.After(cur) {
+		h.lastSeen[node] = at
+	}
+}
+
+// MarkDown forgets a node's heartbeats immediately (administrative
+// drain/removal).
+func (h *Health) MarkDown(node topology.NodeID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.lastSeen, node)
+}
+
+// Alive reports whether the node heartbeated within maxAge of now.
+func (h *Health) Alive(node topology.NodeID, now time.Time) bool {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	last, ok := h.lastSeen[node]
+	if !ok {
+		return false
+	}
+	return now.Sub(last) <= h.maxAge
+}
+
+// Filter returns a candidate filter bound to a time source, suitable for
+// core.NewPlanner's availability hook.
+func (h *Health) Filter(now func() time.Time) func(topology.NodeID) bool {
+	return func(n topology.NodeID) bool { return h.Alive(n, now()) }
+}
+
+// LastSeen returns the node's most recent heartbeat.
+func (h *Health) LastSeen(node topology.NodeID) (time.Time, bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	t, ok := h.lastSeen[node]
+	return t, ok
+}

@@ -1,0 +1,86 @@
+package db
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNewHealthValidation(t *testing.T) {
+	if _, err := NewHealth(0); err == nil {
+		t.Fatal("zero max age accepted")
+	}
+	if _, err := NewHealth(-time.Second); err == nil {
+		t.Fatal("negative max age accepted")
+	}
+}
+
+func TestHealthLifecycle(t *testing.T) {
+	h, err := NewHealth(100 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unknown node is dead.
+	if h.Alive("U1", t0) {
+		t.Fatal("never-seen node alive")
+	}
+	h.Heartbeat("U1", t0)
+	if !h.Alive("U1", t0) {
+		t.Fatal("fresh heartbeat dead")
+	}
+	if !h.Alive("U1", t0.Add(100*time.Millisecond)) {
+		t.Fatal("boundary heartbeat dead")
+	}
+	if h.Alive("U1", t0.Add(101*time.Millisecond)) {
+		t.Fatal("stale heartbeat alive")
+	}
+	last, ok := h.LastSeen("U1")
+	if !ok || !last.Equal(t0) {
+		t.Fatalf("LastSeen = %v, %v", last, ok)
+	}
+	if _, ok := h.LastSeen("U2"); ok {
+		t.Fatal("LastSeen for unseen node")
+	}
+}
+
+func TestHealthOutOfOrderHeartbeats(t *testing.T) {
+	h, err := NewHealth(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Heartbeat("U1", t0.Add(time.Second))
+	h.Heartbeat("U1", t0) // older; must not regress
+	last, _ := h.LastSeen("U1")
+	if !last.Equal(t0.Add(time.Second)) {
+		t.Fatalf("LastSeen regressed to %v", last)
+	}
+}
+
+func TestHealthMarkDown(t *testing.T) {
+	h, err := NewHealth(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Heartbeat("U1", t0)
+	h.MarkDown("U1")
+	if h.Alive("U1", t0) {
+		t.Fatal("marked-down node alive")
+	}
+	h.MarkDown("U1") // idempotent
+}
+
+func TestHealthFilter(t *testing.T) {
+	h, err := NewHealth(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := t0
+	filter := h.Filter(func() time.Time { return now })
+	h.Heartbeat("U1", t0)
+	if !filter("U1") || filter("U2") {
+		t.Fatal("filter wrong")
+	}
+	now = t0.Add(2 * time.Minute)
+	if filter("U1") {
+		t.Fatal("filter did not expire heartbeat")
+	}
+}

@@ -1,0 +1,91 @@
+package db
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"dvod/internal/media"
+	"dvod/internal/topology"
+)
+
+// stateJSON is the database's serialized form: everything except the static
+// topology (which is configuration, not state).
+type stateJSON struct {
+	Servers   []ServerEntry                `json:"servers"`
+	LinkStats []LinkStats                  `json:"linkStats"`
+	Titles    []media.Title                `json:"titles"`
+	Holdings  map[string][]topology.NodeID `json:"holdings"`
+}
+
+// Save serializes the registered servers, latest link statistics, catalog,
+// and holdings, so a restarted service can resume without re-running the
+// paper's initialization phase.
+func (d *DB) Save(w io.Writer) error {
+	state := stateJSON{
+		Servers:   d.Servers(),
+		LinkStats: d.AllLinkStats(),
+		Holdings:  make(map[string][]topology.NodeID),
+	}
+	for _, t := range d.catalog.Titles() {
+		state.Titles = append(state.Titles, t)
+		holders, err := d.catalog.Holders(t.Name)
+		if err != nil {
+			return fmt.Errorf("save db: %w", err)
+		}
+		if len(holders) > 0 {
+			state.Holdings[t.Name] = holders
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(state); err != nil {
+		return fmt.Errorf("save db: %w", err)
+	}
+	return nil
+}
+
+// Load applies a saved state onto this (fresh) database. The topology must
+// contain every referenced node and link; partial application is not rolled
+// back on error, so load into a new DB.
+func (d *DB) Load(r io.Reader) error {
+	var state stateJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&state); err != nil {
+		return fmt.Errorf("load db: %w", err)
+	}
+	for _, s := range state.Servers {
+		if err := d.RegisterServer(s.Node, s.Description, s.RegisteredAt); err != nil {
+			// A running service has already registered its own servers;
+			// the snapshot's registration of the same node is not a
+			// conflict.
+			if errors.Is(err, ErrServerExists) {
+				continue
+			}
+			return fmt.Errorf("load db: server %s: %w", s.Node, err)
+		}
+	}
+	for _, ls := range state.LinkStats {
+		if err := d.UpsertLinkStats(ls.ID, ls.UsedMbps, ls.UpdatedAt); err != nil {
+			return fmt.Errorf("load db: link %s: %w", ls.ID, err)
+		}
+	}
+	for _, t := range state.Titles {
+		if err := d.catalog.AddTitle(t); err != nil {
+			return fmt.Errorf("load db: title %s: %w", t.Name, err)
+		}
+	}
+	for title, holders := range state.Holdings {
+		for _, h := range holders {
+			if !d.graph.HasNode(h) {
+				return fmt.Errorf("load db: holding of %q: %w: %s",
+					title, topology.ErrNodeUnknown, h)
+			}
+			if err := d.catalog.SetHolding(h, title, true); err != nil {
+				return fmt.Errorf("load db: holding of %q: %w", title, err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package db
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"dvod/internal/grnet"
+	"dvod/internal/media"
+	"dvod/internal/topology"
+)
+
+func populatedDB(t *testing.T) *DB {
+	t.Helper()
+	d := newDB(t)
+	if err := d.RegisterServer(grnet.Patra, "Patra VoD", t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RegisterServer(grnet.Athens, "Athens VoD", t0.Add(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	id := topology.MakeLinkID(grnet.Patra, grnet.Athens)
+	if err := d.UpsertLinkStats(id, 1.82, t0.Add(2*time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	title := media.Title{Name: "Zorba", SizeBytes: 1 << 20, BitrateMbps: 1.5}
+	if err := d.Catalog().AddTitle(title); err != nil {
+		t.Fatal(err)
+	}
+	empty := media.Title{Name: "Unplaced", SizeBytes: 100, BitrateMbps: 1.5}
+	if err := d.Catalog().AddTitle(empty); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetHolding(grnet.Patra, "Zorba", true, t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetHolding(grnet.Thessaloniki, "Zorba", true, t0); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	src := populatedDB(t)
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+
+	dst := newDB(t)
+	if err := dst.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	// Servers.
+	servers := dst.Servers()
+	if len(servers) != 2 || servers[0].Node != grnet.Athens || servers[1].Description != "Patra VoD" {
+		t.Fatalf("servers = %+v", servers)
+	}
+	if !servers[1].RegisteredAt.Equal(t0) {
+		t.Fatalf("registration time = %v", servers[1].RegisteredAt)
+	}
+	// Link stats.
+	id := topology.MakeLinkID(grnet.Patra, grnet.Athens)
+	s, err := dst.LinkStats(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.UsedMbps != 1.82 || s.Utilization != 0.91 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// Catalog + holdings.
+	if dst.Catalog().NumTitles() != 2 {
+		t.Fatalf("titles = %d", dst.Catalog().NumTitles())
+	}
+	holders, err := dst.Catalog().Holders("Zorba")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(holders) != 2 || holders[0] != grnet.Patra {
+		t.Fatalf("holders = %v", holders)
+	}
+	unplaced, err := dst.Catalog().Holders("Unplaced")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unplaced) != 0 {
+		t.Fatalf("unplaced holders = %v", unplaced)
+	}
+}
+
+func TestLoadRejectsBadInput(t *testing.T) {
+	d := newDB(t)
+	if err := d.Load(strings.NewReader("{bad")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+	// Server at a node outside the topology.
+	d2 := newDB(t)
+	if err := d2.Load(strings.NewReader(
+		`{"servers":[{"node":"U99","description":"","registeredAt":"2000-04-10T08:00:00Z"}]}`)); err == nil {
+		t.Fatal("unknown server node accepted")
+	}
+	// Link stats for an unknown link.
+	d3 := newDB(t)
+	if err := d3.Load(strings.NewReader(
+		`{"linkStats":[{"id":"X--Y","usedMbps":1,"utilization":0.5,"updatedAt":"2000-04-10T08:00:00Z"}]}`)); err == nil {
+		t.Fatal("unknown link accepted")
+	}
+	// Holding for an unknown title.
+	d4 := newDB(t)
+	if err := d4.Load(strings.NewReader(
+		`{"holdings":{"ghost":["U1"]}}`)); err == nil {
+		t.Fatal("unknown holding title accepted")
+	}
+	// Holding at an unknown node.
+	d5 := newDB(t)
+	if err := d5.Load(strings.NewReader(
+		`{"titles":[{"name":"m","sizeBytes":1,"bitrateMbps":1}],"holdings":{"m":["U99"]}}`)); err == nil {
+		t.Fatal("unknown holding node accepted")
+	}
+}
+
+func TestSaveIsStable(t *testing.T) {
+	src := populatedDB(t)
+	var a, b bytes.Buffer
+	if err := src.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("Save output not stable")
+	}
+}

@@ -1,0 +1,237 @@
+package disk
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newDisk(t *testing.T, capacity int64) *Disk {
+	t.Helper()
+	d, err := New("d0", capacity)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return d
+}
+
+func TestNewRejectsBadCapacity(t *testing.T) {
+	for _, c := range []int64{0, -1} {
+		if _, err := New("x", c); !errors.Is(err, ErrBadCapacity) {
+			t.Fatalf("New(%d) error = %v, want ErrBadCapacity", c, err)
+		}
+	}
+}
+
+func TestWriteReadDelete(t *testing.T) {
+	d := newDisk(t, 100)
+	id := BlockID{Title: "m", Part: 0}
+	data := []byte("hello world")
+	if err := d.Write(id, data); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if d.Used() != int64(len(data)) || d.Free() != 100-int64(len(data)) {
+		t.Fatalf("Used/Free = %d/%d", d.Used(), d.Free())
+	}
+	if !d.Has(id) || d.NumBlocks() != 1 {
+		t.Fatal("Has/NumBlocks wrong")
+	}
+	got, err := d.Read(id)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if string(got) != string(data) {
+		t.Fatalf("Read = %q, want %q", got, data)
+	}
+	if err := d.Delete(id); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if d.Used() != 0 || d.Has(id) {
+		t.Fatal("Delete did not free space")
+	}
+}
+
+func TestWriteIsolation(t *testing.T) {
+	d := newDisk(t, 100)
+	id := BlockID{Title: "m", Part: 0}
+	data := []byte("abc")
+	if err := d.Write(id, data); err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 'Z' // mutate caller's slice
+	got, err := d.Read(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 'a' {
+		t.Fatal("disk shares storage with caller's write buffer")
+	}
+	got[1] = 'Z' // mutate returned slice
+	got2, err := d.Read(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2[1] != 'b' {
+		t.Fatal("disk shares storage with caller's read buffer")
+	}
+}
+
+func TestWriteErrors(t *testing.T) {
+	d := newDisk(t, 10)
+	id := BlockID{Title: "m", Part: 0}
+	if err := d.Write(id, nil); !errors.Is(err, ErrEmptyBlockNil) {
+		t.Fatalf("empty write error = %v", err)
+	}
+	if err := d.Write(id, make([]byte, 11)); !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("oversize write error = %v", err)
+	}
+	if err := d.Write(id, make([]byte, 6)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write(id, make([]byte, 1)); !errors.Is(err, ErrBlockExists) {
+		t.Fatalf("duplicate write error = %v", err)
+	}
+	if err := d.Write(BlockID{Title: "m", Part: 1}, make([]byte, 5)); !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("full-disk write error = %v", err)
+	}
+	// Exactly filling the disk is allowed.
+	if err := d.Write(BlockID{Title: "m", Part: 2}, make([]byte, 4)); err != nil {
+		t.Fatalf("exact-fit write: %v", err)
+	}
+	if d.Free() != 0 {
+		t.Fatalf("Free = %d, want 0", d.Free())
+	}
+}
+
+func TestReadDeleteUnknown(t *testing.T) {
+	d := newDisk(t, 10)
+	id := BlockID{Title: "nope", Part: 0}
+	if _, err := d.Read(id); !errors.Is(err, ErrBlockUnknown) {
+		t.Fatalf("Read unknown error = %v", err)
+	}
+	if err := d.Delete(id); !errors.Is(err, ErrBlockUnknown) {
+		t.Fatalf("Delete unknown error = %v", err)
+	}
+	if _, err := d.ReadTime(id); !errors.Is(err, ErrBlockUnknown) {
+		t.Fatalf("ReadTime unknown error = %v", err)
+	}
+}
+
+func TestBlocksSorted(t *testing.T) {
+	d := newDisk(t, 100)
+	ids := []BlockID{{"b", 1}, {"a", 2}, {"b", 0}, {"a", 0}}
+	for _, id := range ids {
+		if err := d.Write(id, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := d.Blocks()
+	want := []BlockID{{"a", 0}, {"a", 2}, {"b", 0}, {"b", 1}}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Blocks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBlockIDString(t *testing.T) {
+	if s := (BlockID{Title: "m", Part: 3}).String(); s != "m#3" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestAccessModel(t *testing.T) {
+	m := AccessModel{Seek: 10 * time.Millisecond, ThroughputMBps: 10}
+	// 1 MB at 10 MB/s = 100 ms + 10 ms seek.
+	if got, want := m.ReadTime(1e6), 110*time.Millisecond; got != want {
+		t.Fatalf("ReadTime = %v, want %v", got, want)
+	}
+	if got := m.ReadTime(0); got != m.Seek {
+		t.Fatalf("ReadTime(0) = %v, want seek only", got)
+	}
+	if got := (AccessModel{Seek: time.Millisecond}).ReadTime(100); got != time.Millisecond {
+		t.Fatalf("zero-throughput ReadTime = %v, want seek only", got)
+	}
+}
+
+func TestDiskReadTime(t *testing.T) {
+	d := newDisk(t, 1000)
+	d.SetAccessModel(AccessModel{Seek: time.Millisecond, ThroughputMBps: 1})
+	id := BlockID{Title: "m", Part: 0}
+	if err := d.Write(id, make([]byte, 500)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.ReadTime(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := time.Millisecond + 500*time.Microsecond
+	if got != want {
+		t.Fatalf("ReadTime = %v, want %v", got, want)
+	}
+}
+
+func TestDiskConcurrentWriters(t *testing.T) {
+	d := newDisk(t, 1<<20)
+	var wg sync.WaitGroup
+	for i := range 8 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range 50 {
+				id := BlockID{Title: "t", Part: i*1000 + j}
+				if err := d.Write(id, make([]byte, 100)); err != nil {
+					t.Errorf("Write: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := d.Used(), int64(8*50*100); got != want {
+		t.Fatalf("Used = %d, want %d", got, want)
+	}
+}
+
+func TestArrayBasics(t *testing.T) {
+	arr, err := NewUniformArray("srv", 4, 1000)
+	if err != nil {
+		t.Fatalf("NewUniformArray: %v", err)
+	}
+	if arr.NumDisks() != 4 || arr.Capacity() != 4000 || arr.Free() != 4000 {
+		t.Fatalf("array accessors wrong: %d disks cap %d free %d",
+			arr.NumDisks(), arr.Capacity(), arr.Free())
+	}
+	d0, err := arr.Disk(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d0.ID() != "srv-0" {
+		t.Fatalf("disk 0 id = %s", d0.ID())
+	}
+	if err := d0.Write(BlockID{"m", 0}, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if arr.Used() != 100 || arr.Free() != 3900 {
+		t.Fatalf("Used/Free = %d/%d", arr.Used(), arr.Free())
+	}
+	if _, err := arr.Disk(4); !errors.Is(err, ErrBadDiskIndex) {
+		t.Fatalf("Disk(4) error = %v", err)
+	}
+	if _, err := arr.Disk(-1); !errors.Is(err, ErrBadDiskIndex) {
+		t.Fatalf("Disk(-1) error = %v", err)
+	}
+}
+
+func TestArrayConstructionErrors(t *testing.T) {
+	if _, err := NewArray(); !errors.Is(err, ErrNoDisks) {
+		t.Fatalf("NewArray() error = %v", err)
+	}
+	if _, err := NewUniformArray("x", 0, 100); !errors.Is(err, ErrNoDisks) {
+		t.Fatalf("NewUniformArray(0) error = %v", err)
+	}
+	if _, err := NewUniformArray("x", 2, -1); !errors.Is(err, ErrBadCapacity) {
+		t.Fatalf("NewUniformArray bad capacity error = %v", err)
+	}
+}

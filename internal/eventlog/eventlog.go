@@ -1,0 +1,155 @@
+// Package eventlog records structured service events — requests, routing
+// decisions, mid-stream switches, deliveries, failures — as NDJSON, with a
+// CSV export for analysis tooling. The replay engine and experiments emit
+// into it; a nil *Log is a valid no-op sink so instrumentation costs nothing
+// when disabled.
+package eventlog
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+
+	"dvod/internal/topology"
+)
+
+// Kind labels an event.
+type Kind string
+
+// The event kinds the service emits.
+const (
+	// KindRequest: a client asked for a title (Node = home).
+	KindRequest Kind = "request"
+	// KindDecision: a routing decision was made (Server, Value = cost).
+	KindDecision Kind = "decision"
+	// KindSwitch: a session changed servers mid-stream.
+	KindSwitch Kind = "switch"
+	// KindDelivered: one cluster arrived (Cluster, Server).
+	KindDelivered Kind = "delivered"
+	// KindSessionDone: a session completed (Value = elapsed seconds).
+	KindSessionDone Kind = "session-done"
+	// KindBlocked: a request found no admissible route.
+	KindBlocked Kind = "blocked"
+	// KindStall: playback stalled (Value = stall seconds).
+	KindStall Kind = "stall"
+)
+
+// Event is one log record.
+type Event struct {
+	At      time.Time       `json:"at"`
+	Kind    Kind            `json:"kind"`
+	Node    topology.NodeID `json:"node,omitempty"`
+	Title   string          `json:"title,omitempty"`
+	Cluster int             `json:"cluster,omitempty"`
+	Server  topology.NodeID `json:"server,omitempty"`
+	Path    string          `json:"path,omitempty"`
+	Value   float64         `json:"value,omitempty"`
+}
+
+// Log is a concurrent NDJSON event sink. A nil *Log discards events.
+type Log struct {
+	mu    sync.Mutex
+	w     *bufio.Writer
+	enc   *json.Encoder
+	count int64
+}
+
+// New builds a log writing NDJSON to w.
+func New(w io.Writer) *Log {
+	bw := bufio.NewWriter(w)
+	return &Log{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Emit appends one event. Nil-safe.
+func (l *Log) Emit(e Event) error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.enc.Encode(e); err != nil {
+		return fmt.Errorf("eventlog: %w", err)
+	}
+	l.count++
+	return nil
+}
+
+// Count returns how many events were emitted. Nil-safe.
+func (l *Log) Count() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.count
+}
+
+// Flush writes buffered events through to the underlying writer. Nil-safe.
+func (l *Log) Flush() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Flush()
+}
+
+// Read parses an NDJSON event stream.
+func Read(r io.Reader) ([]Event, error) {
+	var out []Event
+	dec := json.NewDecoder(r)
+	for {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return out, fmt.Errorf("eventlog read: %w", err)
+		}
+		out = append(out, e)
+	}
+}
+
+// csvHeader is the column layout of WriteCSV.
+var csvHeader = []string{"at", "kind", "node", "title", "cluster", "server", "path", "value"}
+
+// WriteCSV exports events in a spreadsheet-friendly layout.
+func WriteCSV(w io.Writer, events []Event) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("eventlog csv: %w", err)
+	}
+	for _, e := range events {
+		rec := []string{
+			e.At.Format(time.RFC3339Nano),
+			string(e.Kind),
+			string(e.Node),
+			e.Title,
+			strconv.Itoa(e.Cluster),
+			string(e.Server),
+			e.Path,
+			strconv.FormatFloat(e.Value, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("eventlog csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Filter returns the events of one kind, preserving order.
+func Filter(events []Event, kind Kind) []Event {
+	var out []Event
+	for _, e := range events {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package eventlog
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2000, time.April, 10, 8, 0, 0, 0, time.UTC)
+
+func TestEmitReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf)
+	events := []Event{
+		{At: t0, Kind: KindRequest, Node: "U2", Title: "zorba"},
+		{At: t0.Add(time.Second), Kind: KindDecision, Node: "U2", Title: "zorba",
+			Server: "U4", Path: "U2,U3,U4", Value: 1.007},
+		{At: t0.Add(2 * time.Second), Kind: KindDelivered, Cluster: 3, Server: "U4"},
+	}
+	for _, e := range events {
+		if err := l.Emit(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Count() != 3 {
+		t.Fatalf("Count = %d", l.Count())
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("read %d events", len(got))
+	}
+	if got[1].Server != "U4" || got[1].Value != 1.007 || !got[1].At.Equal(t0.Add(time.Second)) {
+		t.Fatalf("event = %+v", got[1])
+	}
+}
+
+func TestNilLogIsNoop(t *testing.T) {
+	var l *Log
+	if err := l.Emit(Event{Kind: KindRequest}); err != nil {
+		t.Fatal(err)
+	}
+	if l.Count() != 0 {
+		t.Fatal("nil count")
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadBadInput(t *testing.T) {
+	if _, err := Read(strings.NewReader("{bad json")); err == nil {
+		t.Fatal("bad input accepted")
+	}
+	got, err := Read(strings.NewReader(""))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty input: %v, %d events", err, len(got))
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	events := []Event{
+		{At: t0, Kind: KindRequest, Node: "U2", Title: "a b,c"},
+		{At: t0, Kind: KindSessionDone, Value: 12.5},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "at,kind,node") {
+		t.Fatalf("header = %s", lines[0])
+	}
+	if !strings.Contains(lines[1], `"a b,c"`) {
+		t.Fatalf("quoting wrong: %s", lines[1])
+	}
+	if !strings.Contains(lines[2], "12.5") {
+		t.Fatalf("value missing: %s", lines[2])
+	}
+}
+
+func TestFilter(t *testing.T) {
+	events := []Event{
+		{Kind: KindRequest}, {Kind: KindSwitch}, {Kind: KindRequest},
+	}
+	got := Filter(events, KindRequest)
+	if len(got) != 2 {
+		t.Fatalf("filtered = %d", len(got))
+	}
+	if len(Filter(events, KindStall)) != 0 {
+		t.Fatal("phantom events")
+	}
+}
+
+func TestConcurrentEmit(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf)
+	var wg sync.WaitGroup
+	for range 8 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range 100 {
+				_ = l.Emit(Event{At: t0, Kind: KindDelivered})
+			}
+		}()
+	}
+	wg.Wait()
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 800 {
+		t.Fatalf("events = %d, want 800 (no interleaving corruption)", len(got))
+	}
+}

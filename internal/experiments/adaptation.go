@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"text/tabwriter"
+
+	"dvod/internal/cache"
+	"dvod/internal/disk"
+	"dvod/internal/media"
+	"dvod/internal/workload"
+)
+
+// --- Ext-11: cache adaptation after a popularity flip -------------------------
+
+// AdaptationStudyConfig parameterizes the popularity-drift experiment: a
+// Zipf stream whose ranking is inverted halfway through. It measures the
+// paper's central caching claim — "this service has the ability to adjust
+// itself to the changes occurring" — as the number of requests a policy
+// needs to recover its hit ratio after tastes flip.
+type AdaptationStudyConfig struct {
+	// NumTitles, TitleBytes: equal-sized library.
+	NumTitles  int
+	TitleBytes int64
+	// CacheFraction of the total library size.
+	CacheFraction float64
+	// ClusterBytes is the striping granularity.
+	ClusterBytes int64
+	// Theta is the Zipf skew (both phases).
+	Theta float64
+	// PhaseRequests is the stream length per phase.
+	PhaseRequests int
+	// Window is the sliding-window size (requests) for hit-ratio
+	// measurement.
+	Window int
+	Seed   int64
+}
+
+// DefaultAdaptationStudyConfig uses a 20% cache under strong skew.
+func DefaultAdaptationStudyConfig() AdaptationStudyConfig {
+	return AdaptationStudyConfig{
+		NumTitles:     40,
+		TitleBytes:    32 << 10,
+		CacheFraction: 0.2,
+		ClusterBytes:  4 << 10,
+		Theta:         1.0,
+		PhaseRequests: 1500,
+		Window:        150,
+		Seed:          1,
+	}
+}
+
+// AdaptationRow is one policy's outcome.
+type AdaptationRow struct {
+	Policy string
+	// SteadyHitRatio is the windowed hit ratio at the end of phase 1.
+	SteadyHitRatio float64
+	// DipHitRatio is the windowed hit ratio one window after the flip —
+	// how hard the drift hurts.
+	DipHitRatio float64
+	// RecoveryRequests counts requests after the flip until the windowed
+	// hit ratio is back within 80% of the steady value (-1: never within
+	// phase 2).
+	RecoveryRequests int
+	// FinalHitRatio is the windowed ratio at the end of phase 2.
+	FinalHitRatio float64
+}
+
+// AdaptationStudy runs Ext-11 for the DMA, LRU and LFU policies over an
+// identical two-phase stream.
+func AdaptationStudy(cfg AdaptationStudyConfig) ([]AdaptationRow, error) {
+	if cfg.NumTitles <= 0 || cfg.PhaseRequests <= 0 {
+		return nil, errors.New("adaptation study: need titles and requests")
+	}
+	if cfg.Window <= 0 || cfg.Window > cfg.PhaseRequests {
+		return nil, fmt.Errorf("adaptation study: bad window %d", cfg.Window)
+	}
+	if cfg.CacheFraction <= 0 || cfg.CacheFraction > 1 {
+		return nil, fmt.Errorf("adaptation study: bad cache fraction %g", cfg.CacheFraction)
+	}
+	lib, err := media.GenerateLibrary(media.LibrarySpec{
+		Count:       cfg.NumTitles,
+		MinBytes:    cfg.TitleBytes,
+		MaxBytes:    cfg.TitleBytes,
+		BitrateMbps: 1.5,
+	}, rand.New(rand.NewSource(cfg.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	byName := make(map[string]media.Title, len(lib))
+	forward := make([]string, len(lib))
+	backward := make([]string, len(lib))
+	for i, t := range lib {
+		byName[t.Name] = t
+		forward[i] = t.Name
+		backward[len(lib)-1-i] = t.Name
+	}
+	// Shared two-phase stream: phase 1 ranks forward, phase 2 inverted.
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	stream := make([]string, 0, 2*cfg.PhaseRequests)
+	z1, err := workload.NewZipfTitles(forward, cfg.Theta, rng)
+	if err != nil {
+		return nil, err
+	}
+	for range cfg.PhaseRequests {
+		stream = append(stream, z1.Sample())
+	}
+	z2, err := workload.NewZipfTitles(backward, cfg.Theta, rng)
+	if err != nil {
+		return nil, err
+	}
+	for range cfg.PhaseRequests {
+		stream = append(stream, z2.Sample())
+	}
+
+	cacheBytes := int64(float64(cfg.TitleBytes*int64(cfg.NumTitles)) * cfg.CacheFraction)
+	const nDisks = 4
+	perDisk := cacheBytes/nDisks + 1
+
+	var rows []AdaptationRow
+	for _, policy := range []string{"dma", "dma-decay", "lru", "lfu"} {
+		arr, err := disk.NewUniformArray("ad", nDisks, perDisk)
+		if err != nil {
+			return nil, err
+		}
+		ccfg := cache.Config{Array: arr, ClusterBytes: cfg.ClusterBytes}
+		var p cache.Policy
+		switch policy {
+		case "dma":
+			p, err = cache.NewDMA(ccfg)
+		case "dma-decay":
+			// Our aging extension: halve points every half window.
+			ccfg.DecayEvery = int64(cfg.Window / 2)
+			if ccfg.DecayEvery < 1 {
+				ccfg.DecayEvery = 1
+			}
+			p, err = cache.NewDMA(ccfg)
+		case "lru":
+			p, err = cache.NewLRU(ccfg)
+		case "lfu":
+			p, err = cache.NewLFU(ccfg)
+		}
+		if err != nil {
+			return nil, err
+		}
+		row, err := runAdaptationTrial(p, stream, byName, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", policy, err)
+		}
+		if policy == "dma-decay" {
+			row.Policy = "dma-decay"
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// runAdaptationTrial replays the stream through one policy, tracking a
+// sliding-window hit ratio.
+func runAdaptationTrial(p cache.Policy, stream []string, byName map[string]media.Title,
+	cfg AdaptationStudyConfig) (AdaptationRow, error) {
+	hits := make([]bool, len(stream))
+	for i, name := range stream {
+		out, err := p.OnRequest(byName[name])
+		if err != nil {
+			return AdaptationRow{}, err
+		}
+		hits[i] = out.Hit
+	}
+	window := func(end int) float64 {
+		start := end - cfg.Window
+		if start < 0 {
+			start = 0
+		}
+		if end > len(hits) {
+			end = len(hits)
+		}
+		if end <= start {
+			return 0
+		}
+		var h int
+		for _, hit := range hits[start:end] {
+			if hit {
+				h++
+			}
+		}
+		return float64(h) / float64(end-start)
+	}
+	flip := cfg.PhaseRequests
+	row := AdaptationRow{
+		Policy:         p.Name(),
+		SteadyHitRatio: window(flip),
+		DipHitRatio:    window(flip + cfg.Window),
+		FinalHitRatio:  window(len(hits)),
+	}
+	target := 0.8 * row.SteadyHitRatio
+	row.RecoveryRequests = -1
+	for end := flip + cfg.Window; end <= len(hits); end++ {
+		if window(end) >= target {
+			row.RecoveryRequests = end - flip
+			break
+		}
+	}
+	return row, nil
+}
+
+// FormatAdaptationStudy renders Ext-11.
+func FormatAdaptationStudy(rows []AdaptationRow) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "Policy\tSteadyHit\tDipHit\tRecoveryReqs\tFinalHit")
+	for _, r := range rows {
+		rec := fmt.Sprintf("%d", r.RecoveryRequests)
+		if r.RecoveryRequests < 0 {
+			rec = "never"
+		}
+		fmt.Fprintf(w, "%s\t%.4f\t%.4f\t%s\t%.4f\n",
+			r.Policy, r.SteadyHitRatio, r.DipHitRatio, rec, r.FinalHitRatio)
+	}
+	_ = w.Flush()
+	return b.String()
+}

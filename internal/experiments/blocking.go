@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"dvod/internal/baseline"
+	"dvod/internal/core"
+	"dvod/internal/grnet"
+	"dvod/internal/topology"
+	"dvod/internal/workload"
+)
+
+// --- Ext-9: admission control and blocking probability -----------------------
+
+// BlockingStudyConfig parameterizes the Erlang-style admission study: each
+// admitted session reserves its bitrate along its route for the title's
+// playback duration; a request whose every replica route lacks residual
+// bandwidth is blocked. This realizes the paper's minimum-QoS goal and
+// measures how much the VRA's load spreading lowers blocking versus
+// load-blind policies.
+type BlockingStudyConfig struct {
+	// Policies to compare; empty means all of baseline.Names().
+	Policies []string
+	// ArrivalsPerHour are the offered-load points to sweep.
+	ArrivalsPerHour []float64
+	// BitrateMbps and HoldMinutes define one session's reservation.
+	BitrateMbps float64
+	HoldMinutes float64
+	// Replicas per title (random placement over the backbone).
+	NumTitles int
+	Replicas  int
+	// Duration of each simulated run.
+	Duration time.Duration
+	Seed     int64
+}
+
+// DefaultBlockingStudyConfig sweeps three load points of 1.5 Mbps /
+// 20-minute sessions over the 2-18 Mbps GRNET backbone.
+func DefaultBlockingStudyConfig() BlockingStudyConfig {
+	return BlockingStudyConfig{
+		ArrivalsPerHour: []float64{6, 18, 45},
+		BitrateMbps:     1.5,
+		HoldMinutes:     20,
+		NumTitles:       12,
+		Replicas:        2,
+		Duration:        6 * time.Hour,
+		Seed:            1,
+	}
+}
+
+// BlockingCell is one (policy, load) outcome.
+type BlockingCell struct {
+	Policy          string
+	ArrivalsPerHour float64
+	Offered         int
+	Blocked         int
+	// LocalServed counts requests satisfied by the home server (never
+	// blocked).
+	LocalServed int
+}
+
+// BlockingProb returns Blocked/Offered.
+func (c BlockingCell) BlockingProb() float64 {
+	if c.Offered == 0 {
+		return 0
+	}
+	return float64(c.Blocked) / float64(c.Offered)
+}
+
+// reservations tracks per-link reserved bandwidth.
+type reservations struct {
+	graph *topology.Graph
+	mbps  map[topology.LinkID]float64
+}
+
+func newReservations(g *topology.Graph) *reservations {
+	return &reservations{graph: g, mbps: make(map[topology.LinkID]float64, g.NumLinks())}
+}
+
+// snapshot builds the network view the policies see: utilization =
+// reserved / capacity.
+func (r *reservations) snapshot() (*topology.Snapshot, error) {
+	util := make(map[topology.LinkID]float64, len(r.mbps))
+	for id, used := range r.mbps {
+		l, err := r.graph.LinkByID(id)
+		if err != nil {
+			return nil, err
+		}
+		util[id] = used / l.CapacityMbps
+	}
+	return topology.NewSnapshot(r.graph, util)
+}
+
+func (r *reservations) reserve(links []topology.LinkID, mbps float64) {
+	for _, id := range links {
+		r.mbps[id] += mbps
+	}
+}
+
+func (r *reservations) release(links []topology.LinkID, mbps float64) {
+	for _, id := range links {
+		r.mbps[id] -= mbps
+		if r.mbps[id] < 1e-12 {
+			r.mbps[id] = 0
+		}
+	}
+}
+
+// departure is a scheduled session end.
+type departure struct {
+	at    time.Time
+	links []topology.LinkID
+	mbps  float64
+}
+
+type departureHeap []departure
+
+func (h departureHeap) Len() int           { return len(h) }
+func (h departureHeap) Less(i, j int) bool { return h[i].at.Before(h[j].at) }
+func (h departureHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *departureHeap) Push(x any)        { *h = append(*h, x.(departure)) }
+func (h *departureHeap) Pop() any {
+	old := *h
+	n := len(old)
+	d := old[n-1]
+	*h = old[:n-1]
+	return d
+}
+
+// BlockingStudy runs Ext-9.
+func BlockingStudy(cfg BlockingStudyConfig) ([]BlockingCell, error) {
+	if len(cfg.ArrivalsPerHour) == 0 {
+		return nil, errors.New("blocking study: no load points")
+	}
+	if cfg.BitrateMbps <= 0 || cfg.HoldMinutes <= 0 {
+		return nil, errors.New("blocking study: bad session shape")
+	}
+	if cfg.NumTitles <= 0 || cfg.Replicas <= 0 {
+		return nil, errors.New("blocking study: need titles and replicas")
+	}
+	if cfg.Duration <= 0 {
+		return nil, errors.New("blocking study: bad duration")
+	}
+	policies := cfg.Policies
+	if len(policies) == 0 {
+		policies = baseline.Names()
+	}
+	g, err := grnet.Backbone()
+	if err != nil {
+		return nil, err
+	}
+	nodes := g.Nodes()
+
+	// Shared placement and title ranks.
+	placeRng := rand.New(rand.NewSource(cfg.Seed))
+	titles := make([]string, cfg.NumTitles)
+	placement := make(map[string][]topology.NodeID, cfg.NumTitles)
+	for i := range cfg.NumTitles {
+		titles[i] = fmt.Sprintf("t%02d", i)
+		perm := placeRng.Perm(len(nodes))
+		k := cfg.Replicas
+		if k > len(nodes) {
+			k = len(nodes)
+		}
+		for j := range k {
+			placement[titles[i]] = append(placement[titles[i]], nodes[perm[j]])
+		}
+	}
+	hold := time.Duration(cfg.HoldMinutes * float64(time.Minute))
+
+	var out []BlockingCell
+	for _, load := range cfg.ArrivalsPerHour {
+		// One shared trace per load point so policies face identical
+		// demand.
+		trace, err := workload.GenerateTrace(workload.TraceConfig{
+			Titles:     titles,
+			Clients:    nodes,
+			Theta:      0.729,
+			RatePerSec: load / 3600,
+			Start:      epoch,
+			Duration:   cfg.Duration,
+			Seed:       cfg.Seed + int64(load*100),
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range policies {
+			sel, err := baseline.ByName(name, cfg.Seed+7)
+			if err != nil {
+				return nil, err
+			}
+			cell, err := runBlockingTrial(g, sel, trace, placement, cfg.BitrateMbps, hold)
+			if err != nil {
+				return nil, fmt.Errorf("%s @%g/h: %w", name, load, err)
+			}
+			cell.ArrivalsPerHour = load
+			out = append(out, cell)
+		}
+	}
+	return out, nil
+}
+
+// runBlockingTrial processes one trace under one policy.
+func runBlockingTrial(g *topology.Graph, sel core.Selector, trace []workload.Request,
+	placement map[string][]topology.NodeID, bitrate float64, hold time.Duration) (BlockingCell, error) {
+	res := newReservations(g)
+	var departures departureHeap
+	cell := BlockingCell{Policy: sel.Name()}
+	for _, req := range trace {
+		// Release every session that ended before this arrival.
+		for len(departures) > 0 && !departures[0].at.After(req.At) {
+			d := heap.Pop(&departures).(departure)
+			res.release(d.links, d.mbps)
+		}
+		cell.Offered++
+		candidates := placement[req.Title]
+		if len(candidates) == 0 {
+			cell.Blocked++
+			continue
+		}
+		snap, err := res.snapshot()
+		if err != nil {
+			return cell, err
+		}
+		dec, err := core.SelectWithQoS(sel, snap, req.Client, candidates, bitrate)
+		if err != nil {
+			if errors.Is(err, core.ErrInsufficientBandwidth) ||
+				errors.Is(err, core.ErrNoReachable) {
+				cell.Blocked++
+				continue
+			}
+			return cell, err
+		}
+		if dec.Local {
+			cell.LocalServed++
+			continue // no network reservation needed
+		}
+		links := dec.Path.Links()
+		res.reserve(links, bitrate)
+		heap.Push(&departures, departure{at: req.At.Add(hold), links: links, mbps: bitrate})
+	}
+	return cell, nil
+}
+
+// FormatBlockingStudy renders Ext-9.
+func FormatBlockingStudy(cells []BlockingCell) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "Arrivals/h\tPolicy\tOffered\tBlocked\tLocal\tBlockingProb")
+	for _, c := range cells {
+		fmt.Fprintf(w, "%g\t%s\t%d\t%d\t%d\t%.4f\n",
+			c.ArrivalsPerHour, c.Policy, c.Offered, c.Blocked, c.LocalServed, c.BlockingProb())
+	}
+	_ = w.Flush()
+	return b.String()
+}

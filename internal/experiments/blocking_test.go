@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBlockingStudyShape(t *testing.T) {
+	cfg := DefaultBlockingStudyConfig()
+	cfg.Duration = 3 * time.Hour
+	cells, err := BlockingStudy(cfg)
+	if err != nil {
+		t.Fatalf("BlockingStudy: %v", err)
+	}
+	if len(cells) != len(cfg.ArrivalsPerHour)*4 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	byKey := map[string]BlockingCell{}
+	for _, c := range cells {
+		byKey[c.Policy+"@"+formatLoad(c.ArrivalsPerHour)] = c
+		if c.Offered == 0 {
+			t.Fatalf("cell %s@%g offered nothing", c.Policy, c.ArrivalsPerHour)
+		}
+		if c.Blocked > c.Offered {
+			t.Fatalf("cell %+v blocked more than offered", c)
+		}
+	}
+	// Blocking grows with load for every policy.
+	lows := cfg.ArrivalsPerHour[0]
+	highs := cfg.ArrivalsPerHour[len(cfg.ArrivalsPerHour)-1]
+	for _, policy := range []string{"vra", "minhop", "random", "static"} {
+		lo := byKey[policy+"@"+formatLoad(lows)]
+		hi := byKey[policy+"@"+formatLoad(highs)]
+		if hi.BlockingProb() < lo.BlockingProb() {
+			t.Errorf("%s: blocking fell with load (%.4f → %.4f)",
+				policy, lo.BlockingProb(), hi.BlockingProb())
+		}
+	}
+	// At the highest load the VRA (QoS-gated, load-aware) blocks no more
+	// than the static primary policy, which funnels everything onto one
+	// replica's routes.
+	vra := byKey["vra@"+formatLoad(highs)]
+	static := byKey["static@"+formatLoad(highs)]
+	if vra.BlockingProb() > static.BlockingProb()+1e-9 {
+		t.Errorf("vra blocking %.4f exceeds static %.4f at high load",
+			vra.BlockingProb(), static.BlockingProb())
+	}
+	out := FormatBlockingStudy(cells)
+	if !strings.Contains(out, "BlockingProb") {
+		t.Fatalf("format:\n%s", out)
+	}
+}
+
+func formatLoad(l float64) string { return fmt.Sprintf("%g", l) }
+
+func TestBlockingStudyValidation(t *testing.T) {
+	if _, err := BlockingStudy(BlockingStudyConfig{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	bad := DefaultBlockingStudyConfig()
+	bad.BitrateMbps = 0
+	if _, err := BlockingStudy(bad); err == nil {
+		t.Fatal("zero bitrate accepted")
+	}
+	bad2 := DefaultBlockingStudyConfig()
+	bad2.Duration = 0
+	if _, err := BlockingStudy(bad2); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+}
+
+func TestBlockingStudyDeterministic(t *testing.T) {
+	cfg := DefaultBlockingStudyConfig()
+	cfg.ArrivalsPerHour = []float64{18}
+	cfg.Duration = 2 * time.Hour
+	a, err := BlockingStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BlockingStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("blocking study not deterministic")
+	}
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"reflect"
+	"time"
+)
+
+// WriteRowsCSV renders a slice of flat result structs as CSV: the exported
+// field names become the header and each struct a record. Durations are
+// written in seconds; any other field type falls back to fmt.Sprint. It
+// powers vodbench's -csv export so study outputs feed plotting tools
+// directly.
+func WriteRowsCSV(w io.Writer, rows any) error {
+	v := reflect.ValueOf(rows)
+	if v.Kind() != reflect.Slice {
+		return fmt.Errorf("csv export: want a slice, got %T", rows)
+	}
+	if v.Len() == 0 {
+		return fmt.Errorf("csv export: empty result set")
+	}
+	elemType := v.Index(0).Type()
+	if elemType.Kind() != reflect.Struct {
+		return fmt.Errorf("csv export: want a slice of structs, got %s", elemType)
+	}
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, elemType.NumField())
+	for i := range elemType.NumField() {
+		f := elemType.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		header = append(header, f.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("csv export: %w", err)
+	}
+	for r := range v.Len() {
+		row := v.Index(r)
+		rec := make([]string, 0, len(header))
+		for i := range elemType.NumField() {
+			f := elemType.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			rec = append(rec, formatCSVValue(row.Field(i)))
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("csv export: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// formatCSVValue renders one field.
+func formatCSVValue(v reflect.Value) string {
+	if v.Type() == reflect.TypeOf(time.Duration(0)) {
+		return fmt.Sprintf("%g", time.Duration(v.Int()).Seconds())
+	}
+	switch v.Kind() {
+	case reflect.Float64, reflect.Float32:
+		return fmt.Sprintf("%g", v.Float())
+	case reflect.Bool:
+		if v.Bool() {
+			return "true"
+		}
+		return "false"
+	default:
+		return fmt.Sprint(v.Interface())
+	}
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteRowsCSVStudies(t *testing.T) {
+	rows := []RoutingStudyRow{
+		{Policy: "vra", Sessions: 10, Failed: 0, MeanPathCost: 0.5,
+			MeanStartup: 250 * time.Millisecond, StallRatio: 0.01, Switches: 2},
+		{Policy: "minhop", Sessions: 10, Failed: 1, MeanPathCost: 1.5,
+			MeanStartup: time.Second, StallRatio: 0.02, Switches: 0},
+	}
+	var buf bytes.Buffer
+	if err := WriteRowsCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "Policy,Sessions,Failed,MeanPathCost,MeanStartup,StallRatio,Switches" {
+		t.Fatalf("header = %s", lines[0])
+	}
+	// Durations render in seconds.
+	if !strings.Contains(lines[1], "0.25") {
+		t.Fatalf("duration not in seconds: %s", lines[1])
+	}
+	if !strings.Contains(lines[2], "minhop,10,1,1.5,1,") {
+		t.Fatalf("record = %s", lines[2])
+	}
+}
+
+func TestWriteRowsCSVBooleans(t *testing.T) {
+	rows := []ClusterSweepRow{{ClusterBytes: 1024, NumClusters: 4, Switched: true,
+		Switches: 1, Elapsed: time.Second, StallTime: 0}}
+	var buf bytes.Buffer
+	if err := WriteRowsCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "true") {
+		t.Fatalf("bool missing:\n%s", buf.String())
+	}
+}
+
+func TestWriteRowsCSVErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRowsCSV(&buf, 42); err == nil {
+		t.Fatal("non-slice accepted")
+	}
+	if err := WriteRowsCSV(&buf, []RoutingStudyRow{}); err == nil {
+		t.Fatal("empty slice accepted")
+	}
+	if err := WriteRowsCSV(&buf, []int{1}); err == nil {
+		t.Fatal("non-struct elements accepted")
+	}
+}

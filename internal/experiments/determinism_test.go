@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestReplayDeterministic: identical configs produce byte-identical results,
+// the property every experiment in EXPERIMENTS.md relies on.
+func TestReplayDeterministic(t *testing.T) {
+	cfg := DefaultRoutingStudyConfig()
+	cfg.Duration = 20 * time.Minute
+	cfg.RatePerSec = 0.01
+	a, err := RoutingStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RoutingStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("routing study not deterministic:\n%v\nvs\n%v", a, b)
+	}
+}
+
+func TestCacheStudyDeterministic(t *testing.T) {
+	cfg := DefaultCacheStudyConfig()
+	cfg.Requests = 400
+	a, err := CacheStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CacheStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("cache study not deterministic")
+	}
+}
+
+func TestGranularityStudyDeterministic(t *testing.T) {
+	cfg := DefaultGranularityStudyConfig()
+	cfg.Sessions = 300
+	a, err := GranularityStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GranularityStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("granularity study not deterministic")
+	}
+}
+
+func TestParallelFetchDeterministic(t *testing.T) {
+	cfg := DefaultParallelFetchConfig()
+	cfg.TitleBytes = 1 << 20
+	a, err := ParallelFetch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParallelFetch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("parallel fetch not deterministic")
+	}
+}
+
+// TestTablesDeterministic: the paper-table generators are pure.
+func TestTablesDeterministic(t *testing.T) {
+	a2, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a2, b2) {
+		t.Fatal("Table2 not deterministic")
+	}
+	a3, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b3, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a3, b3) {
+		t.Fatal("Table3 not deterministic")
+	}
+	for _, id := range []string{"A", "B", "C", "D"} {
+		ra, err := RunExperiment(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := RunExperiment(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ra.Decision.Server != rb.Decision.Server ||
+			ra.Decision.Path.String() != rb.Decision.Path.String() {
+			t.Fatalf("experiment %s not deterministic", id)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"dvod/internal/core"
+	"dvod/internal/eventlog"
+	"dvod/internal/grnet"
+	"dvod/internal/media"
+	"dvod/internal/topology"
+	"dvod/internal/workload"
+)
+
+// TestReplayEmitsEvents: a replay with an event log produces a coherent
+// request → decision → session-done stream, exportable as CSV.
+func TestReplayEmitsEvents(t *testing.T) {
+	var buf bytes.Buffer
+	log := eventlog.New(&buf)
+	title := media.Title{Name: "logged", SizeBytes: 256 << 10, BitrateMbps: 1.5}
+	res, err := Replay(ReplayConfig{
+		Selector:     core.VRA{},
+		Titles:       []media.Title{title},
+		Placement:    map[string][]topology.NodeID{title.Name: {grnet.Xanthi}},
+		Requests:     []workload.Request{{At: epoch, Client: grnet.Patra, Title: title.Name}},
+		ClusterBytes: 64 << 10,
+		Events:       log,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sessions) != 1 {
+		t.Fatalf("sessions = %d", len(res.Sessions))
+	}
+	if err := log.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := eventlog.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requests := eventlog.Filter(events, eventlog.KindRequest)
+	decisions := eventlog.Filter(events, eventlog.KindDecision)
+	done := eventlog.Filter(events, eventlog.KindSessionDone)
+	if len(requests) != 1 || len(done) != 1 {
+		t.Fatalf("requests=%d done=%d", len(requests), len(done))
+	}
+	if len(decisions) != 4 { // one per cluster
+		t.Fatalf("decisions = %d, want 4", len(decisions))
+	}
+	for _, d := range decisions {
+		if d.Server != grnet.Xanthi || d.Path == "" || d.Value <= 0 {
+			t.Fatalf("decision event = %+v", d)
+		}
+	}
+	if done[0].Value <= 0 {
+		t.Fatalf("session-done value = %g", done[0].Value)
+	}
+	// CSV export of the full stream.
+	var csvBuf bytes.Buffer
+	if err := eventlog.WriteCSV(&csvBuf, events); err != nil {
+		t.Fatal(err)
+	}
+	if csvBuf.Len() == 0 {
+		t.Fatal("empty csv")
+	}
+}
+
+// TestReplayEmitsSwitchEvents: the congestion-injection trial records
+// switch events at the cluster where the server changed.
+func TestReplayEmitsSwitchEvents(t *testing.T) {
+	var buf bytes.Buffer
+	log := eventlog.New(&buf)
+	title := media.Title{Name: "switchy", SizeBytes: 2 << 20, BitrateMbps: 1.5}
+	_, err := ReplayWithEvents(ReplayConfig{
+		Selector:           core.VRA{},
+		Titles:             []media.Title{title},
+		Placement:          map[string][]topology.NodeID{title.Name: {grnet.Thessaloniki, grnet.Xanthi}},
+		Requests:           []workload.Request{{At: epoch, Client: grnet.Patra, Title: title.Name}},
+		ClusterBytes:       64 << 10,
+		PollInterval:       5 * time.Second,
+		BackgroundInterval: 12 * time.Hour,
+		Events:             log,
+	}, []ReplayEvent{{
+		At: epoch.Add(2 * time.Second),
+		Background: map[topology.LinkID]float64{
+			topology.MakeLinkID(grnet.Patra, grnet.Ioannina):        1.99,
+			topology.MakeLinkID(grnet.Thessaloniki, grnet.Ioannina): 1.99,
+		},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := eventlog.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	switches := eventlog.Filter(events, eventlog.KindSwitch)
+	if len(switches) == 0 {
+		t.Fatal("no switch events recorded")
+	}
+	if switches[0].Server != grnet.Xanthi {
+		t.Fatalf("first switch to %s, want Xanthi", switches[0].Server)
+	}
+}

@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"dvod/internal/grnet"
+	"dvod/internal/routing"
+	"dvod/internal/topology"
+)
+
+// FormatTable2 renders the measured network-status table the way the paper
+// prints Table 2.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "Link\t8am\t10am\t4pm\t6pm")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s (%gMb link)", r.Link, r.CapacityMbps)
+		for _, c := range r.Cells {
+			fmt.Fprintf(w, "\t%.4g Mb %.4g%%", c.UsedMbps, c.Utilization*100)
+		}
+		fmt.Fprintln(w)
+	}
+	_ = w.Flush()
+	return b.String()
+}
+
+// FormatTable3 renders the recomputed LVN table next to the published
+// values.
+func FormatTable3(rows []Table3Row) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "Link\t8am\t10am\t4pm\t6pm")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s", r.Link)
+		for _, v := range r.Measured {
+			fmt.Fprintf(w, "\t%.4f", v)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "  (paper)")
+		for _, v := range r.Paper {
+			fmt.Fprintf(w, "\t%.4f", v)
+		}
+		fmt.Fprintln(w)
+	}
+	_ = w.Flush()
+	return b.String()
+}
+
+// FormatTrace renders a Dijkstra step table in the layout of the paper's
+// Tables 4 and 5: one row per permanent-set extension, one D/Path column
+// pair per non-source node, "R" for unreachable labels.
+func FormatTrace(steps []routing.TraceStep, source topology.NodeID) string {
+	if len(steps) == 0 {
+		return "(no trace)\n"
+	}
+	// Column order: all non-source nodes, sorted.
+	var cols []topology.NodeID
+	for n := range steps[len(steps)-1].Labels {
+		cols = append(cols, n)
+	}
+	sort.Slice(cols, func(i, j int) bool { return cols[i] < cols[j] })
+
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintf(w, "Step\tNodes")
+	for _, n := range cols {
+		fmt.Fprintf(w, "\tD(%s)\tPath", n)
+	}
+	fmt.Fprintln(w)
+	for _, s := range steps {
+		set := make([]string, len(s.Permanent))
+		for i, n := range s.Permanent {
+			set[i] = string(n)
+		}
+		fmt.Fprintf(w, "%d\t{%s}", s.Step, strings.Join(set, ","))
+		for _, n := range cols {
+			l := s.Labels[n]
+			if !l.Reachable {
+				fmt.Fprintf(w, "\tR\t-")
+				continue
+			}
+			p := routing.Path{Nodes: l.Path}
+			fmt.Fprintf(w, "\t%.3f\t%s", l.Dist, p)
+		}
+		fmt.Fprintln(w)
+	}
+	_ = w.Flush()
+	return b.String()
+}
+
+// FormatExperiment renders one reproduced experiment with its paper
+// comparison.
+func FormatExperiment(res ExperimentResult) string {
+	var b strings.Builder
+	exp := res.Experiment
+	fmt.Fprintf(&b, "Experiment %s (%s): client at %s (%s), title on {",
+		exp.ID, exp.Time, exp.Home, grnet.CityName(exp.Home))
+	for i, c := range exp.Candidates {
+		if i > 0 {
+			fmt.Fprint(&b, ", ")
+		}
+		fmt.Fprintf(&b, "%s", grnet.CityName(c))
+	}
+	fmt.Fprintln(&b, "}")
+	for _, alt := range res.Alternatives {
+		fmt.Fprintf(&b, "  best path to %s (%s): %s cost %.4f\n",
+			alt.Server, grnet.CityName(alt.Server), alt.Path, alt.Path.Cost)
+	}
+	fmt.Fprintf(&b, "  VRA decision: download from %s (%s) via %s, cost %.4f\n",
+		res.Decision.Server, grnet.CityName(res.Decision.Server),
+		res.Decision.Path, res.Decision.Cost)
+	fmt.Fprintf(&b, "  paper:        download from %s (%s) via %s, cost %.4f\n",
+		exp.PaperServer, grnet.CityName(exp.PaperServer), exp.PaperPath, exp.PaperCost)
+	if res.MatchesPaper {
+		fmt.Fprintln(&b, "  MATCHES PAPER")
+	} else if exp.Erratum != "" {
+		fmt.Fprintf(&b, "  DIFFERS (documented erratum: %s)\n", exp.Erratum)
+	} else {
+		fmt.Fprintln(&b, "  DIFFERS FROM PAPER")
+	}
+	return b.String()
+}
+
+// FormatRoutingStudy renders Ext-1.
+func FormatRoutingStudy(rows []RoutingStudyRow) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "Policy\tSessions\tFailed\tMeanPathCost\tMeanStartup\tStallRatio\tSwitches")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%.4f\t%v\t%.4f\t%d\n",
+			r.Policy, r.Sessions, r.Failed, r.MeanPathCost,
+			r.MeanStartup.Round(1e6), r.StallRatio, r.Switches)
+	}
+	_ = w.Flush()
+	return b.String()
+}
+
+// FormatCacheStudy renders Ext-2.
+func FormatCacheStudy(cells []CacheStudyCell) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "Theta\tPolicy\tHitRatio\tEvictions")
+	for _, c := range cells {
+		fmt.Fprintf(w, "%.3f\t%s\t%.4f\t%d\n", c.Theta, c.Policy, c.HitRatio, c.Evictions)
+	}
+	_ = w.Flush()
+	return b.String()
+}
+
+// FormatClusterSweep renders Ext-3.
+func FormatClusterSweep(rows []ClusterSweepRow) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "ClusterBytes\tClusters\tSwitched\tSwitches\tElapsed\tStallTime")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%d\t%v\t%d\t%v\t%v\n",
+			r.ClusterBytes, r.NumClusters, r.Switched, r.Switches,
+			r.Elapsed.Round(1e6), r.StallTime.Round(1e6))
+	}
+	_ = w.Flush()
+	return b.String()
+}
+
+// FormatStripingSweep renders Ext-4.
+func FormatStripingSweep(rows []StripingSweepRow) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "Disks\tSequentialRead\tParallelRead\tSpeedup")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%v\t%v\t%.2fx\n",
+			r.NumDisks, r.SequentialRead.Round(1e6), r.ParallelRead.Round(1e6), r.Speedup)
+	}
+	_ = w.Flush()
+	return b.String()
+}
+
+// FormatKSweep renders Ext-5.
+func FormatKSweep(rows []KSweepRow) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "K\tExpA\tExpB\tExpC\tExpD\tSameAsK=10")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%g", r.K)
+		for _, id := range []string{"A", "B", "C", "D"} {
+			fmt.Fprintf(w, "\t%s", r.Decisions[id])
+		}
+		fmt.Fprintf(w, "\t%v\n", r.SameAsDefault)
+	}
+	_ = w.Flush()
+	return b.String()
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGranularityStudyShape(t *testing.T) {
+	cfg := DefaultGranularityStudyConfig()
+	cfg.Sessions = 800
+	rows, err := GranularityStudy(cfg)
+	if err != nil {
+		t.Fatalf("GranularityStudy: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var titleRow, segRow GranularityRow
+	for _, r := range rows {
+		switch r.Policy {
+		case "title-dma":
+			titleRow = r
+		case "segment-dma":
+			segRow = r
+		default:
+			t.Fatalf("unknown policy %s", r.Policy)
+		}
+	}
+	// Both policies saw the same byte demand.
+	if titleRow.BytesRequested != segRow.BytesRequested {
+		t.Fatalf("byte demand differs: %d vs %d",
+			titleRow.BytesRequested, segRow.BytesRequested)
+	}
+	// The headline shape (the paper's future-work motivation): under
+	// heavy partial viewing, segment-granularity caching delivers a
+	// higher byte hit ratio than whole-title caching at equal capacity.
+	if segRow.ByteHitRatio <= titleRow.ByteHitRatio {
+		t.Fatalf("segment cache (%.4f) should beat title cache (%.4f) under partial viewing",
+			segRow.ByteHitRatio, titleRow.ByteHitRatio)
+	}
+	if segRow.ByteHitRatio == 0 || titleRow.ByteHitRatio < 0 {
+		t.Fatalf("degenerate ratios: %+v", rows)
+	}
+	out := FormatGranularityStudy(rows)
+	if !strings.Contains(out, "segment-dma") {
+		t.Fatalf("format:\n%s", out)
+	}
+}
+
+func TestGranularityStudyFullViewingNarrowsGap(t *testing.T) {
+	// When every session watches the whole title, the prefix advantage
+	// disappears; the gap between the two policies shrinks markedly.
+	partial := DefaultGranularityStudyConfig()
+	partial.Sessions = 800
+	full := partial
+	full.MinViewedFraction = 1.0
+	pRows, err := GranularityStudy(partial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fRows, err := GranularityStudy(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap := func(rows []GranularityRow) float64 {
+		var seg, title float64
+		for _, r := range rows {
+			if r.Policy == "segment-dma" {
+				seg = r.ByteHitRatio
+			} else {
+				title = r.ByteHitRatio
+			}
+		}
+		return seg - title
+	}
+	if gap(fRows) >= gap(pRows) {
+		t.Fatalf("full-viewing gap %.4f should be below partial-viewing gap %.4f",
+			gap(fRows), gap(pRows))
+	}
+}
+
+func TestGranularityStudyValidation(t *testing.T) {
+	if _, err := GranularityStudy(GranularityStudyConfig{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	bad := DefaultGranularityStudyConfig()
+	bad.CacheFraction = 0
+	if _, err := GranularityStudy(bad); err == nil {
+		t.Fatal("zero cache accepted")
+	}
+	bad2 := DefaultGranularityStudyConfig()
+	bad2.MinViewedFraction = 0
+	if _, err := GranularityStudy(bad2); err == nil {
+		t.Fatal("zero viewed fraction accepted")
+	}
+}
+
+func TestScalabilityStudyShape(t *testing.T) {
+	cfg := DefaultScalabilityStudyConfig()
+	cfg.Sizes = []int{6, 25, 60}
+	cfg.Decisions = 20
+	rows, err := ScalabilityStudy(cfg)
+	if err != nil {
+		t.Fatalf("ScalabilityStudy: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		if r.Nodes != cfg.Sizes[i] {
+			t.Fatalf("row %d nodes = %d", i, r.Nodes)
+		}
+		if r.Links < r.Nodes-1 {
+			t.Fatalf("row %d links = %d", i, r.Links)
+		}
+		if r.MeanDecision <= 0 {
+			t.Fatalf("row %d decision time = %v", i, r.MeanDecision)
+		}
+		if r.MeanHops < 1 {
+			t.Fatalf("row %d hops = %g", i, r.MeanHops)
+		}
+	}
+	// Decision time grows with network size (sanity: 60 nodes costs more
+	// than 6; exact growth is platform noise).
+	if rows[2].MeanDecision < rows[0].MeanDecision {
+		t.Logf("warning: decision time did not grow (%v vs %v) — timer noise",
+			rows[0].MeanDecision, rows[2].MeanDecision)
+	}
+	out := FormatScalabilityStudy(rows)
+	if !strings.Contains(out, "MeanDecision") {
+		t.Fatalf("format:\n%s", out)
+	}
+}
+
+func TestScalabilityStudyValidation(t *testing.T) {
+	if _, err := ScalabilityStudy(ScalabilityStudyConfig{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	bad := DefaultScalabilityStudyConfig()
+	bad.Replicas = 0
+	if _, err := ScalabilityStudy(bad); err == nil {
+		t.Fatal("zero replicas accepted")
+	}
+}

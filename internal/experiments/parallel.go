@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"dvod/internal/core"
+	"dvod/internal/grnet"
+	"dvod/internal/media"
+	"dvod/internal/netsim"
+	"dvod/internal/routing"
+	"dvod/internal/topology"
+)
+
+// --- Ext-8: single-server vs multi-server parallel fetch ---------------------
+
+// ParallelFetchConfig parameterizes the delivery-strategy comparison: the
+// paper's future work stripes a title's clusters over *different servers*,
+// which lets a client pull from several replicas at once instead of from one
+// VRA-chosen server at a time.
+type ParallelFetchConfig struct {
+	// TitleBytes and ClusterBytes shape the delivery.
+	TitleBytes   int64
+	ClusterBytes int64
+	// Home is the client's node; Replicas the servers holding the title.
+	Home     topology.NodeID
+	Replicas []topology.NodeID
+	// Sample selects the background-traffic snapshot.
+	Sample grnet.SampleTime
+}
+
+// DefaultParallelFetchConfig: a Patra client, replicas at Thessaloniki,
+// Xanthi and Heraklio, under the 8am network.
+func DefaultParallelFetchConfig() ParallelFetchConfig {
+	return ParallelFetchConfig{
+		TitleBytes:   4 << 20,
+		ClusterBytes: 256 << 10,
+		Home:         grnet.Patra,
+		Replicas:     []topology.NodeID{grnet.Thessaloniki, grnet.Xanthi, grnet.Heraklio},
+		Sample:       grnet.At8am,
+	}
+}
+
+// ParallelFetchRow is one strategy's outcome.
+type ParallelFetchRow struct {
+	Strategy string
+	Elapsed  time.Duration
+	// Speedup is sequential elapsed / this strategy's elapsed.
+	Speedup float64
+}
+
+// ParallelFetch runs Ext-8: the same delivery executed (a) sequentially from
+// the per-cluster VRA-optimal server and (b) in parallel, clusters dealt
+// round-robin over every replica with one in-flight transfer per replica.
+func ParallelFetch(cfg ParallelFetchConfig) ([]ParallelFetchRow, error) {
+	if cfg.TitleBytes <= 0 || cfg.ClusterBytes <= 0 {
+		return nil, errors.New("parallel fetch: bad sizes")
+	}
+	if len(cfg.Replicas) == 0 {
+		return nil, errors.New("parallel fetch: no replicas")
+	}
+	title := media.Title{Name: "pf", SizeBytes: cfg.TitleBytes, BitrateMbps: 1.5}
+	layout := clusterLayout{size: title.SizeBytes, cluster: cfg.ClusterBytes}
+
+	seq, err := parallelFetchSequential(cfg, layout)
+	if err != nil {
+		return nil, fmt.Errorf("sequential: %w", err)
+	}
+	par, err := parallelFetchParallel(cfg, layout)
+	if err != nil {
+		return nil, fmt.Errorf("parallel: %w", err)
+	}
+	return []ParallelFetchRow{
+		{Strategy: "sequential-vra", Elapsed: seq, Speedup: 1},
+		{Strategy: "parallel-replicas", Elapsed: par, Speedup: float64(seq) / float64(par)},
+	}, nil
+}
+
+// newFetchNet builds the emulator with the sample-time background.
+func newFetchNet(cfg ParallelFetchConfig) (*netsim.Network, *topology.Snapshot, error) {
+	g, err := grnet.Backbone()
+	if err != nil {
+		return nil, nil, err
+	}
+	net := netsim.New(g, epoch)
+	for _, row := range grnet.Table2() {
+		id := topology.MakeLinkID(row.A, row.B)
+		if err := net.SetBackground(id, row.TrafficMbps[int(cfg.Sample)-1]); err != nil {
+			return nil, nil, err
+		}
+	}
+	snap, err := grnet.SnapshotOn(g, cfg.Sample)
+	if err != nil {
+		return nil, nil, err
+	}
+	return net, snap, nil
+}
+
+// parallelFetchSequential delivers clusters one at a time from the
+// VRA-chosen replica.
+func parallelFetchSequential(cfg ParallelFetchConfig, layout clusterLayout) (time.Duration, error) {
+	net, snap, err := newFetchNet(cfg)
+	if err != nil {
+		return 0, err
+	}
+	vra := core.VRA{}
+	start := net.Now()
+	for i := range layout.numParts() {
+		dec, err := vra.Select(snap, cfg.Home, cfg.Replicas)
+		if err != nil {
+			return 0, err
+		}
+		flow, err := net.StartFlow(dec.Path, layout.partLen(i))
+		if err != nil {
+			return 0, err
+		}
+		if err := net.RunUntilIdle(24 * time.Hour); err != nil {
+			return 0, err
+		}
+		if done, _ := net.Completed(flow); !done {
+			return 0, errors.New("flow did not complete")
+		}
+	}
+	return net.Now().Sub(start), nil
+}
+
+// parallelFetchParallel deals clusters round-robin over every replica and
+// keeps one flow in flight per replica.
+func parallelFetchParallel(cfg ParallelFetchConfig, layout clusterLayout) (time.Duration, error) {
+	net, snap, err := newFetchNet(cfg)
+	if err != nil {
+		return 0, err
+	}
+	// Per-replica path (fixed for the whole delivery: min-cost route).
+	weights, err := snap.Weights(topology.DefaultNormalizationK)
+	if err != nil {
+		return 0, err
+	}
+	tree, err := routing.ShortestPaths(snap.Graph(), routing.CostTable(weights), cfg.Home)
+	if err != nil {
+		return 0, err
+	}
+	paths := make(map[topology.NodeID]routing.Path, len(cfg.Replicas))
+	for _, rep := range cfg.Replicas {
+		p, err := tree.PathTo(rep)
+		if err != nil {
+			return 0, err
+		}
+		paths[rep] = p
+	}
+	// Deal clusters.
+	queues := make(map[topology.NodeID][]int, len(cfg.Replicas))
+	for i := range layout.numParts() {
+		rep := cfg.Replicas[i%len(cfg.Replicas)]
+		queues[rep] = append(queues[rep], i)
+	}
+	start := net.Now()
+	inflight := make(map[int64]topology.NodeID)
+	flows := make(map[int64]*netsim.Flow)
+	launch := func(rep topology.NodeID) error {
+		q := queues[rep]
+		if len(q) == 0 {
+			return nil
+		}
+		idx := q[0]
+		queues[rep] = q[1:]
+		flow, err := net.StartFlow(paths[rep], layout.partLen(idx))
+		if err != nil {
+			return err
+		}
+		flows[flow.ID()] = flow
+		inflight[flow.ID()] = rep
+		return nil
+	}
+	for _, rep := range cfg.Replicas {
+		if err := launch(rep); err != nil {
+			return 0, err
+		}
+	}
+	deadline := start.Add(24 * time.Hour)
+	for len(flows) > 0 {
+		at, ok := net.NextEventAt()
+		if !ok {
+			return 0, errors.New("parallel flows stalled")
+		}
+		if at.After(deadline) {
+			return 0, errors.New("parallel delivery exceeded bound")
+		}
+		if err := net.AdvanceTo(at); err != nil {
+			return 0, err
+		}
+		for id, f := range flows {
+			if done, _ := net.Completed(f); done {
+				rep := inflight[id]
+				delete(flows, id)
+				delete(inflight, id)
+				if err := launch(rep); err != nil {
+					return 0, err
+				}
+			}
+		}
+	}
+	return net.Now().Sub(start), nil
+}
+
+// FormatParallelFetch renders Ext-8.
+func FormatParallelFetch(rows []ParallelFetchRow) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "Strategy\tElapsed\tSpeedup")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%v\t%.2fx\n", r.Strategy, r.Elapsed.Round(time.Millisecond), r.Speedup)
+	}
+	_ = w.Flush()
+	return b.String()
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"dvod/internal/grnet"
+	"dvod/internal/topology"
+)
+
+func TestParallelFetchShape(t *testing.T) {
+	cfg := DefaultParallelFetchConfig()
+	cfg.TitleBytes = 2 << 20
+	rows, err := ParallelFetch(cfg)
+	if err != nil {
+		t.Fatalf("ParallelFetch: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	seq, par := rows[0], rows[1]
+	if seq.Strategy != "sequential-vra" || par.Strategy != "parallel-replicas" {
+		t.Fatalf("strategies = %s/%s", seq.Strategy, par.Strategy)
+	}
+	if seq.Elapsed <= 0 || par.Elapsed <= 0 {
+		t.Fatalf("elapsed = %v/%v", seq.Elapsed, par.Elapsed)
+	}
+	// The headline shape (future-work motivation): pulling from several
+	// replicas at once beats one-at-a-time delivery.
+	if par.Elapsed >= seq.Elapsed {
+		t.Fatalf("parallel (%v) not faster than sequential (%v)", par.Elapsed, seq.Elapsed)
+	}
+	if par.Speedup <= 1.1 {
+		t.Fatalf("speedup = %.2f, want meaningfully above 1", par.Speedup)
+	}
+	out := FormatParallelFetch(rows)
+	if !strings.Contains(out, "parallel-replicas") {
+		t.Fatalf("format:\n%s", out)
+	}
+}
+
+func TestParallelFetchSingleReplicaNoGain(t *testing.T) {
+	// With one replica the strategies coincide: same path, one flow at a
+	// time. Speedup ≈ 1.
+	cfg := DefaultParallelFetchConfig()
+	cfg.TitleBytes = 1 << 20
+	cfg.Replicas = []topology.NodeID{grnet.Xanthi}
+	rows, err := ParallelFetch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := rows[1]
+	if par.Speedup < 0.95 || par.Speedup > 1.05 {
+		t.Fatalf("single-replica speedup = %.3f, want ≈1", par.Speedup)
+	}
+}
+
+func TestParallelFetchValidation(t *testing.T) {
+	if _, err := ParallelFetch(ParallelFetchConfig{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	cfg := DefaultParallelFetchConfig()
+	cfg.Replicas = nil
+	if _, err := ParallelFetch(cfg); err == nil {
+		t.Fatal("no replicas accepted")
+	}
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"text/tabwriter"
+
+	"dvod/internal/grnet"
+	"dvod/internal/placement"
+	"dvod/internal/topology"
+)
+
+// --- Ext-10: initial replica placement quality --------------------------------
+
+// PlacementStudyConfig parameterizes the initial-placement comparison: how
+// much does choosing the first k replica sites well (vs randomly, vs
+// dumping everything at the hub) reduce the expected delivery cost the VRA
+// sees?
+type PlacementStudyConfig struct {
+	// Ks are the replica counts to sweep.
+	Ks []int
+	// Sample fixes the network conditions the placement optimizes for.
+	Sample grnet.SampleTime
+	// RandomTrials averages this many random placements per k.
+	RandomTrials int
+	Seed         int64
+}
+
+// DefaultPlacementStudyConfig sweeps k = 1..3 under 4pm conditions.
+func DefaultPlacementStudyConfig() PlacementStudyConfig {
+	return PlacementStudyConfig{
+		Ks:           []int{1, 2, 3},
+		Sample:       grnet.At4pm,
+		RandomTrials: 50,
+		Seed:         1,
+	}
+}
+
+// PlacementStudyRow is one k's outcome across strategies.
+type PlacementStudyRow struct {
+	K int
+	// Optimal is the exact k-median expected cost.
+	Optimal float64
+	// OptimalSites lists the chosen sites.
+	OptimalSites []topology.NodeID
+	// RandomMean averages uniformly random placements.
+	RandomMean float64
+	// HubOnly places every replica at the best-connected hub (Athens),
+	// wasting the extra copies — the naive origin deployment.
+	HubOnly float64
+}
+
+// PlacementStudy runs Ext-10 over a skewed per-site demand (Patra and
+// Heraklio dominate, mirroring large user populations behind thin links).
+func PlacementStudy(cfg PlacementStudyConfig) ([]PlacementStudyRow, error) {
+	if len(cfg.Ks) == 0 {
+		return nil, errors.New("placement study: no k values")
+	}
+	if cfg.RandomTrials <= 0 {
+		return nil, errors.New("placement study: need random trials")
+	}
+	snap, err := grnet.Snapshot(cfg.Sample)
+	if err != nil {
+		return nil, err
+	}
+	m, err := placement.NewCostMatrix(snap)
+	if err != nil {
+		return nil, err
+	}
+	demand := placement.Demand{
+		grnet.Patra:        5,
+		grnet.Heraklio:     4,
+		grnet.Ioannina:     2,
+		grnet.Xanthi:       2,
+		grnet.Thessaloniki: 1,
+		grnet.Athens:       1,
+	}
+	nodes := m.Nodes()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var rows []PlacementStudyRow
+	for _, k := range cfg.Ks {
+		if k <= 0 {
+			return nil, fmt.Errorf("placement study: bad k %d", k)
+		}
+		sites, err := placement.Optimize(m, demand, k)
+		if err != nil {
+			return nil, err
+		}
+		opt, err := m.ExpectedCost(sites, demand)
+		if err != nil {
+			return nil, err
+		}
+		var randSum float64
+		for range cfg.RandomTrials {
+			perm := rng.Perm(len(nodes))
+			set := make([]topology.NodeID, k)
+			for i := range k {
+				set[i] = nodes[perm[i]]
+			}
+			c, err := m.ExpectedCost(set, demand)
+			if err != nil {
+				return nil, err
+			}
+			randSum += c
+		}
+		hub, err := m.ExpectedCost([]topology.NodeID{grnet.Athens}, demand)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, PlacementStudyRow{
+			K:            k,
+			Optimal:      opt,
+			OptimalSites: sites,
+			RandomMean:   randSum / float64(cfg.RandomTrials),
+			HubOnly:      hub,
+		})
+	}
+	return rows, nil
+}
+
+// FormatPlacementStudy renders Ext-10.
+func FormatPlacementStudy(rows []PlacementStudyRow) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "K\tOptimalCost\tOptimalSites\tRandomMean\tHubOnly")
+	for _, r := range rows {
+		sites := make([]string, len(r.OptimalSites))
+		for i, s := range r.OptimalSites {
+			sites[i] = string(s)
+		}
+		fmt.Fprintf(w, "%d\t%.4f\t%s\t%.4f\t%.4f\n",
+			r.K, r.Optimal, strings.Join(sites, "+"), r.RandomMean, r.HubOnly)
+	}
+	_ = w.Flush()
+	return b.String()
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlacementStudyShape(t *testing.T) {
+	rows, err := PlacementStudy(DefaultPlacementStudyConfig())
+	if err != nil {
+		t.Fatalf("PlacementStudy: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		if r.K != i+1 || len(r.OptimalSites) != r.K {
+			t.Fatalf("row %d = %+v", i, r)
+		}
+		// Optimal never loses to the random mean or the hub-only plan.
+		if r.Optimal > r.RandomMean+1e-12 {
+			t.Errorf("k=%d: optimal %.4f beats random mean %.4f?", r.K, r.Optimal, r.RandomMean)
+		}
+		if r.Optimal > r.HubOnly+1e-12 {
+			t.Errorf("k=%d: optimal %.4f worse than hub-only %.4f", r.K, r.Optimal, r.HubOnly)
+		}
+		// More replicas never hurt.
+		if i > 0 && r.Optimal > rows[i-1].Optimal+1e-12 {
+			t.Errorf("k=%d optimal %.4f worse than k=%d's %.4f",
+				r.K, r.Optimal, rows[i-1].K, rows[i-1].Optimal)
+		}
+	}
+	// With three well-placed replicas the expected cost should be far
+	// below the single-hub deployment.
+	last := rows[len(rows)-1]
+	if last.Optimal > last.HubOnly/2 {
+		t.Errorf("k=3 optimal %.4f not well below hub-only %.4f", last.Optimal, last.HubOnly)
+	}
+	out := FormatPlacementStudy(rows)
+	if !strings.Contains(out, "OptimalSites") || !strings.Contains(out, "+") {
+		t.Fatalf("format:\n%s", out)
+	}
+}
+
+func TestPlacementStudyValidation(t *testing.T) {
+	if _, err := PlacementStudy(PlacementStudyConfig{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	bad := DefaultPlacementStudyConfig()
+	bad.Ks = []int{0}
+	if _, err := PlacementStudy(bad); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	bad2 := DefaultPlacementStudyConfig()
+	bad2.RandomTrials = 0
+	if _, err := PlacementStudy(bad2); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+}

@@ -1,0 +1,469 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"dvod/internal/core"
+	"dvod/internal/db"
+	"dvod/internal/eventlog"
+	"dvod/internal/grnet"
+	"dvod/internal/media"
+	"dvod/internal/netsim"
+	"dvod/internal/snmp"
+	"dvod/internal/topology"
+	"dvod/internal/workload"
+)
+
+// ReplayConfig parameterizes an emulated-plane day replay: client requests
+// arrive as a trace, every delivery runs cluster by cluster over the
+// network emulator (sharing bandwidth with the diurnal background traffic
+// and with each other), and the routing policy under test picks the serving
+// replica for every cluster using the SNMP-fed database view.
+type ReplayConfig struct {
+	// Selector is the routing policy under test.
+	Selector core.Selector
+	// Titles and Placement: which servers hold each title (static for the
+	// routing study; the cache study exercises dynamics separately).
+	Titles    []media.Title
+	Placement map[string][]topology.NodeID
+	// Requests is the demand trace (time-ordered).
+	Requests []workload.Request
+	// ClusterBytes is the delivery granularity c.
+	ClusterBytes int64
+	// PollInterval is the SNMP refresh period (default 90s).
+	PollInterval time.Duration
+	// BackgroundInterval is how often diurnal background traffic is
+	// re-applied to the emulator (default 5 minutes).
+	BackgroundInterval time.Duration
+	// Diurnal supplies background traffic; nil uses the Table 2 model.
+	Diurnal *workload.DiurnalModel
+	// MaxSimulated bounds the replay (default 24h of virtual time).
+	MaxSimulated time.Duration
+	// Events optionally receives structured events (nil disables).
+	Events *eventlog.Log
+	// Latency optionally assigns per-link propagation delays (default 0).
+	Latency map[topology.LinkID]time.Duration
+}
+
+// SessionResult summarizes one delivered title.
+type SessionResult struct {
+	Request     workload.Request
+	NumClusters int
+	// Switches counts mid-stream server changes.
+	Switches int
+	// Local is true when every cluster came from the home server.
+	Local bool
+	// PathCost sums the LVN cost of each cluster's route (0 for local).
+	PathCost float64
+	// StartupDelay, StallTime, Elapsed follow the player's stall model.
+	StartupDelay time.Duration
+	StallTime    time.Duration
+	Elapsed      time.Duration
+	Stalls       int
+}
+
+// ReplayResult aggregates a whole replay.
+type ReplayResult struct {
+	Policy    string
+	Sessions  []SessionResult
+	Failed    int // requests that found no candidate/reachable server
+	Simulated time.Duration
+}
+
+// MeanPathCost averages the per-cluster path cost over all clusters.
+func (r ReplayResult) MeanPathCost() float64 {
+	var cost float64
+	var clusters int
+	for _, s := range r.Sessions {
+		cost += s.PathCost
+		clusters += s.NumClusters
+	}
+	if clusters == 0 {
+		return 0
+	}
+	return cost / float64(clusters)
+}
+
+// StallRatio returns total stall time over total playback time.
+func (r ReplayResult) StallRatio() float64 {
+	var stall, play time.Duration
+	for _, s := range r.Sessions {
+		stall += s.StallTime
+		play += s.Elapsed
+	}
+	if play == 0 {
+		return 0
+	}
+	return float64(stall) / float64(play)
+}
+
+// MeanStartup averages startup delays.
+func (r ReplayResult) MeanStartup() time.Duration {
+	if len(r.Sessions) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, s := range r.Sessions {
+		total += s.StartupDelay
+	}
+	return total / time.Duration(len(r.Sessions))
+}
+
+// TotalSwitches sums mid-stream switches.
+func (r ReplayResult) TotalSwitches() int {
+	var n int
+	for _, s := range r.Sessions {
+		n += s.Switches
+	}
+	return n
+}
+
+// session is one in-flight delivery inside the replay engine.
+type session struct {
+	req      workload.Request
+	title    media.Title
+	layout   clusterLayout
+	next     int
+	last     topology.NodeID
+	started  time.Time
+	arrivals []time.Time
+	result   SessionResult
+	flow     *netsim.Flow
+}
+
+// clusterLayout is the minimal part math the replay needs.
+type clusterLayout struct {
+	size, cluster int64
+}
+
+func (l clusterLayout) numParts() int {
+	return int((l.size + l.cluster - 1) / l.cluster)
+}
+
+func (l clusterLayout) partLen(i int) int64 {
+	off := int64(i) * l.cluster
+	n := l.cluster
+	if off+n > l.size {
+		n = l.size - off
+	}
+	return n
+}
+
+// ReplayEvent is a scripted mid-replay network change: at the given
+// instant, the listed links' background traffic is set (overriding the
+// diurnal model until its next refresh).
+type ReplayEvent struct {
+	At         time.Time
+	Background map[topology.LinkID]float64
+}
+
+// Replay runs the emulated-plane simulation and aggregates results.
+func Replay(cfg ReplayConfig) (ReplayResult, error) {
+	return ReplayWithEvents(cfg, nil)
+}
+
+// ReplayWithEvents runs Replay with scripted network changes injected at
+// their instants (events must be time-ordered).
+func ReplayWithEvents(cfg ReplayConfig, events []ReplayEvent) (ReplayResult, error) {
+	if cfg.Selector == nil {
+		return ReplayResult{}, errors.New("replay: nil selector")
+	}
+	if cfg.ClusterBytes <= 0 {
+		return ReplayResult{}, fmt.Errorf("replay: bad cluster size %d", cfg.ClusterBytes)
+	}
+	if len(cfg.Requests) == 0 {
+		return ReplayResult{}, errors.New("replay: empty request trace")
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 90 * time.Second
+	}
+	if cfg.BackgroundInterval <= 0 {
+		cfg.BackgroundInterval = 5 * time.Minute
+	}
+	if cfg.Diurnal == nil {
+		cfg.Diurnal = workload.NewDiurnalModel(grnet.Table2())
+	}
+	if cfg.MaxSimulated <= 0 {
+		cfg.MaxSimulated = 24 * time.Hour
+	}
+
+	g, err := grnet.Backbone()
+	if err != nil {
+		return ReplayResult{}, err
+	}
+	d := db.New(g)
+	titles := make(map[string]media.Title, len(cfg.Titles))
+	for _, t := range cfg.Titles {
+		titles[t.Name] = t
+		if err := d.Catalog().AddTitle(t); err != nil {
+			return ReplayResult{}, err
+		}
+		for _, h := range cfg.Placement[t.Name] {
+			if err := d.SetHolding(h, t.Name, true, cfg.Requests[0].At); err != nil {
+				return ReplayResult{}, err
+			}
+		}
+	}
+	planner, err := core.NewPlanner(d, cfg.Selector, nil)
+	if err != nil {
+		return ReplayResult{}, err
+	}
+
+	start := cfg.Requests[0].At
+	net := netsim.New(g, start)
+	for id, d := range cfg.Latency {
+		if err := net.SetLatency(id, d); err != nil {
+			return ReplayResult{}, err
+		}
+	}
+	var agents []*snmp.Agent
+	for _, node := range grnet.Nodes() {
+		a, err := snmp.NewAgent(node, g, net)
+		if err != nil {
+			return ReplayResult{}, err
+		}
+		agents = append(agents, a)
+	}
+	applyBackground := func(at time.Time) error {
+		for _, id := range cfg.Diurnal.Links() {
+			mbps, err := cfg.Diurnal.TrafficAt(id, at)
+			if err != nil {
+				return err
+			}
+			if err := net.SetBackground(id, mbps); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	poll := func(at time.Time) error {
+		for _, a := range agents {
+			samples, err := a.Sample()
+			if err != nil {
+				return err
+			}
+			for _, s := range samples {
+				if err := d.UpsertLinkStats(s.ID, s.UsedMbps, at); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := applyBackground(start); err != nil {
+		return ReplayResult{}, err
+	}
+	if err := poll(start); err != nil {
+		return ReplayResult{}, err
+	}
+
+	result := ReplayResult{Policy: cfg.Selector.Name()}
+	pending := append([]workload.Request(nil), cfg.Requests...)
+	active := make(map[*session]struct{})
+	flowOwner := make(map[int64]*session)
+	nextPoll := start.Add(cfg.PollInterval)
+	nextBg := start.Add(cfg.BackgroundInterval)
+	deadline := start.Add(cfg.MaxSimulated)
+
+	// startCluster plans and launches the next cluster of a session; a
+	// completed session is finalized and removed. It is self-recursive:
+	// local (zero-hop) clusters complete instantly and chain to the next.
+	var startCluster func(s *session) error
+	startCluster = func(s *session) error {
+		if s.next >= s.layout.numParts() {
+			finalize(s, net.Now())
+			result.Sessions = append(result.Sessions, s.result)
+			delete(active, s)
+			_ = cfg.Events.Emit(eventlog.Event{
+				At: net.Now(), Kind: eventlog.KindSessionDone,
+				Node: s.req.Client, Title: s.req.Title,
+				Value: s.result.Elapsed.Seconds(),
+			})
+			return nil
+		}
+		dec, err := planner.Plan(s.req.Client, s.req.Title)
+		if err != nil {
+			// No candidate reachable right now: count the failure and
+			// abandon the session.
+			result.Failed++
+			delete(active, s)
+			_ = cfg.Events.Emit(eventlog.Event{
+				At: net.Now(), Kind: eventlog.KindBlocked,
+				Node: s.req.Client, Title: s.req.Title,
+			})
+			return nil
+		}
+		_ = cfg.Events.Emit(eventlog.Event{
+			At: net.Now(), Kind: eventlog.KindDecision,
+			Node: s.req.Client, Title: s.req.Title, Cluster: s.next,
+			Server: dec.Server, Path: dec.Path.String(), Value: dec.Cost,
+		})
+		if s.last != "" && dec.Server != s.last {
+			s.result.Switches++
+			_ = cfg.Events.Emit(eventlog.Event{
+				At: net.Now(), Kind: eventlog.KindSwitch,
+				Node: s.req.Client, Title: s.req.Title, Cluster: s.next,
+				Server: dec.Server,
+			})
+		}
+		s.last = dec.Server
+		s.result.PathCost += dec.Cost
+		if !dec.Local {
+			s.result.Local = false
+		}
+		bytes := s.layout.partLen(s.next)
+		s.next++
+		// The flow runs from the serving server toward the home node
+		// along the decided route (direction does not matter to the
+		// fluid model).
+		flow, err := net.StartFlow(dec.Path, bytes)
+		if err != nil {
+			return err
+		}
+		if done, at := net.Completed(flow); done {
+			// Zero-hop (local) delivery completes instantly.
+			s.arrivals = append(s.arrivals, at)
+			return startCluster(s)
+		}
+		s.flow = flow
+		flowOwner[flow.ID()] = s
+		return nil
+	}
+
+	for len(pending) > 0 || len(active) > 0 {
+		if net.Now().After(deadline) {
+			return result, fmt.Errorf("replay exceeded %v of simulated time", cfg.MaxSimulated)
+		}
+		// Next event: request arrival, flow completion, poll, scripted
+		// event, or background refresh.
+		next := nextPoll
+		if nextBg.Before(next) {
+			next = nextBg
+		}
+		if len(events) > 0 && events[0].At.Before(next) {
+			next = events[0].At
+		}
+		if len(pending) > 0 && pending[0].At.Before(next) {
+			next = pending[0].At
+		}
+		if at, ok := net.NextEventAt(); ok && at.Before(next) {
+			next = at
+		}
+		if next.Before(net.Now()) {
+			next = net.Now()
+		}
+		if err := net.AdvanceTo(next); err != nil {
+			return result, err
+		}
+		now := net.Now()
+
+		// Flow completions.
+		for fid, s := range flowOwner {
+			if s.flow == nil {
+				delete(flowOwner, fid)
+				continue
+			}
+			if done, at := net.Completed(s.flow); done {
+				delete(flowOwner, fid)
+				s.flow = nil
+				s.arrivals = append(s.arrivals, at)
+				if err := startCluster(s); err != nil {
+					return result, err
+				}
+			}
+		}
+		// Arrivals due now.
+		for len(pending) > 0 && !pending[0].At.After(now) {
+			req := pending[0]
+			pending = pending[1:]
+			_ = cfg.Events.Emit(eventlog.Event{
+				At: req.At, Kind: eventlog.KindRequest,
+				Node: req.Client, Title: req.Title,
+			})
+			title, ok := titles[req.Title]
+			if !ok {
+				result.Failed++
+				continue
+			}
+			s := &session{
+				req:     req,
+				title:   title,
+				layout:  clusterLayout{size: title.SizeBytes, cluster: cfg.ClusterBytes},
+				started: now,
+				result: SessionResult{
+					Request:     req,
+					NumClusters: 0,
+					Local:       true,
+				},
+			}
+			s.result.NumClusters = s.layout.numParts()
+			active[s] = struct{}{}
+			if err := startCluster(s); err != nil {
+				return result, err
+			}
+		}
+		// Scripted events due now.
+		for len(events) > 0 && !events[0].At.After(now) {
+			for id, mbps := range events[0].Background {
+				if err := net.SetBackground(id, mbps); err != nil {
+					return result, err
+				}
+			}
+			events = events[1:]
+		}
+		// Housekeeping.
+		if !now.Before(nextPoll) {
+			if err := poll(now); err != nil {
+				return result, err
+			}
+			nextPoll = nextPoll.Add(cfg.PollInterval)
+		}
+		if !now.Before(nextBg) {
+			if err := applyBackground(now); err != nil {
+				return result, err
+			}
+			nextBg = nextBg.Add(cfg.BackgroundInterval)
+		}
+		// If nothing can ever complete (all active flows stalled at rate
+		// 0) and no future arrivals or housekeeping would change that,
+		// the run is stuck — but background refreshes always recur, so
+		// progress resumes once traffic recedes. Guard only against a
+		// pathological zero-interval loop.
+		if len(active) > 0 && len(pending) == 0 {
+			if _, ok := net.NextEventAt(); !ok && nextPoll.After(deadline) && nextBg.After(deadline) {
+				return result, errors.New("replay deadlocked: stalled flows and no future events")
+			}
+		}
+	}
+	result.Simulated = net.Now().Sub(start)
+	sort.Slice(result.Sessions, func(i, j int) bool {
+		return result.Sessions[i].Request.At.Before(result.Sessions[j].Request.At)
+	})
+	return result, nil
+}
+
+// finalize computes the stall model for a finished session.
+func finalize(s *session, now time.Time) {
+	s.result.Elapsed = now.Sub(s.started)
+	if len(s.arrivals) == 0 || s.title.BitrateMbps <= 0 {
+		return
+	}
+	s.result.StartupDelay = s.arrivals[0].Sub(s.started)
+	playhead := s.arrivals[0]
+	for i, at := range s.arrivals {
+		if at.After(playhead) {
+			s.result.Stalls++
+			s.result.StallTime += at.Sub(playhead)
+			playhead = at
+		}
+		playSec := float64(s.layout.partLen(i)*8) / (s.title.BitrateMbps * 1e6)
+		playhead = playhead.Add(time.Duration(playSec * float64(time.Second)))
+	}
+	if math.IsNaN(s.result.PathCost) {
+		s.result.PathCost = 0
+	}
+}

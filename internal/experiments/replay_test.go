@@ -1,0 +1,267 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"dvod/internal/core"
+	"dvod/internal/grnet"
+	"dvod/internal/media"
+	"dvod/internal/topology"
+	"dvod/internal/workload"
+)
+
+func replayTitle() media.Title {
+	return media.Title{Name: "movie", SizeBytes: 512 << 10, BitrateMbps: 1.5}
+}
+
+func TestReplayValidation(t *testing.T) {
+	title := replayTitle()
+	good := ReplayConfig{
+		Selector:     core.VRA{},
+		Titles:       []media.Title{title},
+		Placement:    map[string][]topology.NodeID{title.Name: {grnet.Xanthi}},
+		Requests:     []workload.Request{{At: epoch, Client: grnet.Patra, Title: title.Name}},
+		ClusterBytes: 64 << 10,
+	}
+	if _, err := Replay(good); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	noSel := good
+	noSel.Selector = nil
+	if _, err := Replay(noSel); err == nil {
+		t.Fatal("nil selector accepted")
+	}
+	noReq := good
+	noReq.Requests = nil
+	if _, err := Replay(noReq); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	badCluster := good
+	badCluster.ClusterBytes = 0
+	if _, err := Replay(badCluster); err == nil {
+		t.Fatal("zero cluster accepted")
+	}
+}
+
+func TestReplayLocalDelivery(t *testing.T) {
+	title := replayTitle()
+	res, err := Replay(ReplayConfig{
+		Selector:     core.VRA{},
+		Titles:       []media.Title{title},
+		Placement:    map[string][]topology.NodeID{title.Name: {grnet.Patra}},
+		Requests:     []workload.Request{{At: epoch, Client: grnet.Patra, Title: title.Name}},
+		ClusterBytes: 64 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sessions) != 1 || res.Failed != 0 {
+		t.Fatalf("sessions = %d failed = %d", len(res.Sessions), res.Failed)
+	}
+	s := res.Sessions[0]
+	if !s.Local {
+		t.Fatal("home-held title delivered remotely")
+	}
+	if s.PathCost != 0 || s.StallTime != 0 || s.Elapsed != 0 {
+		t.Fatalf("local delivery has nonzero costs: %+v", s)
+	}
+	if s.NumClusters != 8 {
+		t.Fatalf("clusters = %d, want 8", s.NumClusters)
+	}
+}
+
+func TestReplayRemoteDelivery(t *testing.T) {
+	title := replayTitle() // 512 KiB = 4.19 Mbit
+	res, err := Replay(ReplayConfig{
+		Selector:     core.VRA{},
+		Titles:       []media.Title{title},
+		Placement:    map[string][]topology.NodeID{title.Name: {grnet.Thessaloniki, grnet.Xanthi}},
+		Requests:     []workload.Request{{At: epoch, Client: grnet.Patra, Title: title.Name}},
+		ClusterBytes: 64 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sessions) != 1 {
+		t.Fatalf("sessions = %d (failed %d)", len(res.Sessions), res.Failed)
+	}
+	s := res.Sessions[0]
+	if s.Local {
+		t.Fatal("remote delivery marked local")
+	}
+	if s.PathCost <= 0 {
+		t.Fatalf("path cost = %g", s.PathCost)
+	}
+	// 4.19 Mbit at ≤1.7 Mbps (Thess-Ioannina residual at 8am) needs >2s.
+	if s.Elapsed < 2*time.Second || s.Elapsed > time.Minute {
+		t.Fatalf("elapsed = %v", s.Elapsed)
+	}
+	if s.Switches != 0 {
+		t.Fatalf("switches = %d under stable conditions", s.Switches)
+	}
+}
+
+func TestReplayFailedRequests(t *testing.T) {
+	title := replayTitle()
+	res, err := Replay(ReplayConfig{
+		Selector:  core.VRA{},
+		Titles:    []media.Title{title},
+		Placement: map[string][]topology.NodeID{}, // nobody holds it
+		Requests: []workload.Request{
+			{At: epoch, Client: grnet.Patra, Title: title.Name},
+			{At: epoch.Add(time.Second), Client: grnet.Athens, Title: "unknown-title"},
+		},
+		ClusterBytes: 64 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 2 || len(res.Sessions) != 0 {
+		t.Fatalf("failed = %d sessions = %d", res.Failed, len(res.Sessions))
+	}
+}
+
+func TestReplayEventTriggersSwitch(t *testing.T) {
+	// Large title, small clusters; congest the initially chosen route
+	// mid-delivery and expect at least one server switch.
+	title := media.Title{Name: "movie", SizeBytes: 2 << 20, BitrateMbps: 1.5}
+	res, err := ReplayWithEvents(ReplayConfig{
+		Selector:           core.VRA{},
+		Titles:             []media.Title{title},
+		Placement:          map[string][]topology.NodeID{title.Name: {grnet.Thessaloniki, grnet.Xanthi}},
+		Requests:           []workload.Request{{At: epoch, Client: grnet.Patra, Title: title.Name}},
+		ClusterBytes:       64 << 10,
+		PollInterval:       5 * time.Second,
+		BackgroundInterval: 12 * time.Hour,
+	}, []ReplayEvent{{
+		At: epoch.Add(2 * time.Second),
+		Background: map[topology.LinkID]float64{
+			topology.MakeLinkID(grnet.Patra, grnet.Ioannina):        1.99,
+			topology.MakeLinkID(grnet.Thessaloniki, grnet.Ioannina): 1.99,
+		},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sessions) != 1 {
+		t.Fatalf("sessions = %d (failed %d)", len(res.Sessions), res.Failed)
+	}
+	s := res.Sessions[0]
+	if s.Switches == 0 {
+		t.Fatal("congestion event did not trigger a mid-stream switch")
+	}
+	// After switching, the delivery moved to Xanthi's route; the session
+	// still completes.
+	if s.NumClusters != 32 {
+		t.Fatalf("clusters = %d", s.NumClusters)
+	}
+}
+
+func TestReplayConcurrentSessionsShareBandwidth(t *testing.T) {
+	// Two Patra clients pull the same remote title simultaneously: both
+	// complete, and the shared bottleneck makes each slower than a solo
+	// run.
+	title := replayTitle()
+	solo, err := Replay(ReplayConfig{
+		Selector:     core.VRA{},
+		Titles:       []media.Title{title},
+		Placement:    map[string][]topology.NodeID{title.Name: {grnet.Xanthi}},
+		Requests:     []workload.Request{{At: epoch, Client: grnet.Patra, Title: title.Name}},
+		ClusterBytes: 128 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := Replay(ReplayConfig{
+		Selector:  core.VRA{},
+		Titles:    []media.Title{title},
+		Placement: map[string][]topology.NodeID{title.Name: {grnet.Xanthi}},
+		Requests: []workload.Request{
+			{At: epoch, Client: grnet.Patra, Title: title.Name},
+			{At: epoch, Client: grnet.Patra, Title: title.Name},
+		},
+		ClusterBytes: 128 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(both.Sessions) != 2 {
+		t.Fatalf("sessions = %d", len(both.Sessions))
+	}
+	soloTime := solo.Sessions[0].Elapsed
+	sharedMax := both.Sessions[0].Elapsed
+	if both.Sessions[1].Elapsed > sharedMax {
+		sharedMax = both.Sessions[1].Elapsed
+	}
+	if sharedMax <= soloTime {
+		t.Fatalf("sharing did not slow delivery: solo %v, shared %v", soloTime, sharedMax)
+	}
+}
+
+func TestReplayResultAggregates(t *testing.T) {
+	var r ReplayResult
+	if r.MeanPathCost() != 0 || r.StallRatio() != 0 || r.MeanStartup() != 0 || r.TotalSwitches() != 0 {
+		t.Fatal("empty aggregates should be zero")
+	}
+	r.Sessions = []SessionResult{
+		{NumClusters: 2, PathCost: 1.0, StallTime: time.Second, Elapsed: 10 * time.Second,
+			StartupDelay: time.Second, Switches: 1},
+		{NumClusters: 2, PathCost: 3.0, Elapsed: 10 * time.Second, StartupDelay: 3 * time.Second},
+	}
+	if got := r.MeanPathCost(); got != 1.0 {
+		t.Fatalf("MeanPathCost = %g, want 1", got)
+	}
+	if got := r.StallRatio(); got != 0.05 {
+		t.Fatalf("StallRatio = %g, want 0.05", got)
+	}
+	if got := r.MeanStartup(); got != 2*time.Second {
+		t.Fatalf("MeanStartup = %v", got)
+	}
+	if got := r.TotalSwitches(); got != 1 {
+		t.Fatalf("TotalSwitches = %d", got)
+	}
+}
+
+func TestReplayWithLatency(t *testing.T) {
+	// A 2-hop remote delivery with 40ms per link: startup delay includes
+	// the 80ms propagation, and the session still completes verified.
+	title := replayTitle()
+	lat := map[topology.LinkID]time.Duration{
+		topology.MakeLinkID(grnet.Patra, grnet.Ioannina):        40 * time.Millisecond,
+		topology.MakeLinkID(grnet.Ioannina, grnet.Thessaloniki): 40 * time.Millisecond,
+	}
+	res, err := Replay(ReplayConfig{
+		Selector:     core.VRA{},
+		Titles:       []media.Title{title},
+		Placement:    map[string][]topology.NodeID{title.Name: {grnet.Thessaloniki}},
+		Requests:     []workload.Request{{At: epoch, Client: grnet.Patra, Title: title.Name}},
+		ClusterBytes: 64 << 10,
+		Latency:      lat,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sessions) != 1 {
+		t.Fatalf("sessions = %d", len(res.Sessions))
+	}
+	s := res.Sessions[0]
+	if s.StartupDelay < 80*time.Millisecond {
+		t.Fatalf("startup %v does not include the 80ms propagation", s.StartupDelay)
+	}
+	// Zero-latency run is strictly faster to first byte.
+	res0, err := Replay(ReplayConfig{
+		Selector:     core.VRA{},
+		Titles:       []media.Title{title},
+		Placement:    map[string][]topology.NodeID{title.Name: {grnet.Thessaloniki}},
+		Requests:     []workload.Request{{At: epoch, Client: grnet.Patra, Title: title.Name}},
+		ClusterBytes: 64 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res0.Sessions[0].StartupDelay >= s.StartupDelay {
+		t.Fatalf("latency did not slow startup: %v vs %v",
+			res0.Sessions[0].StartupDelay, s.StartupDelay)
+	}
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"dvod/internal/core"
+	"dvod/internal/topogen"
+	"dvod/internal/topology"
+)
+
+// --- Ext-7: VRA scalability with network size --------------------------------
+
+// ScalabilityStudyConfig parameterizes the decision-latency sweep over
+// growing random topologies.
+type ScalabilityStudyConfig struct {
+	// Sizes are the node counts to sweep.
+	Sizes []int
+	// Degree is the target mean node degree of the random graphs.
+	Degree float64
+	// Decisions per size (averaged).
+	Decisions int
+	// Replicas per title.
+	Replicas int
+	Seed     int64
+}
+
+// DefaultScalabilityStudyConfig sweeps 6..200 nodes (the paper's network is
+// 6; the service claims "expandability ... with very little effort").
+func DefaultScalabilityStudyConfig() ScalabilityStudyConfig {
+	return ScalabilityStudyConfig{
+		Sizes:     []int{6, 12, 25, 50, 100, 200},
+		Degree:    2.4,
+		Decisions: 50,
+		Replicas:  3,
+		Seed:      1,
+	}
+}
+
+// ScalabilityRow is one network size's measurements.
+type ScalabilityRow struct {
+	Nodes int
+	Links int
+	// MeanDecision is the average wall time of one full VRA decision
+	// (weighting + Dijkstra + candidate choice).
+	MeanDecision time.Duration
+	// MeanPathCost and MeanHops describe the decisions made.
+	MeanPathCost float64
+	MeanHops     float64
+}
+
+// ScalabilityStudy runs Ext-7: full VRA decisions on random connected
+// topologies of growing size, with random utilization and random replica
+// placement.
+func ScalabilityStudy(cfg ScalabilityStudyConfig) ([]ScalabilityRow, error) {
+	if len(cfg.Sizes) == 0 || cfg.Decisions <= 0 {
+		return nil, errors.New("scalability study: need sizes and decisions")
+	}
+	if cfg.Replicas < 1 {
+		return nil, fmt.Errorf("scalability study: bad replicas %d", cfg.Replicas)
+	}
+	var rows []ScalabilityRow
+	for _, n := range cfg.Sizes {
+		r := rand.New(rand.NewSource(cfg.Seed + int64(n)))
+		g, err := topogen.Random(n, cfg.Degree, r)
+		if err != nil {
+			return nil, fmt.Errorf("size %d: %w", n, err)
+		}
+		util := topogen.RandomUtilization(g, 0.95, r)
+		snap, err := topology.NewSnapshot(g, util)
+		if err != nil {
+			return nil, err
+		}
+		nodes := g.Nodes()
+		vra := core.VRA{}
+		var (
+			total     time.Duration
+			cost      float64
+			hops      int
+			succeeded int
+		)
+		for range cfg.Decisions {
+			home := nodes[r.Intn(len(nodes))]
+			candidates := make([]topology.NodeID, 0, cfg.Replicas)
+			for len(candidates) < cfg.Replicas {
+				c := nodes[r.Intn(len(nodes))]
+				if c == home {
+					continue
+				}
+				dup := false
+				for _, x := range candidates {
+					if x == c {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					candidates = append(candidates, c)
+				}
+			}
+			start := time.Now()
+			dec, err := vra.Select(snap, home, candidates)
+			total += time.Since(start)
+			if err != nil {
+				return nil, fmt.Errorf("size %d decision: %w", n, err)
+			}
+			cost += dec.Cost
+			hops += dec.Path.Hops()
+			succeeded++
+		}
+		rows = append(rows, ScalabilityRow{
+			Nodes:        n,
+			Links:        g.NumLinks(),
+			MeanDecision: total / time.Duration(succeeded),
+			MeanPathCost: cost / float64(succeeded),
+			MeanHops:     float64(hops) / float64(succeeded),
+		})
+	}
+	return rows, nil
+}
+
+// FormatScalabilityStudy renders Ext-7.
+func FormatScalabilityStudy(rows []ScalabilityRow) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "Nodes\tLinks\tMeanDecision\tMeanPathCost\tMeanHops")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%d\t%v\t%.4f\t%.2f\n",
+			r.Nodes, r.Links, r.MeanDecision.Round(time.Microsecond), r.MeanPathCost, r.MeanHops)
+	}
+	_ = w.Flush()
+	return b.String()
+}

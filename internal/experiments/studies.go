@@ -1,0 +1,492 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"dvod/internal/baseline"
+	"dvod/internal/cache"
+	"dvod/internal/core"
+	"dvod/internal/disk"
+	"dvod/internal/grnet"
+	"dvod/internal/media"
+	"dvod/internal/striping"
+	"dvod/internal/topology"
+	"dvod/internal/workload"
+)
+
+// --- Ext-1: routing policy comparison ------------------------------------
+
+// RoutingStudyConfig parameterizes the VRA-vs-baselines replay.
+type RoutingStudyConfig struct {
+	// Policies to compare; empty means all of baseline.Names().
+	Policies []string
+	// NumTitles, Replicas: library size and copies per title.
+	NumTitles int
+	Replicas  int
+	// Requests and RatePerSec: trace volume.
+	Duration   time.Duration
+	RatePerSec float64
+	// TitleBytes is the (scaled-down) title size; ClusterBytes the
+	// delivery granularity.
+	TitleBytes   int64
+	ClusterBytes int64
+	// Seed drives placement and the trace.
+	Seed int64
+}
+
+// DefaultRoutingStudyConfig is sized to run in well under a second while
+// still exercising contention: a busy morning hour on the GRNET backbone.
+func DefaultRoutingStudyConfig() RoutingStudyConfig {
+	return RoutingStudyConfig{
+		NumTitles:    20,
+		Replicas:     2,
+		Duration:     time.Hour,
+		RatePerSec:   0.02, // ≈72 requests over the hour
+		TitleBytes:   1 << 20,
+		ClusterBytes: 128 << 10,
+		Seed:         1,
+	}
+}
+
+// RoutingStudyRow is one policy's aggregate outcome.
+type RoutingStudyRow struct {
+	Policy       string
+	Sessions     int
+	Failed       int
+	MeanPathCost float64
+	MeanStartup  time.Duration
+	StallRatio   float64
+	Switches     int
+}
+
+// RoutingStudy replays the identical trace under each policy (Ext-1).
+func RoutingStudy(cfg RoutingStudyConfig) ([]RoutingStudyRow, error) {
+	if cfg.NumTitles <= 0 || cfg.Replicas <= 0 {
+		return nil, errors.New("routing study: need titles and replicas")
+	}
+	policies := cfg.Policies
+	if len(policies) == 0 {
+		policies = baseline.Names()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	titles, placement, names, err := makeLibrary(cfg.NumTitles, cfg.Replicas, cfg.TitleBytes, rng)
+	if err != nil {
+		return nil, err
+	}
+	trace, err := workload.GenerateTrace(workload.TraceConfig{
+		Titles:     names,
+		Clients:    grnet.Nodes(),
+		Theta:      0.729,
+		RatePerSec: cfg.RatePerSec,
+		Start:      epoch,
+		Duration:   cfg.Duration,
+		Seed:       cfg.Seed + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []RoutingStudyRow
+	for _, name := range policies {
+		sel, err := baseline.ByName(name, cfg.Seed+2)
+		if err != nil {
+			return nil, err
+		}
+		res, err := Replay(ReplayConfig{
+			Selector:     sel,
+			Titles:       titles,
+			Placement:    placement,
+			Requests:     trace,
+			ClusterBytes: cfg.ClusterBytes,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("replay %s: %w", name, err)
+		}
+		rows = append(rows, RoutingStudyRow{
+			Policy:       name,
+			Sessions:     len(res.Sessions),
+			Failed:       res.Failed,
+			MeanPathCost: res.MeanPathCost(),
+			MeanStartup:  res.MeanStartup(),
+			StallRatio:   res.StallRatio(),
+			Switches:     res.TotalSwitches(),
+		})
+	}
+	return rows, nil
+}
+
+// makeLibrary builds a synthetic library and a random k-replica placement.
+func makeLibrary(numTitles, replicas int, titleBytes int64, rng *rand.Rand) ([]media.Title, map[string][]topology.NodeID, []string, error) {
+	lib, err := media.GenerateLibrary(media.LibrarySpec{
+		Count:       numTitles,
+		MinBytes:    titleBytes,
+		MaxBytes:    titleBytes,
+		BitrateMbps: 1.5,
+	}, rng)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	nodes := grnet.Nodes()
+	if replicas > len(nodes) {
+		replicas = len(nodes)
+	}
+	placement := make(map[string][]topology.NodeID, len(lib))
+	names := make([]string, 0, len(lib))
+	for _, t := range lib {
+		perm := rng.Perm(len(nodes))
+		for i := range replicas {
+			placement[t.Name] = append(placement[t.Name], nodes[perm[i]])
+		}
+		names = append(names, t.Name)
+	}
+	return lib, placement, names, nil
+}
+
+// --- Ext-2: cache policy comparison ---------------------------------------
+
+// CacheStudyConfig parameterizes the DMA-vs-LRU/LFU/none sweep.
+type CacheStudyConfig struct {
+	// Thetas are the Zipf skews to sweep.
+	Thetas []float64
+	// NumTitles, TitleBytes: library shape (all titles equal-sized).
+	NumTitles  int
+	TitleBytes int64
+	// CacheFraction is cache capacity as a fraction of the total library
+	// size.
+	CacheFraction float64
+	// Requests is the stream length per (theta, policy) cell.
+	Requests int
+	// ClusterBytes is the striping granularity.
+	ClusterBytes int64
+	Seed         int64
+}
+
+// DefaultCacheStudyConfig sweeps three skews against a 20% cache.
+func DefaultCacheStudyConfig() CacheStudyConfig {
+	return CacheStudyConfig{
+		Thetas:        []float64{0, 0.729, 1.2},
+		NumTitles:     50,
+		TitleBytes:    64 << 10,
+		CacheFraction: 0.2,
+		Requests:      2000,
+		ClusterBytes:  8 << 10,
+		Seed:          1,
+	}
+}
+
+// CacheStudyCell is one (theta, policy) outcome.
+type CacheStudyCell struct {
+	Theta     float64
+	Policy    string
+	HitRatio  float64
+	Evictions int64
+}
+
+// CacheStudy runs the Ext-2 sweep: identical Zipf streams against DMA, LRU,
+// LFU and the no-cache baseline.
+func CacheStudy(cfg CacheStudyConfig) ([]CacheStudyCell, error) {
+	if cfg.NumTitles <= 0 || cfg.Requests <= 0 {
+		return nil, errors.New("cache study: need titles and requests")
+	}
+	if cfg.CacheFraction <= 0 || cfg.CacheFraction > 1 {
+		return nil, fmt.Errorf("cache study: bad cache fraction %g", cfg.CacheFraction)
+	}
+	lib, err := media.GenerateLibrary(media.LibrarySpec{
+		Count:       cfg.NumTitles,
+		MinBytes:    cfg.TitleBytes,
+		MaxBytes:    cfg.TitleBytes,
+		BitrateMbps: 1.5,
+	}, rand.New(rand.NewSource(cfg.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	byName := make(map[string]media.Title, len(lib))
+	names := make([]string, 0, len(lib))
+	for _, t := range lib {
+		byName[t.Name] = t
+		names = append(names, t.Name)
+	}
+	cacheBytes := int64(float64(cfg.TitleBytes*int64(cfg.NumTitles)) * cfg.CacheFraction)
+	const nDisks = 4
+	perDisk := cacheBytes/nDisks + 1
+
+	policies := []string{"dma", "lru", "lfu", "none"}
+	var out []CacheStudyCell
+	for _, theta := range cfg.Thetas {
+		// One shared request stream per theta so policies see identical
+		// demand.
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(theta*1000)))
+		zipf, err := workload.NewZipfTitles(names, theta, rng)
+		if err != nil {
+			return nil, err
+		}
+		stream := make([]string, cfg.Requests)
+		for i := range stream {
+			stream[i] = zipf.Sample()
+		}
+		for _, policy := range policies {
+			arr, err := disk.NewUniformArray("cs", nDisks, perDisk)
+			if err != nil {
+				return nil, err
+			}
+			ccfg := cache.Config{Array: arr, ClusterBytes: cfg.ClusterBytes}
+			var p cache.Policy
+			switch policy {
+			case "dma":
+				p, err = cache.NewDMA(ccfg)
+			case "lru":
+				p, err = cache.NewLRU(ccfg)
+			case "lfu":
+				p, err = cache.NewLFU(ccfg)
+			case "none":
+				p, err = cache.NewNone(), nil
+			}
+			if err != nil {
+				return nil, err
+			}
+			for _, name := range stream {
+				if _, err := p.OnRequest(byName[name]); err != nil {
+					return nil, fmt.Errorf("%s theta=%g: %w", policy, theta, err)
+				}
+			}
+			stats, err := cache.StatsOf(p)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, CacheStudyCell{
+				Theta:     theta,
+				Policy:    policy,
+				HitRatio:  stats.HitRatio(),
+				Evictions: stats.Evictions,
+			})
+		}
+	}
+	return out, nil
+}
+
+// --- Ext-3: cluster size sweep --------------------------------------------
+
+// ClusterSweepConfig parameterizes the mid-stream adaptivity study.
+type ClusterSweepConfig struct {
+	// ClusterSizes to sweep.
+	ClusterSizes []int64
+	// TitleBytes is the delivered title's size.
+	TitleBytes int64
+	// CongestAfter: the instant (into the session) at which the initially
+	// optimal route is saturated.
+	CongestAfter time.Duration
+	Seed         int64
+}
+
+// DefaultClusterSweepConfig sweeps four cluster sizes over a 4 MiB title.
+func DefaultClusterSweepConfig() ClusterSweepConfig {
+	return ClusterSweepConfig{
+		ClusterSizes: []int64{64 << 10, 256 << 10, 1 << 20, 4 << 20},
+		TitleBytes:   4 << 20,
+		CongestAfter: 2 * time.Second,
+		Seed:         1,
+	}
+}
+
+// ClusterSweepRow is one cluster size's outcome.
+type ClusterSweepRow struct {
+	ClusterBytes int64
+	NumClusters  int
+	// Switched is true when the session moved off the congested server.
+	Switched bool
+	// Switches counts the mid-stream server changes.
+	Switches int
+	// Elapsed is total delivery time.
+	Elapsed time.Duration
+	// StallTime under the playback model.
+	StallTime time.Duration
+}
+
+// ClusterSweep measures how the cluster size c governs re-routing
+// responsiveness (Ext-3): a two-replica title is streamed from Patra while
+// the initially best route is saturated mid-session; smaller clusters react
+// sooner and stall less.
+func ClusterSweep(cfg ClusterSweepConfig) ([]ClusterSweepRow, error) {
+	if len(cfg.ClusterSizes) == 0 || cfg.TitleBytes <= 0 {
+		return nil, errors.New("cluster sweep: bad config")
+	}
+	var rows []ClusterSweepRow
+	for _, c := range cfg.ClusterSizes {
+		row, err := runClusterTrial(cfg, c)
+		if err != nil {
+			return nil, fmt.Errorf("cluster %d: %w", c, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func runClusterTrial(cfg ClusterSweepConfig, clusterBytes int64) (ClusterSweepRow, error) {
+	title := media.Title{Name: "sweep", SizeBytes: cfg.TitleBytes, BitrateMbps: 1.5}
+	// Title on Thessaloniki and Xanthi; client at Patra; 8am background
+	// makes Thessaloniki (via Ioannina) the initial choice. We saturate
+	// the Ioannina links mid-session, pushing the optimum to Xanthi.
+	congest := []topology.LinkID{
+		topology.MakeLinkID(grnet.Patra, grnet.Ioannina),
+		topology.MakeLinkID(grnet.Thessaloniki, grnet.Ioannina),
+	}
+	req := []workload.Request{{At: epoch, Client: grnet.Patra, Title: title.Name}}
+	diurnal := workload.NewDiurnalModel(grnet.Table2())
+
+	// Near-saturate (1.99 of 2 Mbps) so an in-flight cluster crawls
+	// instead of deadlocking; a 12h background interval keeps the diurnal
+	// model from erasing the scripted congestion mid-trial.
+	res, err := ReplayWithEvents(ReplayConfig{
+		Selector:           core.VRA{},
+		Titles:             []media.Title{title},
+		Placement:          map[string][]topology.NodeID{title.Name: {grnet.Thessaloniki, grnet.Xanthi}},
+		Requests:           req,
+		ClusterBytes:       clusterBytes,
+		Diurnal:            diurnal,
+		PollInterval:       10 * time.Second,
+		BackgroundInterval: 12 * time.Hour,
+	}, []ReplayEvent{{
+		At: epoch.Add(cfg.CongestAfter),
+		Background: map[topology.LinkID]float64{
+			congest[0]: 1.99,
+			congest[1]: 1.99,
+		},
+	}})
+	if err != nil {
+		return ClusterSweepRow{}, err
+	}
+	if len(res.Sessions) != 1 {
+		return ClusterSweepRow{}, fmt.Errorf("got %d sessions, want 1 (failed=%d)", len(res.Sessions), res.Failed)
+	}
+	s := res.Sessions[0]
+	return ClusterSweepRow{
+		ClusterBytes: clusterBytes,
+		NumClusters:  s.NumClusters,
+		Switched:     s.Switches > 0,
+		Switches:     s.Switches,
+		Elapsed:      s.Elapsed,
+		StallTime:    s.StallTime,
+	}, nil
+}
+
+// --- Ext-4: striping width sweep -------------------------------------------
+
+// StripingSweepRow is one striping width's modeled read performance.
+type StripingSweepRow struct {
+	NumDisks int
+	// SequentialRead is the modeled time for one disk to read the title.
+	SequentialRead time.Duration
+	// ParallelRead is the modeled time with the title striped across
+	// NumDisks disks read concurrently (max over per-disk sums).
+	ParallelRead time.Duration
+	// Speedup = SequentialRead / ParallelRead.
+	Speedup float64
+}
+
+// StripingSweep models Ext-4: per-title read parallelism as the array grows
+// (the paper: "we propose the use of as many disks as possible").
+func StripingSweep(title media.Title, clusterBytes int64, widths []int) ([]StripingSweepRow, error) {
+	if err := title.Validate(); err != nil {
+		return nil, err
+	}
+	if clusterBytes <= 0 {
+		return nil, striping.ErrBadCluster
+	}
+	model := disk.DefaultAccessModel()
+	var rows []StripingSweepRow
+	seq := modeledReadTime(title, clusterBytes, 1, model)
+	for _, n := range widths {
+		if n <= 0 {
+			return nil, fmt.Errorf("bad width %d", n)
+		}
+		par := modeledReadTime(title, clusterBytes, n, model)
+		rows = append(rows, StripingSweepRow{
+			NumDisks:       n,
+			SequentialRead: seq,
+			ParallelRead:   par,
+			Speedup:        float64(seq) / float64(par),
+		})
+	}
+	return rows, nil
+}
+
+// modeledReadTime computes the time to read all parts with the given array
+// width: disks work in parallel, each reading its assigned parts serially.
+func modeledReadTime(title media.Title, clusterBytes int64, nDisks int, model disk.AccessModel) time.Duration {
+	layout, err := striping.NewLayout(title, clusterBytes, nDisks)
+	if err != nil {
+		return 0
+	}
+	perDisk := make([]time.Duration, nDisks)
+	for p := range layout.NumParts() {
+		di, err := layout.DiskFor(p)
+		if err != nil {
+			return 0
+		}
+		_, length, err := layout.PartRange(p)
+		if err != nil {
+			return 0
+		}
+		perDisk[di] += model.ReadTime(length)
+	}
+	var max time.Duration
+	for _, d := range perDisk {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// --- Ext-5: normalization constant sensitivity ------------------------------
+
+// KSweepRow is one K value's effect on the four case-study decisions.
+type KSweepRow struct {
+	K float64
+	// Decisions maps experiment ID to the chosen server.
+	Decisions map[string]topology.NodeID
+	// SameAsDefault is true when all four match the K=10 choices.
+	SameAsDefault bool
+}
+
+// KSweep reruns experiments A-D under different normalization constants
+// (Ext-5; the paper only says K should be "an integer approaching 10").
+func KSweep(ks []float64) ([]KSweepRow, error) {
+	if len(ks) == 0 {
+		return nil, errors.New("k sweep: no values")
+	}
+	defaults := make(map[string]topology.NodeID, 4)
+	for _, exp := range Experiments() {
+		snap, err := grnet.Snapshot(exp.Time)
+		if err != nil {
+			return nil, err
+		}
+		dec, err := (core.VRA{}).Select(snap, exp.Home, exp.Candidates)
+		if err != nil {
+			return nil, err
+		}
+		defaults[exp.ID] = dec.Server
+	}
+	var rows []KSweepRow
+	for _, k := range ks {
+		row := KSweepRow{K: k, Decisions: make(map[string]topology.NodeID, 4), SameAsDefault: true}
+		for _, exp := range Experiments() {
+			snap, err := grnet.Snapshot(exp.Time)
+			if err != nil {
+				return nil, err
+			}
+			dec, err := (core.VRA{NormalizationK: k}).Select(snap, exp.Home, exp.Candidates)
+			if err != nil {
+				return nil, err
+			}
+			row.Decisions[exp.ID] = dec.Server
+			if dec.Server != defaults[exp.ID] {
+				row.SameAsDefault = false
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dvod/internal/media"
+)
+
+func TestRoutingStudySmall(t *testing.T) {
+	cfg := DefaultRoutingStudyConfig()
+	cfg.Duration = 20 * time.Minute
+	cfg.RatePerSec = 0.01
+	rows, err := RoutingStudy(cfg)
+	if err != nil {
+		t.Fatalf("RoutingStudy: %v", err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 policies", len(rows))
+	}
+	byPolicy := map[string]RoutingStudyRow{}
+	for _, r := range rows {
+		byPolicy[r.Policy] = r
+		if r.Sessions == 0 {
+			t.Fatalf("policy %s completed no sessions", r.Policy)
+		}
+		if r.MeanPathCost < 0 || r.StallRatio < 0 {
+			t.Fatalf("policy %s has negative metrics: %+v", r.Policy, r)
+		}
+	}
+	// All policies see the same trace, so session counts must agree.
+	base := byPolicy["vra"].Sessions + byPolicy["vra"].Failed
+	for _, r := range rows {
+		if r.Sessions+r.Failed != base {
+			t.Fatalf("policy %s handled %d requests, vra handled %d",
+				r.Policy, r.Sessions+r.Failed, base)
+		}
+	}
+	// The headline shape: the VRA's delivered path cost does not exceed
+	// any baseline's (it optimizes exactly that metric).
+	vra := byPolicy["vra"].MeanPathCost
+	for _, name := range []string{"minhop", "random", "static"} {
+		if vra > byPolicy[name].MeanPathCost+1e-9 {
+			t.Errorf("vra mean path cost %.4f exceeds %s's %.4f",
+				vra, name, byPolicy[name].MeanPathCost)
+		}
+	}
+	out := FormatRoutingStudy(rows)
+	if !strings.Contains(out, "vra") || !strings.Contains(out, "StallRatio") {
+		t.Fatalf("format:\n%s", out)
+	}
+}
+
+func TestRoutingStudyValidation(t *testing.T) {
+	if _, err := RoutingStudy(RoutingStudyConfig{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestCacheStudyShape(t *testing.T) {
+	cfg := DefaultCacheStudyConfig()
+	cfg.Requests = 600
+	cells, err := CacheStudy(cfg)
+	if err != nil {
+		t.Fatalf("CacheStudy: %v", err)
+	}
+	if len(cells) != len(cfg.Thetas)*4 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	get := func(theta float64, policy string) CacheStudyCell {
+		for _, c := range cells {
+			if c.Theta == theta && c.Policy == policy {
+				return c
+			}
+		}
+		t.Fatalf("missing cell %g/%s", theta, policy)
+		return CacheStudyCell{}
+	}
+	// No-cache never hits.
+	for _, theta := range cfg.Thetas {
+		if hr := get(theta, "none").HitRatio; hr != 0 {
+			t.Fatalf("none hit ratio = %g", hr)
+		}
+	}
+	// Every caching policy beats no-cache, and hit ratios rise with skew.
+	for _, policy := range []string{"dma", "lru", "lfu"} {
+		low := get(cfg.Thetas[0], policy).HitRatio
+		high := get(cfg.Thetas[len(cfg.Thetas)-1], policy).HitRatio
+		if high <= low {
+			t.Errorf("%s: hit ratio does not rise with skew (%g → %g)", policy, low, high)
+		}
+		if high == 0 {
+			t.Errorf("%s: zero hit ratio at high skew", policy)
+		}
+	}
+	out := FormatCacheStudy(cells)
+	if !strings.Contains(out, "dma") {
+		t.Fatalf("format:\n%s", out)
+	}
+}
+
+func TestCacheStudyValidation(t *testing.T) {
+	if _, err := CacheStudy(CacheStudyConfig{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	bad := DefaultCacheStudyConfig()
+	bad.CacheFraction = 2
+	if _, err := CacheStudy(bad); err == nil {
+		t.Fatal("bad cache fraction accepted")
+	}
+}
+
+func TestClusterSweepShape(t *testing.T) {
+	cfg := DefaultClusterSweepConfig()
+	// Keep the trial quick: 1 MiB title, three sizes.
+	cfg.TitleBytes = 1 << 20
+	cfg.ClusterSizes = []int64{32 << 10, 256 << 10, 1 << 20}
+	cfg.CongestAfter = time.Second
+	rows, err := ClusterSweep(cfg)
+	if err != nil {
+		t.Fatalf("ClusterSweep: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Single-cluster delivery can never switch; the smallest cluster must.
+	last := rows[len(rows)-1]
+	if last.NumClusters != 1 {
+		t.Fatalf("largest cluster rows = %+v", last)
+	}
+	if last.Switched {
+		t.Fatal("single-cluster session switched")
+	}
+	if !rows[0].Switched {
+		t.Fatalf("smallest cluster did not switch: %+v", rows[0])
+	}
+	// The headline shape: smaller clusters recover faster.
+	if rows[0].Elapsed >= last.Elapsed {
+		t.Errorf("small-cluster elapsed %v not better than whole-title %v",
+			rows[0].Elapsed, last.Elapsed)
+	}
+	out := FormatClusterSweep(rows)
+	if !strings.Contains(out, "Switched") {
+		t.Fatalf("format:\n%s", out)
+	}
+}
+
+func TestClusterSweepValidation(t *testing.T) {
+	if _, err := ClusterSweep(ClusterSweepConfig{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestStripingSweepShape(t *testing.T) {
+	title := media.Title{Name: "s", SizeBytes: 8 << 20, BitrateMbps: 1.5}
+	rows, err := StripingSweep(title, 256<<10, []int{1, 2, 4, 8})
+	if err != nil {
+		t.Fatalf("StripingSweep: %v", err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Speedup < 0.99 || rows[0].Speedup > 1.01 {
+		t.Fatalf("1-disk speedup = %g, want 1", rows[0].Speedup)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].ParallelRead >= rows[i-1].ParallelRead {
+			t.Errorf("read time did not improve from %d to %d disks (%v → %v)",
+				rows[i-1].NumDisks, rows[i].NumDisks,
+				rows[i-1].ParallelRead, rows[i].ParallelRead)
+		}
+	}
+	// Speedup is sublinear (seek overhead) but substantial.
+	lastRow := rows[len(rows)-1]
+	if lastRow.Speedup < 4 {
+		t.Errorf("8-disk speedup = %.2f, want ≥4", lastRow.Speedup)
+	}
+	out := FormatStripingSweep(rows)
+	if !strings.Contains(out, "Speedup") {
+		t.Fatalf("format:\n%s", out)
+	}
+}
+
+func TestStripingSweepValidation(t *testing.T) {
+	title := media.Title{Name: "s", SizeBytes: 1 << 20, BitrateMbps: 1.5}
+	if _, err := StripingSweep(media.Title{}, 1024, []int{1}); err == nil {
+		t.Fatal("invalid title accepted")
+	}
+	if _, err := StripingSweep(title, 0, []int{1}); err == nil {
+		t.Fatal("zero cluster accepted")
+	}
+	if _, err := StripingSweep(title, 1024, []int{0}); err == nil {
+		t.Fatal("zero width accepted")
+	}
+}
+
+func TestKSweepStability(t *testing.T) {
+	rows, err := KSweep([]float64{5, 10, 20})
+	if err != nil {
+		t.Fatalf("KSweep: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// K = 10 trivially matches itself.
+	for _, r := range rows {
+		if r.K == 10 && !r.SameAsDefault {
+			t.Fatal("K=10 row differs from itself")
+		}
+		if len(r.Decisions) != 4 {
+			t.Fatalf("decisions = %v", r.Decisions)
+		}
+	}
+	out := FormatKSweep(rows)
+	if !strings.Contains(out, "ExpA") {
+		t.Fatalf("format:\n%s", out)
+	}
+}
+
+func TestKSweepValidation(t *testing.T) {
+	if _, err := KSweep(nil); err == nil {
+		t.Fatal("empty sweep accepted")
+	}
+	if _, err := KSweep([]float64{-1}); err == nil {
+		t.Fatal("negative K accepted")
+	}
+}

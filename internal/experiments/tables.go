@@ -1,0 +1,264 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Tables 2-5, Experiments A-D) and runs the extension studies
+// DESIGN.md catalogues (Ext-1..Ext-5). Everything is deterministic: the
+// emulated plane runs on virtual time with seeded randomness.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"dvod/internal/core"
+	"dvod/internal/db"
+	"dvod/internal/grnet"
+	"dvod/internal/netsim"
+	"dvod/internal/routing"
+	"dvod/internal/snmp"
+	"dvod/internal/topology"
+)
+
+// epoch anchors virtual time for all experiments: 8am on the measurement
+// day (the paper sampled a specific day in 2000).
+var epoch = time.Date(2000, time.April, 10, 8, 0, 0, 0, time.UTC)
+
+// Table2Cell is one (link, time) measurement.
+type Table2Cell struct {
+	UsedMbps    float64 `json:"usedMbps"`
+	Utilization float64 `json:"utilization"`
+}
+
+// Table2Row is one link's measurements across the four sample times.
+type Table2Row struct {
+	Link         string        `json:"link"`
+	A, B         string        `json:"-"`
+	CapacityMbps float64       `json:"capacityMbps"`
+	Cells        [4]Table2Cell `json:"cells"`
+}
+
+// Table2 regenerates the paper's network-status table end to end: the
+// emulated network carries the diurnal background traffic, the per-node SNMP
+// agents poll it into the database at each sample time, and the rows report
+// what the database then holds.
+func Table2() ([]Table2Row, error) {
+	g, err := grnet.Backbone()
+	if err != nil {
+		return nil, err
+	}
+	d := db.New(g)
+	net := netsim.New(g, epoch)
+	var agents []*snmp.Agent
+	for _, node := range grnet.Nodes() {
+		a, err := snmp.NewAgent(node, g, net)
+		if err != nil {
+			return nil, err
+		}
+		agents = append(agents, a)
+	}
+
+	rows := make([]Table2Row, 0, 7)
+	index := make(map[topology.LinkID]int, 7)
+	for _, row := range grnet.Table2() {
+		index[topology.MakeLinkID(row.A, row.B)] = len(rows)
+		rows = append(rows, Table2Row{
+			Link:         fmt.Sprintf("%s - %s", grnet.CityName(row.A), grnet.CityName(row.B)),
+			A:            grnet.CityName(row.A),
+			B:            grnet.CityName(row.B),
+			CapacityMbps: row.CapacityMbps,
+		})
+	}
+
+	for ti, st := range grnet.SampleTimes() {
+		// Drive the emulated network to the sample instant's load.
+		for _, row := range grnet.Table2() {
+			id := topology.MakeLinkID(row.A, row.B)
+			if err := net.SetBackground(id, row.TrafficMbps[ti]); err != nil {
+				return nil, err
+			}
+		}
+		// Poll every agent into the DB, stamped at the sample time.
+		at := epoch.Add(time.Duration(st.HourOfDay()-8) * time.Hour)
+		for _, a := range agents {
+			samples, err := a.Sample()
+			if err != nil {
+				return nil, err
+			}
+			for _, s := range samples {
+				if err := d.UpsertLinkStats(s.ID, s.UsedMbps, at); err != nil {
+					return nil, err
+				}
+			}
+		}
+		// Read the measured values back out of the DB.
+		for _, s := range d.AllLinkStats() {
+			i, ok := index[s.ID]
+			if !ok {
+				return nil, fmt.Errorf("unexpected link %s", s.ID)
+			}
+			rows[i].Cells[ti] = Table2Cell{UsedMbps: s.UsedMbps, Utilization: s.Utilization}
+		}
+	}
+	return rows, nil
+}
+
+// Table3Row is one link's LVN across the four sample times, next to the
+// published values.
+type Table3Row struct {
+	Link     string     `json:"link"`
+	Measured [4]float64 `json:"measured"`
+	Paper    [4]float64 `json:"paper"`
+}
+
+// Table3 recomputes every LVN from the Table 2 snapshot via equations
+// (1)-(4) with K = 10 and pairs each with the published value.
+func Table3() ([]Table3Row, error) {
+	rows := make([]Table3Row, 0, 7)
+	for _, load := range grnet.Table2() {
+		row := Table3Row{
+			Link: fmt.Sprintf("%s - %s", grnet.CityName(load.A), grnet.CityName(load.B)),
+		}
+		id := topology.MakeLinkID(load.A, load.B)
+		for ti, st := range grnet.SampleTimes() {
+			snap, err := grnet.Snapshot(st)
+			if err != nil {
+				return nil, err
+			}
+			lvn, err := snap.LVN(id, topology.DefaultNormalizationK)
+			if err != nil {
+				return nil, err
+			}
+			row.Measured[ti] = lvn
+			paper, ok := grnet.PaperLVN(load.A, load.B, st)
+			if !ok {
+				return nil, fmt.Errorf("no paper LVN for %s @%s", id, st)
+			}
+			row.Paper[ti] = paper
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Experiment describes one of the paper's four case-study experiments.
+type Experiment struct {
+	ID         string
+	Time       grnet.SampleTime
+	Home       topology.NodeID
+	Candidates []topology.NodeID
+	// PaperServer/PaperPath/PaperCost are the published decision.
+	PaperServer topology.NodeID
+	PaperPath   string
+	PaperCost   float64
+	// Erratum is non-empty when the published decision contradicts the
+	// paper's own weights (Experiment A; see EXPERIMENTS.md).
+	Erratum string
+}
+
+// Experiments returns the paper's four experiments.
+func Experiments() []Experiment {
+	return []Experiment{
+		{
+			ID: "A", Time: grnet.At8am, Home: grnet.Patra,
+			Candidates:  []topology.NodeID{grnet.Thessaloniki, grnet.Xanthi},
+			PaperServer: grnet.Xanthi, PaperPath: "U2,U1,U6,U5", PaperCost: 0.315,
+			Erratum: "paper's Table 4 never relaxes U4 via U3; a correct Dijkstra " +
+				"finds U2,U3,U4 at ≈0.218 and picks Thessaloniki",
+		},
+		{
+			ID: "B", Time: grnet.At10am, Home: grnet.Patra,
+			Candidates:  []topology.NodeID{grnet.Thessaloniki, grnet.Xanthi},
+			PaperServer: grnet.Thessaloniki, PaperPath: "U2,U3,U4", PaperCost: 1.007,
+		},
+		{
+			ID: "C", Time: grnet.At4pm, Home: grnet.Athens,
+			Candidates:  []topology.NodeID{grnet.Ioannina, grnet.Thessaloniki, grnet.Xanthi},
+			PaperServer: grnet.Ioannina, PaperPath: "U1,U2,U3", PaperCost: 1.222,
+		},
+		{
+			ID: "D", Time: grnet.At6pm, Home: grnet.Athens,
+			Candidates:  []topology.NodeID{grnet.Ioannina, grnet.Thessaloniki, grnet.Xanthi},
+			PaperServer: grnet.Ioannina, PaperPath: "U1,U2,U3", PaperCost: 1.236,
+		},
+	}
+}
+
+// ExperimentByID looks an experiment up by its letter.
+func ExperimentByID(id string) (Experiment, error) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("unknown experiment %q (want A-D)", id)
+}
+
+// CandidatePath is one candidate server's best route in an experiment.
+type CandidatePath struct {
+	Server topology.NodeID
+	Path   routing.Path
+}
+
+// ExperimentResult is the reproduced outcome of one experiment.
+type ExperimentResult struct {
+	Experiment Experiment
+	// Decision is the VRA's choice over the recomputed weights.
+	Decision core.Decision
+	// Alternatives lists every candidate's best path, sorted as given.
+	Alternatives []CandidatePath
+	// Trace is the Dijkstra step table (Tables 4 and 5 for A and B).
+	Trace []routing.TraceStep
+	// MatchesPaper is true when server and path equal the published ones.
+	MatchesPaper bool
+}
+
+// RunExperiment reproduces one of the paper's experiments from scratch:
+// rebuild the snapshot, weight the links, run the traced VRA.
+func RunExperiment(id string) (ExperimentResult, error) {
+	exp, err := ExperimentByID(id)
+	if err != nil {
+		return ExperimentResult{}, err
+	}
+	snap, err := grnet.Snapshot(exp.Time)
+	if err != nil {
+		return ExperimentResult{}, err
+	}
+	vra := core.VRA{}
+	dec, trace, err := vra.SelectTrace(snap, exp.Home, exp.Candidates)
+	if err != nil {
+		return ExperimentResult{}, err
+	}
+	weights, err := snap.Weights(topology.DefaultNormalizationK)
+	if err != nil {
+		return ExperimentResult{}, err
+	}
+	tree, err := routing.ShortestPaths(snap.Graph(), routing.CostTable(weights), exp.Home)
+	if err != nil {
+		return ExperimentResult{}, err
+	}
+	res := ExperimentResult{Experiment: exp, Decision: dec, Trace: trace}
+	for _, c := range exp.Candidates {
+		p, err := tree.PathTo(c)
+		if err != nil {
+			return ExperimentResult{}, err
+		}
+		res.Alternatives = append(res.Alternatives, CandidatePath{Server: c, Path: p})
+	}
+	res.MatchesPaper = dec.Server == exp.PaperServer &&
+		dec.Path.Reverse().String() == reversePaperPath(exp.PaperPath) ||
+		dec.Server == exp.PaperServer && dec.Path.String() == exp.PaperPath
+	return res, nil
+}
+
+// reversePaperPath flips "U2,U1,U6,U5" into "U5,U6,U1,U2" so either
+// direction of the published route counts as a match.
+func reversePaperPath(s string) string {
+	var nodes []topology.NodeID
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			nodes = append(nodes, topology.NodeID(s[start:i]))
+			start = i + 1
+		}
+	}
+	p := routing.Path{Nodes: nodes}
+	return p.Reverse().String()
+}

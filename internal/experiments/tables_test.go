@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dvod/internal/grnet"
+)
+
+func TestTable2EndToEnd(t *testing.T) {
+	rows, err := Table2()
+	if err != nil {
+		t.Fatalf("Table2: %v", err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(rows))
+	}
+	// The emulated+SNMP pipeline must reproduce the paper's measurements.
+	byLink := map[string]Table2Row{}
+	for _, r := range rows {
+		byLink[r.Link] = r
+	}
+	pa, ok := byLink["Patra - Athens"]
+	if !ok {
+		t.Fatalf("missing Patra - Athens row: %v", byLink)
+	}
+	want := [4]float64{0.200, 1.820, 1.820, 1.820}
+	for i, c := range pa.Cells {
+		if math.Abs(c.UsedMbps-want[i]) > 1e-9 {
+			t.Fatalf("cell %d = %g Mb, want %g", i, c.UsedMbps, want[i])
+		}
+	}
+	if math.Abs(pa.Cells[0].Utilization-0.10) > 1e-9 {
+		t.Fatalf("8am utilization = %g, want 0.10", pa.Cells[0].Utilization)
+	}
+	out := FormatTable2(rows)
+	if !strings.Contains(out, "Patra - Athens") || !strings.Contains(out, "8am") {
+		t.Fatalf("FormatTable2 output:\n%s", out)
+	}
+}
+
+func TestTable3EndToEnd(t *testing.T) {
+	rows, err := Table3()
+	if err != nil {
+		t.Fatalf("Table3: %v", err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(rows))
+	}
+	for _, r := range rows {
+		for i := range 4 {
+			if math.Abs(r.Measured[i]-r.Paper[i]) > 0.01 {
+				t.Errorf("%s col %d: measured %.4f paper %.4f", r.Link, i, r.Measured[i], r.Paper[i])
+			}
+		}
+	}
+	out := FormatTable3(rows)
+	if !strings.Contains(out, "(paper)") {
+		t.Fatalf("FormatTable3 output:\n%s", out)
+	}
+}
+
+func TestRunExperimentB(t *testing.T) {
+	res, err := RunExperiment("B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.MatchesPaper {
+		t.Fatalf("experiment B should match the paper: %+v", res.Decision)
+	}
+	if res.Decision.Server != grnet.Thessaloniki {
+		t.Fatalf("decision = %s", res.Decision.Server)
+	}
+	if len(res.Trace) != 6 {
+		t.Fatalf("trace steps = %d", len(res.Trace))
+	}
+	if len(res.Alternatives) != 2 {
+		t.Fatalf("alternatives = %d", len(res.Alternatives))
+	}
+	out := FormatExperiment(res)
+	if !strings.Contains(out, "MATCHES PAPER") {
+		t.Fatalf("format:\n%s", out)
+	}
+	trace := FormatTrace(res.Trace, grnet.Patra)
+	if !strings.Contains(trace, "U2,U3,U4") || !strings.Contains(trace, "R") {
+		t.Fatalf("trace format:\n%s", trace)
+	}
+}
+
+func TestRunExperimentADocumentsErratum(t *testing.T) {
+	res, err := RunExperiment("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MatchesPaper {
+		t.Fatal("experiment A should deviate from the paper (documented erratum)")
+	}
+	if res.Decision.Server != grnet.Thessaloniki {
+		t.Fatalf("correct decision = %s, want Thessaloniki", res.Decision.Server)
+	}
+	if res.Experiment.Erratum == "" {
+		t.Fatal("erratum text missing")
+	}
+	out := FormatExperiment(res)
+	if !strings.Contains(out, "erratum") {
+		t.Fatalf("format should mention the erratum:\n%s", out)
+	}
+}
+
+func TestRunExperimentsCDMatch(t *testing.T) {
+	for _, id := range []string{"C", "D"} {
+		res, err := RunExperiment(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.MatchesPaper {
+			t.Fatalf("experiment %s should match: decision %+v", id, res.Decision)
+		}
+		if res.Decision.Server != grnet.Ioannina {
+			t.Fatalf("experiment %s decision = %s", id, res.Decision.Server)
+		}
+	}
+}
+
+func TestExperimentByIDUnknown(t *testing.T) {
+	if _, err := ExperimentByID("Z"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if _, err := RunExperiment("Z"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestFormatTraceEmpty(t *testing.T) {
+	if out := FormatTrace(nil, grnet.Patra); !strings.Contains(out, "no trace") {
+		t.Fatalf("empty trace format = %q", out)
+	}
+}
+
+func TestReversePaperPath(t *testing.T) {
+	if got := reversePaperPath("U2,U1,U6,U5"); got != "U5,U6,U1,U2" {
+		t.Fatalf("reversePaperPath = %s", got)
+	}
+	if got := reversePaperPath("U1"); got != "U1" {
+		t.Fatalf("single-node reverse = %s", got)
+	}
+}

@@ -1,0 +1,209 @@
+// Package grnet holds the paper's case-study fixture: the Greek Research and
+// Technology Network backbone of Figure 6 (six university sites, seven
+// links) and the SNMP traffic matrix of Table 2, sampled at 8am, 10am, 4pm
+// and 6pm on the measured day.
+//
+// The paper labels the sites U1..U6; the mapping (recovered from the case
+// study's path listings) is:
+//
+//	U1 Athens    U2 Patra    U3 Ioannina
+//	U4 Thessaloniki    U5 Xanthi    U6 Heraklio
+//
+// Ground truth for link load is the paper's measured traffic column
+// (in+out Mbps); utilization percentages follow as traffic/capacity. The
+// paper itself mixes rounded percentages and raw traffic when deriving its
+// Table 3, so reproduced LVNs agree with the published ones to within ~0.006
+// (see EXPERIMENTS.md for the per-cell comparison).
+package grnet
+
+import (
+	"fmt"
+
+	"dvod/internal/topology"
+)
+
+// Node IDs of the six GRNET sites, using the paper's U-labels as canonical
+// IDs (display names carry the city).
+const (
+	Athens       topology.NodeID = "U1"
+	Patra        topology.NodeID = "U2"
+	Ioannina     topology.NodeID = "U3"
+	Thessaloniki topology.NodeID = "U4"
+	Xanthi       topology.NodeID = "U5"
+	Heraklio     topology.NodeID = "U6"
+)
+
+// CityName maps a node ID to its city, for display.
+func CityName(n topology.NodeID) string {
+	switch n {
+	case Athens:
+		return "Athens"
+	case Patra:
+		return "Patra"
+	case Ioannina:
+		return "Ioannina"
+	case Thessaloniki:
+		return "Thessaloniki"
+	case Xanthi:
+		return "Xanthi"
+	case Heraklio:
+		return "Heraklio"
+	default:
+		return string(n)
+	}
+}
+
+// Nodes lists the six sites in U-label order.
+func Nodes() []topology.NodeID {
+	return []topology.NodeID{Athens, Patra, Ioannina, Thessaloniki, Xanthi, Heraklio}
+}
+
+// SampleTime identifies one of the four measurement instants of Table 2.
+type SampleTime int
+
+// The four sampling instants.
+const (
+	At8am SampleTime = iota + 1
+	At10am
+	At4pm
+	At6pm
+)
+
+// SampleTimes lists the instants in chronological order.
+func SampleTimes() []SampleTime { return []SampleTime{At8am, At10am, At4pm, At6pm} }
+
+// String renders the instant as the paper writes it.
+func (t SampleTime) String() string {
+	switch t {
+	case At8am:
+		return "8am"
+	case At10am:
+		return "10am"
+	case At4pm:
+		return "4pm"
+	case At6pm:
+		return "6pm"
+	default:
+		return fmt.Sprintf("SampleTime(%d)", int(t))
+	}
+}
+
+// HourOfDay returns the 24h clock hour of the sample.
+func (t SampleTime) HourOfDay() int {
+	switch t {
+	case At8am:
+		return 8
+	case At10am:
+		return 10
+	case At4pm:
+		return 16
+	case At6pm:
+		return 18
+	default:
+		return 0
+	}
+}
+
+// LinkLoad is one cell of Table 2: the measured in+out traffic of a link at
+// one instant.
+type LinkLoad struct {
+	A, B         topology.NodeID
+	CapacityMbps float64
+	// TrafficMbps indexes by SampleTime-1 (8am, 10am, 4pm, 6pm).
+	TrafficMbps [4]float64
+}
+
+// Utilization returns the load fraction at the given instant.
+func (l LinkLoad) Utilization(t SampleTime) float64 {
+	return l.TrafficMbps[int(t)-1] / l.CapacityMbps
+}
+
+// Table2 returns the paper's measured traffic matrix. Traffic values follow
+// Table 2's in+out column; where that column's unit is internally
+// inconsistent with the printed percentage (the "100 bits" rows), the
+// percentage column governs, matching the values the paper actually fed into
+// its Table 3 computation.
+func Table2() []LinkLoad {
+	return []LinkLoad{
+		{A: Patra, B: Athens, CapacityMbps: 2,
+			TrafficMbps: [4]float64{0.200, 1.820, 1.820, 1.820}},
+		{A: Patra, B: Ioannina, CapacityMbps: 2,
+			TrafficMbps: [4]float64{0.0001, 0.00017, 0.200, 0.240}},
+		{A: Thessaloniki, B: Athens, CapacityMbps: 18,
+			TrafficMbps: [4]float64{1.700, 7.000, 9.800, 9.600}},
+		{A: Thessaloniki, B: Xanthi, CapacityMbps: 2,
+			TrafficMbps: [4]float64{0.480, 0.520, 0.750, 0.600}},
+		{A: Thessaloniki, B: Ioannina, CapacityMbps: 2,
+			TrafficMbps: [4]float64{0.300, 1.480, 1.860, 1.300}},
+		{A: Athens, B: Heraklio, CapacityMbps: 18,
+			TrafficMbps: [4]float64{0.500, 2.500, 5.500, 6.000}},
+		{A: Xanthi, B: Heraklio, CapacityMbps: 2,
+			TrafficMbps: [4]float64{0.0001, 0.0001, 0.0002, 0.00015}},
+	}
+}
+
+// Backbone builds the Figure 6 topology: the six sites and seven capacitated
+// links.
+func Backbone() (*topology.Graph, error) {
+	g := topology.NewGraph()
+	for _, n := range Nodes() {
+		if err := g.AddNode(n); err != nil {
+			return nil, fmt.Errorf("grnet backbone: %w", err)
+		}
+	}
+	for _, l := range Table2() {
+		if _, err := g.AddLink(l.A, l.B, l.CapacityMbps); err != nil {
+			return nil, fmt.Errorf("grnet backbone: %w", err)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("grnet backbone: %w", err)
+	}
+	return g, nil
+}
+
+// Snapshot builds the utilization snapshot of the backbone at the given
+// sampling instant, ready for LVN weighting.
+func Snapshot(t SampleTime) (*topology.Snapshot, error) {
+	g, err := Backbone()
+	if err != nil {
+		return nil, err
+	}
+	return SnapshotOn(g, t)
+}
+
+// SnapshotOn builds the Table 2 snapshot at instant t over an existing
+// backbone graph (which must contain the seven GRNET links).
+func SnapshotOn(g *topology.Graph, t SampleTime) (*topology.Snapshot, error) {
+	if t < At8am || t > At6pm {
+		return nil, fmt.Errorf("unknown sample time %d", int(t))
+	}
+	util := make(map[topology.LinkID]float64, 7)
+	for _, l := range Table2() {
+		util[topology.MakeLinkID(l.A, l.B)] = l.Utilization(t)
+	}
+	return topology.NewSnapshot(g, util)
+}
+
+// PaperLVN returns the published Table 3 LVN value for the link {a,b} at
+// instant t. These are the paper's numbers verbatim, kept for comparison in
+// tests and EXPERIMENTS.md; reproduced values agree to within ~0.006 (the
+// paper mixes rounded percentages with raw traffic in its own arithmetic).
+func PaperLVN(a, b topology.NodeID, t SampleTime) (float64, bool) {
+	id := topology.MakeLinkID(a, b)
+	row, ok := paperTable3[id]
+	if !ok || t < At8am || t > At6pm {
+		return 0, false
+	}
+	return row[int(t)-1], true
+}
+
+var paperTable3 = map[topology.LinkID][4]float64{
+	topology.MakeLinkID(Patra, Athens):          {0.083, 0.632, 0.687, 0.697},
+	topology.MakeLinkID(Patra, Ioannina):        {0.07501, 0.450017, 0.535, 0.539},
+	topology.MakeLinkID(Thessaloniki, Athens):   {0.2819, 1.1075, 1.5433, 1.4824},
+	topology.MakeLinkID(Thessaloniki, Xanthi):   {0.168, 0.4611, 0.6391, 0.583},
+	topology.MakeLinkID(Thessaloniki, Ioannina): {0.1427, 0.5571, 0.7501, 0.653},
+	topology.MakeLinkID(Athens, Heraklio):       {0.1116, 0.5462, 0.999, 1.0574},
+	topology.MakeLinkID(Xanthi, Heraklio):       {0.1201, 0.13001, 0.275015, 0.3},
+}

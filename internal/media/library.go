@@ -1,0 +1,70 @@
+package media
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// LibrarySpec controls synthetic library generation.
+type LibrarySpec struct {
+	// Count is the number of titles to generate.
+	Count int
+	// MinBytes and MaxBytes bound the uniform size distribution.
+	MinBytes, MaxBytes int64
+	// BitrateMbps is the common playback bitrate (paper-era MPEG-1/2
+	// streams run 1.5-8 Mbps). Zero defaults to 1.5.
+	BitrateMbps float64
+	// NamePrefix prefixes generated names; zero defaults to "title".
+	NamePrefix string
+}
+
+// DefaultLibrarySpec is a small library suitable for examples and tests:
+// 50 titles of 256 KiB - 1 MiB at 1.5 Mbps.
+func DefaultLibrarySpec() LibrarySpec {
+	return LibrarySpec{
+		Count:       50,
+		MinBytes:    256 << 10,
+		MaxBytes:    1 << 20,
+		BitrateMbps: 1.5,
+		NamePrefix:  "title",
+	}
+}
+
+// GenerateLibrary produces a deterministic synthetic library from the spec
+// and the seeded random source. Titles are returned sorted by name.
+func GenerateLibrary(spec LibrarySpec, rng *rand.Rand) ([]Title, error) {
+	if spec.Count <= 0 {
+		return nil, fmt.Errorf("library count must be positive, got %d", spec.Count)
+	}
+	if spec.MinBytes <= 0 || spec.MaxBytes < spec.MinBytes {
+		return nil, fmt.Errorf("bad size bounds [%d, %d]", spec.MinBytes, spec.MaxBytes)
+	}
+	bitrate := spec.BitrateMbps
+	if bitrate == 0 {
+		bitrate = 1.5
+	}
+	prefix := spec.NamePrefix
+	if prefix == "" {
+		prefix = "title"
+	}
+	out := make([]Title, 0, spec.Count)
+	width := len(fmt.Sprintf("%d", spec.Count-1))
+	for i := range spec.Count {
+		size := spec.MinBytes
+		if spec.MaxBytes > spec.MinBytes {
+			size += rng.Int63n(spec.MaxBytes - spec.MinBytes + 1)
+		}
+		t := Title{
+			Name:        fmt.Sprintf("%s-%0*d", prefix, width, i),
+			SizeBytes:   size,
+			BitrateMbps: bitrate,
+		}
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}

@@ -1,0 +1,162 @@
+// Package media models video titles and their content. Because the paper's
+// algorithms never inspect video bytes — only sizes, bitrates, and cluster
+// boundaries — real MPEG assets are replaced by synthetic titles whose
+// content at any offset is a pure function of (title name, offset). That
+// determinism lets the test suite verify end-to-end integrity: bytes striped
+// onto disks, served over the network, and reassembled by a player must equal
+// ContentAt for the same ranges.
+package media
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"time"
+)
+
+// Title describes one video available in the VoD service.
+type Title struct {
+	// Name is the unique catalog name, e.g. "Zorba the Greek".
+	Name string `json:"name"`
+	// SizeBytes is the encoded size of the title.
+	SizeBytes int64 `json:"sizeBytes"`
+	// BitrateMbps is the playback bitrate; it sets both the duration and
+	// the minimum delivery rate for stall-free playback.
+	BitrateMbps float64 `json:"bitrateMbps"`
+}
+
+// Validate checks the title is well formed.
+func (t Title) Validate() error {
+	if t.Name == "" {
+		return errors.New("title has empty name")
+	}
+	if t.SizeBytes <= 0 {
+		return fmt.Errorf("title %q has non-positive size %d", t.Name, t.SizeBytes)
+	}
+	if t.BitrateMbps <= 0 {
+		return fmt.Errorf("title %q has non-positive bitrate %g", t.Name, t.BitrateMbps)
+	}
+	return nil
+}
+
+// Duration returns the playback duration implied by size and bitrate.
+func (t Title) Duration() time.Duration {
+	seconds := float64(t.SizeBytes*8) / (t.BitrateMbps * 1e6)
+	return time.Duration(seconds * float64(time.Second))
+}
+
+// seed derives a 64-bit stream seed from the title name.
+func seed(name string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	s := h.Sum64()
+	if s == 0 {
+		s = 0x9e3779b97f4a7c15
+	}
+	return s
+}
+
+// blockBytes is the internal generation granularity: content is produced in
+// 64-byte blocks so that random access at any offset is cheap.
+const blockBytes = 64
+
+// splitmix64 advances a splitmix64 state and returns the next value. It is
+// the standard seeding PRNG: fast, full-period, and well distributed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// fillBlock writes the deterministic content of the idx-th 64-byte block of
+// the named title into dst (which must be blockBytes long).
+func fillBlock(s uint64, idx int64, dst []byte) {
+	state := s ^ (uint64(idx) * 0xd1342543de82ef95)
+	for i := 0; i < blockBytes; i += 8 {
+		state = splitmix64(state)
+		v := state
+		for j := range 8 {
+			dst[i+j] = byte(v >> (8 * j))
+		}
+	}
+}
+
+// ContentAt fills buf with the title's content starting at offset off.
+// Offsets past the title's logical size are still defined (the stream is
+// infinite); callers bound reads by Title.SizeBytes.
+func ContentAt(name string, off int64, buf []byte) {
+	if len(buf) == 0 {
+		return
+	}
+	if off < 0 {
+		panic(fmt.Sprintf("media: negative offset %d", off))
+	}
+	s := seed(name)
+	var block [blockBytes]byte
+	idx := off / blockBytes
+	skip := off % blockBytes
+	written := 0
+	for written < len(buf) {
+		fillBlock(s, idx, block[:])
+		n := copy(buf[written:], block[skip:])
+		written += n
+		skip = 0
+		idx++
+	}
+}
+
+// Content returns a freshly allocated byte slice with the title's content in
+// [off, off+length).
+func Content(name string, off, length int64) []byte {
+	buf := make([]byte, length)
+	ContentAt(name, off, buf)
+	return buf
+}
+
+// Checksum returns a 64-bit FNV-1a checksum of the title's content in
+// [off, off+length), computed without materializing the whole range.
+func Checksum(name string, off, length int64) uint64 {
+	h := fnv.New64a()
+	var chunk [4096]byte
+	for length > 0 {
+		n := int64(len(chunk))
+		if length < n {
+			n = length
+		}
+		ContentAt(name, off, chunk[:n])
+		_, _ = h.Write(chunk[:n])
+		off += n
+		length -= n
+	}
+	return h.Sum64()
+}
+
+// ChecksumBytes returns the FNV-1a checksum of data, for comparing delivered
+// bytes against Checksum.
+func ChecksumBytes(data []byte) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write(data)
+	return h.Sum64()
+}
+
+// Verify reports whether data equals the title's content at offset off.
+func Verify(name string, off int64, data []byte) bool {
+	var chunk [4096]byte
+	for len(data) > 0 {
+		n := len(chunk)
+		if len(data) < n {
+			n = len(data)
+		}
+		ContentAt(name, off, chunk[:n])
+		for i := range n {
+			if data[i] != chunk[i] {
+				return false
+			}
+		}
+		data = data[n:]
+		off += int64(n)
+	}
+	return true
+}

@@ -1,0 +1,182 @@
+package media
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTitleValidate(t *testing.T) {
+	good := Title{Name: "x", SizeBytes: 1, BitrateMbps: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("Validate(good): %v", err)
+	}
+	bad := []Title{
+		{Name: "", SizeBytes: 1, BitrateMbps: 1},
+		{Name: "x", SizeBytes: 0, BitrateMbps: 1},
+		{Name: "x", SizeBytes: 1, BitrateMbps: 0},
+		{Name: "x", SizeBytes: -4, BitrateMbps: 1},
+	}
+	for _, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Fatalf("Validate accepted %+v", b)
+		}
+	}
+}
+
+func TestTitleDuration(t *testing.T) {
+	// 1.5 Mbps, 1.5e6 bits = 187500 bytes → exactly 1 second.
+	tt := Title{Name: "x", SizeBytes: 187500, BitrateMbps: 1.5}
+	if d := tt.Duration(); d != time.Second {
+		t.Fatalf("Duration = %v, want 1s", d)
+	}
+}
+
+func TestContentDeterministic(t *testing.T) {
+	a := Content("movie", 0, 1024)
+	b := Content("movie", 0, 1024)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same title/offset produced different content")
+	}
+	c := Content("other", 0, 1024)
+	if bytes.Equal(a, c) {
+		t.Fatal("different titles produced identical content")
+	}
+}
+
+func TestContentRandomAccessConsistency(t *testing.T) {
+	whole := Content("movie", 0, 4096)
+	for _, tc := range []struct{ off, n int64 }{
+		{0, 1}, {1, 63}, {63, 2}, {64, 64}, {100, 1000}, {4000, 96}, {17, 4079},
+	} {
+		part := Content("movie", tc.off, tc.n)
+		if !bytes.Equal(part, whole[tc.off:tc.off+tc.n]) {
+			t.Fatalf("Content(%d,%d) disagrees with prefix read", tc.off, tc.n)
+		}
+	}
+}
+
+func TestContentAtEmptyAndNegative(t *testing.T) {
+	ContentAt("x", 0, nil) // must not panic
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative offset did not panic")
+		}
+	}()
+	ContentAt("x", -1, make([]byte, 1))
+}
+
+func TestVerify(t *testing.T) {
+	data := Content("movie", 100, 5000)
+	if !Verify("movie", 100, data) {
+		t.Fatal("Verify rejected correct content")
+	}
+	data[4321] ^= 0xff
+	if Verify("movie", 100, data) {
+		t.Fatal("Verify accepted corrupted content")
+	}
+	if !Verify("movie", 0, nil) {
+		t.Fatal("Verify rejected empty slice")
+	}
+}
+
+func TestChecksumMatchesBytes(t *testing.T) {
+	data := Content("movie", 7, 9001)
+	if Checksum("movie", 7, 9001) != ChecksumBytes(data) {
+		t.Fatal("streaming checksum disagrees with materialized checksum")
+	}
+	if Checksum("movie", 0, 100) == Checksum("movie", 1, 100) {
+		t.Fatal("checksums of different ranges collide suspiciously")
+	}
+}
+
+// Property: concatenating two adjacent reads equals one combined read.
+func TestContentConcatenationProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		off := r.Int63n(10000)
+		n1 := 1 + r.Int63n(500)
+		n2 := 1 + r.Int63n(500)
+		joined := Content("prop-title", off, n1+n2)
+		a := Content("prop-title", off, n1)
+		b := Content("prop-title", off+n1, n2)
+		return bytes.Equal(joined, append(a, b...))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: content is incompressible-ish — byte value distribution is not
+// degenerate (no single byte value dominates a large sample).
+func TestContentDistribution(t *testing.T) {
+	data := Content("distribution", 0, 1<<16)
+	var counts [256]int
+	for _, b := range data {
+		counts[b]++
+	}
+	for v, c := range counts {
+		if c > len(data)/32 {
+			t.Fatalf("byte value %d appears %d times in %d bytes", v, c, len(data))
+		}
+	}
+}
+
+func TestGenerateLibrary(t *testing.T) {
+	spec := DefaultLibrarySpec()
+	rng := rand.New(rand.NewSource(42))
+	lib, err := GenerateLibrary(spec, rng)
+	if err != nil {
+		t.Fatalf("GenerateLibrary: %v", err)
+	}
+	if len(lib) != spec.Count {
+		t.Fatalf("library size = %d, want %d", len(lib), spec.Count)
+	}
+	seen := map[string]bool{}
+	for _, title := range lib {
+		if err := title.Validate(); err != nil {
+			t.Fatalf("generated invalid title: %v", err)
+		}
+		if title.SizeBytes < spec.MinBytes || title.SizeBytes > spec.MaxBytes {
+			t.Fatalf("size %d outside [%d,%d]", title.SizeBytes, spec.MinBytes, spec.MaxBytes)
+		}
+		if seen[title.Name] {
+			t.Fatalf("duplicate title name %s", title.Name)
+		}
+		seen[title.Name] = true
+	}
+	// Deterministic for a fixed seed.
+	lib2, err := GenerateLibrary(spec, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range lib {
+		if lib[i] != lib2[i] {
+			t.Fatalf("library not deterministic at %d: %+v vs %+v", i, lib[i], lib2[i])
+		}
+	}
+}
+
+func TestGenerateLibraryValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bad := []LibrarySpec{
+		{Count: 0, MinBytes: 1, MaxBytes: 2},
+		{Count: 1, MinBytes: 0, MaxBytes: 2},
+		{Count: 1, MinBytes: 5, MaxBytes: 2},
+	}
+	for _, spec := range bad {
+		if _, err := GenerateLibrary(spec, rng); err == nil {
+			t.Fatalf("GenerateLibrary accepted %+v", spec)
+		}
+	}
+	// Defaults applied.
+	lib, err := GenerateLibrary(LibrarySpec{Count: 1, MinBytes: 10, MaxBytes: 10}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib[0].BitrateMbps != 1.5 {
+		t.Fatalf("default bitrate = %g, want 1.5", lib[0].BitrateMbps)
+	}
+}

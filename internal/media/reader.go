@@ -1,0 +1,72 @@
+package media
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Reader is an io.ReadSeeker over a title's canonical synthetic content —
+// the stand-in for opening the encoded video file. It is cheap to create
+// (content is generated on the fly) and safe for sequential use; it is not
+// safe for concurrent use.
+type Reader struct {
+	name string
+	size int64
+	off  int64
+}
+
+var (
+	_ io.Reader = (*Reader)(nil)
+	_ io.Seeker = (*Reader)(nil)
+)
+
+// NewReader opens the title's content stream.
+func NewReader(t Title) (*Reader, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &Reader{name: t.Name, size: t.SizeBytes}, nil
+}
+
+// Size returns the title's total size.
+func (r *Reader) Size() int64 { return r.size }
+
+// Read implements io.Reader.
+func (r *Reader) Read(p []byte) (int, error) {
+	if r.off >= r.size {
+		return 0, io.EOF
+	}
+	n := int64(len(p))
+	if r.off+n > r.size {
+		n = r.size - r.off
+	}
+	ContentAt(r.name, r.off, p[:n])
+	r.off += n
+	var err error
+	if r.off >= r.size && n < int64(len(p)) {
+		err = io.EOF
+	}
+	return int(n), err
+}
+
+// Seek implements io.Seeker.
+func (r *Reader) Seek(offset int64, whence int) (int64, error) {
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = r.off
+	case io.SeekEnd:
+		base = r.size
+	default:
+		return 0, fmt.Errorf("media reader: bad whence %d", whence)
+	}
+	next := base + offset
+	if next < 0 {
+		return 0, errors.New("media reader: negative position")
+	}
+	r.off = next
+	return next, nil
+}

@@ -1,0 +1,106 @@
+package media
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+func TestReaderSequential(t *testing.T) {
+	title := Title{Name: "r", SizeBytes: 1000, BitrateMbps: 1.5}
+	r, err := NewReader(title)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Size() != 1000 {
+		t.Fatalf("Size = %d", r.Size())
+	}
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1000 || !Verify("r", 0, got) {
+		t.Fatalf("read %d bytes, verified=%v", len(got), Verify("r", 0, got))
+	}
+	// At EOF further reads return EOF.
+	n, err := r.Read(make([]byte, 1))
+	if n != 0 || err != io.EOF {
+		t.Fatalf("post-EOF read = %d, %v", n, err)
+	}
+}
+
+func TestReaderShortFinalRead(t *testing.T) {
+	title := Title{Name: "r2", SizeBytes: 10, BitrateMbps: 1.5}
+	r, err := NewReader(title)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 7)
+	n1, err := r.Read(buf)
+	if n1 != 7 || err != nil {
+		t.Fatalf("read 1 = %d, %v", n1, err)
+	}
+	n2, err := r.Read(buf)
+	if n2 != 3 || err != io.EOF {
+		t.Fatalf("read 2 = %d, %v (want 3, EOF)", n2, err)
+	}
+}
+
+func TestReaderSeek(t *testing.T) {
+	title := Title{Name: "r3", SizeBytes: 100, BitrateMbps: 1.5}
+	r, err := NewReader(title)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos, err := r.Seek(40, io.SeekStart); err != nil || pos != 40 {
+		t.Fatalf("SeekStart = %d, %v", pos, err)
+	}
+	chunk := make([]byte, 10)
+	if _, err := io.ReadFull(r, chunk); err != nil {
+		t.Fatal(err)
+	}
+	if !Verify("r3", 40, chunk) {
+		t.Fatal("seeked content mismatch")
+	}
+	if pos, err := r.Seek(-5, io.SeekCurrent); err != nil || pos != 45 {
+		t.Fatalf("SeekCurrent = %d, %v", pos, err)
+	}
+	if pos, err := r.Seek(-10, io.SeekEnd); err != nil || pos != 90 {
+		t.Fatalf("SeekEnd = %d, %v", pos, err)
+	}
+	if _, err := r.Seek(-1, io.SeekStart); err == nil {
+		t.Fatal("negative position accepted")
+	}
+	if _, err := r.Seek(0, 99); err == nil {
+		t.Fatal("bad whence accepted")
+	}
+	// Seeking past EOF then reading yields EOF.
+	if _, err := r.Seek(10, io.SeekEnd); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := r.Read(chunk); n != 0 || err != io.EOF {
+		t.Fatalf("past-EOF read = %d, %v", n, err)
+	}
+}
+
+func TestReaderMatchesContent(t *testing.T) {
+	title := Title{Name: "r4", SizeBytes: 5000, BitrateMbps: 1.5}
+	r, err := NewReader(title)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if _, err := io.Copy(&got, r); err != nil {
+		t.Fatal(err)
+	}
+	want := Content("r4", 0, 5000)
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatal("reader content diverges from Content")
+	}
+}
+
+func TestNewReaderValidation(t *testing.T) {
+	if _, err := NewReader(Title{}); err == nil {
+		t.Fatal("invalid title accepted")
+	}
+}

@@ -1,0 +1,225 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterIncAdd(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(5)
+	if got := c.Value(); got != 6 {
+		t.Fatalf("Value = %d, want 6", got)
+	}
+}
+
+func TestCounterIgnoresNegativeAdd(t *testing.T) {
+	var c Counter
+	c.Add(10)
+	c.Add(-3)
+	if got := c.Value(); got != 10 {
+		t.Fatalf("Value after negative Add = %d, want 10", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for range workers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range perWorker {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("Value = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestGaugeSetAdd(t *testing.T) {
+	var g Gauge
+	g.Set(1.5)
+	g.Add(2.5)
+	if got := g.Value(); got != 4.0 {
+		t.Fatalf("Value = %g, want 4", got)
+	}
+}
+
+func TestGaugeConcurrentAdd(t *testing.T) {
+	var g Gauge
+	const workers, perWorker = 4, 500
+	var wg sync.WaitGroup
+	for range workers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range perWorker {
+				g.Add(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := g.Value(), float64(workers*perWorker)*0.5; got != want {
+		t.Fatalf("Value = %g, want %g", got, want)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(1, 10, 100)
+	for _, v := range []float64{0.5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Fatalf("Count = %d, want 4", s.Count)
+	}
+	if s.Sum != 555.5 {
+		t.Fatalf("Sum = %g, want 555.5", s.Sum)
+	}
+	if s.Min != 0.5 || s.Max != 500 {
+		t.Fatalf("Min/Max = %g/%g, want 0.5/500", s.Min, s.Max)
+	}
+	wantCounts := []int64{1, 1, 1, 1}
+	for i, c := range s.Counts {
+		if c != wantCounts[i] {
+			t.Fatalf("Counts[%d] = %d, want %d", i, c, wantCounts[i])
+		}
+	}
+}
+
+func TestHistogramMeanEmptyIsZero(t *testing.T) {
+	s := NewHistogram(1).Snapshot()
+	if s.Mean() != 0 {
+		t.Fatalf("Mean of empty histogram = %g, want 0", s.Mean())
+	}
+	if s.Quantile(0.5) != 0 {
+		t.Fatalf("Quantile of empty histogram = %g, want 0", s.Quantile(0.5))
+	}
+	if s.Min != 0 || s.Max != 0 {
+		t.Fatalf("empty snapshot Min/Max = %g/%g, want 0/0", s.Min, s.Max)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+	for i := 1; i <= 10; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Snapshot()
+	if q := s.Quantile(0.5); q != 5 {
+		t.Fatalf("p50 = %g, want 5", q)
+	}
+	if q := s.Quantile(1.0); q != 10 {
+		t.Fatalf("p100 = %g, want 10", q)
+	}
+	if q := s.Quantile(0.0); q != 1 {
+		t.Fatalf("p0 = %g, want 1 (rank clamps to first sample)", q)
+	}
+	// Out-of-range q clamps.
+	if q := s.Quantile(2.0); q != 10 {
+		t.Fatalf("Quantile(2.0) = %g, want 10", q)
+	}
+	if q := s.Quantile(-1.0); q != 1 {
+		t.Fatalf("Quantile(-1.0) = %g, want 1", q)
+	}
+}
+
+func TestHistogramUnsortedBoundsAreSorted(t *testing.T) {
+	h := NewHistogram(100, 1, 10)
+	h.Observe(5)
+	s := h.Snapshot()
+	if s.Bounds[0] != 1 || s.Bounds[1] != 10 || s.Bounds[2] != 100 {
+		t.Fatalf("Bounds = %v, want sorted [1 10 100]", s.Bounds)
+	}
+	if s.Counts[1] != 1 {
+		t.Fatalf("observation of 5 landed in bucket %v, want index 1", s.Counts)
+	}
+}
+
+// Property: quantile estimates never fall below the true minimum nor exceed
+// the true maximum of the observed samples.
+func TestHistogramQuantileBoundsProperty(t *testing.T) {
+	prop := func(raw []float64, qRaw float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram(0.25, 0.5, 0.75)
+		lo, hi := raw[0], raw[0]
+		for _, v := range raw {
+			// Map arbitrary floats into [0,1] to keep values finite.
+			v = v - float64(int64(v))
+			if v < 0 {
+				v = -v
+			}
+			h.Observe(v)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		_ = lo
+		q := qRaw - float64(int64(qRaw))
+		if q < 0 {
+			q = -q
+		}
+		s := h.Snapshot()
+		return s.Quantile(q) <= s.Max || s.Count == 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryReturnsSameInstance(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("Counter returned distinct instances for one name")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Fatal("Gauge returned distinct instances for one name")
+	}
+	if r.Histogram("h", 1) != r.Histogram("h", 2) {
+		t.Fatal("Histogram returned distinct instances for one name")
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs").Add(3)
+	r.Gauge("util").Set(0.91)
+	r.Histogram("lat", 1, 10).Observe(5)
+	s := r.Snapshot()
+	if s.Counters["reqs"] != 3 {
+		t.Fatalf("snapshot counter = %d, want 3", s.Counters["reqs"])
+	}
+	if s.Gauges["util"] != 0.91 {
+		t.Fatalf("snapshot gauge = %g, want 0.91", s.Gauges["util"])
+	}
+	if s.Histograms["lat"].Count != 1 {
+		t.Fatalf("snapshot histogram count = %d, want 1", s.Histograms["lat"].Count)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Inc()
+	r.Counter("a").Inc()
+	r.Gauge("z").Set(2)
+	out := r.Snapshot().String()
+	if !strings.Contains(out, "counter a 1") || !strings.Contains(out, "gauge z 2") {
+		t.Fatalf("String() missing entries:\n%s", out)
+	}
+	if strings.Index(out, "counter a") > strings.Index(out, "counter b") {
+		t.Fatalf("String() not sorted:\n%s", out)
+	}
+}

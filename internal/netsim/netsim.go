@@ -1,0 +1,486 @@
+// Package netsim is the network substrate for the emulated plane: a
+// deterministic discrete-event fluid-flow simulator over the service
+// topology. Each link carries configurable background traffic (the
+// experiments replay the paper's Table 2 diurnal pattern) plus the video
+// transfer flows the service starts; concurrent flows share residual link
+// capacity max-min fairly, and the simulator advances a virtual clock from
+// one flow completion to the next.
+//
+// The model is fluid (no packets, no propagation delay): a flow's
+// instantaneous rate is the max-min fair share along its path, integrated
+// exactly between events. That is the level of fidelity the paper's
+// algorithms observe — they act on link utilization percentages, never on
+// per-packet behaviour.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"dvod/internal/routing"
+	"dvod/internal/topology"
+)
+
+// Errors reported by the simulator.
+var (
+	ErrBadBytes   = errors.New("transfer size must be positive")
+	ErrBadPath    = errors.New("path traverses unknown link")
+	ErrPastTime   = errors.New("cannot advance backwards")
+	ErrStalled    = errors.New("active flows have zero rate")
+	ErrMaxElapsed = errors.New("run exceeded time bound")
+)
+
+// Flow is one in-flight transfer. Fields are owned by the Network; read them
+// only via methods after the network created the flow.
+type Flow struct {
+	id          int64
+	path        routing.Path
+	totalBytes  int64
+	remaining   float64 // bytes
+	rateMbps    float64
+	started     time.Time
+	activeAt    time.Time // first byte arrives after the path latency
+	completed   bool
+	completedAt time.Time
+	cancelled   bool
+}
+
+// ID returns the flow's unique identifier.
+func (f *Flow) ID() int64 { return f.id }
+
+// Path returns the route the flow traverses.
+func (f *Flow) Path() routing.Path { return f.path }
+
+// TotalBytes returns the transfer size.
+func (f *Flow) TotalBytes() int64 { return f.totalBytes }
+
+// Network is the simulator. Methods are not safe for concurrent use: the
+// emulated plane is single-threaded by design (determinism).
+type Network struct {
+	graph      *topology.Graph
+	now        time.Time
+	background map[topology.LinkID]float64
+	latency    map[topology.LinkID]time.Duration
+	flows      map[int64]*Flow
+	nextID     int64
+}
+
+// New builds a simulator over the graph starting at the given instant.
+func New(g *topology.Graph, start time.Time) *Network {
+	return &Network{
+		graph:      g,
+		now:        start,
+		background: make(map[topology.LinkID]float64),
+		latency:    make(map[topology.LinkID]time.Duration),
+		flows:      make(map[int64]*Flow),
+	}
+}
+
+// SetLatency fixes a link's one-way propagation delay (default 0). A flow's
+// first byte arrives only after the summed latency of its path; until then
+// the flow consumes no bandwidth.
+func (n *Network) SetLatency(id topology.LinkID, d time.Duration) error {
+	if _, err := n.graph.LinkByID(id); err != nil {
+		return err
+	}
+	if d < 0 {
+		return fmt.Errorf("negative latency %v for %s", d, id)
+	}
+	n.latency[id] = d
+	return nil
+}
+
+// Latency returns a link's configured propagation delay.
+func (n *Network) Latency(id topology.LinkID) time.Duration { return n.latency[id] }
+
+// PathLatency sums the propagation delay along a path.
+func (n *Network) PathLatency(path routing.Path) time.Duration {
+	var total time.Duration
+	for _, id := range path.Links() {
+		total += n.latency[id]
+	}
+	return total
+}
+
+// Now returns the simulator's current instant.
+func (n *Network) Now() time.Time { return n.now }
+
+// Graph returns the underlying topology.
+func (n *Network) Graph() *topology.Graph { return n.graph }
+
+// SetBackground fixes the background (non-VoD) traffic on a link in Mbps,
+// clamped to [0, capacity]. Active flow rates are re-derived immediately.
+func (n *Network) SetBackground(id topology.LinkID, mbps float64) error {
+	l, err := n.graph.LinkByID(id)
+	if err != nil {
+		return err
+	}
+	if math.IsNaN(mbps) || math.IsInf(mbps, 0) {
+		return fmt.Errorf("background for %s is not finite: %g", id, mbps)
+	}
+	if mbps < 0 {
+		mbps = 0
+	}
+	if mbps > l.CapacityMbps {
+		mbps = l.CapacityMbps
+	}
+	n.background[id] = mbps
+	n.reallocate()
+	return nil
+}
+
+// Background returns the configured background traffic of a link in Mbps.
+func (n *Network) Background(id topology.LinkID) float64 { return n.background[id] }
+
+// StartFlow begins a transfer of the given size along the path. A path with
+// zero hops (server co-located with client) completes instantly.
+func (n *Network) StartFlow(path routing.Path, bytes int64) (*Flow, error) {
+	if bytes <= 0 {
+		return nil, fmt.Errorf("%w: %d", ErrBadBytes, bytes)
+	}
+	for _, id := range path.Links() {
+		if _, err := n.graph.LinkByID(id); err != nil {
+			return nil, fmt.Errorf("%w: %s", ErrBadPath, id)
+		}
+	}
+	f := &Flow{
+		id:         n.nextID,
+		path:       path,
+		totalBytes: bytes,
+		remaining:  float64(bytes),
+		started:    n.now,
+		activeAt:   n.now.Add(n.PathLatency(path)),
+	}
+	n.nextID++
+	if path.Hops() == 0 {
+		f.completed = true
+		f.completedAt = n.now
+		return f, nil
+	}
+	n.flows[f.id] = f
+	n.reallocate()
+	return f, nil
+}
+
+// active reports whether the flow's first byte has reached the pipe.
+func (n *Network) active(f *Flow) bool { return !f.activeAt.After(n.now) }
+
+// CancelFlow aborts an in-flight transfer (e.g. the client switches servers
+// mid-cluster). Completed or already-cancelled flows are left untouched.
+func (n *Network) CancelFlow(f *Flow) {
+	if f == nil || f.completed || f.cancelled {
+		return
+	}
+	f.cancelled = true
+	delete(n.flows, f.id)
+	n.reallocate()
+}
+
+// Completed reports whether the flow has delivered all bytes, and when.
+func (n *Network) Completed(f *Flow) (bool, time.Time) {
+	return f.completed, f.completedAt
+}
+
+// Cancelled reports whether the flow was cancelled.
+func (n *Network) Cancelled(f *Flow) bool { return f.cancelled }
+
+// RateMbps returns the flow's current max-min fair rate.
+func (n *Network) RateMbps(f *Flow) float64 {
+	if f.completed || f.cancelled {
+		return 0
+	}
+	return f.rateMbps
+}
+
+// RemainingBytes returns the bytes the flow still has to deliver.
+func (n *Network) RemainingBytes(f *Flow) int64 {
+	if f.completed {
+		return 0
+	}
+	return int64(math.Ceil(f.remaining))
+}
+
+// ActiveFlows returns the number of in-flight flows.
+func (n *Network) ActiveFlows() int { return len(n.flows) }
+
+// LinkUtilization returns (background + flow rates)/capacity for the link at
+// the current instant — exactly what an SNMP agent would sample.
+func (n *Network) LinkUtilization(id topology.LinkID) (float64, error) {
+	l, err := n.graph.LinkByID(id)
+	if err != nil {
+		return 0, err
+	}
+	used := n.background[id]
+	for _, f := range n.flows {
+		for _, fid := range f.path.Links() {
+			if fid == id {
+				used += f.rateMbps
+				break
+			}
+		}
+	}
+	return used / l.CapacityMbps, nil
+}
+
+// LinkUsedMbps returns background + flow traffic on the link in Mbps.
+func (n *Network) LinkUsedMbps(id topology.LinkID) (float64, error) {
+	u, err := n.LinkUtilization(id)
+	if err != nil {
+		return 0, err
+	}
+	l, err := n.graph.LinkByID(id)
+	if err != nil {
+		return 0, err
+	}
+	return u * l.CapacityMbps, nil
+}
+
+// NextEventAt returns the earliest upcoming flow event — a completion or a
+// latency-delayed activation — or false when no flow is making progress.
+func (n *Network) NextEventAt() (time.Time, bool) {
+	var (
+		best  time.Time
+		found bool
+	)
+	consider := func(at time.Time) {
+		if !found || at.Before(best) {
+			best = at
+			found = true
+		}
+	}
+	for _, f := range n.flows {
+		if !n.active(f) {
+			consider(f.activeAt)
+			continue
+		}
+		if f.rateMbps <= 0 {
+			continue
+		}
+		consider(n.now.Add(durationFor(f.remaining, f.rateMbps)))
+	}
+	return best, found
+}
+
+// AdvanceTo moves simulated time forward to t, integrating flow progress and
+// completing flows exactly at their finish instants.
+func (n *Network) AdvanceTo(t time.Time) error {
+	if t.Before(n.now) {
+		return fmt.Errorf("%w: now %v, target %v", ErrPastTime, n.now, t)
+	}
+	for {
+		next, ok := n.NextEventAt()
+		if !ok || next.After(t) {
+			n.progressTo(t)
+			n.activateDue()
+			return nil
+		}
+		n.progressTo(next)
+		n.activateDue()
+		n.completeDue()
+	}
+}
+
+// Advance moves simulated time forward by d.
+func (n *Network) Advance(d time.Duration) error {
+	return n.AdvanceTo(n.now.Add(d))
+}
+
+// RunUntilIdle advances through completions until no flows remain, erroring
+// if active flows have zero rate (saturated links) or the bound is exceeded.
+func (n *Network) RunUntilIdle(maxElapsed time.Duration) error {
+	deadline := n.now.Add(maxElapsed)
+	for len(n.flows) > 0 {
+		next, ok := n.NextEventAt()
+		if !ok {
+			return fmt.Errorf("%w: %d flows at rate 0", ErrStalled, len(n.flows))
+		}
+		if next.After(deadline) {
+			return fmt.Errorf("%w: next completion %v past deadline %v", ErrMaxElapsed, next, deadline)
+		}
+		n.progressTo(next)
+		n.activateDue()
+		n.completeDue()
+	}
+	return nil
+}
+
+// progressTo integrates all flow progress from now to t (no completions or
+// activations are processed; the caller ensures none are due strictly
+// before t, so a flow is either active for the whole interval or none of
+// it).
+func (n *Network) progressTo(t time.Time) {
+	dt := t.Sub(n.now).Seconds()
+	if dt > 0 {
+		for _, f := range n.flows {
+			if f.activeAt.After(n.now) {
+				continue // still in propagation delay
+			}
+			f.remaining -= bytesPerSecond(f.rateMbps) * dt
+			if f.remaining < 0 {
+				f.remaining = 0
+			}
+		}
+	}
+	n.now = t
+}
+
+// activateDue gives newly active flows their share of bandwidth.
+func (n *Network) activateDue() {
+	changed := false
+	for _, f := range n.flows {
+		if n.active(f) && f.rateMbps == 0 && f.remaining > 0 {
+			changed = true
+			break
+		}
+	}
+	if changed {
+		n.reallocate()
+	}
+}
+
+// completeDue finalizes flows whose remaining bytes reached zero.
+func (n *Network) completeDue() {
+	changed := false
+	for id, f := range n.flows {
+		if f.remaining <= 1e-9 {
+			f.remaining = 0
+			f.completed = true
+			f.completedAt = n.now
+			delete(n.flows, id)
+			changed = true
+		}
+	}
+	if changed {
+		n.reallocate()
+	}
+}
+
+// reallocate recomputes max-min fair rates for all active flows via
+// progressive filling. Iteration order is by flow ID for determinism.
+func (n *Network) reallocate() {
+	if len(n.flows) == 0 {
+		return
+	}
+	// Residual capacity per link after background traffic.
+	residual := make(map[topology.LinkID]float64, n.graph.NumLinks())
+	for _, l := range n.graph.Links() {
+		r := l.CapacityMbps - n.background[l.ID]
+		if r < 0 {
+			r = 0
+		}
+		residual[l.ID] = r
+	}
+	unallocated := make(map[int64]*Flow, len(n.flows))
+	for id, f := range n.flows {
+		f.rateMbps = 0
+		if !n.active(f) {
+			continue // in propagation delay: consumes no bandwidth yet
+		}
+		unallocated[id] = f
+	}
+	for len(unallocated) > 0 {
+		// Count unallocated flows per link.
+		counts := make(map[topology.LinkID]int)
+		for _, f := range unallocated {
+			for _, lid := range f.path.Links() {
+				counts[lid]++
+			}
+		}
+		// Bottleneck: the link with the smallest fair share.
+		var (
+			bottleneck topology.LinkID
+			fair       = math.Inf(1)
+		)
+		linkIDs := make([]topology.LinkID, 0, len(counts))
+		for lid := range counts {
+			linkIDs = append(linkIDs, lid)
+		}
+		sort.Slice(linkIDs, func(i, j int) bool { return linkIDs[i] < linkIDs[j] })
+		for _, lid := range linkIDs {
+			share := residual[lid] / float64(counts[lid])
+			if share < fair {
+				fair = share
+				bottleneck = lid
+			}
+		}
+		if math.IsInf(fair, 1) {
+			// No flow crosses any link (cannot happen: zero-hop flows
+			// complete at start), but guard against an infinite loop.
+			break
+		}
+		// Freeze every unallocated flow crossing the bottleneck at the
+		// fair share, charging its whole path.
+		ids := make([]int64, 0, len(unallocated))
+		for id := range unallocated {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			f := unallocated[id]
+			crosses := false
+			for _, lid := range f.path.Links() {
+				if lid == bottleneck {
+					crosses = true
+					break
+				}
+			}
+			if !crosses {
+				continue
+			}
+			f.rateMbps = fair
+			for _, lid := range f.path.Links() {
+				residual[lid] -= fair
+				if residual[lid] < 0 {
+					residual[lid] = 0
+				}
+			}
+			delete(unallocated, id)
+		}
+	}
+}
+
+// bytesPerSecond converts a rate in Mbps to bytes per second.
+func bytesPerSecond(mbps float64) float64 { return mbps * 1e6 / 8 }
+
+// durationFor returns the time to move `bytes` at `mbps`.
+func durationFor(bytes, mbps float64) time.Duration {
+	if mbps <= 0 {
+		return time.Duration(math.MaxInt64)
+	}
+	sec := bytes / bytesPerSecond(mbps)
+	d := time.Duration(sec * float64(time.Second))
+	if d <= 0 {
+		d = time.Nanosecond
+	}
+	return d
+}
+
+// TransferTime estimates the duration to move `bytes` along `path` given the
+// network's current background traffic, assuming no competing flows — the
+// closed-form used by quick what-if evaluations.
+func (n *Network) TransferTime(path routing.Path, bytes int64) (time.Duration, error) {
+	if bytes <= 0 {
+		return 0, fmt.Errorf("%w: %d", ErrBadBytes, bytes)
+	}
+	if path.Hops() == 0 {
+		return 0, nil
+	}
+	rate := math.Inf(1)
+	for _, id := range path.Links() {
+		l, err := n.graph.LinkByID(id)
+		if err != nil {
+			return 0, fmt.Errorf("%w: %s", ErrBadPath, id)
+		}
+		r := l.CapacityMbps - n.background[id]
+		if r < rate {
+			rate = r
+		}
+	}
+	if rate <= 0 {
+		return time.Duration(math.MaxInt64), nil
+	}
+	return n.PathLatency(path) + durationFor(float64(bytes), rate), nil
+}

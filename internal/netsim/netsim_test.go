@@ -1,0 +1,448 @@
+package netsim
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"dvod/internal/routing"
+	"dvod/internal/topology"
+)
+
+var t0 = time.Date(2000, time.April, 10, 8, 0, 0, 0, time.UTC)
+
+// pair builds A--B with the given capacity.
+func pair(t *testing.T, capMbps float64) (*topology.Graph, topology.LinkID) {
+	t.Helper()
+	g := topology.NewGraph()
+	for _, n := range []topology.NodeID{"A", "B"} {
+		if err := g.AddNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	id, err := g.AddLink("A", "B", capMbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, id
+}
+
+// chain builds A-B-C with the given capacities.
+func chain(t *testing.T, cap1, cap2 float64) *topology.Graph {
+	t.Helper()
+	g := topology.NewGraph()
+	for _, n := range []topology.NodeID{"A", "B", "C"} {
+		if err := g.AddNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := g.AddLink("A", "B", cap1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddLink("B", "C", cap2); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func path(nodes ...topology.NodeID) routing.Path {
+	return routing.Path{Nodes: nodes}
+}
+
+func TestSingleFlowTransferTime(t *testing.T) {
+	g, _ := pair(t, 8) // 8 Mbps = 1 MB/s
+	n := New(g, t0)
+	f, err := n.StartFlow(path("A", "B"), 1_000_000) // 1 MB
+	if err != nil {
+		t.Fatalf("StartFlow: %v", err)
+	}
+	if got := n.RateMbps(f); got != 8 {
+		t.Fatalf("rate = %g, want 8", got)
+	}
+	next, ok := n.NextEventAt()
+	if !ok {
+		t.Fatal("no next event")
+	}
+	if want := t0.Add(time.Second); !next.Equal(want) {
+		t.Fatalf("completion at %v, want %v", next, want)
+	}
+	if err := n.RunUntilIdle(time.Minute); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	done, at := n.Completed(f)
+	if !done || !at.Equal(t0.Add(time.Second)) {
+		t.Fatalf("completed=%v at=%v", done, at)
+	}
+	if n.RemainingBytes(f) != 0 {
+		t.Fatalf("remaining = %d", n.RemainingBytes(f))
+	}
+}
+
+func TestBackgroundReducesRate(t *testing.T) {
+	g, id := pair(t, 8)
+	n := New(g, t0)
+	if err := n.SetBackground(id, 4); err != nil {
+		t.Fatal(err)
+	}
+	f, err := n.StartFlow(path("A", "B"), 500_000) // 0.5 MB at 0.5 MB/s = 1s
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.RateMbps(f); got != 4 {
+		t.Fatalf("rate = %g, want 4", got)
+	}
+	u, err := n.LinkUtilization(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u != 1.0 {
+		t.Fatalf("utilization = %g, want 1 (4 bg + 4 flow over 8)", u)
+	}
+	if err := n.RunUntilIdle(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	done, at := n.Completed(f)
+	if !done || !at.Equal(t0.Add(time.Second)) {
+		t.Fatalf("completed=%v at=%v", done, at)
+	}
+}
+
+func TestTwoFlowsShareFairly(t *testing.T) {
+	g, _ := pair(t, 8)
+	n := New(g, t0)
+	f1, err := n.StartFlow(path("A", "B"), 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := n.StartFlow(path("A", "B"), 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.RateMbps(f1) != 4 || n.RateMbps(f2) != 4 {
+		t.Fatalf("rates = %g/%g, want 4/4", n.RateMbps(f1), n.RateMbps(f2))
+	}
+	// Both complete at t0+2s; after completion nothing remains.
+	if err := n.RunUntilIdle(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	_, at1 := n.Completed(f1)
+	_, at2 := n.Completed(f2)
+	want := t0.Add(2 * time.Second)
+	if !at1.Equal(want) || !at2.Equal(want) {
+		t.Fatalf("completions %v/%v, want %v", at1, at2, want)
+	}
+}
+
+func TestFlowSpeedsUpWhenCompetitorFinishes(t *testing.T) {
+	g, _ := pair(t, 8)
+	n := New(g, t0)
+	// f1: 0.5 MB, f2: 1 MB. Shared at 4 Mbps (0.5 MB/s each): f1 done at
+	// 1s; then f2 runs at 8 Mbps for its remaining 0.5 MB → done at 1.5s.
+	f1, err := n.StartFlow(path("A", "B"), 500_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := n.StartFlow(path("A", "B"), 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.RunUntilIdle(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	_, at1 := n.Completed(f1)
+	_, at2 := n.Completed(f2)
+	if !at1.Equal(t0.Add(time.Second)) {
+		t.Fatalf("f1 completed at %v, want t0+1s", at1)
+	}
+	if !at2.Equal(t0.Add(1500 * time.Millisecond)) {
+		t.Fatalf("f2 completed at %v, want t0+1.5s", at2)
+	}
+}
+
+func TestMaxMinAcrossBottleneck(t *testing.T) {
+	// A-B at 10, B-C at 2. A two-hop flow A→C is limited to 2 even though
+	// A-B has room; a one-hop flow A→B then gets the remaining 8.
+	g := chain(t, 10, 2)
+	n := New(g, t0)
+	long, err := n.StartFlow(path("A", "B", "C"), 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := n.StartFlow(path("A", "B"), 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.RateMbps(long); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("long rate = %g, want 2 (bottleneck B-C)", got)
+	}
+	if got := n.RateMbps(short); math.Abs(got-8) > 1e-9 {
+		t.Fatalf("short rate = %g, want 8 (residual of A-B)", got)
+	}
+}
+
+func TestZeroHopFlowCompletesInstantly(t *testing.T) {
+	g, _ := pair(t, 8)
+	n := New(g, t0)
+	f, err := n.StartFlow(path("A"), 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, at := n.Completed(f)
+	if !done || !at.Equal(t0) {
+		t.Fatalf("zero-hop flow: done=%v at=%v", done, at)
+	}
+	if n.ActiveFlows() != 0 {
+		t.Fatalf("ActiveFlows = %d", n.ActiveFlows())
+	}
+}
+
+func TestStartFlowValidation(t *testing.T) {
+	g, _ := pair(t, 8)
+	n := New(g, t0)
+	if _, err := n.StartFlow(path("A", "B"), 0); !errors.Is(err, ErrBadBytes) {
+		t.Fatalf("zero bytes error = %v", err)
+	}
+	if _, err := n.StartFlow(path("A", "Z"), 10); !errors.Is(err, ErrBadPath) {
+		t.Fatalf("bad path error = %v", err)
+	}
+}
+
+func TestSetBackgroundValidation(t *testing.T) {
+	g, id := pair(t, 8)
+	n := New(g, t0)
+	if err := n.SetBackground("no--link", 1); !errors.Is(err, topology.ErrLinkUnknown) {
+		t.Fatalf("unknown link error = %v", err)
+	}
+	if err := n.SetBackground(id, math.NaN()); err == nil {
+		t.Fatal("NaN background accepted")
+	}
+	// Clamping.
+	if err := n.SetBackground(id, -3); err != nil {
+		t.Fatal(err)
+	}
+	if n.Background(id) != 0 {
+		t.Fatalf("negative background = %g, want 0", n.Background(id))
+	}
+	if err := n.SetBackground(id, 100); err != nil {
+		t.Fatal(err)
+	}
+	if n.Background(id) != 8 {
+		t.Fatalf("oversized background = %g, want clamp to 8", n.Background(id))
+	}
+}
+
+func TestCancelFlowFreesBandwidth(t *testing.T) {
+	g, _ := pair(t, 8)
+	n := New(g, t0)
+	f1, err := n.StartFlow(path("A", "B"), 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := n.StartFlow(path("A", "B"), 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.CancelFlow(f1)
+	if !n.Cancelled(f1) {
+		t.Fatal("flow not cancelled")
+	}
+	if got := n.RateMbps(f2); got != 8 {
+		t.Fatalf("survivor rate = %g, want 8", got)
+	}
+	if n.RateMbps(f1) != 0 {
+		t.Fatal("cancelled flow still has a rate")
+	}
+	// Cancel of a completed flow is a no-op.
+	if err := n.RunUntilIdle(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	n.CancelFlow(f2)
+	if done, _ := n.Completed(f2); !done {
+		t.Fatal("completed flow flipped to cancelled")
+	}
+	n.CancelFlow(nil) // must not panic
+}
+
+func TestAdvanceBackwardsRejected(t *testing.T) {
+	g, _ := pair(t, 8)
+	n := New(g, t0)
+	if err := n.AdvanceTo(t0.Add(-time.Second)); !errors.Is(err, ErrPastTime) {
+		t.Fatalf("backwards advance error = %v", err)
+	}
+}
+
+func TestAdvancePartialProgress(t *testing.T) {
+	g, _ := pair(t, 8) // 1 MB/s
+	n := New(g, t0)
+	f, err := n.StartFlow(path("A", "B"), 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Advance(500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.RemainingBytes(f); got != 500_000 {
+		t.Fatalf("remaining after 0.5s = %d, want 500000", got)
+	}
+	if done, _ := n.Completed(f); done {
+		t.Fatal("flow completed early")
+	}
+	if err := n.Advance(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	done, at := n.Completed(f)
+	if !done || !at.Equal(t0.Add(time.Second)) {
+		t.Fatalf("done=%v at=%v, want completion exactly at t0+1s", done, at)
+	}
+}
+
+func TestRunUntilIdleStalledAndBounds(t *testing.T) {
+	g, id := pair(t, 8)
+	n := New(g, t0)
+	if err := n.SetBackground(id, 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.StartFlow(path("A", "B"), 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.RunUntilIdle(time.Minute); !errors.Is(err, ErrStalled) {
+		t.Fatalf("stalled error = %v", err)
+	}
+	// Free the link but bound too tight.
+	if err := n.SetBackground(id, 7.999999); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.RunUntilIdle(time.Nanosecond); !errors.Is(err, ErrMaxElapsed) {
+		t.Fatalf("bound error = %v", err)
+	}
+}
+
+func TestBackgroundChangeMidFlow(t *testing.T) {
+	g, id := pair(t, 8) // 1 MB/s clean
+	n := New(g, t0)
+	f, err := n.StartFlow(path("A", "B"), 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Half done at 0.5s, then background eats half the capacity: the
+	// remaining 0.5 MB moves at 0.5 MB/s → completes at 1.5s.
+	if err := n.Advance(500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetBackground(id, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.RunUntilIdle(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	_, at := n.Completed(f)
+	if want := t0.Add(1500 * time.Millisecond); !at.Equal(want) {
+		t.Fatalf("completed at %v, want %v", at, want)
+	}
+}
+
+func TestLinkUsedMbps(t *testing.T) {
+	g, id := pair(t, 8)
+	n := New(g, t0)
+	if err := n.SetBackground(id, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.StartFlow(path("A", "B"), 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	used, err := n.LinkUsedMbps(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != 8 { // 2 bg + 6 flow
+		t.Fatalf("used = %g, want 8", used)
+	}
+	if _, err := n.LinkUsedMbps("no--link"); err == nil {
+		t.Fatal("unknown link accepted")
+	}
+	if _, err := n.LinkUtilization("no--link"); err == nil {
+		t.Fatal("unknown link accepted")
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	g := chain(t, 10, 2)
+	n := New(g, t0)
+	// Bottleneck 2 Mbps = 0.25 MB/s → 1 MB in 4s.
+	d, err := n.TransferTime(path("A", "B", "C"), 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 4*time.Second {
+		t.Fatalf("TransferTime = %v, want 4s", d)
+	}
+	if d, err := n.TransferTime(path("A"), 100); err != nil || d != 0 {
+		t.Fatalf("zero-hop TransferTime = %v, %v", d, err)
+	}
+	if _, err := n.TransferTime(path("A", "B"), 0); !errors.Is(err, ErrBadBytes) {
+		t.Fatalf("zero bytes error = %v", err)
+	}
+	if _, err := n.TransferTime(path("A", "Z"), 10); !errors.Is(err, ErrBadPath) {
+		t.Fatalf("bad path error = %v", err)
+	}
+	// Saturated link → effectively infinite.
+	id := topology.MakeLinkID("B", "C")
+	if err := n.SetBackground(id, 2); err != nil {
+		t.Fatal(err)
+	}
+	d, err = n.TransferTime(path("A", "B", "C"), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < time.Hour {
+		t.Fatalf("saturated TransferTime = %v, want huge", d)
+	}
+}
+
+func TestFlowAccessors(t *testing.T) {
+	g, _ := pair(t, 8)
+	n := New(g, t0)
+	f, err := n.StartFlow(path("A", "B"), 123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.TotalBytes() != 123 || f.Path().String() != "A,B" {
+		t.Fatalf("accessors wrong: %d %s", f.TotalBytes(), f.Path())
+	}
+	f2, err := n.StartFlow(path("A", "B"), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ID() == f2.ID() {
+		t.Fatal("flow IDs collide")
+	}
+}
+
+// Conservation: on a single link the sum of allocated rates never exceeds
+// residual capacity.
+func TestRateConservation(t *testing.T) {
+	g, id := pair(t, 10)
+	n := New(g, t0)
+	if err := n.SetBackground(id, 3); err != nil {
+		t.Fatal(err)
+	}
+	flows := make([]*Flow, 5)
+	for i := range flows {
+		f, err := n.StartFlow(path("A", "B"), 1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flows[i] = f
+	}
+	var sum float64
+	for _, f := range flows {
+		sum += n.RateMbps(f)
+	}
+	if sum > 7+1e-9 {
+		t.Fatalf("allocated %g Mbps over 7 residual", sum)
+	}
+	if math.Abs(sum-7) > 1e-9 {
+		t.Fatalf("work-conserving allocation should use all 7 Mbps, got %g", sum)
+	}
+}

@@ -1,0 +1,199 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"dvod/internal/grnet"
+	"dvod/internal/routing"
+	"dvod/internal/topology"
+)
+
+// grnetNet builds an idle emulator over the GRNET backbone.
+func grnetNet(t *testing.T) (*Network, *topology.Graph) {
+	t.Helper()
+	g, err := grnet.Backbone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(g, t0), g
+}
+
+// Property: with random flows over random paths, every active flow's rate is
+// non-negative and no link carries more than its residual capacity.
+func TestAllocationFeasibilityProperty(t *testing.T) {
+	g, err := grnet.Backbone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := g.Nodes()
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := New(g, t0)
+		// Random background.
+		for _, l := range g.Links() {
+			if err := n.SetBackground(l.ID, r.Float64()*l.CapacityMbps); err != nil {
+				return false
+			}
+		}
+		// Random flows over shortest hop paths between random node pairs.
+		flows := make([]*Flow, 0, 8)
+		tree := map[topology.NodeID]*routing.Tree{}
+		for range 1 + r.Intn(8) {
+			src := nodes[r.Intn(len(nodes))]
+			dst := nodes[r.Intn(len(nodes))]
+			if src == dst {
+				continue
+			}
+			tr, ok := tree[src]
+			if !ok {
+				var err error
+				tr, err = routing.ShortestPaths(g, routing.MinHopWeights(g), src)
+				if err != nil {
+					return false
+				}
+				tree[src] = tr
+			}
+			path, err := tr.PathTo(dst)
+			if err != nil {
+				return false
+			}
+			f, err := n.StartFlow(path, 1+r.Int63n(1<<20))
+			if err != nil {
+				return false
+			}
+			flows = append(flows, f)
+		}
+		// Feasibility: per-link flow sum ≤ residual capacity.
+		for _, l := range g.Links() {
+			var sum float64
+			for _, f := range flows {
+				if done, _ := n.Completed(f); done {
+					continue
+				}
+				for _, id := range f.Path().Links() {
+					if id == l.ID {
+						sum += n.RateMbps(f)
+					}
+				}
+			}
+			residual := l.CapacityMbps - n.Background(l.ID)
+			if sum > residual+1e-9 {
+				return false
+			}
+			if sum < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: byte conservation — a flow that RunUntilIdle completes has
+// delivered exactly its size: completion time × integrated rate equals the
+// requested bytes (verified via remaining-bytes bookkeeping and exact
+// completion instants for a single flow).
+func TestByteConservationProperty(t *testing.T) {
+	g, err := grnet.Backbone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := New(g, t0)
+		path := routing.Path{Nodes: []topology.NodeID{grnet.Patra, grnet.Athens}}
+		bytes := 1 + r.Int63n(1<<22)
+		bg := r.Float64() * 1.9
+		id := topology.MakeLinkID(grnet.Patra, grnet.Athens)
+		if err := n.SetBackground(id, bg); err != nil {
+			return false
+		}
+		f, err := n.StartFlow(path, bytes)
+		if err != nil {
+			return false
+		}
+		if err := n.RunUntilIdle(24 * time.Hour); err != nil {
+			return false
+		}
+		done, at := n.Completed(f)
+		if !done {
+			return false
+		}
+		// Analytic completion time: bytes / residual rate.
+		rate := 2 - bg // Mbps
+		wantSec := float64(bytes) / (rate * 1e6 / 8)
+		gotSec := at.Sub(t0).Seconds()
+		return math.Abs(gotSec-wantSec) < wantSec*1e-6+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: completion order matches size order for same-path flows started
+// together (max-min fairness gives them equal rates throughout).
+func TestSamePathCompletionOrderProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := topology.NewGraph()
+		if err := g.AddNode("A"); err != nil {
+			return false
+		}
+		if err := g.AddNode("B"); err != nil {
+			return false
+		}
+		if _, err := g.AddLink("A", "B", 8); err != nil {
+			return false
+		}
+		n := New(g, t0)
+		path := routing.Path{Nodes: []topology.NodeID{"A", "B"}}
+		sizes := make([]int64, 2+r.Intn(4))
+		flows := make([]*Flow, len(sizes))
+		for i := range sizes {
+			sizes[i] = 1 + r.Int63n(1<<20)
+			f, err := n.StartFlow(path, sizes[i])
+			if err != nil {
+				return false
+			}
+			flows[i] = f
+		}
+		if err := n.RunUntilIdle(time.Hour); err != nil {
+			return false
+		}
+		for i := range flows {
+			for j := range flows {
+				_, ti := n.Completed(flows[i])
+				_, tj := n.Completed(flows[j])
+				if sizes[i] < sizes[j] && ti.After(tj) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNextEventIgnoresStalledFlows(t *testing.T) {
+	n, g := grnetNet(t)
+	id := topology.MakeLinkID(grnet.Patra, grnet.Athens)
+	if err := n.SetBackground(id, 2); err != nil {
+		t.Fatal(err)
+	}
+	_, err := n.StartFlow(routing.Path{Nodes: []topology.NodeID{grnet.Patra, grnet.Athens}}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := n.NextEventAt(); ok {
+		t.Fatal("stalled flow produced a next event")
+	}
+	_ = g
+}

@@ -1,0 +1,216 @@
+// Package placement computes initial replica placements for the service's
+// initialization phase. The paper distributes titles administratively and
+// lets the DMA adapt afterwards; this package answers the administrator's
+// question — *where should the first k copies of a title go?* — as a
+// k-median problem over the LVN-weighted topology: choose replica sites
+// minimizing the demand-weighted cost of each client site reaching its
+// nearest replica. The classic greedy algorithm gives a (1-1/e)-style
+// approximation and is exact for k = 1.
+package placement
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"dvod/internal/routing"
+	"dvod/internal/topology"
+)
+
+// Demand weights each client site by how much it requests the title
+// (requests/hour, fractions — any consistent unit). Sites absent from the
+// map contribute nothing.
+type Demand map[topology.NodeID]float64
+
+// CostMatrix holds all-pairs least-cost distances under a snapshot's LVN
+// weighting. Build once, evaluate many placements.
+type CostMatrix struct {
+	nodes []topology.NodeID
+	dist  map[topology.NodeID]map[topology.NodeID]float64
+}
+
+// NewCostMatrix runs Dijkstra from every node over the snapshot's LVN
+// weights (K = 10).
+func NewCostMatrix(snap *topology.Snapshot) (*CostMatrix, error) {
+	weights, err := snap.Weights(topology.DefaultNormalizationK)
+	if err != nil {
+		return nil, err
+	}
+	ct := routing.CostTable(weights)
+	g := snap.Graph()
+	m := &CostMatrix{
+		nodes: g.Nodes(),
+		dist:  make(map[topology.NodeID]map[topology.NodeID]float64, g.NumNodes()),
+	}
+	for _, src := range m.nodes {
+		tree, err := routing.ShortestPaths(g, ct, src)
+		if err != nil {
+			return nil, fmt.Errorf("placement: dijkstra from %s: %w", src, err)
+		}
+		row := make(map[topology.NodeID]float64, len(m.nodes))
+		for _, dst := range m.nodes {
+			row[dst] = tree.Dist[dst] // +Inf when unreachable
+		}
+		m.dist[src] = row
+	}
+	return m, nil
+}
+
+// Nodes returns the matrix's node set, sorted.
+func (m *CostMatrix) Nodes() []topology.NodeID {
+	return append([]topology.NodeID(nil), m.nodes...)
+}
+
+// Dist returns the least LVN cost from a to b (+Inf when unreachable).
+func (m *CostMatrix) Dist(a, b topology.NodeID) float64 {
+	row, ok := m.dist[a]
+	if !ok {
+		return math.Inf(1)
+	}
+	d, ok := row[b]
+	if !ok {
+		return math.Inf(1)
+	}
+	return d
+}
+
+// ExpectedCost evaluates a placement: the demand-weighted mean cost of each
+// site reaching its nearest replica. Unreachable demand contributes +Inf.
+func (m *CostMatrix) ExpectedCost(replicas []topology.NodeID, demand Demand) (float64, error) {
+	if len(replicas) == 0 {
+		return 0, errors.New("placement: empty replica set")
+	}
+	var total, weight float64
+	for site, w := range demand {
+		if w <= 0 {
+			continue
+		}
+		best := math.Inf(1)
+		for _, r := range replicas {
+			if d := m.Dist(site, r); d < best {
+				best = d
+			}
+		}
+		total += w * best
+		weight += w
+	}
+	if weight == 0 {
+		return 0, errors.New("placement: zero total demand")
+	}
+	return total / weight, nil
+}
+
+// Optimize picks k replica sites minimizing expected cost: exactly, by
+// exhaustive enumeration, when the instance is small (C(n,k) ≤ 5000 — the
+// six-site GRNET backbone is always exact), and by the greedy heuristic
+// otherwise.
+func Optimize(m *CostMatrix, demand Demand, k int) ([]topology.NodeID, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("placement: k must be positive, got %d", k)
+	}
+	n := len(m.nodes)
+	if k > n {
+		k = n
+	}
+	if binomial(n, k) <= 5000 {
+		return exact(m, demand, k)
+	}
+	return Greedy(m, demand, k)
+}
+
+// binomial computes C(n,k) with saturation.
+func binomial(n, k int) int64 {
+	if k > n-k {
+		k = n - k
+	}
+	var c int64 = 1
+	for i := range k {
+		c = c * int64(n-i) / int64(i+1)
+		if c > 1<<40 {
+			return 1 << 40
+		}
+	}
+	return c
+}
+
+// exact enumerates all k-subsets.
+func exact(m *CostMatrix, demand Demand, k int) ([]topology.NodeID, error) {
+	best := math.Inf(1)
+	var bestSet []topology.NodeID
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	n := len(m.nodes)
+	for {
+		set := make([]topology.NodeID, k)
+		for i, j := range idx {
+			set[i] = m.nodes[j]
+		}
+		cost, err := m.ExpectedCost(set, demand)
+		if err != nil {
+			return nil, err
+		}
+		if cost < best {
+			best = cost
+			bestSet = set
+		}
+		// Next combination.
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			break
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+	sort.Slice(bestSet, func(i, j int) bool { return bestSet[i] < bestSet[j] })
+	return bestSet, nil
+}
+
+// Greedy picks k replica sites by iterative best improvement: each round
+// adds the site that lowers the expected cost the most. It is exact for
+// k = 1 and a heuristic beyond (Optimize upgrades small instances to the
+// exact answer). Ties break toward the lexicographically smaller node for
+// determinism.
+func Greedy(m *CostMatrix, demand Demand, k int) ([]topology.NodeID, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("placement: k must be positive, got %d", k)
+	}
+	if k > len(m.nodes) {
+		k = len(m.nodes)
+	}
+	chosen := make([]topology.NodeID, 0, k)
+	inSet := make(map[topology.NodeID]bool, k)
+	for len(chosen) < k {
+		var (
+			bestNode topology.NodeID
+			bestCost = math.Inf(1)
+			found    bool
+		)
+		for _, cand := range m.nodes {
+			if inSet[cand] {
+				continue
+			}
+			cost, err := m.ExpectedCost(append(chosen, cand), demand)
+			if err != nil {
+				return nil, err
+			}
+			if cost < bestCost || (cost == bestCost && found && cand < bestNode) {
+				bestNode, bestCost, found = cand, cost, true
+			}
+		}
+		if !found {
+			break
+		}
+		chosen = append(chosen, bestNode)
+		inSet[bestNode] = true
+	}
+	sort.Slice(chosen, func(i, j int) bool { return chosen[i] < chosen[j] })
+	return chosen, nil
+}

@@ -1,0 +1,403 @@
+// Package routing implements the shortest-path machinery of the Virtual
+// Routing Algorithm: Dijkstra's algorithm over LVN-weighted links, with an
+// optional per-step trace that reproduces the tabular presentation of the
+// paper's case study (Tables 4 and 5), and a Bellman-Ford implementation used
+// as an independent cross-check in tests.
+package routing
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"dvod/internal/topology"
+)
+
+// CostTable maps every link to its non-negative routing cost (the LVN).
+type CostTable map[topology.LinkID]float64
+
+// Errors reported by the routing package.
+var (
+	ErrNegativeWeight = errors.New("negative link weight")
+	ErrMissingWeight  = errors.New("link missing from cost table")
+	ErrUnreachable    = errors.New("destination unreachable")
+	ErrUnknownNode    = errors.New("node not in graph")
+)
+
+// Path is a loop-free route through the overlay.
+type Path struct {
+	Nodes []topology.NodeID `json:"nodes"`
+	Cost  float64           `json:"cost"`
+}
+
+// Source returns the first node of the path.
+func (p Path) Source() topology.NodeID {
+	if len(p.Nodes) == 0 {
+		return ""
+	}
+	return p.Nodes[0]
+}
+
+// Dest returns the last node of the path.
+func (p Path) Dest() topology.NodeID {
+	if len(p.Nodes) == 0 {
+		return ""
+	}
+	return p.Nodes[len(p.Nodes)-1]
+}
+
+// Hops returns the number of links traversed.
+func (p Path) Hops() int {
+	if len(p.Nodes) == 0 {
+		return 0
+	}
+	return len(p.Nodes) - 1
+}
+
+// Links returns the canonical IDs of the links the path traverses, in order.
+func (p Path) Links() []topology.LinkID {
+	if len(p.Nodes) < 2 {
+		return nil
+	}
+	out := make([]topology.LinkID, 0, len(p.Nodes)-1)
+	for i := 1; i < len(p.Nodes); i++ {
+		out = append(out, topology.MakeLinkID(p.Nodes[i-1], p.Nodes[i]))
+	}
+	return out
+}
+
+// Reverse returns the path traversed in the opposite direction (same cost;
+// links are bidirectional).
+func (p Path) Reverse() Path {
+	nodes := make([]topology.NodeID, len(p.Nodes))
+	for i, n := range p.Nodes {
+		nodes[len(nodes)-1-i] = n
+	}
+	return Path{Nodes: nodes, Cost: p.Cost}
+}
+
+// String renders the path the way the paper writes routes: "U2,U1,U6,U5".
+func (p Path) String() string {
+	if len(p.Nodes) == 0 {
+		return "<empty>"
+	}
+	s := string(p.Nodes[0])
+	for _, n := range p.Nodes[1:] {
+		s += "," + string(n)
+	}
+	return s
+}
+
+// Tree is the single-source shortest-path tree produced by Dijkstra.
+type Tree struct {
+	Source topology.NodeID
+	Dist   map[topology.NodeID]float64
+	Prev   map[topology.NodeID]topology.NodeID
+}
+
+// Reachable reports whether dst has a finite-cost path from the source.
+func (t *Tree) Reachable(dst topology.NodeID) bool {
+	d, ok := t.Dist[dst]
+	return ok && !math.IsInf(d, 1)
+}
+
+// PathTo reconstructs the least-cost path from the tree's source to dst.
+func (t *Tree) PathTo(dst topology.NodeID) (Path, error) {
+	d, ok := t.Dist[dst]
+	if !ok {
+		return Path{}, fmt.Errorf("%w: %s", ErrUnknownNode, dst)
+	}
+	if math.IsInf(d, 1) {
+		return Path{}, fmt.Errorf("%w: %s from %s", ErrUnreachable, dst, t.Source)
+	}
+	var rev []topology.NodeID
+	for n := dst; ; {
+		rev = append(rev, n)
+		if n == t.Source {
+			break
+		}
+		n = t.Prev[n]
+	}
+	nodes := make([]topology.NodeID, len(rev))
+	for i, n := range rev {
+		nodes[len(nodes)-1-i] = n
+	}
+	return Path{Nodes: nodes, Cost: d}, nil
+}
+
+// checkWeights validates that every graph link has a finite non-negative cost.
+func checkWeights(g *topology.Graph, weights CostTable) error {
+	for _, l := range g.Links() {
+		w, ok := weights[l.ID]
+		if !ok {
+			return fmt.Errorf("%w: %s", ErrMissingWeight, l.ID)
+		}
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			return fmt.Errorf("weight for %s is not finite: %g", l.ID, w)
+		}
+		if w < 0 {
+			return fmt.Errorf("%w: %s = %g", ErrNegativeWeight, l.ID, w)
+		}
+	}
+	return nil
+}
+
+// ShortestPaths runs Dijkstra's algorithm from source over the given link
+// costs and returns the full shortest-path tree.
+func ShortestPaths(g *topology.Graph, weights CostTable, source topology.NodeID) (*Tree, error) {
+	tree, _, err := dijkstra(g, weights, source, false)
+	return tree, err
+}
+
+// TraceStep is one row of the paper's Dijkstra walk-through: after the
+// step-th node is made permanent, the tentative label of every non-source
+// node. Unreachable nodes carry Reachable=false (printed "R" in the paper).
+type TraceStep struct {
+	Step      int
+	Permanent []topology.NodeID // in the order they became permanent
+	Labels    map[topology.NodeID]Label
+}
+
+// Label is a tentative Dijkstra label: the best-known distance and path.
+type Label struct {
+	Reachable bool
+	Dist      float64
+	Path      []topology.NodeID
+}
+
+// DijkstraTrace runs Dijkstra like ShortestPaths but additionally records the
+// tentative-label table after every permanent-set extension, matching the
+// presentation of Tables 4 and 5 in the paper.
+func DijkstraTrace(g *topology.Graph, weights CostTable, source topology.NodeID) ([]TraceStep, *Tree, error) {
+	tree, steps, err := dijkstra(g, weights, source, true)
+	return steps, tree, err
+}
+
+type pqItem struct {
+	node topology.NodeID
+	dist float64
+	idx  int
+}
+
+type priorityQueue []*pqItem
+
+func (q priorityQueue) Len() int { return len(q) }
+
+func (q priorityQueue) Less(i, j int) bool {
+	if q[i].dist != q[j].dist {
+		return q[i].dist < q[j].dist
+	}
+	return q[i].node < q[j].node // deterministic tie-break
+}
+
+func (q priorityQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+
+func (q *priorityQueue) Push(x any) {
+	it := x.(*pqItem)
+	it.idx = len(*q)
+	*q = append(*q, it)
+}
+
+func (q *priorityQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+func dijkstra(g *topology.Graph, weights CostTable, source topology.NodeID, trace bool) (*Tree, []TraceStep, error) {
+	if !g.HasNode(source) {
+		return nil, nil, fmt.Errorf("%w: %s", ErrUnknownNode, source)
+	}
+	if err := checkWeights(g, weights); err != nil {
+		return nil, nil, err
+	}
+
+	dist := make(map[topology.NodeID]float64, g.NumNodes())
+	prev := make(map[topology.NodeID]topology.NodeID, g.NumNodes())
+	done := make(map[topology.NodeID]bool, g.NumNodes())
+	for _, n := range g.Nodes() {
+		dist[n] = math.Inf(1)
+	}
+	dist[source] = 0
+
+	items := map[topology.NodeID]*pqItem{}
+	var pq priorityQueue
+	src := &pqItem{node: source, dist: 0}
+	heap.Push(&pq, src)
+	items[source] = src
+
+	tree := &Tree{Source: source, Dist: dist, Prev: prev}
+	var steps []TraceStep
+	var permanent []topology.NodeID
+
+	for pq.Len() > 0 {
+		it := heap.Pop(&pq).(*pqItem)
+		n := it.node
+		if done[n] {
+			continue
+		}
+		done[n] = true
+		delete(items, n)
+		permanent = append(permanent, n)
+
+		for _, lid := range g.Adjacent(n) {
+			l, err := g.LinkByID(lid)
+			if err != nil {
+				return nil, nil, err
+			}
+			m := l.Other(n)
+			if done[m] {
+				continue
+			}
+			alt := dist[n] + weights[lid]
+			if alt < dist[m] {
+				dist[m] = alt
+				prev[m] = n
+				if ex, ok := items[m]; ok {
+					ex.dist = alt
+					heap.Fix(&pq, ex.idx)
+				} else {
+					ni := &pqItem{node: m, dist: alt}
+					heap.Push(&pq, ni)
+					items[m] = ni
+				}
+			}
+		}
+
+		if trace {
+			steps = append(steps, snapshotStep(g, tree, permanent))
+		}
+	}
+	return tree, steps, nil
+}
+
+// snapshotStep copies the tentative labels of all non-source nodes.
+func snapshotStep(g *topology.Graph, t *Tree, permanent []topology.NodeID) TraceStep {
+	step := TraceStep{
+		Step:      len(permanent),
+		Permanent: append([]topology.NodeID(nil), permanent...),
+		Labels:    make(map[topology.NodeID]Label, g.NumNodes()-1),
+	}
+	for _, n := range g.Nodes() {
+		if n == t.Source {
+			continue
+		}
+		d := t.Dist[n]
+		if math.IsInf(d, 1) {
+			step.Labels[n] = Label{Reachable: false}
+			continue
+		}
+		// Reconstruct the current tentative path through Prev.
+		var rev []topology.NodeID
+		for m := n; ; {
+			rev = append(rev, m)
+			if m == t.Source {
+				break
+			}
+			m = t.Prev[m]
+		}
+		nodes := make([]topology.NodeID, len(rev))
+		for i, m := range rev {
+			nodes[len(nodes)-1-i] = m
+		}
+		step.Labels[n] = Label{Reachable: true, Dist: d, Path: nodes}
+	}
+	return step
+}
+
+// BellmanFord computes single-source shortest paths by edge relaxation. It is
+// O(V·E) and exists as an independent oracle for cross-checking Dijkstra in
+// tests and for graphs whose weights might be negative (it reports negative
+// cycles instead of looping).
+func BellmanFord(g *topology.Graph, weights CostTable, source topology.NodeID) (*Tree, error) {
+	if !g.HasNode(source) {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownNode, source)
+	}
+	for _, l := range g.Links() {
+		if _, ok := weights[l.ID]; !ok {
+			return nil, fmt.Errorf("%w: %s", ErrMissingWeight, l.ID)
+		}
+	}
+	dist := make(map[topology.NodeID]float64, g.NumNodes())
+	prev := make(map[topology.NodeID]topology.NodeID, g.NumNodes())
+	nodes := g.Nodes()
+	for _, n := range nodes {
+		dist[n] = math.Inf(1)
+	}
+	dist[source] = 0
+	links := g.Links()
+	for range nodes {
+		changed := false
+		for _, l := range links {
+			w := weights[l.ID]
+			if dist[l.A]+w < dist[l.B] {
+				dist[l.B] = dist[l.A] + w
+				prev[l.B] = l.A
+				changed = true
+			}
+			if dist[l.B]+w < dist[l.A] {
+				dist[l.A] = dist[l.B] + w
+				prev[l.A] = l.B
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// One more pass detects negative cycles.
+	for _, l := range links {
+		w := weights[l.ID]
+		if dist[l.A]+w < dist[l.B]-1e-12 || dist[l.B]+w < dist[l.A]-1e-12 {
+			return nil, errors.New("negative cycle detected")
+		}
+	}
+	return &Tree{Source: source, Dist: dist, Prev: prev}, nil
+}
+
+// MinHopWeights returns a cost table assigning every link cost 1, the
+// baseline "shortest path by hop count" policy.
+func MinHopWeights(g *topology.Graph) CostTable {
+	out := make(CostTable, g.NumLinks())
+	for _, l := range g.Links() {
+		out[l.ID] = 1
+	}
+	return out
+}
+
+// CheapestTo selects, among the candidate destinations, the one with the
+// least-cost path from the tree's source. Ties break toward the
+// lexicographically smaller node ID for determinism. It returns
+// ErrUnreachable when no candidate is reachable.
+func CheapestTo(t *Tree, candidates []topology.NodeID) (Path, error) {
+	sorted := append([]topology.NodeID(nil), candidates...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	best := Path{Cost: math.Inf(1)}
+	found := false
+	for _, c := range sorted {
+		if !t.Reachable(c) {
+			continue
+		}
+		p, err := t.PathTo(c)
+		if err != nil {
+			continue
+		}
+		if p.Cost < best.Cost {
+			best = p
+			found = true
+		}
+	}
+	if !found {
+		return Path{}, fmt.Errorf("%w: no candidate reachable from %s", ErrUnreachable, t.Source)
+	}
+	return best, nil
+}

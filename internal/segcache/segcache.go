@@ -1,0 +1,284 @@
+// Package segcache implements the paper's stated future work: applying the
+// "most popular" caching concept to video *strips* rather than whole titles
+// ("the most popular technique that we have described will not be imposed on
+// whole videos but on video strips"). Each segment (one delivery cluster) is
+// an independent cache unit with its own popularity points, admitted and
+// evicted by the same Figure 2 comparison the title-granularity DMA uses.
+//
+// Segment granularity pays off under partial viewing: when most sessions
+// watch only a prefix of a title, the early segments of many titles are far
+// hotter than any whole title, and a byte of cache spent on a popular prefix
+// beats a byte spent on a rarely-reached tail. The Ext-6 study
+// (internal/experiments) quantifies this against the whole-title DMA.
+package segcache
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"dvod/internal/disk"
+	"dvod/internal/media"
+	"dvod/internal/striping"
+)
+
+// SegID names one cached segment: a title's index-th cluster.
+type SegID struct {
+	Title string
+	Index int
+}
+
+// String renders the segment id for logs.
+func (s SegID) String() string { return fmt.Sprintf("%s[%d]", s.Title, s.Index) }
+
+// Outcome reports what one segment request did.
+type Outcome struct {
+	// Hit is true when the segment was already resident.
+	Hit bool
+	// Admitted is true when the request stored the segment.
+	Admitted bool
+	// Evicted lists segments removed to make room.
+	Evicted []SegID
+}
+
+// Stats tracks byte-weighted cache effectiveness.
+type Stats struct {
+	Requests       int64
+	Hits           int64
+	BytesRequested int64
+	BytesHit       int64
+	Admitted       int64
+	Evictions      int64
+}
+
+// HitRatio returns request-weighted hits.
+func (s Stats) HitRatio() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Requests)
+}
+
+// ByteHitRatio returns byte-weighted hits — the fair basis for comparing
+// segment- and title-granularity caching.
+func (s Stats) ByteHitRatio() float64 {
+	if s.BytesRequested == 0 {
+		return 0
+	}
+	return float64(s.BytesHit) / float64(s.BytesRequested)
+}
+
+// Config parameterizes the segment cache.
+type Config struct {
+	// Array is the disk array segments are stored on; segment i of any
+	// title lands on disk i mod n (the DMA's cyclic rule applied at
+	// segment granularity).
+	Array *disk.Array
+	// ClusterBytes is the segment size c.
+	ClusterBytes int64
+	// Content supplies title bytes; nil defaults to the synthetic
+	// generator.
+	Content func(name string) striping.ContentFunc
+}
+
+// Manager is the segment-granularity cache. Safe for concurrent use.
+type Manager struct {
+	cfg Config
+
+	mu       sync.Mutex
+	points   map[SegID]int64
+	resident map[SegID]int64 // stored length
+	stats    Stats
+}
+
+// New validates the configuration.
+func New(cfg Config) (*Manager, error) {
+	if cfg.Array == nil {
+		return nil, errors.New("segcache: nil array")
+	}
+	if cfg.ClusterBytes <= 0 {
+		return nil, fmt.Errorf("segcache: %w: %d", striping.ErrBadCluster, cfg.ClusterBytes)
+	}
+	return &Manager{
+		cfg:      cfg,
+		points:   make(map[SegID]int64),
+		resident: make(map[SegID]int64),
+	}, nil
+}
+
+// segmentLen returns the byte length of a title's index-th segment.
+func (m *Manager) segmentLen(t media.Title, index int) (int64, error) {
+	layout, err := striping.NewLayout(t, m.cfg.ClusterBytes, m.cfg.Array.NumDisks())
+	if err != nil {
+		return 0, err
+	}
+	_, length, err := layout.PartRange(index)
+	if err != nil {
+		return 0, err
+	}
+	return length, nil
+}
+
+// diskFor maps a segment to its home disk (cyclic).
+func (m *Manager) diskFor(index int) (*disk.Disk, error) {
+	return m.cfg.Array.Disk(index % m.cfg.Array.NumDisks())
+}
+
+// OnSegmentRequest records one request for a title's segment and applies the
+// Figure 2 logic at segment granularity.
+func (m *Manager) OnSegmentRequest(t media.Title, index int) (Outcome, error) {
+	if err := t.Validate(); err != nil {
+		return Outcome{}, err
+	}
+	length, err := m.segmentLen(t, index)
+	if err != nil {
+		return Outcome{}, err
+	}
+	id := SegID{Title: t.Name, Index: index}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.Requests++
+	m.stats.BytesRequested += length
+
+	if _, ok := m.resident[id]; ok {
+		m.points[id]++
+		m.stats.Hits++
+		m.stats.BytesHit += length
+		return Outcome{Hit: true}, nil
+	}
+
+	d, err := m.diskFor(index)
+	if err != nil {
+		return Outcome{}, err
+	}
+	if d.Free() >= length {
+		if err := m.admit(d, t, id, length); err != nil {
+			return Outcome{}, err
+		}
+		return Outcome{Admitted: true}, nil
+	}
+
+	m.points[id]++
+	pts := m.points[id]
+	var evicted []SegID
+	for {
+		victim, victimPts, ok := m.leastPopularOnDisk(index % m.cfg.Array.NumDisks())
+		if !ok || pts <= victimPts {
+			break
+		}
+		vd, err := m.diskFor(victim.Index)
+		if err != nil {
+			return Outcome{Evicted: evicted}, err
+		}
+		if err := vd.Delete(disk.BlockID{Title: victim.Title, Part: victim.Index}); err != nil {
+			return Outcome{Evicted: evicted}, fmt.Errorf("segcache evict %s: %w", victim, err)
+		}
+		delete(m.resident, victim)
+		evicted = append(evicted, victim)
+		m.stats.Evictions++
+		if d.Free() >= length {
+			if err := m.admit(d, t, id, length); err != nil {
+				return Outcome{Evicted: evicted}, err
+			}
+			return Outcome{Admitted: true, Evicted: evicted}, nil
+		}
+		// Segments colder than the newcomer remain; keep evicting until
+		// it fits or the remaining residents are at least as popular.
+	}
+	return Outcome{Evicted: evicted}, nil
+}
+
+// admit stores the segment's bytes; caller holds the lock.
+func (m *Manager) admit(d *disk.Disk, t media.Title, id SegID, length int64) error {
+	content := m.cfg.Content
+	var fill striping.ContentFunc
+	if content == nil {
+		fill = striping.TitleContent(t.Name)
+	} else {
+		fill = content(t.Name)
+	}
+	buf := make([]byte, length)
+	fill(int64(id.Index)*m.cfg.ClusterBytes, buf)
+	if err := d.Write(disk.BlockID{Title: id.Title, Part: id.Index}, buf); err != nil {
+		return fmt.Errorf("segcache admit %s: %w", id, err)
+	}
+	m.resident[id] = length
+	m.stats.Admitted++
+	return nil
+}
+
+// leastPopularOnDisk finds the coldest resident segment on the given disk
+// index; ties break by (title, index) for determinism. Caller holds the
+// lock.
+func (m *Manager) leastPopularOnDisk(diskIdx int) (SegID, int64, bool) {
+	var (
+		best  SegID
+		pts   int64
+		found bool
+	)
+	n := m.cfg.Array.NumDisks()
+	for id := range m.resident {
+		if id.Index%n != diskIdx {
+			continue
+		}
+		p := m.points[id]
+		if !found || p < pts ||
+			(p == pts && (id.Title < best.Title ||
+				(id.Title == best.Title && id.Index < best.Index))) {
+			best, pts, found = id, p, true
+		}
+	}
+	return best, pts, found
+}
+
+// Resident reports whether a segment is stored.
+func (m *Manager) Resident(title string, index int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.resident[SegID{Title: title, Index: index}]
+	return ok
+}
+
+// ResidentSegments lists the stored segment indices of a title, sorted.
+func (m *Manager) ResidentSegments(title string) []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []int
+	for id := range m.resident {
+		if id.Title == title {
+			out = append(out, id.Index)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ReadSegment returns a stored segment's bytes.
+func (m *Manager) ReadSegment(title string, index int) ([]byte, error) {
+	m.mu.Lock()
+	_, ok := m.resident[SegID{Title: title, Index: index}]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("segcache: %s[%d] not resident", title, index)
+	}
+	d, err := m.diskFor(index)
+	if err != nil {
+		return nil, err
+	}
+	return d.Read(disk.BlockID{Title: title, Part: index})
+}
+
+// Points returns a segment's accumulated popularity points.
+func (m *Manager) Points(title string, index int) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.points[SegID{Title: title, Index: index}]
+}
+
+// Stats returns a copy of the run counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}

@@ -1,0 +1,178 @@
+package server_test
+
+import (
+	"testing"
+	"time"
+
+	"dvod/internal/cache"
+	"dvod/internal/client"
+	"dvod/internal/core"
+	"dvod/internal/db"
+	"dvod/internal/disk"
+	"dvod/internal/grnet"
+	"dvod/internal/media"
+	"dvod/internal/server"
+	"dvod/internal/topology"
+	"dvod/internal/transport"
+)
+
+// TestWatchSurvivesDeadPeer: the home server's first-choice peer is dead
+// (listener closed) but still listed in the catalog; the per-cluster retry
+// must fall back to the surviving replica without failing the watch.
+func TestWatchSurvivesDeadPeer(t *testing.T) {
+	lc := newCluster(t, map[topology.NodeID]int64{grnet.Patra: clusterBytes})
+	title := media.Title{Name: "resilient", SizeBytes: 6 * clusterBytes, BitrateMbps: 1.5}
+	lc.addTitle(t, title, grnet.Thessaloniki, grnet.Xanthi)
+
+	// At 8am the VRA prefers Thessaloniki; kill it without cleaning the
+	// catalog (a crash, not a drain).
+	if err := lc.servers[grnet.Thessaloniki].Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := client.NewPlayer(grnet.Patra, lc.book)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := p.Watch("resilient")
+	if err != nil {
+		t.Fatalf("Watch with dead preferred peer: %v", err)
+	}
+	if !stats.Verified {
+		t.Fatal("delivery not verified")
+	}
+	for i, src := range stats.Sources {
+		if src != grnet.Xanthi {
+			t.Fatalf("cluster %d source = %s, want survivor Xanthi", i, src)
+		}
+	}
+	// The retries were counted.
+	m := lc.servers[grnet.Patra].Metrics().Snapshot()
+	if m.Counters["server.fetch_retries"] == 0 {
+		t.Fatal("no fetch retries recorded")
+	}
+}
+
+// TestWatchFailsWhenAllPeersDead: with every replica holder dead the watch
+// surfaces an error instead of hanging.
+func TestWatchFailsWhenAllPeersDead(t *testing.T) {
+	lc := newCluster(t, map[topology.NodeID]int64{grnet.Patra: clusterBytes})
+	// 6 clusters: disk 0 of Patra's 3×1-cluster array would need 2
+	// clusters, so the DMA cannot admit it locally.
+	title := media.Title{Name: "doomed", SizeBytes: 6 * clusterBytes, BitrateMbps: 1.5}
+	lc.addTitle(t, title, grnet.Heraklio)
+	if err := lc.servers[grnet.Heraklio].Close(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := client.NewPlayer(grnet.Patra, lc.book)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Watch("doomed"); err == nil {
+		t.Fatal("watch succeeded with all holders dead")
+	}
+}
+
+// TestWatchFromSeek exercises the interactive-VoD seek: delivery starts at
+// a mid-title cluster and the received bytes equal the remaining suffix.
+func TestWatchFromSeek(t *testing.T) {
+	lc := newCluster(t, nil)
+	title := media.Title{Name: "seekable", SizeBytes: 5*clusterBytes + 99, BitrateMbps: 1.5}
+	lc.addTitle(t, title, grnet.Patra)
+	p, err := client.NewPlayer(grnet.Patra, lc.book)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := p.WatchFrom("seekable", 3)
+	if err != nil {
+		t.Fatalf("WatchFrom: %v", err)
+	}
+	wantBytes := title.SizeBytes - 3*clusterBytes
+	if stats.BytesReceived != wantBytes {
+		t.Fatalf("received %d, want %d", stats.BytesReceived, wantBytes)
+	}
+	if !stats.Verified {
+		t.Fatal("seeked delivery not verified")
+	}
+	if len(stats.Records) != 3 { // clusters 3, 4, 5
+		t.Fatalf("records = %d", len(stats.Records))
+	}
+	if stats.Records[0].Index != 3 {
+		t.Fatalf("first delivered cluster = %d", stats.Records[0].Index)
+	}
+
+	// Out-of-range seeks error.
+	if _, err := p.WatchFrom("seekable", 6); err == nil {
+		t.Fatal("seek past end accepted")
+	}
+	if _, err := p.WatchFrom("seekable", -1); err == nil {
+		t.Fatal("negative seek accepted")
+	}
+	// Seek to the final (short) cluster.
+	stats, err = p.WatchFrom("seekable", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.BytesReceived != 99 {
+		t.Fatalf("tail seek received %d, want 99", stats.BytesReceived)
+	}
+}
+
+// TestIdleClientDisconnected: a connection that never sends a request is
+// closed once the idle timeout elapses.
+func TestIdleClientDisconnected(t *testing.T) {
+	g, err := grnet.Backbone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := db.New(g)
+	arr, err := disk.NewUniformArray("idle", 1, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dma, err := cache.NewDMA(cache.Config{Array: arr, ClusterBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	planner, err := core.NewPlanner(d, core.VRA{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{
+		Node: grnet.Patra, DB: d, Planner: planner, Array: arr, Cache: dma,
+		ClusterBytes: 1024, Book: transport.NewAddrBook(),
+		IdleTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := srv.WaitReady(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := transport.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Say nothing; the server must hang up.
+	start := time.Now()
+	_, err = conn.ReadMessage()
+	if err == nil {
+		t.Fatal("idle connection stayed open")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("disconnect took %v", elapsed)
+	}
+	// Negative timeout is rejected at construction.
+	if _, err := server.New(server.Config{
+		Node: grnet.Patra, DB: d, Planner: planner, Array: arr, Cache: dma,
+		ClusterBytes: 1024, Book: transport.NewAddrBook(),
+		IdleTimeout: -time.Second,
+	}); err == nil {
+		t.Fatal("negative idle timeout accepted")
+	}
+}

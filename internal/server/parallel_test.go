@@ -1,0 +1,128 @@
+package server_test
+
+import (
+	"testing"
+
+	"dvod/internal/client"
+	"dvod/internal/grnet"
+	"dvod/internal/media"
+	"dvod/internal/topology"
+)
+
+func TestHoldersQuery(t *testing.T) {
+	lc := newCluster(t, nil)
+	title := media.Title{Name: "multi", SizeBytes: 4 * clusterBytes, BitrateMbps: 1.5}
+	lc.addTitle(t, title, grnet.Thessaloniki, grnet.Xanthi)
+	p, err := client.NewPlayer(grnet.Patra, lc.book)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := p.Holders("multi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.NumClusters != 4 || info.SizeBytes != title.SizeBytes {
+		t.Fatalf("info = %+v", info)
+	}
+	if len(info.Holders) != 2 || info.Holders[0] != grnet.Thessaloniki {
+		t.Fatalf("holders = %v", info.Holders)
+	}
+	if _, err := p.Holders("ghost"); err == nil {
+		t.Fatal("unknown title accepted")
+	}
+}
+
+func TestWatchParallelRoundRobin(t *testing.T) {
+	lc := newCluster(t, nil)
+	title := media.Title{Name: "striped", SizeBytes: 6*clusterBytes + 77, BitrateMbps: 1.5}
+	lc.addTitle(t, title, grnet.Thessaloniki, grnet.Xanthi)
+	p, err := client.NewPlayer(grnet.Patra, lc.book)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := p.WatchParallel("striped")
+	if err != nil {
+		t.Fatalf("WatchParallel: %v", err)
+	}
+	if !stats.Verified || stats.BytesReceived != title.SizeBytes {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.NumClusters != 7 || len(stats.Sources) != 7 {
+		t.Fatalf("clusters = %d sources = %v", stats.NumClusters, stats.Sources)
+	}
+	// Clusters alternate between the two holders.
+	for i, src := range stats.Sources {
+		want := grnet.Thessaloniki
+		if i%2 == 1 {
+			want = grnet.Xanthi
+		}
+		if src != want {
+			t.Fatalf("cluster %d source = %s, want %s", i, src, want)
+		}
+	}
+	// Records are index-sorted.
+	for i, r := range stats.Records {
+		if r.Index != i {
+			t.Fatalf("record %d has index %d", i, r.Index)
+		}
+	}
+}
+
+func TestWatchParallelSingleHolder(t *testing.T) {
+	lc := newCluster(t, nil)
+	title := media.Title{Name: "solo", SizeBytes: 3 * clusterBytes, BitrateMbps: 1.5}
+	lc.addTitle(t, title, grnet.Heraklio)
+	p, err := client.NewPlayer(grnet.Patra, lc.book)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := p.WatchParallel("solo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Switches != 0 {
+		t.Fatalf("single-holder switches = %d", stats.Switches)
+	}
+	for _, src := range stats.Sources {
+		if src != grnet.Heraklio {
+			t.Fatalf("source = %s", src)
+		}
+	}
+}
+
+func TestWatchParallelDeadHolderFails(t *testing.T) {
+	lc := newCluster(t, nil)
+	title := media.Title{Name: "halfdead", SizeBytes: 4 * clusterBytes, BitrateMbps: 1.5}
+	lc.addTitle(t, title, grnet.Thessaloniki, grnet.Xanthi)
+	// Kill one holder; the parallel fetch (which has no retry) reports the
+	// failure rather than returning partial data.
+	if err := lc.servers[grnet.Xanthi].Close(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := client.NewPlayer(grnet.Patra, lc.book)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.WatchParallel("halfdead"); err == nil {
+		t.Fatal("parallel fetch with dead holder succeeded")
+	}
+}
+
+func TestWatchParallelNoDialableHolder(t *testing.T) {
+	lc := newCluster(t, nil)
+	title := media.Title{Name: "nowhere", SizeBytes: 2 * clusterBytes, BitrateMbps: 1.5}
+	if err := lc.db.Catalog().AddTitle(title); err != nil {
+		t.Fatal(err)
+	}
+	// Record a holding for a node with no address-book entry.
+	if err := lc.db.Catalog().SetHolding(topology.NodeID("U99"), "nowhere", true); err != nil {
+		t.Fatal(err)
+	}
+	p, err := client.NewPlayer(grnet.Patra, lc.book)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.WatchParallel("nowhere"); err == nil {
+		t.Fatal("undialable holders accepted")
+	}
+}

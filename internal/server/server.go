@@ -1,0 +1,518 @@
+// Package server implements a live video server node: it answers catalog
+// queries, serves stored clusters to peers, and — as a client's home server —
+// orchestrates whole-title delivery by running the DMA for local popularity
+// caching and the VRA (via the planner) to fetch non-resident clusters from
+// the momentarily optimal peer, switching peers between clusters when the
+// optimum moves.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"dvod/internal/cache"
+	"dvod/internal/clock"
+	"dvod/internal/core"
+	"dvod/internal/db"
+	"dvod/internal/disk"
+	"dvod/internal/media"
+	"dvod/internal/metrics"
+	"dvod/internal/striping"
+	"dvod/internal/topology"
+	"dvod/internal/transport"
+)
+
+// Config assembles a video server node.
+type Config struct {
+	// Node is the topology node this server runs at.
+	Node topology.NodeID
+	// DB is the shared database module.
+	DB *db.DB
+	// Planner runs the routing policy for remote fetches.
+	Planner *core.Planner
+	// Array is the local disk array.
+	Array *disk.Array
+	// Cache is the local title cache (normally the DMA) over Array.
+	Cache cache.Policy
+	// ClusterBytes is the delivery/striping cluster size c.
+	ClusterBytes int64
+	// Book resolves peer nodes to TCP endpoints.
+	Book *transport.AddrBook
+	// Counters optionally charges delivered bytes to topology links so
+	// the live SNMP estimator can observe traffic. May be nil.
+	Counters *transport.Counters
+	// ListenAddr defaults to "127.0.0.1:0".
+	ListenAddr string
+	// Clock stamps database updates; nil defaults to the wall clock.
+	Clock clock.Clock
+	// Metrics receives request counters; nil allocates a private registry.
+	Metrics *metrics.Registry
+	// IdleTimeout closes client connections that send no request for this
+	// long; zero defaults to 2 minutes.
+	IdleTimeout time.Duration
+}
+
+// Server is one running video server node.
+type Server struct {
+	cfg Config
+	ln  net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New validates the configuration.
+func New(cfg Config) (*Server, error) {
+	switch {
+	case cfg.Node == "":
+		return nil, errors.New("server: empty node")
+	case cfg.DB == nil:
+		return nil, errors.New("server: nil db")
+	case cfg.Planner == nil:
+		return nil, errors.New("server: nil planner")
+	case cfg.Array == nil:
+		return nil, errors.New("server: nil array")
+	case cfg.Cache == nil:
+		return nil, errors.New("server: nil cache")
+	case cfg.ClusterBytes <= 0:
+		return nil, fmt.Errorf("server: bad cluster size %d", cfg.ClusterBytes)
+	case cfg.Book == nil:
+		return nil, errors.New("server: nil address book")
+	}
+	if !cfg.DB.Graph().HasNode(cfg.Node) {
+		return nil, fmt.Errorf("server: %w: %s", topology.ErrNodeUnknown, cfg.Node)
+	}
+	if cfg.ListenAddr == "" {
+		cfg.ListenAddr = "127.0.0.1:0"
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Wall{}
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	if cfg.IdleTimeout == 0 {
+		cfg.IdleTimeout = 2 * time.Minute
+	}
+	if cfg.IdleTimeout < 0 {
+		return nil, fmt.Errorf("server: negative idle timeout %v", cfg.IdleTimeout)
+	}
+	return &Server{cfg: cfg}, nil
+}
+
+// Node returns the server's topology node.
+func (s *Server) Node() topology.NodeID { return s.cfg.Node }
+
+// Metrics returns the server's metrics registry.
+func (s *Server) Metrics() *metrics.Registry { return s.cfg.Metrics }
+
+// Start listens, registers the endpoint in the address book, and begins
+// accepting connections.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.ListenAddr)
+	if err != nil {
+		return fmt.Errorf("server %s listen: %w", s.cfg.Node, err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = ln.Close()
+		return errors.New("server already closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.cfg.Book.Set(s.cfg.Node, ln.Addr().String())
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return nil
+}
+
+// Addr returns the listening endpoint ("" before Start).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops accepting, closes the listener, and waits for in-flight
+// handlers to finish. It is idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(transport.NewConn(nc))
+		}()
+	}
+}
+
+// handleConn serves control messages on one connection until EOF or a
+// framing error.
+func (s *Server) handleConn(c *transport.Conn) {
+	defer c.Close()
+	for {
+		if s.isClosed() {
+			return
+		}
+		// Idle clients are disconnected rather than pinning a handler
+		// goroutine forever.
+		_ = c.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		m, err := c.ReadMessage()
+		if err != nil {
+			return
+		}
+		_ = c.SetReadDeadline(time.Time{})
+		if err := s.dispatch(c, m); err != nil {
+			s.cfg.Metrics.Counter("server.errors").Inc()
+			if werr := c.WriteError(err.Error()); werr != nil {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) dispatch(c *transport.Conn, m transport.Message) error {
+	s.cfg.Metrics.Counter("server.requests").Inc()
+	switch m.Type {
+	case transport.TypePing:
+		pong, err := transport.Encode(transport.TypePong, nil)
+		if err != nil {
+			return err
+		}
+		return c.WriteMessage(pong)
+	case transport.TypeTitles:
+		return s.handleTitles(c)
+	case transport.TypeHolders:
+		return s.handleHolders(c, m)
+	case transport.TypeClusterGet:
+		return s.handleClusterGet(c, m)
+	case transport.TypeWatch:
+		return s.handleWatch(c, m)
+	default:
+		return fmt.Errorf("unknown message type %q", m.Type)
+	}
+}
+
+func (s *Server) handleTitles(c *transport.Conn) error {
+	all := s.cfg.DB.Catalog().Titles()
+	payload := transport.TitlesPayload{Titles: make([]transport.TitleInfo, 0, len(all))}
+	for _, t := range all {
+		payload.Titles = append(payload.Titles, transport.TitleInfo{
+			Name:        t.Name,
+			SizeBytes:   t.SizeBytes,
+			BitrateMbps: t.BitrateMbps,
+			Resident:    s.cfg.Cache.Resident(t.Name),
+		})
+	}
+	m, err := transport.Encode(transport.TypeTitlesOK, payload)
+	if err != nil {
+		return err
+	}
+	return c.WriteMessage(m)
+}
+
+// handleHolders answers which servers hold a title, with the delivery
+// parameters parallel fetchers need.
+func (s *Server) handleHolders(c *transport.Conn, m transport.Message) error {
+	req, err := transport.Decode[transport.HoldersPayload](m)
+	if err != nil {
+		return err
+	}
+	title, err := s.cfg.DB.Catalog().Title(req.Title)
+	if err != nil {
+		return err
+	}
+	holders, err := s.cfg.DB.Catalog().Holders(req.Title)
+	if err != nil {
+		return err
+	}
+	layout, err := striping.NewLayout(title, s.cfg.ClusterBytes, 1)
+	if err != nil {
+		return err
+	}
+	resp, err := transport.Encode(transport.TypeHoldersOK, transport.HoldersOKPayload{
+		Title:        title.Name,
+		SizeBytes:    title.SizeBytes,
+		BitrateMbps:  title.BitrateMbps,
+		ClusterBytes: s.cfg.ClusterBytes,
+		NumClusters:  layout.NumParts(),
+		Holders:      holders,
+	})
+	if err != nil {
+		return err
+	}
+	return c.WriteMessage(resp)
+}
+
+// handleClusterGet serves one locally stored cluster to a peer or client.
+func (s *Server) handleClusterGet(c *transport.Conn, m transport.Message) error {
+	req, err := transport.Decode[transport.ClusterGetPayload](m)
+	if err != nil {
+		return err
+	}
+	data, payload, err := s.readLocalCluster(req.Title, req.Index)
+	if err != nil {
+		return err
+	}
+	resp, err := transport.Encode(transport.TypeClusterOK, payload)
+	if err != nil {
+		return err
+	}
+	s.cfg.Metrics.Counter("server.clusters_served").Inc()
+	s.cfg.Metrics.Counter("server.bytes_served").Add(int64(len(data)))
+	return c.WriteMessageWithBody(resp, data)
+}
+
+// readLocalCluster fetches one resident cluster from the local array.
+func (s *Server) readLocalCluster(title string, index int) ([]byte, transport.ClusterPayload, error) {
+	layout, ok := s.cfg.Cache.Layout(title)
+	if !ok {
+		return nil, transport.ClusterPayload{}, fmt.Errorf("title %q not resident on %s", title, s.cfg.Node)
+	}
+	data, err := striping.ReadPart(s.cfg.Array, layout, index)
+	if err != nil {
+		return nil, transport.ClusterPayload{}, fmt.Errorf("read cluster %d of %q: %w", index, title, err)
+	}
+	off, length, err := layout.PartRange(index)
+	if err != nil {
+		return nil, transport.ClusterPayload{}, err
+	}
+	return data, transport.ClusterPayload{
+		Title:  title,
+		Index:  index,
+		Offset: off,
+		Length: length,
+		Source: s.cfg.Node,
+	}, nil
+}
+
+// handleWatch orchestrates whole-title delivery to a client homed here.
+func (s *Server) handleWatch(c *transport.Conn, m transport.Message) error {
+	req, err := transport.Decode[transport.WatchPayload](m)
+	if err != nil {
+		return err
+	}
+	title, err := s.cfg.DB.Catalog().Title(req.Title)
+	if err != nil {
+		return err
+	}
+	// The DMA counts this request and may admit or evict titles; mirror
+	// the outcome into the shared database so every planner sees it.
+	outcome, err := s.cfg.Cache.OnRequest(title)
+	if err != nil {
+		return fmt.Errorf("dma: %w", err)
+	}
+	now := s.cfg.Clock.Now()
+	for _, ev := range outcome.Evicted {
+		if err := s.cfg.DB.SetHolding(s.cfg.Node, ev, false, now); err != nil {
+			return err
+		}
+	}
+	if outcome.Admitted {
+		if err := s.cfg.DB.SetHolding(s.cfg.Node, title.Name, true, now); err != nil {
+			return err
+		}
+		s.cfg.Metrics.Counter("server.dma_admissions").Inc()
+	}
+	if outcome.Hit {
+		s.cfg.Metrics.Counter("server.dma_hits").Inc()
+	}
+
+	layout, err := striping.NewLayout(title, s.cfg.ClusterBytes, 1)
+	if err != nil {
+		return err
+	}
+	if req.StartCluster < 0 || req.StartCluster >= layout.NumParts() {
+		return fmt.Errorf("start cluster %d outside [0, %d)", req.StartCluster, layout.NumParts())
+	}
+	head, err := transport.Encode(transport.TypeWatchOK, transport.WatchOKPayload{
+		Title:        title.Name,
+		SizeBytes:    title.SizeBytes,
+		BitrateMbps:  title.BitrateMbps,
+		ClusterBytes: s.cfg.ClusterBytes,
+		NumClusters:  layout.NumParts(),
+	})
+	if err != nil {
+		return err
+	}
+	if err := c.WriteMessage(head); err != nil {
+		return err
+	}
+	for idx := req.StartCluster; idx < layout.NumParts(); idx++ {
+		data, payload, err := s.deliverCluster(title, idx)
+		if err != nil {
+			return fmt.Errorf("cluster %d: %w", idx, err)
+		}
+		resp, err := transport.Encode(transport.TypeCluster, payload)
+		if err != nil {
+			return err
+		}
+		if err := c.WriteMessageWithBody(resp, data); err != nil {
+			return err
+		}
+	}
+	done, err := transport.Encode(transport.TypeWatchDone, nil)
+	if err != nil {
+		return err
+	}
+	s.cfg.Metrics.Counter("server.watches").Inc()
+	return c.WriteMessage(done)
+}
+
+// deliverCluster obtains one cluster: locally when resident, otherwise from
+// the server the routing policy selects right now (the paper's per-cluster
+// re-evaluation). A failed remote fetch retries against the remaining
+// replicas, cheapest first, so one dead peer does not abort the playback.
+func (s *Server) deliverCluster(title media.Title, index int) ([]byte, transport.ClusterPayload, error) {
+	if s.cfg.Cache.Resident(title.Name) {
+		return s.readLocalCluster(title.Name, index)
+	}
+	exclude := make(map[topology.NodeID]bool)
+	var lastErr error
+	for {
+		dec, err := s.cfg.Planner.PlanExcluding(s.cfg.Node, title.Name, exclude)
+		if err != nil {
+			if lastErr != nil {
+				return nil, transport.ClusterPayload{}, fmt.Errorf("%w (after fetch failure: %v)", err, lastErr)
+			}
+			return nil, transport.ClusterPayload{}, err
+		}
+		if dec.Server == s.cfg.Node {
+			// The catalog says we hold it but the cache disagrees — the
+			// DB and cache are out of sync.
+			return nil, transport.ClusterPayload{}, fmt.Errorf("holding inconsistency for %q on %s", title.Name, s.cfg.Node)
+		}
+		data, payload, err := s.fetchRemoteCluster(dec, title.Name, index)
+		if err != nil {
+			lastErr = err
+			exclude[dec.Server] = true
+			s.cfg.Metrics.Counter("server.fetch_retries").Inc()
+			continue
+		}
+		if s.cfg.Counters != nil {
+			s.cfg.Counters.ChargePath(dec.Path.Links(), int64(len(data)))
+		}
+		s.cfg.Metrics.Counter("server.remote_clusters").Inc()
+		return data, payload, nil
+	}
+}
+
+// fetchRemoteCluster pulls one cluster from a peer over TCP.
+func (s *Server) fetchRemoteCluster(dec core.Decision, title string, index int) ([]byte, transport.ClusterPayload, error) {
+	addr, err := s.cfg.Book.Lookup(dec.Server)
+	if err != nil {
+		return nil, transport.ClusterPayload{}, err
+	}
+	peer, err := transport.Dial(addr)
+	if err != nil {
+		return nil, transport.ClusterPayload{}, err
+	}
+	defer peer.Close()
+	req, err := transport.Encode(transport.TypeClusterGet, transport.ClusterGetPayload{
+		Title:        title,
+		Index:        index,
+		ClusterBytes: s.cfg.ClusterBytes,
+	})
+	if err != nil {
+		return nil, transport.ClusterPayload{}, err
+	}
+	if err := peer.WriteMessage(req); err != nil {
+		return nil, transport.ClusterPayload{}, err
+	}
+	var payload transport.ClusterPayload
+	m, body, err := peer.ReadMessageWithBody(func(m transport.Message) (int64, error) {
+		if rerr := transport.AsError(m); rerr != nil {
+			return 0, rerr
+		}
+		p, err := transport.Decode[transport.ClusterPayload](m)
+		if err != nil {
+			return 0, err
+		}
+		payload = p
+		return p.Length, nil
+	})
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, transport.ClusterPayload{}, fmt.Errorf("peer %s closed during cluster fetch", dec.Server)
+		}
+		return nil, transport.ClusterPayload{}, err
+	}
+	_ = m
+	return body, payload, nil
+}
+
+// Preload stores a title locally and records the holding in the database —
+// the paper's initialization phase, where administrators distribute the
+// initial title placement.
+func (s *Server) Preload(t media.Title) error {
+	dma, ok := s.cfg.Cache.(*cache.DMA)
+	if !ok {
+		return errors.New("preload requires the DMA cache")
+	}
+	if err := dma.Preload(t); err != nil {
+		return err
+	}
+	return s.cfg.DB.SetHolding(s.cfg.Node, t.Name, true, s.cfg.Clock.Now())
+}
+
+// WaitReady dials the server until it answers a ping or the timeout
+// expires — a test/startup helper.
+func (s *Server) WaitReady(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		c, err := transport.Dial(s.Addr())
+		if err == nil {
+			ping, perr := transport.Encode(transport.TypePing, nil)
+			if perr == nil {
+				if err := c.WriteMessage(ping); err == nil {
+					if m, err := c.ReadMessage(); err == nil && m.Type == transport.TypePong {
+						_ = c.Close()
+						return nil
+					}
+				}
+			}
+			_ = c.Close()
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server %s not ready: %v", s.cfg.Node, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

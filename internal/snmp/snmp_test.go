@@ -1,0 +1,313 @@
+package snmp
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"dvod/internal/clock"
+	"dvod/internal/db"
+	"dvod/internal/grnet"
+	"dvod/internal/netsim"
+	"dvod/internal/topology"
+)
+
+var t0 = time.Date(2000, time.April, 10, 8, 0, 0, 0, time.UTC)
+
+// fixture builds the GRNET backbone with a netsim network carrying the 8am
+// background traffic, plus a DB.
+func fixture(t *testing.T) (*topology.Graph, *netsim.Network, *db.DB) {
+	t.Helper()
+	g, err := grnet.Backbone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := netsim.New(g, t0)
+	for _, row := range grnet.Table2() {
+		id := topology.MakeLinkID(row.A, row.B)
+		if err := n.SetBackground(id, row.TrafficMbps[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g, n, db.New(g)
+}
+
+func TestNewAgentValidation(t *testing.T) {
+	g, n, _ := fixture(t)
+	if _, err := NewAgent("U99", g, n); !errors.Is(err, topology.ErrNodeUnknown) {
+		t.Fatalf("unknown node error = %v", err)
+	}
+	if _, err := NewAgent(grnet.Patra, g, nil); err == nil {
+		t.Fatal("nil source accepted")
+	}
+}
+
+func TestAgentSamplesAdjacentLinks(t *testing.T) {
+	g, n, _ := fixture(t)
+	a, err := NewAgent(grnet.Patra, g, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Node() != grnet.Patra {
+		t.Fatalf("Node = %s", a.Node())
+	}
+	samples, err := a.Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Patra has two links: to Athens (0.2 Mbps) and Ioannina (0.0001).
+	if len(samples) != 2 {
+		t.Fatalf("samples = %v", samples)
+	}
+	byID := map[topology.LinkID]float64{}
+	for _, s := range samples {
+		byID[s.ID] = s.UsedMbps
+	}
+	pa := topology.MakeLinkID(grnet.Patra, grnet.Athens)
+	if math.Abs(byID[pa]-0.2) > 1e-9 {
+		t.Fatalf("Patra-Athens sample = %g, want 0.2", byID[pa])
+	}
+}
+
+// errorSource fails for one link.
+type errorSource struct {
+	inner Source
+	bad   topology.LinkID
+}
+
+func (s errorSource) LinkUsedMbps(id topology.LinkID) (float64, error) {
+	if id == s.bad {
+		return 0, errors.New("agent lost contact")
+	}
+	return s.inner.LinkUsedMbps(id)
+}
+
+func TestAgentSampleError(t *testing.T) {
+	g, n, _ := fixture(t)
+	bad := topology.MakeLinkID(grnet.Patra, grnet.Athens)
+	a, err := NewAgent(grnet.Patra, g, errorSource{inner: n, bad: bad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Sample(); err == nil {
+		t.Fatal("Sample swallowed source error")
+	}
+}
+
+func TestPollOnceWritesDB(t *testing.T) {
+	g, n, d := fixture(t)
+	var agents []*Agent
+	for _, node := range grnet.Nodes() {
+		a, err := NewAgent(node, g, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agents = append(agents, a)
+	}
+	vc := clock.NewVirtual(t0)
+	p, err := NewPoller(PollerConfig{Agents: agents, DB: d, Clock: vc, Interval: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.PollOnce(); err != nil {
+		t.Fatalf("PollOnce: %v", err)
+	}
+	if p.Polls() != 1 || p.Errors() != 0 {
+		t.Fatalf("polls/errors = %d/%d", p.Polls(), p.Errors())
+	}
+	// Every one of the 7 links has stats (each sampled by both endpoints).
+	all := d.AllLinkStats()
+	if len(all) != 7 {
+		t.Fatalf("db has stats for %d links, want 7", len(all))
+	}
+	// The resulting DB snapshot reproduces the 8am utilization.
+	snap, err := d.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa := topology.MakeLinkID(grnet.Patra, grnet.Athens)
+	if u := snap.Utilization(pa); math.Abs(u-0.10) > 1e-9 {
+		t.Fatalf("Patra-Athens utilization = %g, want 0.10", u)
+	}
+}
+
+func TestPollOnceContinuesPastAgentError(t *testing.T) {
+	g, n, d := fixture(t)
+	bad := topology.MakeLinkID(grnet.Patra, grnet.Athens)
+	aBad, err := NewAgent(grnet.Patra, g, errorSource{inner: n, bad: bad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aGood, err := NewAgent(grnet.Heraklio, g, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPoller(PollerConfig{
+		Agents: []*Agent{aBad, aGood}, DB: d, Clock: clock.NewVirtual(t0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.PollOnce(); err == nil {
+		t.Fatal("PollOnce hid the agent error")
+	}
+	if p.Errors() != 1 {
+		t.Fatalf("Errors = %d, want 1", p.Errors())
+	}
+	// Heraklio's two links were still written.
+	if len(d.AllLinkStats()) != 2 {
+		t.Fatalf("db has %d links, want 2 from the healthy agent", len(d.AllLinkStats()))
+	}
+}
+
+func TestNewPollerValidation(t *testing.T) {
+	g, n, d := fixture(t)
+	a, err := NewAgent(grnet.Patra, g, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc := clock.NewVirtual(t0)
+	cases := []PollerConfig{
+		{DB: d, Clock: vc},
+		{Agents: []*Agent{a}, Clock: vc},
+		{Agents: []*Agent{a}, DB: d},
+		{Agents: []*Agent{a}, DB: d, Clock: vc, Interval: -time.Second},
+	}
+	for i, cfg := range cases {
+		if _, err := NewPoller(cfg); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+	// Zero interval defaults to 90s.
+	p, err := NewPoller(PollerConfig{Agents: []*Agent{a}, DB: d, Clock: vc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.cfg.Interval != 90*time.Second {
+		t.Fatalf("default interval = %v", p.cfg.Interval)
+	}
+}
+
+func TestPollerBackgroundLoop(t *testing.T) {
+	g, n, d := fixture(t)
+	a, err := NewAgent(grnet.Patra, g, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc := clock.NewVirtual(t0)
+	p, err := NewPoller(PollerConfig{Agents: []*Agent{a}, DB: d, Clock: vc, Interval: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	p.Start() // idempotent
+	// Wait for the loop to arm its timer, then advance through 3 polls.
+	for vc.PendingTimers() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	for range 3 {
+		vc.Advance(time.Minute)
+		deadline := time.Now().Add(5 * time.Second)
+		target := p.Polls()
+		for p.Polls() == target && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		// Let the loop re-arm before advancing again.
+		for vc.PendingTimers() == 0 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	p.Stop()
+	p.Stop() // idempotent
+	if p.Polls() < 3 {
+		t.Fatalf("polls = %d, want ≥3", p.Polls())
+	}
+	if len(d.AllLinkStats()) != 2 {
+		t.Fatalf("db has %d links, want Patra's 2", len(d.AllLinkStats()))
+	}
+}
+
+func TestPollerStopWithoutStart(t *testing.T) {
+	g, n, d := fixture(t)
+	a, err := NewAgent(grnet.Patra, g, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPoller(PollerConfig{Agents: []*Agent{a}, DB: d, Clock: clock.NewVirtual(t0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		p.Stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop without Start hung")
+	}
+}
+
+// fakeOctets is a settable octet counter.
+type fakeOctets struct{ octets map[topology.LinkID]uint64 }
+
+func (f *fakeOctets) LinkOctets(id topology.LinkID) (uint64, error) {
+	o, ok := f.octets[id]
+	if !ok {
+		return 0, errors.New("unknown link")
+	}
+	return o, nil
+}
+
+func TestRateEstimator(t *testing.T) {
+	id := topology.LinkID("A--B")
+	src := &fakeOctets{octets: map[topology.LinkID]uint64{id: 0}}
+	vc := clock.NewVirtual(t0)
+	e, err := NewRateEstimator(src, vc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First sample: no baseline → 0.
+	r, err := e.LinkUsedMbps(id)
+	if err != nil || r != 0 {
+		t.Fatalf("first sample = %g, %v", r, err)
+	}
+	// 1 MB in 8 seconds = 1 Mbps.
+	src.octets[id] = 1_000_000
+	vc.Advance(8 * time.Second)
+	r, err = e.LinkUsedMbps(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-1.0) > 1e-9 {
+		t.Fatalf("rate = %g, want 1", r)
+	}
+	// Counter wrap/restart reports 0.
+	src.octets[id] = 10
+	vc.Advance(time.Second)
+	r, err = e.LinkUsedMbps(id)
+	if err != nil || r != 0 {
+		t.Fatalf("wrap sample = %g, %v", r, err)
+	}
+	// Zero elapsed reports 0.
+	src.octets[id] = 20
+	r, err = e.LinkUsedMbps(id)
+	if err != nil || r != 0 {
+		t.Fatalf("zero-dt sample = %g, %v", r, err)
+	}
+	// Source error propagates.
+	if _, err := e.LinkUsedMbps("other--link"); err == nil {
+		t.Fatal("source error swallowed")
+	}
+}
+
+func TestNewRateEstimatorValidation(t *testing.T) {
+	if _, err := NewRateEstimator(nil, clock.Wall{}); err == nil {
+		t.Fatal("nil source accepted")
+	}
+	if _, err := NewRateEstimator(&fakeOctets{}, nil); err == nil {
+		t.Fatal("nil clock accepted")
+	}
+}

@@ -1,0 +1,148 @@
+// Package topogen generates synthetic overlay topologies for the
+// scalability studies: random connected graphs whose link capacities follow
+// the paper-era distribution (a few fat trunks, many thin 2 Mbps tails),
+// plus regular shapes (ring, star, full mesh) for worst/best-case analysis.
+package topogen
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"dvod/internal/topology"
+)
+
+// nodeID names the i-th generated node U1..Un, matching the paper's labels.
+func nodeID(i int) topology.NodeID {
+	return topology.NodeID(fmt.Sprintf("U%d", i+1))
+}
+
+// Nodes returns the first n generated node IDs.
+func Nodes(n int) []topology.NodeID {
+	out := make([]topology.NodeID, n)
+	for i := range n {
+		out[i] = nodeID(i)
+	}
+	return out
+}
+
+// capacities mirrors the GRNET mix: mostly 2 Mbps with occasional 18 Mbps
+// trunks.
+func capacity(r *rand.Rand) float64 {
+	if r.Float64() < 0.25 {
+		return 18
+	}
+	return 2
+}
+
+// Random builds a connected random graph with n nodes and approximately
+// n·degree/2 links: a random spanning tree plus extra random edges.
+func Random(n int, degree float64, r *rand.Rand) (*topology.Graph, error) {
+	if n < 2 {
+		return nil, errors.New("topogen: need at least 2 nodes")
+	}
+	if degree < 1 {
+		return nil, fmt.Errorf("topogen: degree %g < 1", degree)
+	}
+	if r == nil {
+		return nil, errors.New("topogen: nil rng")
+	}
+	g := topology.NewGraph()
+	for i := range n {
+		if err := g.AddNode(nodeID(i)); err != nil {
+			return nil, err
+		}
+	}
+	// Random spanning tree: attach each node to a random earlier one.
+	perm := r.Perm(n)
+	for i := 1; i < n; i++ {
+		a := nodeID(perm[i])
+		b := nodeID(perm[r.Intn(i)])
+		if _, err := g.AddLink(a, b, capacity(r)); err != nil {
+			return nil, err
+		}
+	}
+	// Extra edges up to the target count.
+	target := int(float64(n) * degree / 2)
+	for tries := 0; g.NumLinks() < target && tries < target*20; tries++ {
+		a, b := r.Intn(n), r.Intn(n)
+		if a == b {
+			continue
+		}
+		// Duplicate links fail; that is fine, keep trying.
+		_, _ = g.AddLink(nodeID(a), nodeID(b), capacity(r))
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Ring builds an n-node cycle (the sparsest 2-connected shape; longest
+// shortest paths).
+func Ring(n int, capacityMbps float64) (*topology.Graph, error) {
+	if n < 3 {
+		return nil, errors.New("topogen: ring needs at least 3 nodes")
+	}
+	g := topology.NewGraph()
+	for i := range n {
+		if err := g.AddNode(nodeID(i)); err != nil {
+			return nil, err
+		}
+	}
+	for i := range n {
+		if _, err := g.AddLink(nodeID(i), nodeID((i+1)%n), capacityMbps); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Star builds a hub-and-spoke graph: node U1 is the hub.
+func Star(n int, capacityMbps float64) (*topology.Graph, error) {
+	if n < 2 {
+		return nil, errors.New("topogen: star needs at least 2 nodes")
+	}
+	g := topology.NewGraph()
+	for i := range n {
+		if err := g.AddNode(nodeID(i)); err != nil {
+			return nil, err
+		}
+	}
+	for i := 1; i < n; i++ {
+		if _, err := g.AddLink(nodeID(0), nodeID(i), capacityMbps); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// Mesh builds a full mesh (densest shape; Dijkstra's worst case per node).
+func Mesh(n int, capacityMbps float64) (*topology.Graph, error) {
+	if n < 2 {
+		return nil, errors.New("topogen: mesh needs at least 2 nodes")
+	}
+	g := topology.NewGraph()
+	for i := range n {
+		if err := g.AddNode(nodeID(i)); err != nil {
+			return nil, err
+		}
+	}
+	for i := range n {
+		for j := i + 1; j < n; j++ {
+			if _, err := g.AddLink(nodeID(i), nodeID(j), capacityMbps); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}
+
+// RandomUtilization draws a utilization fraction in [0, max) for every link.
+func RandomUtilization(g *topology.Graph, max float64, r *rand.Rand) map[topology.LinkID]float64 {
+	out := make(map[topology.LinkID]float64, g.NumLinks())
+	for _, l := range g.Links() {
+		out[l.ID] = r.Float64() * max
+	}
+	return out
+}

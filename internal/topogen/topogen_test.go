@@ -1,0 +1,134 @@
+package topogen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNodesLabels(t *testing.T) {
+	nodes := Nodes(3)
+	if len(nodes) != 3 || nodes[0] != "U1" || nodes[2] != "U3" {
+		t.Fatalf("Nodes = %v", nodes)
+	}
+}
+
+func TestRandomValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	if _, err := Random(1, 2, r); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	if _, err := Random(5, 0.5, r); err == nil {
+		t.Fatal("degree<1 accepted")
+	}
+	if _, err := Random(5, 2, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+}
+
+func TestRandomConnectedAndSized(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, n := range []int{2, 6, 25, 80} {
+		g, err := Random(n, 2.5, r)
+		if err != nil {
+			t.Fatalf("Random(%d): %v", n, err)
+		}
+		if g.NumNodes() != n {
+			t.Fatalf("nodes = %d, want %d", g.NumNodes(), n)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("Random(%d) disconnected: %v", n, err)
+		}
+		if g.NumLinks() < n-1 {
+			t.Fatalf("links = %d < spanning tree", g.NumLinks())
+		}
+	}
+}
+
+// Property: Random always yields a connected graph with valid capacities.
+func TestRandomConnectivityProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(40)
+		g, err := Random(n, 1+3*r.Float64(), r)
+		if err != nil {
+			return false
+		}
+		if g.Validate() != nil {
+			return false
+		}
+		for _, l := range g.Links() {
+			if l.CapacityMbps != 2 && l.CapacityMbps != 18 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRing(t *testing.T) {
+	g, err := Ring(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 5 || g.NumLinks() != 5 {
+		t.Fatalf("ring = %d/%d", g.NumNodes(), g.NumLinks())
+	}
+	for _, n := range g.Nodes() {
+		if len(g.Neighbors(n)) != 2 {
+			t.Fatalf("ring degree of %s = %d", n, len(g.Neighbors(n)))
+		}
+	}
+	if _, err := Ring(2, 2); err == nil {
+		t.Fatal("ring n=2 accepted")
+	}
+}
+
+func TestStar(t *testing.T) {
+	g, err := Star(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumLinks() != 5 {
+		t.Fatalf("star links = %d", g.NumLinks())
+	}
+	if len(g.Neighbors("U1")) != 5 {
+		t.Fatalf("hub degree = %d", len(g.Neighbors("U1")))
+	}
+	if _, err := Star(1, 2); err == nil {
+		t.Fatal("star n=1 accepted")
+	}
+}
+
+func TestMesh(t *testing.T) {
+	g, err := Mesh(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumLinks() != 10 { // C(5,2)
+		t.Fatalf("mesh links = %d", g.NumLinks())
+	}
+	if _, err := Mesh(1, 2); err == nil {
+		t.Fatal("mesh n=1 accepted")
+	}
+}
+
+func TestRandomUtilization(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	g, err := Mesh(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	util := RandomUtilization(g, 0.5, r)
+	if len(util) != g.NumLinks() {
+		t.Fatalf("util covers %d links", len(util))
+	}
+	for id, u := range util {
+		if u < 0 || u >= 0.5 {
+			t.Fatalf("util %s = %g outside [0, 0.5)", id, u)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// graphJSON is the wire form of a Graph for configuration files.
+type graphJSON struct {
+	Nodes []NodeID   `json:"nodes"`
+	Links []linkJSON `json:"links"`
+}
+
+type linkJSON struct {
+	A            NodeID  `json:"a"`
+	B            NodeID  `json:"b"`
+	CapacityMbps float64 `json:"capacityMbps"`
+}
+
+// MarshalJSON encodes the graph as {"nodes": [...], "links": [...]}, with
+// both lists sorted for stable output.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	wire := graphJSON{Nodes: g.Nodes()}
+	for _, l := range g.Links() {
+		wire.Links = append(wire.Links, linkJSON{A: l.A, B: l.B, CapacityMbps: l.CapacityMbps})
+	}
+	return json.Marshal(wire)
+}
+
+// UnmarshalJSON decodes a graph, validating node references and capacities.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var wire graphJSON
+	if err := json.Unmarshal(data, &wire); err != nil {
+		return err
+	}
+	fresh := NewGraph()
+	for _, n := range wire.Nodes {
+		if err := fresh.AddNode(n); err != nil {
+			return fmt.Errorf("decode graph: %w", err)
+		}
+	}
+	for _, l := range wire.Links {
+		if _, err := fresh.AddLink(l.A, l.B, l.CapacityMbps); err != nil {
+			return fmt.Errorf("decode graph: %w", err)
+		}
+	}
+	*g = *fresh
+	return nil
+}

@@ -1,0 +1,258 @@
+// Package topology models the VoD overlay network: named nodes (video
+// servers / routers) joined by bidirectional links with fixed capacity, plus
+// point-in-time utilization snapshots. It implements the paper's link
+// validation equations (1)-(4), which turn a snapshot into the per-link
+// weights consumed by the Virtual Routing Algorithm:
+//
+//	NV(a)  = Σ UBW_m / Σ LBW_m   over links m adjacent to node a      (2)
+//	LV_i   = capacity_Mbps(i)/K   with normalization constant K ≈ 10  (4)
+//	LU_i   = LT_i · LV_i          LT = utilization fraction           (3)
+//	LVN_i  = max(NV_a, NV_b) + LU_i                                   (1)
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DefaultNormalizationK is the paper's suggested normalization constant for
+// equation (4): "an integer with a value approaching 10".
+const DefaultNormalizationK = 10.0
+
+// NodeID names a network node (a video server site such as "Athens").
+type NodeID string
+
+// LinkID is the canonical identifier of a bidirectional link: the two
+// endpoint IDs sorted lexicographically and joined by "--".
+type LinkID string
+
+// MakeLinkID builds the canonical LinkID for the unordered pair {a, b}.
+func MakeLinkID(a, b NodeID) LinkID {
+	if b < a {
+		a, b = b, a
+	}
+	return LinkID(string(a) + "--" + string(b))
+}
+
+// Endpoints splits a LinkID back into its two endpoints.
+func (id LinkID) Endpoints() (NodeID, NodeID, error) {
+	a, b, ok := strings.Cut(string(id), "--")
+	if !ok || a == "" || b == "" {
+		return "", "", fmt.Errorf("malformed link id %q", id)
+	}
+	return NodeID(a), NodeID(b), nil
+}
+
+// Link is a bidirectional network connection with a fixed total capacity.
+type Link struct {
+	ID           LinkID  `json:"id"`
+	A            NodeID  `json:"a"`
+	B            NodeID  `json:"b"`
+	CapacityMbps float64 `json:"capacityMbps"`
+}
+
+// Other returns the endpoint of l that is not n. It returns "" when n is not
+// an endpoint of l.
+func (l Link) Other(n NodeID) NodeID {
+	switch n {
+	case l.A:
+		return l.B
+	case l.B:
+		return l.A
+	default:
+		return ""
+	}
+}
+
+// HasEndpoint reports whether n is one of the link's endpoints.
+func (l Link) HasEndpoint(n NodeID) bool { return n == l.A || n == l.B }
+
+// Errors reported by graph construction and lookup.
+var (
+	ErrNodeExists   = errors.New("node already exists")
+	ErrNodeUnknown  = errors.New("node unknown")
+	ErrLinkExists   = errors.New("link already exists")
+	ErrLinkUnknown  = errors.New("link unknown")
+	ErrSelfLoop     = errors.New("self loop not allowed")
+	ErrBadCapacity  = errors.New("link capacity must be positive")
+	ErrDisconnected = errors.New("graph is not connected")
+)
+
+// Graph is the static overlay topology: the node set and capacitated links.
+// Build it once with AddNode/AddLink; afterwards it is safe for concurrent
+// readers. Mutating methods are not safe to call concurrently with readers.
+type Graph struct {
+	nodes    map[NodeID]struct{}
+	links    map[LinkID]Link
+	adjacent map[NodeID][]LinkID // sorted for determinism
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{
+		nodes:    make(map[NodeID]struct{}),
+		links:    make(map[LinkID]Link),
+		adjacent: make(map[NodeID][]LinkID),
+	}
+}
+
+// AddNode adds a node to the graph.
+func (g *Graph) AddNode(n NodeID) error {
+	if n == "" {
+		return errors.New("empty node id")
+	}
+	if _, ok := g.nodes[n]; ok {
+		return fmt.Errorf("%w: %s", ErrNodeExists, n)
+	}
+	g.nodes[n] = struct{}{}
+	return nil
+}
+
+// AddLink adds a bidirectional link between two existing nodes and returns
+// its canonical ID.
+func (g *Graph) AddLink(a, b NodeID, capacityMbps float64) (LinkID, error) {
+	if a == b {
+		return "", fmt.Errorf("%w: %s", ErrSelfLoop, a)
+	}
+	if _, ok := g.nodes[a]; !ok {
+		return "", fmt.Errorf("%w: %s", ErrNodeUnknown, a)
+	}
+	if _, ok := g.nodes[b]; !ok {
+		return "", fmt.Errorf("%w: %s", ErrNodeUnknown, b)
+	}
+	if capacityMbps <= 0 {
+		return "", fmt.Errorf("%w: %s-%s capacity %g", ErrBadCapacity, a, b, capacityMbps)
+	}
+	id := MakeLinkID(a, b)
+	if _, ok := g.links[id]; ok {
+		return "", fmt.Errorf("%w: %s", ErrLinkExists, id)
+	}
+	la, lb := a, b
+	if lb < la {
+		la, lb = lb, la
+	}
+	g.links[id] = Link{ID: id, A: la, B: lb, CapacityMbps: capacityMbps}
+	g.insertAdjacent(a, id)
+	g.insertAdjacent(b, id)
+	return id, nil
+}
+
+func (g *Graph) insertAdjacent(n NodeID, id LinkID) {
+	adj := g.adjacent[n]
+	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= id })
+	adj = append(adj, "")
+	copy(adj[i+1:], adj[i:])
+	adj[i] = id
+	g.adjacent[n] = adj
+}
+
+// HasNode reports whether n is in the graph.
+func (g *Graph) HasNode(n NodeID) bool {
+	_, ok := g.nodes[n]
+	return ok
+}
+
+// Nodes returns the node set in sorted order.
+func (g *Graph) Nodes() []NodeID {
+	out := make([]NodeID, 0, len(g.nodes))
+	for n := range g.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumLinks returns the number of links.
+func (g *Graph) NumLinks() int { return len(g.links) }
+
+// Link returns the link between a and b.
+func (g *Graph) Link(a, b NodeID) (Link, error) {
+	return g.LinkByID(MakeLinkID(a, b))
+}
+
+// LinkByID returns the link with the given canonical ID.
+func (g *Graph) LinkByID(id LinkID) (Link, error) {
+	l, ok := g.links[id]
+	if !ok {
+		return Link{}, fmt.Errorf("%w: %s", ErrLinkUnknown, id)
+	}
+	return l, nil
+}
+
+// Links returns every link, sorted by ID.
+func (g *Graph) Links() []Link {
+	out := make([]Link, 0, len(g.links))
+	for _, l := range g.links {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Adjacent returns the IDs of links incident to n, sorted.
+func (g *Graph) Adjacent(n NodeID) []LinkID {
+	return append([]LinkID(nil), g.adjacent[n]...)
+}
+
+// Neighbors returns the nodes directly connected to n, sorted.
+func (g *Graph) Neighbors(n NodeID) []NodeID {
+	adj := g.adjacent[n]
+	out := make([]NodeID, 0, len(adj))
+	for _, id := range adj {
+		out = append(out, g.links[id].Other(n))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Validate checks structural invariants: at least one node, and full
+// connectivity (the paper's service assumes every server can reach every
+// other).
+func (g *Graph) Validate() error {
+	if len(g.nodes) == 0 {
+		return errors.New("graph has no nodes")
+	}
+	// BFS from an arbitrary node.
+	var start NodeID
+	for n := range g.nodes {
+		start = n
+		break
+	}
+	seen := map[NodeID]bool{start: true}
+	queue := []NodeID{start}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, id := range g.adjacent[n] {
+			m := g.links[id].Other(n)
+			if !seen[m] {
+				seen[m] = true
+				queue = append(queue, m)
+			}
+		}
+	}
+	if len(seen) != len(g.nodes) {
+		return fmt.Errorf("%w: reached %d of %d nodes", ErrDisconnected, len(seen), len(g.nodes))
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := NewGraph()
+	for n := range g.nodes {
+		c.nodes[n] = struct{}{}
+	}
+	for id, l := range g.links {
+		c.links[id] = l
+	}
+	for n, adj := range g.adjacent {
+		c.adjacent[n] = append([]LinkID(nil), adj...)
+	}
+	return c
+}

@@ -1,0 +1,87 @@
+package transport
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"dvod/internal/topology"
+)
+
+// AddrBook maps video-server nodes to their live TCP endpoints. It is the
+// live-plane analogue of the paper's "determine the server to whom the
+// requesting user is directly connected by this IP" lookup, and is safe for
+// concurrent use.
+type AddrBook struct {
+	mu    sync.RWMutex
+	addrs map[topology.NodeID]string
+}
+
+// NewAddrBook returns an empty address book.
+func NewAddrBook() *AddrBook {
+	return &AddrBook{addrs: make(map[topology.NodeID]string)}
+}
+
+// Set records a node's endpoint.
+func (b *AddrBook) Set(node topology.NodeID, addr string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.addrs[node] = addr
+}
+
+// Lookup returns a node's endpoint.
+func (b *AddrBook) Lookup(node topology.NodeID) (string, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	addr, ok := b.addrs[node]
+	if !ok {
+		return "", fmt.Errorf("no address for node %s", node)
+	}
+	return addr, nil
+}
+
+// Nodes lists registered nodes, sorted.
+func (b *AddrBook) Nodes() []topology.NodeID {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]topology.NodeID, 0, len(b.addrs))
+	for n := range b.addrs {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Counters tracks cumulative octets transferred over each logical topology
+// link. On the live plane all traffic really crosses localhost, so the
+// service charges each delivered cluster against the links of the route the
+// VRA chose — giving the SNMP rate estimator the same counter shape a router
+// would expose.
+type Counters struct {
+	mu     sync.RWMutex
+	octets map[topology.LinkID]uint64
+}
+
+// NewCounters returns zeroed counters.
+func NewCounters() *Counters {
+	return &Counters{octets: make(map[topology.LinkID]uint64)}
+}
+
+// ChargePath adds n octets to every link along the path.
+func (c *Counters) ChargePath(links []topology.LinkID, n int64) {
+	if n <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, id := range links {
+		c.octets[id] += uint64(n)
+	}
+}
+
+// LinkOctets implements snmp.OctetSource.
+func (c *Counters) LinkOctets(id topology.LinkID) (uint64, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.octets[id], nil
+}

@@ -1,0 +1,320 @@
+// Package transport is the live-plane wire protocol of the VoD service: a
+// minimal length-prefixed JSON control channel with raw byte streaming for
+// video data, over TCP (the paper uses "TCP for control messages and either
+// TCP or UDP for the video data"; we use TCP for both so delivered bytes are
+// verifiable).
+//
+// Frame layout: 4-byte big-endian length, then a JSON Message. Video
+// clusters are announced by a control message carrying their length and then
+// sent as raw bytes immediately after the frame.
+package transport
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"dvod/internal/topology"
+)
+
+// MaxFrameBytes bounds a control frame; oversized frames indicate protocol
+// corruption.
+const MaxFrameBytes = 1 << 20
+
+// Message types exchanged by the service.
+const (
+	// TypeError carries ErrorPayload.
+	TypeError = "error"
+	// TypeTitles requests the server's catalog view (no payload);
+	// TypeTitlesOK answers with TitlesPayload.
+	TypeTitles   = "titles"
+	TypeTitlesOK = "titles.ok"
+	// TypeWatch asks the home server to deliver a whole title
+	// (WatchPayload); TypeWatchOK answers with WatchOKPayload, then one
+	// TypeCluster + raw bytes per cluster, then TypeWatchDone.
+	TypeWatch     = "watch"
+	TypeWatchOK   = "watch.ok"
+	TypeCluster   = "cluster"
+	TypeWatchDone = "watch.done"
+	// TypeClusterGet fetches one stored cluster (ClusterGetPayload);
+	// TypeClusterOK answers with ClusterPayload + raw bytes. Used both by
+	// peers (mid-stream re-routing) and directly by tests.
+	TypeClusterGet = "cluster.get"
+	TypeClusterOK  = "cluster.ok"
+	// TypeHolders asks which servers hold a title (HoldersPayload);
+	// TypeHoldersOK answers with HoldersOKPayload. Used by clients that
+	// fetch clusters from several replicas in parallel.
+	TypeHolders   = "holders"
+	TypeHoldersOK = "holders.ok"
+	// TypePing/TypePong probe liveness (no payloads).
+	TypePing = "ping"
+	TypePong = "pong"
+)
+
+// Message is one control frame.
+type Message struct {
+	Type    string          `json:"type"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// ErrorPayload reports a request failure.
+type ErrorPayload struct {
+	Message string `json:"message"`
+}
+
+// TitlesPayload lists catalog titles and whether this server holds each
+// locally.
+type TitlesPayload struct {
+	Titles []TitleInfo `json:"titles"`
+}
+
+// TitleInfo is one catalog row.
+type TitleInfo struct {
+	Name        string  `json:"name"`
+	SizeBytes   int64   `json:"sizeBytes"`
+	BitrateMbps float64 `json:"bitrateMbps"`
+	Resident    bool    `json:"resident"`
+}
+
+// WatchPayload asks for a title delivery. StartCluster supports the seek
+// operation of interactive VoD: delivery begins at that cluster index
+// (0 = from the beginning).
+type WatchPayload struct {
+	Title        string `json:"title"`
+	StartCluster int    `json:"startCluster,omitempty"`
+}
+
+// WatchOKPayload opens a delivery stream.
+type WatchOKPayload struct {
+	Title        string  `json:"title"`
+	SizeBytes    int64   `json:"sizeBytes"`
+	BitrateMbps  float64 `json:"bitrateMbps"`
+	ClusterBytes int64   `json:"clusterBytes"`
+	NumClusters  int     `json:"numClusters"`
+}
+
+// ClusterPayload announces one cluster's raw bytes, which follow the frame.
+type ClusterPayload struct {
+	Title  string `json:"title"`
+	Index  int    `json:"index"`
+	Offset int64  `json:"offset"`
+	Length int64  `json:"length"`
+	// Source is the video server the cluster was fetched from — the
+	// paper's per-cluster optimal server, surfaced so clients can observe
+	// mid-stream switches.
+	Source topology.NodeID `json:"source"`
+}
+
+// HoldersPayload asks which servers hold a title.
+type HoldersPayload struct {
+	Title string `json:"title"`
+}
+
+// HoldersOKPayload lists a title's replica holders plus the delivery
+// parameters a parallel fetcher needs.
+type HoldersOKPayload struct {
+	Title        string            `json:"title"`
+	SizeBytes    int64             `json:"sizeBytes"`
+	BitrateMbps  float64           `json:"bitrateMbps"`
+	ClusterBytes int64             `json:"clusterBytes"`
+	NumClusters  int               `json:"numClusters"`
+	Holders      []topology.NodeID `json:"holders"`
+}
+
+// ClusterGetPayload fetches one stored cluster from a peer.
+type ClusterGetPayload struct {
+	Title        string `json:"title"`
+	Index        int    `json:"index"`
+	ClusterBytes int64  `json:"clusterBytes"`
+}
+
+// Errors reported by the framing layer.
+var (
+	ErrFrameTooLarge = errors.New("frame exceeds maximum size")
+	ErrBadFrame      = errors.New("malformed frame")
+)
+
+// Conn wraps a byte stream with message framing. Writes and reads each take
+// an internal lock, so one reader and one writer may operate concurrently,
+// but multi-frame exchanges (message + raw body) hold the lock across both
+// parts via the *WithBody variants.
+type Conn struct {
+	rmu sync.Mutex
+	wmu sync.Mutex
+	rw  io.ReadWriteCloser
+}
+
+// NewConn wraps a stream (net.Conn or net.Pipe end).
+func NewConn(rw io.ReadWriteCloser) *Conn { return &Conn{rw: rw} }
+
+// Close closes the underlying stream.
+func (c *Conn) Close() error { return c.rw.Close() }
+
+// SetReadDeadline forwards to the underlying stream when it supports
+// deadlines (net.Conn does; in-memory test pipes may not, in which case this
+// is a no-op returning nil).
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	if d, ok := c.rw.(interface{ SetReadDeadline(time.Time) error }); ok {
+		return d.SetReadDeadline(t)
+	}
+	return nil
+}
+
+// Encode builds a Message with a JSON payload.
+func Encode(msgType string, payload any) (Message, error) {
+	if payload == nil {
+		return Message{Type: msgType}, nil
+	}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return Message{}, fmt.Errorf("encode %s: %w", msgType, err)
+	}
+	return Message{Type: msgType, Payload: raw}, nil
+}
+
+// Decode unmarshals a message's payload.
+func Decode[T any](m Message) (T, error) {
+	var out T
+	if len(m.Payload) == 0 {
+		return out, fmt.Errorf("%s: empty payload", m.Type)
+	}
+	if err := json.Unmarshal(m.Payload, &out); err != nil {
+		return out, fmt.Errorf("decode %s: %w", m.Type, err)
+	}
+	return out, nil
+}
+
+// WriteMessage sends one control frame.
+func (c *Conn) WriteMessage(m Message) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.writeLocked(m)
+}
+
+// WriteMessageWithBody sends a control frame immediately followed by raw
+// body bytes, atomically with respect to other writers on this Conn.
+func (c *Conn) WriteMessageWithBody(m Message, body []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := c.writeLocked(m); err != nil {
+		return err
+	}
+	if _, err := c.rw.Write(body); err != nil {
+		return fmt.Errorf("write body: %w", err)
+	}
+	return nil
+}
+
+func (c *Conn) writeLocked(m Message) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("marshal frame: %w", err)
+	}
+	if len(data) > MaxFrameBytes {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(data))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
+	if _, err := c.rw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("write frame header: %w", err)
+	}
+	if _, err := c.rw.Write(data); err != nil {
+		return fmt.Errorf("write frame: %w", err)
+	}
+	return nil
+}
+
+// ReadMessage receives one control frame.
+func (c *Conn) ReadMessage() (Message, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	return c.readLocked()
+}
+
+// ReadMessageWithBody receives a control frame and, using bodyLen extracted
+// from it by the caller-supplied function, the raw body that follows.
+func (c *Conn) ReadMessageWithBody(bodyLen func(Message) (int64, error)) (Message, []byte, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	m, err := c.readLocked()
+	if err != nil {
+		return Message{}, nil, err
+	}
+	n, err := bodyLen(m)
+	if err != nil {
+		return m, nil, err
+	}
+	if n < 0 || n > MaxFrameBytes*64 {
+		return m, nil, fmt.Errorf("%w: body length %d", ErrBadFrame, n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(c.rw, body); err != nil {
+		return m, nil, fmt.Errorf("read body: %w", err)
+	}
+	return m, body, nil
+}
+
+func (c *Conn) readLocked() (Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.rw, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return Message{}, io.EOF
+		}
+		return Message{}, fmt.Errorf("read frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return Message{}, fmt.Errorf("%w: zero-length frame", ErrBadFrame)
+	}
+	if n > MaxFrameBytes {
+		return Message{}, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	data := make([]byte, n)
+	if _, err := io.ReadFull(c.rw, data); err != nil {
+		return Message{}, fmt.Errorf("read frame: %w", err)
+	}
+	var m Message
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Message{}, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	if m.Type == "" {
+		return Message{}, fmt.Errorf("%w: missing type", ErrBadFrame)
+	}
+	return m, nil
+}
+
+// WriteError sends an error frame with the given message.
+func (c *Conn) WriteError(msg string) error {
+	m, err := Encode(TypeError, ErrorPayload{Message: msg})
+	if err != nil {
+		return err
+	}
+	return c.WriteMessage(m)
+}
+
+// AsError converts a TypeError message into a Go error (nil for other
+// types).
+func AsError(m Message) error {
+	if m.Type != TypeError {
+		return nil
+	}
+	p, err := Decode[ErrorPayload](m)
+	if err != nil {
+		return fmt.Errorf("remote error (undecodable): %w", err)
+	}
+	return fmt.Errorf("remote error: %s", p.Message)
+}
+
+// Dial connects to a service endpoint.
+func Dial(addr string) (*Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dial %s: %w", addr, err)
+	}
+	return NewConn(nc), nil
+}

@@ -1,0 +1,101 @@
+package web
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"dvod/internal/core"
+	"dvod/internal/db"
+	"dvod/internal/grnet"
+	"dvod/internal/metrics"
+	"dvod/internal/topology"
+)
+
+func TestAdminMetrics(t *testing.T) {
+	g, err := grnet.Backbone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := db.New(g)
+	planner, err := core.NewPlanner(d, core.VRA{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	reg.Counter("server.requests").Add(7)
+	m, err := New(Config{
+		DB: d, Planner: planner, AdminToken: token,
+		Metrics: func() map[topology.NodeID]metrics.Snapshot {
+			return map[topology.NodeID]metrics.Snapshot{grnet.Patra: reg.Snapshot()}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(m)
+	defer srv.Close()
+
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/admin/metrics", nil)
+	req.Header.Set("Authorization", "Bearer "+token)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out map[topology.NodeID]metrics.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out[grnet.Patra].Counters["server.requests"] != 7 {
+		t.Fatalf("metrics = %+v", out)
+	}
+	// Unauthenticated access stays blocked.
+	resp2, err := http.Get(srv.URL + "/admin/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated = %d", resp2.StatusCode)
+	}
+}
+
+func TestAdminMetricsNilSupplier(t *testing.T) {
+	g, err := grnet.Backbone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := db.New(g)
+	planner, err := core.NewPlanner(d, core.VRA{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(Config{DB: d, Planner: planner, AdminToken: token})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(m)
+	defer srv.Close()
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/admin/metrics", nil)
+	req.Header.Set("Authorization", "Bearer "+token)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("out = %v", out)
+	}
+}

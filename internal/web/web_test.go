@@ -1,0 +1,405 @@
+package web
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dvod/internal/core"
+	"dvod/internal/db"
+	"dvod/internal/grnet"
+	"dvod/internal/media"
+	"dvod/internal/topology"
+)
+
+var t0 = time.Date(2000, time.April, 10, 10, 0, 0, 0, time.UTC)
+
+const token = "secret-token"
+
+// fixture builds a web module over the GRNET DB at the 10am snapshot with
+// one title on U4 and U5.
+func fixture(t *testing.T) (*db.DB, *httptest.Server) {
+	t.Helper()
+	g, err := grnet.Backbone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := db.New(g)
+	for _, row := range grnet.Table2() {
+		id := topology.MakeLinkID(row.A, row.B)
+		if err := d.UpsertLinkStats(id, row.TrafficMbps[1], t0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, node := range grnet.Nodes() {
+		if err := d.RegisterServer(node, "server "+string(node), t0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	title := media.Title{Name: "Zorba the Greek", SizeBytes: 1 << 20, BitrateMbps: 1.5}
+	if err := d.Catalog().AddTitle(title); err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []topology.NodeID{grnet.Thessaloniki, grnet.Xanthi} {
+		if err := d.SetHolding(h, title.Name, true, t0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	planner, err := core.NewPlanner(d, core.VRA{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(Config{DB: d, Planner: planner, AdminToken: token})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(m)
+	t.Cleanup(srv.Close)
+	return d, srv
+}
+
+func get(t *testing.T, url string, auth string, out any) int {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auth != "" {
+		req.Header.Set("Authorization", auth)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("nil db accepted")
+	}
+	g, err := grnet.Backbone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{DB: db.New(g)}); err == nil {
+		t.Fatal("nil planner accepted")
+	}
+}
+
+func TestTitlesAndSearch(t *testing.T) {
+	_, srv := fixture(t)
+	var titles []TitleJSON
+	if code := get(t, srv.URL+"/titles", "", &titles); code != http.StatusOK {
+		t.Fatalf("GET /titles = %d", code)
+	}
+	if len(titles) != 1 || titles[0].Name != "Zorba the Greek" {
+		t.Fatalf("titles = %v", titles)
+	}
+	var hits []TitleJSON
+	if code := get(t, srv.URL+"/titles/search?q=zorba", "", &hits); code != http.StatusOK {
+		t.Fatalf("search = %d", code)
+	}
+	if len(hits) != 1 {
+		t.Fatalf("hits = %v", hits)
+	}
+	if code := get(t, srv.URL+"/titles/search?q=nothing", "", &hits); code != http.StatusOK {
+		t.Fatalf("empty search = %d", code)
+	}
+}
+
+func TestHolders(t *testing.T) {
+	_, srv := fixture(t)
+	var holders []topology.NodeID
+	if code := get(t, srv.URL+"/titles/Zorba the Greek/holders", "", &holders); code != http.StatusOK {
+		t.Fatalf("holders = %d", code)
+	}
+	if len(holders) != 2 || holders[0] != grnet.Thessaloniki {
+		t.Fatalf("holders = %v", holders)
+	}
+	if code := get(t, srv.URL+"/titles/ghost/holders", "", nil); code != http.StatusNotFound {
+		t.Fatalf("missing title = %d", code)
+	}
+}
+
+func postRequest(t *testing.T, url string, body RequestJSON) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/request", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+// TestRequestRunsVRA reproduces Experiment B through the web module: a
+// Patra user requests the title and the response carries the published
+// decision.
+func TestRequestRunsVRA(t *testing.T) {
+	_, srv := fixture(t)
+	resp, body := postRequest(t, srv.URL, RequestJSON{Home: grnet.Patra, Title: "Zorba the Greek"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /request = %d: %s", resp.StatusCode, body)
+	}
+	var dec DecisionJSON
+	if err := json.Unmarshal(body, &dec); err != nil {
+		t.Fatal(err)
+	}
+	if dec.Server != grnet.Thessaloniki || dec.Local {
+		t.Fatalf("decision = %+v", dec)
+	}
+	wantPath := []topology.NodeID{grnet.Patra, grnet.Ioannina, grnet.Thessaloniki}
+	if len(dec.Path) != 3 {
+		t.Fatalf("path = %v", dec.Path)
+	}
+	for i, n := range wantPath {
+		if dec.Path[i] != n {
+			t.Fatalf("path = %v, want %v", dec.Path, wantPath)
+		}
+	}
+	if !strings.Contains(RouteDescription(dec), "U2,U3,U4") {
+		t.Fatalf("RouteDescription = %s", RouteDescription(dec))
+	}
+}
+
+func TestRequestLocal(t *testing.T) {
+	d, srv := fixture(t)
+	if err := d.SetHolding(grnet.Patra, "Zorba the Greek", true, t0); err != nil {
+		t.Fatal(err)
+	}
+	resp, body := postRequest(t, srv.URL, RequestJSON{Home: grnet.Patra, Title: "Zorba the Greek"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST = %d: %s", resp.StatusCode, body)
+	}
+	var dec DecisionJSON
+	if err := json.Unmarshal(body, &dec); err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Local || dec.Server != grnet.Patra {
+		t.Fatalf("decision = %+v", dec)
+	}
+	if !strings.Contains(RouteDescription(dec), "locally") {
+		t.Fatalf("RouteDescription = %s", RouteDescription(dec))
+	}
+}
+
+func TestRequestErrors(t *testing.T) {
+	_, srv := fixture(t)
+	// Malformed body.
+	resp, err := http.Post(srv.URL+"/request", "application/json", strings.NewReader("{{{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed = %d", resp.StatusCode)
+	}
+	// Missing fields.
+	r2, _ := postRequest(t, srv.URL, RequestJSON{})
+	if r2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty fields = %d", r2.StatusCode)
+	}
+	// Unknown title.
+	r3, _ := postRequest(t, srv.URL, RequestJSON{Home: grnet.Patra, Title: "ghost"})
+	if r3.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown title = %d", r3.StatusCode)
+	}
+	// Unknown home node.
+	r4, _ := postRequest(t, srv.URL, RequestJSON{Home: "U99", Title: "Zorba the Greek"})
+	if r4.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown home = %d", r4.StatusCode)
+	}
+}
+
+func TestRequestNoHolders(t *testing.T) {
+	d, srv := fixture(t)
+	for _, h := range []topology.NodeID{grnet.Thessaloniki, grnet.Xanthi} {
+		if err := d.SetHolding(h, "Zorba the Greek", false, t0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, _ := postRequest(t, srv.URL, RequestJSON{Home: grnet.Patra, Title: "Zorba the Greek"})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("no holders = %d", resp.StatusCode)
+	}
+}
+
+func TestAdminAuth(t *testing.T) {
+	_, srv := fixture(t)
+	if code := get(t, srv.URL+"/admin/servers", "", nil); code != http.StatusUnauthorized {
+		t.Fatalf("no token = %d", code)
+	}
+	if code := get(t, srv.URL+"/admin/servers", "Bearer wrong", nil); code != http.StatusUnauthorized {
+		t.Fatalf("wrong token = %d", code)
+	}
+	var servers []ServerJSON
+	if code := get(t, srv.URL+"/admin/servers", "Bearer "+token, &servers); code != http.StatusOK {
+		t.Fatalf("good token = %d", code)
+	}
+	if len(servers) != 6 {
+		t.Fatalf("servers = %v", servers)
+	}
+}
+
+func TestAdminDisabled(t *testing.T) {
+	g, err := grnet.Backbone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := db.New(g)
+	planner, err := core.NewPlanner(d, core.VRA{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(Config{DB: d, Planner: planner}) // no token
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(m)
+	defer srv.Close()
+	if code := get(t, srv.URL+"/admin/servers", "Bearer anything", nil); code != http.StatusForbidden {
+		t.Fatalf("disabled admin = %d", code)
+	}
+}
+
+func TestAdminLinks(t *testing.T) {
+	_, srv := fixture(t)
+	var links []LinkJSON
+	if code := get(t, srv.URL+"/admin/links", "Bearer "+token, &links); code != http.StatusOK {
+		t.Fatalf("links = %d", code)
+	}
+	if len(links) != 7 {
+		t.Fatalf("links = %d rows", len(links))
+	}
+	for _, l := range links {
+		if l.UpdatedAt == nil {
+			t.Fatalf("link %s missing stats", l.ID)
+		}
+	}
+}
+
+func TestAdminUpdateLink(t *testing.T) {
+	d, srv := fixture(t)
+	id := topology.MakeLinkID(grnet.Patra, grnet.Athens)
+	req, err := http.NewRequest(http.MethodPut,
+		srv.URL+"/admin/links/"+string(id)+"?usedMbps=1.5", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer "+token)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT = %d", resp.StatusCode)
+	}
+	s, err := d.LinkStats(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.UsedMbps != 1.5 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// Bad value.
+	req2, _ := http.NewRequest(http.MethodPut,
+		srv.URL+"/admin/links/"+string(id)+"?usedMbps=abc", nil)
+	req2.Header.Set("Authorization", "Bearer "+token)
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad value = %d", resp2.StatusCode)
+	}
+	// Unknown link.
+	req3, _ := http.NewRequest(http.MethodPut,
+		srv.URL+"/admin/links/X--Y?usedMbps=1", nil)
+	req3.Header.Set("Authorization", "Bearer "+token)
+	resp3, err := http.DefaultClient.Do(req3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown link = %d", resp3.StatusCode)
+	}
+}
+
+func TestAdminTopology(t *testing.T) {
+	_, srv := fixture(t)
+	var topo TopologyJSON
+	if code := get(t, srv.URL+"/admin/topology", "Bearer "+token, &topo); code != http.StatusOK {
+		t.Fatalf("topology = %d", code)
+	}
+	if len(topo.Nodes) != 6 || len(topo.Links) != 7 {
+		t.Fatalf("topology = %d nodes %d links", len(topo.Nodes), len(topo.Links))
+	}
+}
+
+// TestAdminUpdateChangesRouting closes the loop the paper describes: an
+// administrator inserts fresh link statistics and the next user request is
+// routed differently.
+func TestAdminUpdateChangesRouting(t *testing.T) {
+	_, srv := fixture(t)
+	// Initially (10am) the decision is U4 via Ioannina.
+	resp, body := postRequest(t, srv.URL, RequestJSON{Home: grnet.Patra, Title: "Zorba the Greek"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("request = %d", resp.StatusCode)
+	}
+	var before DecisionJSON
+	if err := json.Unmarshal(body, &before); err != nil {
+		t.Fatal(err)
+	}
+	if before.Server != grnet.Thessaloniki {
+		t.Fatalf("before = %+v", before)
+	}
+	// The administrator reports the Ioannina links saturated.
+	for _, pair := range [][2]topology.NodeID{
+		{grnet.Patra, grnet.Ioannina},
+		{grnet.Thessaloniki, grnet.Ioannina},
+		{grnet.Thessaloniki, grnet.Athens},
+	} {
+		id := topology.MakeLinkID(pair[0], pair[1])
+		req, _ := http.NewRequest(http.MethodPut,
+			srv.URL+"/admin/links/"+string(id)+"?usedMbps=18", nil)
+		req.Header.Set("Authorization", "Bearer "+token)
+		r, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("PUT %s = %d", id, r.StatusCode)
+		}
+	}
+	resp2, body2 := postRequest(t, srv.URL, RequestJSON{Home: grnet.Patra, Title: "Zorba the Greek"})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("request 2 = %d", resp2.StatusCode)
+	}
+	var after DecisionJSON
+	if err := json.Unmarshal(body2, &after); err != nil {
+		t.Fatal(err)
+	}
+	if after.Server != grnet.Xanthi {
+		t.Fatalf("after congestion = %+v, want Xanthi", after)
+	}
+}

@@ -1,0 +1,41 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// SaveTrace writes a request trace as NDJSON, one request per line, so
+// generated workloads can be archived and replayed exactly.
+func SaveTrace(w io.Writer, trace []Request) error {
+	enc := json.NewEncoder(w)
+	for i, r := range trace {
+		if err := enc.Encode(r); err != nil {
+			return fmt.Errorf("save trace: request %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// LoadTrace reads an NDJSON request trace, validating time ordering.
+func LoadTrace(r io.Reader) ([]Request, error) {
+	var out []Request
+	dec := json.NewDecoder(r)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, fmt.Errorf("load trace: %w", err)
+		}
+		if req.Client == "" || req.Title == "" || req.At.IsZero() {
+			return nil, fmt.Errorf("load trace: request %d incomplete: %+v", len(out), req)
+		}
+		if len(out) > 0 && req.At.Before(out[len(out)-1].At) {
+			return nil, fmt.Errorf("load trace: request %d out of order", len(out))
+		}
+		out = append(out, req)
+	}
+}

@@ -1,0 +1,66 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"dvod/internal/topology"
+)
+
+func TestTraceSaveLoadRoundTrip(t *testing.T) {
+	trace, err := GenerateTrace(TraceConfig{
+		Titles:     []string{"a", "b"},
+		Clients:    []topology.NodeID{"U1", "U2"},
+		Theta:      0.7,
+		RatePerSec: 2,
+		Start:      t0,
+		Duration:   30 * time.Second,
+		Seed:       5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveTrace(&buf, trace); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(trace) {
+		t.Fatalf("loaded %d of %d requests", len(got), len(trace))
+	}
+	for i := range trace {
+		if !got[i].At.Equal(trace[i].At) || got[i].Client != trace[i].Client || got[i].Title != trace[i].Title {
+			t.Fatalf("request %d: %+v vs %+v", i, got[i], trace[i])
+		}
+	}
+}
+
+func TestLoadTraceRejectsBadInput(t *testing.T) {
+	cases := []string{
+		`{bad`,
+		`{"At":"2000-04-10T08:00:00Z","Client":"","Title":"x"}`,
+		`{"At":"2000-04-10T08:00:00Z","Client":"U1","Title":""}`,
+		`{"At":"0001-01-01T00:00:00Z","Client":"U1","Title":"x"}`,
+	}
+	for _, c := range cases {
+		if _, err := LoadTrace(strings.NewReader(c)); err == nil {
+			t.Fatalf("accepted %s", c)
+		}
+	}
+	// Out-of-order.
+	ooo := `{"At":"2000-04-10T09:00:00Z","Client":"U1","Title":"x"}
+{"At":"2000-04-10T08:00:00Z","Client":"U1","Title":"x"}`
+	if _, err := LoadTrace(strings.NewReader(ooo)); err == nil {
+		t.Fatal("out-of-order trace accepted")
+	}
+	// Empty is fine.
+	got, err := LoadTrace(strings.NewReader(""))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty: %v %d", err, len(got))
+	}
+}

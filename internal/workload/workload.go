@@ -1,0 +1,217 @@
+// Package workload generates the synthetic demand the experiments run
+// against: Zipf-distributed title popularity (the classical VoD demand
+// model behind the paper's "most popular" caching concept), Poisson request
+// arrivals, and a diurnal background-traffic model that interpolates the
+// paper's Table 2 measurements across the day.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"dvod/internal/grnet"
+	"dvod/internal/topology"
+)
+
+// ZipfTitles samples title names with Zipf(theta) popularity: the i-th most
+// popular title (1-based rank) has probability proportional to 1/i^theta.
+// theta = 0 is uniform; the VoD literature commonly uses theta ≈ 0.729.
+type ZipfTitles struct {
+	titles []string
+	cdf    []float64
+	rng    *rand.Rand
+}
+
+// NewZipfTitles builds a sampler. Rank order follows the slice order: the
+// first title is the most popular.
+func NewZipfTitles(titles []string, theta float64, rng *rand.Rand) (*ZipfTitles, error) {
+	if len(titles) == 0 {
+		return nil, errors.New("zipf: no titles")
+	}
+	if theta < 0 || math.IsNaN(theta) || math.IsInf(theta, 0) {
+		return nil, fmt.Errorf("zipf: bad theta %g", theta)
+	}
+	if rng == nil {
+		return nil, errors.New("zipf: nil rng")
+	}
+	cdf := make([]float64, len(titles))
+	var sum float64
+	for i := range titles {
+		sum += 1 / math.Pow(float64(i+1), theta)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &ZipfTitles{
+		titles: append([]string(nil), titles...),
+		cdf:    cdf,
+		rng:    rng,
+	}, nil
+}
+
+// Sample draws one title name.
+func (z *ZipfTitles) Sample() string {
+	u := z.rng.Float64()
+	i := sort.SearchFloat64s(z.cdf, u)
+	if i >= len(z.titles) {
+		i = len(z.titles) - 1
+	}
+	return z.titles[i]
+}
+
+// Prob returns the sampling probability of the rank-i (0-based) title.
+func (z *ZipfTitles) Prob(i int) float64 {
+	if i < 0 || i >= len(z.cdf) {
+		return 0
+	}
+	if i == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[i] - z.cdf[i-1]
+}
+
+// Poisson generates exponential interarrival times for a Poisson process.
+type Poisson struct {
+	ratePerSec float64
+	rng        *rand.Rand
+}
+
+// NewPoisson builds an arrival process with the given mean rate (requests
+// per second).
+func NewPoisson(ratePerSec float64, rng *rand.Rand) (*Poisson, error) {
+	if ratePerSec <= 0 || math.IsNaN(ratePerSec) || math.IsInf(ratePerSec, 0) {
+		return nil, fmt.Errorf("poisson: bad rate %g", ratePerSec)
+	}
+	if rng == nil {
+		return nil, errors.New("poisson: nil rng")
+	}
+	return &Poisson{ratePerSec: ratePerSec, rng: rng}, nil
+}
+
+// Next draws the next interarrival gap.
+func (p *Poisson) Next() time.Duration {
+	sec := p.rng.ExpFloat64() / p.ratePerSec
+	d := time.Duration(sec * float64(time.Second))
+	if d <= 0 {
+		d = time.Nanosecond
+	}
+	return d
+}
+
+// Request is one client demand event in a generated trace.
+type Request struct {
+	At     time.Time
+	Client topology.NodeID
+	Title  string
+}
+
+// TraceConfig parameterizes GenerateTrace.
+type TraceConfig struct {
+	// Titles in popularity-rank order.
+	Titles []string
+	// Clients are the nodes requests originate from (uniformly).
+	Clients []topology.NodeID
+	// Theta is the Zipf skew.
+	Theta float64
+	// RatePerSec is the aggregate Poisson arrival rate.
+	RatePerSec float64
+	// Start and Duration bound the trace.
+	Start    time.Time
+	Duration time.Duration
+	// Seed makes the trace reproducible.
+	Seed int64
+}
+
+// GenerateTrace produces a time-ordered request trace.
+func GenerateTrace(cfg TraceConfig) ([]Request, error) {
+	if len(cfg.Clients) == 0 {
+		return nil, errors.New("trace: no clients")
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("trace: bad duration %v", cfg.Duration)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf, err := NewZipfTitles(cfg.Titles, cfg.Theta, rng)
+	if err != nil {
+		return nil, err
+	}
+	poisson, err := NewPoisson(cfg.RatePerSec, rng)
+	if err != nil {
+		return nil, err
+	}
+	var out []Request
+	end := cfg.Start.Add(cfg.Duration)
+	for at := cfg.Start.Add(poisson.Next()); at.Before(end); at = at.Add(poisson.Next()) {
+		out = append(out, Request{
+			At:     at,
+			Client: cfg.Clients[rng.Intn(len(cfg.Clients))],
+			Title:  zipf.Sample(),
+		})
+	}
+	return out, nil
+}
+
+// DiurnalModel interpolates per-link background traffic across the day from
+// the paper's four Table 2 sample points (8am, 10am, 4pm, 6pm). Between
+// samples traffic is linear; before 8am and after 6pm it is clamped to the
+// nearest sample (the paper gives no overnight data).
+type DiurnalModel struct {
+	byLink map[topology.LinkID][4]float64
+}
+
+// NewDiurnalModel builds the model from the Table 2 rows.
+func NewDiurnalModel(rows []grnet.LinkLoad) *DiurnalModel {
+	m := &DiurnalModel{byLink: make(map[topology.LinkID][4]float64, len(rows))}
+	for _, r := range rows {
+		m.byLink[topology.MakeLinkID(r.A, r.B)] = r.TrafficMbps
+	}
+	return m
+}
+
+// sampleHours are the Table 2 measurement hours in day-fraction form.
+var sampleHours = [4]float64{8, 10, 16, 18}
+
+// TrafficMbps returns the interpolated background traffic of the link at
+// the given hour-of-day (fractional hours allowed, e.g. 9.5 = 9:30am).
+func (m *DiurnalModel) TrafficMbps(id topology.LinkID, hourOfDay float64) (float64, error) {
+	samples, ok := m.byLink[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", topology.ErrLinkUnknown, id)
+	}
+	h := hourOfDay
+	if h <= sampleHours[0] {
+		return samples[0], nil
+	}
+	if h >= sampleHours[3] {
+		return samples[3], nil
+	}
+	for i := 1; i < 4; i++ {
+		if h <= sampleHours[i] {
+			t := (h - sampleHours[i-1]) / (sampleHours[i] - sampleHours[i-1])
+			return samples[i-1] + t*(samples[i]-samples[i-1]), nil
+		}
+	}
+	return samples[3], nil
+}
+
+// TrafficAt returns the interpolated background traffic at a wall-clock
+// instant, using the time's hour and minute.
+func (m *DiurnalModel) TrafficAt(id topology.LinkID, at time.Time) (float64, error) {
+	h := float64(at.Hour()) + float64(at.Minute())/60 + float64(at.Second())/3600
+	return m.TrafficMbps(id, h)
+}
+
+// Links returns the link IDs covered by the model, sorted.
+func (m *DiurnalModel) Links() []topology.LinkID {
+	out := make([]topology.LinkID, 0, len(m.byLink))
+	for id := range m.byLink {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,267 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"dvod/internal/grnet"
+	"dvod/internal/topology"
+)
+
+var t0 = time.Date(2000, time.April, 10, 8, 0, 0, 0, time.UTC)
+
+func TestNewZipfValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewZipfTitles(nil, 1, rng); err == nil {
+		t.Fatal("empty titles accepted")
+	}
+	if _, err := NewZipfTitles([]string{"a"}, -1, rng); err == nil {
+		t.Fatal("negative theta accepted")
+	}
+	if _, err := NewZipfTitles([]string{"a"}, math.NaN(), rng); err == nil {
+		t.Fatal("NaN theta accepted")
+	}
+	if _, err := NewZipfTitles([]string{"a"}, 1, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+}
+
+func TestZipfProbsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	z, err := NewZipfTitles([]string{"a", "b", "c", "d"}, 0.729, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for i := range 4 {
+		p := z.Prob(i)
+		if p <= 0 {
+			t.Fatalf("Prob(%d) = %g", i, p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("probabilities sum to %g", sum)
+	}
+	if z.Prob(-1) != 0 || z.Prob(4) != 0 {
+		t.Fatal("out-of-range Prob should be 0")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	titles := make([]string, 20)
+	for i := range titles {
+		titles[i] = string(rune('a' + i))
+	}
+	z, err := NewZipfTitles(titles, 1.0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const n = 20000
+	for range n {
+		counts[z.Sample()]++
+	}
+	// Rank 1 should be sampled far more than rank 20: expected ratio 20:1.
+	if counts["a"] < 5*counts[titles[19]] {
+		t.Fatalf("rank1=%d rank20=%d: insufficient skew", counts["a"], counts[titles[19]])
+	}
+	// Empirical top-rank frequency ≈ theoretical within 20%%.
+	want := z.Prob(0)
+	got := float64(counts["a"]) / n
+	if math.Abs(got-want)/want > 0.2 {
+		t.Fatalf("rank1 frequency %g, theoretical %g", got, want)
+	}
+}
+
+func TestZipfUniformWhenThetaZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	z, err := NewZipfTitles([]string{"a", "b"}, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(z.Prob(0)-0.5) > 1e-12 || math.Abs(z.Prob(1)-0.5) > 1e-12 {
+		t.Fatalf("theta=0 probs = %g/%g", z.Prob(0), z.Prob(1))
+	}
+}
+
+func TestPoissonValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, rate := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := NewPoisson(rate, rng); err == nil {
+			t.Fatalf("rate %g accepted", rate)
+		}
+	}
+	if _, err := NewPoisson(1, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+}
+
+func TestPoissonMeanRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	p, err := NewPoisson(10, rng) // mean gap 100ms
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total time.Duration
+	const n = 10000
+	for range n {
+		g := p.Next()
+		if g <= 0 {
+			t.Fatal("non-positive gap")
+		}
+		total += g
+	}
+	mean := total / n
+	if mean < 80*time.Millisecond || mean > 120*time.Millisecond {
+		t.Fatalf("mean gap = %v, want ≈100ms", mean)
+	}
+}
+
+func TestGenerateTrace(t *testing.T) {
+	cfg := TraceConfig{
+		Titles:     []string{"a", "b", "c"},
+		Clients:    []topology.NodeID{"U1", "U2"},
+		Theta:      0.7,
+		RatePerSec: 5,
+		Start:      t0,
+		Duration:   time.Minute,
+		Seed:       99,
+	}
+	trace, err := GenerateTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect ≈300 requests; allow wide tolerance.
+	if len(trace) < 200 || len(trace) > 400 {
+		t.Fatalf("trace length = %d, want ≈300", len(trace))
+	}
+	end := t0.Add(time.Minute)
+	for i, r := range trace {
+		if r.At.Before(t0) || !r.At.Before(end) {
+			t.Fatalf("request %d at %v outside window", i, r.At)
+		}
+		if i > 0 && r.At.Before(trace[i-1].At) {
+			t.Fatal("trace not time-ordered")
+		}
+		if r.Client != "U1" && r.Client != "U2" {
+			t.Fatalf("unknown client %s", r.Client)
+		}
+		if r.Title == "" {
+			t.Fatal("empty title")
+		}
+	}
+	// Determinism.
+	trace2, err := GenerateTrace(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace2) != len(trace) {
+		t.Fatal("trace not deterministic")
+	}
+	for i := range trace {
+		if trace[i] != trace2[i] {
+			t.Fatalf("trace diverges at %d", i)
+		}
+	}
+}
+
+func TestGenerateTraceValidation(t *testing.T) {
+	base := TraceConfig{
+		Titles: []string{"a"}, Clients: []topology.NodeID{"U1"},
+		RatePerSec: 1, Start: t0, Duration: time.Second,
+	}
+	noClients := base
+	noClients.Clients = nil
+	if _, err := GenerateTrace(noClients); err == nil {
+		t.Fatal("no clients accepted")
+	}
+	noDur := base
+	noDur.Duration = 0
+	if _, err := GenerateTrace(noDur); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+	noTitles := base
+	noTitles.Titles = nil
+	if _, err := GenerateTrace(noTitles); err == nil {
+		t.Fatal("no titles accepted")
+	}
+	badRate := base
+	badRate.RatePerSec = 0
+	if _, err := GenerateTrace(badRate); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+}
+
+func TestDiurnalModelEndpoints(t *testing.T) {
+	m := NewDiurnalModel(grnet.Table2())
+	pa := topology.MakeLinkID(grnet.Patra, grnet.Athens)
+	// Exactly at sample hours the model returns the Table 2 values.
+	cases := []struct {
+		hour float64
+		want float64
+	}{
+		{8, 0.200}, {10, 1.820}, {16, 1.820}, {18, 1.820},
+	}
+	for _, tc := range cases {
+		got, err := m.TrafficMbps(pa, tc.hour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tc.want) > 1e-9 {
+			t.Fatalf("traffic @%gh = %g, want %g", tc.hour, got, tc.want)
+		}
+	}
+	// Midpoint interpolation: 9am is halfway between 0.2 and 1.82.
+	got, err := m.TrafficMbps(pa, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1.01; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("traffic @9h = %g, want %g", got, want)
+	}
+	// Clamping outside the measured window.
+	before, err := m.TrafficMbps(pa, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := m.TrafficMbps(pa, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != 0.200 || after != 1.820 {
+		t.Fatalf("clamps = %g/%g", before, after)
+	}
+	if _, err := m.TrafficMbps("no--link", 10); err == nil {
+		t.Fatal("unknown link accepted")
+	}
+}
+
+func TestDiurnalTrafficAt(t *testing.T) {
+	m := NewDiurnalModel(grnet.Table2())
+	pa := topology.MakeLinkID(grnet.Patra, grnet.Athens)
+	at := time.Date(2000, time.April, 10, 9, 0, 0, 0, time.UTC)
+	got, err := m.TrafficAt(pa, at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1.01) > 1e-9 {
+		t.Fatalf("TrafficAt 9:00 = %g, want 1.01", got)
+	}
+}
+
+func TestDiurnalLinks(t *testing.T) {
+	m := NewDiurnalModel(grnet.Table2())
+	links := m.Links()
+	if len(links) != 7 {
+		t.Fatalf("Links = %d, want 7", len(links))
+	}
+	for i := 1; i < len(links); i++ {
+		if links[i-1] >= links[i] {
+			t.Fatal("Links not sorted")
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package dvod
+
+import "testing"
+
+func TestPlanPlacement(t *testing.T) {
+	util, err := GRNETUtilization("4pm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	demand := Demand{"U2": 5, "U6": 4, "U3": 2, "U5": 2, "U4": 1, "U1": 1}
+	sites, cost, err := PlanPlacement(GRNETTopology(), util, demand, 2)
+	if err != nil {
+		t.Fatalf("PlanPlacement: %v", err)
+	}
+	if len(sites) != 2 || sites[0] != "U2" || sites[1] != "U6" {
+		t.Fatalf("sites = %v, want [U2 U6]", sites)
+	}
+	if cost <= 0 || cost > 1 {
+		t.Fatalf("cost = %g", cost)
+	}
+	// k clamped to node count.
+	all, allCost, err := PlanPlacement(GRNETTopology(), util, demand, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 6 || allCost != 0 {
+		t.Fatalf("full placement = %v cost %g", all, allCost)
+	}
+	// Validation.
+	if _, _, err := PlanPlacement(TopologySpec{}, nil, demand, 1); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+	if _, _, err := PlanPlacement(GRNETTopology(), nil, demand, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, _, err := PlanPlacement(GRNETTopology(), nil, Demand{}, 1); err == nil {
+		t.Fatal("empty demand accepted")
+	}
+}
+
+// TestWithSelectorBaseline runs the whole service under the min-hop policy
+// instead of the VRA.
+func TestWithSelectorBaseline(t *testing.T) {
+	sel, err := SelectorByName("minhop", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := New(GRNETTopology(), WithDisks(2, 1<<20), WithSelector(sel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	seedTenAM(t, svc)
+	title := Title{Name: "hopcount", SizeBytes: 10_000, BitrateMbps: 1.5}
+	if err := svc.AddTitle(title); err != nil {
+		t.Fatal(err)
+	}
+	// Replicas at Thessaloniki (2 hops from Patra at 10am conditions via
+	// VRA) and Athens (1 hop). Min-hop must pick Athens regardless of the
+	// heavy Patra-Athens load the VRA would avoid.
+	for _, h := range []NodeID{"U4", "U1"} {
+		if err := svc.Preload(h, title.Name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dec, err := svc.Plan("U2", title.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Server != "U1" || dec.Path.Hops() != 1 {
+		t.Fatalf("minhop decision = %+v, want Athens at 1 hop", dec)
+	}
+}

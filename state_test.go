@@ -1,0 +1,102 @@
+package dvod
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestServiceStateRoundTrip: a restarted deployment resumes from a saved
+// snapshot — catalog, holdings, and link statistics intact — and routing
+// decisions match the pre-restart ones.
+func TestServiceStateRoundTrip(t *testing.T) {
+	first, err := New(GRNETTopology(), WithDisks(2, 1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	title := Title{Name: "persisted", SizeBytes: 50_000, BitrateMbps: 1.5}
+	if err := first.AddTitle(title); err != nil {
+		t.Fatal(err)
+	}
+	if err := first.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := first.Preload("U4", "persisted"); err != nil {
+		t.Fatal(err)
+	}
+	seedTenAM(t, first)
+	before, err := first.Plan("U2", "persisted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snapshot bytes.Buffer
+	if err := first.SaveState(&snapshot); err != nil {
+		t.Fatal(err)
+	}
+	if err := first.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	second, err := New(GRNETTopology(), WithDisks(2, 1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer second.Close()
+	if err := second.LoadState(&snapshot); err != nil {
+		t.Fatalf("LoadState: %v", err)
+	}
+	// Routing state survived: same decision without reseeding anything.
+	after, err := second.Plan("U2", "persisted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Server != before.Server || after.Path.String() != before.Path.String() {
+		t.Fatalf("decision changed across restart: %+v vs %+v", before, after)
+	}
+	holders, err := second.Holders("persisted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(holders) != 1 || holders[0] != "U4" {
+		t.Fatalf("holders = %v", holders)
+	}
+	u, err := second.LinkUtilization("U2", "U1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u == 0 {
+		t.Fatal("link statistics lost across restart")
+	}
+	// LoadState onto a populated service collides and reports it.
+	if err := second.LoadState(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty reader accepted")
+	}
+}
+
+// TestLoadStateRejectsDoubleLoad: loading a snapshot with titles twice
+// collides on the catalog (server re-registrations alone are idempotent).
+func TestLoadStateRejectsDoubleLoad(t *testing.T) {
+	svc, err := New(GRNETTopology(), WithDisks(1, 1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if err := svc.AddTitle(Title{Name: "dup", SizeBytes: 1, BitrateMbps: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var snapshot bytes.Buffer
+	if err := svc.SaveState(&snapshot); err != nil {
+		t.Fatal(err)
+	}
+	saved := snapshot.Bytes()
+	fresh, err := New(GRNETTopology(), WithDisks(1, 1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	if err := fresh.LoadState(bytes.NewReader(saved)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.LoadState(bytes.NewReader(saved)); err == nil {
+		t.Fatal("double load accepted")
+	}
+}

@@ -1,0 +1,76 @@
+package dvod
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// topologyFileJSON is the on-disk configuration format for custom
+// deployments:
+//
+//	{
+//	  "nodes": ["edge-1", "edge-2", "origin"],
+//	  "links": [
+//	    {"a": "edge-1", "b": "origin", "capacityMbps": 2},
+//	    {"a": "edge-2", "b": "origin", "capacityMbps": 18}
+//	  ]
+//	}
+type topologyFileJSON struct {
+	Nodes []NodeID `json:"nodes"`
+	Links []struct {
+		A            NodeID  `json:"a"`
+		B            NodeID  `json:"b"`
+		CapacityMbps float64 `json:"capacityMbps"`
+	} `json:"links"`
+}
+
+// ParseTopology reads a TopologySpec from JSON, validating structure and
+// connectivity.
+func ParseTopology(r io.Reader) (TopologySpec, error) {
+	var wire topologyFileJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&wire); err != nil {
+		return TopologySpec{}, fmt.Errorf("dvod: parse topology: %w", err)
+	}
+	spec := TopologySpec{Nodes: wire.Nodes}
+	for _, l := range wire.Links {
+		spec.Links = append(spec.Links, LinkSpec{A: l.A, B: l.B, CapacityMbps: l.CapacityMbps})
+	}
+	if _, err := buildGraph(spec); err != nil {
+		return TopologySpec{}, fmt.Errorf("dvod: topology file: %w", err)
+	}
+	return spec, nil
+}
+
+// LoadTopologyFile reads and validates a topology configuration file.
+func LoadTopologyFile(path string) (TopologySpec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return TopologySpec{}, fmt.Errorf("dvod: %w", err)
+	}
+	defer f.Close()
+	return ParseTopology(f)
+}
+
+// WriteTopology serializes a spec in the configuration format, sorted and
+// indented for human editing.
+func WriteTopology(w io.Writer, spec TopologySpec) error {
+	g, err := buildGraph(spec)
+	if err != nil {
+		return fmt.Errorf("dvod: write topology: %w", err)
+	}
+	wire := topologyFileJSON{Nodes: g.Nodes()}
+	for _, l := range g.Links() {
+		wire.Links = append(wire.Links, struct {
+			A            NodeID  `json:"a"`
+			B            NodeID  `json:"b"`
+			CapacityMbps float64 `json:"capacityMbps"`
+		}{A: l.A, B: l.B, CapacityMbps: l.CapacityMbps})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(wire)
+}

@@ -1,0 +1,87 @@
+package dvod
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseTopologyValid(t *testing.T) {
+	in := `{
+	  "nodes": ["edge-1", "edge-2", "origin"],
+	  "links": [
+	    {"a": "edge-1", "b": "origin", "capacityMbps": 2},
+	    {"a": "edge-2", "b": "origin", "capacityMbps": 18}
+	  ]
+	}`
+	spec, err := ParseTopology(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ParseTopology: %v", err)
+	}
+	if len(spec.Nodes) != 3 || len(spec.Links) != 2 {
+		t.Fatalf("spec = %+v", spec)
+	}
+	if _, err := New(spec); err != nil {
+		t.Fatalf("New(parsed spec): %v", err)
+	}
+}
+
+func TestParseTopologyRejectsBad(t *testing.T) {
+	cases := []string{
+		`{bad json`,
+		`{"nodes": ["a"], "links": [{"a":"a","b":"ghost","capacityMbps":2}]}`,
+		`{"nodes": ["a","b"], "links": [{"a":"a","b":"b","capacityMbps":-2}]}`,
+		`{"nodes": ["a","b"], "links": []}`, // disconnected
+		`{"nodes": ["a"], "unknown": true}`, // unknown field
+	}
+	for _, c := range cases {
+		if _, err := ParseTopology(strings.NewReader(c)); err == nil {
+			t.Fatalf("accepted %s", c)
+		}
+	}
+}
+
+func TestTopologyFileRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTopology(&buf, GRNETTopology()); err != nil {
+		t.Fatalf("WriteTopology: %v", err)
+	}
+	spec, err := ParseTopology(&buf)
+	if err != nil {
+		t.Fatalf("ParseTopology(round trip): %v", err)
+	}
+	if len(spec.Nodes) != 6 || len(spec.Links) != 7 {
+		t.Fatalf("round trip = %d nodes %d links", len(spec.Nodes), len(spec.Links))
+	}
+}
+
+func TestWriteTopologyRejectsInvalid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTopology(&buf, TopologySpec{}); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+}
+
+func TestLoadTopologyFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "topo.json")
+	var buf bytes.Buffer
+	if err := WriteTopology(&buf, GRNETTopology()); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := LoadTopologyFile(path)
+	if err != nil {
+		t.Fatalf("LoadTopologyFile: %v", err)
+	}
+	if len(spec.Links) != 7 {
+		t.Fatalf("spec = %+v", spec)
+	}
+	if _, err := LoadTopologyFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
