@@ -11,6 +11,7 @@
 //	Ext-9  -study blocking  admission control: blocking vs offered load
 //	Ext-10 -study placement initial replica placement quality (k-median)
 //	Ext-11 -study adaptation cache recovery speed after a popularity flip
+//	Ext-12 -study admission per-class admission vs best-effort (-class-mix)
 //	       -study all       everything (default)
 package main
 
@@ -31,15 +32,17 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed for workload generation")
 	duration := flag.Duration("duration", time.Hour, "simulated trace duration (routing study)")
 	rate := flag.Float64("rate", 0.02, "request arrivals per second (routing study)")
+	classMix := flag.String("class-mix", "premium:0.2,standard:0.5,background:0.3",
+		"class:weight list for the admission study")
 	csvDir := flag.String("csv", "", "also write each study's rows as CSV into this directory")
 	flag.Parse()
-	if err := run(os.Stdout, *study, *seed, *duration, *rate, *csvDir); err != nil {
+	if err := run(os.Stdout, *study, *seed, *duration, *rate, *classMix, *csvDir); err != nil {
 		fmt.Fprintln(os.Stderr, "vodbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, study string, seed int64, duration time.Duration, rate float64, csvDir string) error {
+func run(w io.Writer, study string, seed int64, duration time.Duration, rate float64, classMix, csvDir string) error {
 	writeCSV := func(name string, rows any) error {
 		if csvDir == "" {
 			return nil
@@ -200,6 +203,25 @@ func run(w io.Writer, study string, seed int64, duration time.Duration, rate flo
 		fmt.Fprintln(w, "Ext-11. Cache adaptation after a popularity flip (windowed hit ratio)")
 		fmt.Fprintln(w, experiments.FormatAdaptationStudy(rows))
 		if err := writeCSV("adaptation", rows); err != nil {
+			return err
+		}
+	}
+	if study == "admission" || study == "all" {
+		known = true
+		mix, err := experiments.ParseClassMix(classMix)
+		if err != nil {
+			return err
+		}
+		cfg := experiments.DefaultAdmissionStudyConfig()
+		cfg.Seed = seed
+		cfg.Mix = mix
+		cells, err := experiments.AdmissionStudy(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "Ext-12. Per-class admission vs best-effort (mix "+classMix+")")
+		fmt.Fprintln(w, experiments.FormatAdmissionStudy(cells))
+		if err := writeCSV("admission", cells); err != nil {
 			return err
 		}
 	}

@@ -16,10 +16,11 @@ func TestRunSingleStudies(t *testing.T) {
 		{"striping", "Ext-4"},
 		{"k", "Ext-5"},
 		{"cluster", "Ext-3"},
+		{"admission", "Ext-12"},
 	}
 	for _, tc := range cases {
 		var b strings.Builder
-		if err := run(&b, tc.study, 1, time.Minute, 0.01, ""); err != nil {
+		if err := run(&b, tc.study, 1, time.Minute, 0.01, "premium:1", ""); err != nil {
 			t.Fatalf("run(%s): %v", tc.study, err)
 		}
 		if !strings.Contains(b.String(), tc.want) {
@@ -30,7 +31,7 @@ func TestRunSingleStudies(t *testing.T) {
 
 func TestRunRoutingStudyShortTrace(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "routing", 1, 15*time.Minute, 0.01, ""); err != nil {
+	if err := run(&b, "routing", 1, 15*time.Minute, 0.01, "premium:1", ""); err != nil {
 		t.Fatalf("run(routing): %v", err)
 	}
 	out := b.String()
@@ -41,7 +42,7 @@ func TestRunRoutingStudyShortTrace(t *testing.T) {
 
 func TestRunUnknownStudy(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "bogus", 1, time.Minute, 1, ""); err == nil {
+	if err := run(&b, "bogus", 1, time.Minute, 1, "premium:1", ""); err == nil {
 		t.Fatal("unknown study accepted")
 	}
 }
@@ -53,12 +54,12 @@ func TestRunAllStudies(t *testing.T) {
 	}
 	dir := t.TempDir()
 	var b strings.Builder
-	if err := run(&b, "all", 1, 15*time.Minute, 0.01, dir); err != nil {
+	if err := run(&b, "all", 1, 15*time.Minute, 0.01, "premium:0.2,standard:0.5,background:0.3", dir); err != nil {
 		t.Fatalf("run(all): %v", err)
 	}
 	// The CSV exports landed.
 	for _, name := range []string{"routing", "cache", "cluster", "striping",
-		"granularity", "scale", "parallel", "blocking", "placement", "adaptation"} {
+		"granularity", "scale", "parallel", "blocking", "placement", "adaptation", "admission"} {
 		data, err := os.ReadFile(filepath.Join(dir, name+".csv"))
 		if err != nil {
 			t.Errorf("csv %s: %v", name, err)
@@ -70,7 +71,7 @@ func TestRunAllStudies(t *testing.T) {
 	}
 	out := b.String()
 	for _, want := range []string{
-		"Ext-1", "Ext-2", "Ext-3", "Ext-4", "Ext-5", "Ext-6", "Ext-7", "Ext-8", "Ext-9", "Ext-10", "Ext-11",
+		"Ext-1", "Ext-2", "Ext-3", "Ext-4", "Ext-5", "Ext-6", "Ext-7", "Ext-8", "Ext-9", "Ext-10", "Ext-11", "Ext-12",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("missing %s", want)

@@ -1,0 +1,352 @@
+package admission
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"dvod/internal/clock"
+	"dvod/internal/metrics"
+	"dvod/internal/topology"
+)
+
+var t0 = time.Date(2000, time.April, 10, 8, 0, 0, 0, time.UTC)
+
+func newBroker(t *testing.T, cfg Config) *Broker {
+	t.Helper()
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestParseClass(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Class
+		ok   bool
+	}{
+		{"", Standard, true},
+		{"premium", Premium, true},
+		{"standard", Standard, true},
+		{"background", Background, true},
+		{"gold", "", false},
+	}
+	for _, c := range cases {
+		got, err := ParseClass(c.in)
+		if (err == nil) != c.ok || got != c.want {
+			t.Fatalf("ParseClass(%q) = %q, %v", c.in, got, err)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+	if _, err := New(Config{CapacityMbps: 10, MaxSessions: -1}); err == nil {
+		t.Fatal("negative session cap accepted")
+	}
+	bad := map[Class]Policy{Premium: {MaxShare: 1.5}}
+	if _, err := New(Config{CapacityMbps: 10, Classes: bad}); err == nil {
+		t.Fatal("MaxShare > 1 accepted")
+	}
+	bad2 := map[Class]Policy{Premium: {MaxShare: 0.5, DegradeSteps: []float64{1.25}}}
+	if _, err := New(Config{CapacityMbps: 10, Classes: bad2}); err == nil {
+		t.Fatal("degrade step > 1 accepted")
+	}
+}
+
+func TestAdmitReleaseAccounting(t *testing.T) {
+	b := newBroker(t, Config{CapacityMbps: 10})
+	la := topology.MakeLinkID("A", "B")
+	g, err := b.Admit(Request{Class: Premium, Title: "t", BitrateMbps: 4, Links: []topology.LinkID{la}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Degraded || g.BitrateMbps != 4 {
+		t.Fatalf("grant = %+v", g)
+	}
+	if got := b.CommittedMbps(); got != 4 {
+		t.Fatalf("committed = %g", got)
+	}
+	if got := b.LinkCommittedMbps(la); got != 4 {
+		t.Fatalf("link committed = %g", got)
+	}
+	if b.Sessions() != 1 {
+		t.Fatalf("sessions = %d", b.Sessions())
+	}
+	b.Release(g)
+	b.Release(g) // idempotent
+	if b.CommittedMbps() != 0 || b.Sessions() != 0 || b.LinkCommittedMbps(la) != 0 {
+		t.Fatalf("release did not zero state: %g %d", b.CommittedMbps(), b.Sessions())
+	}
+	counts := b.Counts()
+	if counts[Premium].Admitted != 1 {
+		t.Fatalf("counts = %+v", counts)
+	}
+}
+
+func TestTrunkReservationProtectsPremium(t *testing.T) {
+	// Background may only push the node to 50%; premium may fill it.
+	b := newBroker(t, Config{CapacityMbps: 10})
+	g1, err := b.Admit(Request{Class: Background, BitrateMbps: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.Degraded {
+		t.Fatal("first background degraded with idle node")
+	}
+	// 4 + 4 > 5, and every degrade step still exceeds the 50% share.
+	_, err = b.Admit(Request{Class: Background, BitrateMbps: 4})
+	var rej *RejectedError
+	if !errors.As(err, &rej) || rej.Reason != ReasonCapacity {
+		t.Fatalf("second background: %v", err)
+	}
+	if !errors.Is(err, ErrRejected) {
+		t.Fatal("rejection does not wrap ErrRejected")
+	}
+	// Premium still has the other half of the node.
+	g2, err := b.Admit(Request{Class: Premium, BitrateMbps: 4})
+	if err != nil {
+		t.Fatalf("premium after background cap: %v", err)
+	}
+	if g2.Degraded {
+		t.Fatal("premium degraded")
+	}
+	counts := b.Counts()
+	if counts[Background].Rejected != 1 || counts[Background].Admitted != 1 || counts[Premium].Admitted != 1 {
+		t.Fatalf("counts = %+v", counts)
+	}
+}
+
+func TestDegradationLadder(t *testing.T) {
+	// Background share = 5 Mbps. 3 committed; a 4 Mbps request fits only
+	// at the 0.5 step (2 Mbps).
+	b := newBroker(t, Config{CapacityMbps: 10})
+	if _, err := b.Admit(Request{Class: Background, BitrateMbps: 3}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Admit(Request{Class: Background, BitrateMbps: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Degraded || g.BitrateMbps != 2 {
+		t.Fatalf("grant = %+v", g)
+	}
+	counts := b.Counts()
+	if counts[Background].Degraded != 1 || counts[Background].Admitted != 2 {
+		t.Fatalf("counts = %+v", counts)
+	}
+}
+
+func TestSessionCap(t *testing.T) {
+	b := newBroker(t, Config{CapacityMbps: 100, MaxSessions: 2})
+	g1, _ := b.Admit(Request{Class: Premium, BitrateMbps: 1})
+	if _, err := b.Admit(Request{Class: Premium, BitrateMbps: 1}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := b.Admit(Request{Class: Premium, BitrateMbps: 1})
+	var rej *RejectedError
+	if !errors.As(err, &rej) || rej.Reason != ReasonSessions {
+		t.Fatalf("over cap: %v", err)
+	}
+	b.Release(g1)
+	if _, err := b.Admit(Request{Class: Premium, BitrateMbps: 1}); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+}
+
+func TestTokenBucketRateLimit(t *testing.T) {
+	vc := clock.NewVirtual(t0)
+	b := newBroker(t, Config{CapacityMbps: 100, SessionsPerSec: 1, SessionBurst: 2, Clock: vc})
+	for i := 0; i < 2; i++ {
+		if _, err := b.Admit(Request{Class: Premium, BitrateMbps: 1}); err != nil {
+			t.Fatalf("burst admit %d: %v", i, err)
+		}
+	}
+	_, err := b.Admit(Request{Class: Premium, BitrateMbps: 1})
+	var rej *RejectedError
+	if !errors.As(err, &rej) || rej.Reason != ReasonRate {
+		t.Fatalf("bucket empty: %v", err)
+	}
+	vc.Advance(time.Second)
+	if _, err := b.Admit(Request{Class: Premium, BitrateMbps: 1}); err != nil {
+		t.Fatalf("after refill: %v", err)
+	}
+}
+
+func TestAdmitWaitQueuesUntilRelease(t *testing.T) {
+	b := newBroker(t, Config{CapacityMbps: 10, Classes: map[Class]Policy{
+		Premium: {MaxShare: 1, QueueWindow: 5 * time.Second},
+	}})
+	g1, err := b.Admit(Request{Class: Premium, BitrateMbps: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		g, err := b.AdmitWait(Request{Class: Premium, BitrateMbps: 8})
+		if err == nil {
+			b.Release(g)
+		}
+		done <- err
+	}()
+	// The waiter must be queued, not rejected, while g1 holds the node.
+	select {
+	case err := <-done:
+		t.Fatalf("AdmitWait returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	b.Release(g1)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("queued admit failed after release: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued admit never woke up")
+	}
+	if got := b.Counts()[Premium].Queued; got != 1 {
+		t.Fatalf("queued count = %d", got)
+	}
+}
+
+func TestAdmitWaitDeadline(t *testing.T) {
+	b := newBroker(t, Config{CapacityMbps: 10, Classes: map[Class]Policy{
+		Premium: {MaxShare: 1, QueueWindow: 30 * time.Millisecond},
+	}})
+	g1, err := b.Admit(Request{Class: Premium, BitrateMbps: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Release(g1)
+	start := time.Now()
+	_, err = b.AdmitWait(Request{Class: Premium, BitrateMbps: 8})
+	var rej *RejectedError
+	if !errors.As(err, &rej) || rej.Reason != ReasonCapacity {
+		t.Fatalf("deadline rejection: %v", err)
+	}
+	if time.Since(start) < 25*time.Millisecond {
+		t.Fatal("deadline fired too early")
+	}
+	// Zero queue window rejects immediately.
+	b2 := newBroker(t, Config{CapacityMbps: 10, Classes: map[Class]Policy{
+		Premium: {MaxShare: 1},
+	}})
+	g, err := b2.Admit(Request{Class: Premium, BitrateMbps: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Release(g)
+	if _, err := b2.AdmitWait(Request{Class: Premium, BitrateMbps: 9}); err == nil {
+		t.Fatal("zero-window AdmitWait admitted over capacity")
+	}
+}
+
+func TestLinkResidualCheck(t *testing.T) {
+	g := topology.NewGraph()
+	for _, n := range []topology.NodeID{"A", "B", "C"} {
+		if err := g.AddNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ab, err := g.AddLink("A", "B", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := g.AddLink("B", "C", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := topology.NewSnapshot(g, map[topology.LinkID]float64{ab: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := newBroker(t, Config{
+		CapacityMbps: 100,
+		Snapshot:     func() (*topology.Snapshot, error) { return snap, nil },
+	})
+	// Route A-B-C bottlenecked by the 2 Mbps B-C link: a premium 3 Mbps
+	// session cannot fit and premium never degrades.
+	_, err = b.Admit(Request{Class: Premium, BitrateMbps: 3, Links: []topology.LinkID{ab, bc}})
+	var rej *RejectedError
+	if !errors.As(err, &rej) || rej.Reason != ReasonLink {
+		t.Fatalf("bottlenecked premium: %v", err)
+	}
+	// Background degrades to 1.5 Mbps and fits under the bottleneck.
+	gr, err := b.Admit(Request{Class: Background, BitrateMbps: 3, Links: []topology.LinkID{ab, bc}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gr.Degraded || gr.BitrateMbps != 1.5 {
+		t.Fatalf("grant = %+v", gr)
+	}
+	// The reservation itself now blocks an equal follow-up.
+	if _, err := b.Admit(Request{Class: Background, BitrateMbps: 3, Links: []topology.LinkID{ab, bc}}); err == nil {
+		t.Fatal("second background fit into a full bottleneck")
+	}
+}
+
+func TestUnknownClassRejected(t *testing.T) {
+	b := newBroker(t, Config{CapacityMbps: 10})
+	_, err := b.Admit(Request{Class: "gold", BitrateMbps: 1})
+	var rej *RejectedError
+	if !errors.As(err, &rej) || rej.Reason != ReasonClass {
+		t.Fatalf("unknown class: %v", err)
+	}
+}
+
+func TestMetricsPublished(t *testing.T) {
+	reg := metrics.NewRegistry()
+	b := newBroker(t, Config{CapacityMbps: 10, Metrics: reg})
+	g, err := b.Admit(Request{Class: Premium, BitrateMbps: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["admission.admitted.premium"] != 1 {
+		t.Fatalf("counters = %v", snap.Counters)
+	}
+	if snap.Gauges["admission.committed_mbps"] != 4 {
+		t.Fatalf("gauges = %v", snap.Gauges)
+	}
+	b.Release(g)
+	if v := reg.Snapshot().Gauges["admission.committed_mbps"]; v != 0 {
+		t.Fatalf("committed gauge after release = %g", v)
+	}
+}
+
+func TestConcurrentAdmitRelease(t *testing.T) {
+	b := newBroker(t, Config{CapacityMbps: 1000, MaxSessions: 1000})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				g, err := b.Admit(Request{Class: Standard, BitrateMbps: 1})
+				if err == nil {
+					b.Release(g)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if b.CommittedMbps() != 0 || b.Sessions() != 0 {
+		t.Fatalf("leaked state: %g Mbps, %d sessions", b.CommittedMbps(), b.Sessions())
+	}
+}
+
+func TestSortedClassesDeterministic(t *testing.T) {
+	ps := DefaultPolicies()
+	got := sortedClasses(ps)
+	want := []Class{Premium, Standard, Background}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sortedClasses = %v", got)
+		}
+	}
+}

@@ -1,0 +1,472 @@
+package admission
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"dvod/internal/clock"
+	"dvod/internal/metrics"
+	"dvod/internal/topology"
+)
+
+// Reason labels why a request was refused.
+type Reason string
+
+// Rejection reasons.
+const (
+	// ReasonSessions: the concurrent-session cap is reached.
+	ReasonSessions Reason = "sessions"
+	// ReasonRate: the session-setup token bucket is empty.
+	ReasonRate Reason = "rate"
+	// ReasonCapacity: the node cannot commit the bitrate within the
+	// class's share, even after every allowed degradation step.
+	ReasonCapacity Reason = "capacity"
+	// ReasonLink: a link on the session's route lacks residual headroom.
+	ReasonLink Reason = "link"
+	// ReasonClass: the request names an unconfigured class.
+	ReasonClass Reason = "class"
+)
+
+// ErrRejected is the sentinel all admission rejections wrap.
+var ErrRejected = errors.New("admission rejected")
+
+// RejectedError reports one refused request with enough detail for a typed
+// wire response.
+type RejectedError struct {
+	Class      Class
+	Reason     Reason
+	NeededMbps float64
+	// FreeMbps is the bandwidth that was available to the class when the
+	// request was refused (meaningful for capacity/link rejections).
+	FreeMbps float64
+}
+
+// Error implements error.
+func (e *RejectedError) Error() string {
+	switch e.Reason {
+	case ReasonCapacity, ReasonLink:
+		return fmt.Sprintf("admission rejected (%s, class %s): need %.3f Mbps, %.3f free",
+			e.Reason, e.Class, e.NeededMbps, e.FreeMbps)
+	default:
+		return fmt.Sprintf("admission rejected (%s, class %s)", e.Reason, e.Class)
+	}
+}
+
+// Unwrap lets errors.Is match ErrRejected.
+func (e *RejectedError) Unwrap() error { return ErrRejected }
+
+// Request asks the broker to admit one session.
+type Request struct {
+	// Class is the user class; zero value means Standard.
+	Class Class
+	// Title names the requested video (reporting only).
+	Title string
+	// BitrateMbps is the title's full playback rate.
+	BitrateMbps float64
+	// Links are the emulated links the session's route will traverse
+	// (empty for local service). The broker reserves the granted bitrate
+	// on each.
+	Links []topology.LinkID
+}
+
+// Grant is one admitted session's reservation. Callers must Release it when
+// the session ends.
+type Grant struct {
+	id    int64
+	Class Class
+	Title string
+	// BitrateMbps is the admitted rate — below the requested rate when
+	// Degraded.
+	BitrateMbps float64
+	Degraded    bool
+	links       []topology.LinkID
+	released    bool
+}
+
+// Config assembles a Broker.
+type Config struct {
+	// Node names the server this broker protects (reporting only).
+	Node topology.NodeID
+	// CapacityMbps is the node's deliverable bandwidth; committed session
+	// bitrates may never exceed it.
+	CapacityMbps float64
+	// MaxSessions caps concurrent admitted sessions; zero defaults to 64.
+	MaxSessions int
+	// SessionsPerSec rate-limits session setup through a token bucket;
+	// zero disables the bucket. SessionBurst defaults to max(1, rate).
+	SessionsPerSec float64
+	SessionBurst   int
+	// Classes maps each served class to its policy; nil uses
+	// DefaultPolicies().
+	Classes map[Class]Policy
+	// Snapshot optionally supplies the live network view used to check
+	// residual headroom on the request's links (the SNMP-fed view the VRA
+	// also reads). Nil skips link checks.
+	Snapshot func() (*topology.Snapshot, error)
+	// Clock drives the token bucket and queue deadlines; nil is wall time.
+	Clock clock.Clock
+	// Metrics receives per-class admitted/degraded/queued/rejected
+	// counters and committed-bandwidth gauges; nil allocates a private
+	// registry.
+	Metrics *metrics.Registry
+}
+
+// ClassCounts is one class's admission tally.
+type ClassCounts struct {
+	Admitted int64 `json:"admitted"`
+	Degraded int64 `json:"degraded"`
+	Queued   int64 `json:"queued"`
+	Rejected int64 `json:"rejected"`
+}
+
+// Broker is a per-server bandwidth broker. All methods are safe for
+// concurrent use.
+type Broker struct {
+	cfg Config
+
+	mu        sync.Mutex
+	committed float64 // Mbps committed across all sessions
+	sessions  int
+	perLink   map[topology.LinkID]float64
+	bucket    *tokenBucket
+	counts    map[Class]*ClassCounts
+	nextID    int64
+	// changed is closed and replaced whenever capacity may have freed, so
+	// queued AdmitWait calls re-check.
+	changed chan struct{}
+}
+
+// New validates the configuration and builds a broker.
+func New(cfg Config) (*Broker, error) {
+	if cfg.CapacityMbps <= 0 {
+		return nil, fmt.Errorf("admission: non-positive capacity %g", cfg.CapacityMbps)
+	}
+	if cfg.MaxSessions < 0 {
+		return nil, fmt.Errorf("admission: negative session cap %d", cfg.MaxSessions)
+	}
+	if cfg.MaxSessions == 0 {
+		cfg.MaxSessions = 64
+	}
+	if cfg.Classes == nil {
+		cfg.Classes = DefaultPolicies()
+	}
+	if err := validatePolicies(cfg.Classes); err != nil {
+		return nil, err
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Wall{}
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	b := &Broker{
+		cfg:     cfg,
+		perLink: make(map[topology.LinkID]float64),
+		bucket:  newTokenBucket(cfg.SessionsPerSec, cfg.SessionBurst, cfg.Clock.Now()),
+		counts:  make(map[Class]*ClassCounts, len(cfg.Classes)),
+		changed: make(chan struct{}),
+	}
+	for c := range cfg.Classes {
+		b.counts[c] = &ClassCounts{}
+	}
+	return b, nil
+}
+
+// Node returns the protected node.
+func (b *Broker) Node() topology.NodeID { return b.cfg.Node }
+
+// CapacityMbps returns the configured node capacity.
+func (b *Broker) CapacityMbps() float64 { return b.cfg.CapacityMbps }
+
+// MaxSessions returns the concurrent-session cap.
+func (b *Broker) MaxSessions() int { return b.cfg.MaxSessions }
+
+// CommittedMbps returns the bandwidth currently committed to sessions.
+func (b *Broker) CommittedMbps() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.committed
+}
+
+// Sessions returns the number of admitted, unreleased sessions.
+func (b *Broker) Sessions() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sessions
+}
+
+// LinkCommittedMbps returns the bandwidth committed on one emulated link.
+// It has the signature core.Planner's committed-bandwidth hook expects.
+func (b *Broker) LinkCommittedMbps(id topology.LinkID) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.perLink[id]
+}
+
+// Counts returns a copy of the per-class admission tallies.
+func (b *Broker) Counts() map[Class]ClassCounts {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[Class]ClassCounts, len(b.counts))
+	for c, v := range b.counts {
+		out[c] = *v
+	}
+	return out
+}
+
+// Admit decides one request immediately: a Grant (possibly degraded) or a
+// *RejectedError wrapping ErrRejected. It never queues.
+func (b *Broker) Admit(req Request) (*Grant, error) {
+	g, err := b.tryAdmit(req, true)
+	if err != nil {
+		b.account(req.Class, err, false)
+		return nil, err
+	}
+	b.account(g.Class, nil, false)
+	if g.Degraded {
+		b.recordDegraded(g.Class)
+	}
+	return g, nil
+}
+
+// AdmitWait decides one request, waiting up to the class's QueueWindow for
+// freed capacity or a rate token when the first attempt fails for a
+// recoverable reason (sessions, rate, capacity). Link rejections do not
+// queue: the route itself lacks headroom and a different replica should be
+// tried instead.
+func (b *Broker) AdmitWait(req Request) (*Grant, error) {
+	class, _, err := b.policyFor(req.Class)
+	if err != nil {
+		b.account(class, err, false)
+		return nil, err
+	}
+	req.Class = class
+	pol := b.cfg.Classes[class]
+	g, err := b.tryAdmit(req, true)
+	if err == nil {
+		b.account(class, nil, false)
+		if g.Degraded {
+			b.recordDegraded(class)
+		}
+		return g, nil
+	}
+	var rej *RejectedError
+	if !errors.As(err, &rej) || rej.Reason == ReasonLink || rej.Reason == ReasonClass || pol.QueueWindow <= 0 {
+		b.account(class, err, false)
+		return nil, err
+	}
+	// Rate and sessions rejections happen before (or at) the bucket, so no
+	// token was consumed and retries must still take one; capacity
+	// rejections already spent this request's token.
+	needToken := rej.Reason == ReasonRate || rej.Reason == ReasonSessions
+	deadline := b.cfg.Clock.Now().Add(pol.QueueWindow)
+	for {
+		b.mu.Lock()
+		wait := b.changed
+		tokenIn := b.bucket.nextToken(b.cfg.Clock.Now())
+		b.mu.Unlock()
+		remaining := deadline.Sub(b.cfg.Clock.Now())
+		if remaining <= 0 {
+			b.account(class, err, true)
+			return nil, err
+		}
+		pause := remaining
+		if needToken && tokenIn > 0 && tokenIn < pause {
+			pause = tokenIn
+		}
+		select {
+		case <-wait:
+		case <-b.cfg.Clock.After(pause):
+		}
+		g, err = b.tryAdmit(req, needToken)
+		if err == nil {
+			b.account(class, nil, true)
+			if g.Degraded {
+				b.recordDegraded(class)
+			}
+			return g, nil
+		}
+		if !errors.As(err, &rej) || rej.Reason == ReasonLink {
+			b.account(class, err, true)
+			return nil, err
+		}
+		if needToken && rej.Reason != ReasonRate && rej.Reason != ReasonSessions {
+			needToken = false
+		}
+	}
+}
+
+// Release returns a grant's bandwidth and session slot. It is idempotent.
+func (b *Broker) Release(g *Grant) {
+	if g == nil {
+		return
+	}
+	b.mu.Lock()
+	if g.released {
+		b.mu.Unlock()
+		return
+	}
+	g.released = true
+	b.sessions--
+	b.committed -= g.BitrateMbps
+	if b.committed < 1e-9 {
+		b.committed = 0
+	}
+	for _, id := range g.links {
+		b.perLink[id] -= g.BitrateMbps
+		if b.perLink[id] < 1e-9 {
+			delete(b.perLink, id)
+		}
+	}
+	close(b.changed)
+	b.changed = make(chan struct{})
+	b.publishGauges()
+	b.mu.Unlock()
+}
+
+// policyFor resolves the (possibly empty) wire class to a configured policy.
+func (b *Broker) policyFor(c Class) (Class, Policy, error) {
+	if c == "" {
+		c = Standard
+	}
+	pol, ok := b.cfg.Classes[c]
+	if !ok {
+		return c, Policy{}, &RejectedError{Class: c, Reason: ReasonClass}
+	}
+	return c, pol, nil
+}
+
+// tryAdmit is one non-blocking admission attempt. takeToken is false when a
+// queued retry has already consumed its token.
+func (b *Broker) tryAdmit(req Request, takeToken bool) (*Grant, error) {
+	class, pol, err := b.policyFor(req.Class)
+	if err != nil {
+		return nil, err
+	}
+	if req.BitrateMbps <= 0 {
+		return nil, fmt.Errorf("admission: non-positive bitrate %g", req.BitrateMbps)
+	}
+	// Read the SNMP view outside the lock; it is immutable once built.
+	var snap *topology.Snapshot
+	if b.cfg.Snapshot != nil && len(req.Links) > 0 {
+		if snap, err = b.cfg.Snapshot(); err != nil {
+			return nil, fmt.Errorf("admission snapshot: %w", err)
+		}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.sessions >= b.cfg.MaxSessions {
+		return nil, &RejectedError{Class: class, Reason: ReasonSessions, NeededMbps: req.BitrateMbps}
+	}
+	if takeToken && !b.bucket.take(b.cfg.Clock.Now()) {
+		return nil, &RejectedError{Class: class, Reason: ReasonRate, NeededMbps: req.BitrateMbps}
+	}
+	classCap := pol.MaxShare * b.cfg.CapacityMbps
+	factors := append([]float64{1}, pol.DegradeSteps...)
+	reason := ReasonCapacity
+	free := classCap - b.committed
+	for _, f := range factors {
+		rate := req.BitrateMbps * f
+		if b.committed+rate > classCap {
+			continue
+		}
+		if snap != nil {
+			if ok, linkFree := b.linksCarry(snap, req.Links, rate); !ok {
+				reason = ReasonLink
+				if linkFree < free {
+					free = linkFree
+				}
+				continue
+			}
+		}
+		g := &Grant{
+			id:          b.nextID,
+			Class:       class,
+			Title:       req.Title,
+			BitrateMbps: rate,
+			Degraded:    f < 1,
+			links:       append([]topology.LinkID(nil), req.Links...),
+		}
+		b.nextID++
+		b.sessions++
+		b.committed += rate
+		for _, id := range g.links {
+			b.perLink[id] += rate
+		}
+		b.publishGauges()
+		return g, nil
+	}
+	if free < 0 {
+		free = 0
+	}
+	return nil, &RejectedError{Class: class, Reason: reason, NeededMbps: req.BitrateMbps, FreeMbps: free}
+}
+
+// linksCarry reports whether every link on the route has residual headroom
+// (capacity − SNMP-observed use − broker-committed bandwidth) for the rate.
+// Observed use may already include committed sessions' traffic, so the check
+// is conservative under load — the safe direction for admission.
+func (b *Broker) linksCarry(snap *topology.Snapshot, links []topology.LinkID, rate float64) (bool, float64) {
+	minFree := 0.0
+	first := true
+	for _, id := range links {
+		l, err := snap.Graph().LinkByID(id)
+		if err != nil {
+			return false, 0
+		}
+		freeMbps := l.CapacityMbps*(1-snap.Utilization(id)) - b.perLink[id]
+		if freeMbps < 0 {
+			freeMbps = 0
+		}
+		if first || freeMbps < minFree {
+			minFree = freeMbps
+			first = false
+		}
+	}
+	return minFree >= rate, minFree
+}
+
+// account updates counters after a final admission outcome.
+func (b *Broker) account(class Class, err error, waited bool) {
+	if class == "" {
+		class = Standard
+	}
+	b.mu.Lock()
+	cc := b.counts[class]
+	if cc == nil {
+		cc = &ClassCounts{}
+		b.counts[class] = cc
+	}
+	if waited {
+		cc.Queued++
+		b.cfg.Metrics.Counter("admission.queued." + string(class)).Inc()
+	}
+	switch {
+	case err == nil:
+		cc.Admitted++
+		b.cfg.Metrics.Counter("admission.admitted." + string(class)).Inc()
+	default:
+		cc.Rejected++
+		b.cfg.Metrics.Counter("admission.rejected." + string(class)).Inc()
+	}
+	b.mu.Unlock()
+}
+
+// recordDegraded bumps the degraded tally for grants handed out below the
+// requested rate. tryAdmit cannot do it itself (account runs later), so the
+// admit paths call this after a degraded grant.
+func (b *Broker) recordDegraded(class Class) {
+	b.mu.Lock()
+	if cc := b.counts[class]; cc != nil {
+		cc.Degraded++
+	}
+	b.mu.Unlock()
+	b.cfg.Metrics.Counter("admission.degraded." + string(class)).Inc()
+}
+
+// publishGauges refreshes the committed/session gauges; callers hold b.mu.
+func (b *Broker) publishGauges() {
+	b.cfg.Metrics.Gauge("admission.committed_mbps").Set(b.committed)
+	b.cfg.Metrics.Gauge("admission.sessions").Set(float64(b.sessions))
+}

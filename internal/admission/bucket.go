@@ -1,0 +1,60 @@
+package admission
+
+import "time"
+
+// tokenBucket is a clock-driven token bucket limiting session setup rate.
+// Callers must hold the broker lock.
+type tokenBucket struct {
+	rate   float64 // tokens per second; <= 0 disables the bucket
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(ratePerSec float64, burst int, now time.Time) *tokenBucket {
+	b := float64(burst)
+	if b < 1 {
+		b = 1
+	}
+	return &tokenBucket{rate: ratePerSec, burst: b, tokens: b, last: now}
+}
+
+// refill credits tokens for the time elapsed since the last call.
+func (t *tokenBucket) refill(now time.Time) {
+	if t.rate <= 0 {
+		return
+	}
+	if dt := now.Sub(t.last).Seconds(); dt > 0 {
+		t.tokens += dt * t.rate
+		if t.tokens > t.burst {
+			t.tokens = t.burst
+		}
+	}
+	t.last = now
+}
+
+// take consumes one token, reporting whether one was available.
+func (t *tokenBucket) take(now time.Time) bool {
+	if t.rate <= 0 {
+		return true
+	}
+	t.refill(now)
+	if t.tokens < 1 {
+		return false
+	}
+	t.tokens--
+	return true
+}
+
+// nextToken returns how long until a token will be available (0 when one is
+// available now).
+func (t *tokenBucket) nextToken(now time.Time) time.Duration {
+	if t.rate <= 0 {
+		return 0
+	}
+	t.refill(now)
+	if t.tokens >= 1 {
+		return 0
+	}
+	return time.Duration((1 - t.tokens) / t.rate * float64(time.Second))
+}

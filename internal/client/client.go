@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"dvod/internal/admission"
 	"dvod/internal/media"
 	"dvod/internal/topology"
 	"dvod/internal/transport"
@@ -21,6 +22,8 @@ type Player struct {
 	book *transport.AddrBook
 	// verify enables byte-level content verification of each cluster.
 	verify bool
+	// class is sent with every watch request; empty means standard.
+	class admission.Class
 }
 
 // Option configures a Player.
@@ -31,6 +34,31 @@ type Option func(*Player)
 func WithoutVerification() Option {
 	return func(p *Player) { p.verify = false }
 }
+
+// WithClass sets the user class sent with watch requests. Servers running
+// admission control reserve bandwidth, degrade, queue, or reject according
+// to the class's policy; class-unaware servers ignore it.
+func WithClass(c admission.Class) Option {
+	return func(p *Player) { p.class = c }
+}
+
+// RejectedError is the typed client-side view of a server's watch.reject
+// response: admission control refused the session.
+type RejectedError struct {
+	Title      string
+	Class      admission.Class
+	Reason     string
+	NeededMbps float64
+	FreeMbps   float64
+}
+
+// Error implements error.
+func (e *RejectedError) Error() string {
+	return fmt.Sprintf("watch %q rejected (%s, class %s)", e.Title, e.Reason, e.Class)
+}
+
+// Unwrap lets errors.Is match admission.ErrRejected.
+func (e *RejectedError) Unwrap() error { return admission.ErrRejected }
 
 // NewPlayer builds a player homed at the given node.
 func NewPlayer(home topology.NodeID, book *transport.AddrBook, opts ...Option) (*Player, error) {
@@ -99,6 +127,13 @@ type PlaybackStats struct {
 	Switches int
 	// Sources is the serving node of each cluster, in order.
 	Sources []topology.NodeID
+	// Class, Degraded, and DeliveredMbps echo the server's admission
+	// outcome: the granted class, whether the session was admitted below
+	// the title's native bitrate, and the rate playout is paced at
+	// (0 from class-unaware servers).
+	Class         admission.Class
+	Degraded      bool
+	DeliveredMbps float64
 	// StartupDelay is the time to the first cluster's arrival.
 	StartupDelay time.Duration
 	// Stalls and StallTime account rebuffering: playback consumes each
@@ -141,6 +176,7 @@ func (p *Player) WatchFrom(title string, startCluster int) (PlaybackStats, error
 	req, err := transport.Encode(transport.TypeWatch, transport.WatchPayload{
 		Title:        title,
 		StartCluster: startCluster,
+		Class:        string(p.class),
 	})
 	if err != nil {
 		return PlaybackStats{}, err
@@ -155,6 +191,19 @@ func (p *Player) WatchFrom(title string, startCluster int) (PlaybackStats, error
 	if rerr := transport.AsError(head); rerr != nil {
 		return PlaybackStats{}, rerr
 	}
+	if head.Type == transport.TypeWatchReject {
+		rej, err := transport.Decode[transport.WatchRejectPayload](head)
+		if err != nil {
+			return PlaybackStats{}, err
+		}
+		return PlaybackStats{}, &RejectedError{
+			Title:      rej.Title,
+			Class:      admission.Class(rej.Class),
+			Reason:     rej.Reason,
+			NeededMbps: rej.NeededMbps,
+			FreeMbps:   rej.FreeMbps,
+		}
+	}
 	if head.Type != transport.TypeWatchOK {
 		return PlaybackStats{}, fmt.Errorf("unexpected reply %q", head.Type)
 	}
@@ -164,9 +213,12 @@ func (p *Player) WatchFrom(title string, startCluster int) (PlaybackStats, error
 	}
 
 	stats := PlaybackStats{
-		Title:       info.Title,
-		NumClusters: info.NumClusters,
-		Verified:    true,
+		Title:         info.Title,
+		NumClusters:   info.NumClusters,
+		Verified:      true,
+		Class:         admission.Class(info.Class),
+		Degraded:      info.Degraded,
+		DeliveredMbps: info.DeliveredMbps,
 	}
 	var lastSource topology.NodeID
 	for {
@@ -234,9 +286,14 @@ func (p *Player) WatchFrom(title string, startCluster int) (PlaybackStats, error
 // accountPlayback derives startup delay and stalls from cluster arrival
 // times: playout starts at the first cluster's arrival and consumes each
 // cluster over length·8/bitrate seconds; a late cluster stalls the playhead
-// until it arrives.
+// until it arrives. A degraded session plays the reduced rendition, so
+// playout is paced at the delivered rate rather than the native one.
 func (p *Player) accountPlayback(stats *PlaybackStats, info transport.WatchOKPayload, start time.Time) {
-	if len(stats.Records) == 0 || info.BitrateMbps <= 0 {
+	rate := info.BitrateMbps
+	if info.DeliveredMbps > 0 {
+		rate = info.DeliveredMbps
+	}
+	if len(stats.Records) == 0 || rate <= 0 {
 		return
 	}
 	stats.StartupDelay = stats.Records[0].ArrivedAt.Sub(start)
@@ -247,7 +304,7 @@ func (p *Player) accountPlayback(stats *PlaybackStats, info transport.WatchOKPay
 			stats.StallTime += rec.ArrivedAt.Sub(playhead)
 			playhead = rec.ArrivedAt
 		}
-		playDur := time.Duration(float64(rec.Length*8) / (info.BitrateMbps * 1e6) * float64(time.Second))
+		playDur := time.Duration(float64(rec.Length*8) / (rate * 1e6) * float64(time.Second))
 		playhead = playhead.Add(playDur)
 	}
 }

@@ -21,6 +21,10 @@ type Planner struct {
 	// available filters candidates (the VRA's "poll all of those servers
 	// to find out which ones can provide the video" step). Nil admits all.
 	available func(topology.NodeID) bool
+	// committed reports broker-reserved Mbps per link, folded into the
+	// network view by the bandwidth-aware planning path. Nil means no
+	// reservations are tracked.
+	committed func(topology.LinkID) float64
 }
 
 // NewPlanner builds a planner. The availability filter may be nil.
@@ -36,6 +40,12 @@ func NewPlanner(d *db.DB, s Selector, available func(topology.NodeID) bool) (*Pl
 
 // Selector returns the underlying policy.
 func (p *Planner) Selector() Selector { return p.selector }
+
+// SetCommitted installs a source of per-link committed bandwidth (normally
+// an admission broker's LinkCommittedMbps). PlanBandwidth adds it on top of
+// the SNMP-observed utilization so reserved-but-not-yet-visible sessions
+// already weigh routes down.
+func (p *Planner) SetCommitted(f func(topology.LinkID) float64) { p.committed = f }
 
 // Candidates resolves the servers currently able to provide the title.
 func (p *Planner) Candidates(title string) ([]topology.NodeID, error) {
@@ -85,6 +95,47 @@ func (p *Planner) PlanExcluding(home topology.NodeID, title string, exclude map[
 		return Decision{}, fmt.Errorf("plan snapshot: %w", err)
 	}
 	return p.selector.Select(snap, home, candidates)
+}
+
+// PlanBandwidth plans like PlanExcluding but is admission-aware: the network
+// view folds in broker-committed bandwidth (SetCommitted), and candidates
+// whose cheapest route lacks the residual headroom to carry bitrateMbps are
+// skipped, next-cheapest first. It returns a *QoSError (wrapping
+// ErrInsufficientBandwidth) when no replica's route can carry the rate.
+func (p *Planner) PlanBandwidth(home topology.NodeID, title string, bitrateMbps float64,
+	exclude map[topology.NodeID]bool) (Decision, error) {
+	candidates, err := p.Candidates(title)
+	if err != nil {
+		return Decision{}, err
+	}
+	if len(exclude) > 0 {
+		kept := candidates[:0]
+		for _, c := range candidates {
+			if !exclude[c] {
+				kept = append(kept, c)
+			}
+		}
+		candidates = kept
+	}
+	if len(candidates) == 0 {
+		return Decision{}, fmt.Errorf("%w: %s", ErrNoCandidates, title)
+	}
+	snap, err := p.db.Snapshot()
+	if err != nil {
+		return Decision{}, fmt.Errorf("plan snapshot: %w", err)
+	}
+	if p.committed != nil {
+		extra := make(map[topology.LinkID]float64)
+		for _, l := range snap.Graph().Links() {
+			if mbps := p.committed(l.ID); mbps > 0 {
+				extra[l.ID] = mbps / l.CapacityMbps
+			}
+		}
+		if snap, err = snap.WithExtraUtilization(extra); err != nil {
+			return Decision{}, fmt.Errorf("plan committed view: %w", err)
+		}
+	}
+	return SelectWithQoS(p.selector, snap, home, candidates, bitrateMbps)
 }
 
 // ClusterDecision is one cluster's delivery decision within a session.

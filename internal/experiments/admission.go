@@ -1,0 +1,374 @@
+package experiments
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"dvod/internal/admission"
+	"dvod/internal/baseline"
+	"dvod/internal/core"
+	"dvod/internal/grnet"
+	"dvod/internal/topology"
+	"dvod/internal/workload"
+)
+
+// --- Ext-12: per-class admission vs best-effort ------------------------------
+
+// ClassMix assigns each user class its share of the offered load. Shares are
+// relative weights; they need not sum to 1.
+type ClassMix map[admission.Class]float64
+
+// ParseClassMix parses "premium:0.2,standard:0.5,background:0.3" into a
+// ClassMix, validating class names and weights.
+func ParseClassMix(s string) (ClassMix, error) {
+	mix := ClassMix{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, weight, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("class mix: %q is not class:weight", part)
+		}
+		c, err := admission.ParseClass(strings.TrimSpace(name))
+		if err != nil {
+			return nil, fmt.Errorf("class mix: %w", err)
+		}
+		w, err := strconv.ParseFloat(strings.TrimSpace(weight), 64)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("class mix: bad weight %q for %s", weight, c)
+		}
+		mix[c] += w
+	}
+	if len(mix) == 0 {
+		return nil, errors.New("class mix: empty")
+	}
+	total := 0.0
+	for _, w := range mix {
+		total += w
+	}
+	if total <= 0 {
+		return nil, errors.New("class mix: weights sum to zero")
+	}
+	return mix, nil
+}
+
+// DefaultClassMix is the headline Ext-12 population: a premium minority
+// sharing the backbone with a standard majority and background bulk traffic.
+func DefaultClassMix() ClassMix {
+	return ClassMix{
+		admission.Premium:    0.2,
+		admission.Standard:   0.5,
+		admission.Background: 0.3,
+	}
+}
+
+// AdmissionStudyConfig parameterizes Ext-12: the Ext-9 reservation simulator
+// run twice over identical traces — once with the broker's per-class trunk
+// reservation and degradation ladder, once best-effort (every class treated
+// alike at full rate) — to measure what class-aware admission buys premium
+// users under saturating load.
+type AdmissionStudyConfig struct {
+	// Mix weights each request's class draw.
+	Mix ClassMix
+	// Policies pick the routing selector; empty means just the VRA.
+	Policies []string
+	// ArrivalsPerHour are the offered-load points to sweep.
+	ArrivalsPerHour []float64
+	// BitrateMbps and HoldMinutes define one session's reservation.
+	BitrateMbps float64
+	HoldMinutes float64
+	NumTitles   int
+	Replicas    int
+	Duration    time.Duration
+	Seed        int64
+	// Classes maps each class to its policy; nil means
+	// admission.DefaultPolicies.
+	Classes map[admission.Class]admission.Policy
+}
+
+// DefaultAdmissionStudyConfig sweeps saturating load points with the default
+// class mix and policies. The loads sit above Ext-9's: class protection only
+// shows once the backbone is contended (below that, both modes admit nearly
+// everything and per-class differences are sampling noise).
+func DefaultAdmissionStudyConfig() AdmissionStudyConfig {
+	return AdmissionStudyConfig{
+		Mix:             DefaultClassMix(),
+		Policies:        []string{"vra"},
+		ArrivalsPerHour: []float64{60, 120, 240},
+		BitrateMbps:     1.5,
+		HoldMinutes:     20,
+		NumTitles:       12,
+		Replicas:        2,
+		Duration:        12 * time.Hour,
+		Seed:            1,
+	}
+}
+
+// AdmissionCell is one (mode, policy, load, class) outcome.
+type AdmissionCell struct {
+	Mode            string // "admission" or "best-effort"
+	Policy          string
+	ArrivalsPerHour float64
+	Class           admission.Class
+	Offered         int
+	Admitted        int // at native rate (includes local serves)
+	Degraded        int // admitted below native rate
+	Rejected        int
+	LocalServed     int
+}
+
+// BlockingProb returns Rejected/Offered.
+func (c AdmissionCell) BlockingProb() float64 {
+	if c.Offered == 0 {
+		return 0
+	}
+	return float64(c.Rejected) / float64(c.Offered)
+}
+
+// drawClasses assigns every request in a trace a class, deterministically
+// from the seed, so both modes face the identical classified demand.
+func drawClasses(mix ClassMix, n int, seed int64) []admission.Class {
+	classes := admission.Classes()
+	weights := make([]float64, len(classes))
+	total := 0.0
+	for i, c := range classes {
+		weights[i] = mix[c]
+		total += mix[c]
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]admission.Class, n)
+	for i := range out {
+		x := rng.Float64() * total
+		for j, w := range weights {
+			x -= w
+			if x < 0 || j == len(weights)-1 {
+				out[i] = classes[j]
+				break
+			}
+		}
+	}
+	return out
+}
+
+// AdmissionStudy runs Ext-12.
+func AdmissionStudy(cfg AdmissionStudyConfig) ([]AdmissionCell, error) {
+	if len(cfg.Mix) == 0 {
+		return nil, errors.New("admission study: empty class mix")
+	}
+	if len(cfg.ArrivalsPerHour) == 0 {
+		return nil, errors.New("admission study: no load points")
+	}
+	if cfg.BitrateMbps <= 0 || cfg.HoldMinutes <= 0 {
+		return nil, errors.New("admission study: bad session shape")
+	}
+	if cfg.NumTitles <= 0 || cfg.Replicas <= 0 {
+		return nil, errors.New("admission study: need titles and replicas")
+	}
+	if cfg.Duration <= 0 {
+		return nil, errors.New("admission study: bad duration")
+	}
+	policies := cfg.Policies
+	if len(policies) == 0 {
+		policies = []string{"vra"}
+	}
+	classPolicies := cfg.Classes
+	if classPolicies == nil {
+		classPolicies = admission.DefaultPolicies()
+	}
+	g, err := grnet.Backbone()
+	if err != nil {
+		return nil, err
+	}
+	nodes := g.Nodes()
+
+	placeRng := rand.New(rand.NewSource(cfg.Seed))
+	titles := make([]string, cfg.NumTitles)
+	placement := make(map[string][]topology.NodeID, cfg.NumTitles)
+	for i := range cfg.NumTitles {
+		titles[i] = fmt.Sprintf("t%02d", i)
+		perm := placeRng.Perm(len(nodes))
+		k := min(cfg.Replicas, len(nodes))
+		for j := range k {
+			placement[titles[i]] = append(placement[titles[i]], nodes[perm[j]])
+		}
+	}
+	hold := time.Duration(cfg.HoldMinutes * float64(time.Minute))
+
+	var out []AdmissionCell
+	for _, load := range cfg.ArrivalsPerHour {
+		trace, err := workload.GenerateTrace(workload.TraceConfig{
+			Titles:     titles,
+			Clients:    nodes,
+			Theta:      0.729,
+			RatePerSec: load / 3600,
+			Start:      epoch,
+			Duration:   cfg.Duration,
+			Seed:       cfg.Seed + int64(load*100),
+		})
+		if err != nil {
+			return nil, err
+		}
+		classes := drawClasses(cfg.Mix, len(trace), cfg.Seed+int64(load*100)+13)
+		for _, name := range policies {
+			for _, classAware := range []bool{true, false} {
+				sel, err := baseline.ByName(name, cfg.Seed+7)
+				if err != nil {
+					return nil, err
+				}
+				cells, err := runAdmissionTrial(g, sel, trace, classes, placement,
+					classPolicies, cfg.BitrateMbps, hold, classAware)
+				if err != nil {
+					mode := "admission"
+					if !classAware {
+						mode = "best-effort"
+					}
+					return nil, fmt.Errorf("%s/%s @%g/h: %w", name, mode, load, err)
+				}
+				for i := range cells {
+					cells[i].ArrivalsPerHour = load
+				}
+				out = append(out, cells...)
+			}
+		}
+	}
+	return out, nil
+}
+
+// runAdmissionTrial processes one classified trace. With classAware set,
+// each request is admitted under its class policy: every link on the chosen
+// route must keep total reservations within MaxShare of capacity (trunk
+// reservation — lower classes may not fill the link, preserving premium
+// headroom), and a request failing at native rate retries down its class's
+// degradation ladder before being rejected. Best-effort mode treats every
+// class alike at full rate and share.
+func runAdmissionTrial(g *topology.Graph, sel core.Selector, trace []workload.Request,
+	classes []admission.Class, placement map[string][]topology.NodeID,
+	policies map[admission.Class]admission.Policy, bitrate float64, hold time.Duration,
+	classAware bool) ([]AdmissionCell, error) {
+
+	mode := "best-effort"
+	if classAware {
+		mode = "admission"
+	}
+	byClass := map[admission.Class]*AdmissionCell{}
+	for _, c := range admission.Classes() {
+		byClass[c] = &AdmissionCell{Mode: mode, Policy: sel.Name(), Class: c}
+	}
+
+	res := newReservations(g)
+	var departures departureHeap
+
+	// trunkOK reports whether reserving rate on every path link keeps each
+	// link's total within share of its capacity.
+	trunkOK := func(links []topology.LinkID, rate, share float64) (bool, error) {
+		for _, id := range links {
+			l, err := g.LinkByID(id)
+			if err != nil {
+				return false, err
+			}
+			if res.mbps[id]+rate > share*l.CapacityMbps+1e-9 {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+
+	for i, req := range trace {
+		for len(departures) > 0 && !departures[0].at.After(req.At) {
+			d := heap.Pop(&departures).(departure)
+			res.release(d.links, d.mbps)
+		}
+		class := classes[i]
+		cell := byClass[class]
+		cell.Offered++
+
+		pol := policies[class]
+		share := pol.MaxShare
+		ladder := append([]float64{1}, pol.DegradeSteps...)
+		if !classAware {
+			share = 1
+			ladder = []float64{1}
+		}
+
+		candidates := placement[req.Title]
+		if len(candidates) == 0 {
+			cell.Rejected++
+			continue
+		}
+		snap, err := res.snapshot()
+		if err != nil {
+			return nil, err
+		}
+
+		admitted := false
+		for _, factor := range ladder {
+			rate := bitrate * factor
+			dec, err := core.SelectWithQoS(sel, snap, req.Client, candidates, rate)
+			if err != nil {
+				if errors.Is(err, core.ErrInsufficientBandwidth) ||
+					errors.Is(err, core.ErrNoReachable) {
+					continue
+				}
+				return nil, err
+			}
+			if dec.Local {
+				cell.LocalServed++
+				if factor == 1 {
+					cell.Admitted++
+				} else {
+					cell.Degraded++
+				}
+				admitted = true
+				break
+			}
+			links := dec.Path.Links()
+			ok, err := trunkOK(links, rate, share)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+			res.reserve(links, rate)
+			heap.Push(&departures, departure{at: req.At.Add(hold), links: links, mbps: rate})
+			if factor == 1 {
+				cell.Admitted++
+			} else {
+				cell.Degraded++
+			}
+			admitted = true
+			break
+		}
+		if !admitted {
+			cell.Rejected++
+		}
+	}
+
+	out := make([]AdmissionCell, 0, len(byClass))
+	for _, c := range admission.Classes() {
+		out = append(out, *byClass[c])
+	}
+	return out, nil
+}
+
+// FormatAdmissionStudy renders Ext-12.
+func FormatAdmissionStudy(cells []AdmissionCell) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "Arrivals/h\tPolicy\tMode\tClass\tOffered\tAdmitted\tDegraded\tRejected\tLocal\tBlockingProb")
+	for _, c := range cells {
+		fmt.Fprintf(w, "%g\t%s\t%s\t%s\t%d\t%d\t%d\t%d\t%d\t%.4f\n",
+			c.ArrivalsPerHour, c.Policy, c.Mode, c.Class,
+			c.Offered, c.Admitted, c.Degraded, c.Rejected, c.LocalServed, c.BlockingProb())
+	}
+	_ = w.Flush()
+	return b.String()
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dvod/internal/admission"
+)
+
+func TestParseClassMix(t *testing.T) {
+	mix, err := ParseClassMix("premium:0.2, standard:0.5,background:0.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix[admission.Premium] != 0.2 || mix[admission.Standard] != 0.5 || mix[admission.Background] != 0.3 {
+		t.Fatalf("mix = %v", mix)
+	}
+	for _, bad := range []string{"", "gold:1", "premium", "premium:-1", "premium:x"} {
+		if _, err := ParseClassMix(bad); err == nil {
+			t.Fatalf("ParseClassMix(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestDrawClassesDeterministicAndMixed(t *testing.T) {
+	mix := DefaultClassMix()
+	a := drawClasses(mix, 500, 42)
+	b := drawClasses(mix, 500, 42)
+	counts := map[admission.Class]int{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw not deterministic at %d: %s vs %s", i, a[i], b[i])
+		}
+		counts[a[i]]++
+	}
+	for _, c := range admission.Classes() {
+		if counts[c] == 0 {
+			t.Fatalf("class %s never drawn: %v", c, counts)
+		}
+	}
+	if counts[admission.Standard] <= counts[admission.Premium] {
+		t.Fatalf("standard (weight 0.5) drawn less than premium (0.2): %v", counts)
+	}
+}
+
+// TestAdmissionStudyProtectsPremium is the Ext-12 acceptance check: under a
+// saturating class mix, per-class trunk reservation must not leave premium
+// users blocking more often than the best-effort baseline, and the freed
+// headroom should come from degrading or rejecting the lower classes.
+func TestAdmissionStudyProtectsPremium(t *testing.T) {
+	cfg := AdmissionStudyConfig{
+		Mix:             DefaultClassMix(),
+		Policies:        []string{"vra"},
+		ArrivalsPerHour: []float64{240},
+		BitrateMbps:     1.5,
+		HoldMinutes:     20,
+		NumTitles:       8,
+		Replicas:        2,
+		Duration:        3 * time.Hour,
+		Seed:            1,
+	}
+	cells, err := AdmissionStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	find := func(mode string, class admission.Class) AdmissionCell {
+		for _, c := range cells {
+			if c.Mode == mode && c.Class == class {
+				return c
+			}
+		}
+		t.Fatalf("no cell for %s/%s in %+v", mode, class, cells)
+		return AdmissionCell{}
+	}
+	premAdm := find("admission", admission.Premium)
+	premBE := find("best-effort", admission.Premium)
+	if premAdm.Offered != premBE.Offered {
+		t.Fatalf("modes saw different premium demand: %d vs %d", premAdm.Offered, premBE.Offered)
+	}
+	if premAdm.Offered == 0 {
+		t.Fatal("no premium requests offered; raise load or duration")
+	}
+	if premAdm.BlockingProb() > premBE.BlockingProb() {
+		t.Fatalf("admission premium blocking %.4f > best-effort %.4f",
+			premAdm.BlockingProb(), premBE.BlockingProb())
+	}
+	// The protection must be paid for by the lower classes: with trunk
+	// shares < 1 they degrade or reject sessions best-effort would carry.
+	lowerTouched := 0
+	for _, class := range []admission.Class{admission.Standard, admission.Background} {
+		c := find("admission", class)
+		lowerTouched += c.Degraded + c.Rejected
+	}
+	if lowerTouched == 0 {
+		t.Fatalf("saturating load never degraded/rejected a lower class:\n%s",
+			FormatAdmissionStudy(cells))
+	}
+	// Premium never degrades (no ladder steps in the default policy).
+	if premAdm.Degraded != 0 {
+		t.Fatalf("premium sessions degraded %d times; policy has no ladder", premAdm.Degraded)
+	}
+}
+
+func TestFormatAdmissionStudy(t *testing.T) {
+	cells := []AdmissionCell{{
+		Mode: "admission", Policy: "vra", ArrivalsPerHour: 45,
+		Class: admission.Premium, Offered: 10, Admitted: 9, Rejected: 1,
+	}}
+	out := FormatAdmissionStudy(cells)
+	for _, want := range []string{"Mode", "premium", "0.1000"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("format missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// promPrefix namespaces every exported metric.
+const promPrefix = "dvod_"
+
+// promName sanitizes a registry metric name into a legal Prometheus metric
+// name: dots and other illegal runes become underscores.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString(promPrefix)
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabel renders the node label for one instance key ("" means none).
+func promLabel(instance string) string {
+	if instance == "" {
+		return ""
+	}
+	esc := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(instance)
+	return fmt.Sprintf(`{node=%q}`, esc)
+}
+
+// promFloat renders a sample value the way Prometheus expects.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}
+
+// WritePrometheus renders one or more labeled registry snapshots in the
+// Prometheus text exposition format. Map keys become the value of a "node"
+// label on every sample (the empty key emits unlabeled samples), so one
+// endpoint can expose every video server in a deployment. Counters gain the
+// conventional _total suffix; histograms expand into cumulative _bucket,
+// _sum, and _count series. Each metric's # TYPE header is emitted exactly
+// once, before its samples across all instances.
+func WritePrometheus(w io.Writer, snaps map[string]Snapshot) error {
+	instances := make([]string, 0, len(snaps))
+	for k := range snaps {
+		instances = append(instances, k)
+	}
+	sort.Strings(instances)
+
+	collect := func(pick func(Snapshot) []string) []string {
+		seen := map[string]bool{}
+		var names []string
+		for _, inst := range instances {
+			for _, n := range pick(snaps[inst]) {
+				if !seen[n] {
+					seen[n] = true
+					names = append(names, n)
+				}
+			}
+		}
+		sort.Strings(names)
+		return names
+	}
+	counterNames := collect(func(s Snapshot) []string { return mapKeys(s.Counters) })
+	gaugeNames := collect(func(s Snapshot) []string { return mapKeys(s.Gauges) })
+	histNames := collect(func(s Snapshot) []string { return mapKeys(s.Histograms) })
+
+	for _, name := range counterNames {
+		pn := promName(name) + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", pn); err != nil {
+			return err
+		}
+		for _, inst := range instances {
+			v, ok := snaps[inst].Counters[name]
+			if !ok {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", pn, promLabel(inst), v); err != nil {
+				return err
+			}
+		}
+	}
+	for _, name := range gaugeNames {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", pn); err != nil {
+			return err
+		}
+		for _, inst := range instances {
+			v, ok := snaps[inst].Gauges[name]
+			if !ok {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", pn, promLabel(inst), promFloat(v)); err != nil {
+				return err
+			}
+		}
+	}
+	for _, name := range histNames {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		for _, inst := range instances {
+			h, ok := snaps[inst].Histograms[name]
+			if !ok {
+				continue
+			}
+			if err := writePromHistogram(w, pn, inst, h); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, pn, inst string, h HistogramSnapshot) error {
+	label := promLabel(inst)
+	// Bucket labels combine le with the optional node label.
+	bucket := func(le string) string {
+		if inst == "" {
+			return fmt.Sprintf(`{le=%q}`, le)
+		}
+		return fmt.Sprintf(`{node=%q,le=%q}`, inst, le)
+	}
+	var cum int64
+	for i, c := range h.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(h.Bounds) {
+			le = promFloat(h.Bounds[i])
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", pn, bucket(le), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", pn, label, promFloat(h.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", pn, label, h.Count)
+	return err
+}
+
+func mapKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

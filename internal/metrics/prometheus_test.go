@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramQuantileSingleBucket(t *testing.T) {
+	// A histogram with no finite bounds has only the implicit +Inf bucket,
+	// so every quantile resolves to the observed maximum.
+	h := NewHistogram()
+	for _, v := range []float64{2, 4, 8} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := s.Quantile(q); got != 8 {
+			t.Fatalf("Quantile(%g) = %g, want 8 (max)", q, got)
+		}
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"server.requests":            "dvod_server_requests",
+		"admission.admitted.premium": "dvod_admission_admitted_premium",
+		"cache hit-rate":             "dvod_cache_hit_rate",
+		"p99":                        "dvod_p99",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Fatalf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWritePrometheusCountersAndGauges(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("server.requests").Add(7)
+	a.Gauge("admission.committed_mbps").Set(12.5)
+	b := NewRegistry()
+	b.Counter("server.requests").Add(2)
+
+	var sb strings.Builder
+	err := WritePrometheus(&sb, map[string]Snapshot{
+		"U1": a.Snapshot(),
+		"U2": b.Snapshot(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE dvod_server_requests_total counter",
+		`dvod_server_requests_total{node="U1"} 7`,
+		`dvod_server_requests_total{node="U2"} 2`,
+		"# TYPE dvod_admission_committed_mbps gauge",
+		`dvod_admission_committed_mbps{node="U1"} 12.5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "# TYPE dvod_server_requests_total counter") != 1 {
+		t.Fatalf("TYPE header duplicated across instances:\n%s", out)
+	}
+	// The TYPE header must precede its samples.
+	if strings.Index(out, "# TYPE dvod_server_requests_total counter") >
+		strings.Index(out, `dvod_server_requests_total{node="U1"}`) {
+		t.Fatalf("TYPE header after samples:\n%s", out)
+	}
+}
+
+func TestWritePrometheusHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("watch.latency", 1, 10)
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, map[string]Snapshot{"U3": r.Snapshot()}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE dvod_watch_latency histogram",
+		`dvod_watch_latency_bucket{node="U3",le="1"} 1`,
+		`dvod_watch_latency_bucket{node="U3",le="10"} 2`,
+		`dvod_watch_latency_bucket{node="U3",le="+Inf"} 3`,
+		`dvod_watch_latency_sum{node="U3"} 55.5`,
+		`dvod_watch_latency_count{node="U3"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheusUnlabeledInstance(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("server.requests").Inc()
+	r.Histogram("lat", 1).Observe(0.5)
+
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, map[string]Snapshot{"": r.Snapshot()}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "dvod_server_requests_total 1\n") {
+		t.Fatalf("empty instance should emit unlabeled samples:\n%s", out)
+	}
+	if !strings.Contains(out, `dvod_lat_bucket{le="1"} 1`) {
+		t.Fatalf("unlabeled histogram bucket missing:\n%s", out)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"dvod/internal/admission"
 	"dvod/internal/cache"
 	"dvod/internal/clock"
 	"dvod/internal/core"
@@ -54,12 +55,23 @@ type Config struct {
 	// IdleTimeout closes client connections that send no request for this
 	// long; zero defaults to 2 minutes.
 	IdleTimeout time.Duration
+	// Broker optionally enforces admission control: every Watch session
+	// must obtain a bandwidth grant (possibly degraded) before delivery
+	// starts, and cluster-boundary re-plans skip routes without residual
+	// headroom. Nil serves best-effort, as the paper does.
+	Broker *admission.Broker
+	// MaxConns bounds concurrently handled connections; excess accepted
+	// connections wait for a free handler slot, so handler goroutines
+	// cannot grow without bound under a connection flood. Zero defaults
+	// to 256.
+	MaxConns int
 }
 
 // Server is one running video server node.
 type Server struct {
-	cfg Config
-	ln  net.Listener
+	cfg     Config
+	ln      net.Listener
+	connSem chan struct{}
 
 	mu     sync.Mutex
 	closed bool
@@ -102,7 +114,13 @@ func New(cfg Config) (*Server, error) {
 	if cfg.IdleTimeout < 0 {
 		return nil, fmt.Errorf("server: negative idle timeout %v", cfg.IdleTimeout)
 	}
-	return &Server{cfg: cfg}, nil
+	if cfg.MaxConns < 0 {
+		return nil, fmt.Errorf("server: negative connection cap %d", cfg.MaxConns)
+	}
+	if cfg.MaxConns == 0 {
+		cfg.MaxConns = 256
+	}
+	return &Server{cfg: cfg, connSem: make(chan struct{}, cfg.MaxConns)}, nil
 }
 
 // Node returns the server's topology node.
@@ -175,9 +193,16 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		if err != nil {
 			return // listener closed
 		}
+		// Wait for a handler slot before spawning: under a connection
+		// flood the excess connections queue in the listen backlog
+		// instead of each pinning a goroutine.
+		s.connSem <- struct{}{}
 		s.wg.Add(1)
 		go func() {
-			defer s.wg.Done()
+			defer func() {
+				<-s.connSem
+				s.wg.Done()
+			}()
 			s.handleConn(transport.NewConn(nc))
 		}()
 	}
@@ -333,6 +358,15 @@ func (s *Server) handleWatch(c *transport.Conn, m transport.Message) error {
 	if err != nil {
 		return err
 	}
+	// Admission control runs before any cache mutation: a refused session
+	// must leave no trace in the DMA's popularity counts.
+	grant, rejected, err := s.admitWatch(c, req, title)
+	if err != nil || rejected {
+		return err
+	}
+	if grant != nil {
+		defer s.cfg.Broker.Release(grant)
+	}
 	// The DMA counts this request and may admit or evict titles; mirror
 	// the outcome into the shared database so every planner sees it.
 	outcome, err := s.cfg.Cache.OnRequest(title)
@@ -362,13 +396,21 @@ func (s *Server) handleWatch(c *transport.Conn, m transport.Message) error {
 	if req.StartCluster < 0 || req.StartCluster >= layout.NumParts() {
 		return fmt.Errorf("start cluster %d outside [0, %d)", req.StartCluster, layout.NumParts())
 	}
-	head, err := transport.Encode(transport.TypeWatchOK, transport.WatchOKPayload{
+	ok := transport.WatchOKPayload{
 		Title:        title.Name,
 		SizeBytes:    title.SizeBytes,
 		BitrateMbps:  title.BitrateMbps,
 		ClusterBytes: s.cfg.ClusterBytes,
 		NumClusters:  layout.NumParts(),
-	})
+	}
+	var planRate float64
+	if grant != nil {
+		ok.Class = string(grant.Class)
+		ok.DeliveredMbps = grant.BitrateMbps
+		ok.Degraded = grant.Degraded
+		planRate = grant.BitrateMbps
+	}
+	head, err := transport.Encode(transport.TypeWatchOK, ok)
 	if err != nil {
 		return err
 	}
@@ -376,7 +418,7 @@ func (s *Server) handleWatch(c *transport.Conn, m transport.Message) error {
 		return err
 	}
 	for idx := req.StartCluster; idx < layout.NumParts(); idx++ {
-		data, payload, err := s.deliverCluster(title, idx)
+		data, payload, err := s.deliverCluster(title, idx, planRate)
 		if err != nil {
 			return fmt.Errorf("cluster %d: %w", idx, err)
 		}
@@ -396,18 +438,78 @@ func (s *Server) handleWatch(c *transport.Conn, m transport.Message) error {
 	return c.WriteMessage(done)
 }
 
+// admitWatch consults the bandwidth broker for one watch request. It
+// returns (grant, false, nil) on admission, (nil, true, nil) after writing a
+// typed rejection or busy frame, and (nil, false, nil) when no broker is
+// configured. The session-rate and session-count limits surface as the
+// typed "server busy" error; bandwidth exhaustion surfaces as a
+// TypeWatchReject response carrying the broker's reason.
+func (s *Server) admitWatch(c *transport.Conn, req transport.WatchPayload, title media.Title) (*admission.Grant, bool, error) {
+	if s.cfg.Broker == nil {
+		return nil, false, nil
+	}
+	class, err := admission.ParseClass(req.Class)
+	if err != nil {
+		return nil, false, err
+	}
+	// Plan a tentative route so the broker can reserve the session's
+	// bitrate on the links it will cross. Local service needs no links; a
+	// failed plan falls back to a node-level-only reservation rather than
+	// refusing outright (the per-cluster re-plan may still find a route).
+	var links []topology.LinkID
+	if !s.cfg.Cache.Resident(title.Name) {
+		if dec, err := s.cfg.Planner.PlanBandwidth(s.cfg.Node, title.Name, title.BitrateMbps, nil); err == nil && !dec.Local {
+			links = dec.Path.Links()
+		}
+	}
+	grant, err := s.cfg.Broker.AdmitWait(admission.Request{
+		Class:       class,
+		Title:       title.Name,
+		BitrateMbps: title.BitrateMbps,
+		Links:       links,
+	})
+	if err == nil {
+		return grant, false, nil
+	}
+	var rej *admission.RejectedError
+	if !errors.As(err, &rej) {
+		return nil, false, err
+	}
+	switch rej.Reason {
+	case admission.ReasonSessions, admission.ReasonRate:
+		s.cfg.Metrics.Counter("server.watch_busy").Inc()
+		return nil, true, c.WriteErrorCode(rej.Error(), transport.CodeBusy)
+	default:
+		s.cfg.Metrics.Counter("server.watch_rejects").Inc()
+		m, eerr := transport.Encode(transport.TypeWatchReject, transport.WatchRejectPayload{
+			Title:      title.Name,
+			Class:      string(rej.Class),
+			Reason:     string(rej.Reason),
+			NeededMbps: rej.NeededMbps,
+			FreeMbps:   rej.FreeMbps,
+		})
+		if eerr != nil {
+			return nil, false, eerr
+		}
+		return nil, true, c.WriteMessage(m)
+	}
+}
+
 // deliverCluster obtains one cluster: locally when resident, otherwise from
 // the server the routing policy selects right now (the paper's per-cluster
 // re-evaluation). A failed remote fetch retries against the remaining
 // replicas, cheapest first, so one dead peer does not abort the playback.
-func (s *Server) deliverCluster(title media.Title, index int) ([]byte, transport.ClusterPayload, error) {
+// With admission enabled, planRate > 0 filters routes to those with residual
+// headroom for the granted bitrate, falling back to the cheapest path when
+// none qualifies (the admitted session is kept alive over being cut off).
+func (s *Server) deliverCluster(title media.Title, index int, planRate float64) ([]byte, transport.ClusterPayload, error) {
 	if s.cfg.Cache.Resident(title.Name) {
 		return s.readLocalCluster(title.Name, index)
 	}
 	exclude := make(map[topology.NodeID]bool)
 	var lastErr error
 	for {
-		dec, err := s.cfg.Planner.PlanExcluding(s.cfg.Node, title.Name, exclude)
+		dec, err := s.planCluster(title.Name, planRate, exclude)
 		if err != nil {
 			if lastErr != nil {
 				return nil, transport.ClusterPayload{}, fmt.Errorf("%w (after fetch failure: %v)", err, lastErr)
@@ -432,6 +534,22 @@ func (s *Server) deliverCluster(title media.Title, index int) ([]byte, transport
 		s.cfg.Metrics.Counter("server.remote_clusters").Inc()
 		return data, payload, nil
 	}
+}
+
+// planCluster picks the serving replica for one cluster, bandwidth-aware
+// when the session carries an admission grant.
+func (s *Server) planCluster(title string, planRate float64, exclude map[topology.NodeID]bool) (core.Decision, error) {
+	if s.cfg.Broker != nil && planRate > 0 {
+		dec, err := s.cfg.Planner.PlanBandwidth(s.cfg.Node, title, planRate, exclude)
+		if err == nil {
+			return dec, nil
+		}
+		if !errors.Is(err, core.ErrInsufficientBandwidth) {
+			return core.Decision{}, err
+		}
+		s.cfg.Metrics.Counter("server.plan_headroom_fallbacks").Inc()
+	}
+	return s.cfg.Planner.PlanExcluding(s.cfg.Node, title, exclude)
 }
 
 // fetchRemoteCluster pulls one cluster from a peer over TCP.

@@ -130,6 +130,24 @@ func (s *Snapshot) WithUtilization(id LinkID, u float64) (*Snapshot, error) {
 	return NewSnapshot(s.graph, util)
 }
 
+// WithExtraUtilization returns a new snapshot sharing the graph with each
+// link's utilization raised by extra[id] (a fraction of that link's
+// capacity). The admission-aware planner uses it to fold broker-committed
+// bandwidth into the SNMP view before weighting and QoS-checking routes.
+func (s *Snapshot) WithExtraUtilization(extra map[LinkID]float64) (*Snapshot, error) {
+	if len(extra) == 0 {
+		return s, nil
+	}
+	util := make(map[LinkID]float64, len(s.util)+len(extra))
+	for k, v := range s.util {
+		util[k] = v
+	}
+	for k, v := range extra {
+		util[k] += v
+	}
+	return NewSnapshot(s.graph, util)
+}
+
 // LinkReport is one row of a human-readable utilization table.
 type LinkReport struct {
 	Link         Link

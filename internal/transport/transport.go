@@ -36,11 +36,14 @@ const (
 	TypeTitlesOK = "titles.ok"
 	// TypeWatch asks the home server to deliver a whole title
 	// (WatchPayload); TypeWatchOK answers with WatchOKPayload, then one
-	// TypeCluster + raw bytes per cluster, then TypeWatchDone.
-	TypeWatch     = "watch"
-	TypeWatchOK   = "watch.ok"
-	TypeCluster   = "cluster"
-	TypeWatchDone = "watch.done"
+	// TypeCluster + raw bytes per cluster, then TypeWatchDone. A server
+	// running admission control may instead answer TypeWatchReject with
+	// WatchRejectPayload.
+	TypeWatch       = "watch"
+	TypeWatchOK     = "watch.ok"
+	TypeWatchReject = "watch.reject"
+	TypeCluster     = "cluster"
+	TypeWatchDone   = "watch.done"
 	// TypeClusterGet fetches one stored cluster (ClusterGetPayload);
 	// TypeClusterOK answers with ClusterPayload + raw bytes. Used both by
 	// peers (mid-stream re-routing) and directly by tests.
@@ -62,9 +65,23 @@ type Message struct {
 	Payload json.RawMessage `json:"payload,omitempty"`
 }
 
-// ErrorPayload reports a request failure.
+// Error codes carried by ErrorPayload.Code, letting clients branch on
+// machine-readable failure classes without parsing messages.
+const (
+	// CodeBusy: the server is at its concurrent-session or setup-rate
+	// limit; the client should retry later or at another replica.
+	CodeBusy = "busy"
+)
+
+// ErrServerBusy is the typed error clients observe when a server answers
+// with CodeBusy.
+var ErrServerBusy = errors.New("server busy")
+
+// ErrorPayload reports a request failure. Code is optional and names a
+// machine-readable failure class (see CodeBusy).
 type ErrorPayload struct {
 	Message string `json:"message"`
+	Code    string `json:"code,omitempty"`
 }
 
 // TitlesPayload lists catalog titles and whether this server holds each
@@ -83,19 +100,40 @@ type TitleInfo struct {
 
 // WatchPayload asks for a title delivery. StartCluster supports the seek
 // operation of interactive VoD: delivery begins at that cluster index
-// (0 = from the beginning).
+// (0 = from the beginning). Class is the requesting user's service class
+// ("premium" | "standard" | "background"); empty means standard, so
+// class-unaware clients keep working.
 type WatchPayload struct {
 	Title        string `json:"title"`
 	StartCluster int    `json:"startCluster,omitempty"`
+	Class        string `json:"class,omitempty"`
 }
 
-// WatchOKPayload opens a delivery stream.
+// WatchOKPayload opens a delivery stream. When the admission broker degraded
+// the session, Degraded is true and DeliveredMbps carries the reduced rate
+// the client should pace playout at; otherwise DeliveredMbps equals
+// BitrateMbps (or is 0 on class-unaware servers).
 type WatchOKPayload struct {
-	Title        string  `json:"title"`
-	SizeBytes    int64   `json:"sizeBytes"`
-	BitrateMbps  float64 `json:"bitrateMbps"`
-	ClusterBytes int64   `json:"clusterBytes"`
-	NumClusters  int     `json:"numClusters"`
+	Title         string  `json:"title"`
+	SizeBytes     int64   `json:"sizeBytes"`
+	BitrateMbps   float64 `json:"bitrateMbps"`
+	ClusterBytes  int64   `json:"clusterBytes"`
+	NumClusters   int     `json:"numClusters"`
+	Class         string  `json:"class,omitempty"`
+	DeliveredMbps float64 `json:"deliveredMbps,omitempty"`
+	Degraded      bool    `json:"degraded,omitempty"`
+}
+
+// WatchRejectPayload is the admission broker's typed refusal of a watch
+// request: the class's bandwidth share, queue window, and degradation ladder
+// are all exhausted.
+type WatchRejectPayload struct {
+	Title  string `json:"title"`
+	Class  string `json:"class"`
+	Reason string `json:"reason"`
+	// NeededMbps and FreeMbps mirror the broker's rejection detail.
+	NeededMbps float64 `json:"neededMbps,omitempty"`
+	FreeMbps   float64 `json:"freeMbps,omitempty"`
 }
 
 // ClusterPayload announces one cluster's raw bytes, which follow the frame.
@@ -290,7 +328,12 @@ func (c *Conn) readLocked() (Message, error) {
 
 // WriteError sends an error frame with the given message.
 func (c *Conn) WriteError(msg string) error {
-	m, err := Encode(TypeError, ErrorPayload{Message: msg})
+	return c.WriteErrorCode(msg, "")
+}
+
+// WriteErrorCode sends an error frame with a machine-readable code.
+func (c *Conn) WriteErrorCode(msg, code string) error {
+	m, err := Encode(TypeError, ErrorPayload{Message: msg, Code: code})
 	if err != nil {
 		return err
 	}
@@ -298,7 +341,8 @@ func (c *Conn) WriteError(msg string) error {
 }
 
 // AsError converts a TypeError message into a Go error (nil for other
-// types).
+// types). Coded errors wrap their sentinel, so errors.Is(err, ErrServerBusy)
+// works across the wire.
 func AsError(m Message) error {
 	if m.Type != TypeError {
 		return nil
@@ -306,6 +350,9 @@ func AsError(m Message) error {
 	p, err := Decode[ErrorPayload](m)
 	if err != nil {
 		return fmt.Errorf("remote error (undecodable): %w", err)
+	}
+	if p.Code == CodeBusy {
+		return fmt.Errorf("remote error: %s: %w", p.Message, ErrServerBusy)
 	}
 	return fmt.Errorf("remote error: %s", p.Message)
 }

@@ -2,8 +2,10 @@ package web
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"dvod/internal/core"
@@ -62,6 +64,94 @@ func TestAdminMetrics(t *testing.T) {
 	resp2.Body.Close()
 	if resp2.StatusCode != http.StatusUnauthorized {
 		t.Fatalf("unauthenticated = %d", resp2.StatusCode)
+	}
+}
+
+func TestPrometheusEndpoint(t *testing.T) {
+	g, err := grnet.Backbone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := db.New(g)
+	planner, err := core.NewPlanner(d, core.VRA{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regA := metrics.NewRegistry()
+	regA.Counter("admission.admitted.premium").Add(3)
+	regA.Gauge("admission.committed_mbps").Set(4.5)
+	regB := metrics.NewRegistry()
+	regB.Counter("admission.admitted.premium").Add(1)
+	m, err := New(Config{
+		DB: d, Planner: planner,
+		Metrics: func() map[topology.NodeID]metrics.Snapshot {
+			return map[topology.NodeID]metrics.Snapshot{
+				grnet.Patra:  regA.Snapshot(),
+				grnet.Athens: regB.Snapshot(),
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(m)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE dvod_admission_admitted_premium_total counter",
+		`dvod_admission_admitted_premium_total{node="U2"} 3`,
+		`dvod_admission_admitted_premium_total{node="U1"} 1`,
+		`dvod_admission_committed_mbps{node="U2"} 4.5`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	// The TYPE header appears once even with two labeled instances.
+	if strings.Count(text, "# TYPE dvod_admission_admitted_premium_total counter") != 1 {
+		t.Fatalf("duplicated TYPE header:\n%s", text)
+	}
+}
+
+func TestPrometheusEndpointNilSupplier(t *testing.T) {
+	g, err := grnet.Backbone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := db.New(g)
+	planner, err := core.NewPlanner(d, core.VRA{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(Config{DB: d, Planner: planner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(m)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
 	}
 }
 

@@ -67,6 +67,8 @@ func New(cfg Config) (*Module, error) {
 	m.mux.HandleFunc("GET /titles/search", m.handleSearch)
 	m.mux.HandleFunc("GET /titles/{name}/holders", m.handleHolders)
 	m.mux.HandleFunc("POST /request", m.handleRequest)
+	// Prometheus exposition of every server's registry (scrape target).
+	m.mux.HandleFunc("GET /metrics", m.handlePrometheus)
 	// Limited-access module.
 	m.mux.HandleFunc("GET /admin/servers", m.admin(m.handleServers))
 	m.mux.HandleFunc("GET /admin/links", m.admin(m.handleLinks))
@@ -286,6 +288,23 @@ func (m *Module) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		out = m.cfg.Metrics()
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// handlePrometheus exposes the same per-server registries in the Prometheus
+// text format, one labeled sample set per node — including the admission
+// admitted/queued/degraded/rejected counters when brokers share the server
+// registries. Scrape endpoints are conventionally unauthenticated, matching
+// the full-access module.
+func (m *Module) handlePrometheus(w http.ResponseWriter, r *http.Request) {
+	snaps := map[string]metrics.Snapshot{}
+	if m.cfg.Metrics != nil {
+		for node, snap := range m.cfg.Metrics() {
+			snaps[string(node)] = snap
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_ = metrics.WritePrometheus(w, snaps)
 }
 
 // RouteDescription renders a decision path the way the paper writes routes.
