@@ -22,6 +22,7 @@ bench:
 fuzz:
 	$(GO) test ./internal/transport/ -fuzz FuzzReadMessage -fuzztime 30s
 	$(GO) test ./internal/transport/ -fuzz FuzzRoundTrip -fuzztime 30s
+	$(GO) test ./internal/transport/ -fuzz FuzzDecodeFrame -fuzztime 30s
 
 cover:
 	$(GO) test -cover ./...

@@ -12,10 +12,12 @@
 //	Ext-10 -study placement initial replica placement quality (k-median)
 //	Ext-11 -study adaptation cache recovery speed after a popularity flip
 //	Ext-12 -study admission per-class admission vs best-effort (-class-mix)
+//	Ext-13 -study framing   JSON vs binary cluster framing over live TCP
 //	       -study all       everything (default)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -35,14 +37,16 @@ func main() {
 	classMix := flag.String("class-mix", "premium:0.2,standard:0.5,background:0.3",
 		"class:weight list for the admission study")
 	csvDir := flag.String("csv", "", "also write each study's rows as CSV into this directory")
+	framingOut := flag.String("framing-out", "",
+		"write the framing study's rows as a JSON baseline to this file (framing study only)")
 	flag.Parse()
-	if err := run(os.Stdout, *study, *seed, *duration, *rate, *classMix, *csvDir); err != nil {
+	if err := run(os.Stdout, *study, *seed, *duration, *rate, *classMix, *csvDir, *framingOut); err != nil {
 		fmt.Fprintln(os.Stderr, "vodbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, study string, seed int64, duration time.Duration, rate float64, classMix, csvDir string) error {
+func run(w io.Writer, study string, seed int64, duration time.Duration, rate float64, classMix, csvDir, framingOut string) error {
 	writeCSV := func(name string, rows any) error {
 		if csvDir == "" {
 			return nil
@@ -223,6 +227,30 @@ func run(w io.Writer, study string, seed int64, duration time.Duration, rate flo
 		fmt.Fprintln(w, experiments.FormatAdmissionStudy(cells))
 		if err := writeCSV("admission", cells); err != nil {
 			return err
+		}
+	}
+	if study == "framing" || study == "all" {
+		known = true
+		rows, err := experiments.FramingStudy(experiments.DefaultFramingStudyConfig())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "Ext-13. JSON vs binary cluster framing (live TCP, single node)")
+		fmt.Fprintln(w, experiments.FormatFramingStudy(rows))
+		if err := writeCSV("framing", rows); err != nil {
+			return err
+		}
+		if framingOut != "" {
+			data, err := json.MarshalIndent(struct {
+				Study string                   `json:"study"`
+				Rows  []experiments.FramingRow `json:"rows"`
+			}{Study: "framing", Rows: rows}, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(framingOut, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
 		}
 	}
 	if !known {

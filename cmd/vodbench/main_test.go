@@ -20,7 +20,7 @@ func TestRunSingleStudies(t *testing.T) {
 	}
 	for _, tc := range cases {
 		var b strings.Builder
-		if err := run(&b, tc.study, 1, time.Minute, 0.01, "premium:1", ""); err != nil {
+		if err := run(&b, tc.study, 1, time.Minute, 0.01, "premium:1", "", ""); err != nil {
 			t.Fatalf("run(%s): %v", tc.study, err)
 		}
 		if !strings.Contains(b.String(), tc.want) {
@@ -31,7 +31,7 @@ func TestRunSingleStudies(t *testing.T) {
 
 func TestRunRoutingStudyShortTrace(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "routing", 1, 15*time.Minute, 0.01, "premium:1", ""); err != nil {
+	if err := run(&b, "routing", 1, 15*time.Minute, 0.01, "premium:1", "", ""); err != nil {
 		t.Fatalf("run(routing): %v", err)
 	}
 	out := b.String()
@@ -42,7 +42,7 @@ func TestRunRoutingStudyShortTrace(t *testing.T) {
 
 func TestRunUnknownStudy(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "bogus", 1, time.Minute, 1, "premium:1", ""); err == nil {
+	if err := run(&b, "bogus", 1, time.Minute, 1, "premium:1", "", ""); err == nil {
 		t.Fatal("unknown study accepted")
 	}
 }
@@ -54,12 +54,12 @@ func TestRunAllStudies(t *testing.T) {
 	}
 	dir := t.TempDir()
 	var b strings.Builder
-	if err := run(&b, "all", 1, 15*time.Minute, 0.01, "premium:0.2,standard:0.5,background:0.3", dir); err != nil {
+	if err := run(&b, "all", 1, 15*time.Minute, 0.01, "premium:0.2,standard:0.5,background:0.3", dir, filepath.Join(dir, "BENCH_framing.json")); err != nil {
 		t.Fatalf("run(all): %v", err)
 	}
 	// The CSV exports landed.
 	for _, name := range []string{"routing", "cache", "cluster", "striping",
-		"granularity", "scale", "parallel", "blocking", "placement", "adaptation", "admission"} {
+		"granularity", "scale", "parallel", "blocking", "placement", "adaptation", "admission", "framing"} {
 		data, err := os.ReadFile(filepath.Join(dir, name+".csv"))
 		if err != nil {
 			t.Errorf("csv %s: %v", name, err)
@@ -71,10 +71,18 @@ func TestRunAllStudies(t *testing.T) {
 	}
 	out := b.String()
 	for _, want := range []string{
-		"Ext-1", "Ext-2", "Ext-3", "Ext-4", "Ext-5", "Ext-6", "Ext-7", "Ext-8", "Ext-9", "Ext-10", "Ext-11", "Ext-12",
+		"Ext-1", "Ext-2", "Ext-3", "Ext-4", "Ext-5", "Ext-6", "Ext-7", "Ext-8", "Ext-9", "Ext-10", "Ext-11", "Ext-12", "Ext-13",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("missing %s", want)
 		}
+	}
+	// The framing baseline landed as JSON.
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_framing.json"))
+	if err != nil {
+		t.Fatalf("framing baseline: %v", err)
+	}
+	if !strings.Contains(string(data), `"framing"`) {
+		t.Errorf("framing baseline looks wrong: %q", data)
 	}
 }

@@ -22,6 +22,11 @@ type Player struct {
 	book *transport.AddrBook
 	// verify enables byte-level content verification of each cluster.
 	verify bool
+	// binary controls whether watch connections attempt the hello
+	// handshake for binary cluster framing.
+	binary bool
+	// pool leases cluster-body buffers for the receive loop.
+	pool *transport.BufferPool
 	// class is sent with every watch request; empty means standard.
 	class admission.Class
 }
@@ -33,6 +38,24 @@ type Option func(*Player)
 // throughput benchmarks).
 func WithoutVerification() Option {
 	return func(p *Player) { p.verify = false }
+}
+
+// WithoutBinaryFraming skips the hello handshake, forcing the canonical JSON
+// framing for every cluster — the behaviour of clients predating the binary
+// protocol, kept selectable for interop tests and framing benchmarks.
+func WithoutBinaryFraming() Option {
+	return func(p *Player) { p.binary = false }
+}
+
+// WithBufferPool substitutes the buffer pool the receive loop leases cluster
+// bodies from (by default the process-wide transport.DefaultPool). Useful to
+// surface the pool's hit/miss counters in a caller-owned metrics registry.
+func WithBufferPool(pool *transport.BufferPool) Option {
+	return func(p *Player) {
+		if pool != nil {
+			p.pool = pool
+		}
+	}
 }
 
 // WithClass sets the user class sent with watch requests. Servers running
@@ -68,7 +91,7 @@ func NewPlayer(home topology.NodeID, book *transport.AddrBook, opts ...Option) (
 	if book == nil {
 		return nil, errors.New("player: nil address book")
 	}
-	p := &Player{home: home, book: book, verify: true}
+	p := &Player{home: home, book: book, verify: true, binary: true, pool: transport.DefaultPool()}
 	for _, o := range opts {
 		o(p)
 	}
@@ -134,6 +157,10 @@ type PlaybackStats struct {
 	Class         admission.Class
 	Degraded      bool
 	DeliveredMbps float64
+	// BinaryFraming reports whether the session negotiated binary cluster
+	// frames (false on JSON fallback against a legacy server or when the
+	// player disabled the handshake).
+	BinaryFraming bool
 	// StartupDelay is the time to the first cluster's arrival.
 	StartupDelay time.Duration
 	// Stalls and StallTime account rebuffering: playback consumes each
@@ -171,6 +198,13 @@ func (p *Player) WatchFrom(title string, startCluster int) (PlaybackStats, error
 		return PlaybackStats{}, err
 	}
 	defer conn.Close()
+	if p.binary {
+		// Offer binary cluster framing; a legacy server answers with an
+		// error frame and the session continues on JSON.
+		if _, err := conn.Negotiate(); err != nil {
+			return PlaybackStats{}, err
+		}
+	}
 
 	start := time.Now()
 	req, err := transport.Encode(transport.TypeWatch, transport.WatchPayload{
@@ -219,57 +253,50 @@ func (p *Player) WatchFrom(title string, startCluster int) (PlaybackStats, error
 		Class:         admission.Class(info.Class),
 		Degraded:      info.Degraded,
 		DeliveredMbps: info.DeliveredMbps,
+		BinaryFraming: conn.BinaryFrames(),
 	}
 	var lastSource topology.NodeID
+stream:
 	for {
-		var payload transport.ClusterPayload
-		m, body, err := conn.ReadMessageWithBody(func(m transport.Message) (int64, error) {
-			switch m.Type {
-			case transport.TypeWatchDone:
-				return 0, nil
-			case transport.TypeError:
-				return 0, nil
-			case transport.TypeCluster:
-				pl, err := transport.Decode[transport.ClusterPayload](m)
-				if err != nil {
-					return 0, err
-				}
-				payload = pl
-				return pl.Length, nil
-			default:
-				return 0, fmt.Errorf("unexpected stream message %q", m.Type)
-			}
-		})
+		m, frame, err := conn.ReadFrameOrMessage(p.pool)
 		if err != nil {
 			return stats, err
 		}
-		if m.Type == transport.TypeWatchDone {
-			break
+		if frame != nil {
+			// Binary cluster frame: the body aliases the pooled payload,
+			// so it must be fully consumed before Release.
+			payload, body, derr := transport.DecodeClusterFrame(frame)
+			if derr == nil {
+				derr = p.recordCluster(&stats, info.Title, payload, body, &lastSource)
+			}
+			frame.Release()
+			if derr != nil {
+				return stats, derr
+			}
+			continue
 		}
-		if rerr := transport.AsError(m); rerr != nil {
-			return stats, rerr
+		switch m.Type {
+		case transport.TypeWatchDone:
+			break stream
+		case transport.TypeError:
+			return stats, transport.AsError(m)
+		case transport.TypeCluster:
+			payload, derr := transport.Decode[transport.ClusterPayload](m)
+			if derr != nil {
+				return stats, derr
+			}
+			bodyFrame, derr := conn.ReadBody(payload.Length, p.pool)
+			if derr != nil {
+				return stats, derr
+			}
+			rerr := p.recordCluster(&stats, info.Title, payload, bodyFrame.Payload, &lastSource)
+			bodyFrame.Release()
+			if rerr != nil {
+				return stats, rerr
+			}
+		default:
+			return stats, fmt.Errorf("unexpected stream message %q", m.Type)
 		}
-		rec := ClusterRecord{
-			Index:     payload.Index,
-			Length:    payload.Length,
-			Source:    payload.Source,
-			ArrivedAt: time.Now(),
-		}
-		stats.Records = append(stats.Records, rec)
-		stats.Sources = append(stats.Sources, payload.Source)
-		stats.BytesReceived += int64(len(body))
-		if int64(len(body)) != payload.Length {
-			return stats, fmt.Errorf("cluster %d: got %d bytes, want %d",
-				payload.Index, len(body), payload.Length)
-		}
-		if p.verify && !media.Verify(info.Title, payload.Offset, body) {
-			stats.Verified = false
-			return stats, fmt.Errorf("cluster %d failed content verification", payload.Index)
-		}
-		if lastSource != "" && payload.Source != lastSource {
-			stats.Switches++
-		}
-		lastSource = payload.Source
 	}
 	stats.Elapsed = time.Since(start)
 	wantBytes := info.SizeBytes - int64(startCluster)*info.ClusterBytes
@@ -281,6 +308,33 @@ func (p *Player) WatchFrom(title string, startCluster int) (PlaybackStats, error
 	}
 	p.accountPlayback(&stats, info, start)
 	return stats, nil
+}
+
+// recordCluster accounts one delivered cluster: length check, optional
+// content verification, switch detection. body may alias a pooled buffer; it
+// is not retained.
+func (p *Player) recordCluster(stats *PlaybackStats, title string, payload transport.ClusterPayload, body []byte, lastSource *topology.NodeID) error {
+	stats.Records = append(stats.Records, ClusterRecord{
+		Index:     payload.Index,
+		Length:    payload.Length,
+		Source:    payload.Source,
+		ArrivedAt: time.Now(),
+	})
+	stats.Sources = append(stats.Sources, payload.Source)
+	stats.BytesReceived += int64(len(body))
+	if int64(len(body)) != payload.Length {
+		return fmt.Errorf("cluster %d: got %d bytes, want %d",
+			payload.Index, len(body), payload.Length)
+	}
+	if p.verify && !media.Verify(title, payload.Offset, body) {
+		stats.Verified = false
+		return fmt.Errorf("cluster %d failed content verification", payload.Index)
+	}
+	if *lastSource != "" && payload.Source != *lastSource {
+		stats.Switches++
+	}
+	*lastSource = payload.Source
+	return nil
 }
 
 // accountPlayback derives startup delay and stalls from cluster arrival

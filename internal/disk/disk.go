@@ -145,6 +145,23 @@ func (d *Disk) Read(id BlockID) ([]byte, error) {
 	return out, nil
 }
 
+// ReadInto copies the block's data into dst — the allocation-free read the
+// delivery plane's pooled-buffer pipeline uses — and returns the block size.
+// dst must be at least the block size.
+func (d *Disk) ReadInto(id BlockID, dst []byte) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	data, ok := d.blocks[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s on %s", ErrBlockUnknown, id, d.id)
+	}
+	if len(dst) < len(data) {
+		return 0, fmt.Errorf("read %s on %s: buffer %d bytes, block %d",
+			id, d.id, len(dst), len(data))
+	}
+	return copy(dst, data), nil
+}
+
 // Has reports whether the block is stored.
 func (d *Disk) Has(id BlockID) bool {
 	d.mu.Lock()

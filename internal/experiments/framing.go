@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"dvod/internal/cache"
+	"dvod/internal/client"
+	"dvod/internal/core"
+	"dvod/internal/db"
+	"dvod/internal/disk"
+	"dvod/internal/grnet"
+	"dvod/internal/media"
+	"dvod/internal/server"
+	"dvod/internal/transport"
+)
+
+// --- Ext-13: JSON vs binary cluster framing throughput -----------------------
+
+// FramingStudyConfig parameterizes Ext-13: a live single-node deployment on
+// localhost TCP delivers a resident title once per framing at each cluster
+// size, measuring end-to-end delivery throughput of the canonical JSON
+// framing against the negotiated binary cluster frames (DESIGN.md § "Wire
+// format"). Content verification is disabled on the player so the measurement
+// isolates the delivery pipeline — disk read, framing, socket, receive —
+// rather than the synthetic-content checker, which costs the same under
+// either framing.
+type FramingStudyConfig struct {
+	// ClusterSizes are the cluster sizes to sweep, in bytes.
+	ClusterSizes []int64
+	// TitleClusters is the number of clusters in the delivered title.
+	TitleClusters int
+	// Runs is how many timed watches are averaged per cell; an extra
+	// untimed warmup watch precedes them.
+	Runs int
+}
+
+// DefaultFramingStudyConfig sweeps the headline sizes (64 KiB, 256 KiB,
+// 1 MiB) over a 24-cluster title, averaging 3 timed runs.
+func DefaultFramingStudyConfig() FramingStudyConfig {
+	return FramingStudyConfig{
+		ClusterSizes:  []int64{64 << 10, 256 << 10, 1 << 20},
+		TitleClusters: 24,
+		Runs:          3,
+	}
+}
+
+// FramingRow is one (framing, cluster size) outcome.
+type FramingRow struct {
+	Framing        string  // "json" or "binary"
+	ClusterBytes   int64
+	Clusters       int     // clusters delivered per watch
+	ElapsedMs      float64 // mean wall time of one watch
+	ClustersPerSec float64
+	MBps           float64 // delivered payload bytes per second / 1e6
+}
+
+// FramingStudy runs Ext-13.
+func FramingStudy(cfg FramingStudyConfig) ([]FramingRow, error) {
+	if len(cfg.ClusterSizes) == 0 {
+		return nil, errors.New("framing study: no cluster sizes")
+	}
+	if cfg.TitleClusters <= 0 {
+		return nil, errors.New("framing study: need a positive title length")
+	}
+	if cfg.Runs <= 0 {
+		return nil, errors.New("framing study: need at least one run")
+	}
+	var out []FramingRow
+	for _, size := range cfg.ClusterSizes {
+		if size <= 0 {
+			return nil, fmt.Errorf("framing study: bad cluster size %d", size)
+		}
+		rows, err := framingCell(size, cfg.TitleClusters, cfg.Runs)
+		if err != nil {
+			return nil, fmt.Errorf("framing study @%d: %w", size, err)
+		}
+		out = append(out, rows...)
+	}
+	return out, nil
+}
+
+// framingCell brings up one live server holding a TitleClusters-long title at
+// the given cluster size and measures a JSON and a binary delivery against it.
+func framingCell(clusterBytes int64, titleClusters, runs int) ([]FramingRow, error) {
+	g, err := grnet.Backbone()
+	if err != nil {
+		return nil, err
+	}
+	d := db.New(g)
+	titleBytes := clusterBytes * int64(titleClusters)
+	// Three disks, each sized to hold its share of the stripe with headroom.
+	arr, err := disk.NewUniformArray("fr", 3, titleBytes)
+	if err != nil {
+		return nil, err
+	}
+	dma, err := cache.NewDMA(cache.Config{Array: arr, ClusterBytes: clusterBytes})
+	if err != nil {
+		return nil, err
+	}
+	planner, err := core.NewPlanner(d, core.VRA{}, nil)
+	if err != nil {
+		return nil, err
+	}
+	book := transport.NewAddrBook()
+	srv, err := server.New(server.Config{
+		Node:         grnet.Athens,
+		DB:           d,
+		Planner:      planner,
+		Array:        arr,
+		Cache:        dma,
+		ClusterBytes: clusterBytes,
+		Book:         book,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := srv.Start(); err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	if err := srv.WaitReady(5 * time.Second); err != nil {
+		return nil, err
+	}
+	title := media.Title{
+		Name:        fmt.Sprintf("fr-%d", clusterBytes),
+		SizeBytes:   titleBytes,
+		BitrateMbps: 4,
+	}
+	if err := d.Catalog().AddTitle(title); err != nil {
+		return nil, err
+	}
+	if err := srv.Preload(title); err != nil {
+		return nil, err
+	}
+
+	var out []FramingRow
+	for _, framing := range []string{"json", "binary"} {
+		opts := []client.Option{client.WithoutVerification()}
+		if framing == "json" {
+			opts = append(opts, client.WithoutBinaryFraming())
+		}
+		p, err := client.NewPlayer(grnet.Athens, book, opts...)
+		if err != nil {
+			return nil, err
+		}
+		row := FramingRow{Framing: framing, ClusterBytes: clusterBytes}
+		var elapsed time.Duration
+		for run := 0; run < runs+1; run++ {
+			stats, err := p.Watch(title.Name)
+			if err != nil {
+				return nil, fmt.Errorf("%s watch: %w", framing, err)
+			}
+			wantBinary := framing == "binary"
+			if stats.BinaryFraming != wantBinary {
+				return nil, fmt.Errorf("%s watch negotiated binary=%v", framing, stats.BinaryFraming)
+			}
+			if run == 0 {
+				continue // warmup
+			}
+			row.Clusters = stats.NumClusters
+			elapsed += stats.Elapsed
+		}
+		mean := elapsed / time.Duration(runs)
+		row.ElapsedMs = float64(mean) / float64(time.Millisecond)
+		if mean > 0 {
+			sec := mean.Seconds()
+			row.ClustersPerSec = float64(row.Clusters) / sec
+			row.MBps = float64(titleBytes) / sec / 1e6
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// FormatFramingStudy renders Ext-13, appending each binary row's speedup over
+// the JSON row at the same cluster size.
+func FormatFramingStudy(rows []FramingRow) string {
+	jsonPerSec := make(map[int64]float64)
+	for _, r := range rows {
+		if r.Framing == "json" {
+			jsonPerSec[r.ClusterBytes] = r.ClustersPerSec
+		}
+	}
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "ClusterKiB\tFraming\tClusters\tElapsedMs\tClusters/s\tMB/s\tSpeedup")
+	for _, r := range rows {
+		speedup := "-"
+		if j := jsonPerSec[r.ClusterBytes]; r.Framing == "binary" && j > 0 {
+			speedup = fmt.Sprintf("%.2fx", r.ClustersPerSec/j)
+		}
+		fmt.Fprintf(w, "%d\t%s\t%d\t%.2f\t%.0f\t%.1f\t%s\n",
+			r.ClusterBytes>>10, r.Framing, r.Clusters, r.ElapsedMs,
+			r.ClustersPerSec, r.MBps, speedup)
+	}
+	_ = w.Flush()
+	return b.String()
+}

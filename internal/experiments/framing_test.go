@@ -1,0 +1,47 @@
+package experiments
+
+import "testing"
+
+func TestFramingStudyShape(t *testing.T) {
+	cfg := FramingStudyConfig{
+		ClusterSizes:  []int64{16 << 10, 64 << 10},
+		TitleClusters: 4,
+		Runs:          1,
+	}
+	rows, err := FramingStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(cfg.ClusterSizes)*2 {
+		t.Fatalf("rows = %d, want %d", len(rows), len(cfg.ClusterSizes)*2)
+	}
+	for _, r := range rows {
+		if r.Framing != "json" && r.Framing != "binary" {
+			t.Fatalf("framing = %q", r.Framing)
+		}
+		if r.Clusters != cfg.TitleClusters {
+			t.Fatalf("%s@%d delivered %d clusters, want %d",
+				r.Framing, r.ClusterBytes, r.Clusters, cfg.TitleClusters)
+		}
+		if r.ClustersPerSec <= 0 || r.MBps <= 0 || r.ElapsedMs <= 0 {
+			t.Fatalf("non-positive throughput row: %+v", r)
+		}
+	}
+	if s := FormatFramingStudy(rows); s == "" {
+		t.Fatal("empty format")
+	}
+}
+
+func TestFramingStudyValidation(t *testing.T) {
+	bad := []FramingStudyConfig{
+		{},
+		{ClusterSizes: []int64{1024}},
+		{ClusterSizes: []int64{1024}, TitleClusters: 2},
+		{ClusterSizes: []int64{0}, TitleClusters: 2, Runs: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := FramingStudy(cfg); err == nil {
+			t.Fatalf("config %d accepted", i)
+		}
+	}
+}

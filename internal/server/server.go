@@ -4,6 +4,15 @@
 // caching and the VRA (via the planner) to fetch non-resident clusters from
 // the momentarily optimal peer, switching peers between clusters when the
 // optimum moves.
+//
+// The delivery hot path is zero-copy: cluster bodies are leased from a
+// transport.BufferPool, filled by striping.ReadPartInto (or a pooled peer
+// fetch), written to the wire as binary cluster frames when the client
+// negotiated them (transport.TypeHello), and returned to the pool — no JSON
+// marshal and no per-cluster allocation. Clients that never send a hello get
+// the canonical JSON framing instead. Per-server delivery volume surfaces as
+// the server.bytes_out / server.frames_out counters next to the pool's
+// hit/miss counters on GET /metrics.
 package server
 
 import (
@@ -65,6 +74,9 @@ type Config struct {
 	// cannot grow without bound under a connection flood. Zero defaults
 	// to 256.
 	MaxConns int
+	// Pool recycles cluster-body buffers across deliveries (the zero-copy
+	// pipeline); nil allocates a pool reporting into Metrics.
+	Pool *transport.BufferPool
 }
 
 // Server is one running video server node.
@@ -119,6 +131,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.MaxConns == 0 {
 		cfg.MaxConns = 256
+	}
+	if cfg.Pool == nil {
+		cfg.Pool = transport.NewBufferPool(cfg.Metrics)
 	}
 	return &Server{cfg: cfg, connSem: make(chan struct{}, cfg.MaxConns)}, nil
 }
@@ -242,6 +257,8 @@ func (s *Server) dispatch(c *transport.Conn, m transport.Message) error {
 			return err
 		}
 		return c.WriteMessage(pong)
+	case transport.TypeHello:
+		return c.AcceptHello(m)
 	case transport.TypeTitles:
 		return s.handleTitles(c)
 	case transport.TypeHolders:
@@ -312,40 +329,69 @@ func (s *Server) handleClusterGet(c *transport.Conn, m transport.Message) error 
 	if err != nil {
 		return err
 	}
-	data, payload, err := s.readLocalCluster(req.Title, req.Index)
+	data, payload, release, err := s.readLocalCluster(req.Title, req.Index)
 	if err != nil {
 		return err
 	}
-	resp, err := transport.Encode(transport.TypeClusterOK, payload)
-	if err != nil {
-		return err
-	}
+	defer release()
 	s.cfg.Metrics.Counter("server.clusters_served").Inc()
 	s.cfg.Metrics.Counter("server.bytes_served").Add(int64(len(data)))
-	return c.WriteMessageWithBody(resp, data)
+	return s.sendCluster(c, transport.TypeClusterOK, payload, data)
 }
 
-// readLocalCluster fetches one resident cluster from the local array.
-func (s *Server) readLocalCluster(title string, index int) ([]byte, transport.ClusterPayload, error) {
+// sendCluster writes one cluster on the negotiated framing: a binary
+// FrameCluster when the connection's hello exchange granted it, otherwise a
+// JSON control frame of msgType followed by the raw body. Delivery volume is
+// charged to the bytes-out/frames-out counters either way.
+func (s *Server) sendCluster(c *transport.Conn, msgType string, payload transport.ClusterPayload, body []byte) error {
+	var err error
+	if c.BinaryFrames() {
+		err = c.WriteClusterFrame(payload, body)
+	} else {
+		var m transport.Message
+		if m, err = transport.Encode(msgType, payload); err != nil {
+			return err
+		}
+		err = c.WriteMessageWithBody(m, body)
+	}
+	if err != nil {
+		return err
+	}
+	s.cfg.Metrics.Counter("server.frames_out").Inc()
+	s.cfg.Metrics.Counter("server.bytes_out").Add(int64(len(body)))
+	return nil
+}
+
+// readLocalCluster fetches one resident cluster from the local array into a
+// pool-leased buffer. The caller must invoke release when it is done with
+// the returned bytes; release is non-nil even on error.
+func (s *Server) readLocalCluster(title string, index int) ([]byte, transport.ClusterPayload, func(), error) {
+	release := func() {}
 	layout, ok := s.cfg.Cache.Layout(title)
 	if !ok {
-		return nil, transport.ClusterPayload{}, fmt.Errorf("title %q not resident on %s", title, s.cfg.Node)
-	}
-	data, err := striping.ReadPart(s.cfg.Array, layout, index)
-	if err != nil {
-		return nil, transport.ClusterPayload{}, fmt.Errorf("read cluster %d of %q: %w", index, title, err)
+		return nil, transport.ClusterPayload{}, release, fmt.Errorf("title %q not resident on %s", title, s.cfg.Node)
 	}
 	off, length, err := layout.PartRange(index)
 	if err != nil {
-		return nil, transport.ClusterPayload{}, err
+		return nil, transport.ClusterPayload{}, release, err
 	}
-	return data, transport.ClusterPayload{
+	buf := s.cfg.Pool.Get(int(length))
+	n, err := striping.ReadPartInto(s.cfg.Array, layout, index, buf)
+	if err != nil {
+		s.cfg.Pool.Put(buf)
+		return nil, transport.ClusterPayload{}, release, fmt.Errorf("read cluster %d of %q: %w", index, title, err)
+	}
+	if int64(n) != length {
+		s.cfg.Pool.Put(buf)
+		return nil, transport.ClusterPayload{}, release, fmt.Errorf("cluster %d of %q: read %d bytes, layout says %d", index, title, n, length)
+	}
+	return buf, transport.ClusterPayload{
 		Title:  title,
 		Index:  index,
 		Offset: off,
 		Length: length,
 		Source: s.cfg.Node,
-	}, nil
+	}, func() { s.cfg.Pool.Put(buf) }, nil
 }
 
 // handleWatch orchestrates whole-title delivery to a client homed here.
@@ -418,15 +464,13 @@ func (s *Server) handleWatch(c *transport.Conn, m transport.Message) error {
 		return err
 	}
 	for idx := req.StartCluster; idx < layout.NumParts(); idx++ {
-		data, payload, err := s.deliverCluster(title, idx, planRate)
+		data, payload, release, err := s.deliverCluster(title, idx, planRate)
 		if err != nil {
 			return fmt.Errorf("cluster %d: %w", idx, err)
 		}
-		resp, err := transport.Encode(transport.TypeCluster, payload)
+		err = s.sendCluster(c, transport.TypeCluster, payload, data)
+		release()
 		if err != nil {
-			return err
-		}
-		if err := c.WriteMessageWithBody(resp, data); err != nil {
 			return err
 		}
 	}
@@ -502,26 +546,29 @@ func (s *Server) admitWatch(c *transport.Conn, req transport.WatchPayload, title
 // With admission enabled, planRate > 0 filters routes to those with residual
 // headroom for the granted bitrate, falling back to the cheapest path when
 // none qualifies (the admitted session is kept alive over being cut off).
-func (s *Server) deliverCluster(title media.Title, index int, planRate float64) ([]byte, transport.ClusterPayload, error) {
+// The returned bytes are pool-leased; the caller must invoke release (always
+// non-nil) once they are on the wire.
+func (s *Server) deliverCluster(title media.Title, index int, planRate float64) ([]byte, transport.ClusterPayload, func(), error) {
 	if s.cfg.Cache.Resident(title.Name) {
 		return s.readLocalCluster(title.Name, index)
 	}
+	release := func() {}
 	exclude := make(map[topology.NodeID]bool)
 	var lastErr error
 	for {
 		dec, err := s.planCluster(title.Name, planRate, exclude)
 		if err != nil {
 			if lastErr != nil {
-				return nil, transport.ClusterPayload{}, fmt.Errorf("%w (after fetch failure: %v)", err, lastErr)
+				return nil, transport.ClusterPayload{}, release, fmt.Errorf("%w (after fetch failure: %v)", err, lastErr)
 			}
-			return nil, transport.ClusterPayload{}, err
+			return nil, transport.ClusterPayload{}, release, err
 		}
 		if dec.Server == s.cfg.Node {
 			// The catalog says we hold it but the cache disagrees — the
 			// DB and cache are out of sync.
-			return nil, transport.ClusterPayload{}, fmt.Errorf("holding inconsistency for %q on %s", title.Name, s.cfg.Node)
+			return nil, transport.ClusterPayload{}, release, fmt.Errorf("holding inconsistency for %q on %s", title.Name, s.cfg.Node)
 		}
-		data, payload, err := s.fetchRemoteCluster(dec, title.Name, index)
+		frame, payload, err := s.fetchRemoteCluster(dec, title.Name, index)
 		if err != nil {
 			lastErr = err
 			exclude[dec.Server] = true
@@ -529,10 +576,10 @@ func (s *Server) deliverCluster(title media.Title, index int, planRate float64) 
 			continue
 		}
 		if s.cfg.Counters != nil {
-			s.cfg.Counters.ChargePath(dec.Path.Links(), int64(len(data)))
+			s.cfg.Counters.ChargePath(dec.Path.Links(), int64(len(frame.Payload)))
 		}
 		s.cfg.Metrics.Counter("server.remote_clusters").Inc()
-		return data, payload, nil
+		return frame.Payload, payload, frame.Release, nil
 	}
 }
 
@@ -552,8 +599,11 @@ func (s *Server) planCluster(title string, planRate float64, exclude map[topolog
 	return s.cfg.Planner.PlanExcluding(s.cfg.Node, title, exclude)
 }
 
-// fetchRemoteCluster pulls one cluster from a peer over TCP.
-func (s *Server) fetchRemoteCluster(dec core.Decision, title string, index int) ([]byte, transport.ClusterPayload, error) {
+// fetchRemoteCluster pulls one cluster from a peer over TCP into a
+// pool-leased frame (the peer exchange itself stays on JSON framing: each
+// fetch is a fresh connection, where a hello round trip would cost more than
+// the marshal it saves).
+func (s *Server) fetchRemoteCluster(dec core.Decision, title string, index int) (*transport.Frame, transport.ClusterPayload, error) {
 	addr, err := s.cfg.Book.Lookup(dec.Server)
 	if err != nil {
 		return nil, transport.ClusterPayload{}, err
@@ -575,7 +625,7 @@ func (s *Server) fetchRemoteCluster(dec core.Decision, title string, index int) 
 		return nil, transport.ClusterPayload{}, err
 	}
 	var payload transport.ClusterPayload
-	m, body, err := peer.ReadMessageWithBody(func(m transport.Message) (int64, error) {
+	_, frame, err := peer.ReadMessageWithBodyPool(s.cfg.Pool, func(m transport.Message) (int64, error) {
 		if rerr := transport.AsError(m); rerr != nil {
 			return 0, rerr
 		}
@@ -592,8 +642,7 @@ func (s *Server) fetchRemoteCluster(dec core.Decision, title string, index int) 
 		}
 		return nil, transport.ClusterPayload{}, err
 	}
-	_ = m
-	return body, payload, nil
+	return frame, payload, nil
 }
 
 // Preload stores a title locally and records the holding in the database —

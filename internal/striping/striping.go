@@ -191,6 +191,21 @@ func ReadPart(arr *disk.Array, layout Layout, part int) ([]byte, error) {
 	return d.Read(disk.BlockID{Title: layout.Title, Part: part})
 }
 
+// ReadPartInto copies one part into dst without allocating — the entry point
+// of the delivery plane's pooled-buffer pipeline. dst must be at least the
+// part's length (PartRange); the part size is returned.
+func ReadPartInto(arr *disk.Array, layout Layout, part int, dst []byte) (int, error) {
+	di, err := layout.DiskFor(part)
+	if err != nil {
+		return 0, err
+	}
+	d, err := arr.Disk(di)
+	if err != nil {
+		return 0, err
+	}
+	return d.ReadInto(disk.BlockID{Title: layout.Title, Part: part}, dst)
+}
+
 // ReadRange reads an arbitrary byte range of the title by visiting the parts
 // that cover it.
 func ReadRange(arr *disk.Array, layout Layout, off, length int64) ([]byte, error) {

@@ -1,0 +1,351 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"dvod/internal/topology"
+)
+
+// Binary frame constants. The full wire-format specification lives in
+// DESIGN.md § "Wire format"; the layout is
+//
+//	magic(2) | version(1) | type(1) | flags(1) | payload-len(4) | payload
+//
+// with every multi-byte integer big-endian. The first magic octet (0xD7)
+// doubles as the stream demultiplexer: a JSON control frame always begins
+// with a 0x00 octet because MaxFrameBytes (2^20) keeps the top byte of its
+// length prefix zero, so a receiver can tell the two framings apart from a
+// single octet.
+const (
+	// FrameMagic0 and FrameMagic1 open every binary frame.
+	FrameMagic0 = 0xD7
+	FrameMagic1 = 0x0D
+	// FrameVersion is the highest binary protocol version this build
+	// speaks. Version 0 is invalid on the wire.
+	FrameVersion = 1
+	// FrameHeaderLen is the fixed header size in bytes.
+	FrameHeaderLen = 9
+	// MaxFramePayload bounds one binary frame's payload (meta + body). It
+	// matches the raw-body bound of the JSON framing (64 · MaxFrameBytes).
+	MaxFramePayload = MaxFrameBytes * 64
+)
+
+// Binary frame type codes. Only bulk cluster data is binary-framed; control
+// traffic stays on the canonical JSON framing.
+const (
+	// FrameCluster carries one cluster: a fixed meta header (see
+	// appendClusterMeta) followed by the cluster's raw bytes. It is used
+	// for both watch-stream clusters and cluster.get responses — the
+	// receiver knows which exchange it is in.
+	FrameCluster byte = 0x01
+)
+
+// Capability strings exchanged in the hello handshake.
+const (
+	// CapClusterFrames advertises binary FrameCluster support.
+	CapClusterFrames = "cluster-frames-v1"
+)
+
+// Hello message types: the connect-time capability exchange. A client that
+// wants binary framing sends TypeHello as its first request; a server that
+// understands it answers TypeHelloOK with the granted version and
+// capabilities. Servers predating the handshake answer TypeError ("unknown
+// message type"), which clients treat as "JSON only" and carry on — the
+// connection stays usable, so old and new peers interoperate in every
+// combination.
+const (
+	TypeHello   = "hello"
+	TypeHelloOK = "hello.ok"
+)
+
+// HelloPayload is the client's capability offer.
+type HelloPayload struct {
+	// Version is the highest binary frame version the client accepts.
+	Version int `json:"version"`
+	// Caps lists the capability strings the client supports.
+	Caps []string `json:"caps,omitempty"`
+}
+
+// HelloOKPayload is the server's grant: the version and capability subset
+// both sides will use.
+type HelloOKPayload struct {
+	Version int      `json:"version"`
+	Caps    []string `json:"caps,omitempty"`
+}
+
+// Errors reported by the binary framing layer (all wrap ErrBadFrame so
+// existing callers that branch on it keep working).
+var (
+	// ErrBadMagic: the second magic octet did not match.
+	ErrBadMagic = fmt.Errorf("%w: bad magic", ErrBadFrame)
+	// ErrBadVersion: the frame's version octet is zero or above
+	// FrameVersion.
+	ErrBadVersion = fmt.Errorf("%w: unsupported version", ErrBadFrame)
+)
+
+// Frame is one received binary frame.
+//
+// Ownership rule: Payload is leased from the BufferPool that decoded the
+// frame and remains valid — and exclusively owned by this frame — until
+// Release is called. The codec never recycles a leased buffer on its own, so
+// any number of frames may be in flight concurrently without aliasing a
+// shared read buffer. Callers that retain bytes past Release must copy them
+// first; after Release, Payload is nil and the backing array may be reused
+// by a later read.
+type Frame struct {
+	Version byte
+	Type    byte
+	Flags   byte
+	Payload []byte
+
+	pool *BufferPool
+	buf  []byte
+}
+
+// Release returns the frame's payload buffer to its pool. It is idempotent
+// and a no-op for frames whose buffer was not pool-leased.
+func (f *Frame) Release() {
+	if f == nil || f.buf == nil {
+		return
+	}
+	if f.pool != nil {
+		f.pool.Put(f.buf)
+	}
+	f.pool, f.buf, f.Payload = nil, nil, nil
+}
+
+// clusterMetaFixed is the fixed-width prefix of a FrameCluster payload:
+// index(4) offset(8) length(8) titleLen(2) srcLen(2).
+const clusterMetaFixed = 24
+
+// appendClusterMeta appends the binary cluster meta header to dst.
+func appendClusterMeta(dst []byte, p ClusterPayload) ([]byte, error) {
+	if p.Index < 0 || int64(uint32(p.Index)) != int64(p.Index) {
+		return nil, fmt.Errorf("%w: cluster index %d", ErrBadFrame, p.Index)
+	}
+	if p.Offset < 0 || p.Length < 0 {
+		return nil, fmt.Errorf("%w: negative offset/length", ErrBadFrame)
+	}
+	if len(p.Title) > 0xFFFF || len(p.Source) > 0xFFFF {
+		return nil, fmt.Errorf("%w: name too long", ErrBadFrame)
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(p.Index))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(p.Offset))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(p.Length))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(p.Title)))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(p.Source)))
+	dst = append(dst, p.Title...)
+	dst = append(dst, p.Source...)
+	return dst, nil
+}
+
+// DecodeClusterFrame parses a FrameCluster payload into the cluster meta and
+// its body. The body aliases f.Payload, so it follows the frame's ownership
+// rule: valid until f.Release.
+func DecodeClusterFrame(f *Frame) (ClusterPayload, []byte, error) {
+	if f.Type != FrameCluster {
+		return ClusterPayload{}, nil, fmt.Errorf("%w: frame type 0x%02x is not a cluster", ErrBadFrame, f.Type)
+	}
+	b := f.Payload
+	if len(b) < clusterMetaFixed {
+		return ClusterPayload{}, nil, fmt.Errorf("%w: cluster meta truncated (%d bytes)", ErrBadFrame, len(b))
+	}
+	index := binary.BigEndian.Uint32(b[0:4])
+	offset := binary.BigEndian.Uint64(b[4:12])
+	length := binary.BigEndian.Uint64(b[12:20])
+	titleLen := int(binary.BigEndian.Uint16(b[20:22]))
+	srcLen := int(binary.BigEndian.Uint16(b[22:24]))
+	metaLen := clusterMetaFixed + titleLen + srcLen
+	if len(b) < metaLen {
+		return ClusterPayload{}, nil, fmt.Errorf("%w: cluster names truncated", ErrBadFrame)
+	}
+	body := b[metaLen:]
+	if uint64(len(body)) != length {
+		return ClusterPayload{}, nil, fmt.Errorf("%w: length field %d, body %d bytes", ErrBadFrame, length, len(body))
+	}
+	if offset > uint64(1)<<62 {
+		return ClusterPayload{}, nil, fmt.Errorf("%w: offset overflow", ErrBadFrame)
+	}
+	p := ClusterPayload{
+		Title:  string(b[clusterMetaFixed : clusterMetaFixed+titleLen]),
+		Index:  int(index),
+		Offset: int64(offset),
+		Length: int64(length),
+		Source: topology.NodeID(b[clusterMetaFixed+titleLen : metaLen]),
+	}
+	return p, body, nil
+}
+
+// WriteClusterFrame sends one cluster as a binary frame: header and meta are
+// assembled in a per-connection scratch buffer (reused across calls, so the
+// steady state allocates nothing) and the body is written straight from the
+// caller's buffer — no marshal, no copy. p.Length must equal len(body).
+func (c *Conn) WriteClusterFrame(p ClusterPayload, body []byte) error {
+	if p.Length != int64(len(body)) {
+		return fmt.Errorf("%w: payload length %d, body %d bytes", ErrBadFrame, p.Length, len(body))
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	scratch := append(c.wscratch[:0],
+		FrameMagic0, FrameMagic1, FrameVersion, FrameCluster, 0, // flags
+		0, 0, 0, 0) // payload-len placeholder
+	scratch, err := appendClusterMeta(scratch, p)
+	if err != nil {
+		return err
+	}
+	payloadLen := len(scratch) - FrameHeaderLen + len(body)
+	if payloadLen > MaxFramePayload {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, payloadLen)
+	}
+	binary.BigEndian.PutUint32(scratch[5:9], uint32(payloadLen))
+	c.wscratch = scratch[:0]
+	if _, err := c.rw.Write(scratch); err != nil {
+		return fmt.Errorf("write cluster frame: %w", err)
+	}
+	if _, err := c.rw.Write(body); err != nil {
+		return fmt.Errorf("write cluster body: %w", err)
+	}
+	return nil
+}
+
+// ReadFrameOrMessage reads the next item on the stream, demultiplexing on
+// the first octet: 0xD7 opens a binary frame (frame != nil, zero Message),
+// anything else opens a JSON control frame (frame == nil). The binary
+// payload is leased from pool (allocated unpooled when pool is nil); the
+// caller must Release the returned frame.
+func (c *Conn) ReadFrameOrMessage(pool *BufferPool) (Message, *Frame, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	var first [1]byte
+	if _, err := io.ReadFull(c.rw, first[:]); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return Message{}, nil, io.EOF
+		}
+		return Message{}, nil, fmt.Errorf("read frame header: %w", err)
+	}
+	if first[0] == FrameMagic0 {
+		f, err := c.readFrameLocked(pool)
+		return Message{}, f, err
+	}
+	m, err := c.readJSONLocked(first[0])
+	return m, nil, err
+}
+
+// readFrameLocked parses a binary frame whose first magic octet has already
+// been consumed. Callers hold rmu.
+func (c *Conn) readFrameLocked(pool *BufferPool) (*Frame, error) {
+	var hdr [FrameHeaderLen - 1]byte
+	if _, err := io.ReadFull(c.rw, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: truncated header: %v", ErrBadFrame, err)
+	}
+	if hdr[0] != FrameMagic1 {
+		return nil, fmt.Errorf("%w: 0x%02x", ErrBadMagic, hdr[0])
+	}
+	version := hdr[1]
+	if version == 0 || version > FrameVersion {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, version)
+	}
+	n := binary.BigEndian.Uint32(hdr[4:8])
+	if n == 0 {
+		return nil, fmt.Errorf("%w: zero-length frame payload", ErrBadFrame)
+	}
+	if n > MaxFramePayload {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	f := &Frame{Version: version, Type: hdr[2], Flags: hdr[3], pool: pool}
+	if pool != nil {
+		f.buf = pool.Get(int(n))
+	} else {
+		f.buf = make([]byte, n)
+	}
+	if _, err := io.ReadFull(c.rw, f.buf); err != nil {
+		f.Release()
+		return nil, fmt.Errorf("%w: truncated payload: %v", ErrBadFrame, err)
+	}
+	f.Payload = f.buf
+	return f, nil
+}
+
+// EnableBinaryFrames marks the connection as having negotiated binary
+// cluster framing (both sides call it after a successful hello exchange).
+func (c *Conn) EnableBinaryFrames() { c.binary.Store(true) }
+
+// BinaryFrames reports whether binary cluster framing was negotiated.
+func (c *Conn) BinaryFrames() bool { return c.binary.Load() }
+
+// Negotiate performs the client side of the hello handshake: it offers
+// FrameVersion with CapClusterFrames and interprets the reply. It returns
+// true when the server granted binary cluster framing (the connection is
+// marked accordingly). A TypeError reply — what a pre-handshake server sends
+// for the unknown "hello" type — selects the JSON fallback: Negotiate
+// returns false with a nil error and the connection remains usable.
+func (c *Conn) Negotiate() (bool, error) {
+	req, err := Encode(TypeHello, HelloPayload{
+		Version: FrameVersion,
+		Caps:    []string{CapClusterFrames},
+	})
+	if err != nil {
+		return false, err
+	}
+	if err := c.WriteMessage(req); err != nil {
+		return false, err
+	}
+	m, err := c.ReadMessage()
+	if err != nil {
+		return false, err
+	}
+	switch m.Type {
+	case TypeHelloOK:
+		ok, derr := Decode[HelloOKPayload](m)
+		if derr != nil {
+			return false, derr
+		}
+		if ok.Version < 1 || ok.Version > FrameVersion {
+			return false, fmt.Errorf("hello: server granted unusable version %d", ok.Version)
+		}
+		for _, cap := range ok.Caps {
+			if cap == CapClusterFrames {
+				c.EnableBinaryFrames()
+				return true, nil
+			}
+		}
+		return false, nil
+	case TypeError:
+		// Legacy peer: no handshake support, stay on JSON.
+		return false, nil
+	default:
+		return false, fmt.Errorf("hello: unexpected reply %q", m.Type)
+	}
+}
+
+// AcceptHello performs the server side of the handshake for one received
+// hello message: it intersects the offer with this build's capabilities,
+// enables binary framing on the connection when granted, and writes the
+// hello.ok reply.
+func (c *Conn) AcceptHello(m Message) error {
+	offer, err := Decode[HelloPayload](m)
+	if err != nil {
+		return err
+	}
+	version := offer.Version
+	if version > FrameVersion {
+		version = FrameVersion
+	}
+	var granted []string
+	if version >= 1 {
+		for _, cap := range offer.Caps {
+			if cap == CapClusterFrames {
+				granted = append(granted, CapClusterFrames)
+				c.EnableBinaryFrames()
+			}
+		}
+	}
+	resp, err := Encode(TypeHelloOK, HelloOKPayload{Version: version, Caps: granted})
+	if err != nil {
+		return err
+	}
+	return c.WriteMessage(resp)
+}

@@ -1,12 +1,37 @@
-// Package transport is the live-plane wire protocol of the VoD service: a
-// minimal length-prefixed JSON control channel with raw byte streaming for
-// video data, over TCP (the paper uses "TCP for control messages and either
-// TCP or UDP for the video data"; we use TCP for both so delivered bytes are
-// verifiable).
+// Package transport is the live-plane wire protocol of the VoD service,
+// over TCP (the paper uses "TCP for control messages and either TCP or UDP
+// for the video data"; we use TCP for both so delivered bytes are
+// verifiable). Two framings share one stream:
 //
-// Frame layout: 4-byte big-endian length, then a JSON Message. Video
-// clusters are announced by a control message carrying their length and then
-// sent as raw bytes immediately after the frame.
+//   - JSON control frames — 4-byte big-endian length, then a JSON Message.
+//     Canonical and always available: requests, replies, errors, and the
+//     hello capability exchange all use it.
+//   - Binary cluster frames — negotiated at connect time via hello/hello.ok,
+//     used only for bulk cluster data (magic | version | type | flags |
+//     payload-len | payload; see frame.go and DESIGN.md § "Wire format").
+//
+// The two are demultiplexed by the first octet: MaxFrameBytes (2^20) keeps
+// the top byte of every JSON length prefix at 0x00, while a binary frame
+// always opens with 0xD7.
+//
+// Frame flow of one delivered cluster on the zero-copy path:
+//
+//	server                                          client
+//	──────                                          ──────
+//	pool.Get(c) ◄── BufferPool
+//	striping.ReadPartInto ──► buf
+//	WriteClusterFrame(meta, buf) ──► [hdr|meta][buf] ──► ReadFrameOrMessage
+//	pool.Put(buf)                                       │ pool.Get(len)
+//	                                                    ▼
+//	                                      DecodeClusterFrame ──► verify
+//	                                                    │
+//	                                            frame.Release ──► pool.Put
+//
+// The cluster body crosses each hop exactly once (disk→buffer, buffer→
+// socket, socket→buffer) with no marshaling and, in steady state, no
+// allocation: both ends lease buffers from a size-classed sync.Pool. On the
+// JSON fallback the same flow runs with a marshaled header frame and a
+// per-cluster allocated body.
 package transport
 
 import (
@@ -17,6 +42,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dvod/internal/topology"
@@ -180,11 +206,17 @@ var (
 // Conn wraps a byte stream with message framing. Writes and reads each take
 // an internal lock, so one reader and one writer may operate concurrently,
 // but multi-frame exchanges (message + raw body) hold the lock across both
-// parts via the *WithBody variants.
+// parts via the *WithBody variants. Callers that split an exchange across
+// ReadFrameOrMessage and ReadBody must be the connection's only reader.
 type Conn struct {
 	rmu sync.Mutex
 	wmu sync.Mutex
 	rw  io.ReadWriteCloser
+
+	// binary records the hello-negotiated framing for cluster data.
+	binary atomic.Bool
+	// wscratch holds binary frame headers between writes (guarded by wmu).
+	wscratch []byte
 }
 
 // NewConn wraps a stream (net.Conn or net.Pipe end).
@@ -275,8 +307,21 @@ func (c *Conn) ReadMessage() (Message, error) {
 }
 
 // ReadMessageWithBody receives a control frame and, using bodyLen extracted
-// from it by the caller-supplied function, the raw body that follows.
+// from it by the caller-supplied function, the raw body that follows. The
+// body is freshly allocated; use ReadMessageWithBodyPool on hot paths.
 func (c *Conn) ReadMessageWithBody(bodyLen func(Message) (int64, error)) (Message, []byte, error) {
+	m, f, err := c.ReadMessageWithBodyPool(nil, bodyLen)
+	if f == nil {
+		return m, nil, err
+	}
+	return m, f.Payload, err
+}
+
+// ReadMessageWithBodyPool is ReadMessageWithBody with the body leased from
+// pool: the returned frame owns the body bytes until Release (see Frame's
+// ownership rule). A nil frame is returned when the error path was taken
+// before the body read.
+func (c *Conn) ReadMessageWithBodyPool(pool *BufferPool, bodyLen func(Message) (int64, error)) (Message, *Frame, error) {
 	c.rmu.Lock()
 	defer c.rmu.Unlock()
 	m, err := c.readLocked()
@@ -287,25 +332,65 @@ func (c *Conn) ReadMessageWithBody(bodyLen func(Message) (int64, error)) (Messag
 	if err != nil {
 		return m, nil, err
 	}
+	f, err := c.readBodyLocked(n, pool)
+	return m, f, err
+}
+
+// ReadBody reads n raw body bytes that follow an already-read control frame,
+// leased from pool (allocated when pool is nil). The caller must be the
+// connection's only reader, since the message/body pair is read under two
+// separate lock acquisitions.
+func (c *Conn) ReadBody(n int64, pool *BufferPool) (*Frame, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	return c.readBodyLocked(n, pool)
+}
+
+// readBodyLocked reads n raw bytes into a (possibly pooled) frame buffer.
+// Callers hold rmu.
+func (c *Conn) readBodyLocked(n int64, pool *BufferPool) (*Frame, error) {
 	if n < 0 || n > MaxFrameBytes*64 {
-		return m, nil, fmt.Errorf("%w: body length %d", ErrBadFrame, n)
+		return nil, fmt.Errorf("%w: body length %d", ErrBadFrame, n)
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(c.rw, body); err != nil {
-		return m, nil, fmt.Errorf("read body: %w", err)
+	f := &Frame{pool: pool}
+	if pool != nil {
+		f.buf = pool.Get(int(n))
+	} else {
+		f.buf = make([]byte, n)
 	}
-	return m, body, nil
+	if _, err := io.ReadFull(c.rw, f.buf); err != nil {
+		f.Release()
+		return nil, fmt.Errorf("read body: %w", err)
+	}
+	f.Payload = f.buf
+	return f, nil
 }
 
 func (c *Conn) readLocked() (Message, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(c.rw, hdr[:]); err != nil {
+	var first [1]byte
+	if _, err := io.ReadFull(c.rw, first[:]); err != nil {
 		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
 			return Message{}, io.EOF
 		}
 		return Message{}, fmt.Errorf("read frame header: %w", err)
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	if first[0] == FrameMagic0 {
+		return Message{}, fmt.Errorf("%w: binary frame where a control frame was expected", ErrBadFrame)
+	}
+	return c.readJSONLocked(first[0])
+}
+
+// readJSONLocked parses a JSON control frame whose first length octet has
+// already been consumed. Callers hold rmu.
+func (c *Conn) readJSONLocked(first byte) (Message, error) {
+	var rest [3]byte
+	if _, err := io.ReadFull(c.rw, rest[:]); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return Message{}, io.EOF
+		}
+		return Message{}, fmt.Errorf("read frame header: %w", err)
+	}
+	n := uint32(first)<<24 | uint32(rest[0])<<16 | uint32(rest[1])<<8 | uint32(rest[2])
 	if n == 0 {
 		return Message{}, fmt.Errorf("%w: zero-length frame", ErrBadFrame)
 	}
