@@ -13,6 +13,7 @@
 //	Ext-11 -study adaptation cache recovery speed after a popularity flip
 //	Ext-12 -study admission per-class admission vs best-effort (-class-mix)
 //	Ext-13 -study framing   JSON vs binary cluster framing over live TCP
+//	Ext-14 -study merge     shared-prefix stream merging vs unicast delivery
 //	       -study all       everything (default)
 package main
 
@@ -39,14 +40,18 @@ func main() {
 	csvDir := flag.String("csv", "", "also write each study's rows as CSV into this directory")
 	framingOut := flag.String("framing-out", "",
 		"write the framing study's rows as a JSON baseline to this file (framing study only)")
+	mergeOut := flag.String("merge-out", "",
+		"write the merge study's rows as a JSON baseline to this file (merge study only)")
+	mergeBaseline := flag.String("merge-baseline", "",
+		"compare the merge study's origin-read savings against this baseline file and fail on >20% regression (merge study only)")
 	flag.Parse()
-	if err := run(os.Stdout, *study, *seed, *duration, *rate, *classMix, *csvDir, *framingOut); err != nil {
+	if err := run(os.Stdout, *study, *seed, *duration, *rate, *classMix, *csvDir, *framingOut, *mergeOut, *mergeBaseline); err != nil {
 		fmt.Fprintln(os.Stderr, "vodbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, study string, seed int64, duration time.Duration, rate float64, classMix, csvDir, framingOut string) error {
+func run(w io.Writer, study string, seed int64, duration time.Duration, rate float64, classMix, csvDir, framingOut, mergeOut, mergeBaseline string) error {
 	writeCSV := func(name string, rows any) error {
 		if csvDir == "" {
 			return nil
@@ -253,8 +258,74 @@ func run(w io.Writer, study string, seed int64, duration time.Duration, rate flo
 			}
 		}
 	}
+	if study == "merge" || study == "all" {
+		known = true
+		cfg := experiments.DefaultMergeStudyConfig()
+		cfg.Seed = seed
+		rows, err := experiments.MergeStudy(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "Ext-14. Shared-prefix stream merging vs unicast (concurrent watchers, remote origin)")
+		fmt.Fprintln(w, experiments.FormatMergeStudy(rows))
+		if err := writeCSV("merge", rows); err != nil {
+			return err
+		}
+		if mergeOut != "" {
+			data, err := json.MarshalIndent(mergeReport{Study: "merge", Rows: rows}, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(mergeOut, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+		}
+		if mergeBaseline != "" {
+			if err := checkMergeBaseline(w, rows, mergeBaseline); err != nil {
+				return err
+			}
+		}
+	}
 	if !known {
 		return fmt.Errorf("unknown study %q", study)
+	}
+	return nil
+}
+
+// mergeReport is the committed BENCH_merge.json schema.
+type mergeReport struct {
+	Study string                 `json:"study"`
+	Rows  []experiments.MergeRow `json:"rows"`
+}
+
+// checkMergeBaseline compares the current run's origin-read saving per
+// pattern against the committed baseline and fails on a >20% regression.
+// The saving ratio is structural (reads shared per cohort), not wall-clock,
+// so the gate is stable on loaded CI machines.
+func checkMergeBaseline(w io.Writer, rows []experiments.MergeRow, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base mergeReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("merge baseline %s: %w", path, err)
+	}
+	want := experiments.MergeSavings(base.Rows)
+	got := experiments.MergeSavings(rows)
+	if len(want) == 0 {
+		return fmt.Errorf("merge baseline %s holds no savings to compare", path)
+	}
+	for pattern, baseline := range want {
+		current, ok := got[pattern]
+		if !ok {
+			return fmt.Errorf("merge baseline: pattern %q missing from current run", pattern)
+		}
+		fmt.Fprintf(w, "merge baseline %s: saving %.2fx (baseline %.2fx)\n", pattern, current, baseline)
+		if current < 0.8*baseline {
+			return fmt.Errorf("merge regression: %s origin-read saving %.2fx fell >20%% below baseline %.2fx",
+				pattern, current, baseline)
+		}
 	}
 	return nil
 }

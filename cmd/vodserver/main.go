@@ -37,6 +37,7 @@ type config struct {
 	webPort      int
 	adminToken   string
 	topologyPath string
+	mergeWindow  int
 }
 
 func main() {
@@ -49,6 +50,7 @@ func main() {
 	flag.IntVar(&cfg.webPort, "web-port", 0, "serve the web interface modules on this port (0 = disabled)")
 	flag.StringVar(&cfg.adminToken, "admin-token", "", "bearer token for the limited-access module")
 	flag.StringVar(&cfg.topologyPath, "topology", "", "topology JSON file (default: the GRNET backbone)")
+	flag.IntVar(&cfg.mergeWindow, "merge-window", 0, "stream-merging window in clusters (0 = one stream per session)")
 	flag.Parse()
 
 	dep, err := setup(os.Stdout, cfg)
@@ -94,6 +96,9 @@ func setup(w io.Writer, cfg config) (*deployment, error) {
 		dvod.WithClusterBytes(cfg.clusterBytes),
 		dvod.WithSNMPInterval(cfg.snmpInterval),
 		dvod.WithFailover(5*time.Second, 20*time.Second),
+	}
+	if cfg.mergeWindow != 0 {
+		opts = append(opts, dvod.WithMergeWindow(cfg.mergeWindow))
 	}
 	for i, node := range spec.Nodes {
 		addr := "127.0.0.1:0"

@@ -176,6 +176,7 @@ func New(spec TopologySpec, opts ...Option) (*Service, error) {
 			Counters:     counters,
 			ListenAddr:   o.listenAddrs[node],
 			Clock:        o.clock,
+			MergeWindow:  o.mergeWindow,
 		})
 		if err != nil {
 			return nil, err
@@ -423,6 +424,7 @@ type options struct {
 	listenAddrs       map[NodeID]string
 	failoverInterval  time.Duration
 	failoverMaxAge    time.Duration
+	mergeWindow       int
 }
 
 type diskShape struct {
@@ -466,6 +468,8 @@ func (o options) validate() error {
 		return errors.New("dvod: nil selector")
 	case o.clock == nil:
 		return errors.New("dvod: nil clock")
+	case o.mergeWindow < 0:
+		return fmt.Errorf("dvod: negative merge window %d", o.mergeWindow)
 	}
 	for node, s := range o.nodeDisks {
 		if s.count <= 0 || s.capacityBytes <= 0 {
@@ -535,4 +539,13 @@ func WithFailover(interval, maxAge time.Duration) Option {
 		o.failoverInterval = interval
 		o.failoverMaxAge = maxAge
 	}
+}
+
+// WithMergeWindow enables shared-prefix stream merging on every server:
+// concurrent Watch sessions of one title starting within window clusters of
+// each other share a single base stream (one disk read per cluster, fanned
+// out), with late joiners patched privately. Disabled by default — the
+// paper's delivery is one stream per session.
+func WithMergeWindow(window int) Option {
+	return func(o *options) { o.mergeWindow = window }
 }

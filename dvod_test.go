@@ -2,6 +2,7 @@ package dvod
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"time"
 )
@@ -37,6 +38,7 @@ func TestNewValidatesOptions(t *testing.T) {
 		WithSNMPInterval(0),
 		WithSelector(nil),
 		WithClock(nil),
+		WithMergeWindow(-1),
 	}
 	for i, opt := range cases {
 		if _, err := New(spec, opt); err == nil {
@@ -141,6 +143,73 @@ func TestServiceEndToEnd(t *testing.T) {
 	}
 	if err := svc.Preload("U4", "ghost"); err == nil {
 		t.Fatal("unknown preload title accepted")
+	}
+}
+
+// TestServiceMergedWatch drives stream merging through the public facade: a
+// relay home (array too small to cache the title, so every cluster is
+// fetched from the holder) serves four concurrent watchers of one title,
+// which must coalesce onto a shared base stream.
+func TestServiceMergedWatch(t *testing.T) {
+	const clusterBytes = 512
+	title := Title{Name: "zorba", SizeBytes: 64 << 10, BitrateMbps: 1.5}
+	svc, err := New(GRNETTopology(),
+		WithClusterBytes(clusterBytes),
+		WithDisks(3, 1<<20),
+		WithNodeDisks("U2", 1, clusterBytes),
+		WithMergeWindow(int(title.SizeBytes/clusterBytes)),
+	)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := svc.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer svc.Close()
+	if err := svc.AddTitle(title); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Preload("U4", "zorba"); err != nil {
+		t.Fatal(err)
+	}
+
+	const watchers = 4
+	var wg sync.WaitGroup
+	gate := make(chan struct{})
+	stats := make([]PlaybackStats, watchers)
+	errs := make([]error, watchers)
+	for i := 0; i < watchers; i++ {
+		p, err := svc.Player("U2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, p *Player) {
+			defer wg.Done()
+			<-gate
+			stats[i], errs[i] = p.Watch("zorba")
+		}(i, p)
+	}
+	close(gate)
+	wg.Wait()
+
+	patches := 0
+	for i := 0; i < watchers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("watcher %d: %v", i, errs[i])
+		}
+		if !stats[i].Verified || stats[i].BytesReceived != title.SizeBytes {
+			t.Fatalf("watcher %d stats = %+v", i, stats[i])
+		}
+		if !stats[i].Merged {
+			t.Fatalf("watcher %d not delivered through the merge layer", i)
+		}
+		if stats[i].MergeRole == "patch" {
+			patches++
+		}
+	}
+	if patches == 0 {
+		t.Fatal("no watcher joined an existing cohort")
 	}
 }
 

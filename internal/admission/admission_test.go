@@ -276,18 +276,83 @@ func TestLinkResidualCheck(t *testing.T) {
 	if !errors.As(err, &rej) || rej.Reason != ReasonLink {
 		t.Fatalf("bottlenecked premium: %v", err)
 	}
-	// Background degrades to 1.5 Mbps and fits under the bottleneck.
-	gr, err := b.Admit(Request{Class: Background, BitrateMbps: 3, Links: []topology.LinkID{ab, bc}})
+	// Background at 3 Mbps degrades to 1.5, but the calibrated trunk share
+	// still refuses it: 1.5 Mbps is three quarters of the thin link, which
+	// would leave no room for a better class.
+	_, err = b.Admit(Request{Class: Background, BitrateMbps: 3, Links: []topology.LinkID{ab, bc}})
+	if !errors.As(err, &rej) || rej.Reason != ReasonLink {
+		t.Fatalf("thin-link background: %v", err)
+	}
+	// Small background sessions may fill the class's half of the link — two
+	// 0.5 Mbps sessions — and the reservation then blocks a third.
+	for i := 0; i < 2; i++ {
+		gr, err := b.Admit(Request{Class: Background, BitrateMbps: 0.5, Links: []topology.LinkID{ab, bc}})
+		if err != nil {
+			t.Fatalf("small background %d: %v", i, err)
+		}
+		if gr.Degraded {
+			t.Fatalf("small background %d degraded: %+v", i, gr)
+		}
+	}
+	if _, err := b.Admit(Request{Class: Background, BitrateMbps: 0.5, Links: []topology.LinkID{ab, bc}}); err == nil {
+		t.Fatal("third background fit past the class's link share")
+	}
+}
+
+func TestCalibratedLinkShare(t *testing.T) {
+	cases := []struct {
+		share, capacity, bitrate, want float64
+	}{
+		{1.0, 2, 1.5, 1.0},    // premium entitlement is never reduced
+		{0.85, 2, 1.5, 0.25},  // thin link: keep one full-rate session free
+		{0.85, 100, 1.5, 0.85}, // wide link: flat share unchanged
+		{0.5, 2, 4, 0},        // session larger than the link: clamp to zero
+		{0.85, 0, 1.5, 0.85},  // degenerate capacity: leave share alone
+	}
+	for _, c := range cases {
+		if got := CalibratedLinkShare(c.share, c.capacity, c.bitrate); got != c.want {
+			t.Errorf("CalibratedLinkShare(%g, %g, %g) = %g, want %g",
+				c.share, c.capacity, c.bitrate, got, c.want)
+		}
+	}
+}
+
+// TestThinLinkProtectsPremium is the trunk-calibration regression: on a
+// 2 Mbps access link a flat 0.85 share would let a standard session commit
+// 1.5 Mbps and starve a later premium arrival; the calibrated share rejects
+// the standard session so premium still fits.
+func TestThinLinkProtectsPremium(t *testing.T) {
+	g := topology.NewGraph()
+	for _, n := range []topology.NodeID{"A", "B"} {
+		if err := g.AddNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	thin, err := g.AddLink("A", "B", 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !gr.Degraded || gr.BitrateMbps != 1.5 {
-		t.Fatalf("grant = %+v", gr)
+	snap, err := topology.NewSnapshot(g, nil)
+	if err != nil {
+		t.Fatal(err)
 	}
-	// The reservation itself now blocks an equal follow-up.
-	if _, err := b.Admit(Request{Class: Background, BitrateMbps: 3, Links: []topology.LinkID{ab, bc}}); err == nil {
-		t.Fatal("second background fit into a full bottleneck")
+	b := newBroker(t, Config{
+		CapacityMbps: 100,
+		Snapshot:     func() (*topology.Snapshot, error) { return snap, nil },
+	})
+	_, err = b.Admit(Request{Class: Standard, BitrateMbps: 1.5, Links: []topology.LinkID{thin}})
+	var rej *RejectedError
+	if !errors.As(err, &rej) || rej.Reason != ReasonLink {
+		t.Fatalf("standard on thin link: %v, want link rejection", err)
 	}
+	gr, err := b.Admit(Request{Class: Premium, BitrateMbps: 1.5, Links: []topology.LinkID{thin}})
+	if err != nil {
+		t.Fatalf("premium after standard attempt: %v", err)
+	}
+	if gr.Degraded {
+		t.Fatalf("premium degraded: %+v", gr)
+	}
+	b.Release(gr)
 }
 
 func TestUnknownClassRejected(t *testing.T) {
@@ -348,5 +413,153 @@ func TestSortedClassesDeterministic(t *testing.T) {
 		if got[i] != want[i] {
 			t.Fatalf("sortedClasses = %v", got)
 		}
+	}
+}
+
+func TestAdmitWaitSharedCommitsOnce(t *testing.T) {
+	g := topology.NewGraph()
+	for _, n := range []topology.NodeID{"A", "B"} {
+		if err := g.AddNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	link, err := g.AddLink("A", "B", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := topology.NewSnapshot(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := newBroker(t, Config{
+		CapacityMbps: 10,
+		Snapshot:     func() (*topology.Snapshot, error) { return snap, nil },
+	})
+	req := Request{Class: Premium, Title: "hot", BitrateMbps: 4, Links: []topology.LinkID{link}}
+
+	var grants []*Grant
+	for i := 0; i < 4; i++ {
+		gr, err := b.AdmitWaitShared(req, "watch:hot")
+		if err != nil {
+			t.Fatalf("shared admit %d: %v", i, err)
+		}
+		if !gr.Shared() {
+			t.Fatalf("grant %d not marked shared", i)
+		}
+		grants = append(grants, gr)
+	}
+	// Four sessions, one reservation: a 4 Mbps cohort on a 10 Mbps node
+	// would be impossible (16 Mbps) if each member committed its own rate.
+	if got := b.CommittedMbps(); got != 4 {
+		t.Fatalf("CommittedMbps = %g, want 4 (one shared reservation)", got)
+	}
+	if got := b.Sessions(); got != 4 {
+		t.Fatalf("Sessions = %d, want 4", got)
+	}
+	if got := b.LinkCommittedMbps(link); got != 4 {
+		t.Fatalf("LinkCommittedMbps = %g, want 4", got)
+	}
+	// Early leavers do not strand or free the group's bandwidth...
+	b.Release(grants[0])
+	b.Release(grants[1])
+	if got := b.CommittedMbps(); got != 4 {
+		t.Fatalf("CommittedMbps after partial release = %g, want 4", got)
+	}
+	// ...only the last one out returns it.
+	b.Release(grants[2])
+	b.Release(grants[3])
+	b.Release(grants[3]) // idempotent
+	if got := b.CommittedMbps(); got != 0 {
+		t.Fatalf("CommittedMbps after full release = %g, want 0", got)
+	}
+	if got := b.LinkCommittedMbps(link); got != 0 {
+		t.Fatalf("LinkCommittedMbps after full release = %g, want 0", got)
+	}
+	if got := b.Sessions(); got != 0 {
+		t.Fatalf("Sessions after full release = %d, want 0", got)
+	}
+	// A fresh key after the group died starts a new reservation.
+	gr, err := b.AdmitWaitShared(req, "watch:hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.CommittedMbps(); got != 4 {
+		t.Fatalf("CommittedMbps for revived group = %g, want 4", got)
+	}
+	b.Release(gr)
+}
+
+func TestAdmitWaitSharedEmptyKeyIsUnshared(t *testing.T) {
+	b := newBroker(t, Config{CapacityMbps: 10})
+	g1, err := b.AdmitWaitShared(Request{Class: Premium, BitrateMbps: 4}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.Shared() {
+		t.Fatal("empty-key grant marked shared")
+	}
+	g2, err := b.AdmitWaitShared(Request{Class: Premium, BitrateMbps: 4}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.CommittedMbps(); got != 8 {
+		t.Fatalf("CommittedMbps = %g, want 8 (independent sessions)", got)
+	}
+	b.Release(g1)
+	b.Release(g2)
+}
+
+func TestAdmitWaitSharedRespectsSessionCap(t *testing.T) {
+	b := newBroker(t, Config{CapacityMbps: 10, MaxSessions: 2})
+	req := Request{Class: Background, BitrateMbps: 1}
+	g1, err := b.AdmitWaitShared(req, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := b.AdmitWaitShared(req, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = b.AdmitWaitShared(req, "k")
+	var rej *RejectedError
+	if !errors.As(err, &rej) || rej.Reason != ReasonSessions {
+		t.Fatalf("attach past session cap: %v, want sessions rejection", err)
+	}
+	b.Release(g1)
+	b.Release(g2)
+}
+
+func TestAdmitWaitSharedConcurrentFirsts(t *testing.T) {
+	b := newBroker(t, Config{CapacityMbps: 10, MaxSessions: 64})
+	req := Request{Class: Premium, BitrateMbps: 4}
+	const n = 16
+	grants := make([]*Grant, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g, err := b.AdmitWaitShared(req, "k")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			grants[i] = g
+		}()
+	}
+	wg.Wait()
+	// However the race between first admitters resolves, the group must end
+	// up holding exactly one 4 Mbps reservation.
+	if got := b.CommittedMbps(); got != 4 {
+		t.Fatalf("CommittedMbps = %g, want 4 after %d concurrent shared admits", got, n)
+	}
+	for _, g := range grants {
+		b.Release(g)
+	}
+	if got := b.CommittedMbps(); got != 0 {
+		t.Fatalf("CommittedMbps after release = %g, want 0", got)
+	}
+	if got := b.Sessions(); got != 0 {
+		t.Fatalf("Sessions after release = %d, want 0", got)
 	}
 }

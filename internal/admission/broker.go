@@ -81,7 +81,25 @@ type Grant struct {
 	BitrateMbps float64
 	Degraded    bool
 	links       []topology.LinkID
-	released    bool
+	// shareKey is non-empty for sessions admitted through AdmitWaitShared:
+	// the node/link bandwidth is owned by the shared group, not this grant.
+	shareKey string
+	released bool
+}
+
+// Shared reports whether the grant rides a shared admission group (its
+// bandwidth is committed once for the whole group, not per session).
+func (g *Grant) Shared() bool { return g.shareKey != "" }
+
+// sharedGroup is one stream-merging cohort's single bandwidth reservation.
+// The first session through AdmitWaitShared commits rate and links; later
+// sessions with the same key attach for free and the reservation is returned
+// when the last member releases.
+type sharedGroup struct {
+	rate     float64
+	degraded bool
+	links    []topology.LinkID
+	count    int
 }
 
 // Config assembles a Broker.
@@ -131,6 +149,7 @@ type Broker struct {
 	perLink   map[topology.LinkID]float64
 	bucket    *tokenBucket
 	counts    map[Class]*ClassCounts
+	shared    map[string]*sharedGroup
 	nextID    int64
 	// changed is closed and replaced whenever capacity may have freed, so
 	// queued AdmitWait calls re-check.
@@ -165,6 +184,7 @@ func New(cfg Config) (*Broker, error) {
 		perLink: make(map[topology.LinkID]float64),
 		bucket:  newTokenBucket(cfg.SessionsPerSec, cfg.SessionBurst, cfg.Clock.Now()),
 		counts:  make(map[Class]*ClassCounts, len(cfg.Classes)),
+		shared:  make(map[string]*sharedGroup),
 		changed: make(chan struct{}),
 	}
 	for c := range cfg.Classes {
@@ -297,7 +317,105 @@ func (b *Broker) AdmitWait(req Request) (*Grant, error) {
 	}
 }
 
-// Release returns a grant's bandwidth and session slot. It is idempotent.
+// AdmitWaitShared admits one session into a shared admission group: the
+// first session with a given key is admitted like AdmitWait and its rate and
+// link reservations become the group's, later sessions with the same key
+// attach to the live reservation committing no additional bandwidth (the
+// delivery they share is already paid for — this is how stream-merging
+// cohorts are accounted). Attaching still occupies a session slot but takes
+// no setup token: joining a running stream does no new disk or route setup
+// work, which is what the bucket protects. The reservation is returned when
+// the last group member releases its grant. An empty key degenerates to
+// AdmitWait.
+func (b *Broker) AdmitWaitShared(req Request, key string) (*Grant, error) {
+	if key == "" {
+		return b.AdmitWait(req)
+	}
+	if g, done, err := b.tryAttach(req, key); done {
+		return g, err
+	}
+	g, err := b.AdmitWait(req)
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	if grp, ok := b.shared[key]; ok {
+		// Another first admitter won the race while we were queued: fold
+		// this grant's separate reservation back and attach to the group.
+		b.committed -= g.BitrateMbps
+		if b.committed < 1e-9 {
+			b.committed = 0
+		}
+		for _, id := range g.links {
+			b.perLink[id] -= g.BitrateMbps
+			if b.perLink[id] < 1e-9 {
+				delete(b.perLink, id)
+			}
+		}
+		grp.count++
+		g.links = nil
+		g.BitrateMbps = grp.rate
+		g.Degraded = grp.degraded
+		close(b.changed)
+		b.changed = make(chan struct{})
+	} else {
+		b.shared[key] = &sharedGroup{
+			rate:     g.BitrateMbps,
+			degraded: g.Degraded,
+			links:    g.links,
+			count:    1,
+		}
+		g.links = nil // the group owns the link reservations now
+	}
+	g.shareKey = key
+	b.publishGauges()
+	b.mu.Unlock()
+	return g, nil
+}
+
+// tryAttach joins a live shared group when one exists for key. done is false
+// when there is no group and the caller must run full admission.
+func (b *Broker) tryAttach(req Request, key string) (g *Grant, done bool, err error) {
+	class, _, err := b.policyFor(req.Class)
+	if err != nil {
+		b.account(class, err, false)
+		return nil, true, err
+	}
+	b.mu.Lock()
+	grp, ok := b.shared[key]
+	if !ok {
+		b.mu.Unlock()
+		return nil, false, nil
+	}
+	if b.sessions >= b.cfg.MaxSessions {
+		b.mu.Unlock()
+		err := &RejectedError{Class: class, Reason: ReasonSessions, NeededMbps: req.BitrateMbps}
+		b.account(class, err, false)
+		return nil, true, err
+	}
+	grp.count++
+	b.sessions++
+	g = &Grant{
+		id:          b.nextID,
+		Class:       class,
+		Title:       req.Title,
+		BitrateMbps: grp.rate,
+		Degraded:    grp.degraded,
+		shareKey:    key,
+	}
+	b.nextID++
+	b.publishGauges()
+	b.mu.Unlock()
+	b.account(class, nil, false)
+	if g.Degraded {
+		b.recordDegraded(class)
+	}
+	return g, true, nil
+}
+
+// Release returns a grant's bandwidth and session slot. For shared grants
+// the group's bandwidth and link reservations are returned only when the
+// last member leaves. It is idempotent.
 func (b *Broker) Release(g *Grant) {
 	if g == nil {
 		return
@@ -309,12 +427,23 @@ func (b *Broker) Release(g *Grant) {
 	}
 	g.released = true
 	b.sessions--
-	b.committed -= g.BitrateMbps
+	rate, links := g.BitrateMbps, g.links
+	if g.shareKey != "" {
+		rate, links = 0, nil
+		if grp, ok := b.shared[g.shareKey]; ok {
+			grp.count--
+			if grp.count <= 0 {
+				delete(b.shared, g.shareKey)
+				rate, links = grp.rate, grp.links
+			}
+		}
+	}
+	b.committed -= rate
 	if b.committed < 1e-9 {
 		b.committed = 0
 	}
-	for _, id := range g.links {
-		b.perLink[id] -= g.BitrateMbps
+	for _, id := range links {
+		b.perLink[id] -= rate
 		if b.perLink[id] < 1e-9 {
 			delete(b.perLink, id)
 		}
@@ -372,7 +501,7 @@ func (b *Broker) tryAdmit(req Request, takeToken bool) (*Grant, error) {
 			continue
 		}
 		if snap != nil {
-			if ok, linkFree := b.linksCarry(snap, req.Links, rate); !ok {
+			if ok, linkFree := b.linksCarry(snap, req.Links, rate, pol.MaxShare); !ok {
 				reason = ReasonLink
 				if linkFree < free {
 					free = linkFree
@@ -403,11 +532,15 @@ func (b *Broker) tryAdmit(req Request, takeToken bool) (*Grant, error) {
 	return nil, &RejectedError{Class: class, Reason: reason, NeededMbps: req.BitrateMbps, FreeMbps: free}
 }
 
-// linksCarry reports whether every link on the route has residual headroom
-// (capacity − SNMP-observed use − broker-committed bandwidth) for the rate.
-// Observed use may already include committed sessions' traffic, so the check
-// is conservative under load — the safe direction for admission.
-func (b *Broker) linksCarry(snap *topology.Snapshot, links []topology.LinkID, rate float64) (bool, float64) {
+// linksCarry reports whether every link on the route can take the rate: it
+// needs residual physical headroom (capacity − SNMP-observed use −
+// broker-committed bandwidth) and must stay inside the class's
+// per-link trunk reservation, CalibratedLinkShare of the link's capacity —
+// on thin links the flat MaxShare is tightened so at least one full-rate
+// session of a better class still fits. Observed use may already include
+// committed sessions' traffic, so the check is conservative under load — the
+// safe direction for admission.
+func (b *Broker) linksCarry(snap *topology.Snapshot, links []topology.LinkID, rate, share float64) (bool, float64) {
 	minFree := 0.0
 	first := true
 	for _, id := range links {
@@ -416,6 +549,10 @@ func (b *Broker) linksCarry(snap *topology.Snapshot, links []topology.LinkID, ra
 			return false, 0
 		}
 		freeMbps := l.CapacityMbps*(1-snap.Utilization(id)) - b.perLink[id]
+		classFree := CalibratedLinkShare(share, l.CapacityMbps, rate)*l.CapacityMbps - b.perLink[id]
+		if classFree < freeMbps {
+			freeMbps = classFree
+		}
 		if freeMbps < 0 {
 			freeMbps = 0
 		}

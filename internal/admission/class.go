@@ -91,6 +91,31 @@ func DefaultPolicies() map[Class]Policy {
 	}
 }
 
+// CalibratedLinkShare scales a class's MaxShare to one link's capacity: on a
+// trunk where a single session is a large fraction of the pipe, a flat share
+// under-protects better classes — a standard admission on a 2 Mbps link with
+// share 0.85 can commit 1.7 Mbps and leave no room for a premium session at
+// all. The calibrated share keeps at least one full-rate session of headroom:
+//
+//	calibrated = min(share, 1 − bitrate/capacity), clamped to ≥ 0
+//
+// A share of 1 (premium) is never reduced — the class entitled to the whole
+// pipe must still fit on it. Wide backbone links are unaffected because
+// bitrate/capacity is tiny there.
+func CalibratedLinkShare(share, capacityMbps, bitrateMbps float64) float64 {
+	if share >= 1 || capacityMbps <= 0 || bitrateMbps <= 0 {
+		return share
+	}
+	cal := 1 - bitrateMbps/capacityMbps
+	if cal < 0 {
+		cal = 0
+	}
+	if cal < share {
+		return cal
+	}
+	return share
+}
+
 func validatePolicies(ps map[Class]Policy) error {
 	if len(ps) == 0 {
 		return fmt.Errorf("admission: no class policies")

@@ -161,6 +161,17 @@ type PlaybackStats struct {
 	// frames (false on JSON fallback against a legacy server or when the
 	// player disabled the handshake).
 	BinaryFraming bool
+	// Merged reports whether the server coalesced this session onto a
+	// shared stream-merging cohort; delivery is unchanged, the merge.info
+	// announcement is purely observational. MergeRole is "base" (this
+	// session opened the cohort) or "patch" (it attached to one),
+	// MergeCohort identifies the cohort on the serving node, and
+	// PatchClusters is how many clusters arrived as a private patch stream
+	// before the shared stream took over.
+	Merged        bool
+	MergeRole     string
+	MergeCohort   int64
+	PatchClusters int
 	// StartupDelay is the time to the first cluster's arrival.
 	StartupDelay time.Duration
 	// Stalls and StallTime account rebuffering: playback consumes each
@@ -263,6 +274,15 @@ stream:
 			return stats, err
 		}
 		if frame != nil {
+			if frame.Type == transport.FrameMergeInfo {
+				mi, derr := transport.DecodeMergeInfoFrame(frame)
+				frame.Release()
+				if derr != nil {
+					return stats, derr
+				}
+				recordMergeInfo(&stats, mi)
+				continue
+			}
 			// Binary cluster frame: the body aliases the pooled payload,
 			// so it must be fully consumed before Release.
 			payload, body, derr := transport.DecodeClusterFrame(frame)
@@ -280,6 +300,12 @@ stream:
 			break stream
 		case transport.TypeError:
 			return stats, transport.AsError(m)
+		case transport.TypeMergeInfo:
+			mi, derr := transport.Decode[transport.MergeInfoPayload](m)
+			if derr != nil {
+				return stats, derr
+			}
+			recordMergeInfo(&stats, mi)
 		case transport.TypeCluster:
 			payload, derr := transport.Decode[transport.ClusterPayload](m)
 			if derr != nil {
@@ -308,6 +334,16 @@ stream:
 	}
 	p.accountPlayback(&stats, info, start)
 	return stats, nil
+}
+
+// recordMergeInfo notes the server's stream-merging announcement. It is
+// purely observational: merged and unmerged sessions receive the same
+// in-order cluster stream.
+func recordMergeInfo(stats *PlaybackStats, mi transport.MergeInfoPayload) {
+	stats.Merged = true
+	stats.MergeRole = mi.Role
+	stats.MergeCohort = mi.Cohort
+	stats.PatchClusters = mi.PatchClusters
 }
 
 // recordCluster accounts one delivered cluster: length check, optional

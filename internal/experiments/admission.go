@@ -112,6 +112,14 @@ func DefaultAdmissionStudyConfig() AdmissionStudyConfig {
 	}
 }
 
+// linkWithinCalibratedShare reports whether adding rate to one link's
+// reserved bandwidth keeps the total within the class's calibrated share of
+// the link — the simulator-side mirror of the broker's trunk check.
+func linkWithinCalibratedShare(capacityMbps, reservedMbps, rate, share float64) bool {
+	cal := admission.CalibratedLinkShare(share, capacityMbps, rate)
+	return reservedMbps+rate <= cal*capacityMbps+1e-9
+}
+
 // AdmissionCell is one (mode, policy, load, class) outcome.
 type AdmissionCell struct {
 	Mode            string // "admission" or "best-effort"
@@ -267,14 +275,16 @@ func runAdmissionTrial(g *topology.Graph, sel core.Selector, trace []workload.Re
 	var departures departureHeap
 
 	// trunkOK reports whether reserving rate on every path link keeps each
-	// link's total within share of its capacity.
+	// link's total within the class's calibrated share of its capacity —
+	// the same per-link trunk reservation the live broker applies, so thin
+	// access links stay protected for better classes in the simulation too.
 	trunkOK := func(links []topology.LinkID, rate, share float64) (bool, error) {
 		for _, id := range links {
 			l, err := g.LinkByID(id)
 			if err != nil {
 				return false, err
 			}
-			if res.mbps[id]+rate > share*l.CapacityMbps+1e-9 {
+			if !linkWithinCalibratedShare(l.CapacityMbps, res.mbps[id], rate, share) {
 				return false, nil
 			}
 		}

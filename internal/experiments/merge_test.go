@@ -1,0 +1,63 @@
+package experiments
+
+import "testing"
+
+// TestMergeStudySavesOriginReads pins the tentpole's acceptance bar on a
+// scaled-down Ext-14: with 8 concurrent watchers of one hot title, merging
+// must at least halve the origin's disk reads and upstream bytes without
+// costing the clients throughput.
+func TestMergeStudySavesOriginReads(t *testing.T) {
+	cfg := MergeStudyConfig{
+		Watchers:      8,
+		Titles:        3,
+		TitleClusters: 256,
+		ClusterBytes:  1 << 10,
+		ZipfS:         1.2,
+		Seed:          1,
+		Window:        256,
+	}
+	rows, err := MergeStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	byKey := make(map[string]MergeRow)
+	for _, r := range rows {
+		byKey[r.Pattern+"/"+r.Mode] = r
+	}
+	uni, mer := byKey["hot/unicast"], byKey["hot/merged"]
+	if uni.OriginReads != int64(cfg.Watchers*cfg.TitleClusters) {
+		t.Fatalf("unicast origin reads = %d, want one per delivery (%d)",
+			uni.OriginReads, cfg.Watchers*cfg.TitleClusters)
+	}
+	if uni.Cohorts != 0 || uni.Merged != 0 {
+		t.Fatalf("unicast cell reported cohorts=%d merged=%d", uni.Cohorts, uni.Merged)
+	}
+	if 2*mer.OriginReads > uni.OriginReads {
+		t.Fatalf("merged origin reads %d not halved against unicast %d",
+			mer.OriginReads, uni.OriginReads)
+	}
+	if 2*mer.UpstreamMB > uni.UpstreamMB {
+		t.Fatalf("merged upstream %.2f MB not halved against unicast %.2f MB",
+			mer.UpstreamMB, uni.UpstreamMB)
+	}
+	if mer.Merged == 0 {
+		t.Fatal("no session merged onto a cohort")
+	}
+	savings := MergeSavings(rows)
+	if savings["hot"] < 2 {
+		t.Fatalf("hot saving %.2fx below the 2x acceptance bar", savings["hot"])
+	}
+	// The zipf pattern replays identical draws in both modes, so the
+	// unicast read count must match the trace exactly.
+	zu := byKey["zipf/unicast"]
+	if zu.OriginReads != int64(cfg.Watchers*cfg.TitleClusters) {
+		t.Fatalf("zipf unicast origin reads = %d, want %d",
+			zu.OriginReads, cfg.Watchers*cfg.TitleClusters)
+	}
+	if out := FormatMergeStudy(rows); out == "" {
+		t.Fatal("empty report")
+	}
+}

@@ -13,6 +13,14 @@
 // the canonical JSON framing instead. Per-server delivery volume surfaces as
 // the server.bytes_out / server.frames_out counters next to the pool's
 // hit/miss counters on GET /metrics.
+//
+// With Config.MergeWindow > 0 the server additionally merges shared-prefix
+// streams: concurrent Watch sessions of one title whose positions overlap
+// within the window share a single cohort base stream — one disk read (or
+// peer fetch) per cluster, fanned out through ref-counted frame leases —
+// while late joiners are privately patched up to their join position
+// (internal/merge). A hot title then costs the origin one stream per cohort
+// instead of one per viewer.
 package server
 
 import (
@@ -30,6 +38,7 @@ import (
 	"dvod/internal/db"
 	"dvod/internal/disk"
 	"dvod/internal/media"
+	"dvod/internal/merge"
 	"dvod/internal/metrics"
 	"dvod/internal/striping"
 	"dvod/internal/topology"
@@ -77,6 +86,16 @@ type Config struct {
 	// Pool recycles cluster-body buffers across deliveries (the zero-copy
 	// pipeline); nil allocates a pool reporting into Metrics.
 	Pool *transport.BufferPool
+	// MergeWindow enables shared-prefix stream merging when positive:
+	// concurrent Watch sessions of one title within MergeWindow clusters of
+	// each other coalesce onto one base stream, and each cluster is read
+	// once and fanned out instead of once per viewer (late joiners get the
+	// gap as a private patch stream). Zero disables merging and every
+	// session reads privately, as the paper does.
+	MergeWindow int
+	// MergeQueueDepth overrides the per-session broadcast queue bound
+	// (merge.Config.QueueDepth); zero uses the merge layer's default.
+	MergeQueueDepth int
 }
 
 // Server is one running video server node.
@@ -84,6 +103,8 @@ type Server struct {
 	cfg     Config
 	ln      net.Listener
 	connSem chan struct{}
+	// merges tracks live stream-merging cohorts; nil when MergeWindow is 0.
+	merges *merge.Registry
 
 	mu     sync.Mutex
 	closed bool
@@ -135,7 +156,22 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Pool == nil {
 		cfg.Pool = transport.NewBufferPool(cfg.Metrics)
 	}
-	return &Server{cfg: cfg, connSem: make(chan struct{}, cfg.MaxConns)}, nil
+	if cfg.MergeWindow < 0 {
+		return nil, fmt.Errorf("server: negative merge window %d", cfg.MergeWindow)
+	}
+	srv := &Server{cfg: cfg, connSem: make(chan struct{}, cfg.MaxConns)}
+	if cfg.MergeWindow > 0 {
+		m, err := merge.NewRegistry(merge.Config{
+			Window:     cfg.MergeWindow,
+			QueueDepth: cfg.MergeQueueDepth,
+			Metrics:    cfg.Metrics,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		srv.merges = m
+	}
+	return srv, nil
 }
 
 // Node returns the server's topology node.
@@ -343,6 +379,13 @@ func (s *Server) handleClusterGet(c *transport.Conn, m transport.Message) error 
 // FrameCluster when the connection's hello exchange granted it, otherwise a
 // JSON control frame of msgType followed by the raw body. Delivery volume is
 // charged to the bytes-out/frames-out counters either way.
+//
+// Counter semantics: server.frames_out and server.bytes_out count per-client
+// deliveries — every handler that puts a cluster on a wire charges them,
+// including the fan-out copies of one merged base-stream read. Disk work is
+// the separate server.disk_reads / server.disk_bytes pair (and
+// server.remote_clusters for peer fetches); with stream merging active the
+// two deliberately diverge, and their ratio is the fan-out amplification.
 func (s *Server) sendCluster(c *transport.Conn, msgType string, payload transport.ClusterPayload, body []byte) error {
 	var err error
 	if c.BinaryFrames() {
@@ -385,6 +428,10 @@ func (s *Server) readLocalCluster(title string, index int) ([]byte, transport.Cl
 		s.cfg.Pool.Put(buf)
 		return nil, transport.ClusterPayload{}, release, fmt.Errorf("cluster %d of %q: read %d bytes, layout says %d", index, title, n, length)
 	}
+	// Disk-side accounting, distinct from the per-client frames_out /
+	// bytes_out pair: merged fan-out multiplies deliveries, not reads.
+	s.cfg.Metrics.Counter("server.disk_reads").Inc()
+	s.cfg.Metrics.Counter("server.disk_bytes").Add(length)
 	return buf, transport.ClusterPayload{
 		Title:  title,
 		Index:  index,
@@ -463,16 +510,13 @@ func (s *Server) handleWatch(c *transport.Conn, m transport.Message) error {
 	if err := c.WriteMessage(head); err != nil {
 		return err
 	}
-	for idx := req.StartCluster; idx < layout.NumParts(); idx++ {
-		data, payload, release, err := s.deliverCluster(title, idx, planRate)
-		if err != nil {
-			return fmt.Errorf("cluster %d: %w", idx, err)
-		}
-		err = s.sendCluster(c, transport.TypeCluster, payload, data)
-		release()
-		if err != nil {
-			return err
-		}
+	if s.merges != nil {
+		err = s.streamMerged(c, title, layout.NumParts(), req.StartCluster, planRate)
+	} else {
+		err = s.streamUnicast(c, title, layout.NumParts(), req.StartCluster, planRate)
+	}
+	if err != nil {
+		return err
 	}
 	done, err := transport.Encode(transport.TypeWatchDone, nil)
 	if err != nil {
@@ -506,12 +550,26 @@ func (s *Server) admitWatch(c *transport.Conn, req transport.WatchPayload, title
 			links = dec.Path.Links()
 		}
 	}
-	grant, err := s.cfg.Broker.AdmitWait(admission.Request{
+	areq := admission.Request{
 		Class:       class,
 		Title:       title.Name,
 		BitrateMbps: title.BitrateMbps,
 		Links:       links,
-	})
+	}
+	var grant *admission.Grant
+	if s.merges != nil {
+		// Merged sessions share one delivery stream per cohort, so they
+		// commit shared — not additive — bandwidth: the first watcher of a
+		// title reserves the full rate and later ones attach for free. The
+		// group is keyed by title (a conservative coarsening of the cohort,
+		// which does not exist until after admission); sessions that end up
+		// in separate cohorts of one title briefly under-reserve, which the
+		// SNMP-fed link estimator absorbs the way it absorbs any unreserved
+		// traffic.
+		grant, err = s.cfg.Broker.AdmitWaitShared(areq, "watch:"+title.Name)
+	} else {
+		grant, err = s.cfg.Broker.AdmitWait(areq)
+	}
 	if err == nil {
 		return grant, false, nil
 	}
@@ -539,34 +597,38 @@ func (s *Server) admitWatch(c *transport.Conn, req transport.WatchPayload, title
 	}
 }
 
-// deliverCluster obtains one cluster: locally when resident, otherwise from
-// the server the routing policy selects right now (the paper's per-cluster
-// re-evaluation). A failed remote fetch retries against the remaining
-// replicas, cheapest first, so one dead peer does not abort the playback.
-// With admission enabled, planRate > 0 filters routes to those with residual
-// headroom for the granted bitrate, falling back to the cheapest path when
-// none qualifies (the admitted session is kept alive over being cut off).
-// The returned bytes are pool-leased; the caller must invoke release (always
-// non-nil) once they are on the wire.
-func (s *Server) deliverCluster(title media.Title, index int, planRate float64) ([]byte, transport.ClusterPayload, func(), error) {
+// deliverCluster obtains one cluster as a pool-leased frame: locally when
+// resident, otherwise from the server the routing policy selects right now
+// (the paper's per-cluster re-evaluation). A failed remote fetch retries
+// against the remaining replicas, cheapest first, so one dead peer does not
+// abort the playback. With admission enabled, planRate > 0 filters routes to
+// those with residual headroom for the granted bitrate, falling back to the
+// cheapest path when none qualifies (the admitted session is kept alive over
+// being cut off). The caller owns one reference on the returned frame and
+// must Release it once the bytes are on the wire; a merged cohort Retains it
+// once per fan-out subscriber instead of re-reading.
+func (s *Server) deliverCluster(title media.Title, index int, planRate float64) (*transport.Frame, transport.ClusterPayload, error) {
 	if s.cfg.Cache.Resident(title.Name) {
-		return s.readLocalCluster(title.Name, index)
+		data, payload, _, err := s.readLocalCluster(title.Name, index)
+		if err != nil {
+			return nil, transport.ClusterPayload{}, err
+		}
+		return transport.NewLeasedFrame(s.cfg.Pool, data), payload, nil
 	}
-	release := func() {}
 	exclude := make(map[topology.NodeID]bool)
 	var lastErr error
 	for {
 		dec, err := s.planCluster(title.Name, planRate, exclude)
 		if err != nil {
 			if lastErr != nil {
-				return nil, transport.ClusterPayload{}, release, fmt.Errorf("%w (after fetch failure: %v)", err, lastErr)
+				return nil, transport.ClusterPayload{}, fmt.Errorf("%w (after fetch failure: %v)", err, lastErr)
 			}
-			return nil, transport.ClusterPayload{}, release, err
+			return nil, transport.ClusterPayload{}, err
 		}
 		if dec.Server == s.cfg.Node {
 			// The catalog says we hold it but the cache disagrees — the
 			// DB and cache are out of sync.
-			return nil, transport.ClusterPayload{}, release, fmt.Errorf("holding inconsistency for %q on %s", title.Name, s.cfg.Node)
+			return nil, transport.ClusterPayload{}, fmt.Errorf("holding inconsistency for %q on %s", title.Name, s.cfg.Node)
 		}
 		frame, payload, err := s.fetchRemoteCluster(dec, title.Name, index)
 		if err != nil {
@@ -579,8 +641,108 @@ func (s *Server) deliverCluster(title media.Title, index int, planRate float64) 
 			s.cfg.Counters.ChargePath(dec.Path.Links(), int64(len(frame.Payload)))
 		}
 		s.cfg.Metrics.Counter("server.remote_clusters").Inc()
-		return frame.Payload, payload, frame.Release, nil
+		return frame, payload, nil
 	}
+}
+
+// deliverAndSend reads one cluster privately and writes it to this client.
+func (s *Server) deliverAndSend(c *transport.Conn, title media.Title, index int, planRate float64) error {
+	frame, payload, err := s.deliverCluster(title, index, planRate)
+	if err != nil {
+		return fmt.Errorf("cluster %d: %w", index, err)
+	}
+	err = s.sendCluster(c, transport.TypeCluster, payload, frame.Payload)
+	frame.Release()
+	return err
+}
+
+// streamUnicast delivers [start, end) with a private read per cluster — the
+// paper's delivery mode, and the fallback when merging is disabled.
+func (s *Server) streamUnicast(c *transport.Conn, title media.Title, end, start int, planRate float64) error {
+	for idx := start; idx < end; idx++ {
+		if err := s.deliverAndSend(c, title, idx, planRate); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mergeSource adapts the private delivery path into a cohort's shared read
+// source. The pump calls it once per cluster for the whole cohort; replica
+// failover inside deliverCluster is therefore shared too.
+func (s *Server) mergeSource(title media.Title, planRate float64) merge.Source {
+	return func(index int) (*transport.Frame, transport.ClusterPayload, error) {
+		return s.deliverCluster(title, index, planRate)
+	}
+}
+
+// streamMerged delivers a watch session through the stream-merging layer:
+// join (or open) a cohort, announce the merge to the client, privately patch
+// the gap up to the join position, then relay the shared base stream. When
+// the cohort detaches this session early — it stalled, or the cohort's
+// source failed — the remaining clusters are delivered over the private
+// unicast path, whose own replica retry absorbs server failures, so the
+// client sees an unbroken in-order stream either way.
+func (s *Server) streamMerged(c *transport.Conn, title media.Title, numClusters, start int, planRate float64) error {
+	sub, err := s.merges.Join(title.Name, numClusters, start, s.mergeSource(title, planRate))
+	if err != nil {
+		return err
+	}
+	// Leave is idempotent and releases any queued frames on error paths.
+	defer sub.Leave()
+	role := transport.MergeRolePatch
+	if sub.Created() {
+		role = transport.MergeRoleBase
+	}
+	if err := s.sendMergeInfo(c, transport.MergeInfoPayload{
+		Cohort:        sub.CohortID(),
+		Role:          role,
+		JoinIndex:     sub.Start(),
+		PatchClusters: sub.Start() - start,
+	}); err != nil {
+		return err
+	}
+	// Patch stream: the clusters this session missed, read privately while
+	// the subscription queue buffers the ongoing base stream.
+	for idx := start; idx < sub.Start(); idx++ {
+		if err := s.deliverAndSend(c, title, idx, planRate); err != nil {
+			return err
+		}
+	}
+	next := sub.Start()
+	for {
+		item, ok := sub.Recv()
+		if !ok {
+			break
+		}
+		err := s.sendCluster(c, transport.TypeCluster, item.Payload, item.Frame.Payload)
+		item.Frame.Release()
+		if err != nil {
+			return err
+		}
+		next = item.Payload.Index + 1
+	}
+	// Unicast tail: nothing to do after normal cohort completion; after an
+	// eviction it resumes at exactly the next undelivered index.
+	for idx := next; idx < numClusters; idx++ {
+		if err := s.deliverAndSend(c, title, idx, planRate); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sendMergeInfo announces a session's cohort attachment on the negotiated
+// framing.
+func (s *Server) sendMergeInfo(c *transport.Conn, p transport.MergeInfoPayload) error {
+	if c.BinaryFrames() {
+		return c.WriteMergeInfoFrame(p)
+	}
+	m, err := transport.Encode(transport.TypeMergeInfo, p)
+	if err != nil {
+		return err
+	}
+	return c.WriteMessage(m)
 }
 
 // planCluster picks the serving replica for one cluster, bandwidth-aware

@@ -30,8 +30,10 @@ type liveCluster struct {
 }
 
 // newCluster brings up all six GRNET video servers with per-node array
-// capacities (nodes absent from capacities get the default 1 MiB).
-func newCluster(t *testing.T, capacities map[topology.NodeID]int64) *liveCluster {
+// capacities (nodes absent from capacities get the default 1 MiB). opts
+// mutate every node's configuration before construction (e.g. to enable
+// stream merging).
+func newCluster(t *testing.T, capacities map[topology.NodeID]int64, opts ...func(*server.Config)) *liveCluster {
 	t.Helper()
 	g, err := grnet.Backbone()
 	if err != nil {
@@ -65,7 +67,7 @@ func newCluster(t *testing.T, capacities map[topology.NodeID]int64) *liveCluster
 		if err != nil {
 			t.Fatal(err)
 		}
-		srv, err := server.New(server.Config{
+		cfg := server.Config{
 			Node:         node,
 			DB:           d,
 			Planner:      planner,
@@ -74,7 +76,11 @@ func newCluster(t *testing.T, capacities map[topology.NodeID]int64) *liveCluster
 			ClusterBytes: clusterBytes,
 			Book:         book,
 			Counters:     counters,
-		})
+		}
+		for _, o := range opts {
+			o(&cfg)
+		}
+		srv, err := server.New(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"dvod/internal/topology"
 )
@@ -89,12 +90,16 @@ var (
 // Frame is one received binary frame.
 //
 // Ownership rule: Payload is leased from the BufferPool that decoded the
-// frame and remains valid — and exclusively owned by this frame — until
-// Release is called. The codec never recycles a leased buffer on its own, so
-// any number of frames may be in flight concurrently without aliasing a
-// shared read buffer. Callers that retain bytes past Release must copy them
-// first; after Release, Payload is nil and the backing array may be reused
-// by a later read.
+// frame and remains valid while the frame holds at least one reference. A
+// frame starts with one reference; Retain adds a consumer and every holder
+// must call Release exactly once. The buffer returns to its pool only when
+// the last reference is dropped, so one disk read can be fanned out to many
+// writers (each holding its own reference) without copying, and any number
+// of frames may be in flight concurrently without aliasing a shared read
+// buffer. Callers that keep bytes past their Release must copy them first;
+// after the final Release, Payload is nil and the backing array may be
+// reused by a later read. Releasing more times than the frame was retained
+// panics — a double release would hand the same buffer to two readers.
 type Frame struct {
 	Version byte
 	Type    byte
@@ -103,19 +108,54 @@ type Frame struct {
 
 	pool *BufferPool
 	buf  []byte
+	refs atomic.Int32
 }
 
-// Release returns the frame's payload buffer to its pool. It is idempotent
-// and a no-op for frames whose buffer was not pool-leased.
+// NewLeasedFrame wraps a buffer leased from pool (Get) in a frame with one
+// reference, so locally produced data — a disk read — flows through the same
+// retain/release fan-out path as frames decoded off the wire. A nil pool
+// means buf was allocated unpooled and the final Release just drops it.
+func NewLeasedFrame(pool *BufferPool, buf []byte) *Frame {
+	f := &Frame{Payload: buf, pool: pool, buf: buf}
+	f.refs.Store(1)
+	return f
+}
+
+// Retain adds one reference to the frame and returns it. Each Retain must be
+// balanced by exactly one Release. Retaining a fully released frame panics:
+// its buffer may already back another read.
+func (f *Frame) Retain() *Frame {
+	if f == nil {
+		return nil
+	}
+	if f.refs.Add(1) <= 1 {
+		panic("transport: Retain on a released frame")
+	}
+	return f
+}
+
+// Release drops one reference; the payload buffer returns to its pool when
+// the last reference is dropped. Releasing a frame more times than it was
+// retained panics — the buffer could otherwise be recycled while another
+// holder is still reading it.
 func (f *Frame) Release() {
-	if f == nil || f.buf == nil {
+	if f == nil {
 		return
 	}
-	if f.pool != nil {
+	switch n := f.refs.Add(-1); {
+	case n > 0:
+		return
+	case n < 0:
+		panic("transport: Frame double release")
+	}
+	if f.pool != nil && f.buf != nil {
 		f.pool.Put(f.buf)
 	}
 	f.pool, f.buf, f.Payload = nil, nil, nil
 }
+
+// Refs reports the frame's current reference count (for tests).
+func (f *Frame) Refs() int { return int(f.refs.Load()) }
 
 // clusterMetaFixed is the fixed-width prefix of a FrameCluster payload:
 // index(4) offset(8) length(8) titleLen(2) srcLen(2).
@@ -256,6 +296,7 @@ func (c *Conn) readFrameLocked(pool *BufferPool) (*Frame, error) {
 		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
 	}
 	f := &Frame{Version: version, Type: hdr[2], Flags: hdr[3], pool: pool}
+	f.refs.Store(1)
 	if pool != nil {
 		f.buf = pool.Get(int(n))
 	} else {

@@ -66,7 +66,6 @@ func TestClusterFrameRoundTrip(t *testing.T) {
 	if f.Payload != nil {
 		t.Fatal("payload not cleared by Release")
 	}
-	f.Release() // idempotent
 }
 
 // TestFrameDemux interleaves JSON control frames and binary cluster frames
@@ -240,12 +239,64 @@ func TestFramePayloadOwnership(t *testing.T) {
 	}
 	f1.Release()
 	f2.Release()
-	// Both leases were returned to the pool exactly once (Release is
-	// idempotent, so a double Release must not double-count).
-	f1.Release()
+	// Both leases were returned to the pool exactly once.
 	if got := pool.returns.Value(); got != 2 {
 		t.Fatalf("pool returns = %d, want 2", got)
 	}
+}
+
+// TestFrameRetainRelease pins the multi-consumer lease: a retained frame
+// keeps its buffer out of the pool until every holder has released.
+func TestFrameRetainRelease(t *testing.T) {
+	pool := NewBufferPool(nil)
+	f := NewLeasedFrame(pool, pool.Get(4096))
+	f.Retain()
+	f.Retain()
+	if got := f.Refs(); got != 3 {
+		t.Fatalf("refs = %d, want 3", got)
+	}
+	f.Release()
+	f.Release()
+	if f.Payload == nil {
+		t.Fatal("payload dropped while a reference remains")
+	}
+	if got := pool.returns.Value(); got != 0 {
+		t.Fatalf("buffer returned early: pool returns = %d", got)
+	}
+	f.Release()
+	if f.Payload != nil {
+		t.Fatal("payload not cleared by final Release")
+	}
+	if got := pool.returns.Value(); got != 1 {
+		t.Fatalf("pool returns = %d, want 1", got)
+	}
+}
+
+// TestFrameDoubleReleasePanics: releasing past zero must panic rather than
+// hand the same buffer to two readers.
+func TestFrameDoubleReleasePanics(t *testing.T) {
+	pool := NewBufferPool(nil)
+	f := NewLeasedFrame(pool, pool.Get(4096))
+	f.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Release did not panic")
+		}
+	}()
+	f.Release()
+}
+
+// TestFrameRetainAfterReleasePanics: a fully released frame's buffer may
+// already back another read, so reviving it must panic.
+func TestFrameRetainAfterReleasePanics(t *testing.T) {
+	f := NewLeasedFrame(nil, make([]byte, 16))
+	f.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Retain after final Release did not panic")
+		}
+	}()
+	f.Retain()
 }
 
 func TestBufferPool(t *testing.T) {

@@ -1,0 +1,100 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestMergeInfoFrameRoundTrip(t *testing.T) {
+	c, _ := newFrameConn()
+	for _, want := range []MergeInfoPayload{
+		{Cohort: 1, Role: MergeRoleBase, JoinIndex: 0},
+		{Cohort: 42, Role: MergeRolePatch, JoinIndex: 17, PatchClusters: 9},
+	} {
+		if err := c.WriteMergeInfoFrame(want); err != nil {
+			t.Fatal(err)
+		}
+		m, f, err := c.ReadFrameOrMessage(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f == nil {
+			t.Fatalf("got JSON message %+v, want binary frame", m)
+		}
+		got, err := DecodeMergeInfoFrame(f)
+		f.Release()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("round trip = %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestMergeInfoFrameWriteValidation(t *testing.T) {
+	c, _ := newFrameConn()
+	for _, bad := range []MergeInfoPayload{
+		{Cohort: 1, Role: "leader"},
+		{Cohort: -1, Role: MergeRoleBase},
+		{Cohort: 1, Role: MergeRolePatch, JoinIndex: -3},
+		{Cohort: 1, Role: MergeRolePatch, PatchClusters: -1},
+	} {
+		if err := c.WriteMergeInfoFrame(bad); !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("WriteMergeInfoFrame(%+v) = %v, want ErrBadFrame", bad, err)
+		}
+	}
+}
+
+func TestDecodeMergeInfoFrameErrors(t *testing.T) {
+	mk := func(typ byte, payload []byte) *Frame {
+		f := &Frame{Version: FrameVersion, Type: typ, Payload: payload}
+		return f
+	}
+	cases := map[string]*Frame{
+		"wrong type":  mk(FrameCluster, make([]byte, mergeInfoLen)),
+		"short":       mk(FrameMergeInfo, make([]byte, mergeInfoLen-1)),
+		"long":        mk(FrameMergeInfo, make([]byte, mergeInfoLen+1)),
+		"bad role":    mk(FrameMergeInfo, append(make([]byte, 8), 0x7F, 0, 0, 0, 0, 0, 0, 0, 0)),
+		"cohort high": mk(FrameMergeInfo, append([]byte{0xFF, 0, 0, 0, 0, 0, 0, 0, 1}, make([]byte, 8)...)),
+	}
+	for name, f := range cases {
+		if _, err := DecodeMergeInfoFrame(f); !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("%s: err = %v, want ErrBadFrame", name, err)
+		}
+	}
+}
+
+// FuzzMergeInfoFrame feeds arbitrary payload bytes through the decoder: it
+// must reject or accept cleanly (no panic), and every accepted payload must
+// re-encode over a wire round trip to the identical value.
+func FuzzMergeInfoFrame(f *testing.F) {
+	f.Add(make([]byte, mergeInfoLen))
+	seed := append([]byte{0, 0, 0, 0, 0, 0, 0, 7, 1}, 0, 0, 0, 3, 0, 0, 0, 0)
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add(make([]byte, mergeInfoLen+4))
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		fr := &Frame{Version: FrameVersion, Type: FrameMergeInfo, Payload: payload}
+		p, err := DecodeMergeInfoFrame(fr)
+		if err != nil {
+			return
+		}
+		c, _ := newFrameConn()
+		if werr := c.WriteMergeInfoFrame(p); werr != nil {
+			t.Fatalf("decoded payload %+v does not re-encode: %v", p, werr)
+		}
+		_, rt, rerr := c.ReadFrameOrMessage(nil)
+		if rerr != nil || rt == nil {
+			t.Fatalf("round trip read failed: %v", rerr)
+		}
+		got, derr := DecodeMergeInfoFrame(rt)
+		rt.Release()
+		if derr != nil {
+			t.Fatal(derr)
+		}
+		if got != p {
+			t.Fatalf("round trip = %+v, want %+v", got, p)
+		}
+	})
+}

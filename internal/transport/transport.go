@@ -353,6 +353,7 @@ func (c *Conn) readBodyLocked(n int64, pool *BufferPool) (*Frame, error) {
 		return nil, fmt.Errorf("%w: body length %d", ErrBadFrame, n)
 	}
 	f := &Frame{pool: pool}
+	f.refs.Store(1)
 	if pool != nil {
 		f.buf = pool.Get(int(n))
 	} else {
