@@ -14,6 +14,7 @@
 //	Ext-12 -study admission per-class admission vs best-effort (-class-mix)
 //	Ext-13 -study framing   JSON vs binary cluster framing over live TCP
 //	Ext-14 -study merge     shared-prefix stream merging vs unicast delivery
+//	Ext-15 -study chaos     fault injection: defended vs bare delivery plane
 //	       -study all       everything (default)
 package main
 
@@ -24,6 +25,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"dvod/internal/experiments"
@@ -44,14 +46,18 @@ func main() {
 		"write the merge study's rows as a JSON baseline to this file (merge study only)")
 	mergeBaseline := flag.String("merge-baseline", "",
 		"compare the merge study's origin-read savings against this baseline file and fail on >20% regression (merge study only)")
+	chaosOut := flag.String("chaos-out", "",
+		"write the chaos study's rows as a JSON baseline to this file (chaos study only)")
+	chaosBaseline := flag.String("chaos-baseline", "",
+		"compare the chaos study's defended failed-watch and rebuffer rates against this baseline file and fail on >20% regression (chaos study only)")
 	flag.Parse()
-	if err := run(os.Stdout, *study, *seed, *duration, *rate, *classMix, *csvDir, *framingOut, *mergeOut, *mergeBaseline); err != nil {
+	if err := run(os.Stdout, *study, *seed, *duration, *rate, *classMix, *csvDir, *framingOut, *mergeOut, *mergeBaseline, *chaosOut, *chaosBaseline); err != nil {
 		fmt.Fprintln(os.Stderr, "vodbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, study string, seed int64, duration time.Duration, rate float64, classMix, csvDir, framingOut, mergeOut, mergeBaseline string) error {
+func run(w io.Writer, study string, seed int64, duration time.Duration, rate float64, classMix, csvDir, framingOut, mergeOut, mergeBaseline, chaosOut, chaosBaseline string) error {
 	writeCSV := func(name string, rows any) error {
 		if csvDir == "" {
 			return nil
@@ -286,8 +292,70 @@ func run(w io.Writer, study string, seed int64, duration time.Duration, rate flo
 			}
 		}
 	}
+	if study == "chaos" || study == "all" {
+		known = true
+		cfg := experiments.DefaultChaosStudyConfig()
+		cfg.Seed = seed
+		rows, err := experiments.ChaosStudy(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "Ext-15. Fault injection: defended vs bare delivery plane (canned schedules)")
+		fmt.Fprintln(w, experiments.FormatChaosStudy(rows))
+		if err := writeCSV("chaos", rows); err != nil {
+			return err
+		}
+		if chaosOut != "" {
+			data, err := json.MarshalIndent(chaosReport{Study: "chaos", Rows: rows}, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(chaosOut, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+		}
+		if chaosBaseline != "" {
+			if err := checkChaosBaseline(w, rows, chaosBaseline); err != nil {
+				return err
+			}
+		}
+	}
 	if !known {
 		return fmt.Errorf("unknown study %q", study)
+	}
+	return nil
+}
+
+// chaosReport is the committed BENCH_chaos.json schema.
+type chaosReport struct {
+	Study string                 `json:"study"`
+	Rows  []experiments.ChaosRow `json:"rows"`
+}
+
+// checkChaosBaseline compares the current run's defended failed-watch and
+// rebuffer rates per schedule against the committed baseline and fails on a
+// >20% (plus small absolute slack) regression. Only the defended arms are
+// gated: the bare arms exist to show what the defense buys, and their failure
+// rates are the fault schedule's, not the code's.
+func checkChaosBaseline(w io.Writer, rows []experiments.ChaosRow, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base chaosReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("chaos baseline %s: %w", path, err)
+	}
+	if len(base.Rows) == 0 {
+		return fmt.Errorf("chaos baseline %s holds no rows to compare", path)
+	}
+	for _, r := range rows {
+		if r.Mode == "defended" {
+			fmt.Fprintf(w, "chaos baseline %s: failed %.2f rebuffer %.2f\n", r.Schedule, r.FailedRate, r.RebufferRate)
+		}
+	}
+	if bad := experiments.ChaosRegression(rows, base.Rows); len(bad) > 0 {
+		return fmt.Errorf("chaos regression: %s", strings.Join(bad, "; "))
 	}
 	return nil
 }

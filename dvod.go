@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"sync"
 	"time"
@@ -14,6 +15,7 @@ import (
 	"dvod/internal/core"
 	"dvod/internal/db"
 	"dvod/internal/disk"
+	"dvod/internal/faults"
 	"dvod/internal/grnet"
 	"dvod/internal/media"
 	"dvod/internal/metrics"
@@ -38,6 +40,14 @@ type (
 	Player = client.Player
 	// PlaybackStats summarizes one watch session.
 	PlaybackStats = client.PlaybackStats
+	// FaultPlan is a declarative, deterministic fault schedule ("at T, fail
+	// X for D"); arm it with WithFaultPlan.
+	FaultPlan = faults.Plan
+	// FaultEvent is one scheduled fault of a FaultPlan.
+	FaultEvent = faults.Event
+	// FaultLogEntry is one row of the injector's deterministic
+	// activation/deactivation sequence (Service.FaultEvents).
+	FaultLogEntry = faults.LogEntry
 )
 
 // MakeLinkID builds the canonical ID for the unordered node pair.
@@ -97,6 +107,11 @@ type Service struct {
 	poller  *snmp.Poller
 	planner *core.Planner
 	health  *db.Health
+	// injector applies the armed fault plan (nil without WithFaultPlan);
+	// scores is the deployment-wide peer health feedback shared by every
+	// planner (nil with WithoutDefense).
+	injector *faults.Injector
+	scores   *faults.HealthScores
 
 	mu      sync.Mutex
 	stopped map[NodeID]bool
@@ -138,18 +153,34 @@ func New(spec TopologySpec, opts ...Option) (*Service, error) {
 	if err != nil {
 		return nil, err
 	}
+	var scores *faults.HealthScores
+	if !o.noDefense {
+		// One deployment-wide score table: every server's fetch outcomes
+		// feed it, every planner's link weights read it.
+		scores = faults.NewHealthScores(0)
+		planner.SetNodePenalty(scores.Penalty())
+	}
+	var injector *faults.Injector
+	if o.faultPlan != nil {
+		injector, err = faults.NewInjector(*o.faultPlan, o.faultSeed, o.clock, metrics.NewRegistry())
+		if err != nil {
+			return nil, err
+		}
+	}
 	svc := &Service{
-		opts:    o,
-		graph:   g,
-		db:      d,
-		book:    book,
-		counter: counters,
-		servers: make(map[NodeID]*server.Server, g.NumNodes()),
-		planner: planner,
-		health:  health,
-		stopped: make(map[NodeID]bool),
-		hbStop:  make(chan struct{}),
-		hbDone:  make(chan struct{}),
+		opts:     o,
+		graph:    g,
+		db:       d,
+		book:     book,
+		counter:  counters,
+		servers:  make(map[NodeID]*server.Server, g.NumNodes()),
+		planner:  planner,
+		health:   health,
+		injector: injector,
+		scores:   scores,
+		stopped:  make(map[NodeID]bool),
+		hbStop:   make(chan struct{}),
+		hbDone:   make(chan struct{}),
 	}
 	for _, node := range g.Nodes() {
 		count, capBytes := o.arrayShape(node)
@@ -165,18 +196,27 @@ func New(spec TopologySpec, opts ...Option) (*Service, error) {
 		if err != nil {
 			return nil, err
 		}
+		if scores != nil {
+			nodePlanner.SetNodePenalty(scores.Penalty())
+		}
+		if injector != nil {
+			arr.SetReadInterceptor(injector.ReadInterceptor(node))
+		}
 		srv, err := server.New(server.Config{
-			Node:         node,
-			DB:           d,
-			Planner:      nodePlanner,
-			Array:        arr,
-			Cache:        dma,
-			ClusterBytes: o.clusterBytes,
-			Book:         book,
-			Counters:     counters,
-			ListenAddr:   o.listenAddrs[node],
-			Clock:        o.clock,
-			MergeWindow:  o.mergeWindow,
+			Node:           node,
+			DB:             d,
+			Planner:        nodePlanner,
+			Array:          arr,
+			Cache:          dma,
+			ClusterBytes:   o.clusterBytes,
+			Book:           book,
+			Counters:       counters,
+			ListenAddr:     o.listenAddrs[node],
+			Clock:          o.clock,
+			MergeWindow:    o.mergeWindow,
+			Faults:         injector,
+			Health:         scores,
+			DisableDefense: o.noDefense,
 		})
 		if err != nil {
 			return nil, err
@@ -230,6 +270,12 @@ func (s *Service) Start() error {
 	}
 	s.poller = poller
 	poller.Start()
+	if s.injector != nil {
+		if err := s.injector.Start(); err != nil {
+			_ = s.Close()
+			return err
+		}
+	}
 	if s.health != nil {
 		// Seed immediate liveness, then heartbeat in the background.
 		now := s.opts.clock.Now()
@@ -244,12 +290,15 @@ func (s *Service) Start() error {
 	return nil
 }
 
-// heartbeatLoop refreshes liveness for every non-stopped server.
+// heartbeatLoop refreshes liveness for every non-stopped server. Each wait
+// is jittered ±25% so a fleet of services started together does not
+// heartbeat (and hence refresh routing state) in lockstep forever.
 func (s *Service) heartbeatLoop() {
 	defer close(s.hbDone)
+	rng := rand.New(rand.NewSource(s.opts.faultSeed ^ 0x68656172)) // "hear"
 	for {
 		select {
-		case <-s.opts.clock.After(s.opts.failoverInterval):
+		case <-s.opts.clock.After(faults.Jitter(s.opts.failoverInterval, 0.25, rng)):
 			now := s.opts.clock.Now()
 			s.mu.Lock()
 			for _, node := range s.graph.Nodes() {
@@ -288,6 +337,9 @@ func (s *Service) Close() error {
 		return nil
 	}
 	s.closed = true
+	if s.injector != nil {
+		s.injector.Stop()
+	}
 	if s.started && s.health != nil {
 		close(s.hbStop)
 		<-s.hbDone
@@ -380,13 +432,58 @@ func (s *Service) LoadState(r io.Reader) error { return s.db.Load(r) }
 type MetricsSnapshot = metrics.Snapshot
 
 // Metrics returns a snapshot of every video server's counters (requests,
-// clusters served, DMA hits/admissions, fetch retries, errors).
+// clusters served, DMA hits/admissions, fetch retries, resilience counters,
+// errors). With an armed fault plan, the injector's own counters (notably
+// faults.injected_total) appear under the pseudo-node "_faults".
 func (s *Service) Metrics() map[NodeID]MetricsSnapshot {
-	out := make(map[NodeID]MetricsSnapshot, len(s.servers))
+	out := make(map[NodeID]MetricsSnapshot, len(s.servers)+1)
 	for node, srv := range s.servers {
 		out[node] = srv.Metrics().Snapshot()
 	}
+	if s.injector != nil {
+		out["_faults"] = s.injector.Registry().Snapshot()
+	}
 	return out
+}
+
+// FaultEvents returns the armed plan's deterministic activation /
+// deactivation sequence (nil without WithFaultPlan). Two runs with the same
+// plan and seed return identical sequences — the reproducibility contract
+// chaos tests pin against.
+func (s *Service) FaultEvents() []FaultLogEntry {
+	if s.injector == nil {
+		return nil
+	}
+	return s.injector.Events()
+}
+
+// InjectedFaults reports how many faults the armed plan has actually
+// injected so far (0 without WithFaultPlan).
+func (s *Service) InjectedFaults() int64 {
+	if s.injector == nil {
+		return 0
+	}
+	return s.injector.InjectedTotal()
+}
+
+// WatchDialer returns a client dialer routed through the service's fault
+// injector, so peer.down and peer.stall faults on the home node sever or
+// freeze its local clients' watch connections too. Without an armed plan it
+// returns nil, which client.WithDialer treats as the default dialer — safe
+// to pass unconditionally.
+func (s *Service) WatchDialer(home NodeID) func(addr string) (*transport.Conn, error) {
+	if s.injector == nil {
+		return nil
+	}
+	inj := s.injector
+	return func(addr string) (*transport.Conn, error) {
+		if err := inj.DialError(home, nil); err != nil {
+			return nil, err
+		}
+		return transport.DialWith(addr, func(rw io.ReadWriteCloser) io.ReadWriteCloser {
+			return inj.WrapStream(home, nil, rw)
+		})
+	}
 }
 
 // WebHandler returns the paper's web interface modules as an http.Handler:
@@ -425,6 +522,9 @@ type options struct {
 	failoverInterval  time.Duration
 	failoverMaxAge    time.Duration
 	mergeWindow       int
+	faultPlan         *faults.Plan
+	faultSeed         int64
+	noDefense         bool
 }
 
 type diskShape struct {
@@ -548,4 +648,26 @@ func WithFailover(interval, maxAge time.Duration) Option {
 // paper's delivery is one stream per session.
 func WithMergeWindow(window int) Option {
 	return func(o *options) { o.mergeWindow = window }
+}
+
+// WithFaultPlan arms a deterministic fault schedule across the whole
+// deployment: peer dials refuse and live streams cut under link.down /
+// peer.down windows, peer.stall freezes bytes, and the disk.* faults act on
+// each node's array. The seed pins every randomized choice the injector
+// makes, so one (plan, seed) pair reproduces the identical fault sequence
+// run after run. The plan starts ticking at Service.Start.
+func WithFaultPlan(plan FaultPlan, seed int64) Option {
+	return func(o *options) {
+		p := plan
+		o.faultPlan = &p
+		o.faultSeed = seed
+	}
+}
+
+// WithoutDefense disables the self-healing delivery plane — circuit
+// breakers, hedged fetches, retry budgets, and health-score routing
+// feedback — leaving only bare next-replica failover. The chaos study's
+// control arm; production deployments leave the defense on.
+func WithoutDefense() Option {
+	return func(o *options) { o.noDefense = true }
 }

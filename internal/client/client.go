@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"dvod/internal/admission"
+	"dvod/internal/faults"
 	"dvod/internal/media"
 	"dvod/internal/topology"
 	"dvod/internal/transport"
@@ -29,6 +30,14 @@ type Player struct {
 	pool *transport.BufferPool
 	// class is sent with every watch request; empty means standard.
 	class admission.Class
+	// dial overrides the home-server dialer; nil uses transport.Dial. Fault
+	// injectors use this to interpose on the client↔home connection.
+	dial func(addr string) (*transport.Conn, error)
+	// resume enables mid-stream recovery: a watch that fails after delivery
+	// started is re-requested from the first undelivered cluster under a
+	// retry budget and jittered backoff, and the attempts' records merge
+	// into one gapless session.
+	resume bool
 }
 
 // Option configures a Player.
@@ -63,6 +72,29 @@ func WithBufferPool(pool *transport.BufferPool) Option {
 // to the class's policy; class-unaware servers ignore it.
 func WithClass(c admission.Class) Option {
 	return func(p *Player) { p.class = c }
+}
+
+// WithDialer substitutes the function that opens the client↔home connection
+// (default transport.Dial). Fault injectors wrap the stream here so the
+// home link can be cut or stalled mid-watch; tests use it to interpose.
+func WithDialer(dial func(addr string) (*transport.Conn, error)) Option {
+	return func(p *Player) {
+		if dial != nil {
+			p.dial = dial
+		}
+	}
+}
+
+// WithResume turns on mid-stream recovery: when a watch fails after delivery
+// began (connection cut, server error), the player redials its home and
+// re-requests the title from the first cluster it has not yet received,
+// stitching the attempts into one session. Stall accounting then spans the
+// outage — the recovery gap surfaces as rebuffer time, not a failed watch.
+// Admission rejections stay terminal. Retries draw from a per-session budget
+// (reserve 3, +0.1 per delivered cluster) with jittered exponential backoff
+// between attempts, and are reported in PlaybackStats.Retries.
+func WithResume() Option {
+	return func(p *Player) { p.resume = true }
 }
 
 // RejectedError is the typed client-side view of a server's watch.reject
@@ -172,6 +204,9 @@ type PlaybackStats struct {
 	MergeRole     string
 	MergeCohort   int64
 	PatchClusters int
+	// Retries counts mid-stream resume attempts (always 0 without
+	// WithResume).
+	Retries int
 	// StartupDelay is the time to the first cluster's arrival.
 	StartupDelay time.Duration
 	// Stalls and StallTime account rebuffering: playback consumes each
@@ -189,6 +224,9 @@ func (p *Player) dialHome() (*transport.Conn, error) {
 	if err != nil {
 		return nil, err
 	}
+	if p.dial != nil {
+		return p.dial(addr)
+	}
 	return transport.Dial(addr)
 }
 
@@ -204,44 +242,148 @@ func (p *Player) WatchFrom(title string, startCluster int) (PlaybackStats, error
 	if startCluster < 0 {
 		return PlaybackStats{}, fmt.Errorf("negative start cluster %d", startCluster)
 	}
+	start := time.Now()
+	stats, info, err := p.watchOnce(title, startCluster)
+	if err != nil && p.resume && !isTerminalWatchErr(err) {
+		stats, info, err = p.resumeLoop(title, startCluster, stats, info, err)
+	}
+	if err != nil {
+		return stats, err
+	}
+	stats.Elapsed = time.Since(start)
+	wantBytes := info.SizeBytes - int64(startCluster)*info.ClusterBytes
+	if wantBytes < 0 {
+		wantBytes = 0
+	}
+	if stats.BytesReceived != wantBytes {
+		return stats, fmt.Errorf("received %d bytes, want %d", stats.BytesReceived, wantBytes)
+	}
+	p.accountPlayback(&stats, info, start)
+	return stats, nil
+}
+
+// isTerminalWatchErr reports errors no resume can fix: the server refused the
+// session by policy, not by failure.
+func isTerminalWatchErr(err error) bool {
+	var rej *RejectedError
+	return errors.As(err, &rej)
+}
+
+// resumeLoop re-requests the title's remaining clusters after a mid-stream
+// failure until the watch completes, a terminal error arrives, or the retry
+// budget drains. Every delivered cluster deposits into the budget, so long
+// titles survive repeated transient faults while a hard outage fails fast.
+func (p *Player) resumeLoop(title string, startCluster int, agg PlaybackStats,
+	info transport.WatchOKPayload, lastErr error) (PlaybackStats, transport.WatchOKPayload, error) {
+	budget := faults.NewRetryBudget(3, 0.1)
+	for range agg.Records {
+		budget.OnSuccess()
+	}
+	bo := faults.NewBackoff(25*time.Millisecond, 500*time.Millisecond, 2, int64(len(p.home)))
+	for {
+		if !budget.TryRetry() {
+			return agg, info, fmt.Errorf("watch %q: resume budget exhausted: %w", title, lastErr)
+		}
+		time.Sleep(bo.Next())
+		next := startCluster
+		if n := len(agg.Records); n > 0 {
+			next = agg.Records[n-1].Index + 1
+		}
+		if info.NumClusters > 0 && next >= info.NumClusters {
+			// Every cluster arrived before the failure (it hit the trailing
+			// watch.done frame); nothing is left to re-request.
+			return agg, info, nil
+		}
+		agg.Retries++
+		part, pinfo, err := p.watchOnce(title, next)
+		for range part.Records {
+			budget.OnSuccess()
+		}
+		mergeResumed(&agg, part)
+		if pinfo.Title != "" {
+			info = pinfo
+		}
+		if err == nil {
+			return agg, info, nil
+		}
+		if isTerminalWatchErr(err) {
+			return agg, info, err
+		}
+		lastErr = err
+	}
+}
+
+// mergeResumed folds one resume attempt's partial stats into the running
+// session view, counting a source change across the resume boundary as a
+// switch.
+func mergeResumed(agg *PlaybackStats, part PlaybackStats) {
+	if agg.Title == "" && len(agg.Records) == 0 {
+		// The first attempt died before its watch.ok; adopt the resumed
+		// attempt wholesale (keeping the retry count).
+		retries := agg.Retries
+		*agg = part
+		agg.Retries = retries
+		return
+	}
+	if len(agg.Sources) > 0 && len(part.Sources) > 0 && agg.Sources[len(agg.Sources)-1] != part.Sources[0] {
+		agg.Switches++
+	}
+	agg.Switches += part.Switches
+	agg.BytesReceived += part.BytesReceived
+	agg.Records = append(agg.Records, part.Records...)
+	agg.Sources = append(agg.Sources, part.Sources...)
+	agg.Verified = agg.Verified && part.Verified
+	if part.Merged {
+		agg.Merged = true
+		agg.MergeRole = part.MergeRole
+		agg.MergeCohort = part.MergeCohort
+		agg.PatchClusters += part.PatchClusters
+	}
+}
+
+// watchOnce runs one watch connection: request, headers, stream consumption.
+// It returns the partial stats on failure so a resume can pick up from the
+// first undelivered cluster. Elapsed, the byte-count check, and playback
+// accounting belong to the caller, which may stitch several attempts.
+func (p *Player) watchOnce(title string, startCluster int) (PlaybackStats, transport.WatchOKPayload, error) {
+	var noInfo transport.WatchOKPayload
 	conn, err := p.dialHome()
 	if err != nil {
-		return PlaybackStats{}, err
+		return PlaybackStats{}, noInfo, err
 	}
 	defer conn.Close()
 	if p.binary {
 		// Offer binary cluster framing; a legacy server answers with an
 		// error frame and the session continues on JSON.
 		if _, err := conn.Negotiate(); err != nil {
-			return PlaybackStats{}, err
+			return PlaybackStats{}, noInfo, err
 		}
 	}
 
-	start := time.Now()
 	req, err := transport.Encode(transport.TypeWatch, transport.WatchPayload{
 		Title:        title,
 		StartCluster: startCluster,
 		Class:        string(p.class),
 	})
 	if err != nil {
-		return PlaybackStats{}, err
+		return PlaybackStats{}, noInfo, err
 	}
 	if err := conn.WriteMessage(req); err != nil {
-		return PlaybackStats{}, err
+		return PlaybackStats{}, noInfo, err
 	}
 	head, err := conn.ReadMessage()
 	if err != nil {
-		return PlaybackStats{}, err
+		return PlaybackStats{}, noInfo, err
 	}
 	if rerr := transport.AsError(head); rerr != nil {
-		return PlaybackStats{}, rerr
+		return PlaybackStats{}, noInfo, rerr
 	}
 	if head.Type == transport.TypeWatchReject {
 		rej, err := transport.Decode[transport.WatchRejectPayload](head)
 		if err != nil {
-			return PlaybackStats{}, err
+			return PlaybackStats{}, noInfo, err
 		}
-		return PlaybackStats{}, &RejectedError{
+		return PlaybackStats{}, noInfo, &RejectedError{
 			Title:      rej.Title,
 			Class:      admission.Class(rej.Class),
 			Reason:     rej.Reason,
@@ -250,11 +392,11 @@ func (p *Player) WatchFrom(title string, startCluster int) (PlaybackStats, error
 		}
 	}
 	if head.Type != transport.TypeWatchOK {
-		return PlaybackStats{}, fmt.Errorf("unexpected reply %q", head.Type)
+		return PlaybackStats{}, noInfo, fmt.Errorf("unexpected reply %q", head.Type)
 	}
 	info, err := transport.Decode[transport.WatchOKPayload](head)
 	if err != nil {
-		return PlaybackStats{}, err
+		return PlaybackStats{}, noInfo, err
 	}
 
 	stats := PlaybackStats{
@@ -271,14 +413,14 @@ stream:
 	for {
 		m, frame, err := conn.ReadFrameOrMessage(p.pool)
 		if err != nil {
-			return stats, err
+			return stats, info, err
 		}
 		if frame != nil {
 			if frame.Type == transport.FrameMergeInfo {
 				mi, derr := transport.DecodeMergeInfoFrame(frame)
 				frame.Release()
 				if derr != nil {
-					return stats, derr
+					return stats, info, derr
 				}
 				recordMergeInfo(&stats, mi)
 				continue
@@ -291,7 +433,7 @@ stream:
 			}
 			frame.Release()
 			if derr != nil {
-				return stats, derr
+				return stats, info, derr
 			}
 			continue
 		}
@@ -299,41 +441,32 @@ stream:
 		case transport.TypeWatchDone:
 			break stream
 		case transport.TypeError:
-			return stats, transport.AsError(m)
+			return stats, info, transport.AsError(m)
 		case transport.TypeMergeInfo:
 			mi, derr := transport.Decode[transport.MergeInfoPayload](m)
 			if derr != nil {
-				return stats, derr
+				return stats, info, derr
 			}
 			recordMergeInfo(&stats, mi)
 		case transport.TypeCluster:
 			payload, derr := transport.Decode[transport.ClusterPayload](m)
 			if derr != nil {
-				return stats, derr
+				return stats, info, derr
 			}
 			bodyFrame, derr := conn.ReadBody(payload.Length, p.pool)
 			if derr != nil {
-				return stats, derr
+				return stats, info, derr
 			}
 			rerr := p.recordCluster(&stats, info.Title, payload, bodyFrame.Payload, &lastSource)
 			bodyFrame.Release()
 			if rerr != nil {
-				return stats, rerr
+				return stats, info, rerr
 			}
 		default:
-			return stats, fmt.Errorf("unexpected stream message %q", m.Type)
+			return stats, info, fmt.Errorf("unexpected stream message %q", m.Type)
 		}
 	}
-	stats.Elapsed = time.Since(start)
-	wantBytes := info.SizeBytes - int64(startCluster)*info.ClusterBytes
-	if wantBytes < 0 {
-		wantBytes = 0
-	}
-	if stats.BytesReceived != wantBytes {
-		return stats, fmt.Errorf("received %d bytes, want %d", stats.BytesReceived, wantBytes)
-	}
-	p.accountPlayback(&stats, info, start)
-	return stats, nil
+	return stats, info, nil
 }
 
 // recordMergeInfo notes the server's stream-merging announcement. It is
@@ -347,17 +480,11 @@ func recordMergeInfo(stats *PlaybackStats, mi transport.MergeInfoPayload) {
 }
 
 // recordCluster accounts one delivered cluster: length check, optional
-// content verification, switch detection. body may alias a pooled buffer; it
-// is not retained.
+// content verification, switch detection. Validation runs before the cluster
+// is counted, so a torn or corrupt delivery leaves no record and a resumed
+// session re-requests exactly that cluster. body may alias a pooled buffer;
+// it is not retained.
 func (p *Player) recordCluster(stats *PlaybackStats, title string, payload transport.ClusterPayload, body []byte, lastSource *topology.NodeID) error {
-	stats.Records = append(stats.Records, ClusterRecord{
-		Index:     payload.Index,
-		Length:    payload.Length,
-		Source:    payload.Source,
-		ArrivedAt: time.Now(),
-	})
-	stats.Sources = append(stats.Sources, payload.Source)
-	stats.BytesReceived += int64(len(body))
 	if int64(len(body)) != payload.Length {
 		return fmt.Errorf("cluster %d: got %d bytes, want %d",
 			payload.Index, len(body), payload.Length)
@@ -366,6 +493,14 @@ func (p *Player) recordCluster(stats *PlaybackStats, title string, payload trans
 		stats.Verified = false
 		return fmt.Errorf("cluster %d failed content verification", payload.Index)
 	}
+	stats.Records = append(stats.Records, ClusterRecord{
+		Index:     payload.Index,
+		Length:    payload.Length,
+		Source:    payload.Source,
+		ArrivedAt: time.Now(),
+	})
+	stats.Sources = append(stats.Sources, payload.Source)
+	stats.BytesReceived += int64(len(body))
 	if *lastSource != "" && payload.Source != *lastSource {
 		stats.Switches++
 	}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -32,7 +33,25 @@ var (
 	ErrBadDiskIndex  = errors.New("disk index out of range")
 	ErrBadCapacity   = errors.New("capacity must be positive")
 	ErrEmptyBlockNil = errors.New("block data must be non-empty")
+	// ErrInjectedRead reports a read that an installed ReadInterceptor
+	// failed or truncated (fault injection).
+	ErrInjectedRead = errors.New("injected read fault")
 )
+
+// ReadFault is a ReadInterceptor's verdict for one block read. The zero
+// value lets the read proceed untouched. Err fails the read outright; a
+// ShortFraction in (0, 1) truncates the returned data to that fraction of
+// the block, surfacing as an ErrInjectedRead-wrapped error alongside the
+// partial byte count — the torn read a resilient delivery path must detect.
+type ReadFault struct {
+	ShortFraction float64
+	Err           error
+}
+
+// ReadInterceptor inspects each block read before it happens and may inject
+// a fault. It is called outside the disk's lock and may block (fault
+// injectors use that to model latency and stalls).
+type ReadInterceptor func(BlockID) ReadFault
 
 // AccessModel is the disk service-time model: a fixed positioning (seek +
 // rotational) delay plus transfer at a sustained rate.
@@ -64,6 +83,9 @@ type Disk struct {
 	id       string
 	capacity int64
 	model    AccessModel
+	// intercept optionally injects faults into reads (set via
+	// SetReadInterceptor; consulted lock-free on the read hot path).
+	intercept atomic.Pointer[ReadInterceptor]
 
 	mu     sync.Mutex
 	used   int64
@@ -132,16 +154,46 @@ func (d *Disk) Write(id BlockID, data []byte) error {
 	return nil
 }
 
+// SetReadInterceptor installs (or, with nil, removes) a fault-injection hook
+// consulted before every Read/ReadInto. The interceptor runs outside the
+// disk's lock and may block.
+func (d *Disk) SetReadInterceptor(f ReadInterceptor) {
+	if f == nil {
+		d.intercept.Store(nil)
+		return
+	}
+	d.intercept.Store(&f)
+}
+
+// readFault consults the interceptor for one read; the zero fault means
+// proceed.
+func (d *Disk) readFault(id BlockID) ReadFault {
+	if p := d.intercept.Load(); p != nil {
+		return (*p)(id)
+	}
+	return ReadFault{}
+}
+
 // Read returns a copy of the block's data.
 func (d *Disk) Read(id BlockID) ([]byte, error) {
+	fault := d.readFault(id)
+	if fault.Err != nil {
+		return nil, fmt.Errorf("read %s on %s: %w: %w", id, d.id, ErrInjectedRead, fault.Err)
+	}
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	data, ok := d.blocks[id]
 	if !ok {
+		d.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s on %s", ErrBlockUnknown, id, d.id)
 	}
 	out := make([]byte, len(data))
 	copy(out, data)
+	d.mu.Unlock()
+	if fault.ShortFraction > 0 && fault.ShortFraction < 1 {
+		n := int(fault.ShortFraction * float64(len(out)))
+		return out[:n], fmt.Errorf("read %s on %s: %w: short read %d of %d bytes",
+			id, d.id, ErrInjectedRead, n, len(out))
+	}
 	return out, nil
 }
 
@@ -149,6 +201,10 @@ func (d *Disk) Read(id BlockID) ([]byte, error) {
 // delivery plane's pooled-buffer pipeline uses — and returns the block size.
 // dst must be at least the block size.
 func (d *Disk) ReadInto(id BlockID, dst []byte) (int, error) {
+	fault := d.readFault(id)
+	if fault.Err != nil {
+		return 0, fmt.Errorf("read %s on %s: %w: %w", id, d.id, ErrInjectedRead, fault.Err)
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	data, ok := d.blocks[id]
@@ -159,7 +215,13 @@ func (d *Disk) ReadInto(id BlockID, dst []byte) (int, error) {
 		return 0, fmt.Errorf("read %s on %s: buffer %d bytes, block %d",
 			id, d.id, len(dst), len(data))
 	}
-	return copy(dst, data), nil
+	n := copy(dst, data)
+	if fault.ShortFraction > 0 && fault.ShortFraction < 1 {
+		short := int(fault.ShortFraction * float64(n))
+		return short, fmt.Errorf("read %s on %s: %w: short read %d of %d bytes",
+			id, d.id, ErrInjectedRead, short, n)
+	}
+	return n, nil
 }
 
 // Has reports whether the block is stored.
@@ -251,6 +313,14 @@ func NewUniformArray(prefix string, n int, capacityBytes int64) (*Array, error) 
 
 // NumDisks returns the number of disks in the array.
 func (a *Array) NumDisks() int { return len(a.disks) }
+
+// SetReadInterceptor installs (or removes, with nil) a fault-injection hook
+// on every disk of the array.
+func (a *Array) SetReadInterceptor(f ReadInterceptor) {
+	for _, d := range a.disks {
+		d.SetReadInterceptor(f)
+	}
+}
 
 // Disk returns the i-th disk.
 func (a *Array) Disk(i int) (*Disk, error) {

@@ -1,0 +1,84 @@
+package disk
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestReadInterceptorErrorFault(t *testing.T) {
+	d := newDisk(t, 100)
+	id := BlockID{Title: "m", Part: 0}
+	if err := d.Write(id, []byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("head crash")
+	d.SetReadInterceptor(func(BlockID) ReadFault { return ReadFault{Err: boom} })
+	if _, err := d.Read(id); !errors.Is(err, ErrInjectedRead) || !errors.Is(err, boom) {
+		t.Fatalf("Read error = %v, want ErrInjectedRead wrapping the cause", err)
+	}
+	if _, err := d.ReadInto(id, make([]byte, 11)); !errors.Is(err, ErrInjectedRead) {
+		t.Fatalf("ReadInto error = %v, want ErrInjectedRead", err)
+	}
+	// Clearing the hook restores clean reads.
+	d.SetReadInterceptor(nil)
+	if _, err := d.Read(id); err != nil {
+		t.Fatalf("Read after clearing interceptor: %v", err)
+	}
+}
+
+func TestReadInterceptorShortRead(t *testing.T) {
+	d := newDisk(t, 100)
+	id := BlockID{Title: "m", Part: 0}
+	data := []byte("0123456789")
+	if err := d.Write(id, data); err != nil {
+		t.Fatal(err)
+	}
+	d.SetReadInterceptor(func(BlockID) ReadFault { return ReadFault{ShortFraction: 0.5} })
+	got, err := d.Read(id)
+	if !errors.Is(err, ErrInjectedRead) {
+		t.Fatalf("short read error = %v, want ErrInjectedRead", err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("short read returned %d bytes, want 5", len(got))
+	}
+	dst := make([]byte, len(data))
+	n, err := d.ReadInto(id, dst)
+	if !errors.Is(err, ErrInjectedRead) || n != 5 {
+		t.Fatalf("ReadInto = (%d, %v), want (5, ErrInjectedRead)", n, err)
+	}
+}
+
+func TestArrayReadInterceptorCoversEveryDisk(t *testing.T) {
+	a, err := NewUniformArray("n1", 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]BlockID, 3)
+	for i := range ids {
+		ids[i] = BlockID{Title: "m", Part: i}
+		d, err := a.Disk(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Write(ids[i], []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var calls int
+	a.SetReadInterceptor(func(BlockID) ReadFault {
+		calls++
+		return ReadFault{}
+	})
+	for i, id := range ids {
+		d, err := a.Disk(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Read(id); err != nil {
+			t.Fatalf("Read %s: %v", id, err)
+		}
+	}
+	if calls != 3 {
+		t.Fatalf("interceptor saw %d reads, want 3", calls)
+	}
+}

@@ -1,0 +1,204 @@
+package faults
+
+import (
+	"sync"
+	"time"
+
+	"dvod/internal/clock"
+	"dvod/internal/metrics"
+	"dvod/internal/topology"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int32
+
+// Breaker states. The numeric values are exported on GET /metrics as the
+// client.breaker_state.<peer> gauge.
+const (
+	// BreakerClosed: requests flow normally.
+	BreakerClosed BreakerState = 0
+	// BreakerOpen: requests to the peer are refused until the cooldown
+	// elapses.
+	BreakerOpen BreakerState = 1
+	// BreakerHalfOpen: the cooldown elapsed; exactly one probe request is
+	// allowed through. Its outcome closes or re-opens the breaker.
+	BreakerHalfOpen BreakerState = 2
+)
+
+// String renders the state for logs.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerConfig parameterizes a BreakerSet.
+type BreakerConfig struct {
+	// Failures is how many consecutive failures trip a closed breaker open
+	// (default 3).
+	Failures int
+	// Cooldown is how long an open breaker refuses requests before allowing
+	// a half-open probe (default 250 ms).
+	Cooldown time.Duration
+	// Clock times the cooldown; nil defaults to the wall clock.
+	Clock clock.Clock
+	// Metrics optionally exports per-peer state gauges named
+	// "client.breaker_state.<peer>" (0 closed, 1 open, 2 half-open). Nil
+	// disables the export.
+	Metrics *metrics.Registry
+}
+
+// BreakerSet holds one circuit breaker per peer the delivery path fetches
+// from. A peer that keeps failing is cut off for a cooldown instead of being
+// retried on every cluster, and re-admitted through a single probe request —
+// the classic closed/open/half-open automaton. All methods are safe for
+// concurrent use.
+type BreakerSet struct {
+	cfg BreakerConfig
+
+	mu sync.Mutex
+	m  map[topology.NodeID]*breaker
+}
+
+type breaker struct {
+	state    BreakerState
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last tripped open
+	probing  bool      // a half-open probe is in flight
+}
+
+// NewBreakerSet builds a breaker set, applying config defaults.
+func NewBreakerSet(cfg BreakerConfig) *BreakerSet {
+	if cfg.Failures <= 0 {
+		cfg.Failures = 3
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 250 * time.Millisecond
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Wall{}
+	}
+	return &BreakerSet{cfg: cfg, m: make(map[topology.NodeID]*breaker)}
+}
+
+func (s *BreakerSet) get(peer topology.NodeID) *breaker {
+	b, ok := s.m[peer]
+	if !ok {
+		b = &breaker{}
+		s.m[peer] = b
+	}
+	return b
+}
+
+// Allow reports whether a request to the peer may proceed right now. In the
+// half-open state it admits exactly one probe; callers that got true must
+// Report the outcome, or the breaker stays half-open with its probe slot
+// taken.
+func (s *BreakerSet) Allow(peer topology.NodeID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.get(peer)
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if s.cfg.Clock.Now().Sub(b.openedAt) < s.cfg.Cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		s.export(peer, b)
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Report records a request outcome for the peer and moves its breaker.
+func (s *BreakerSet) Report(peer topology.NodeID, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.get(peer)
+	switch b.state {
+	case BreakerClosed:
+		if ok {
+			b.failures = 0
+			return
+		}
+		b.failures++
+		if b.failures >= s.cfg.Failures {
+			b.state = BreakerOpen
+			b.openedAt = s.cfg.Clock.Now()
+			s.export(peer, b)
+		}
+	case BreakerHalfOpen:
+		b.probing = false
+		if ok {
+			b.state = BreakerClosed
+			b.failures = 0
+		} else {
+			b.state = BreakerOpen
+			b.openedAt = s.cfg.Clock.Now()
+		}
+		s.export(peer, b)
+	case BreakerOpen:
+		// A late result from before the trip; the cooldown governs.
+	}
+}
+
+// State returns the peer's current breaker position (cooldown expiry is
+// observed lazily by Allow, so an open breaker past its cooldown still
+// reports open until someone asks to send).
+func (s *BreakerSet) State(peer topology.NodeID) BreakerState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.m[peer]
+	if !ok {
+		return BreakerClosed
+	}
+	return b.state
+}
+
+// Open returns the peers whose breakers are refusing requests right now —
+// the exclusion set the planner should skip. Peers whose cooldown has
+// elapsed are not listed (their next request is the half-open probe).
+func (s *BreakerSet) Open() map[topology.NodeID]bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out map[topology.NodeID]bool
+	now := s.cfg.Clock.Now()
+	for peer, b := range s.m {
+		refusing := false
+		switch b.state {
+		case BreakerOpen:
+			refusing = now.Sub(b.openedAt) < s.cfg.Cooldown
+		case BreakerHalfOpen:
+			refusing = b.probing
+		}
+		if refusing {
+			if out == nil {
+				out = make(map[topology.NodeID]bool)
+			}
+			out[peer] = true
+		}
+	}
+	return out
+}
+
+// export publishes the peer's state gauge; callers hold mu.
+func (s *BreakerSet) export(peer topology.NodeID, b *breaker) {
+	if s.cfg.Metrics != nil {
+		s.cfg.Metrics.Gauge("client.breaker_state." + string(peer)).Set(float64(b.state))
+	}
+}

@@ -1,0 +1,57 @@
+package faults
+
+import (
+	"sync"
+
+	"dvod/internal/topology"
+)
+
+// defaultHealthAlpha is the EWMA smoothing weight given to history; each new
+// outcome contributes 1-alpha. At 0.8 a peer needs roughly three consecutive
+// failures to cross a 0.5 score and three successes to fall back under it.
+const defaultHealthAlpha = 0.8
+
+// HealthScores tracks a per-peer exponentially weighted failure rate fed by
+// the delivery path's fetch outcomes, and exposes it as the node-penalty hook
+// the planner folds into the VRA's LVN link weights: a peer observed failing
+// has every adjacent link's utilization raised by its score, so Dijkstra
+// routes around flapping infrastructure before the breaker ever trips —
+// equation (1)'s intent, driven by observed behaviour instead of SNMP alone.
+// All methods are safe for concurrent use.
+type HealthScores struct {
+	alpha float64
+
+	mu     sync.Mutex
+	scores map[topology.NodeID]float64
+}
+
+// NewHealthScores builds a tracker; alpha outside (0, 1) uses the default.
+func NewHealthScores(alpha float64) *HealthScores {
+	if alpha <= 0 || alpha >= 1 {
+		alpha = defaultHealthAlpha
+	}
+	return &HealthScores{alpha: alpha, scores: make(map[topology.NodeID]float64)}
+}
+
+// Report folds one fetch outcome into the peer's failure score.
+func (h *HealthScores) Report(peer topology.NodeID, ok bool) {
+	outcome := 0.0
+	if !ok {
+		outcome = 1.0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.scores[peer] = h.alpha*h.scores[peer] + (1-h.alpha)*outcome
+}
+
+// Score returns the peer's failure rate in [0, 1] (0 for unseen peers).
+func (h *HealthScores) Score(peer topology.NodeID) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.scores[peer]
+}
+
+// Penalty returns the function the planner's SetNodePenalty hook expects.
+func (h *HealthScores) Penalty() func(topology.NodeID) float64 {
+	return h.Score
+}

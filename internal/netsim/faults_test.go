@@ -1,0 +1,79 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"dvod/internal/topology"
+)
+
+func TestSetLinkDownStallsFlows(t *testing.T) {
+	g, id := pair(t, 8)
+	n := New(g, t0)
+	f, err := n.StartFlow(path("A", "B"), 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.RateMbps(f); got != 8 {
+		t.Fatalf("rate before outage = %v", got)
+	}
+	if err := n.SetLinkDown(id, true); err != nil {
+		t.Fatal(err)
+	}
+	if !n.LinkDown(id) {
+		t.Fatal("LinkDown = false after SetLinkDown")
+	}
+	if got := n.RateMbps(f); got != 0 {
+		t.Fatalf("rate during outage = %v, want 0", got)
+	}
+	// The flow makes no progress while the link is down.
+	before := n.RemainingBytes(f)
+	n.Advance(time.Second)
+	if got := n.RemainingBytes(f); got != before {
+		t.Fatalf("flow progressed over a down link: %d -> %d", before, got)
+	}
+	// Restoration resumes the transfer at full rate.
+	if err := n.SetLinkDown(id, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.RateMbps(f); got != 8 {
+		t.Fatalf("rate after restore = %v", got)
+	}
+	n.Advance(2 * time.Second)
+	if done, _ := n.Completed(f); !done {
+		t.Fatal("flow did not finish after the link came back")
+	}
+}
+
+func TestLinkDownTransferTimeUnreachable(t *testing.T) {
+	g := chain(t, 8, 8)
+	n := New(g, t0)
+	id := topology.MakeLinkID("B", "C")
+	if err := n.SetLinkDown(id, true); err != nil {
+		t.Fatal(err)
+	}
+	d, err := n.TransferTime(path("A", "B", "C"), 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != time.Duration(math.MaxInt64) {
+		t.Fatalf("transfer time over a down link = %v, want unreachable", d)
+	}
+	// The healthy prefix is unaffected.
+	d, err = n.TransferTime(path("A", "B"), 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d >= time.Duration(math.MaxInt64) {
+		t.Fatal("healthy link reported unreachable")
+	}
+}
+
+func TestSetLinkDownUnknownLink(t *testing.T) {
+	g, _ := pair(t, 8)
+	n := New(g, t0)
+	if err := n.SetLinkDown(topology.MakeLinkID("X", "Y"), true); err == nil {
+		t.Fatal("unknown link accepted")
+	}
+}

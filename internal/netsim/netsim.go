@@ -64,6 +64,7 @@ type Network struct {
 	now        time.Time
 	background map[topology.LinkID]float64
 	latency    map[topology.LinkID]time.Duration
+	down       map[topology.LinkID]bool
 	flows      map[int64]*Flow
 	nextID     int64
 }
@@ -75,9 +76,33 @@ func New(g *topology.Graph, start time.Time) *Network {
 		now:        start,
 		background: make(map[topology.LinkID]float64),
 		latency:    make(map[topology.LinkID]time.Duration),
+		down:       make(map[topology.LinkID]bool),
 		flows:      make(map[int64]*Flow),
 	}
 }
+
+// SetLinkDown takes a link down (or restores it): a down link has zero
+// residual capacity, so flows crossing it stall at rate 0 until the link
+// comes back — the emulated plane's view of a link failure or partition.
+// Active flow rates are re-derived immediately.
+func (n *Network) SetLinkDown(id topology.LinkID, down bool) error {
+	if _, err := n.graph.LinkByID(id); err != nil {
+		return err
+	}
+	if n.down[id] == down {
+		return nil
+	}
+	if down {
+		n.down[id] = true
+	} else {
+		delete(n.down, id)
+	}
+	n.reallocate()
+	return nil
+}
+
+// LinkDown reports whether the link is currently down.
+func (n *Network) LinkDown(id topology.LinkID) bool { return n.down[id] }
 
 // SetLatency fixes a link's one-way propagation delay (default 0). A flow's
 // first byte arrives only after the summed latency of its path; until then
@@ -368,7 +393,7 @@ func (n *Network) reallocate() {
 	residual := make(map[topology.LinkID]float64, n.graph.NumLinks())
 	for _, l := range n.graph.Links() {
 		r := l.CapacityMbps - n.background[l.ID]
-		if r < 0 {
+		if r < 0 || n.down[l.ID] {
 			r = 0
 		}
 		residual[l.ID] = r
@@ -475,6 +500,9 @@ func (n *Network) TransferTime(path routing.Path, bytes int64) (time.Duration, e
 			return 0, fmt.Errorf("%w: %s", ErrBadPath, id)
 		}
 		r := l.CapacityMbps - n.background[id]
+		if n.down[id] {
+			r = 0
+		}
 		if r < rate {
 			rate = r
 		}

@@ -1,0 +1,206 @@
+package server_test
+
+import (
+	"testing"
+	"time"
+
+	"dvod/internal/client"
+	"dvod/internal/clock"
+	"dvod/internal/disk"
+	"dvod/internal/faults"
+	"dvod/internal/grnet"
+	"dvod/internal/media"
+	"dvod/internal/server"
+	"dvod/internal/topology"
+	"dvod/internal/transport"
+)
+
+// waitPoolDrained asserts that every buffer lease taken from the pool has
+// been returned. Release paths that run asynchronously (hedge-loser drains,
+// cohort pump teardown) are given a grace window before the balance is
+// declared a leak.
+func waitPoolDrained(t *testing.T, pool *transport.BufferPool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for pool.Outstanding() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: pool leaked %d leases", what, pool.Outstanding())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestPoolBalancedAfterRemoteWatch is the baseline lease audit: a watch whose
+// every cluster crosses the peer-fetch path must leave both the server-side
+// and the client-side pools with zero outstanding leases once it completes.
+func TestPoolBalancedAfterRemoteWatch(t *testing.T) {
+	pool := transport.NewBufferPool(nil)
+	lc := newCluster(t, map[topology.NodeID]int64{grnet.Patra: clusterBytes},
+		func(c *server.Config) { c.Pool = pool })
+	title := media.Title{Name: "audited", SizeBytes: 32 * clusterBytes, BitrateMbps: 1.5}
+	lc.addTitle(t, title, grnet.Thessaloniki)
+
+	cpool := transport.NewBufferPool(nil)
+	p, err := client.NewPlayer(grnet.Patra, lc.book, client.WithBufferPool(cpool))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := p.Watch("audited")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Verified {
+		t.Fatal("delivery not verified")
+	}
+	waitPoolDrained(t, pool, "server")
+	waitPoolDrained(t, cpool, "client")
+}
+
+// TestPoolBalancedAfterHedgedLoser drags every disk read on the preferred
+// replica past the hedge deadline, so fetches race the second replica and the
+// straggling loser frames are drained in the background. The audit is that
+// those drained frames all return their leases — hedging must never leak.
+func TestPoolBalancedAfterHedgedLoser(t *testing.T) {
+	pool := transport.NewBufferPool(nil)
+	lc := newCluster(t, map[topology.NodeID]int64{grnet.Patra: clusterBytes},
+		func(c *server.Config) {
+			c.Pool = pool
+			if c.Node == grnet.Thessaloniki {
+				c.Array.SetReadInterceptor(func(disk.BlockID) disk.ReadFault {
+					time.Sleep(25 * time.Millisecond)
+					return disk.ReadFault{}
+				})
+			}
+		})
+	title := media.Title{Name: "hedged", SizeBytes: 32 * clusterBytes, BitrateMbps: 1.5}
+	lc.addTitle(t, title, grnet.Thessaloniki, grnet.Xanthi)
+
+	p, err := client.NewPlayer(grnet.Patra, lc.book)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := p.Watch("hedged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Verified {
+		t.Fatal("delivery not verified")
+	}
+	m := lc.servers[grnet.Patra].Metrics().Snapshot()
+	if m.Counters["client.hedges_launched"] == 0 {
+		t.Fatal("dragged replica never triggered a hedge")
+	}
+	if m.Counters["client.hedges_won"] == 0 {
+		t.Fatal("no hedge beat the dragged replica")
+	}
+	waitPoolDrained(t, pool, "server")
+}
+
+// TestPoolBalancedAfterFailoverMidCohort kills the serving peer while a
+// merged cohort is parked mid-title (a stalled subscriber holds the pump), so
+// the failover to the surviving replica happens with frames in flight. Both
+// the evicted slow session and the fast one must complete gaplessly, and the
+// shared pool must balance afterwards.
+func TestPoolBalancedAfterFailoverMidCohort(t *testing.T) {
+	const cb = 64 << 10
+	const numClusters = 64
+	pool := transport.NewBufferPool(nil)
+	lc := newMergeNodesCfg(t, cb, numClusters, 4, map[topology.NodeID]int64{
+		grnet.Patra:        cb, // relay only: the title never fits locally
+		grnet.Thessaloniki: 2 << 20,
+		grnet.Xanthi:       2 << 20,
+	}, func(c *server.Config, _ *disk.Array) { c.Pool = pool },
+		grnet.Patra, grnet.Thessaloniki, grnet.Xanthi)
+	title := media.Title{Name: "leaky", SizeBytes: numClusters * cb, BitrateMbps: 1.5}
+	lc.addTitle(t, title, grnet.Thessaloniki, grnet.Xanthi)
+
+	slow := startRawWatch(t, lc.servers[grnet.Patra].Addr(), "leaky")
+	slow.readClusters(2)
+	time.Sleep(300 * time.Millisecond) // park the pump mid-title
+	if err := lc.servers[grnet.Thessaloniki].Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := client.NewPlayer(grnet.Patra, lc.book)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := p.Watch("leaky")
+	if err != nil {
+		t.Fatalf("watch across peer death: %v", err)
+	}
+	if !stats.Verified {
+		t.Fatal("post-failure delivery not verified")
+	}
+	slow.unthrottle()
+	slow.readClusters(-1)
+	slow.assertComplete()
+	waitPoolDrained(t, pool, "server")
+}
+
+// TestMergedEvictionUnderDiskFault stalls a cohort subscriber while a
+// disk.slow fault from an armed plan drags every local read on the serving
+// node. The stalled session must be evicted so the fast joiner finishes, yet
+// still receive the entire title in order — the gapless-eviction invariant
+// must hold with the storage path faulted — and the pool must balance.
+func TestMergedEvictionUnderDiskFault(t *testing.T) {
+	const cb = 64 << 10
+	const numClusters = 256
+	var plan faults.Plan
+	plan.SlowDisk(0, time.Minute, grnet.Patra, time.Millisecond)
+	inj, err := faults.NewInjector(plan, 7, clock.Wall{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := transport.NewBufferPool(nil)
+	lc := newMergeNodesCfg(t, cb, numClusters, 4,
+		map[topology.NodeID]int64{grnet.Patra: 6 << 20},
+		func(c *server.Config, arr *disk.Array) {
+			c.Pool = pool
+			c.Faults = inj
+			arr.SetReadInterceptor(inj.ReadInterceptor(c.Node))
+		}, grnet.Patra)
+	title := media.Title{Name: "dragged", SizeBytes: numClusters * cb, BitrateMbps: 1.5}
+	lc.addTitle(t, title, grnet.Patra)
+	if err := inj.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer inj.Stop()
+
+	slow := startRawWatch(t, lc.servers[grnet.Patra].Addr(), "dragged")
+	if slow.mi.Role != transport.MergeRoleBase {
+		t.Fatalf("first watcher role %q, want %q", slow.mi.Role, transport.MergeRoleBase)
+	}
+	slow.readClusters(2)
+	time.Sleep(300 * time.Millisecond) // stop reading; let the pump park
+
+	p, err := client.NewPlayer(grnet.Patra, lc.book)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := p.Watch("dragged")
+	if err != nil {
+		t.Fatalf("fast watcher: %v", err)
+	}
+	if !stats.Verified {
+		t.Fatal("fast delivery not verified")
+	}
+	if !stats.Merged || stats.MergeRole != transport.MergeRolePatch {
+		t.Fatalf("fast watcher merged=%v role=%q, want a patch join", stats.Merged, stats.MergeRole)
+	}
+
+	// The evicted session resumes over its buffered queue plus the unicast
+	// tail and must see no gap, fault or not.
+	slow.unthrottle()
+	slow.readClusters(-1)
+	slow.assertComplete()
+
+	m := lc.servers[grnet.Patra].Metrics().Snapshot()
+	if m.Counters["merge.evictions"] != 1 {
+		t.Fatalf("evictions = %d, want exactly the stalled session", m.Counters["merge.evictions"])
+	}
+	if inj.InjectedTotal() == 0 {
+		t.Fatal("disk.slow fault never fired during the cohort's life")
+	}
+	waitPoolDrained(t, pool, "server")
+}

@@ -34,6 +34,14 @@ func withMerge(window, queueDepth int) func(*server.Config) {
 // big clusters the pump provably parks mid-title.
 func newMergeNodes(t *testing.T, clusterBytes int64, window, queueDepth int,
 	capacities map[topology.NodeID]int64, nodes ...topology.NodeID) *liveCluster {
+	return newMergeNodesCfg(t, clusterBytes, window, queueDepth, capacities, nil, nodes...)
+}
+
+// newMergeNodesCfg is newMergeNodes with per-node config mutation (custom
+// buffer pools, fault injectors).
+func newMergeNodesCfg(t *testing.T, clusterBytes int64, window, queueDepth int,
+	capacities map[topology.NodeID]int64, mutate func(*server.Config, *disk.Array),
+	nodes ...topology.NodeID) *liveCluster {
 	t.Helper()
 	g, err := grnet.Backbone()
 	if err != nil {
@@ -67,7 +75,7 @@ func newMergeNodes(t *testing.T, clusterBytes int64, window, queueDepth int,
 		if err != nil {
 			t.Fatal(err)
 		}
-		srv, err := server.New(server.Config{
+		cfg := server.Config{
 			Node:            node,
 			DB:              d,
 			Planner:         planner,
@@ -78,7 +86,11 @@ func newMergeNodes(t *testing.T, clusterBytes int64, window, queueDepth int,
 			Counters:        counters,
 			MergeWindow:     window,
 			MergeQueueDepth: queueDepth,
-		})
+		}
+		if mutate != nil {
+			mutate(&cfg, arr)
+		}
+		srv, err := server.New(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -37,6 +37,7 @@ import (
 	"dvod/internal/core"
 	"dvod/internal/db"
 	"dvod/internal/disk"
+	"dvod/internal/faults"
 	"dvod/internal/media"
 	"dvod/internal/merge"
 	"dvod/internal/metrics"
@@ -96,6 +97,21 @@ type Config struct {
 	// MergeQueueDepth overrides the per-session broadcast queue bound
 	// (merge.Config.QueueDepth); zero uses the merge layer's default.
 	MergeQueueDepth int
+	// Faults optionally interposes the deterministic fault injector on this
+	// server's peer-fetch path: scheduled dial refusals before connecting and
+	// a wrapped byte stream that the injector can cut or stall mid-cluster.
+	// Nil fetches without interposition.
+	Faults *faults.Injector
+	// Health optionally receives every peer-fetch outcome — normally one
+	// deployment-wide faults.HealthScores also installed as the planners'
+	// node-penalty hook, closing the loop from observed failures to the
+	// VRA's link weights. May be nil.
+	Health *faults.HealthScores
+	// DisableDefense switches off the self-healing delivery path — per-peer
+	// circuit breakers, hedged fetches, and per-session retry budgets —
+	// leaving only the bare next-replica retry loop. The chaos study's
+	// control arm; production configs leave it false.
+	DisableDefense bool
 }
 
 // Server is one running video server node.
@@ -105,6 +121,10 @@ type Server struct {
 	connSem chan struct{}
 	// merges tracks live stream-merging cohorts; nil when MergeWindow is 0.
 	merges *merge.Registry
+	// breakers and hedgeLat are the self-healing state of the peer-fetch
+	// path; both nil when DisableDefense is set.
+	breakers *faults.BreakerSet
+	hedgeLat *faults.LatencyTracker
 
 	mu     sync.Mutex
 	closed bool
@@ -160,6 +180,13 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: negative merge window %d", cfg.MergeWindow)
 	}
 	srv := &Server{cfg: cfg, connSem: make(chan struct{}, cfg.MaxConns)}
+	if !cfg.DisableDefense {
+		srv.breakers = faults.NewBreakerSet(faults.BreakerConfig{
+			Clock:   cfg.Clock,
+			Metrics: cfg.Metrics,
+		})
+		srv.hedgeLat = faults.NewLatencyTracker(0)
+	}
 	if cfg.MergeWindow > 0 {
 		m, err := merge.NewRegistry(merge.Config{
 			Window:     cfg.MergeWindow,
@@ -510,10 +537,18 @@ func (s *Server) handleWatch(c *transport.Conn, m transport.Message) error {
 	if err := c.WriteMessage(head); err != nil {
 		return err
 	}
+	// Each watch session carries its own retry budget: a small reserve plus
+	// a fractional deposit per delivered cluster, so transient faults retry
+	// freely while a total outage drains to a clean failure instead of
+	// hammering dead replicas for the rest of the title.
+	var budget *faults.RetryBudget
+	if !s.cfg.DisableDefense {
+		budget = faults.NewRetryBudget(3, 0.1)
+	}
 	if s.merges != nil {
-		err = s.streamMerged(c, title, layout.NumParts(), req.StartCluster, planRate)
+		err = s.streamMerged(c, title, layout.NumParts(), req.StartCluster, planRate, budget)
 	} else {
-		err = s.streamUnicast(c, title, layout.NumParts(), req.StartCluster, planRate)
+		err = s.streamUnicast(c, title, layout.NumParts(), req.StartCluster, planRate, budget)
 	}
 	if err != nil {
 		return err
@@ -604,10 +639,17 @@ func (s *Server) admitWatch(c *transport.Conn, req transport.WatchPayload, title
 // abort the playback. With admission enabled, planRate > 0 filters routes to
 // those with residual headroom for the granted bitrate, falling back to the
 // cheapest path when none qualifies (the admitted session is kept alive over
-// being cut off). The caller owns one reference on the returned frame and
-// must Release it once the bytes are on the wire; a merged cohort Retains it
-// once per fan-out subscriber instead of re-reading.
-func (s *Server) deliverCluster(title media.Title, index int, planRate float64) (*transport.Frame, transport.ClusterPayload, error) {
+// being cut off).
+//
+// With the defense enabled, the retry loop is hardened: peers behind open
+// circuit breakers are excluded from planning (unless every replica is, in
+// which case one probe is forced through), each fetch may hedge a second
+// replica past the P99 deadline, and each retry withdraws from the session's
+// budget so a total outage drains to a clean failure instead of replaying
+// forever. The caller owns one reference on the returned frame and must
+// Release it once the bytes are on the wire; a merged cohort Retains it once
+// per fan-out subscriber instead of re-reading.
+func (s *Server) deliverCluster(title media.Title, index int, planRate float64, budget *faults.RetryBudget) (*transport.Frame, transport.ClusterPayload, error) {
 	if s.cfg.Cache.Resident(title.Name) {
 		data, payload, _, err := s.readLocalCluster(title.Name, index)
 		if err != nil {
@@ -618,7 +660,7 @@ func (s *Server) deliverCluster(title media.Title, index int, planRate float64) 
 	exclude := make(map[topology.NodeID]bool)
 	var lastErr error
 	for {
-		dec, err := s.planCluster(title.Name, planRate, exclude)
+		dec, err := s.planDefended(title.Name, planRate, exclude)
 		if err != nil {
 			if lastErr != nil {
 				return nil, transport.ClusterPayload{}, fmt.Errorf("%w (after fetch failure: %v)", err, lastErr)
@@ -630,24 +672,161 @@ func (s *Server) deliverCluster(title media.Title, index int, planRate float64) 
 			// DB and cache are out of sync.
 			return nil, transport.ClusterPayload{}, fmt.Errorf("holding inconsistency for %q on %s", title.Name, s.cfg.Node)
 		}
-		frame, payload, err := s.fetchRemoteCluster(dec, title.Name, index)
+		frame, payload, winner, err := s.fetchHedged(dec, title.Name, index, planRate, exclude)
 		if err != nil {
 			lastErr = err
 			exclude[dec.Server] = true
 			s.cfg.Metrics.Counter("server.fetch_retries").Inc()
+			s.cfg.Metrics.Counter("client.retries").Inc()
+			if budget != nil && !budget.TryRetry() {
+				return nil, transport.ClusterPayload{}, fmt.Errorf(
+					"cluster %d of %q: retry budget exhausted: %w", index, title.Name, lastErr)
+			}
 			continue
 		}
+		if budget != nil {
+			budget.OnSuccess()
+		}
 		if s.cfg.Counters != nil {
-			s.cfg.Counters.ChargePath(dec.Path.Links(), int64(len(frame.Payload)))
+			s.cfg.Counters.ChargePath(winner.Path.Links(), int64(len(frame.Payload)))
 		}
 		s.cfg.Metrics.Counter("server.remote_clusters").Inc()
 		return frame, payload, nil
 	}
 }
 
+// planDefended plans one cluster's replica with peers behind refusing
+// circuit breakers excluded. When that leaves no candidate — every remaining
+// replica tripped its breaker — the plain plan is used instead, forcing one
+// request through as the probe that can discover recovery (a watch must not
+// fail just because all breakers are open at once).
+func (s *Server) planDefended(title string, planRate float64, exclude map[topology.NodeID]bool) (core.Decision, error) {
+	if s.breakers != nil {
+		if open := s.breakers.Open(); len(open) > 0 {
+			merged := make(map[topology.NodeID]bool, len(exclude)+len(open))
+			for n := range exclude {
+				merged[n] = true
+			}
+			for n := range open {
+				merged[n] = true
+			}
+			dec, err := s.planCluster(title, planRate, merged)
+			if err == nil {
+				return dec, nil
+			}
+			if !errors.Is(err, core.ErrNoCandidates) {
+				return core.Decision{}, err
+			}
+			s.cfg.Metrics.Counter("client.breaker_probes_forced").Inc()
+		}
+	}
+	return s.planCluster(title, planRate, exclude)
+}
+
+// fetchOnce performs one instrumented peer fetch: it claims the breaker's
+// half-open probe slot when applicable, reports the outcome to the breaker
+// and the health scores, and feeds successful latencies to the hedging
+// tracker.
+func (s *Server) fetchOnce(dec core.Decision, title string, index int) (*transport.Frame, transport.ClusterPayload, error) {
+	if s.breakers != nil {
+		// The decision already skirted refusing breakers (or is the forced
+		// probe); Allow transitions open→half-open and claims the probe slot.
+		_ = s.breakers.Allow(dec.Server)
+	}
+	began := s.cfg.Clock.Now()
+	frame, payload, err := s.fetchRemoteCluster(dec, title, index)
+	ok := err == nil
+	if s.breakers != nil {
+		s.breakers.Report(dec.Server, ok)
+	}
+	if s.cfg.Health != nil {
+		s.cfg.Health.Report(dec.Server, ok)
+	}
+	if ok && s.hedgeLat != nil {
+		s.hedgeLat.Observe(s.cfg.Clock.Now().Sub(began))
+	}
+	return frame, payload, err
+}
+
+// fetchHedged fetches one cluster from the decided replica and, when the
+// fetch outlives the latency tracker's P99-derived deadline, races a second
+// replica for the same cluster — the hedge that turns a stalled peer into a
+// tail-latency blip instead of a rebuffer. The first success wins; the
+// loser's frame is released as it straggles in, so hedging never leaks pool
+// leases. Returns the winning decision so the caller charges the links the
+// bytes actually crossed.
+func (s *Server) fetchHedged(dec core.Decision, title string, index int, planRate float64,
+	exclude map[topology.NodeID]bool) (*transport.Frame, transport.ClusterPayload, core.Decision, error) {
+	if s.hedgeLat == nil {
+		frame, payload, err := s.fetchOnce(dec, title, index)
+		return frame, payload, dec, err
+	}
+	type result struct {
+		frame   *transport.Frame
+		payload transport.ClusterPayload
+		dec     core.Decision
+		err     error
+	}
+	resCh := make(chan result, 2)
+	launch := func(d core.Decision) {
+		go func() {
+			f, p, err := s.fetchOnce(d, title, index)
+			resCh <- result{frame: f, payload: p, dec: d, err: err}
+		}()
+	}
+	launch(dec)
+	outstanding := 1
+	hedged := false
+	hedgeTimer := s.cfg.Clock.After(s.hedgeLat.Deadline())
+	var lastErr error
+	for {
+		select {
+		case r := <-resCh:
+			outstanding--
+			if r.err == nil {
+				if outstanding > 0 {
+					// Drain the loser in the background and return its lease;
+					// its fetch goroutine still reports to breakers/health.
+					go func(n int) {
+						for range n {
+							if lr := <-resCh; lr.err == nil {
+								lr.frame.Release()
+							}
+						}
+					}(outstanding)
+				}
+				if hedged && r.dec.Server != dec.Server {
+					s.cfg.Metrics.Counter("client.hedges_won").Inc()
+				}
+				return r.frame, r.payload, r.dec, nil
+			}
+			lastErr = r.err
+			if outstanding == 0 {
+				return nil, transport.ClusterPayload{}, dec, lastErr
+			}
+		case <-hedgeTimer:
+			hedgeTimer = nil // fire at most once
+			// Race the next-best replica, never the one already in flight.
+			hexcl := make(map[topology.NodeID]bool, len(exclude)+1)
+			for n := range exclude {
+				hexcl[n] = true
+			}
+			hexcl[dec.Server] = true
+			hdec, err := s.planDefended(title, planRate, hexcl)
+			if err != nil || hdec.Server == s.cfg.Node {
+				continue // no second replica to race; keep waiting
+			}
+			hedged = true
+			s.cfg.Metrics.Counter("client.hedges_launched").Inc()
+			launch(hdec)
+			outstanding++
+		}
+	}
+}
+
 // deliverAndSend reads one cluster privately and writes it to this client.
-func (s *Server) deliverAndSend(c *transport.Conn, title media.Title, index int, planRate float64) error {
-	frame, payload, err := s.deliverCluster(title, index, planRate)
+func (s *Server) deliverAndSend(c *transport.Conn, title media.Title, index int, planRate float64, budget *faults.RetryBudget) error {
+	frame, payload, err := s.deliverCluster(title, index, planRate, budget)
 	if err != nil {
 		return fmt.Errorf("cluster %d: %w", index, err)
 	}
@@ -658,9 +837,9 @@ func (s *Server) deliverAndSend(c *transport.Conn, title media.Title, index int,
 
 // streamUnicast delivers [start, end) with a private read per cluster — the
 // paper's delivery mode, and the fallback when merging is disabled.
-func (s *Server) streamUnicast(c *transport.Conn, title media.Title, end, start int, planRate float64) error {
+func (s *Server) streamUnicast(c *transport.Conn, title media.Title, end, start int, planRate float64, budget *faults.RetryBudget) error {
 	for idx := start; idx < end; idx++ {
-		if err := s.deliverAndSend(c, title, idx, planRate); err != nil {
+		if err := s.deliverAndSend(c, title, idx, planRate, budget); err != nil {
 			return err
 		}
 	}
@@ -669,10 +848,11 @@ func (s *Server) streamUnicast(c *transport.Conn, title media.Title, end, start 
 
 // mergeSource adapts the private delivery path into a cohort's shared read
 // source. The pump calls it once per cluster for the whole cohort; replica
-// failover inside deliverCluster is therefore shared too.
-func (s *Server) mergeSource(title media.Title, planRate float64) merge.Source {
+// failover inside deliverCluster is therefore shared too, and the retry
+// budget spent defending the shared stream is the opening session's.
+func (s *Server) mergeSource(title media.Title, planRate float64, budget *faults.RetryBudget) merge.Source {
 	return func(index int) (*transport.Frame, transport.ClusterPayload, error) {
-		return s.deliverCluster(title, index, planRate)
+		return s.deliverCluster(title, index, planRate, budget)
 	}
 }
 
@@ -683,8 +863,8 @@ func (s *Server) mergeSource(title media.Title, planRate float64) merge.Source {
 // source failed — the remaining clusters are delivered over the private
 // unicast path, whose own replica retry absorbs server failures, so the
 // client sees an unbroken in-order stream either way.
-func (s *Server) streamMerged(c *transport.Conn, title media.Title, numClusters, start int, planRate float64) error {
-	sub, err := s.merges.Join(title.Name, numClusters, start, s.mergeSource(title, planRate))
+func (s *Server) streamMerged(c *transport.Conn, title media.Title, numClusters, start int, planRate float64, budget *faults.RetryBudget) error {
+	sub, err := s.merges.Join(title.Name, numClusters, start, s.mergeSource(title, planRate, budget))
 	if err != nil {
 		return err
 	}
@@ -705,7 +885,7 @@ func (s *Server) streamMerged(c *transport.Conn, title media.Title, numClusters,
 	// Patch stream: the clusters this session missed, read privately while
 	// the subscription queue buffers the ongoing base stream.
 	for idx := start; idx < sub.Start(); idx++ {
-		if err := s.deliverAndSend(c, title, idx, planRate); err != nil {
+		if err := s.deliverAndSend(c, title, idx, planRate, budget); err != nil {
 			return err
 		}
 	}
@@ -725,7 +905,7 @@ func (s *Server) streamMerged(c *transport.Conn, title media.Title, numClusters,
 	// Unicast tail: nothing to do after normal cohort completion; after an
 	// eviction it resumes at exactly the next undelivered index.
 	for idx := next; idx < numClusters; idx++ {
-		if err := s.deliverAndSend(c, title, idx, planRate); err != nil {
+		if err := s.deliverAndSend(c, title, idx, planRate, budget); err != nil {
 			return err
 		}
 	}
@@ -770,7 +950,20 @@ func (s *Server) fetchRemoteCluster(dec core.Decision, title string, index int) 
 	if err != nil {
 		return nil, transport.ClusterPayload{}, err
 	}
-	peer, err := transport.Dial(addr)
+	// With an injector armed, scheduled faults covering this route refuse
+	// the dial outright and interpose on the connection's bytes (cuts and
+	// stalls mid-cluster).
+	var wrap func(io.ReadWriteCloser) io.ReadWriteCloser
+	if s.cfg.Faults != nil {
+		links := dec.Path.Links()
+		if ferr := s.cfg.Faults.DialError(dec.Server, links); ferr != nil {
+			return nil, transport.ClusterPayload{}, ferr
+		}
+		wrap = func(rw io.ReadWriteCloser) io.ReadWriteCloser {
+			return s.cfg.Faults.WrapStream(dec.Server, links, rw)
+		}
+	}
+	peer, err := transport.DialWith(addr, wrap)
 	if err != nil {
 		return nil, transport.ClusterPayload{}, err
 	}
@@ -822,9 +1015,11 @@ func (s *Server) Preload(t media.Title) error {
 }
 
 // WaitReady dials the server until it answers a ping or the timeout
-// expires — a test/startup helper.
+// expires — a test/startup helper. Probes back off with jitter so a fleet of
+// waiters does not poll in lockstep.
 func (s *Server) WaitReady(timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
+	bo := faults.NewBackoff(2*time.Millisecond, 50*time.Millisecond, 2, int64(len(s.cfg.Node)))
 	for {
 		c, err := transport.Dial(s.Addr())
 		if err == nil {
@@ -842,6 +1037,6 @@ func (s *Server) WaitReady(timeout time.Duration) error {
 		if time.Now().After(deadline) {
 			return fmt.Errorf("server %s not ready: %v", s.cfg.Node, err)
 		}
-		time.Sleep(5 * time.Millisecond)
+		time.Sleep(bo.Next())
 	}
 }

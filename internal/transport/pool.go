@@ -2,6 +2,7 @@ package transport
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"dvod/internal/metrics"
 )
@@ -29,6 +30,10 @@ type BufferPool struct {
 	hits    *metrics.Counter
 	misses  *metrics.Counter
 	returns *metrics.Counter
+	// outstanding counts leases not yet returned (Get minus Put), the
+	// balance a leak check asserts on: every frame Release and every error
+	// path must Put exactly what it Got.
+	outstanding atomic.Int64
 }
 
 // NewBufferPool builds a pool reporting into reg; nil allocates a private
@@ -67,6 +72,7 @@ func sizeClass(n int) int {
 // The caller owns the buffer until it calls Put; the pool never hands the
 // same buffer out twice concurrently.
 func (p *BufferPool) Get(n int) []byte {
+	p.outstanding.Add(1)
 	if n <= 0 {
 		return []byte{}
 	}
@@ -87,6 +93,7 @@ func (p *BufferPool) Get(n int) []byte {
 // match a size class (including oversized direct allocations) are dropped.
 // The caller must not use the buffer after Put.
 func (p *BufferPool) Put(buf []byte) {
+	p.outstanding.Add(-1)
 	c := sizeClass(cap(buf))
 	if c < 0 || cap(buf) != 1<<(minPoolShift+c) {
 		return
@@ -95,3 +102,9 @@ func (p *BufferPool) Put(buf []byte) {
 	p.returns.Inc()
 	p.classes[c].Put(&full)
 }
+
+// Outstanding reports leases handed out by Get and not yet returned by Put.
+// A quiesced pipeline (no in-flight frames) must read 0; anything else is a
+// leaked lease. Buffers too large to pool still count — the balance tracks
+// ownership, not recycling.
+func (p *BufferPool) Outstanding() int64 { return p.outstanding.Load() }

@@ -445,9 +445,20 @@ func AsError(m Message) error {
 
 // Dial connects to a service endpoint.
 func Dial(addr string) (*Conn, error) {
+	return DialWith(addr, nil)
+}
+
+// DialWith connects like Dial but passes the raw TCP stream through wrap
+// before framing — the hook fault injectors use to interpose on a
+// connection's bytes (cuts, stalls). A nil wrap is the identity.
+func DialWith(addr string, wrap func(io.ReadWriteCloser) io.ReadWriteCloser) (*Conn, error) {
 	nc, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("dial %s: %w", addr, err)
 	}
-	return NewConn(nc), nil
+	var rw io.ReadWriteCloser = nc
+	if wrap != nil {
+		rw = wrap(rw)
+	}
+	return NewConn(rw), nil
 }
