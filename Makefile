@@ -23,6 +23,7 @@ fuzz:
 	$(GO) test ./internal/transport/ -fuzz FuzzReadMessage -fuzztime 30s
 	$(GO) test ./internal/transport/ -fuzz FuzzRoundTrip -fuzztime 30s
 	$(GO) test ./internal/transport/ -fuzz FuzzDecodeFrame -fuzztime 30s
+	$(GO) test ./internal/transport/ -fuzz FuzzLedgerSyncFrame -fuzztime 30s
 
 cover:
 	$(GO) test -cover ./...

@@ -15,6 +15,7 @@
 //	Ext-13 -study framing   JSON vs binary cluster framing over live TCP
 //	Ext-14 -study merge     shared-prefix stream merging vs unicast delivery
 //	Ext-15 -study chaos     fault injection: defended vs bare delivery plane
+//	Ext-16 -study ledger    per-server vs ledger-backed link admission
 //	       -study all       everything (default)
 package main
 
@@ -50,14 +51,18 @@ func main() {
 		"write the chaos study's rows as a JSON baseline to this file (chaos study only)")
 	chaosBaseline := flag.String("chaos-baseline", "",
 		"compare the chaos study's defended failed-watch and rebuffer rates against this baseline file and fail on >20% regression (chaos study only)")
+	ledgerOut := flag.String("ledger-out", "",
+		"write the ledger study's rows as a JSON baseline to this file (ledger study only)")
+	ledgerBaseline := flag.String("ledger-baseline", "",
+		"gate the ledger study against this baseline file: oversubscription must stay 0 with the ledger on (ledger study only)")
 	flag.Parse()
-	if err := run(os.Stdout, *study, *seed, *duration, *rate, *classMix, *csvDir, *framingOut, *mergeOut, *mergeBaseline, *chaosOut, *chaosBaseline); err != nil {
+	if err := run(os.Stdout, *study, *seed, *duration, *rate, *classMix, *csvDir, *framingOut, *mergeOut, *mergeBaseline, *chaosOut, *chaosBaseline, *ledgerOut, *ledgerBaseline); err != nil {
 		fmt.Fprintln(os.Stderr, "vodbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, study string, seed int64, duration time.Duration, rate float64, classMix, csvDir, framingOut, mergeOut, mergeBaseline, chaosOut, chaosBaseline string) error {
+func run(w io.Writer, study string, seed int64, duration time.Duration, rate float64, classMix, csvDir, framingOut, mergeOut, mergeBaseline, chaosOut, chaosBaseline, ledgerOut, ledgerBaseline string) error {
 	writeCSV := func(name string, rows any) error {
 		if csvDir == "" {
 			return nil
@@ -320,8 +325,65 @@ func run(w io.Writer, study string, seed int64, duration time.Duration, rate flo
 			}
 		}
 	}
+	if study == "ledger" || study == "all" {
+		known = true
+		cfg := experiments.DefaultLedgerStudyConfig()
+		cfg.Seed = seed
+		rows, err := experiments.LedgerStudy(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "Ext-16. Link admission: per-server vs ledger-backed brokers (contended trunk)")
+		fmt.Fprintln(w, experiments.FormatLedgerStudy(rows))
+		if err := writeCSV("ledger", rows); err != nil {
+			return err
+		}
+		if ledgerOut != "" {
+			data, err := json.MarshalIndent(ledgerReport{Study: "ledger", Rows: rows}, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(ledgerOut, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+		}
+		if ledgerBaseline != "" {
+			if err := checkLedgerBaseline(w, rows, ledgerBaseline); err != nil {
+				return err
+			}
+		}
+	}
 	if !known {
 		return fmt.Errorf("unknown study %q", study)
+	}
+	return nil
+}
+
+// ledgerReport is the committed BENCH_ledger.json schema.
+type ledgerReport struct {
+	Study string                  `json:"study"`
+	Rows  []experiments.LedgerRow `json:"rows"`
+}
+
+// checkLedgerBaseline gates the ledger study: zero oversubscribed-link-seconds
+// with the ledger on (an absolute bound — any positive value is a correctness
+// bug), at least one rejection on the full trunk, and blind per-server brokers
+// still granting everything (the contrast the study exists to show).
+func checkLedgerBaseline(w io.Writer, rows []experiments.LedgerRow, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base ledgerReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("ledger baseline %s: %w", path, err)
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "ledger baseline %s: oversub %.3fs rejected %d/%d\n",
+			r.Mode, r.OversubscribedLinkSeconds, r.Rejected, r.Watchers)
+	}
+	if bad := experiments.LedgerRegression(rows, base.Rows); len(bad) > 0 {
+		return fmt.Errorf("ledger regression: %s", strings.Join(bad, "; "))
 	}
 	return nil
 }

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"dvod/internal/admission"
 	"dvod/internal/cache"
 	"dvod/internal/client"
 	"dvod/internal/clock"
@@ -17,6 +18,7 @@ import (
 	"dvod/internal/disk"
 	"dvod/internal/faults"
 	"dvod/internal/grnet"
+	"dvod/internal/ledger"
 	"dvod/internal/media"
 	"dvod/internal/metrics"
 	"dvod/internal/server"
@@ -112,6 +114,11 @@ type Service struct {
 	// planner (nil with WithoutDefense).
 	injector *faults.Injector
 	scores   *faults.HealthScores
+	// brokers/ledgers/gossipers exist per node with WithAdmission; the
+	// ledger pair is absent with WithoutLedger.
+	brokers   map[NodeID]*admission.Broker
+	ledgers   map[NodeID]*ledger.Ledger
+	gossipers map[NodeID]*ledger.Gossiper
 
 	mu      sync.Mutex
 	stopped map[NodeID]bool
@@ -182,6 +189,13 @@ func New(spec TopologySpec, opts ...Option) (*Service, error) {
 		hbStop:   make(chan struct{}),
 		hbDone:   make(chan struct{}),
 	}
+	if o.admissionMbps > 0 {
+		svc.brokers = make(map[NodeID]*admission.Broker, g.NumNodes())
+		if !o.noLedger {
+			svc.ledgers = make(map[NodeID]*ledger.Ledger, g.NumNodes())
+			svc.gossipers = make(map[NodeID]*ledger.Gossiper, g.NumNodes())
+		}
+	}
 	for _, node := range g.Nodes() {
 		count, capBytes := o.arrayShape(node)
 		arr, err := disk.NewUniformArray(string(node), count, capBytes)
@@ -202,6 +216,43 @@ func New(spec TopologySpec, opts ...Option) (*Service, error) {
 		if injector != nil {
 			arr.SetReadInterceptor(injector.ReadInterceptor(node))
 		}
+		// One registry per node shared by the server, its broker, and its
+		// ledger replica, so admission.* and ledger.* surface together in
+		// Service.Metrics.
+		reg := metrics.NewRegistry()
+		var (
+			brk *admission.Broker
+			led *ledger.Ledger
+		)
+		if o.admissionMbps > 0 {
+			if !o.noLedger {
+				led, err = ledger.New(ledger.Config{
+					Origin: node,
+					// The lease must survive many missed rounds (a partition
+					// is not a death) while still draining a dead server's
+					// reservations promptly.
+					TTL:     40 * o.ledgerInterval,
+					Clock:   o.clock,
+					Metrics: reg,
+				})
+				if err != nil {
+					return nil, err
+				}
+				svc.ledgers[node] = led
+			}
+			brk, err = admission.New(admission.Config{
+				Node:         node,
+				CapacityMbps: o.admissionMbps,
+				Snapshot:     d.Snapshot,
+				Ledger:       led,
+				Clock:        o.clock,
+				Metrics:      reg,
+			})
+			if err != nil {
+				return nil, err
+			}
+			svc.brokers[node] = brk
+		}
 		srv, err := server.New(server.Config{
 			Node:           node,
 			DB:             d,
@@ -213,9 +264,12 @@ func New(spec TopologySpec, opts ...Option) (*Service, error) {
 			Counters:       counters,
 			ListenAddr:     o.listenAddrs[node],
 			Clock:          o.clock,
+			Metrics:        reg,
 			MergeWindow:    o.mergeWindow,
 			Faults:         injector,
 			Health:         scores,
+			Broker:         brk,
+			Ledger:         led,
 			DisableDefense: o.noDefense,
 		})
 		if err != nil {
@@ -226,7 +280,50 @@ func New(spec TopologySpec, opts ...Option) (*Service, error) {
 			return nil, err
 		}
 	}
+	for node, led := range svc.ledgers {
+		peers := make([]NodeID, 0, g.NumNodes()-1)
+		for _, p := range g.Nodes() {
+			if p != node {
+				peers = append(peers, p)
+			}
+		}
+		gsp, err := ledger.NewGossiper(ledger.GossipConfig{
+			Ledger:   led,
+			Peers:    peers,
+			Lookup:   book.Lookup,
+			Dial:     svc.gossipDialer(node),
+			Interval: o.ledgerInterval,
+			Clock:    o.clock,
+			Metrics:  svc.servers[node].Metrics(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		svc.gossipers[node] = gsp
+	}
 	return svc, nil
+}
+
+// gossipDialer routes one node's gossip exchanges through the fault
+// injector, so a partition that cuts the delivery plane cuts anti-entropy
+// identically (both the partitioned node's outbound dials and everyone
+// else's dials toward it refuse).
+func (s *Service) gossipDialer(self NodeID) func(NodeID, string) (*transport.Conn, error) {
+	return func(peer NodeID, addr string) (*transport.Conn, error) {
+		inj := s.injector
+		if inj == nil {
+			return transport.Dial(addr)
+		}
+		if err := inj.DialError(self, nil); err != nil {
+			return nil, err
+		}
+		if err := inj.DialError(peer, nil); err != nil {
+			return nil, err
+		}
+		return transport.DialWith(addr, func(rw io.ReadWriteCloser) io.ReadWriteCloser {
+			return inj.WrapStream(peer, nil, rw)
+		})
+	}
 }
 
 // Start brings every video server online and begins SNMP polling of the
@@ -275,6 +372,9 @@ func (s *Service) Start() error {
 			_ = s.Close()
 			return err
 		}
+	}
+	for _, gsp := range s.gossipers {
+		gsp.Start()
 	}
 	if s.health != nil {
 		// Seed immediate liveness, then heartbeat in the background.
@@ -325,6 +425,9 @@ func (s *Service) StopServer(node NodeID) error {
 	s.mu.Lock()
 	s.stopped[node] = true
 	s.mu.Unlock()
+	if gsp, ok := s.gossipers[node]; ok {
+		gsp.Stop()
+	}
 	if s.health != nil {
 		s.health.MarkDown(node)
 	}
@@ -337,6 +440,9 @@ func (s *Service) Close() error {
 		return nil
 	}
 	s.closed = true
+	for _, gsp := range s.gossipers {
+		gsp.Stop()
+	}
 	if s.injector != nil {
 		s.injector.Stop()
 	}
@@ -466,6 +572,61 @@ func (s *Service) InjectedFaults() int64 {
 	return s.injector.InjectedTotal()
 }
 
+// GossipRound drives one synchronous anti-entropy round on every live
+// node's gossiper (skipping servers taken down with StopServer). Tests and
+// studies running on a virtual clock use it to converge the reservation
+// ledger deterministically instead of waiting out wall-clock intervals.
+// No-op without WithAdmission or with WithoutLedger.
+func (s *Service) GossipRound() {
+	for _, node := range s.graph.Nodes() {
+		s.mu.Lock()
+		down := s.stopped[node]
+		s.mu.Unlock()
+		if down {
+			continue
+		}
+		if gsp, ok := s.gossipers[node]; ok {
+			gsp.RunOnce()
+		}
+	}
+}
+
+// LedgerDigests returns each live node's reservation-ledger digest — a
+// hash over its full replica state. All digests equal means the replicas
+// have converged. Nil without WithAdmission or with WithoutLedger.
+func (s *Service) LedgerDigests() map[NodeID]string {
+	if s.ledgers == nil {
+		return nil
+	}
+	out := make(map[NodeID]string, len(s.ledgers))
+	for node, led := range s.ledgers {
+		s.mu.Lock()
+		down := s.stopped[node]
+		s.mu.Unlock()
+		if down {
+			continue
+		}
+		out[node] = led.Digest()
+	}
+	return out
+}
+
+// CommittedLinkMbps sums every broker's locally committed reservations per
+// link — the deployment-wide ground truth the study compares against link
+// capacity to detect oversubscription. Nil without WithAdmission.
+func (s *Service) CommittedLinkMbps() map[LinkID]float64 {
+	if s.brokers == nil {
+		return nil
+	}
+	out := make(map[LinkID]float64)
+	for _, brk := range s.brokers {
+		for id, mbps := range brk.LinkReservations() {
+			out[id] += mbps
+		}
+	}
+	return out
+}
+
 // WatchDialer returns a client dialer routed through the service's fault
 // injector, so peer.down and peer.stall faults on the home node sever or
 // freeze its local clients' watch connections too. Without an armed plan it
@@ -525,6 +686,9 @@ type options struct {
 	faultPlan         *faults.Plan
 	faultSeed         int64
 	noDefense         bool
+	admissionMbps     float64
+	noLedger          bool
+	ledgerInterval    time.Duration
 }
 
 type diskShape struct {
@@ -542,6 +706,7 @@ func defaultOptions() options {
 		selector:          core.VRA{},
 		clock:             clock.Wall{},
 		listenAddrs:       map[NodeID]string{},
+		ledgerInterval:    ledger.DefaultGossipInterval,
 	}
 }
 
@@ -570,6 +735,13 @@ func (o options) validate() error {
 		return errors.New("dvod: nil clock")
 	case o.mergeWindow < 0:
 		return fmt.Errorf("dvod: negative merge window %d", o.mergeWindow)
+	case o.admissionMbps < 0:
+		return fmt.Errorf("dvod: negative admission capacity %v", o.admissionMbps)
+	case o.ledgerInterval <= 0:
+		return fmt.Errorf("dvod: bad ledger gossip interval %v", o.ledgerInterval)
+	}
+	if o.noLedger && o.admissionMbps <= 0 {
+		return errors.New("dvod: WithoutLedger needs WithAdmission")
 	}
 	for node, s := range o.nodeDisks {
 		if s.count <= 0 || s.capacityBytes <= 0 {
@@ -670,4 +842,28 @@ func WithFaultPlan(plan FaultPlan, seed int64) Option {
 // control arm; production deployments leave the defense on.
 func WithoutDefense() Option {
 	return func(o *options) { o.noDefense = true }
+}
+
+// WithAdmission gives every video server an admission broker with the
+// given deliverable capacity (Mbps) and — unless WithoutLedger is also
+// set — a replica of the gossip-replicated reservation ledger, so link
+// headroom checks see every server's committed reservations, not just the
+// local ones. Disabled by default.
+func WithAdmission(capacityMbps float64) Option {
+	return func(o *options) { o.admissionMbps = capacityMbps }
+}
+
+// WithLedgerGossipInterval tunes the reservation ledger's anti-entropy
+// cadence (default ledger.DefaultGossipInterval, 250 ms). The lease TTL
+// scales with it (40 rounds), so slower gossip also means slower reclaim
+// of a dead server's reservations.
+func WithLedgerGossipInterval(d time.Duration) Option {
+	return func(o *options) { o.ledgerInterval = d }
+}
+
+// WithoutLedger keeps admission control purely per-server: each broker
+// sees only its own reservations, as before the ledger existed. The
+// Ext-16 study's control arm; requires WithAdmission.
+func WithoutLedger() Option {
+	return func(o *options) { o.noLedger = true }
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"dvod/internal/clock"
+	"dvod/internal/ledger"
 	"dvod/internal/metrics"
 	"dvod/internal/topology"
 )
@@ -91,6 +92,12 @@ type Grant struct {
 // bandwidth is committed once for the whole group, not per session).
 func (g *Grant) Shared() bool { return g.shareKey != "" }
 
+// Links returns a copy of the emulated links this grant holds reservations
+// on (empty for shared grants — the group owns those).
+func (g *Grant) Links() []topology.LinkID {
+	return append([]topology.LinkID(nil), g.links...)
+}
+
 // sharedGroup is one stream-merging cohort's single bandwidth reservation.
 // The first session through AdmitWaitShared commits rate and links; later
 // sessions with the same key attach for free and the reservation is returned
@@ -100,6 +107,10 @@ type sharedGroup struct {
 	degraded bool
 	links    []topology.LinkID
 	count    int
+	// class is the first admitter's class — the class the group's ledger
+	// reservation was written under, which may differ from the class of the
+	// member that happens to leave last.
+	class Class
 }
 
 // Config assembles a Broker.
@@ -122,6 +133,12 @@ type Config struct {
 	// residual headroom on the request's links (the SNMP-fed view the VRA
 	// also reads). Nil skips link checks.
 	Snapshot func() (*topology.Snapshot, error)
+	// Ledger optionally shares this broker's link reservations with every
+	// other server (and folds theirs in): when set, link headroom checks
+	// subtract the other origins' gossip-replicated reservations, and every
+	// grant/release/migration is mirrored into the ledger. Nil keeps the
+	// broker purely per-server.
+	Ledger *ledger.Ledger
 	// Clock drives the token bucket and queue deadlines; nil is wall time.
 	Clock clock.Clock
 	// Metrics receives per-class admitted/degraded/queued/rejected
@@ -222,6 +239,18 @@ func (b *Broker) LinkCommittedMbps(id topology.LinkID) float64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.perLink[id]
+}
+
+// LinkReservations returns a copy of the broker's committed bandwidth per
+// emulated link (the local half of what the ledger replicates).
+func (b *Broker) LinkReservations() map[topology.LinkID]float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[topology.LinkID]float64, len(b.perLink))
+	for id, v := range b.perLink {
+		out[id] = v
+	}
+	return out
 }
 
 // Counts returns a copy of the per-class admission tallies.
@@ -352,6 +381,9 @@ func (b *Broker) AdmitWaitShared(req Request, key string) (*Grant, error) {
 				delete(b.perLink, id)
 			}
 		}
+		if b.cfg.Ledger != nil && len(g.links) > 0 {
+			b.cfg.Ledger.Release(g.links, string(g.Class), g.BitrateMbps)
+		}
 		grp.count++
 		g.links = nil
 		g.BitrateMbps = grp.rate
@@ -364,6 +396,7 @@ func (b *Broker) AdmitWaitShared(req Request, key string) (*Grant, error) {
 			degraded: g.Degraded,
 			links:    g.links,
 			count:    1,
+			class:    g.Class,
 		}
 		g.links = nil // the group owns the link reservations now
 	}
@@ -427,14 +460,14 @@ func (b *Broker) Release(g *Grant) {
 	}
 	g.released = true
 	b.sessions--
-	rate, links := g.BitrateMbps, g.links
+	rate, links, class := g.BitrateMbps, g.links, g.Class
 	if g.shareKey != "" {
 		rate, links = 0, nil
 		if grp, ok := b.shared[g.shareKey]; ok {
 			grp.count--
 			if grp.count <= 0 {
 				delete(b.shared, g.shareKey)
-				rate, links = grp.rate, grp.links
+				rate, links, class = grp.rate, grp.links, grp.class
 			}
 		}
 	}
@@ -448,10 +481,73 @@ func (b *Broker) Release(g *Grant) {
 			delete(b.perLink, id)
 		}
 	}
+	if b.cfg.Ledger != nil && rate > 0 && len(links) > 0 {
+		b.cfg.Ledger.Release(links, string(class), rate)
+	}
 	close(b.changed)
 	b.changed = make(chan struct{})
 	b.publishGauges()
 	b.mu.Unlock()
+}
+
+// Migrate moves a live grant's link reservations to a new route — the
+// mid-stream case where the VRA re-plans a session across a cluster boundary
+// and the bandwidth must follow the stream. Shared grants are skipped (the
+// group, not the member, owns the reservations), as are released grants and
+// no-op moves. Returns whether a migration happened.
+func (b *Broker) Migrate(g *Grant, newLinks []topology.LinkID) bool {
+	if g == nil {
+		return false
+	}
+	b.mu.Lock()
+	if g.released || g.shareKey != "" || sameLinkSet(g.links, newLinks) {
+		b.mu.Unlock()
+		return false
+	}
+	rate, old := g.BitrateMbps, g.links
+	for _, id := range old {
+		b.perLink[id] -= rate
+		if b.perLink[id] < 1e-9 {
+			delete(b.perLink, id)
+		}
+	}
+	g.links = append([]topology.LinkID(nil), newLinks...)
+	for _, id := range g.links {
+		b.perLink[id] += rate
+	}
+	if b.cfg.Ledger != nil {
+		if len(old) > 0 {
+			b.cfg.Ledger.Release(old, string(g.Class), rate)
+		}
+		if len(g.links) > 0 {
+			b.cfg.Ledger.Reserve(g.links, string(g.Class), rate)
+		}
+	}
+	b.cfg.Metrics.Counter("admission.migrations").Inc()
+	// Old links freed headroom: wake queued admits.
+	close(b.changed)
+	b.changed = make(chan struct{})
+	b.publishGauges()
+	b.mu.Unlock()
+	return true
+}
+
+// sameLinkSet reports whether two routes reserve the same link multiset.
+func sameLinkSet(a, b []topology.LinkID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	counts := make(map[topology.LinkID]int, len(a))
+	for _, id := range a {
+		counts[id]++
+	}
+	for _, id := range b {
+		counts[id]--
+		if counts[id] < 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // policyFor resolves the (possibly empty) wire class to a configured policy.
@@ -501,7 +597,7 @@ func (b *Broker) tryAdmit(req Request, takeToken bool) (*Grant, error) {
 			continue
 		}
 		if snap != nil {
-			if ok, linkFree := b.linksCarry(snap, req.Links, rate, pol.MaxShare); !ok {
+			if ok, linkFree := b.linksCarry(snap, req.Links, rate, pol.MaxShare, class); !ok {
 				reason = ReasonLink
 				if linkFree < free {
 					free = linkFree
@@ -523,6 +619,9 @@ func (b *Broker) tryAdmit(req Request, takeToken bool) (*Grant, error) {
 		for _, id := range g.links {
 			b.perLink[id] += rate
 		}
+		if b.cfg.Ledger != nil && len(g.links) > 0 {
+			b.cfg.Ledger.Reserve(g.links, string(class), rate)
+		}
 		b.publishGauges()
 		return g, nil
 	}
@@ -539,8 +638,10 @@ func (b *Broker) tryAdmit(req Request, takeToken bool) (*Grant, error) {
 // on thin links the flat MaxShare is tightened so at least one full-rate
 // session of a better class still fits. Observed use may already include
 // committed sessions' traffic, so the check is conservative under load — the
-// safe direction for admission.
-func (b *Broker) linksCarry(snap *topology.Snapshot, links []topology.LinkID, rate, share float64) (bool, float64) {
+// safe direction for admission. When a ledger is configured, the other
+// servers' gossip-replicated reservations are subtracted too, so two brokers
+// sharing a trunk cannot jointly oversubscribe it.
+func (b *Broker) linksCarry(snap *topology.Snapshot, links []topology.LinkID, rate, share float64, class Class) (bool, float64) {
 	minFree := 0.0
 	first := true
 	for _, id := range links {
@@ -548,8 +649,14 @@ func (b *Broker) linksCarry(snap *topology.Snapshot, links []topology.LinkID, ra
 		if err != nil {
 			return false, 0
 		}
-		freeMbps := l.CapacityMbps*(1-snap.Utilization(id)) - b.perLink[id]
-		classFree := CalibratedLinkShare(share, l.CapacityMbps, rate)*l.CapacityMbps - b.perLink[id]
+		committed := b.perLink[id]
+		classCommitted := committed
+		if b.cfg.Ledger != nil {
+			committed += b.cfg.Ledger.RemoteReservedMbps(id)
+			classCommitted += b.cfg.Ledger.RemoteClassReservedMbps(id, string(class))
+		}
+		freeMbps := l.CapacityMbps*(1-snap.Utilization(id)) - committed
+		classFree := CalibratedLinkShare(share, l.CapacityMbps, rate)*l.CapacityMbps - classCommitted
 		if classFree < freeMbps {
 			freeMbps = classFree
 		}

@@ -1,0 +1,185 @@
+package admission
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dvod/internal/clock"
+	"dvod/internal/ledger"
+	"dvod/internal/topology"
+)
+
+// TestLedgerPreventsJointOversubscription is the regression the ledger
+// exists for: two home servers share a 2 Mbps trunk to the origin. With
+// per-server brokers each sees an idle trunk and both admit a 1.5 Mbps
+// premium session — 3 Mbps committed on a 2 Mbps link. With ledger-backed
+// brokers the second server sees the first's replicated reservation and
+// refuses.
+func TestLedgerPreventsJointOversubscription(t *testing.T) {
+	g := topology.NewGraph()
+	for _, n := range []topology.NodeID{"A", "B", "M", "O"} {
+		if err := g.AddNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	am, err := g.AddLink("A", "M", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, err := g.AddLink("B", "M", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mo, err := g.AddLink("M", "O", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := topology.NewSnapshot(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := func() (*topology.Snapshot, error) { return snap, nil }
+	clk := clock.NewVirtual(time.Unix(0, 0))
+
+	newLedger := func(origin topology.NodeID) *ledger.Ledger {
+		l, err := ledger.New(ledger.Config{Origin: origin, Clock: clk})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+
+	run := func(la, lb *ledger.Ledger) (errA, errB error) {
+		ba := newBroker(t, Config{Node: "A", CapacityMbps: 100, Snapshot: snapshot, Ledger: la})
+		bb := newBroker(t, Config{Node: "B", CapacityMbps: 100, Snapshot: snapshot, Ledger: lb})
+		_, errA = ba.Admit(Request{Class: Premium, BitrateMbps: 1.5, Links: []topology.LinkID{am, mo}})
+		if la != nil && lb != nil {
+			// One gossip exchange between the grant and B's attempt.
+			lb.Merge(la.Sync(lb.Origin()))
+		}
+		_, errB = bb.Admit(Request{Class: Premium, BitrateMbps: 1.5, Links: []topology.LinkID{bm, mo}})
+		return errA, errB
+	}
+
+	// Per-server brokers: both grants land, jointly oversubscribing the trunk.
+	errA, errB := run(nil, nil)
+	if errA != nil || errB != nil {
+		t.Fatalf("per-server brokers refused: %v / %v", errA, errB)
+	}
+
+	// Ledger-backed brokers: the second grant is refused on the trunk.
+	la, lb := newLedger("A"), newLedger("B")
+	errA, errB = run(la, lb)
+	if errA != nil {
+		t.Fatalf("first ledger-backed grant refused: %v", errA)
+	}
+	var rej *RejectedError
+	if !errors.As(errB, &rej) || rej.Reason != ReasonLink {
+		t.Fatalf("second ledger-backed grant: got %v, want link rejection", errB)
+	}
+}
+
+// TestLedgerReleaseFreesRemoteHeadroom pins the release path: once A's
+// session ends and the release gossips over, B's identical request fits.
+func TestLedgerReleaseFreesRemoteHeadroom(t *testing.T) {
+	g := topology.NewGraph()
+	for _, n := range []topology.NodeID{"A", "B", "M", "O"} {
+		if err := g.AddNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	am, _ := g.AddLink("A", "M", 10)
+	bm, _ := g.AddLink("B", "M", 10)
+	mo, _ := g.AddLink("M", "O", 2)
+	snap, err := topology.NewSnapshot(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	la, err := ledger.New(ledger.Config{Origin: "A", Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := ledger.New(ledger.Config{Origin: "B", Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := func() (*topology.Snapshot, error) { return snap, nil }
+	ba := newBroker(t, Config{Node: "A", CapacityMbps: 100, Snapshot: snapshot, Ledger: la})
+	bb := newBroker(t, Config{Node: "B", CapacityMbps: 100, Snapshot: snapshot, Ledger: lb})
+
+	ga, err := ba.Admit(Request{Class: Premium, BitrateMbps: 1.5, Links: []topology.LinkID{am, mo}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb.Merge(la.Sync("B"))
+	if _, err := bb.Admit(Request{Class: Premium, BitrateMbps: 1.5, Links: []topology.LinkID{bm, mo}}); err == nil {
+		t.Fatal("trunk double-booked while A's session lives")
+	}
+	ba.Release(ga)
+	lb.Merge(la.Sync("B"))
+	if _, err := bb.Admit(Request{Class: Premium, BitrateMbps: 1.5, Links: []topology.LinkID{bm, mo}}); err != nil {
+		t.Fatalf("B refused after A released: %v", err)
+	}
+}
+
+// TestMigrateMovesReservations pins the mid-stream re-plan path: migrating a
+// grant frees the old route's links, reserves the new ones, mirrors both
+// into the ledger, and bumps the migration counter.
+func TestMigrateMovesReservations(t *testing.T) {
+	g := topology.NewGraph()
+	for _, n := range []topology.NodeID{"A", "M", "O"} {
+		if err := g.AddNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	am, _ := g.AddLink("A", "M", 10)
+	mo, _ := g.AddLink("M", "O", 10)
+	snap, err := topology.NewSnapshot(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	la, err := ledger.New(ledger.Config{Origin: "A", Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := newBroker(t, Config{Node: "A", CapacityMbps: 100,
+		Snapshot: func() (*topology.Snapshot, error) { return snap, nil }, Ledger: la})
+	gr, err := b.Admit(Request{Class: Premium, BitrateMbps: 2, Links: []topology.LinkID{am, mo}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The VRA re-planned onto the local replica: the trunk leg goes away.
+	if !b.Migrate(gr, []topology.LinkID{am}) {
+		t.Fatal("migration refused")
+	}
+	if got := b.LinkCommittedMbps(mo); got != 0 {
+		t.Fatalf("old trunk still carries %v Mbps", got)
+	}
+	if got := b.LinkCommittedMbps(am); got != 2 {
+		t.Fatalf("new route carries %v Mbps, want 2", got)
+	}
+	// The ledger rows moved too: a peer replica sees only the new route.
+	lb, err := ledger.New(ledger.Config{Origin: "B", Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb.Merge(la.Sync("B"))
+	if got := lb.RemoteReservedMbps(mo); got != 0 {
+		t.Fatalf("peer still sees %v Mbps on old trunk", got)
+	}
+	if got := lb.RemoteReservedMbps(am); got != 2 {
+		t.Fatalf("peer sees %v Mbps on new route, want 2", got)
+	}
+	// Same-route migration is a no-op.
+	if b.Migrate(gr, []topology.LinkID{am}) {
+		t.Fatal("no-op migration reported as a move")
+	}
+	// Released grants cannot migrate.
+	b.Release(gr)
+	if b.Migrate(gr, []topology.LinkID{am, mo}) {
+		t.Fatal("released grant migrated")
+	}
+}

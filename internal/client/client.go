@@ -207,6 +207,10 @@ type PlaybackStats struct {
 	// Retries counts mid-stream resume attempts (always 0 without
 	// WithResume).
 	Retries int
+	// ReservationMigrations echoes how many times the home server moved this
+	// session's bandwidth reservation to a new route mid-stream (the
+	// watch.done payload from ledger-aware servers; 0 from older ones).
+	ReservationMigrations int
 	// StartupDelay is the time to the first cluster's arrival.
 	StartupDelay time.Duration
 	// Stalls and StallTime account rebuffering: playback consumes each
@@ -339,6 +343,7 @@ func mergeResumed(agg *PlaybackStats, part PlaybackStats) {
 		agg.MergeCohort = part.MergeCohort
 		agg.PatchClusters += part.PatchClusters
 	}
+	agg.ReservationMigrations += part.ReservationMigrations
 }
 
 // watchOnce runs one watch connection: request, headers, stream consumption.
@@ -439,6 +444,13 @@ stream:
 		}
 		switch m.Type {
 		case transport.TypeWatchDone:
+			// Older servers send a bare watch.done; ledger-aware ones attach
+			// the session's migration tally.
+			if len(m.Payload) > 0 {
+				if done, derr := transport.Decode[transport.WatchDonePayload](m); derr == nil {
+					stats.ReservationMigrations = done.Migrations
+				}
+			}
 			break stream
 		case transport.TypeError:
 			return stats, info, transport.AsError(m)

@@ -1,0 +1,478 @@
+// Package ledger is the gossip-replicated link-reservation ledger that makes
+// admission control globally consistent: every server's bandwidth broker
+// writes its own link reservations into the ledger and reads every *other*
+// server's before granting, so two servers sharing a trunk stop jointly
+// oversubscribing it (the failure mode per-server brokers have — ROADMAP
+// "Distributed broker state").
+//
+// The replicated state is a per-(link, class, origin) set of versioned rows:
+// each origin stamps its rows with its own monotonic sequence, and replicas
+// merge by last-writer-wins per cell — a state-based CRDT, so merges commute
+// and replicas converge regardless of exchange order. Anti-entropy runs as
+// periodic push-pull gossip over the live transport (Gossiper), exchanging
+// version vectors and deltas; a restarted peer advertises an empty vector and
+// receives the full state. Liveness is lease-based: every origin's gossip
+// round bumps a heartbeat clock, a replica renews an origin's lease only when
+// it sees that clock advance, and an origin silent for the TTL has its rows
+// expired so a dead server's reservations drain instead of pinning trunk
+// headroom forever. See DESIGN.md § "Reservation ledger".
+package ledger
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"dvod/internal/clock"
+	"dvod/internal/metrics"
+	"dvod/internal/topology"
+	"dvod/internal/transport"
+)
+
+// DefaultTTL is the lease TTL when Config.TTL is zero. It must comfortably
+// exceed the gossip interval times the network diameter, so a healthy origin
+// is never expired between rounds.
+const DefaultTTL = 10 * time.Second
+
+// Config assembles a Ledger.
+type Config struct {
+	// Origin is the server this replica writes rows as. Required.
+	Origin topology.NodeID
+	// TTL is the lease duration: an origin whose heartbeat clock has not
+	// advanced for TTL has its rows expired. Zero uses DefaultTTL.
+	TTL time.Duration
+	// Clock drives lease timestamps; nil is wall time.
+	Clock clock.Clock
+	// Metrics receives ledger.entries / ledger.stale_expired and the
+	// per-link committed-vs-local gauges; nil allocates a private registry.
+	Metrics *metrics.Registry
+}
+
+// cellKey addresses one replicated reservation cell.
+type cellKey struct {
+	link   topology.LinkID
+	class  string
+	origin topology.NodeID
+}
+
+// cell is one cell's current value under last-writer-wins.
+type cell struct {
+	seq      uint64
+	rate     float64
+	sessions int
+}
+
+// Ledger is one server's replica of the shared reservation state. All
+// methods are safe for concurrent use.
+type Ledger struct {
+	origin topology.NodeID
+	ttl    time.Duration
+	clk    clock.Clock
+	reg    *metrics.Registry
+
+	mu sync.Mutex
+	// clockSeq is this origin's monotonic sequence: every local mutation and
+	// every gossip heartbeat advances it, and every own row is stamped with
+	// its value at write time.
+	clockSeq uint64
+	rows     map[cellKey]cell
+	// have is the version vector: the highest row sequence held per origin.
+	// It only advances when rows are actually applied (or generated), so
+	// advertising it can never cause a peer to withhold rows we lack.
+	have map[topology.NodeID]uint64
+	// clocks is the newest heartbeat clock known per origin — the lease
+	// signal, deliberately separate from have: heartbeats advance it without
+	// generating rows.
+	clocks    map[topology.NodeID]uint64
+	lastHeard map[topology.NodeID]time.Time
+	// expired marks origins whose lease ran out; their rows are dropped and
+	// stay dropped until the origin's clock advances again, at which point
+	// have is reset so the full state is relearned.
+	expired map[topology.NodeID]bool
+	// peerHave caches each peer's last advertised version vector, used to
+	// compute the push delta (nil entry → full state).
+	peerHave map[topology.NodeID]map[topology.NodeID]uint64
+	// pubLinks tracks which per-link gauges have been published, so a link
+	// whose rows disappear is zeroed rather than left stale.
+	pubLinks map[topology.LinkID]bool
+}
+
+// New validates the configuration and builds a replica.
+func New(cfg Config) (*Ledger, error) {
+	if cfg.Origin == "" {
+		return nil, fmt.Errorf("ledger: empty origin")
+	}
+	if cfg.TTL < 0 {
+		return nil, fmt.Errorf("ledger: negative TTL %v", cfg.TTL)
+	}
+	if cfg.TTL == 0 {
+		cfg.TTL = DefaultTTL
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Wall{}
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	// The origin sequence is seeded from the clock so a restarted replica's
+	// fresh writes outrank everything its previous incarnation published —
+	// the classic epoch trick that keeps last-writer-wins monotonic across
+	// restarts (assumes the clock moves forward between incarnations).
+	var seed uint64
+	if nano := cfg.Clock.Now().UnixNano(); nano > 0 {
+		seed = uint64(nano)
+	}
+	return &Ledger{
+		origin:    cfg.Origin,
+		ttl:       cfg.TTL,
+		clk:       cfg.Clock,
+		reg:       cfg.Metrics,
+		clockSeq:  seed,
+		rows:      make(map[cellKey]cell),
+		have:      make(map[topology.NodeID]uint64),
+		clocks:    make(map[topology.NodeID]uint64),
+		lastHeard: make(map[topology.NodeID]time.Time),
+		expired:   make(map[topology.NodeID]bool),
+		peerHave:  make(map[topology.NodeID]map[topology.NodeID]uint64),
+		pubLinks:  make(map[topology.LinkID]bool),
+	}, nil
+}
+
+// Origin returns the replica's own origin node.
+func (l *Ledger) Origin() topology.NodeID { return l.origin }
+
+// TTL returns the configured lease duration.
+func (l *Ledger) TTL() time.Duration { return l.ttl }
+
+// bumpLocked advances the origin sequence and mirrors it into the clock and
+// version vectors. Callers hold l.mu.
+func (l *Ledger) bumpLocked() uint64 {
+	l.clockSeq++
+	l.clocks[l.origin] = l.clockSeq
+	l.have[l.origin] = l.clockSeq
+	return l.clockSeq
+}
+
+// Reserve records rate Mbps of one more session of class on every link —
+// called by the admission broker right after it commits a grant.
+func (l *Ledger) Reserve(links []topology.LinkID, class string, rate float64) {
+	l.adjust(links, class, rate, +1)
+}
+
+// Release returns rate Mbps of one session of class on every link. Rows
+// drained to zero are kept as tombstones so last-writer-wins cannot
+// resurrect the released reservation from a stale replica.
+func (l *Ledger) Release(links []topology.LinkID, class string, rate float64) {
+	l.adjust(links, class, -rate, -1)
+}
+
+func (l *Ledger) adjust(links []topology.LinkID, class string, rateDelta float64, sessionDelta int) {
+	if len(links) == 0 {
+		return
+	}
+	l.mu.Lock()
+	for _, id := range links {
+		k := cellKey{link: id, class: class, origin: l.origin}
+		c := l.rows[k]
+		c.rate += rateDelta
+		if c.rate < 1e-9 {
+			c.rate = 0
+		}
+		c.sessions += sessionDelta
+		if c.sessions < 0 {
+			c.sessions = 0
+		}
+		c.seq = l.bumpLocked()
+		l.rows[k] = c
+	}
+	l.publishLocked()
+	l.mu.Unlock()
+}
+
+// Beat advances the origin's heartbeat clock — the gossiper calls it once per
+// round, so peers keep renewing this origin's lease even when no
+// reservations change.
+func (l *Ledger) Beat() {
+	l.mu.Lock()
+	l.bumpLocked()
+	l.mu.Unlock()
+}
+
+// RemoteReservedMbps sums every other origin's committed bandwidth on one
+// link — the remote load the local broker must subtract from physical
+// headroom.
+func (l *Ledger) RemoteReservedMbps(link topology.LinkID) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var sum float64
+	for k, c := range l.rows {
+		if k.link == link && k.origin != l.origin {
+			sum += c.rate
+		}
+	}
+	return sum
+}
+
+// RemoteClassReservedMbps sums every other origin's committed bandwidth of
+// one class on one link — the remote load against the class's calibrated
+// trunk share.
+func (l *Ledger) RemoteClassReservedMbps(link topology.LinkID, class string) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var sum float64
+	for k, c := range l.rows {
+		if k.link == link && k.class == class && k.origin != l.origin {
+			sum += c.rate
+		}
+	}
+	return sum
+}
+
+// Entries returns the replicated row count (tombstones included).
+func (l *Ledger) Entries() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.rows)
+}
+
+// Rows returns a sorted snapshot of the replicated state (tests, debugging).
+func (l *Ledger) Rows() []transport.LedgerRow {
+	l.mu.Lock()
+	out := make([]transport.LedgerRow, 0, len(l.rows))
+	for k, c := range l.rows {
+		out = append(out, transport.LedgerRow{
+			Link: k.link, Class: k.class, Origin: k.origin,
+			Seq: c.seq, RateMbps: c.rate, Sessions: c.sessions,
+		})
+	}
+	l.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Link != out[b].Link {
+			return out[a].Link < out[b].Link
+		}
+		if out[a].Class != out[b].Class {
+			return out[a].Class < out[b].Class
+		}
+		return out[a].Origin < out[b].Origin
+	})
+	return out
+}
+
+// Digest hashes the replicated row set. Two replicas return equal digests
+// exactly when they hold identical rows — the convergence check the
+// partition-healing tests assert.
+func (l *Ledger) Digest() string {
+	rows := l.Rows()
+	h := sha256.New()
+	for _, r := range rows {
+		fmt.Fprintf(h, "%s|%s|%s|%d|%.9g|%d\n", r.Link, r.Class, r.Origin, r.Seq, r.RateMbps, r.Sessions)
+	}
+	return hex.EncodeToString(h.Sum(nil)[:8])
+}
+
+// Sync builds the payload to send to peer: the sender's clock and version
+// vectors, plus every row newer than the peer's last advertised vector. An
+// unknown peer (or one that re-advertised a reset vector — a restart) gets
+// the full state.
+func (l *Ledger) Sync(peer topology.NodeID) transport.LedgerSyncPayload {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	p := transport.LedgerSyncPayload{
+		From:   l.origin,
+		Clocks: copyVector(l.clocks),
+		Have:   copyVector(l.have),
+	}
+	known := l.peerHave[peer]
+	for k, c := range l.rows {
+		// Rows the peer is missing, plus an unconditional echo of the peer's
+		// own-origin rows (cheap: one cell per link×class it touched) — the
+		// self-audit that lets a restarted peer spot and tombstone zombie
+		// cells its previous incarnation left behind.
+		if c.seq > known[k.origin] || k.origin == peer {
+			p.Rows = append(p.Rows, transport.LedgerRow{
+				Link: k.link, Class: k.class, Origin: k.origin,
+				Seq: c.seq, RateMbps: c.rate, Sessions: c.sessions,
+			})
+		}
+	}
+	sort.Slice(p.Rows, func(a, b int) bool {
+		if p.Rows[a].Origin != p.Rows[b].Origin {
+			return p.Rows[a].Origin < p.Rows[b].Origin
+		}
+		return p.Rows[a].Seq < p.Rows[b].Seq
+	})
+	return p
+}
+
+// Merge folds one received sync leg into the replica: renew leases for
+// origins whose heartbeat clock advanced, apply rows by last-writer-wins per
+// cell, and cache the sender's version vector for future delta computation.
+// Rows claiming this replica's own origin are never applied — they are
+// pre-restart zombies, and the replica reasserts its authoritative state at
+// fresh sequences above theirs instead.
+func (l *Ledger) Merge(p transport.LedgerSyncPayload) {
+	now := l.clk.Now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if p.From != "" && p.From != l.origin {
+		l.peerHave[p.From] = copyVector(p.Have)
+	}
+	for o, ck := range p.Clocks {
+		if o == l.origin {
+			if ck > l.clockSeq {
+				l.reassertLocked(ck)
+			}
+			continue
+		}
+		if ck > l.clocks[o] {
+			l.clocks[o] = ck
+			l.lastHeard[o] = now
+			if l.expired[o] {
+				// The origin lives again after a lease expiry: relearn its
+				// rows from scratch.
+				delete(l.expired, o)
+				l.have[o] = 0
+			}
+		}
+	}
+	for _, r := range p.Rows {
+		if r.Origin == l.origin {
+			if r.Seq > l.clockSeq {
+				l.reassertLocked(r.Seq)
+			}
+			// A zombie cell this replica no longer claims: tombstone it at a
+			// fresh sequence so the stale value dies everywhere.
+			k := cellKey{link: r.Link, class: r.Class, origin: l.origin}
+			if _, ok := l.rows[k]; !ok {
+				l.rows[k] = cell{seq: l.bumpLocked()}
+			}
+			continue
+		}
+		if l.expired[r.Origin] {
+			continue // lease ran out; drop until its clock advances again
+		}
+		k := cellKey{link: r.Link, class: r.Class, origin: r.Origin}
+		cur, ok := l.rows[k]
+		if ok && r.Seq <= cur.seq {
+			continue
+		}
+		if !ok && r.Seq <= l.have[r.Origin] {
+			continue // already seen and deliberately expired
+		}
+		l.rows[k] = cell{seq: r.Seq, rate: r.RateMbps, sessions: r.Sessions}
+		if r.Seq > l.have[r.Origin] {
+			l.have[r.Origin] = r.Seq
+		}
+		if _, heard := l.lastHeard[r.Origin]; !heard {
+			l.lastHeard[r.Origin] = now
+		}
+	}
+	l.publishLocked()
+}
+
+// HandleSync is the receiving side of one exchange: merge the request, reply
+// with the delta the sender is missing. Because Merge cached the sender's
+// fresh version vector, the reply delta is exact.
+func (l *Ledger) HandleSync(req transport.LedgerSyncPayload) transport.LedgerSyncPayload {
+	l.Merge(req)
+	return l.Sync(req.From)
+}
+
+// reassertLocked jumps the origin sequence above a pre-restart zombie and
+// rewrites every own row at fresh sequences, so this replica's authoritative
+// values outrank any stale state still circulating. Callers hold l.mu.
+func (l *Ledger) reassertLocked(zombieSeq uint64) {
+	if zombieSeq > l.clockSeq {
+		l.clockSeq = zombieSeq
+	}
+	for k, c := range l.rows {
+		if k.origin == l.origin {
+			l.clockSeq++
+			c.seq = l.clockSeq
+			l.rows[k] = c
+		}
+	}
+	l.clocks[l.origin] = l.clockSeq
+	l.have[l.origin] = l.clockSeq
+}
+
+// ExpireStale drops every row of origins whose lease ran out — a dead
+// server's reservations drain after TTL instead of pinning link headroom
+// forever. The expired origin's vectors are kept as high-watermarks so
+// replicas still relaying its old rows cannot resurrect them; if the origin
+// comes back, its advancing clock resets the watermark and the state is
+// relearned. Returns how many origins were expired.
+func (l *Ledger) ExpireStale() int {
+	now := l.clk.Now()
+	l.mu.Lock()
+	var dropped []topology.NodeID
+	for o, t := range l.lastHeard {
+		if o != l.origin && now.Sub(t) > l.ttl {
+			dropped = append(dropped, o)
+		}
+	}
+	for _, o := range dropped {
+		for k := range l.rows {
+			if k.origin == o {
+				delete(l.rows, k)
+			}
+		}
+		delete(l.lastHeard, o)
+		l.expired[o] = true
+		l.reg.Counter("ledger.stale_expired").Inc()
+	}
+	if len(dropped) > 0 {
+		l.publishLocked()
+	}
+	l.mu.Unlock()
+	return len(dropped)
+}
+
+// publishLocked refreshes the ledger gauges: the replicated entry count and,
+// per link, the committed bandwidth split into this origin's share and the
+// remote origins'. Callers hold l.mu.
+func (l *Ledger) publishLocked() {
+	l.reg.Gauge("ledger.entries").Set(float64(len(l.rows)))
+	local := make(map[topology.LinkID]float64)
+	remote := make(map[topology.LinkID]float64)
+	for k, c := range l.rows {
+		if k.origin == l.origin {
+			local[k.link] += c.rate
+		} else {
+			remote[k.link] += c.rate
+		}
+	}
+	for link := range l.pubLinks {
+		if _, ok := local[link]; !ok {
+			if _, ok := remote[link]; !ok {
+				l.reg.Gauge("ledger.local_mbps." + string(link)).Set(0)
+				l.reg.Gauge("ledger.remote_mbps." + string(link)).Set(0)
+				delete(l.pubLinks, link)
+			}
+		}
+	}
+	for link := range local {
+		l.pubLinks[link] = true
+	}
+	for link := range remote {
+		l.pubLinks[link] = true
+	}
+	for link := range l.pubLinks {
+		l.reg.Gauge("ledger.local_mbps." + string(link)).Set(local[link])
+		l.reg.Gauge("ledger.remote_mbps." + string(link)).Set(remote[link])
+	}
+}
+
+func copyVector(m map[topology.NodeID]uint64) map[topology.NodeID]uint64 {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[topology.NodeID]uint64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -29,6 +29,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dvod/internal/admission"
@@ -38,6 +39,7 @@ import (
 	"dvod/internal/db"
 	"dvod/internal/disk"
 	"dvod/internal/faults"
+	"dvod/internal/ledger"
 	"dvod/internal/media"
 	"dvod/internal/merge"
 	"dvod/internal/metrics"
@@ -107,6 +109,11 @@ type Config struct {
 	// node-penalty hook, closing the loop from observed failures to the
 	// VRA's link weights. May be nil.
 	Health *faults.HealthScores
+	// Ledger optionally serves this node's replica of the gossip-replicated
+	// reservation ledger: peers' ledger.sync exchanges (JSON or binary
+	// framing) are merged and answered here, alongside the broker that reads
+	// the replica before granting. Nil refuses ledger.sync requests.
+	Ledger *ledger.Ledger
 	// DisableDefense switches off the self-healing delivery path — per-peer
 	// circuit breakers, hedged fetches, and per-session retry budgets —
 	// leaving only the bare next-replica retry loop. The chaos study's
@@ -297,11 +304,24 @@ func (s *Server) handleConn(c *transport.Conn) {
 		// Idle clients are disconnected rather than pinning a handler
 		// goroutine forever.
 		_ = c.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
-		m, err := c.ReadMessage()
+		m, f, err := c.ReadFrameOrMessage(s.cfg.Pool)
 		if err != nil {
 			return
 		}
 		_ = c.SetReadDeadline(time.Time{})
+		if f != nil {
+			// The only binary frame a peer initiates is a ledger sync (the
+			// gossip anti-entropy exchange on a negotiated connection).
+			err := s.handleLedgerSyncFrame(c, f)
+			f.Release()
+			if err != nil {
+				s.cfg.Metrics.Counter("server.errors").Inc()
+				if werr := c.WriteError(err.Error()); werr != nil {
+					return
+				}
+			}
+			continue
+		}
 		if err := s.dispatch(c, m); err != nil {
 			s.cfg.Metrics.Counter("server.errors").Inc()
 			if werr := c.WriteError(err.Error()); werr != nil {
@@ -330,6 +350,8 @@ func (s *Server) dispatch(c *transport.Conn, m transport.Message) error {
 		return s.handleClusterGet(c, m)
 	case transport.TypeWatch:
 		return s.handleWatch(c, m)
+	case transport.TypeLedgerSync:
+		return s.handleLedgerSync(c, m)
 	default:
 		return fmt.Errorf("unknown message type %q", m.Type)
 	}
@@ -468,6 +490,68 @@ func (s *Server) readLocalCluster(title string, index int) ([]byte, transport.Cl
 	}, func() { s.cfg.Pool.Put(buf) }, nil
 }
 
+// handleLedgerSync answers one JSON-framed gossip exchange: merge the peer's
+// delta, reply with ours.
+func (s *Server) handleLedgerSync(c *transport.Conn, m transport.Message) error {
+	if s.cfg.Ledger == nil {
+		return fmt.Errorf("no reservation ledger on %s", s.cfg.Node)
+	}
+	req, err := transport.Decode[transport.LedgerSyncPayload](m)
+	if err != nil {
+		return err
+	}
+	s.cfg.Metrics.Counter("server.ledger_syncs").Inc()
+	resp, err := transport.Encode(transport.TypeLedgerSyncOK, s.cfg.Ledger.HandleSync(req))
+	if err != nil {
+		return err
+	}
+	return c.WriteMessage(resp)
+}
+
+// handleLedgerSyncFrame is the binary-framed twin of handleLedgerSync, used
+// on connections whose hello exchange granted ledger-sync-v1 + cluster
+// frames. The reply goes back on the same framing, flagged as a reply.
+func (s *Server) handleLedgerSyncFrame(c *transport.Conn, f *transport.Frame) error {
+	if f.Type != transport.FrameLedgerSync {
+		return fmt.Errorf("unexpected binary frame 0x%02x", f.Type)
+	}
+	if s.cfg.Ledger == nil {
+		return fmt.Errorf("no reservation ledger on %s", s.cfg.Node)
+	}
+	req, err := transport.DecodeLedgerSyncFrame(f)
+	if err != nil {
+		return err
+	}
+	s.cfg.Metrics.Counter("server.ledger_syncs").Inc()
+	return c.WriteLedgerSyncFrame(s.cfg.Ledger.HandleSync(req), true)
+}
+
+// watchSession carries one Watch session's delivery state through the
+// streaming paths: the admitted rate and grant, the retry budget, and the
+// count of reservation migrations performed when the VRA re-planned the
+// session across a cluster boundary.
+type watchSession struct {
+	planRate   float64
+	budget     *faults.RetryBudget
+	grant      *admission.Grant
+	migrations atomic.Int32
+}
+
+// migrateReservation follows a routing switch with the session's bandwidth
+// reservation: the old route's links are released and the new route's
+// reserved, in the broker and (through it) the replicated ledger. Shared
+// grants are left alone — the cohort group owns those reservations and
+// member sessions do not steer them.
+func (s *Server) migrateReservation(ws *watchSession, links []topology.LinkID) {
+	if ws == nil || ws.grant == nil || ws.grant.Shared() || s.cfg.Broker == nil {
+		return
+	}
+	if s.cfg.Broker.Migrate(ws.grant, links) {
+		ws.migrations.Add(1)
+		s.cfg.Metrics.Counter("server.reservation_migrations").Inc()
+	}
+}
+
 // handleWatch orchestrates whole-title delivery to a client homed here.
 func (s *Server) handleWatch(c *transport.Conn, m transport.Message) error {
 	req, err := transport.Decode[transport.WatchPayload](m)
@@ -523,12 +607,12 @@ func (s *Server) handleWatch(c *transport.Conn, m transport.Message) error {
 		ClusterBytes: s.cfg.ClusterBytes,
 		NumClusters:  layout.NumParts(),
 	}
-	var planRate float64
+	ws := &watchSession{grant: grant}
 	if grant != nil {
 		ok.Class = string(grant.Class)
 		ok.DeliveredMbps = grant.BitrateMbps
 		ok.Degraded = grant.Degraded
-		planRate = grant.BitrateMbps
+		ws.planRate = grant.BitrateMbps
 	}
 	head, err := transport.Encode(transport.TypeWatchOK, ok)
 	if err != nil {
@@ -541,19 +625,20 @@ func (s *Server) handleWatch(c *transport.Conn, m transport.Message) error {
 	// a fractional deposit per delivered cluster, so transient faults retry
 	// freely while a total outage drains to a clean failure instead of
 	// hammering dead replicas for the rest of the title.
-	var budget *faults.RetryBudget
 	if !s.cfg.DisableDefense {
-		budget = faults.NewRetryBudget(3, 0.1)
+		ws.budget = faults.NewRetryBudget(3, 0.1)
 	}
 	if s.merges != nil {
-		err = s.streamMerged(c, title, layout.NumParts(), req.StartCluster, planRate, budget)
+		err = s.streamMerged(c, title, layout.NumParts(), req.StartCluster, ws)
 	} else {
-		err = s.streamUnicast(c, title, layout.NumParts(), req.StartCluster, planRate, budget)
+		err = s.streamUnicast(c, title, layout.NumParts(), req.StartCluster, ws)
 	}
 	if err != nil {
 		return err
 	}
-	done, err := transport.Encode(transport.TypeWatchDone, nil)
+	done, err := transport.Encode(transport.TypeWatchDone, transport.WatchDonePayload{
+		Migrations: int(ws.migrations.Load()),
+	})
 	if err != nil {
 		return err
 	}
@@ -649,18 +734,21 @@ func (s *Server) admitWatch(c *transport.Conn, req transport.WatchPayload, title
 // forever. The caller owns one reference on the returned frame and must
 // Release it once the bytes are on the wire; a merged cohort Retains it once
 // per fan-out subscriber instead of re-reading.
-func (s *Server) deliverCluster(title media.Title, index int, planRate float64, budget *faults.RetryBudget) (*transport.Frame, transport.ClusterPayload, error) {
+func (s *Server) deliverCluster(title media.Title, index int, ws *watchSession) (*transport.Frame, transport.ClusterPayload, error) {
 	if s.cfg.Cache.Resident(title.Name) {
 		data, payload, _, err := s.readLocalCluster(title.Name, index)
 		if err != nil {
 			return nil, transport.ClusterPayload{}, err
 		}
+		// The title became resident mid-stream (a DMA admission): the
+		// session now serves locally and its trunk reservations come home.
+		s.migrateReservation(ws, nil)
 		return transport.NewLeasedFrame(s.cfg.Pool, data), payload, nil
 	}
 	exclude := make(map[topology.NodeID]bool)
 	var lastErr error
 	for {
-		dec, err := s.planDefended(title.Name, planRate, exclude)
+		dec, err := s.planDefended(title.Name, ws.planRate, exclude)
 		if err != nil {
 			if lastErr != nil {
 				return nil, transport.ClusterPayload{}, fmt.Errorf("%w (after fetch failure: %v)", err, lastErr)
@@ -672,24 +760,29 @@ func (s *Server) deliverCluster(title media.Title, index int, planRate float64, 
 			// DB and cache are out of sync.
 			return nil, transport.ClusterPayload{}, fmt.Errorf("holding inconsistency for %q on %s", title.Name, s.cfg.Node)
 		}
-		frame, payload, winner, err := s.fetchHedged(dec, title.Name, index, planRate, exclude)
+		frame, payload, winner, err := s.fetchHedged(dec, title.Name, index, ws.planRate, exclude)
 		if err != nil {
 			lastErr = err
 			exclude[dec.Server] = true
 			s.cfg.Metrics.Counter("server.fetch_retries").Inc()
 			s.cfg.Metrics.Counter("client.retries").Inc()
-			if budget != nil && !budget.TryRetry() {
+			if ws.budget != nil && !ws.budget.TryRetry() {
 				return nil, transport.ClusterPayload{}, fmt.Errorf(
 					"cluster %d of %q: retry budget exhausted: %w", index, title.Name, lastErr)
 			}
 			continue
 		}
-		if budget != nil {
-			budget.OnSuccess()
+		if ws.budget != nil {
+			ws.budget.OnSuccess()
 		}
 		if s.cfg.Counters != nil {
 			s.cfg.Counters.ChargePath(winner.Path.Links(), int64(len(frame.Payload)))
 		}
+		// The bytes crossed the winner's route; when that differs from the
+		// links the session reserved at admission, the reservation follows
+		// the stream (cluster-boundary VRA switches, hedge winners, and
+		// replica failover all land here).
+		s.migrateReservation(ws, winner.Path.Links())
 		s.cfg.Metrics.Counter("server.remote_clusters").Inc()
 		return frame, payload, nil
 	}
@@ -825,8 +918,8 @@ func (s *Server) fetchHedged(dec core.Decision, title string, index int, planRat
 }
 
 // deliverAndSend reads one cluster privately and writes it to this client.
-func (s *Server) deliverAndSend(c *transport.Conn, title media.Title, index int, planRate float64, budget *faults.RetryBudget) error {
-	frame, payload, err := s.deliverCluster(title, index, planRate, budget)
+func (s *Server) deliverAndSend(c *transport.Conn, title media.Title, index int, ws *watchSession) error {
+	frame, payload, err := s.deliverCluster(title, index, ws)
 	if err != nil {
 		return fmt.Errorf("cluster %d: %w", index, err)
 	}
@@ -837,9 +930,9 @@ func (s *Server) deliverAndSend(c *transport.Conn, title media.Title, index int,
 
 // streamUnicast delivers [start, end) with a private read per cluster — the
 // paper's delivery mode, and the fallback when merging is disabled.
-func (s *Server) streamUnicast(c *transport.Conn, title media.Title, end, start int, planRate float64, budget *faults.RetryBudget) error {
+func (s *Server) streamUnicast(c *transport.Conn, title media.Title, end, start int, ws *watchSession) error {
 	for idx := start; idx < end; idx++ {
-		if err := s.deliverAndSend(c, title, idx, planRate, budget); err != nil {
+		if err := s.deliverAndSend(c, title, idx, ws); err != nil {
 			return err
 		}
 	}
@@ -850,9 +943,9 @@ func (s *Server) streamUnicast(c *transport.Conn, title media.Title, end, start 
 // source. The pump calls it once per cluster for the whole cohort; replica
 // failover inside deliverCluster is therefore shared too, and the retry
 // budget spent defending the shared stream is the opening session's.
-func (s *Server) mergeSource(title media.Title, planRate float64, budget *faults.RetryBudget) merge.Source {
+func (s *Server) mergeSource(title media.Title, ws *watchSession) merge.Source {
 	return func(index int) (*transport.Frame, transport.ClusterPayload, error) {
-		return s.deliverCluster(title, index, planRate, budget)
+		return s.deliverCluster(title, index, ws)
 	}
 }
 
@@ -863,8 +956,8 @@ func (s *Server) mergeSource(title media.Title, planRate float64, budget *faults
 // source failed — the remaining clusters are delivered over the private
 // unicast path, whose own replica retry absorbs server failures, so the
 // client sees an unbroken in-order stream either way.
-func (s *Server) streamMerged(c *transport.Conn, title media.Title, numClusters, start int, planRate float64, budget *faults.RetryBudget) error {
-	sub, err := s.merges.Join(title.Name, numClusters, start, s.mergeSource(title, planRate, budget))
+func (s *Server) streamMerged(c *transport.Conn, title media.Title, numClusters, start int, ws *watchSession) error {
+	sub, err := s.merges.Join(title.Name, numClusters, start, s.mergeSource(title, ws))
 	if err != nil {
 		return err
 	}
@@ -885,7 +978,7 @@ func (s *Server) streamMerged(c *transport.Conn, title media.Title, numClusters,
 	// Patch stream: the clusters this session missed, read privately while
 	// the subscription queue buffers the ongoing base stream.
 	for idx := start; idx < sub.Start(); idx++ {
-		if err := s.deliverAndSend(c, title, idx, planRate, budget); err != nil {
+		if err := s.deliverAndSend(c, title, idx, ws); err != nil {
 			return err
 		}
 	}
@@ -905,7 +998,7 @@ func (s *Server) streamMerged(c *transport.Conn, title media.Title, numClusters,
 	// Unicast tail: nothing to do after normal cohort completion; after an
 	// eviction it resumes at exactly the next undelivered index.
 	for idx := next; idx < numClusters; idx++ {
-		if err := s.deliverAndSend(c, title, idx, planRate, budget); err != nil {
+		if err := s.deliverAndSend(c, title, idx, ws); err != nil {
 			return err
 		}
 	}

@@ -324,41 +324,53 @@ func (c *Conn) BinaryFrames() bool { return c.binary.Load() }
 // for the unknown "hello" type — selects the JSON fallback: Negotiate
 // returns false with a nil error and the connection remains usable.
 func (c *Conn) Negotiate() (bool, error) {
+	granted, err := c.NegotiateCaps(CapClusterFrames)
+	return granted[CapClusterFrames], err
+}
+
+// NegotiateCaps performs the client side of the hello handshake with an
+// explicit capability offer and returns the granted subset. When
+// CapClusterFrames is granted the connection is marked for binary framing. A
+// TypeError reply — what a pre-handshake server sends for the unknown "hello"
+// type — selects the JSON fallback: NegotiateCaps returns an empty grant with
+// a nil error and the connection remains usable.
+func (c *Conn) NegotiateCaps(caps ...string) (map[string]bool, error) {
 	req, err := Encode(TypeHello, HelloPayload{
 		Version: FrameVersion,
-		Caps:    []string{CapClusterFrames},
+		Caps:    caps,
 	})
 	if err != nil {
-		return false, err
+		return nil, err
 	}
 	if err := c.WriteMessage(req); err != nil {
-		return false, err
+		return nil, err
 	}
 	m, err := c.ReadMessage()
 	if err != nil {
-		return false, err
+		return nil, err
 	}
 	switch m.Type {
 	case TypeHelloOK:
 		ok, derr := Decode[HelloOKPayload](m)
 		if derr != nil {
-			return false, derr
+			return nil, derr
 		}
 		if ok.Version < 1 || ok.Version > FrameVersion {
-			return false, fmt.Errorf("hello: server granted unusable version %d", ok.Version)
+			return nil, fmt.Errorf("hello: server granted unusable version %d", ok.Version)
 		}
+		granted := make(map[string]bool, len(ok.Caps))
 		for _, cap := range ok.Caps {
-			if cap == CapClusterFrames {
-				c.EnableBinaryFrames()
-				return true, nil
-			}
+			granted[cap] = true
 		}
-		return false, nil
+		if granted[CapClusterFrames] {
+			c.EnableBinaryFrames()
+		}
+		return granted, nil
 	case TypeError:
 		// Legacy peer: no handshake support, stay on JSON.
-		return false, nil
+		return nil, nil
 	default:
-		return false, fmt.Errorf("hello: unexpected reply %q", m.Type)
+		return nil, fmt.Errorf("hello: unexpected reply %q", m.Type)
 	}
 }
 
@@ -378,9 +390,12 @@ func (c *Conn) AcceptHello(m Message) error {
 	var granted []string
 	if version >= 1 {
 		for _, cap := range offer.Caps {
-			if cap == CapClusterFrames {
+			switch cap {
+			case CapClusterFrames:
 				granted = append(granted, CapClusterFrames)
 				c.EnableBinaryFrames()
+			case CapLedgerSync:
+				granted = append(granted, CapLedgerSync)
 			}
 		}
 	}

@@ -1,0 +1,126 @@
+package transport
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"dvod/internal/topology"
+)
+
+// encodeLedgerSyncFrame renders one sync payload as full frame bytes.
+func encodeLedgerSyncFrame(t testing.TB, p LedgerSyncPayload, reply bool) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	c := NewConn(nopCloser{&buf})
+	if err := c.WriteLedgerSyncFrame(p, reply); err != nil {
+		t.Fatalf("write ledger sync frame: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func sampleLedgerSync() LedgerSyncPayload {
+	return LedgerSyncPayload{
+		From: "patras",
+		Clocks: map[topology.NodeID]uint64{
+			"patras": 41,
+			"athens": 7,
+		},
+		Have: map[topology.NodeID]uint64{
+			"patras": 41,
+			"athens": 5,
+		},
+		Rows: []LedgerRow{
+			{Link: "athens|patras", Class: "premium", Origin: "patras", Seq: 40, RateMbps: 1.5, Sessions: 1},
+			{Link: "athens|patras", Class: "standard", Origin: "patras", Seq: 41, RateMbps: 0, Sessions: 0},
+		},
+	}
+}
+
+// TestLedgerSyncFrameRoundTrip pins the binary codec: payload → frame →
+// payload is the identity, and the reply flag survives.
+func TestLedgerSyncFrameRoundTrip(t *testing.T) {
+	want := sampleLedgerSync()
+	data := encodeLedgerSyncFrame(t, want, true)
+	c := NewConn(readCloser{bytes.NewReader(data)})
+	m, f, err := c.ReadFrameOrMessage(nil)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if f == nil {
+		t.Fatalf("got JSON message %+v, want binary frame", m)
+	}
+	defer f.Release()
+	if f.Type != FrameLedgerSync {
+		t.Fatalf("frame type 0x%02x", f.Type)
+	}
+	if f.Flags&LedgerSyncFlagReply == 0 {
+		t.Fatal("reply flag lost")
+	}
+	got, err := DecodeLedgerSyncFrame(f)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestLedgerSyncFrameRejects pins the codec's validation failures.
+func TestLedgerSyncFrameRejects(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(nopCloser{&buf})
+	if err := c.WriteLedgerSyncFrame(LedgerSyncPayload{
+		Rows: []LedgerRow{{Link: "l", Class: "premium", Origin: "o", RateMbps: math.NaN()}},
+	}, false); err == nil {
+		t.Fatal("NaN rate encoded")
+	}
+	if err := c.WriteLedgerSyncFrame(LedgerSyncPayload{
+		Rows: []LedgerRow{{Link: "l", Class: "premium", Origin: "o", Sessions: -1}},
+	}, false); err == nil {
+		t.Fatal("negative sessions encoded")
+	}
+	// Truncated payload must fail cleanly.
+	data := encodeLedgerSyncFrame(t, sampleLedgerSync(), false)
+	f := &Frame{Type: FrameLedgerSync, Payload: data[FrameHeaderLen : len(data)-3]}
+	if _, err := DecodeLedgerSyncFrame(f); err == nil {
+		t.Fatal("truncated ledger sync decoded")
+	}
+	// Trailing garbage must fail too.
+	f = &Frame{Type: FrameLedgerSync, Payload: append(append([]byte(nil), data[FrameHeaderLen:]...), 0xAA)}
+	if _, err := DecodeLedgerSyncFrame(f); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+// FuzzLedgerSyncFrame throws arbitrary bytes at the ledger-sync decoder: it
+// must never panic, and anything it accepts must re-encode and decode back to
+// the same payload (the codec is canonical up to map order).
+func FuzzLedgerSyncFrame(f *testing.F) {
+	valid := encodeLedgerSyncFrame(f, sampleLedgerSync(), false)
+	f.Add(valid[FrameHeaderLen:])
+	f.Add([]byte{})
+	f.Add([]byte{0, 0})
+	f.Add([]byte{0, 1, 'x', 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(bytes.Repeat([]byte{0xFF}, 32))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		frame := &Frame{Type: FrameLedgerSync, Payload: data}
+		p, err := DecodeLedgerSyncFrame(frame)
+		if err != nil {
+			return
+		}
+		reenc, err := appendLedgerSyncPayload(nil, p)
+		if err != nil {
+			t.Fatalf("decoded payload fails to re-encode: %v (%+v)", err, p)
+		}
+		p2, err := DecodeLedgerSyncFrame(&Frame{Type: FrameLedgerSync, Payload: reenc})
+		if err != nil {
+			t.Fatalf("re-encoded payload fails to decode: %v", err)
+		}
+		if !reflect.DeepEqual(p, p2) {
+			t.Fatalf("unstable round trip:\n first %+v\nsecond %+v", p, p2)
+		}
+	})
+}

@@ -150,6 +150,17 @@ type WatchOKPayload struct {
 	Degraded      bool    `json:"degraded,omitempty"`
 }
 
+// WatchDonePayload closes a delivery stream. It is optional — servers
+// predating it send watch.done with no payload, and clients that ignore the
+// payload keep working.
+type WatchDonePayload struct {
+	// Migrations counts the mid-stream reservation migrations the session's
+	// admission grant went through: each time a cluster-boundary re-plan
+	// moved the route, the old links' reservations were released and the new
+	// route's acquired.
+	Migrations int `json:"migrations,omitempty"`
+}
+
 // WatchRejectPayload is the admission broker's typed refusal of a watch
 // request: the class's bandwidth share, queue window, and degradation ladder
 // are all exhausted.

@@ -1,0 +1,174 @@
+package dvod
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dvod/internal/admission"
+	"dvod/internal/clock"
+)
+
+// digestsConverged reports whether every live replica publishes the same
+// ledger digest (and there are at least two to compare).
+func digestsConverged(d map[NodeID]string) bool {
+	if len(d) < 2 {
+		return len(d) == 1
+	}
+	var first string
+	for _, v := range d {
+		first = v
+		break
+	}
+	for _, v := range d {
+		if v != first {
+			return false
+		}
+	}
+	return true
+}
+
+// gossipUntilConverged drives synchronous rounds until every replica agrees,
+// returning the round count (or -1 after max rounds).
+func gossipUntilConverged(svc *Service, max int) int {
+	for r := 1; r <= max; r++ {
+		svc.GossipRound()
+		if digestsConverged(svc.LedgerDigests()) {
+			return r
+		}
+	}
+	return -1
+}
+
+// TestLedgerPartitionHealReconverges runs the ledger's whole distributed
+// lifecycle against the fault injector on a virtual clock: replicas converge,
+// a partitioned node's new reservations stay invisible while its old ones
+// keep counting (conservative admission), digests reconverge within a few
+// gossip rounds of the heal, and a server that dies for good has its
+// reservations reclaimed by lease expiry.
+func TestLedgerPartitionHealReconverges(t *testing.T) {
+	const (
+		a = NodeID("alpha")
+		b = NodeID("beta")
+		c = NodeID("gamma")
+	)
+	clk := clock.NewVirtual(time.Unix(1_700_000_000, 0))
+	// The plan partitions gamma between T+1s and T+3s — well inside the
+	// 10 s lease (40 × 250 ms rounds), so the partition must NOT be
+	// mistaken for a death.
+	var plan FaultPlan
+	plan.FailPeer(time.Second, 2*time.Second, c)
+	spec := TopologySpec{
+		Nodes: []NodeID{a, b, c},
+		Links: []LinkSpec{
+			{A: a, B: b, CapacityMbps: 10},
+			{A: b, B: c, CapacityMbps: 10},
+			{A: a, B: c, CapacityMbps: 10},
+		},
+	}
+	svc, err := New(spec,
+		WithAdmission(100),
+		WithClock(clk),
+		WithFaultPlan(plan, 7),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	if err := svc.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	ab := MakeLinkID(a, b)
+	ac := MakeLinkID(a, c)
+
+	// Pre-partition reservations: alpha commits 2 Mbps on a-b, gamma 3 Mbps
+	// on a-c. Both must become visible everywhere.
+	if _, err := svc.brokers[a].Admit(admission.Request{
+		Class: admission.Premium, BitrateMbps: 2, Links: []LinkID{ab},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.brokers[c].Admit(admission.Request{
+		Class: admission.Premium, BitrateMbps: 3, Links: []LinkID{ac},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if r := gossipUntilConverged(svc, 8); r < 0 {
+		t.Fatalf("replicas never converged before the partition: %v", svc.LedgerDigests())
+	}
+	if got := svc.ledgers[a].RemoteReservedMbps(ac); got != 3 {
+		t.Fatalf("alpha sees %g Mbps remote on a-c pre-partition, want 3", got)
+	}
+
+	// Enter the partition window. Gamma grants 3 more Mbps on a-c that
+	// cannot propagate; the cluster must NOT converge while it is cut off.
+	clk.Advance(1500 * time.Millisecond)
+	if _, err := svc.brokers[c].Admit(admission.Request{
+		Class: admission.Premium, BitrateMbps: 3, Links: []LinkID{ac},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for range 6 {
+		svc.GossipRound()
+	}
+	if digestsConverged(svc.LedgerDigests()) {
+		t.Fatal("digests converged across an active partition")
+	}
+	// Conservative admission: gamma's pre-partition 3 Mbps still counts
+	// (the lease outlives the partition), so alpha refuses a request that
+	// would only fit if the silent node's reservations were forgotten.
+	if got := svc.ledgers[a].RemoteReservedMbps(ac); got != 3 {
+		t.Fatalf("alpha sees %g Mbps remote on a-c during the partition, want the pre-partition 3", got)
+	}
+	_, err = svc.brokers[a].Admit(admission.Request{
+		Class: admission.Premium, BitrateMbps: 8, Links: []LinkID{ac},
+	})
+	var rej *admission.RejectedError
+	if !errors.As(err, &rej) || rej.Reason != admission.ReasonLink {
+		t.Fatalf("admission during partition = %v, want a link rejection", err)
+	}
+
+	// Heal: past T+3s the injector deactivates. Digest reconvergence must
+	// take only a handful of rounds, after which alpha sees gamma's full
+	// 6 Mbps on a-c.
+	clk.Advance(2 * time.Second)
+	r := gossipUntilConverged(svc, 8)
+	if r < 0 {
+		t.Fatalf("replicas never reconverged after the heal: %v", svc.LedgerDigests())
+	}
+	t.Logf("reconverged %d gossip rounds after the heal", r)
+	if got := svc.ledgers[a].RemoteReservedMbps(ac); got != 6 {
+		t.Fatalf("alpha sees %g Mbps remote on a-c after the heal, want 6", got)
+	}
+
+	// Death: gamma goes away for good. Once its lease runs out, the
+	// survivors reclaim its bandwidth and agree with each other again.
+	if err := svc.StopServer(c); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(11 * time.Second) // past the 10 s lease TTL
+	for range 4 {
+		svc.GossipRound()
+	}
+	if got := svc.ledgers[a].RemoteReservedMbps(ac); got != 0 {
+		t.Fatalf("alpha still counts %g Mbps for the dead gamma, want 0", got)
+	}
+	if !digestsConverged(svc.LedgerDigests()) {
+		t.Fatalf("survivors disagree after lease expiry: %v", svc.LedgerDigests())
+	}
+	g, err := svc.brokers[a].Admit(admission.Request{
+		Class: admission.Premium, BitrateMbps: 8, Links: []LinkID{ac},
+	})
+	if err != nil {
+		t.Fatalf("admission after lease expiry: %v", err)
+	}
+	svc.brokers[a].Release(g)
+	expired := int64(0)
+	for _, node := range []NodeID{a, b} {
+		expired += svc.Metrics()[node].Counters["ledger.stale_expired"]
+	}
+	if expired == 0 {
+		t.Fatal("ledger.stale_expired never incremented on the survivors")
+	}
+}
