@@ -16,6 +16,7 @@
 //	Ext-14 -study merge     shared-prefix stream merging vs unicast delivery
 //	Ext-15 -study chaos     fault injection: defended vs bare delivery plane
 //	Ext-16 -study ledger    per-server vs ledger-backed link admission
+//	Ext-17 -study churn     elastic membership: join / drain / kill lifecycle
 //	       -study all       everything (default)
 package main
 
@@ -55,14 +56,18 @@ func main() {
 		"write the ledger study's rows as a JSON baseline to this file (ledger study only)")
 	ledgerBaseline := flag.String("ledger-baseline", "",
 		"gate the ledger study against this baseline file: oversubscription must stay 0 with the ledger on (ledger study only)")
+	churnOut := flag.String("churn-out", "",
+		"write the churn study's rows as a JSON baseline to this file (churn study only)")
+	churnBaseline := flag.String("churn-baseline", "",
+		"gate the churn study against this baseline file: zero failed watches and full admit rate through every phase (churn study only)")
 	flag.Parse()
-	if err := run(os.Stdout, *study, *seed, *duration, *rate, *classMix, *csvDir, *framingOut, *mergeOut, *mergeBaseline, *chaosOut, *chaosBaseline, *ledgerOut, *ledgerBaseline); err != nil {
+	if err := run(os.Stdout, *study, *seed, *duration, *rate, *classMix, *csvDir, *framingOut, *mergeOut, *mergeBaseline, *chaosOut, *chaosBaseline, *ledgerOut, *ledgerBaseline, *churnOut, *churnBaseline); err != nil {
 		fmt.Fprintln(os.Stderr, "vodbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, study string, seed int64, duration time.Duration, rate float64, classMix, csvDir, framingOut, mergeOut, mergeBaseline, chaosOut, chaosBaseline, ledgerOut, ledgerBaseline string) error {
+func run(w io.Writer, study string, seed int64, duration time.Duration, rate float64, classMix, csvDir, framingOut, mergeOut, mergeBaseline, chaosOut, chaosBaseline, ledgerOut, ledgerBaseline, churnOut, churnBaseline string) error {
 	writeCSV := func(name string, rows any) error {
 		if csvDir == "" {
 			return nil
@@ -353,6 +358,34 @@ func run(w io.Writer, study string, seed int64, duration time.Duration, rate flo
 			}
 		}
 	}
+	if study == "churn" || study == "all" {
+		known = true
+		cfg := experiments.DefaultChurnStudyConfig()
+		cfg.Seed = seed
+		rows, err := experiments.ChurnStudy(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "Ext-17. Elastic membership: watches through join / drain / kill")
+		fmt.Fprintln(w, experiments.FormatChurnStudy(rows))
+		if err := writeCSV("churn", rows); err != nil {
+			return err
+		}
+		if churnOut != "" {
+			data, err := json.MarshalIndent(churnReport{Study: "churn", Rows: rows}, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(churnOut, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+		}
+		if churnBaseline != "" {
+			if err := checkChurnBaseline(w, rows, churnBaseline); err != nil {
+				return err
+			}
+		}
+	}
 	if !known {
 		return fmt.Errorf("unknown study %q", study)
 	}
@@ -384,6 +417,35 @@ func checkLedgerBaseline(w io.Writer, rows []experiments.LedgerRow, path string)
 	}
 	if bad := experiments.LedgerRegression(rows, base.Rows); len(bad) > 0 {
 		return fmt.Errorf("ledger regression: %s", strings.Join(bad, "; "))
+	}
+	return nil
+}
+
+// churnReport is the committed BENCH_churn.json schema.
+type churnReport struct {
+	Study string                 `json:"study"`
+	Rows  []experiments.ChurnRow `json:"rows"`
+}
+
+// checkChurnBaseline gates the churn study on its structural invariants: all
+// four lifecycle phases present, zero failed watches and a 1.0 admit rate in
+// each, the front door actually bouncing during steady and drain, and the
+// failure detector actually firing after the kill.
+func checkChurnBaseline(w io.Writer, rows []experiments.ChurnRow, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base churnReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("churn baseline %s: %w", path, err)
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "churn baseline %s: granted %d/%d redirects %d mean hops %.2f\n",
+			r.Phase, r.Granted, r.Watches, r.Redirects, r.MeanRedirectHops)
+	}
+	if bad := experiments.ChurnRegression(rows, base.Rows); len(bad) > 0 {
+		return fmt.Errorf("churn regression: %s", strings.Join(bad, "; "))
 	}
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
@@ -20,6 +21,7 @@ import (
 	"dvod/internal/grnet"
 	"dvod/internal/ledger"
 	"dvod/internal/media"
+	"dvod/internal/membership"
 	"dvod/internal/metrics"
 	"dvod/internal/server"
 	"dvod/internal/snmp"
@@ -50,6 +52,24 @@ type (
 	// FaultLogEntry is one row of the injector's deterministic
 	// activation/deactivation sequence (Service.FaultEvents).
 	FaultLogEntry = faults.LogEntry
+	// Member is one entry of a node's membership view (WithMembership).
+	Member = membership.Member
+	// MemberState is a membership lifecycle state.
+	MemberState = membership.State
+	// MemberEvent is one membership transition observed by a node's tracker.
+	MemberEvent = membership.Event
+	// RedirectError is the client's typed failure following one
+	// watch.redirect hop.
+	RedirectError = client.RedirectError
+)
+
+// Membership lifecycle states, re-exported for churn assertions.
+const (
+	MemberAlive    = membership.Alive
+	MemberDraining = membership.Draining
+	MemberSuspect  = membership.Suspect
+	MemberFailed   = membership.Failed
+	MemberLeft     = membership.Left
 )
 
 // MakeLinkID builds the canonical ID for the unordered node pair.
@@ -101,31 +121,45 @@ func buildGraph(spec TopologySpec) (*topology.Graph, error) {
 // of delivered traffic, DMA caching, and VRA routing.
 type Service struct {
 	opts    options
-	graph   *topology.Graph
 	db      *db.DB
 	book    *transport.AddrBook
 	counter *transport.Counters
-	servers map[NodeID]*server.Server
 	poller  *snmp.Poller
 	planner *core.Planner
 	health  *db.Health
+	// est differentiates the live plane's octet counters into Mbps for the
+	// SNMP agents (set at Start; joiners' agents reuse it).
+	est *snmp.RateEstimator
+	// available is the failover liveness filter shared by every planner
+	// (nil without WithFailover).
+	available func(NodeID) bool
 	// injector applies the armed fault plan (nil without WithFaultPlan);
 	// scores is the deployment-wide peer health feedback shared by every
 	// planner (nil with WithoutDefense).
 	injector *faults.Injector
 	scores   *faults.HealthScores
+
+	// mu guards every per-node map below (and stopped): the fleet is
+	// elastic, so AddServer / DrainServer mutate them at runtime.
+	mu      sync.Mutex
+	servers map[NodeID]*server.Server
+	caches  map[NodeID]*cache.DMA
+	// directors exist for every node (the stateless front door; inert
+	// until draining or WithFrontDoor).
+	directors map[NodeID]*membership.Director
+	// trackers/mgossipers exist per node with WithMembership.
+	trackers   map[NodeID]*membership.Tracker
+	mgossipers map[NodeID]*membership.Gossiper
 	// brokers/ledgers/gossipers exist per node with WithAdmission; the
 	// ledger pair is absent with WithoutLedger.
 	brokers   map[NodeID]*admission.Broker
 	ledgers   map[NodeID]*ledger.Ledger
 	gossipers map[NodeID]*ledger.Gossiper
-
-	mu      sync.Mutex
-	stopped map[NodeID]bool
-	hbStop  chan struct{}
-	hbDone  chan struct{}
-	started bool
-	closed  bool
+	stopped   map[NodeID]bool
+	hbStop    chan struct{}
+	hbDone    chan struct{}
+	started   bool
+	closed    bool
 }
 
 // New assembles a service over the topology. Call Start to bring the
@@ -175,19 +209,25 @@ func New(spec TopologySpec, opts ...Option) (*Service, error) {
 		}
 	}
 	svc := &Service{
-		opts:     o,
-		graph:    g,
-		db:       d,
-		book:     book,
-		counter:  counters,
-		servers:  make(map[NodeID]*server.Server, g.NumNodes()),
-		planner:  planner,
-		health:   health,
-		injector: injector,
-		scores:   scores,
-		stopped:  make(map[NodeID]bool),
-		hbStop:   make(chan struct{}),
-		hbDone:   make(chan struct{}),
+		opts:      o,
+		db:        d,
+		book:      book,
+		counter:   counters,
+		servers:   make(map[NodeID]*server.Server, g.NumNodes()),
+		caches:    make(map[NodeID]*cache.DMA, g.NumNodes()),
+		directors: make(map[NodeID]*membership.Director, g.NumNodes()),
+		planner:   planner,
+		health:    health,
+		available: available,
+		injector:  injector,
+		scores:    scores,
+		stopped:   make(map[NodeID]bool),
+		hbStop:    make(chan struct{}),
+		hbDone:    make(chan struct{}),
+	}
+	if o.membershipInterval > 0 {
+		svc.trackers = make(map[NodeID]*membership.Tracker, g.NumNodes())
+		svc.mgossipers = make(map[NodeID]*membership.Gossiper, g.NumNodes())
 	}
 	if o.admissionMbps > 0 {
 		svc.brokers = make(map[NodeID]*admission.Broker, g.NumNodes())
@@ -197,111 +237,247 @@ func New(spec TopologySpec, opts ...Option) (*Service, error) {
 		}
 	}
 	for _, node := range g.Nodes() {
-		count, capBytes := o.arrayShape(node)
-		arr, err := disk.NewUniformArray(string(node), count, capBytes)
-		if err != nil {
-			return nil, err
-		}
-		dma, err := cache.NewDMA(cache.Config{Array: arr, ClusterBytes: o.clusterBytes})
-		if err != nil {
-			return nil, err
-		}
-		nodePlanner, err := core.NewPlanner(d, o.selector, available)
-		if err != nil {
-			return nil, err
-		}
-		if scores != nil {
-			nodePlanner.SetNodePenalty(scores.Penalty())
-		}
-		if injector != nil {
-			arr.SetReadInterceptor(injector.ReadInterceptor(node))
-		}
-		// One registry per node shared by the server, its broker, and its
-		// ledger replica, so admission.* and ledger.* surface together in
-		// Service.Metrics.
-		reg := metrics.NewRegistry()
-		var (
-			brk *admission.Broker
-			led *ledger.Ledger
-		)
-		if o.admissionMbps > 0 {
-			if !o.noLedger {
-				led, err = ledger.New(ledger.Config{
-					Origin: node,
-					// The lease must survive many missed rounds (a partition
-					// is not a death) while still draining a dead server's
-					// reservations promptly.
-					TTL:     40 * o.ledgerInterval,
-					Clock:   o.clock,
-					Metrics: reg,
-				})
-				if err != nil {
-					return nil, err
-				}
-				svc.ledgers[node] = led
-			}
-			brk, err = admission.New(admission.Config{
-				Node:         node,
-				CapacityMbps: o.admissionMbps,
-				Snapshot:     d.Snapshot,
-				Ledger:       led,
-				Clock:        o.clock,
-				Metrics:      reg,
-			})
-			if err != nil {
-				return nil, err
-			}
-			svc.brokers[node] = brk
-		}
-		srv, err := server.New(server.Config{
-			Node:           node,
-			DB:             d,
-			Planner:        nodePlanner,
-			Array:          arr,
-			Cache:          dma,
-			ClusterBytes:   o.clusterBytes,
-			Book:           book,
-			Counters:       counters,
-			ListenAddr:     o.listenAddrs[node],
-			Clock:          o.clock,
-			Metrics:        reg,
-			MergeWindow:    o.mergeWindow,
-			Faults:         injector,
-			Health:         scores,
-			Broker:         brk,
-			Ledger:         led,
-			DisableDefense: o.noDefense,
-		})
-		if err != nil {
-			return nil, err
-		}
-		svc.servers[node] = srv
-		if err := d.RegisterServer(node, "dvod video server", o.clock.Now()); err != nil {
+		if err := svc.buildNodeStack(node); err != nil {
 			return nil, err
 		}
 	}
-	for node, led := range svc.ledgers {
-		peers := make([]NodeID, 0, g.NumNodes()-1)
-		for _, p := range g.Nodes() {
-			if p != node {
+	return svc, nil
+}
+
+// buildNodeStack constructs one node's full stack — disk array, DMA, planner,
+// broker, ledger replica, membership tracker, redirect director, server, and
+// both gossipers — and registers everything in the service maps. It is the
+// shared path of New (boot fleet) and AddServer (elastic join); the caller is
+// single-threaded during New, and AddServer serializes joins.
+func (s *Service) buildNodeStack(node NodeID) error {
+	o := s.opts
+	d := s.db
+	count, capBytes := o.arrayShape(node)
+	arr, err := disk.NewUniformArray(string(node), count, capBytes)
+	if err != nil {
+		return err
+	}
+	dma, err := cache.NewDMA(cache.Config{Array: arr, ClusterBytes: o.clusterBytes})
+	if err != nil {
+		return err
+	}
+	nodePlanner, err := core.NewPlanner(d, o.selector, s.available)
+	if err != nil {
+		return err
+	}
+	if s.scores != nil {
+		nodePlanner.SetNodePenalty(s.scores.Penalty())
+	}
+	if s.injector != nil {
+		arr.SetReadInterceptor(s.injector.ReadInterceptor(node))
+	}
+	// One registry per node shared by the server, its broker, its ledger
+	// replica, and its membership tracker, so admission.*, ledger.*, and
+	// membership.* surface together in Service.Metrics.
+	reg := metrics.NewRegistry()
+	var (
+		brk *admission.Broker
+		led *ledger.Ledger
+	)
+	if o.admissionMbps > 0 {
+		if !o.noLedger {
+			led, err = ledger.New(ledger.Config{
+				Origin: node,
+				// The lease must survive many missed rounds (a partition
+				// is not a death) while still draining a dead server's
+				// reservations promptly.
+				TTL:     40 * o.ledgerInterval,
+				Clock:   o.clock,
+				Metrics: reg,
+			})
+			if err != nil {
+				return err
+			}
+			s.ledgers[node] = led
+		}
+		brk, err = admission.New(admission.Config{
+			Node:         node,
+			CapacityMbps: o.admissionMbps,
+			Snapshot:     d.Snapshot,
+			Ledger:       led,
+			Clock:        o.clock,
+			Metrics:      reg,
+		})
+		if err != nil {
+			return err
+		}
+		s.brokers[node] = brk
+	}
+	var tr *membership.Tracker
+	if o.membershipInterval > 0 {
+		tr, err = membership.New(membership.Config{
+			Self:    node,
+			Seeds:   d.Graph().Nodes(),
+			OnEvent: s.memberEventHook(led),
+			Metrics: reg,
+		})
+		if err != nil {
+			return err
+		}
+		s.trackers[node] = tr
+	}
+	dir, err := membership.NewDirector(membership.DirectorConfig{
+		Self:      node,
+		Holders:   d.Catalog().Holders,
+		Lookup:    s.book.Lookup,
+		FrontDoor: o.frontDoor,
+		Resident:  dma.Resident,
+		Members:   memberViewFn(tr),
+		Load:      s.brokerLoadFn(brk),
+		Health:    healthFn(s.scores),
+	})
+	if err != nil {
+		return err
+	}
+	s.directors[node] = dir
+	var mv server.MemberView
+	if tr != nil {
+		mv = tr
+	}
+	srv, err := server.New(server.Config{
+		Node:           node,
+		DB:             d,
+		Planner:        nodePlanner,
+		Array:          arr,
+		Cache:          dma,
+		ClusterBytes:   o.clusterBytes,
+		Book:           s.book,
+		Counters:       s.counter,
+		ListenAddr:     o.listenAddrs[node],
+		Clock:          o.clock,
+		Metrics:        reg,
+		MergeWindow:    o.mergeWindow,
+		Faults:         s.injector,
+		Health:         s.scores,
+		Broker:         brk,
+		Ledger:         led,
+		DisableDefense: o.noDefense,
+		Director:       dir,
+		Members:        mv,
+	})
+	if err != nil {
+		return err
+	}
+	s.servers[node] = srv
+	s.caches[node] = dma
+	if err := d.RegisterServer(node, "dvod video server", o.clock.Now()); err != nil {
+		return err
+	}
+	if led != nil {
+		gsp, err := ledger.NewGossiper(ledger.GossipConfig{
+			Ledger:   led,
+			PeersFn:  s.ledgerPeersFn(node),
+			Fanout:   o.ledgerFanout,
+			Lookup:   s.book.Lookup,
+			Dial:     s.gossipDialer(node),
+			Interval: o.ledgerInterval,
+			Clock:    o.clock,
+			Metrics:  reg,
+		})
+		if err != nil {
+			return err
+		}
+		s.gossipers[node] = gsp
+	}
+	if tr != nil {
+		mg, err := membership.NewGossiper(membership.GossipConfig{
+			Tracker:  tr,
+			Lookup:   s.book.Lookup,
+			Dial:     s.gossipDialer(node),
+			Interval: o.membershipInterval,
+			Clock:    o.clock,
+			Metrics:  reg,
+		})
+		if err != nil {
+			return err
+		}
+		s.mgossipers[node] = mg
+	}
+	return nil
+}
+
+// memberEventHook wires one node's membership events into the rest of the
+// stack: a failed member's ledger leases are reclaimed from this node's
+// replica immediately, routing stops considering it (failover health), and
+// the VRA's node penalty saturates — all event-driven, none waiting for a
+// timeout. A graceful leave reclaims leases the same way.
+func (s *Service) memberEventHook(led *ledger.Ledger) func(membership.Event) {
+	return func(ev membership.Event) {
+		switch ev.Kind {
+		case membership.EventFail:
+			if led != nil {
+				led.ExpireOrigin(ev.Node)
+			}
+			if s.health != nil {
+				s.health.MarkDown(ev.Node)
+			}
+			if s.scores != nil {
+				s.scores.MarkFailed(ev.Node)
+			}
+		case membership.EventLeave:
+			if led != nil {
+				led.ExpireOrigin(ev.Node)
+			}
+		}
+	}
+}
+
+// ledgerPeersFn resolves one ledger gossiper's peer set per round: the
+// node's membership view when the membership layer runs (failed and departed
+// replicas stop being dialed, joiners start), the current topology otherwise.
+func (s *Service) ledgerPeersFn(self NodeID) func() []NodeID {
+	return func() []NodeID {
+		s.mu.Lock()
+		tr := s.trackers[self]
+		s.mu.Unlock()
+		if tr != nil {
+			return tr.GossipPeers()
+		}
+		nodes := s.db.Graph().Nodes()
+		peers := make([]NodeID, 0, len(nodes))
+		for _, p := range nodes {
+			if p != self {
 				peers = append(peers, p)
 			}
 		}
-		gsp, err := ledger.NewGossiper(ledger.GossipConfig{
-			Ledger:   led,
-			Peers:    peers,
-			Lookup:   book.Lookup,
-			Dial:     svc.gossipDialer(node),
-			Interval: o.ledgerInterval,
-			Clock:    o.clock,
-			Metrics:  svc.servers[node].Metrics(),
-		})
-		if err != nil {
-			return nil, err
-		}
-		svc.gossipers[node] = gsp
+		return peers
 	}
-	return svc, nil
+}
+
+// brokerLoadFn adapts the brokers to the director's load hook: committed
+// over capacity for every broker in the fleet (0 for unknown nodes).
+func (s *Service) brokerLoadFn(own *admission.Broker) func(NodeID) float64 {
+	_ = own
+	return func(n NodeID) float64 {
+		s.mu.Lock()
+		brk := s.brokers[n]
+		s.mu.Unlock()
+		if brk == nil || brk.CapacityMbps() <= 0 {
+			return 0
+		}
+		return brk.CommittedMbps() / brk.CapacityMbps()
+	}
+}
+
+// memberViewFn adapts an optional tracker to the director's members hook.
+func memberViewFn(tr *membership.Tracker) func() []membership.Member {
+	if tr == nil {
+		return nil
+	}
+	return tr.Members
+}
+
+// healthFn adapts the optional health scores to the director's health hook.
+func healthFn(scores *faults.HealthScores) func(NodeID) float64 {
+	if scores == nil {
+		return nil
+	}
+	return scores.Score
 }
 
 // gossipDialer routes one node's gossip exchanges through the fault
@@ -335,7 +511,7 @@ func (s *Service) Start() error {
 	if s.started {
 		return errors.New("dvod: service already started")
 	}
-	for _, node := range s.graph.Nodes() {
+	for _, node := range s.db.Graph().Nodes() {
 		if err := s.servers[node].Start(); err != nil {
 			_ = s.Close()
 			return err
@@ -346,9 +522,12 @@ func (s *Service) Start() error {
 		_ = s.Close()
 		return err
 	}
+	s.est = est
 	var agents []*snmp.Agent
-	for _, node := range s.graph.Nodes() {
-		a, err := snmp.NewAgent(node, s.graph, est)
+	for _, node := range s.db.Graph().Nodes() {
+		// Agents read the graph through the DB so samples always cover the
+		// current (possibly grown or shrunk) topology view.
+		a, err := snmp.NewDynamicAgent(node, s.db.Graph, est)
 		if err != nil {
 			_ = s.Close()
 			return err
@@ -376,10 +555,13 @@ func (s *Service) Start() error {
 	for _, gsp := range s.gossipers {
 		gsp.Start()
 	}
+	for _, mg := range s.mgossipers {
+		mg.Start()
+	}
 	if s.health != nil {
 		// Seed immediate liveness, then heartbeat in the background.
 		now := s.opts.clock.Now()
-		for _, node := range s.graph.Nodes() {
+		for _, node := range s.db.Graph().Nodes() {
 			s.health.Heartbeat(node, now)
 		}
 		go s.heartbeatLoop()
@@ -400,9 +582,10 @@ func (s *Service) heartbeatLoop() {
 		select {
 		case <-s.opts.clock.After(faults.Jitter(s.opts.failoverInterval, 0.25, rng)):
 			now := s.opts.clock.Now()
+			nodes := s.db.Graph().Nodes()
 			s.mu.Lock()
-			for _, node := range s.graph.Nodes() {
-				if !s.stopped[node] {
+			for _, node := range nodes {
+				if !s.stopped[node] && s.servers[node] != nil {
 					s.health.Heartbeat(node, now)
 				}
 			}
@@ -418,20 +601,303 @@ func (s *Service) heartbeatLoop() {
 // stops considering it — the dynamic-adjustment behaviour the paper claims
 // for "server configuration changes".
 func (s *Service) StopServer(node NodeID) error {
+	s.mu.Lock()
 	srv, ok := s.servers[node]
 	if !ok {
+		s.mu.Unlock()
 		return fmt.Errorf("dvod: %w: %s", topology.ErrNodeUnknown, node)
 	}
-	s.mu.Lock()
 	s.stopped[node] = true
+	gsp := s.gossipers[node]
+	mg := s.mgossipers[node]
 	s.mu.Unlock()
-	if gsp, ok := s.gossipers[node]; ok {
+	if gsp != nil {
 		gsp.Stop()
+	}
+	if mg != nil {
+		mg.Stop()
 	}
 	if s.health != nil {
 		s.health.MarkDown(node)
 	}
 	return srv.Close()
+}
+
+// AddServer grows the running fleet: the node and its links join the
+// atomically-swapped topology view, a full per-node stack (disk array, DMA,
+// planner, broker, ledger replica, membership tracker, redirect director,
+// server, gossipers) is built and started, and the DMA re-replicates the
+// hottest title onto the joiner so it starts serving watches immediately.
+// Existing members learn of the joiner through membership gossip (or, without
+// WithMembership, through the swapped topology view alone). The service must
+// be started.
+func (s *Service) AddServer(node NodeID, links []LinkSpec) error {
+	if node == "" {
+		return errors.New("dvod: empty node")
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("dvod: service closed")
+	}
+	if !s.started {
+		s.mu.Unlock()
+		return errors.New("dvod: service not started")
+	}
+	if _, exists := s.servers[node]; exists {
+		s.mu.Unlock()
+		return fmt.Errorf("dvod: server %s already in the fleet", node)
+	}
+	s.mu.Unlock()
+	now := s.opts.clock.Now()
+	g := s.db.Graph().Clone()
+	if err := g.AddNode(node); err != nil {
+		return fmt.Errorf("dvod: join %s: %w", node, err)
+	}
+	for _, l := range links {
+		if _, err := g.AddLink(l.A, l.B, l.CapacityMbps); err != nil {
+			return fmt.Errorf("dvod: join %s: %w", node, err)
+		}
+	}
+	if _, err := s.db.SetGraph(g, now); err != nil {
+		return fmt.Errorf("dvod: join %s: %w", node, err)
+	}
+	s.mu.Lock()
+	err := s.buildNodeStack(node)
+	srv := s.servers[node]
+	gsp := s.gossipers[node]
+	mg := s.mgossipers[node]
+	s.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("dvod: join %s: %w", node, err)
+	}
+	if err := srv.Start(); err != nil {
+		return fmt.Errorf("dvod: join %s: %w", node, err)
+	}
+	if s.health != nil {
+		s.health.Heartbeat(node, now)
+	}
+	if s.poller != nil && s.est != nil {
+		a, err := snmp.NewDynamicAgent(node, s.db.Graph, s.est)
+		if err != nil {
+			return fmt.Errorf("dvod: join %s: %w", node, err)
+		}
+		if err := s.poller.AddAgent(a); err != nil {
+			return fmt.Errorf("dvod: join %s: %w", node, err)
+		}
+	}
+	if gsp != nil {
+		gsp.Start()
+	}
+	if mg != nil {
+		mg.Start()
+	}
+	s.rereplicateTo(node)
+	return nil
+}
+
+// rereplicateTo copies the hottest title the joiner does not yet hold onto
+// its DMA (trying successively less popular ones if the hottest does not
+// fit), so a joining server immediately takes watch load instead of serving
+// nothing until organic DMA admission warms it up.
+func (s *Service) rereplicateTo(node NodeID) {
+	s.mu.Lock()
+	srv := s.servers[node]
+	dma := s.caches[node]
+	caches := make([]*cache.DMA, 0, len(s.caches))
+	for _, c := range s.caches {
+		caches = append(caches, c)
+	}
+	s.mu.Unlock()
+	if srv == nil || dma == nil {
+		return
+	}
+	titles := s.db.Catalog().Titles()
+	type ranked struct {
+		title  Title
+		points int64
+	}
+	var hot []ranked
+	for _, t := range titles {
+		if dma.Resident(t.Name) {
+			continue
+		}
+		var pts int64
+		for _, c := range caches {
+			pts += c.Points(t.Name)
+		}
+		hot = append(hot, ranked{title: t, points: pts})
+	}
+	sort.Slice(hot, func(i, j int) bool {
+		if hot[i].points != hot[j].points {
+			return hot[i].points > hot[j].points
+		}
+		return hot[i].title.Name < hot[j].title.Name
+	})
+	for _, r := range hot {
+		if err := srv.Preload(r.title); err == nil {
+			return
+		}
+	}
+}
+
+// BeginDrain starts a graceful drain of one server: its director redirects
+// every new watch to a better-placed replica (in-flight sessions finish
+// normally), its membership state becomes Draining, and any title it is the
+// sole holder of is re-replicated to the least-loaded live peer so no title
+// goes dark when the drain completes. Call FinishDrain once in-flight
+// sessions have ended.
+func (s *Service) BeginDrain(node NodeID) error {
+	s.mu.Lock()
+	dir := s.directors[node]
+	tr := s.trackers[node]
+	s.mu.Unlock()
+	if dir == nil {
+		return fmt.Errorf("dvod: %w: %s", topology.ErrNodeUnknown, node)
+	}
+	dir.SetDraining(true)
+	if tr != nil {
+		tr.SetLocalState(membership.Draining)
+	}
+	s.evacuateSoleHoldings(node)
+	return nil
+}
+
+// evacuateSoleHoldings re-replicates every title held only by the draining
+// node onto the live peer with the most residual broker headroom (ties by
+// node order), so the drain never makes a title unavailable.
+func (s *Service) evacuateSoleHoldings(node NodeID) {
+	titles := s.db.Catalog().TitlesHeldBy(node)
+	for _, name := range titles {
+		holders, err := s.db.Catalog().Holders(name)
+		if err != nil {
+			continue
+		}
+		replicated := false
+		s.mu.Lock()
+		for _, h := range holders {
+			if h != node && s.servers[h] != nil && !s.stopped[h] {
+				replicated = true
+				break
+			}
+		}
+		s.mu.Unlock()
+		if replicated {
+			continue
+		}
+		t, err := s.db.Catalog().Title(name)
+		if err != nil {
+			continue
+		}
+		for _, target := range s.drainTargets(node) {
+			if err := target.Preload(t); err == nil {
+				break
+			}
+		}
+	}
+}
+
+// drainTargets lists candidate receivers for evacuated titles: live,
+// non-draining servers ordered by ascending broker load, then node ID.
+func (s *Service) drainTargets(exclude NodeID) []*server.Server {
+	type cand struct {
+		node NodeID
+		srv  *server.Server
+		load float64
+	}
+	var cands []cand
+	s.mu.Lock()
+	for n, srv := range s.servers {
+		if n == exclude || s.stopped[n] {
+			continue
+		}
+		if dir := s.directors[n]; dir != nil && dir.Draining() {
+			continue
+		}
+		load := 0.0
+		if brk := s.brokers[n]; brk != nil && brk.CapacityMbps() > 0 {
+			load = brk.CommittedMbps() / brk.CapacityMbps()
+		}
+		cands = append(cands, cand{node: n, srv: srv, load: load})
+	}
+	s.mu.Unlock()
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].load != cands[j].load {
+			return cands[i].load < cands[j].load
+		}
+		return cands[i].node < cands[j].node
+	})
+	out := make([]*server.Server, 0, len(cands))
+	for _, c := range cands {
+		out = append(out, c.srv)
+	}
+	return out
+}
+
+// FinishDrain completes a graceful drain begun with BeginDrain: the member
+// announces Left (disseminated in a final gossip round), its holdings are
+// withdrawn from the catalog, its gossipers stop, its server closes, its
+// registration is removed, and the topology view shrinks — provided the
+// remaining graph stays connected (otherwise the node's links are kept as
+// dead capacity and only the server-level state is retired).
+func (s *Service) FinishDrain(node NodeID) error {
+	s.mu.Lock()
+	srv := s.servers[node]
+	tr := s.trackers[node]
+	mg := s.mgossipers[node]
+	gsp := s.gossipers[node]
+	s.mu.Unlock()
+	if srv == nil {
+		return fmt.Errorf("dvod: %w: %s", topology.ErrNodeUnknown, node)
+	}
+	now := s.opts.clock.Now()
+	if tr != nil {
+		tr.SetLocalState(membership.Left)
+	}
+	if mg != nil {
+		// One final synchronous round pushes the Left announcement out before
+		// this gossiper goes silent; peers relay it from there.
+		mg.RunOnce()
+		mg.Stop()
+	}
+	for _, name := range s.db.Catalog().TitlesHeldBy(node) {
+		_ = s.db.SetHolding(node, name, false, now)
+	}
+	s.mu.Lock()
+	s.stopped[node] = true
+	s.mu.Unlock()
+	if gsp != nil {
+		gsp.Stop()
+	}
+	if s.health != nil {
+		s.health.MarkDown(node)
+	}
+	if s.poller != nil {
+		s.poller.RemoveAgent(node)
+	}
+	closeErr := srv.Close()
+	if err := s.db.UnregisterServer(node, now); err != nil {
+		return err
+	}
+	if g, err := s.db.Graph().WithoutNode(node); err == nil {
+		if g.Validate() == nil {
+			if _, err := s.db.SetGraph(g, now); err != nil {
+				return err
+			}
+		}
+	}
+	return closeErr
+}
+
+// DrainServer gracefully removes one server from the fleet: BeginDrain
+// followed immediately by FinishDrain. Deployments with long-lived sessions
+// should call the two phases separately and let in-flight watches finish
+// between them.
+func (s *Service) DrainServer(node NodeID) error {
+	if err := s.BeginDrain(node); err != nil {
+		return err
+	}
+	return s.FinishDrain(node)
 }
 
 // Close stops polling and shuts every server down. It is idempotent.
@@ -442,6 +908,9 @@ func (s *Service) Close() error {
 	s.closed = true
 	for _, gsp := range s.gossipers {
 		gsp.Stop()
+	}
+	for _, mg := range s.mgossipers {
+		mg.Stop()
 	}
 	if s.injector != nil {
 		s.injector.Stop()
@@ -473,7 +942,9 @@ func (s *Service) Titles() []Title { return s.db.Catalog().Titles() }
 // Preload places a copy of a title on the node's disk array — the paper's
 // initialization phase.
 func (s *Service) Preload(node NodeID, title string) error {
+	s.mu.Lock()
 	srv, ok := s.servers[node]
+	s.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("dvod: %w: %s", topology.ErrNodeUnknown, node)
 	}
@@ -495,7 +966,10 @@ func (s *Service) Player(home NodeID, opts ...client.Option) (*Player, error) {
 	if !s.started {
 		return nil, errors.New("dvod: service not started")
 	}
-	if _, ok := s.servers[home]; !ok {
+	s.mu.Lock()
+	_, ok := s.servers[home]
+	s.mu.Unlock()
+	if !ok {
 		return nil, fmt.Errorf("dvod: %w: %s", topology.ErrNodeUnknown, home)
 	}
 	return client.NewPlayer(home, s.book, opts...)
@@ -542,8 +1016,14 @@ type MetricsSnapshot = metrics.Snapshot
 // errors). With an armed fault plan, the injector's own counters (notably
 // faults.injected_total) appear under the pseudo-node "_faults".
 func (s *Service) Metrics() map[NodeID]MetricsSnapshot {
-	out := make(map[NodeID]MetricsSnapshot, len(s.servers)+1)
+	s.mu.Lock()
+	servers := make(map[NodeID]*server.Server, len(s.servers))
 	for node, srv := range s.servers {
+		servers[node] = srv
+	}
+	s.mu.Unlock()
+	out := make(map[NodeID]MetricsSnapshot, len(servers)+1)
+	for node, srv := range servers {
 		out[node] = srv.Metrics().Snapshot()
 	}
 	if s.injector != nil {
@@ -578,17 +1058,49 @@ func (s *Service) InjectedFaults() int64 {
 // ledger deterministically instead of waiting out wall-clock intervals.
 // No-op without WithAdmission or with WithoutLedger.
 func (s *Service) GossipRound() {
-	for _, node := range s.graph.Nodes() {
+	for _, node := range s.db.Graph().Nodes() {
 		s.mu.Lock()
+		gsp := s.gossipers[node]
 		down := s.stopped[node]
 		s.mu.Unlock()
-		if down {
+		if down || gsp == nil {
 			continue
 		}
-		if gsp, ok := s.gossipers[node]; ok {
-			gsp.RunOnce()
-		}
+		gsp.RunOnce()
 	}
+}
+
+// MembershipRound drives one synchronous membership gossip round on every
+// live node's tracker, in node order — the deterministic counterpart of the
+// background loops, used by churn tests and studies on a virtual clock.
+// No-op without WithMembership.
+func (s *Service) MembershipRound() {
+	for _, node := range s.db.Graph().Nodes() {
+		s.mu.Lock()
+		mg := s.mgossipers[node]
+		down := s.stopped[node]
+		s.mu.Unlock()
+		if down || mg == nil {
+			continue
+		}
+		mg.RunOnce()
+	}
+}
+
+// MemberStates returns one node's current membership view (nil without
+// WithMembership or for unknown viewers).
+func (s *Service) MemberStates(viewer NodeID) map[NodeID]MemberState {
+	s.mu.Lock()
+	tr := s.trackers[viewer]
+	s.mu.Unlock()
+	if tr == nil {
+		return nil
+	}
+	out := make(map[NodeID]MemberState)
+	for _, m := range tr.Members() {
+		out[m.Node] = m.State
+	}
+	return out
 }
 
 // LedgerDigests returns each live node's reservation-ledger digest — a
@@ -598,14 +1110,16 @@ func (s *Service) LedgerDigests() map[NodeID]string {
 	if s.ledgers == nil {
 		return nil
 	}
-	out := make(map[NodeID]string, len(s.ledgers))
+	s.mu.Lock()
+	live := make(map[NodeID]*ledger.Ledger, len(s.ledgers))
 	for node, led := range s.ledgers {
-		s.mu.Lock()
-		down := s.stopped[node]
-		s.mu.Unlock()
-		if down {
-			continue
+		if !s.stopped[node] {
+			live[node] = led
 		}
+	}
+	s.mu.Unlock()
+	out := make(map[NodeID]string, len(live))
+	for node, led := range live {
 		out[node] = led.Digest()
 	}
 	return out
@@ -618,8 +1132,14 @@ func (s *Service) CommittedLinkMbps() map[LinkID]float64 {
 	if s.brokers == nil {
 		return nil
 	}
-	out := make(map[LinkID]float64)
+	s.mu.Lock()
+	brokers := make([]*admission.Broker, 0, len(s.brokers))
 	for _, brk := range s.brokers {
+		brokers = append(brokers, brk)
+	}
+	s.mu.Unlock()
+	out := make(map[LinkID]float64)
+	for _, brk := range brokers {
 		for id, mbps := range brk.LinkReservations() {
 			out[id] += mbps
 		}
@@ -663,7 +1183,9 @@ func (s *Service) WebHandler(adminToken string) (http.Handler, error) {
 
 // ServerAddr returns a node's live TCP endpoint ("" before Start).
 func (s *Service) ServerAddr(node NodeID) (string, error) {
+	s.mu.Lock()
 	srv, ok := s.servers[node]
+	s.mu.Unlock()
 	if !ok {
 		return "", fmt.Errorf("dvod: %w: %s", topology.ErrNodeUnknown, node)
 	}
@@ -672,23 +1194,26 @@ func (s *Service) ServerAddr(node NodeID) (string, error) {
 
 // options configures New.
 type options struct {
-	clusterBytes      int64
-	disksPerServer    int
-	diskCapacityBytes int64
-	nodeDisks         map[NodeID]diskShape
-	snmpInterval      time.Duration
-	selector          core.Selector
-	clock             clock.Clock
-	listenAddrs       map[NodeID]string
-	failoverInterval  time.Duration
-	failoverMaxAge    time.Duration
-	mergeWindow       int
-	faultPlan         *faults.Plan
-	faultSeed         int64
-	noDefense         bool
-	admissionMbps     float64
-	noLedger          bool
-	ledgerInterval    time.Duration
+	clusterBytes       int64
+	disksPerServer     int
+	diskCapacityBytes  int64
+	nodeDisks          map[NodeID]diskShape
+	snmpInterval       time.Duration
+	selector           core.Selector
+	clock              clock.Clock
+	listenAddrs        map[NodeID]string
+	failoverInterval   time.Duration
+	failoverMaxAge     time.Duration
+	mergeWindow        int
+	faultPlan          *faults.Plan
+	faultSeed          int64
+	noDefense          bool
+	admissionMbps      float64
+	noLedger           bool
+	ledgerInterval     time.Duration
+	ledgerFanout       int
+	membershipInterval time.Duration
+	frontDoor          bool
 }
 
 type diskShape struct {
@@ -739,6 +1264,10 @@ func (o options) validate() error {
 		return fmt.Errorf("dvod: negative admission capacity %v", o.admissionMbps)
 	case o.ledgerInterval <= 0:
 		return fmt.Errorf("dvod: bad ledger gossip interval %v", o.ledgerInterval)
+	case o.ledgerFanout < 0:
+		return fmt.Errorf("dvod: negative ledger fan-out %d", o.ledgerFanout)
+	case o.membershipInterval < 0:
+		return fmt.Errorf("dvod: negative membership interval %v", o.membershipInterval)
 	}
 	if o.noLedger && o.admissionMbps <= 0 {
 		return errors.New("dvod: WithoutLedger needs WithAdmission")
@@ -866,4 +1395,42 @@ func WithLedgerGossipInterval(d time.Duration) Option {
 // Ext-16 study's control arm; requires WithAdmission.
 func WithoutLedger() Option {
 	return func(o *options) { o.noLedger = true }
+}
+
+// WithLedgerFanout sets the reservation ledger's rumor-mongering width: how
+// many peers each anti-entropy round push-pulls with (default
+// ledger.DefaultFanout, 2). One reproduces the historical single-peer walk;
+// higher values trade per-round dials for faster convergence on large
+// fleets.
+func WithLedgerFanout(n int) Option {
+	return func(o *options) { o.ledgerFanout = n }
+}
+
+// WithMembership runs the SWIM-style gossip membership layer on every node:
+// trackers exchange (incarnation, heartbeat, state) views on the given
+// cadence (0 uses membership.DefaultGossipInterval, 250 ms — interval-aligned
+// with the ledger gossiper), round-counted failure detection marks quiet
+// members suspect and then failed, and fail/leave events drive immediate
+// ledger lease reclaim, failover health, and VRA node penalties. Required
+// for churn-aware redirects and graceful drains announced fleet-wide;
+// AddServer and DrainServer work without it, coordinating through the
+// shared topology view alone. Disabled by default.
+func WithMembership(interval time.Duration) Option {
+	return func(o *options) {
+		if interval <= 0 {
+			interval = membership.DefaultGossipInterval
+		}
+		o.membershipInterval = interval
+	}
+}
+
+// WithFrontDoor turns every node into a stateless redirect front door: a
+// watch request for a title the node does not hold locally is answered with
+// a typed watch.redirect toward the best replica (scored by broker load and
+// peer health over the membership view), which clients follow transparently
+// within a bounded hop count. Without it nodes redirect only while
+// draining and proxy remote titles themselves, exactly as before. Disabled
+// by default.
+func WithFrontDoor() Option {
+	return func(o *options) { o.frontDoor = true }
 }

@@ -38,7 +38,16 @@ type Player struct {
 	// retry budget and jittered backoff, and the attempts' records merge
 	// into one gapless session.
 	resume bool
+	// redirectLimit bounds how many watch.redirect bounces one watch follows
+	// before giving up (DefaultRedirectLimit unless overridden); negative
+	// disables following and surfaces the first redirect as an error.
+	redirectLimit int
 }
+
+// DefaultRedirectLimit is how many watch.redirect bounces a watch follows by
+// default, matching the server-side hop cap: past this many the fleet is
+// misbehaving and the client reports it rather than orbiting.
+const DefaultRedirectLimit = 3
 
 // Option configures a Player.
 type Option func(*Player)
@@ -85,6 +94,18 @@ func WithDialer(dial func(addr string) (*transport.Conn, error)) Option {
 	}
 }
 
+// WithRedirectLimit overrides how many watch.redirect bounces one watch
+// follows (default DefaultRedirectLimit). Zero keeps the default; negative
+// disables following entirely — the first redirect surfaces as a
+// *RedirectError, for clients that want to manage placement themselves.
+func WithRedirectLimit(n int) Option {
+	return func(p *Player) {
+		if n != 0 {
+			p.redirectLimit = n
+		}
+	}
+}
+
 // WithResume turns on mid-stream recovery: when a watch fails after delivery
 // began (connection cut, server error), the player redials its home and
 // re-requests the title from the first cluster it has not yet received,
@@ -115,6 +136,36 @@ func (e *RejectedError) Error() string {
 // Unwrap lets errors.Is match admission.ErrRejected.
 func (e *RejectedError) Unwrap() error { return admission.ErrRejected }
 
+// ErrRedirectLoop reports a watch.redirect chain that revisited a node the
+// session was already bounced through — a placement disagreement between
+// front doors, surfaced instead of orbited.
+var ErrRedirectLoop = errors.New("client: redirect loop")
+
+// ErrTooManyRedirects reports a redirect chain longer than the player's
+// redirect limit.
+var ErrTooManyRedirects = errors.New("client: too many redirects")
+
+// RedirectError is the typed failure of following one watch.redirect hop:
+// which node the client was bounced toward and why the hop failed (the
+// wrapped cause — a refused dial when the target died between the redirect
+// decision and the follow-up, ErrRedirectLoop, or ErrTooManyRedirects).
+type RedirectError struct {
+	Title  string
+	Target topology.NodeID
+	Addr   string
+	Hops   int
+	Err    error
+}
+
+// Error implements error.
+func (e *RedirectError) Error() string {
+	return fmt.Sprintf("watch %q: redirect hop %d to %s (%s): %v",
+		e.Title, e.Hops, e.Target, e.Addr, e.Err)
+}
+
+// Unwrap exposes the cause for errors.Is/As.
+func (e *RedirectError) Unwrap() error { return e.Err }
+
 // NewPlayer builds a player homed at the given node.
 func NewPlayer(home topology.NodeID, book *transport.AddrBook, opts ...Option) (*Player, error) {
 	if home == "" {
@@ -123,7 +174,8 @@ func NewPlayer(home topology.NodeID, book *transport.AddrBook, opts ...Option) (
 	if book == nil {
 		return nil, errors.New("player: nil address book")
 	}
-	p := &Player{home: home, book: book, verify: true, binary: true, pool: transport.DefaultPool()}
+	p := &Player{home: home, book: book, verify: true, binary: true,
+		pool: transport.DefaultPool(), redirectLimit: DefaultRedirectLimit}
 	for _, o := range opts {
 		o(p)
 	}
@@ -207,6 +259,11 @@ type PlaybackStats struct {
 	// Retries counts mid-stream resume attempts (always 0 without
 	// WithResume).
 	Retries int
+	// Redirects counts watch.redirect bounces this session followed before
+	// a server agreed to serve it, and RedirectPath lists the targets in
+	// bounce order (empty when the home served directly).
+	Redirects    int
+	RedirectPath []topology.NodeID
 	// ReservationMigrations echoes how many times the home server moved this
 	// session's bandwidth reservation to a new route mid-stream (the
 	// watch.done payload from ledger-aware servers; 0 from older ones).
@@ -228,6 +285,12 @@ func (p *Player) dialHome() (*transport.Conn, error) {
 	if err != nil {
 		return nil, err
 	}
+	return p.dialAddr(addr)
+}
+
+// dialAddr opens a connection to an explicit address (the home's, or a
+// redirect target's) through the player's dialer.
+func (p *Player) dialAddr(addr string) (*transport.Conn, error) {
 	if p.dial != nil {
 		return p.dial(addr)
 	}
@@ -266,11 +329,17 @@ func (p *Player) WatchFrom(title string, startCluster int) (PlaybackStats, error
 	return stats, nil
 }
 
-// isTerminalWatchErr reports errors no resume can fix: the server refused the
-// session by policy, not by failure.
+// isTerminalWatchErr reports errors no resume can fix: the server refused
+// the session by policy, not by failure. Redirect loops and over-long chains
+// are terminal too — redialing the same front door reproduces the same
+// chain — but a dead redirect target is not: the home will route around it
+// on the next attempt.
 func isTerminalWatchErr(err error) bool {
 	var rej *RejectedError
-	return errors.As(err, &rej)
+	if errors.As(err, &rej) {
+		return true
+	}
+	return errors.Is(err, ErrRedirectLoop) || errors.Is(err, ErrTooManyRedirects)
 }
 
 // resumeLoop re-requests the title's remaining clusters after a mid-stream
@@ -337,6 +406,8 @@ func mergeResumed(agg *PlaybackStats, part PlaybackStats) {
 	agg.Records = append(agg.Records, part.Records...)
 	agg.Sources = append(agg.Sources, part.Sources...)
 	agg.Verified = agg.Verified && part.Verified
+	agg.Redirects += part.Redirects
+	agg.RedirectPath = append(agg.RedirectPath, part.RedirectPath...)
 	if part.Merged {
 		agg.Merged = true
 		agg.MergeRole = part.MergeRole
@@ -356,29 +427,72 @@ func (p *Player) watchOnce(title string, startCluster int) (PlaybackStats, trans
 	if err != nil {
 		return PlaybackStats{}, noInfo, err
 	}
-	defer conn.Close()
-	if p.binary {
-		// Offer binary cluster framing; a legacy server answers with an
-		// error frame and the session continues on JSON.
-		if _, err := conn.Negotiate(); err != nil {
+	defer func() { conn.Close() }()
+
+	// The front-door loop: send the watch, and if the answering node bounces
+	// us with a watch.redirect, follow it — close, dial the target, resend
+	// with the advanced hop count — within the redirect limit and without
+	// revisiting a node. A session is bounced at most a handful of times
+	// before some server commits to serving it.
+	var (
+		head    transport.Message
+		hops    int
+		bounces []topology.NodeID
+		visited = map[topology.NodeID]bool{p.home: true}
+	)
+	for {
+		if p.binary {
+			// Offer binary cluster framing; a legacy server answers with an
+			// error frame and the session continues on JSON.
+			if _, err := conn.Negotiate(); err != nil {
+				return PlaybackStats{}, noInfo, err
+			}
+		}
+		req, err := transport.Encode(transport.TypeWatch, transport.WatchPayload{
+			Title:        title,
+			StartCluster: startCluster,
+			Class:        string(p.class),
+			Hops:         hops,
+		})
+		if err != nil {
 			return PlaybackStats{}, noInfo, err
 		}
-	}
-
-	req, err := transport.Encode(transport.TypeWatch, transport.WatchPayload{
-		Title:        title,
-		StartCluster: startCluster,
-		Class:        string(p.class),
-	})
-	if err != nil {
-		return PlaybackStats{}, noInfo, err
-	}
-	if err := conn.WriteMessage(req); err != nil {
-		return PlaybackStats{}, noInfo, err
-	}
-	head, err := conn.ReadMessage()
-	if err != nil {
-		return PlaybackStats{}, noInfo, err
+		if err := conn.WriteMessage(req); err != nil {
+			return PlaybackStats{}, noInfo, err
+		}
+		head, err = conn.ReadMessage()
+		if err != nil {
+			return PlaybackStats{}, noInfo, err
+		}
+		if head.Type != transport.TypeWatchRedirect {
+			break
+		}
+		rd, err := transport.Decode[transport.WatchRedirectPayload](head)
+		if err != nil {
+			return PlaybackStats{}, noInfo, err
+		}
+		hopErr := &RedirectError{Title: title, Target: rd.Target, Addr: rd.Addr, Hops: rd.Hops}
+		if p.redirectLimit < 0 || len(bounces) >= p.redirectLimit {
+			hopErr.Err = ErrTooManyRedirects
+			return PlaybackStats{}, noInfo, hopErr
+		}
+		if visited[rd.Target] {
+			hopErr.Err = ErrRedirectLoop
+			return PlaybackStats{}, noInfo, hopErr
+		}
+		visited[rd.Target] = true
+		bounces = append(bounces, rd.Target)
+		conn.Close()
+		next, err := p.dialAddr(rd.Addr)
+		if err != nil {
+			// The target died between the redirect decision and our dial: a
+			// prompt typed error, never a hang — resume redials the home,
+			// which routes around the corpse.
+			hopErr.Err = err
+			return PlaybackStats{}, noInfo, hopErr
+		}
+		conn = next
+		hops = rd.Hops
 	}
 	if rerr := transport.AsError(head); rerr != nil {
 		return PlaybackStats{}, noInfo, rerr
@@ -412,6 +526,8 @@ func (p *Player) watchOnce(title string, startCluster int) (PlaybackStats, trans
 		Degraded:      info.Degraded,
 		DeliveredMbps: info.DeliveredMbps,
 		BinaryFraming: conn.BinaryFrames(),
+		Redirects:     len(bounces),
+		RedirectPath:  bounces,
 	}
 	var lastSource topology.NodeID
 stream:

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dvod/internal/catalog"
@@ -56,6 +57,8 @@ const (
 	EventServerRegistered EventKind = iota + 1
 	EventLinkStatsUpdated
 	EventHoldingChanged
+	EventServerUnregistered
+	EventTopologyChanged
 )
 
 // String names the event kind.
@@ -67,6 +70,10 @@ func (k EventKind) String() string {
 		return "link-stats-updated"
 	case EventHoldingChanged:
 		return "holding-changed"
+	case EventServerUnregistered:
+		return "server-unregistered"
+	case EventTopologyChanged:
+		return "topology-changed"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -82,8 +89,16 @@ type Event struct {
 }
 
 // DB is the database module. All methods are safe for concurrent use.
+//
+// The topology is a versioned, atomically swapped view: Graph returns the
+// current immutable graph, and SetGraph replaces it wholesale (copy-on-write)
+// when the fleet grows or shrinks. Readers that plan per request — the VRA
+// planners, the admission broker's snapshot hook, the SNMP agents — re-read
+// it every time, so mid-stream re-plans see post-churn links without any
+// shared-lock handshake.
 type DB struct {
-	graph   *topology.Graph
+	graph   atomic.Pointer[topology.Graph]
+	version atomic.Uint64
 	catalog *catalog.Catalog
 
 	mu      sync.RWMutex
@@ -93,20 +108,46 @@ type DB struct {
 	nextSub int
 }
 
-// New builds a database over the static topology. The graph must be
-// validated by the caller; the DB treats it as immutable.
+// New builds a database over the boot topology. The graph must be validated
+// by the caller; the DB treats each installed graph as immutable (grow or
+// shrink by building a new graph and calling SetGraph).
 func New(g *topology.Graph) *DB {
-	return &DB{
-		graph:   g,
+	d := &DB{
 		catalog: catalog.New(),
 		servers: make(map[topology.NodeID]ServerEntry),
 		stats:   make(map[topology.LinkID]LinkStats),
 		subs:    make(map[int]chan Event),
 	}
+	d.graph.Store(g)
+	d.version.Store(1)
+	return d
 }
 
-// Graph returns the static topology.
-func (d *DB) Graph() *topology.Graph { return d.graph }
+// Graph returns the current topology view. The returned graph is immutable;
+// callers must not cache it across requests if they want to observe churn.
+func (d *DB) Graph() *topology.Graph { return d.graph.Load() }
+
+// GraphVersion returns the monotonically increasing version of the current
+// topology view (1 for the boot graph).
+func (d *DB) GraphVersion() uint64 { return d.version.Load() }
+
+// SetGraph atomically installs a new validated topology view — the elastic
+// membership layer calls it when a server joins or leaves the fleet. The
+// graph must already be validated; the DB treats it as immutable from here
+// on. Link statistics for links absent from the new graph are retained but
+// filtered out of snapshots until (if ever) the link returns.
+func (d *DB) SetGraph(g *topology.Graph, at time.Time) (uint64, error) {
+	if g == nil {
+		return 0, errors.New("db: nil graph")
+	}
+	if err := g.Validate(); err != nil {
+		return 0, err
+	}
+	d.graph.Store(g)
+	v := d.version.Add(1)
+	d.publish(Event{Kind: EventTopologyChanged, At: at})
+	return v, nil
+}
 
 // Catalog returns the full-access sub-module.
 func (d *DB) Catalog() *catalog.Catalog { return d.catalog }
@@ -114,7 +155,7 @@ func (d *DB) Catalog() *catalog.Catalog { return d.catalog }
 // RegisterServer records a video server joining the service (the paper's
 // initialization phase). The node must exist in the topology.
 func (d *DB) RegisterServer(node topology.NodeID, description string, at time.Time) error {
-	if !d.graph.HasNode(node) {
+	if !d.Graph().HasNode(node) {
 		return fmt.Errorf("%w: %s", topology.ErrNodeUnknown, node)
 	}
 	d.mu.Lock()
@@ -125,6 +166,20 @@ func (d *DB) RegisterServer(node topology.NodeID, description string, at time.Ti
 	d.servers[node] = ServerEntry{Node: node, Description: description, RegisteredAt: at}
 	d.mu.Unlock()
 	d.publish(Event{Kind: EventServerRegistered, Node: node, At: at})
+	return nil
+}
+
+// UnregisterServer removes a server's registration — the completion of a
+// graceful drain. Unknown nodes error.
+func (d *DB) UnregisterServer(node topology.NodeID, at time.Time) error {
+	d.mu.Lock()
+	if _, ok := d.servers[node]; !ok {
+		d.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrServerUnknown, node)
+	}
+	delete(d.servers, node)
+	d.mu.Unlock()
+	d.publish(Event{Kind: EventServerUnregistered, Node: node, At: at})
 	return nil
 }
 
@@ -154,7 +209,7 @@ func (d *DB) Servers() []ServerEntry {
 // UpsertLinkStats records the latest SNMP sample for a link. Utilization is
 // derived from used bandwidth and the link's configured capacity.
 func (d *DB) UpsertLinkStats(id topology.LinkID, usedMbps float64, at time.Time) error {
-	l, err := d.graph.LinkByID(id)
+	l, err := d.Graph().LinkByID(id)
 	if err != nil {
 		return err
 	}
@@ -175,7 +230,7 @@ func (d *DB) UpsertLinkStats(id topology.LinkID, usedMbps float64, at time.Time)
 
 // LinkStats returns the latest sample for a link.
 func (d *DB) LinkStats(id topology.LinkID) (LinkStats, error) {
-	if _, err := d.graph.LinkByID(id); err != nil {
+	if _, err := d.Graph().LinkByID(id); err != nil {
 		return LinkStats{}, err
 	}
 	d.mu.RLock()
@@ -210,27 +265,34 @@ func (d *DB) SetHolding(node topology.NodeID, title string, holds bool, at time.
 	return nil
 }
 
-// Snapshot builds a topology snapshot from the latest link statistics.
-// Links with no sample yet are treated as idle, matching the paper's
-// behaviour before the first SNMP poll lands.
+// Snapshot builds a topology snapshot from the latest link statistics over
+// the current graph view. Links with no sample yet are treated as idle,
+// matching the paper's behaviour before the first SNMP poll lands; samples
+// for links no longer in the view (a shrunk fleet) are filtered out so churn
+// can never poison snapshot construction.
 func (d *DB) Snapshot() (*topology.Snapshot, error) {
+	g := d.Graph()
 	d.mu.RLock()
 	util := make(map[topology.LinkID]float64, len(d.stats))
 	for id, s := range d.stats {
+		if _, err := g.LinkByID(id); err != nil {
+			continue
+		}
 		util[id] = s.Utilization
 	}
 	d.mu.RUnlock()
-	return topology.NewSnapshot(d.graph, util)
+	return topology.NewSnapshot(g, util)
 }
 
 // StaleLinks returns links whose latest sample is older than maxAge at the
 // given instant (or never reported), sorted. The paper's SNMP module is
 // expected to refresh every 1-2 minutes; stale links indicate a dead agent.
 func (d *DB) StaleLinks(now time.Time, maxAge time.Duration) []topology.LinkID {
+	g := d.Graph()
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	var out []topology.LinkID
-	for _, l := range d.graph.Links() {
+	for _, l := range g.Links() {
 		s, ok := d.stats[l.ID]
 		if !ok || now.Sub(s.UpdatedAt) > maxAge {
 			out = append(out, l.ID)

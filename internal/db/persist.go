@@ -78,7 +78,7 @@ func (d *DB) Load(r io.Reader) error {
 	}
 	for title, holders := range state.Holdings {
 		for _, h := range holders {
-			if !d.graph.HasNode(h) {
+			if !d.Graph().HasNode(h) {
 				return fmt.Errorf("load db: holding of %q: %w: %s",
 					title, topology.ErrNodeUnknown, h)
 			}

@@ -44,6 +44,17 @@ func (h *HealthScores) Report(peer topology.NodeID, ok bool) {
 	h.scores[peer] = h.alpha*h.scores[peer] + (1-h.alpha)*outcome
 }
 
+// MarkFailed pins the peer's failure score to 1.0 — the event-driven path: a
+// membership fail event lands here so the VRA's node penalty reflects a dead
+// peer the moment failure is detected, instead of waiting for enough fetch
+// failures to saturate the EWMA. Subsequent successful fetches (a recovered
+// peer) decay the score back down through the normal Report path.
+func (h *HealthScores) MarkFailed(peer topology.NodeID) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.scores[peer] = 1.0
+}
+
 // Score returns the peer's failure rate in [0, 1] (0 for unseen peers).
 func (h *HealthScores) Score(peer topology.NodeID) float64 {
 	h.mu.Lock()

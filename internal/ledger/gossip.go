@@ -16,6 +16,13 @@ import (
 // session's lifetime, slow enough to stay a background whisper.
 const DefaultGossipInterval = 250 * time.Millisecond
 
+// DefaultFanout is the rumor-mongering width: how many peers one round
+// push-pulls with. One peer per round converges in O(N) rounds on a fleet of
+// N replicas; fanning out to two cuts that to O(log N) — the difference that
+// matters once the fleet grows past the fixture's six nodes — while keeping
+// per-round cost constant.
+const DefaultFanout = 2
+
 // GossipConfig assembles a Gossiper.
 type GossipConfig struct {
 	// Ledger is the replica this gossiper feeds. Required.
@@ -23,6 +30,16 @@ type GossipConfig struct {
 	// Peers are the other replicas, visited round-robin. May be empty (the
 	// gossiper then only beats the heartbeat and expires stale origins).
 	Peers []topology.NodeID
+	// PeersFn, when set, supplies the peer set dynamically each round and
+	// takes precedence over Peers — the elastic-membership hook: the facade
+	// wires it to the live membership view so joiners are gossiped to and
+	// failed or departed replicas stop being dialed. The returned slice may
+	// include the local origin; it is filtered out.
+	PeersFn func() []topology.NodeID
+	// Fanout is how many peers each round exchanges with (rumor-mongering
+	// width). Zero uses DefaultFanout; one reproduces the historical
+	// single-peer walk.
+	Fanout int
 	// Lookup resolves a peer to a dialable address. Required when Peers is
 	// non-empty.
 	Lookup func(topology.NodeID) (string, error)
@@ -64,8 +81,14 @@ func NewGossiper(cfg GossipConfig) (*Gossiper, error) {
 	if cfg.Ledger == nil {
 		return nil, fmt.Errorf("ledger: gossiper needs a ledger")
 	}
-	if len(cfg.Peers) > 0 && cfg.Lookup == nil {
+	if (len(cfg.Peers) > 0 || cfg.PeersFn != nil) && cfg.Lookup == nil {
 		return nil, fmt.Errorf("ledger: gossiper has peers but no lookup")
+	}
+	if cfg.Fanout < 0 {
+		return nil, fmt.Errorf("ledger: negative fanout %d", cfg.Fanout)
+	}
+	if cfg.Fanout == 0 {
+		cfg.Fanout = DefaultFanout
 	}
 	if cfg.Interval < 0 {
 		return nil, fmt.Errorf("ledger: negative gossip interval %v", cfg.Interval)
@@ -137,22 +160,46 @@ func (g *Gossiper) loop(stop, done chan struct{}) {
 }
 
 // RunOnce executes one gossip round synchronously: heartbeat, lease expiry,
-// and one peer exchange (round-robin). Tests drive convergence
-// deterministically by calling it directly instead of Start.
+// and Fanout peer exchanges (round-robin over the current peer set). Tests
+// drive convergence deterministically by calling it directly instead of
+// Start.
 func (g *Gossiper) RunOnce() {
 	g.runMu.Lock()
 	defer g.runMu.Unlock()
 	g.cfg.Ledger.Beat()
 	g.cfg.Ledger.ExpireStale()
 	g.cfg.Metrics.Counter("ledger.gossip_rounds").Inc()
-	if len(g.cfg.Peers) == 0 {
+	peers := g.peers()
+	if len(peers) == 0 {
 		return
 	}
-	peer := g.cfg.Peers[g.next%len(g.cfg.Peers)]
-	g.next++
-	if err := g.exchange(peer); err != nil {
-		g.cfg.Metrics.Counter("ledger.gossip_errors").Inc()
+	fanout := g.cfg.Fanout
+	if fanout > len(peers) {
+		fanout = len(peers)
 	}
+	for i := 0; i < fanout; i++ {
+		peer := peers[g.next%len(peers)]
+		g.next++
+		if err := g.exchange(peer); err != nil {
+			g.cfg.Metrics.Counter("ledger.gossip_errors").Inc()
+		}
+	}
+}
+
+// peers resolves this round's peer set: the dynamic source when wired, the
+// static list otherwise, with the local origin filtered either way.
+func (g *Gossiper) peers() []topology.NodeID {
+	if g.cfg.PeersFn == nil {
+		return g.cfg.Peers
+	}
+	dynamic := g.cfg.PeersFn()
+	out := make([]topology.NodeID, 0, len(dynamic))
+	for _, p := range dynamic {
+		if p != g.cfg.Ledger.Origin() {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // exchange performs one push-pull with peer.

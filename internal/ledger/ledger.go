@@ -431,6 +431,40 @@ func (l *Ledger) ExpireStale() int {
 	return len(dropped)
 }
 
+// ExpireOrigin drops every row of one origin immediately, without waiting
+// for its lease to time out — the event-driven reclaim path: a membership
+// fail or leave event lands here so a dead server's reservations release
+// link headroom as soon as the failure is detected rather than a full TTL
+// later. Semantics match ExpireStale for that origin: the expired
+// watermark blocks resurrection by relayed rows, and an actually-returning
+// origin relearns its state through its advancing clock. Reports whether
+// any state was dropped.
+func (l *Ledger) ExpireOrigin(o topology.NodeID) bool {
+	if o == l.origin {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	dropped := false
+	for k := range l.rows {
+		if k.origin == o {
+			delete(l.rows, k)
+			dropped = true
+		}
+	}
+	if _, heard := l.lastHeard[o]; heard {
+		dropped = true
+	}
+	delete(l.lastHeard, o)
+	if !dropped {
+		return false
+	}
+	l.expired[o] = true
+	l.reg.Counter("ledger.origin_expired").Inc()
+	l.publishLocked()
+	return true
+}
+
 // publishLocked refreshes the ledger gauges: the replicated entry count and,
 // per link, the committed bandwidth split into this origin's share and the
 // remote origins'. Callers hold l.mu.

@@ -1,0 +1,212 @@
+package membership
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dvod/internal/clock"
+	"dvod/internal/metrics"
+	"dvod/internal/topology"
+	"dvod/internal/transport"
+)
+
+// DefaultGossipInterval matches the ledger gossiper's cadence so the two
+// layers stay interval-aligned: one round of each per tick, and the
+// round-counted failure detector's windows translate to the same wall time
+// the ledger's lease arithmetic assumes.
+const DefaultGossipInterval = 250 * time.Millisecond
+
+// DefaultFanout is the rumor-mongering width: how many peers one round
+// pushes-pulls with. Two keeps dissemination O(log N) rounds without the
+// O(N) per-round cost of flooding.
+const DefaultFanout = 2
+
+// GossipConfig assembles a Gossiper.
+type GossipConfig struct {
+	// Tracker is the view this gossiper disseminates. Required.
+	Tracker *Tracker
+	// Peers returns the current gossip targets. Nil uses the tracker's own
+	// GossipPeers (everyone known, not failed or left) — the usual choice,
+	// which makes the peer set itself elastic.
+	Peers func() []topology.NodeID
+	// Lookup resolves a peer to a dialable address. Required.
+	Lookup func(topology.NodeID) (string, error)
+	// Dial opens a connection to peer at addr. Nil uses transport.Dial; the
+	// facade injects a fault-wrapped dialer so partitions cut membership
+	// gossip exactly like they cut the delivery plane.
+	Dial func(peer topology.NodeID, addr string) (*transport.Conn, error)
+	// Interval is the gossip cadence. Zero uses DefaultGossipInterval.
+	Interval time.Duration
+	// Fanout is how many peers each round exchanges with. Zero uses
+	// DefaultFanout.
+	Fanout int
+	// Clock paces rounds; nil is wall time.
+	Clock clock.Clock
+	// Metrics receives membership.gossip_rounds / membership.gossip_errors;
+	// nil falls back to the tracker's registry.
+	Metrics *metrics.Registry
+}
+
+// Gossiper disseminates the membership view: every interval it beats the
+// tracker (advancing the heartbeat and the failure detector) and push-pulls
+// the full view with the next Fanout peers in round-robin order over the
+// member list.
+type Gossiper struct {
+	cfg GossipConfig
+
+	// runMu serializes rounds: the background loop and direct RunOnce
+	// callers (deterministic tests) may overlap.
+	runMu sync.Mutex
+	next  int
+
+	mu      sync.Mutex
+	stop    chan struct{}
+	done    chan struct{}
+	started bool
+}
+
+// NewGossiper validates the configuration and builds a gossiper.
+func NewGossiper(cfg GossipConfig) (*Gossiper, error) {
+	if cfg.Tracker == nil {
+		return nil, fmt.Errorf("membership: gossiper needs a tracker")
+	}
+	if cfg.Lookup == nil {
+		return nil, fmt.Errorf("membership: gossiper needs a lookup")
+	}
+	if cfg.Interval < 0 {
+		return nil, fmt.Errorf("membership: negative gossip interval %v", cfg.Interval)
+	}
+	if cfg.Interval == 0 {
+		cfg.Interval = DefaultGossipInterval
+	}
+	if cfg.Fanout < 0 {
+		return nil, fmt.Errorf("membership: negative fanout %d", cfg.Fanout)
+	}
+	if cfg.Fanout == 0 {
+		cfg.Fanout = DefaultFanout
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Wall{}
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = cfg.Tracker.reg
+	}
+	if cfg.Peers == nil {
+		cfg.Peers = cfg.Tracker.GossipPeers
+	}
+	if cfg.Dial == nil {
+		cfg.Dial = func(_ topology.NodeID, addr string) (*transport.Conn, error) {
+			return transport.Dial(addr)
+		}
+	}
+	return &Gossiper{cfg: cfg}, nil
+}
+
+// Interval returns the configured gossip cadence.
+func (g *Gossiper) Interval() time.Duration { return g.cfg.Interval }
+
+// Start launches the background loop. Safe to call once.
+func (g *Gossiper) Start() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.started {
+		return
+	}
+	g.started = true
+	g.stop = make(chan struct{})
+	g.done = make(chan struct{})
+	go g.loop(g.stop, g.done)
+}
+
+// Stop halts the loop and waits for it to exit. Safe to call repeatedly.
+func (g *Gossiper) Stop() {
+	g.mu.Lock()
+	if !g.started {
+		g.mu.Unlock()
+		return
+	}
+	g.started = false
+	stop, done := g.stop, g.done
+	g.mu.Unlock()
+	close(stop)
+	<-done
+}
+
+func (g *Gossiper) loop(stop, done chan struct{}) {
+	defer close(done)
+	for {
+		select {
+		case <-stop:
+			return
+		case <-g.cfg.Clock.After(g.cfg.Interval):
+		}
+		g.RunOnce()
+	}
+}
+
+// RunOnce executes one gossip round synchronously: beat the failure
+// detector, then exchange views with the next Fanout peers (round-robin over
+// the sorted current peer set). Tests drive convergence deterministically by
+// calling it directly instead of Start.
+func (g *Gossiper) RunOnce() {
+	g.runMu.Lock()
+	defer g.runMu.Unlock()
+	g.cfg.Tracker.Beat()
+	g.cfg.Metrics.Counter("membership.gossip_rounds").Inc()
+	peers := g.cfg.Peers()
+	if len(peers) == 0 {
+		return
+	}
+	fanout := g.cfg.Fanout
+	if fanout > len(peers) {
+		fanout = len(peers)
+	}
+	for i := 0; i < fanout; i++ {
+		peer := peers[g.next%len(peers)]
+		g.next++
+		if err := g.exchange(peer); err != nil {
+			g.cfg.Metrics.Counter("membership.gossip_errors").Inc()
+		}
+	}
+}
+
+// exchange performs one push-pull view exchange with peer over a fresh
+// connection: member.sync out, member.sync.ok back, merge the reply.
+func (g *Gossiper) exchange(peer topology.NodeID) error {
+	addr, err := g.cfg.Lookup(peer)
+	if err != nil {
+		return fmt.Errorf("lookup %s: %w", peer, err)
+	}
+	conn, err := g.cfg.Dial(peer, addr)
+	if err != nil {
+		return fmt.Errorf("dial %s: %w", peer, err)
+	}
+	defer conn.Close()
+	// Wall time deliberately: the deadline guards a real socket even when
+	// the gossip cadence runs on a virtual clock.
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	m, err := transport.Encode(transport.TypeMemberSync, g.cfg.Tracker.Sync())
+	if err != nil {
+		return fmt.Errorf("encode sync for %s: %w", peer, err)
+	}
+	if err := conn.WriteMessage(m); err != nil {
+		return fmt.Errorf("send sync to %s: %w", peer, err)
+	}
+	reply, err := conn.ReadMessage()
+	if err != nil {
+		return fmt.Errorf("read reply from %s: %w", peer, err)
+	}
+	if reply.Type == transport.TypeError {
+		return fmt.Errorf("reply from %s: remote error", peer)
+	}
+	if reply.Type != transport.TypeMemberSyncOK {
+		return fmt.Errorf("reply from %s: unexpected %q", peer, reply.Type)
+	}
+	view, err := transport.Decode[transport.MemberSyncPayload](reply)
+	if err != nil {
+		return fmt.Errorf("reply from %s: %w", peer, err)
+	}
+	g.cfg.Tracker.Merge(view)
+	return nil
+}

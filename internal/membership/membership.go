@@ -1,0 +1,466 @@
+// Package membership is the elastic-fleet layer: a SWIM-style gossip
+// membership tracker (join / drain / suspect / fail / leave transitions with
+// incarnation numbers), a gossiper that disseminates the view over the live
+// transport on the same cadence pattern as the reservation-ledger gossiper,
+// and a redirect director that turns any node into a stateless front door for
+// watch requests.
+//
+// Failure detection is heartbeat-based and round-counted rather than
+// wall-clock-timed, so it is fully deterministic under the virtual clock: each
+// local gossip round bumps the tracker's own heartbeat counter, exchanges
+// carry every member's (incarnation, heartbeat, state) triple, and a member
+// whose heartbeat has not advanced for SuspectRounds local rounds is marked
+// suspect — FailRounds rounds and it is failed. A live node that sees itself
+// suspected refutes by bumping its incarnation and reasserting its state
+// (classic SWIM); a dead node never refutes, so the failure verdict spreads.
+//
+// Merge rules (per member, commutative, so replicas converge regardless of
+// exchange order):
+//
+//   - a higher incarnation always wins;
+//   - at equal incarnation the "worse" state wins
+//     (alive < draining < suspect < failed < left);
+//   - at equal incarnation and state, the higher heartbeat wins.
+package membership
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"dvod/internal/metrics"
+	"dvod/internal/topology"
+	"dvod/internal/transport"
+)
+
+// State is one member's lifecycle state.
+type State int
+
+// The membership states, ordered by merge precedence: at equal incarnation a
+// numerically larger state overrides a smaller one.
+const (
+	// Alive: heartbeats observed recently; full participant.
+	Alive State = iota
+	// Draining: the member announced a graceful drain — it still serves
+	// in-flight sessions but redirects new watches and takes no new load.
+	Draining
+	// Suspect: heartbeats stopped for SuspectRounds local rounds. Routing
+	// avoids suspects; the member can refute by bumping its incarnation.
+	Suspect
+	// Failed: heartbeats stopped for FailRounds rounds. Consumers reclaim
+	// the member's leases and penalize its routes; only a higher incarnation
+	// (a restart) revives it.
+	Failed
+	// Left: the member announced a completed drain. Terminal for this
+	// incarnation.
+	Left
+)
+
+// String names the state (also the wire encoding).
+func (s State) String() string {
+	switch s {
+	case Alive:
+		return "alive"
+	case Draining:
+		return "draining"
+	case Suspect:
+		return "suspect"
+	case Failed:
+		return "failed"
+	case Left:
+		return "left"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// parseState decodes a wire state; unknown strings degrade to Suspect so a
+// newer peer's states never silently count as healthy.
+func parseState(s string) State {
+	switch s {
+	case "alive":
+		return Alive
+	case "draining":
+		return Draining
+	case "suspect":
+		return Suspect
+	case "failed":
+		return Failed
+	case "left":
+		return Left
+	default:
+		return Suspect
+	}
+}
+
+// Member is one member's view entry.
+type Member struct {
+	Node        topology.NodeID
+	Incarnation uint64
+	Heartbeat   uint64
+	State       State
+}
+
+// EventKind labels membership transitions observed by one tracker.
+type EventKind int
+
+// The event kinds.
+const (
+	// EventJoin: a previously unknown member appeared in the view.
+	EventJoin EventKind = iota + 1
+	// EventSuspect: a member transitioned into Suspect.
+	EventSuspect
+	// EventRecover: a suspect refuted and is Alive again.
+	EventRecover
+	// EventFail: a member transitioned into Failed.
+	EventFail
+	// EventDrain: a member announced a graceful drain.
+	EventDrain
+	// EventLeave: a member completed its drain (Left).
+	EventLeave
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventJoin:
+		return "join"
+	case EventSuspect:
+		return "suspect"
+	case EventRecover:
+		return "recover"
+	case EventFail:
+		return "fail"
+	case EventDrain:
+		return "drain"
+	case EventLeave:
+		return "leave"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one observed transition.
+type Event struct {
+	Kind   EventKind
+	Node   topology.NodeID
+	Member Member
+}
+
+// Default detection windows, in local gossip rounds. With fan-out 2 a
+// heartbeat reaches every replica of a small fleet within a round or two, so
+// three quiet rounds is decisively abnormal and six is a verdict.
+const (
+	DefaultSuspectRounds = 3
+	DefaultFailRounds    = 6
+)
+
+// Config assembles a Tracker.
+type Config struct {
+	// Self is the member this tracker runs on. Required.
+	Self topology.NodeID
+	// Seeds are the initially known members (usually the boot topology).
+	Seeds []topology.NodeID
+	// SuspectRounds / FailRounds are the detection windows in local gossip
+	// rounds; zero uses the defaults.
+	SuspectRounds int
+	FailRounds    int
+	// OnEvent receives transitions observed by this tracker. Called outside
+	// the tracker lock, in deterministic (node-sorted) order per merge.
+	// May be nil.
+	OnEvent func(Event)
+	// Metrics receives membership.* counters and per-peer state gauges; nil
+	// allocates a private registry.
+	Metrics *metrics.Registry
+}
+
+// Tracker is one node's replica of the cluster membership view. All methods
+// are safe for concurrent use.
+type Tracker struct {
+	self          topology.NodeID
+	suspectRounds int
+	failRounds    int
+	onEvent       func(Event)
+	reg           *metrics.Registry
+
+	mu      sync.Mutex
+	members map[topology.NodeID]*Member
+	// quiet counts local Beat rounds since each member's heartbeat last
+	// advanced — the deterministic stand-in for a failure-detector timeout.
+	quiet map[topology.NodeID]int
+}
+
+// New validates the configuration and builds a tracker. Self starts Alive at
+// incarnation 1; seeds start Alive at incarnation 0 so any state they
+// announce about themselves immediately outranks the placeholder.
+func New(cfg Config) (*Tracker, error) {
+	if cfg.Self == "" {
+		return nil, errors.New("membership: empty self")
+	}
+	if cfg.SuspectRounds == 0 {
+		cfg.SuspectRounds = DefaultSuspectRounds
+	}
+	if cfg.FailRounds == 0 {
+		cfg.FailRounds = DefaultFailRounds
+	}
+	if cfg.SuspectRounds < 1 || cfg.FailRounds <= cfg.SuspectRounds {
+		return nil, fmt.Errorf("membership: bad detection windows suspect=%d fail=%d",
+			cfg.SuspectRounds, cfg.FailRounds)
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	t := &Tracker{
+		self:          cfg.Self,
+		suspectRounds: cfg.SuspectRounds,
+		failRounds:    cfg.FailRounds,
+		onEvent:       cfg.OnEvent,
+		reg:           cfg.Metrics,
+		members:       make(map[topology.NodeID]*Member),
+		quiet:         make(map[topology.NodeID]int),
+	}
+	t.members[cfg.Self] = &Member{Node: cfg.Self, Incarnation: 1, Heartbeat: 1, State: Alive}
+	for _, s := range cfg.Seeds {
+		if s == cfg.Self || s == "" {
+			continue
+		}
+		t.members[s] = &Member{Node: s, Incarnation: 0, Heartbeat: 0, State: Alive}
+	}
+	t.publishLocked()
+	return t, nil
+}
+
+// Self returns the tracker's own node.
+func (t *Tracker) Self() topology.NodeID { return t.self }
+
+// Member returns one member's current view entry.
+func (t *Tracker) Member(n topology.NodeID) (Member, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m, ok := t.members[n]
+	if !ok {
+		return Member{}, false
+	}
+	return *m, true
+}
+
+// Members returns the full view, sorted by node ID.
+func (t *Tracker) Members() []Member {
+	t.mu.Lock()
+	out := make([]Member, 0, len(t.members))
+	for _, m := range t.members {
+		out = append(out, *m)
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// Alive returns the members currently routable for new sessions: state Alive
+// only (draining and suspect members take no new load), sorted.
+func (t *Tracker) Alive() []topology.NodeID {
+	t.mu.Lock()
+	out := make([]topology.NodeID, 0, len(t.members))
+	for n, m := range t.members {
+		if m.State == Alive {
+			out = append(out, n)
+		}
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// GossipPeers returns the members worth gossiping with: everyone but self
+// that has not announced Left. Suspect and even Failed members stay dialed —
+// the exchange reaching a live "failed" node is its only refutation channel,
+// and without one a healed partition whose two sides failed each other would
+// never reconnect (both would drop the other from their peer sets forever).
+// Dials to genuinely dead members fail fast and count as gossip errors.
+func (t *Tracker) GossipPeers() []topology.NodeID {
+	t.mu.Lock()
+	out := make([]topology.NodeID, 0, len(t.members))
+	for n, m := range t.members {
+		if n != t.self && m.State != Left {
+			out = append(out, n)
+		}
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Beat advances the local heartbeat and runs one failure-detection sweep:
+// every non-terminal member that stayed quiet another round moves toward
+// Suspect and then Failed. The gossiper calls it once per round.
+func (t *Tracker) Beat() {
+	var events []Event
+	t.mu.Lock()
+	self := t.members[t.self]
+	self.Heartbeat++
+	for n, m := range t.members {
+		if n == t.self || m.State == Failed || m.State == Left {
+			continue
+		}
+		t.quiet[n]++
+		switch {
+		case t.quiet[n] >= t.failRounds && m.State != Failed:
+			m.State = Failed
+			events = append(events, Event{Kind: EventFail, Node: n, Member: *m})
+		case t.quiet[n] >= t.suspectRounds && m.State == Alive:
+			m.State = Suspect
+			events = append(events, Event{Kind: EventSuspect, Node: n, Member: *m})
+		}
+	}
+	t.publishLocked()
+	t.mu.Unlock()
+	t.emit(events)
+}
+
+// SetLocalState announces a new local state (Draining for a graceful drain,
+// Left at its completion, Alive to rejoin). The incarnation is bumped so the
+// announcement outranks everything previously gossiped about this node.
+func (t *Tracker) SetLocalState(s State) {
+	t.mu.Lock()
+	self := t.members[t.self]
+	self.Incarnation++
+	self.Heartbeat++
+	self.State = s
+	t.publishLocked()
+	t.mu.Unlock()
+}
+
+// Sync builds the full-view payload for one gossip exchange. Views are a
+// handful of entries, so full-state exchange converges in O(log N) rounds
+// without delta bookkeeping.
+func (t *Tracker) Sync() transport.MemberSyncPayload {
+	t.mu.Lock()
+	p := transport.MemberSyncPayload{From: t.self}
+	for _, m := range t.members {
+		p.Members = append(p.Members, transport.MemberEntry{
+			Node:        m.Node,
+			Incarnation: m.Incarnation,
+			Heartbeat:   m.Heartbeat,
+			State:       m.State.String(),
+		})
+	}
+	t.mu.Unlock()
+	sort.Slice(p.Members, func(i, j int) bool { return p.Members[i].Node < p.Members[j].Node })
+	return p
+}
+
+// Merge folds one received view into the local one under the precedence
+// rules, emitting events for every transition it causes. Entries about self
+// with a bad state and an incarnation at least ours trigger refutation: the
+// incarnation jumps past the rumor and the current local state is reasserted.
+func (t *Tracker) Merge(p transport.MemberSyncPayload) {
+	var events []Event
+	t.mu.Lock()
+	// Deterministic application order: the payload arrives node-sorted from
+	// Sync, but sort defensively — event order must not depend on map order.
+	entries := append([]transport.MemberEntry(nil), p.Members...)
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Node < entries[j].Node })
+	for _, e := range entries {
+		if e.Node == "" {
+			continue
+		}
+		st := parseState(e.State)
+		if e.Node == t.self {
+			self := t.members[t.self]
+			if st >= Suspect && e.Incarnation >= self.Incarnation && self.State != Left {
+				// Refute: a rumor says we are suspect/failed but we are
+				// demonstrably running. Jump past it and reassert.
+				self.Incarnation = e.Incarnation + 1
+				self.Heartbeat++
+			}
+			continue
+		}
+		cur, known := t.members[e.Node]
+		if !known {
+			m := &Member{Node: e.Node, Incarnation: e.Incarnation, Heartbeat: e.Heartbeat, State: st}
+			t.members[e.Node] = m
+			t.quiet[e.Node] = 0
+			events = append(events, Event{Kind: EventJoin, Node: e.Node, Member: *m})
+			events = t.appendTransitionLocked(events, e.Node, Alive, st, *m)
+			continue
+		}
+		prev := cur.State
+		switch {
+		case e.Incarnation > cur.Incarnation:
+			cur.Incarnation = e.Incarnation
+			cur.Heartbeat = e.Heartbeat
+			cur.State = st
+			t.quiet[e.Node] = 0
+		case e.Incarnation == cur.Incarnation:
+			// At equal incarnation, state and heartbeat join independently
+			// (max each), so merges commute regardless of exchange order.
+			if st > cur.State {
+				cur.State = st
+			}
+			if e.Heartbeat > cur.Heartbeat {
+				cur.Heartbeat = e.Heartbeat
+				t.quiet[e.Node] = 0
+			}
+		}
+		events = t.appendTransitionLocked(events, e.Node, prev, cur.State, *cur)
+	}
+	t.publishLocked()
+	t.mu.Unlock()
+	t.emit(events)
+}
+
+// appendTransitionLocked records the event (if any) for a prev→next state
+// change. Callers hold t.mu.
+func (t *Tracker) appendTransitionLocked(events []Event, n topology.NodeID, prev, next State, m Member) []Event {
+	if prev == next {
+		return events
+	}
+	switch next {
+	case Alive:
+		if prev == Suspect || prev == Failed {
+			return append(events, Event{Kind: EventRecover, Node: n, Member: m})
+		}
+	case Suspect:
+		return append(events, Event{Kind: EventSuspect, Node: n, Member: m})
+	case Failed:
+		return append(events, Event{Kind: EventFail, Node: n, Member: m})
+	case Draining:
+		return append(events, Event{Kind: EventDrain, Node: n, Member: m})
+	case Left:
+		return append(events, Event{Kind: EventLeave, Node: n, Member: m})
+	}
+	return events
+}
+
+// HandleSync is the receiving side of one exchange: merge the sender's view,
+// reply with ours (now the union).
+func (t *Tracker) HandleSync(req transport.MemberSyncPayload) transport.MemberSyncPayload {
+	t.Merge(req)
+	return t.Sync()
+}
+
+// emit delivers events to the subscriber and charges the event counters.
+func (t *Tracker) emit(events []Event) {
+	for _, ev := range events {
+		t.reg.Counter("membership.events_" + ev.Kind.String()).Inc()
+		if t.onEvent != nil {
+			t.onEvent(ev)
+		}
+	}
+}
+
+// publishLocked refreshes the membership gauges: total and alive member
+// counts plus one numeric state gauge per peer (0 alive, 1 draining,
+// 2 suspect, 3 failed, 4 left). Callers hold t.mu.
+func (t *Tracker) publishLocked() {
+	alive := 0
+	for _, m := range t.members {
+		if m.State == Alive {
+			alive++
+		}
+		t.reg.Gauge("membership.state." + string(m.Node)).Set(float64(m.State))
+	}
+	t.reg.Gauge("membership.members").Set(float64(len(t.members)))
+	t.reg.Gauge("membership.alive").Set(float64(alive))
+}

@@ -1,0 +1,378 @@
+package membership
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"dvod/internal/clock"
+	"dvod/internal/topology"
+	"dvod/internal/transport"
+)
+
+func newTestTracker(t *testing.T, self topology.NodeID, seeds ...topology.NodeID) *Tracker {
+	t.Helper()
+	tr, err := New(Config{Self: self, Seeds: seeds})
+	if err != nil {
+		t.Fatalf("new tracker %s: %v", self, err)
+	}
+	return tr
+}
+
+// syncPair runs one full push-pull exchange a→b and folds the reply back
+// into a, exactly like one gossip round does over the wire.
+func syncPair(a, b *Tracker) {
+	reply := b.HandleSync(a.Sync())
+	a.Merge(reply)
+}
+
+func stateOf(t *testing.T, tr *Tracker, n topology.NodeID) State {
+	t.Helper()
+	m, ok := tr.Member(n)
+	if !ok {
+		t.Fatalf("%s unknown to %s", n, tr.Self())
+	}
+	return m.State
+}
+
+func TestSeedsStartAlive(t *testing.T) {
+	tr := newTestTracker(t, "A", "A", "B", "C", "")
+	ms := tr.Members()
+	if len(ms) != 3 {
+		t.Fatalf("got %d members, want 3 (self + 2 seeds, blanks and self-seed dropped)", len(ms))
+	}
+	self, _ := tr.Member("A")
+	if self.Incarnation != 1 || self.State != Alive {
+		t.Fatalf("self entry %+v, want incarnation 1 alive", self)
+	}
+	seed, _ := tr.Member("B")
+	if seed.Incarnation != 0 {
+		t.Fatalf("seed incarnation %d, want 0 so self-announcements outrank it", seed.Incarnation)
+	}
+}
+
+func TestMergePrecedence(t *testing.T) {
+	tr := newTestTracker(t, "A", "B")
+
+	// Higher incarnation replaces everything.
+	tr.Merge(transport.MemberSyncPayload{From: "B", Members: []transport.MemberEntry{
+		{Node: "B", Incarnation: 3, Heartbeat: 5, State: "alive"},
+	}})
+	if got, _ := tr.Member("B"); got.Incarnation != 3 || got.Heartbeat != 5 {
+		t.Fatalf("B after higher-incarnation merge: %+v", got)
+	}
+
+	// Equal incarnation: the worse state wins…
+	tr.Merge(transport.MemberSyncPayload{From: "C", Members: []transport.MemberEntry{
+		{Node: "B", Incarnation: 3, Heartbeat: 4, State: "suspect"},
+	}})
+	if got := stateOf(t, tr, "B"); got != Suspect {
+		t.Fatalf("B state %v after worse-state merge, want suspect", got)
+	}
+	// …and a better state at the same incarnation cannot undo it.
+	tr.Merge(transport.MemberSyncPayload{From: "C", Members: []transport.MemberEntry{
+		{Node: "B", Incarnation: 3, Heartbeat: 9, State: "alive"},
+	}})
+	if got := stateOf(t, tr, "B"); got != Suspect {
+		t.Fatalf("B state %v after better-state merge at equal incarnation, want suspect", got)
+	}
+
+	// A higher incarnation from B itself (refutation) revives it.
+	tr.Merge(transport.MemberSyncPayload{From: "B", Members: []transport.MemberEntry{
+		{Node: "B", Incarnation: 4, Heartbeat: 1, State: "alive"},
+	}})
+	if got := stateOf(t, tr, "B"); got != Alive {
+		t.Fatalf("B state %v after refutation, want alive", got)
+	}
+
+	// Stale lower incarnation is ignored entirely.
+	tr.Merge(transport.MemberSyncPayload{From: "C", Members: []transport.MemberEntry{
+		{Node: "B", Incarnation: 2, Heartbeat: 100, State: "failed"},
+	}})
+	if got, _ := tr.Member("B"); got.State != Alive || got.Incarnation != 4 {
+		t.Fatalf("B after stale merge: %+v, want alive at incarnation 4", got)
+	}
+}
+
+func TestMergeCommutes(t *testing.T) {
+	views := []transport.MemberSyncPayload{
+		{From: "X", Members: []transport.MemberEntry{
+			{Node: "B", Incarnation: 2, Heartbeat: 7, State: "alive"},
+			{Node: "C", Incarnation: 1, Heartbeat: 3, State: "suspect"},
+		}},
+		{From: "Y", Members: []transport.MemberEntry{
+			{Node: "B", Incarnation: 2, Heartbeat: 4, State: "suspect"},
+			{Node: "C", Incarnation: 2, Heartbeat: 1, State: "alive"},
+		}},
+	}
+	ab := newTestTracker(t, "A")
+	ba := newTestTracker(t, "A")
+	ab.Merge(views[0])
+	ab.Merge(views[1])
+	ba.Merge(views[1])
+	ba.Merge(views[0])
+	for _, n := range []topology.NodeID{"B", "C"} {
+		x, _ := ab.Member(n)
+		y, _ := ba.Member(n)
+		if x != y {
+			t.Fatalf("merge order changed %s: %+v vs %+v", n, x, y)
+		}
+	}
+}
+
+func TestRoundCountedFailureDetection(t *testing.T) {
+	var events []Event
+	tr, err := New(Config{Self: "A", Seeds: []topology.NodeID{"B"},
+		OnEvent: func(ev Event) { events = append(events, ev) }})
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	for i := 0; i < DefaultSuspectRounds-1; i++ {
+		tr.Beat()
+	}
+	if got := stateOf(t, tr, "B"); got != Alive {
+		t.Fatalf("B %v after %d quiet rounds, want alive", got, DefaultSuspectRounds-1)
+	}
+	tr.Beat()
+	if got := stateOf(t, tr, "B"); got != Suspect {
+		t.Fatalf("B %v after %d quiet rounds, want suspect", got, DefaultSuspectRounds)
+	}
+	for i := DefaultSuspectRounds; i < DefaultFailRounds; i++ {
+		tr.Beat()
+	}
+	if got := stateOf(t, tr, "B"); got != Failed {
+		t.Fatalf("B %v after %d quiet rounds, want failed", got, DefaultFailRounds)
+	}
+	var kinds []EventKind
+	for _, ev := range events {
+		kinds = append(kinds, ev.Kind)
+	}
+	if len(kinds) != 2 || kinds[0] != EventSuspect || kinds[1] != EventFail {
+		t.Fatalf("event kinds %v, want [suspect fail]", kinds)
+	}
+	// A failed member STAYS in the gossip peer set — the periodic dial is
+	// its refutation channel, without which two sides of a healed partition
+	// that failed each other could never reconnect.
+	found := false
+	for _, p := range tr.GossipPeers() {
+		if p == "B" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("failed member dropped from the gossip peer set")
+	}
+}
+
+// TestFailedVerdictIsRefutable pins partition healing: after A fails B, an
+// exchange finally reaching the live B lets it refute at a higher
+// incarnation, A emits a recover event, and the verdict is undone.
+func TestFailedVerdictIsRefutable(t *testing.T) {
+	var events []Event
+	a, err := New(Config{Self: "A", Seeds: []topology.NodeID{"B"},
+		OnEvent: func(ev Event) { events = append(events, ev) }})
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	b := newTestTracker(t, "B", "A")
+	syncPair(a, b)
+	for i := 0; i < DefaultFailRounds; i++ {
+		a.Beat()
+	}
+	if got := stateOf(t, a, "B"); got != Failed {
+		t.Fatalf("B %v on A, want failed", got)
+	}
+	// The partition heals: one full exchange carries the verdict to B, B
+	// refutes, and the reply revives it on A.
+	syncPair(a, b)
+	if got := stateOf(t, a, "B"); got != Alive {
+		t.Fatalf("B %v on A after refutation, want alive", got)
+	}
+	m, _ := a.Member("B")
+	if m.Incarnation < 2 {
+		t.Fatalf("B refuted at incarnation %d, want ≥ 2", m.Incarnation)
+	}
+	var sawRecover bool
+	for _, ev := range events {
+		if ev.Kind == EventRecover && ev.Node == "B" {
+			sawRecover = true
+		}
+	}
+	if !sawRecover {
+		t.Fatal("no recover event for the revived member")
+	}
+}
+
+func TestHeartbeatAdvanceResetsDetection(t *testing.T) {
+	a := newTestTracker(t, "A", "B")
+	b := newTestTracker(t, "B", "A")
+	for round := 0; round < 5*DefaultFailRounds; round++ {
+		a.Beat()
+		b.Beat()
+		syncPair(a, b)
+		syncPair(b, a)
+	}
+	if got := stateOf(t, a, "B"); got != Alive {
+		t.Fatalf("B %v on A after steady gossip, want alive", got)
+	}
+	if got := stateOf(t, b, "A"); got != Alive {
+		t.Fatalf("A %v on B after steady gossip, want alive", got)
+	}
+}
+
+func TestRefutationSpreads(t *testing.T) {
+	a := newTestTracker(t, "A", "B")
+	b := newTestTracker(t, "B", "A")
+	// A learns B's real (incarnation 1) entry, so the later fail verdict is
+	// at an incarnation B must actually outbid to refute.
+	syncPair(a, b)
+	// B's gossip stops reaching A long enough for a fail verdict.
+	for i := 0; i < DefaultFailRounds; i++ {
+		a.Beat()
+	}
+	if got := stateOf(t, a, "B"); got != Failed {
+		t.Fatalf("B %v on A, want failed", got)
+	}
+	// The partition heals: one exchange B→A carries the fail rumor to B,
+	// which refutes with a higher incarnation; the reply revives B on A.
+	before, _ := b.Member("B")
+	syncPair(b, a)
+	after, _ := b.Member("B")
+	if after.Incarnation <= before.Incarnation {
+		t.Fatalf("B did not bump incarnation refuting (%d → %d)", before.Incarnation, after.Incarnation)
+	}
+	syncPair(a, b)
+	if got := stateOf(t, a, "B"); got != Alive {
+		t.Fatalf("B %v on A after refutation round-trip, want alive", got)
+	}
+}
+
+func TestDrainAndLeaveAnnouncements(t *testing.T) {
+	a := newTestTracker(t, "A", "B")
+	b := newTestTracker(t, "B", "A")
+	var kinds []EventKind
+	c, err := New(Config{Self: "C", Seeds: []topology.NodeID{"A", "B"},
+		OnEvent: func(ev Event) { kinds = append(kinds, ev.Kind) }})
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+
+	b.SetLocalState(Draining)
+	syncPair(a, b)
+	if got := stateOf(t, a, "B"); got != Draining {
+		t.Fatalf("B %v on A after drain announcement, want draining", got)
+	}
+	// The drain event reaches a third party transitively through A.
+	syncPair(c, a)
+	if got := stateOf(t, c, "B"); got != Draining {
+		t.Fatalf("B %v on C, want draining", got)
+	}
+	sawDrain := false
+	for _, k := range kinds {
+		if k == EventDrain {
+			sawDrain = true
+		}
+	}
+	if !sawDrain {
+		t.Fatalf("C events %v, want a drain event", kinds)
+	}
+
+	b.SetLocalState(Left)
+	syncPair(a, b)
+	if got := stateOf(t, a, "B"); got != Left {
+		t.Fatalf("B %v on A after leave announcement, want left", got)
+	}
+	for _, p := range a.GossipPeers() {
+		if p == "B" {
+			t.Fatal("departed member still a gossip peer")
+		}
+	}
+}
+
+// dialTo answers exactly one member.sync exchange against the target
+// tracker, mirroring Server.handleMemberSync over an in-memory pipe.
+func dialTo(target *Tracker) func(topology.NodeID, string) (*transport.Conn, error) {
+	return func(topology.NodeID, string) (*transport.Conn, error) {
+		cp, sp := net.Pipe()
+		client, server := transport.NewConn(cp), transport.NewConn(sp)
+		go func() {
+			defer server.Close()
+			m, err := server.ReadMessage()
+			if err != nil || m.Type != transport.TypeMemberSync {
+				return
+			}
+			req, err := transport.Decode[transport.MemberSyncPayload](m)
+			if err != nil {
+				return
+			}
+			reply, err := transport.Encode(transport.TypeMemberSyncOK, target.HandleSync(req))
+			if err != nil {
+				return
+			}
+			server.WriteMessage(reply)
+		}()
+		return client, nil
+	}
+}
+
+func TestGossiperConvergesAndDetects(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	nodes := []topology.NodeID{"A", "B", "C"}
+	trackers := map[topology.NodeID]*Tracker{}
+	for _, n := range nodes {
+		trackers[n] = newTestTracker(t, n, nodes...)
+	}
+	alive := map[topology.NodeID]bool{"A": true, "B": true, "C": true}
+	gossipers := map[topology.NodeID]*Gossiper{}
+	for _, n := range nodes {
+		tr := trackers[n]
+		g, err := NewGossiper(GossipConfig{
+			Tracker: tr,
+			Lookup:  func(p topology.NodeID) (string, error) { return "mem", nil },
+			Dial: func(peer topology.NodeID, _ string) (*transport.Conn, error) {
+				if !alive[peer] {
+					return nil, errors.New("connection refused")
+				}
+				return dialTo(trackers[peer])(peer, "mem")
+			},
+			Clock: clk,
+		})
+		if err != nil {
+			t.Fatalf("gossiper %s: %v", n, err)
+		}
+		gossipers[n] = g
+	}
+	round := func() {
+		for _, n := range nodes {
+			if alive[n] {
+				gossipers[n].RunOnce()
+			}
+		}
+	}
+	for i := 0; i < 3; i++ {
+		round()
+	}
+	for _, n := range nodes {
+		for _, m := range nodes {
+			if got := stateOf(t, trackers[n], m); got != Alive {
+				t.Fatalf("%s sees %s as %v after steady rounds, want alive", n, m, got)
+			}
+		}
+	}
+
+	// Kill C: its gossiper stops and dials toward it refuse. Survivors mark
+	// it suspect and then failed after the round-counted windows.
+	alive["C"] = false
+	for i := 0; i < DefaultFailRounds; i++ {
+		round()
+	}
+	for _, n := range []topology.NodeID{"A", "B"} {
+		if got := stateOf(t, trackers[n], "C"); got != Failed {
+			t.Fatalf("%s sees C as %v after kill, want failed", n, got)
+		}
+	}
+	if got := trackers["A"].Alive(); len(got) != 2 {
+		t.Fatalf("A's alive set %v, want 2 members", got)
+	}
+}

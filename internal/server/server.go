@@ -119,6 +119,30 @@ type Config struct {
 	// leaving only the bare next-replica retry loop. The chaos study's
 	// control arm; production configs leave it false.
 	DisableDefense bool
+	// Director optionally fronts the watch path with the stateless redirect
+	// door: before admitting a session, the server asks it whether a
+	// better-placed peer should serve this title and, if so, answers with a
+	// typed watch.redirect instead of streaming. Nil serves every watch
+	// locally, exactly as before.
+	Director Director
+	// Members optionally serves this node's membership view: peers'
+	// member.sync exchanges are merged and answered here (normally a
+	// membership.Tracker). Nil refuses member.sync requests.
+	Members MemberView
+}
+
+// Director is the redirect decision hook (implemented by
+// membership.Director). Route reports the peer a watch for title — already
+// bounced hops times — should be redirected to, or ok=false to serve
+// locally.
+type Director interface {
+	Route(title string, hops int) (target topology.NodeID, addr string, ok bool)
+}
+
+// MemberView answers membership gossip (implemented by membership.Tracker):
+// merge the remote view, return the merged local view.
+type MemberView interface {
+	HandleSync(req transport.MemberSyncPayload) transport.MemberSyncPayload
 }
 
 // Server is one running video server node.
@@ -352,6 +376,8 @@ func (s *Server) dispatch(c *transport.Conn, m transport.Message) error {
 		return s.handleWatch(c, m)
 	case transport.TypeLedgerSync:
 		return s.handleLedgerSync(c, m)
+	case transport.TypeMemberSync:
+		return s.handleMemberSync(c, m)
 	default:
 		return fmt.Errorf("unknown message type %q", m.Type)
 	}
@@ -526,6 +552,25 @@ func (s *Server) handleLedgerSyncFrame(c *transport.Conn, f *transport.Frame) er
 	return c.WriteLedgerSyncFrame(s.cfg.Ledger.HandleSync(req), true)
 }
 
+// handleMemberSync answers one membership gossip exchange: merge the peer's
+// view, reply with the merged local view (push-pull anti-entropy, the same
+// shape as the reservation ledger's sync).
+func (s *Server) handleMemberSync(c *transport.Conn, m transport.Message) error {
+	if s.cfg.Members == nil {
+		return fmt.Errorf("no membership view on %s", s.cfg.Node)
+	}
+	req, err := transport.Decode[transport.MemberSyncPayload](m)
+	if err != nil {
+		return err
+	}
+	s.cfg.Metrics.Counter("server.member_syncs").Inc()
+	resp, err := transport.Encode(transport.TypeMemberSyncOK, s.cfg.Members.HandleSync(req))
+	if err != nil {
+		return err
+	}
+	return c.WriteMessage(resp)
+}
+
 // watchSession carries one Watch session's delivery state through the
 // streaming paths: the admitted rate and grant, the retry budget, and the
 // count of reservation migrations performed when the VRA re-planned the
@@ -557,6 +602,24 @@ func (s *Server) handleWatch(c *transport.Conn, m transport.Message) error {
 	req, err := transport.Decode[transport.WatchPayload](m)
 	if err != nil {
 		return err
+	}
+	// The stateless front door runs before admission or any cache mutation:
+	// a redirected request must leave no trace here — no popularity count,
+	// no grant — because the target node will do all of that itself.
+	if s.cfg.Director != nil {
+		if target, addr, ok := s.cfg.Director.Route(req.Title, req.Hops); ok {
+			s.cfg.Metrics.Counter("server.watch_redirects").Inc()
+			resp, err := transport.Encode(transport.TypeWatchRedirect, transport.WatchRedirectPayload{
+				Title:  req.Title,
+				Target: target,
+				Addr:   addr,
+				Hops:   req.Hops + 1,
+			})
+			if err != nil {
+				return err
+			}
+			return c.WriteMessage(resp)
+		}
 	}
 	title, err := s.cfg.DB.Catalog().Title(req.Title)
 	if err != nil {

@@ -39,30 +39,49 @@ type Sample struct {
 	UsedMbps float64
 }
 
-// Agent samples the links adjacent to one node.
+// Agent samples the links adjacent to one node. It holds a graph provider
+// rather than a graph, so an elastic fleet's agents observe the current
+// atomically-swapped topology view on every sample instead of the view that
+// existed when the agent was built.
 type Agent struct {
 	node   topology.NodeID
-	graph  *topology.Graph
+	graph  func() *topology.Graph
 	source Source
 }
 
-// NewAgent builds the agent for a node.
+// NewAgent builds the agent for a node over a fixed graph.
 func NewAgent(node topology.NodeID, g *topology.Graph, source Source) (*Agent, error) {
 	if !g.HasNode(node) {
 		return nil, fmt.Errorf("%w: %s", topology.ErrNodeUnknown, node)
 	}
+	return NewDynamicAgent(node, func() *topology.Graph { return g }, source)
+}
+
+// NewDynamicAgent builds the agent for a node over a graph provider —
+// typically db.Graph, so topology churn is visible without rebuilding the
+// agent. The node need not exist in every view; samples simply cover
+// whatever links are adjacent in the view current at sample time.
+func NewDynamicAgent(node topology.NodeID, graph func() *topology.Graph, source Source) (*Agent, error) {
+	if graph == nil {
+		return nil, errors.New("snmp agent: nil graph provider")
+	}
 	if source == nil {
 		return nil, errors.New("snmp agent: nil source")
 	}
-	return &Agent{node: node, graph: g, source: source}, nil
+	return &Agent{node: node, graph: graph, source: source}, nil
 }
 
 // Node returns the agent's node.
 func (a *Agent) Node() topology.NodeID { return a.node }
 
-// Sample measures every link adjacent to the agent's node.
+// Sample measures every link adjacent to the agent's node in the current
+// graph view.
 func (a *Agent) Sample() ([]Sample, error) {
-	adj := a.graph.Adjacent(a.node)
+	g := a.graph()
+	if !g.HasNode(a.node) {
+		return nil, nil
+	}
+	adj := g.Adjacent(a.node)
 	out := make([]Sample, 0, len(adj))
 	for _, id := range adj {
 		used, err := a.source.LinkUsedMbps(id)
@@ -157,9 +176,10 @@ type Poller struct {
 	stop      chan struct{}
 	done      chan struct{}
 
-	mu    sync.Mutex
-	polls int64
-	errs  int64
+	mu     sync.Mutex
+	agents []*Agent
+	polls  int64
+	errs   int64
 }
 
 // NewPoller validates the configuration and builds a poller.
@@ -180,10 +200,43 @@ func NewPoller(cfg PollerConfig) (*Poller, error) {
 		return nil, fmt.Errorf("snmp poller: negative interval %v", cfg.Interval)
 	}
 	return &Poller{
-		cfg:  cfg,
-		stop: make(chan struct{}),
-		done: make(chan struct{}),
+		cfg:    cfg,
+		agents: append([]*Agent(nil), cfg.Agents...),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
 	}, nil
+}
+
+// AddAgent registers another agent with a running poller — a server joining
+// the fleet brings its own SNMP agent along. Nil agents and duplicate nodes
+// are rejected.
+func (p *Poller) AddAgent(a *Agent) error {
+	if a == nil {
+		return errors.New("snmp poller: nil agent")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, have := range p.agents {
+		if have.Node() == a.Node() {
+			return fmt.Errorf("snmp poller: agent for %s already registered", a.Node())
+		}
+	}
+	p.agents = append(p.agents, a)
+	return nil
+}
+
+// RemoveAgent drops a node's agent (a drained server stops being polled).
+// Unknown nodes are a no-op.
+func (p *Poller) RemoveAgent(node topology.NodeID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	keep := p.agents[:0]
+	for _, a := range p.agents {
+		if a.Node() != node {
+			keep = append(keep, a)
+		}
+	}
+	p.agents = keep
 }
 
 // PollOnce runs every agent once and writes all samples, stamped with the
@@ -191,8 +244,11 @@ func NewPoller(cfg PollerConfig) (*Poller, error) {
 // links are still written.
 func (p *Poller) PollOnce() error {
 	now := p.cfg.Clock.Now()
+	p.mu.Lock()
+	agents := append([]*Agent(nil), p.agents...)
+	p.mu.Unlock()
 	var firstErr error
-	for _, a := range p.cfg.Agents {
+	for _, a := range agents {
 		samples, err := a.Sample()
 		if err != nil {
 			if firstErr == nil {

@@ -242,6 +242,43 @@ func (g *Graph) Validate() error {
 	return nil
 }
 
+// WithoutNode returns a copy of the graph with node n and every link
+// incident to it removed — the copy-on-write shrink step a graceful drain
+// installs via db.SetGraph. Removing an unknown node errors; the caller is
+// responsible for re-validating connectivity of the result before use.
+func (g *Graph) WithoutNode(n NodeID) (*Graph, error) {
+	if _, ok := g.nodes[n]; !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNodeUnknown, n)
+	}
+	c := NewGraph()
+	for m := range g.nodes {
+		if m != n {
+			c.nodes[m] = struct{}{}
+		}
+	}
+	for id, l := range g.links {
+		if l.A == n || l.B == n {
+			continue
+		}
+		c.links[id] = l
+	}
+	// Filter the original adjacency slices rather than rebuilding from the
+	// links map so adjacency order — which planners iterate — is preserved.
+	for m, adj := range g.adjacent {
+		if m == n {
+			continue
+		}
+		keep := make([]LinkID, 0, len(adj))
+		for _, id := range adj {
+			if _, ok := c.links[id]; ok {
+				keep = append(keep, id)
+			}
+		}
+		c.adjacent[m] = keep
+	}
+	return c, nil
+}
+
 // Clone returns a deep copy of the graph.
 func (g *Graph) Clone() *Graph {
 	c := NewGraph()

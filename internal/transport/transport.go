@@ -83,6 +83,16 @@ const (
 	// TypePing/TypePong probe liveness (no payloads).
 	TypePing = "ping"
 	TypePong = "pong"
+	// TypeWatchRedirect answers a watch request the serving node decided a
+	// better-placed peer should handle (WatchRedirectPayload): the stateless
+	// front door of the elastic fleet. Clients follow it transparently with
+	// a bounded hop count.
+	TypeWatchRedirect = "watch.redirect"
+	// TypeMemberSync exchanges cluster-membership views between gossipers
+	// (MemberSyncPayload); TypeMemberSyncOK answers with the receiver's
+	// merged view.
+	TypeMemberSync   = "member.sync"
+	TypeMemberSyncOK = "member.sync.ok"
 )
 
 // Message is one control frame.
@@ -133,6 +143,10 @@ type WatchPayload struct {
 	Title        string `json:"title"`
 	StartCluster int    `json:"startCluster,omitempty"`
 	Class        string `json:"class,omitempty"`
+	// Hops counts how many watch.redirect bounces this request has already
+	// followed, so servers can cap redirect chains. Zero (and absent on the
+	// wire) for a request sent straight at its first server.
+	Hops int `json:"hops,omitempty"`
 }
 
 // WatchOKPayload opens a delivery stream. When the admission broker degraded
@@ -171,6 +185,33 @@ type WatchRejectPayload struct {
 	// NeededMbps and FreeMbps mirror the broker's rejection detail.
 	NeededMbps float64 `json:"neededMbps,omitempty"`
 	FreeMbps   float64 `json:"freeMbps,omitempty"`
+}
+
+// WatchRedirectPayload bounces a watch request to a better-placed server:
+// the stateless front door's typed reply. Target names the node, Addr is its
+// dialable endpoint (so the client needs no address book of its own), and
+// Hops is the chain length the client must echo in its next WatchPayload.
+type WatchRedirectPayload struct {
+	Title  string          `json:"title"`
+	Target topology.NodeID `json:"target"`
+	Addr   string          `json:"addr"`
+	Hops   int             `json:"hops"`
+}
+
+// MemberEntry is one member's (incarnation, heartbeat, state) triple in a
+// membership view exchange.
+type MemberEntry struct {
+	Node        topology.NodeID `json:"node"`
+	Incarnation uint64          `json:"incarnation"`
+	Heartbeat   uint64          `json:"heartbeat"`
+	State       string          `json:"state"`
+}
+
+// MemberSyncPayload carries one gossiper's full membership view (member
+// counts are small, so full-state push-pull beats delta bookkeeping).
+type MemberSyncPayload struct {
+	From    topology.NodeID `json:"from"`
+	Members []MemberEntry   `json:"members"`
 }
 
 // ClusterPayload announces one cluster's raw bytes, which follow the frame.
