@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCheckDir pins what the linter flags and what it forgives: documented
+// and unexported symbols pass; undocumented exported types, funcs, methods,
+// and consts fail; grouped const blocks are covered by the block comment;
+// methods on unexported types and test files are skipped.
+func TestCheckDir(t *testing.T) {
+	dir := t.TempDir()
+	src := `package demo
+
+// Documented is fine.
+type Documented struct{}
+
+type Undocumented struct{}
+
+// DoDocumented is fine.
+func DoDocumented() {}
+
+func DoUndocumented() {}
+
+// Block comment covers the whole group.
+const (
+	GroupedA = 1
+	GroupedB = 2
+)
+
+const LoneConst = 3
+
+func (Documented) Method() {}
+
+type hidden struct{}
+
+func (hidden) Exposed() {}
+
+func internalHelper() {}
+`
+	if err := os.WriteFile(filepath.Join(dir, "demo.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	testSrc := "package demo\n\nfunc TestOnlyHelper() {}\n"
+	if err := os.WriteFile(filepath.Join(dir, "demo_test.go"), []byte(testSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	bad, err := checkDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(bad, "\n")
+	for _, want := range []string{"Undocumented", "DoUndocumented", "Documented.Method", "LoneConst"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing a flag for %s:\n%s", want, joined)
+		}
+	}
+	for _, clean := range []string{"DoDocumented", "GroupedA", "GroupedB", "Exposed", "internalHelper", "TestOnlyHelper"} {
+		for _, line := range bad {
+			if strings.Contains(line, clean) {
+				t.Errorf("%s flagged but should pass: %s", clean, line)
+			}
+		}
+	}
+	if len(bad) != 4 {
+		t.Errorf("flagged %d symbols, want 4:\n%s", len(bad), joined)
+	}
+}

@@ -17,6 +17,7 @@
 //	Ext-15 -study chaos     fault injection: defended vs bare delivery plane
 //	Ext-16 -study ledger    per-server vs ledger-backed link admission
 //	Ext-17 -study churn     elastic membership: join / drain / kill lifecycle
+//	Ext-18 -study contention sharded admission + lock-free read hot paths
 //	       -study all       everything (default)
 package main
 
@@ -60,14 +61,18 @@ func main() {
 		"write the churn study's rows as a JSON baseline to this file (churn study only)")
 	churnBaseline := flag.String("churn-baseline", "",
 		"gate the churn study against this baseline file: zero failed watches and full admit rate through every phase (churn study only)")
+	contentionOut := flag.String("contention-out", "",
+		"write the contention study's rows as a JSON baseline to this file (contention study only)")
+	contentionBaseline := flag.String("contention-baseline", "",
+		"gate the contention study against this baseline file: absolute admissions/sec floor plus baseline-relative shard scaling (contention study only)")
 	flag.Parse()
-	if err := run(os.Stdout, *study, *seed, *duration, *rate, *classMix, *csvDir, *framingOut, *mergeOut, *mergeBaseline, *chaosOut, *chaosBaseline, *ledgerOut, *ledgerBaseline, *churnOut, *churnBaseline); err != nil {
+	if err := run(os.Stdout, *study, *seed, *duration, *rate, *classMix, *csvDir, *framingOut, *mergeOut, *mergeBaseline, *chaosOut, *chaosBaseline, *ledgerOut, *ledgerBaseline, *churnOut, *churnBaseline, *contentionOut, *contentionBaseline); err != nil {
 		fmt.Fprintln(os.Stderr, "vodbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, study string, seed int64, duration time.Duration, rate float64, classMix, csvDir, framingOut, mergeOut, mergeBaseline, chaosOut, chaosBaseline, ledgerOut, ledgerBaseline, churnOut, churnBaseline string) error {
+func run(w io.Writer, study string, seed int64, duration time.Duration, rate float64, classMix, csvDir, framingOut, mergeOut, mergeBaseline, chaosOut, chaosBaseline, ledgerOut, ledgerBaseline, churnOut, churnBaseline, contentionOut, contentionBaseline string) error {
 	writeCSV := func(name string, rows any) error {
 		if csvDir == "" {
 			return nil
@@ -386,8 +391,65 @@ func run(w io.Writer, study string, seed int64, duration time.Duration, rate flo
 			}
 		}
 	}
+	if study == "contention" || study == "all" {
+		known = true
+		rows, err := experiments.ContentionStudy(experiments.DefaultContentionStudyConfig())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "Ext-18. Hot-path contention: sharded admission + lock-free reads")
+		fmt.Fprintln(w, experiments.FormatContentionStudy(rows))
+		if err := writeCSV("contention", rows); err != nil {
+			return err
+		}
+		if contentionOut != "" {
+			data, err := json.MarshalIndent(contentionReport{Study: "contention", Rows: rows}, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(contentionOut, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+		}
+		if contentionBaseline != "" {
+			if err := checkContentionBaseline(w, rows, contentionBaseline); err != nil {
+				return err
+			}
+		}
+	}
 	if !known {
 		return fmt.Errorf("unknown study %q", study)
+	}
+	return nil
+}
+
+// contentionReport is the committed BENCH_contention.json schema.
+type contentionReport struct {
+	Study string                      `json:"study"`
+	Rows  []experiments.ContentionRow `json:"rows"`
+}
+
+// checkContentionBaseline gates the contention study. The absolute
+// admissions/sec floor and lock-free-read liveness bind on every machine;
+// shard-scaling and raw-throughput comparisons only bind to the degree the
+// baseline machine could demonstrate them (see ContentionRegression) so a
+// baseline recorded on few cores never makes the gate flake on many, or vice
+// versa.
+func checkContentionBaseline(w io.Writer, rows []experiments.ContentionRow, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base contentionReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("contention baseline %s: %w", path, err)
+	}
+	for _, r := range base.Rows {
+		fmt.Fprintf(w, "contention baseline shards=%d: %.0f adm/sec %.0f reads/sec (procs %d)\n",
+			r.Shards, r.AdmissionsPerSec, r.SnapshotReadsPerSec, r.Procs)
+	}
+	if bad := experiments.ContentionRegression(rows, base.Rows); len(bad) > 0 {
+		return fmt.Errorf("contention regression: %s", strings.Join(bad, "; "))
 	}
 	return nil
 }

@@ -20,7 +20,7 @@ func TestRunSingleStudies(t *testing.T) {
 	}
 	for _, tc := range cases {
 		var b strings.Builder
-		if err := run(&b, tc.study, 1, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", ""); err != nil {
+		if err := run(&b, tc.study, 1, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", "", "", ""); err != nil {
 			t.Fatalf("run(%s): %v", tc.study, err)
 		}
 		if !strings.Contains(b.String(), tc.want) {
@@ -31,7 +31,7 @@ func TestRunSingleStudies(t *testing.T) {
 
 func TestRunRoutingStudyShortTrace(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "routing", 1, 15*time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", ""); err != nil {
+	if err := run(&b, "routing", 1, 15*time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", "", "", ""); err != nil {
 		t.Fatalf("run(routing): %v", err)
 	}
 	out := b.String()
@@ -42,7 +42,7 @@ func TestRunRoutingStudyShortTrace(t *testing.T) {
 
 func TestRunUnknownStudy(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "bogus", 1, time.Minute, 1, "premium:1", "", "", "", "", "", "", "", "", "", ""); err == nil {
+	if err := run(&b, "bogus", 1, time.Minute, 1, "premium:1", "", "", "", "", "", "", "", "", "", "", "", ""); err == nil {
 		t.Fatal("unknown study accepted")
 	}
 }
@@ -54,12 +54,12 @@ func TestRunAllStudies(t *testing.T) {
 	}
 	dir := t.TempDir()
 	var b strings.Builder
-	if err := run(&b, "all", 1, 15*time.Minute, 0.01, "premium:0.2,standard:0.5,background:0.3", dir, filepath.Join(dir, "BENCH_framing.json"), filepath.Join(dir, "BENCH_merge.json"), "", filepath.Join(dir, "BENCH_chaos.json"), "", filepath.Join(dir, "BENCH_ledger.json"), "", filepath.Join(dir, "BENCH_churn.json"), ""); err != nil {
+	if err := run(&b, "all", 1, 15*time.Minute, 0.01, "premium:0.2,standard:0.5,background:0.3", dir, filepath.Join(dir, "BENCH_framing.json"), filepath.Join(dir, "BENCH_merge.json"), "", filepath.Join(dir, "BENCH_chaos.json"), "", filepath.Join(dir, "BENCH_ledger.json"), "", filepath.Join(dir, "BENCH_churn.json"), "", "", ""); err != nil {
 		t.Fatalf("run(all): %v", err)
 	}
 	// The CSV exports landed.
 	for _, name := range []string{"routing", "cache", "cluster", "striping",
-		"granularity", "scale", "parallel", "blocking", "placement", "adaptation", "admission", "framing", "merge", "chaos", "ledger", "churn"} {
+		"granularity", "scale", "parallel", "blocking", "placement", "adaptation", "admission", "framing", "merge", "chaos", "ledger", "churn", "contention"} {
 		data, err := os.ReadFile(filepath.Join(dir, name+".csv"))
 		if err != nil {
 			t.Errorf("csv %s: %v", name, err)
@@ -71,7 +71,7 @@ func TestRunAllStudies(t *testing.T) {
 	}
 	out := b.String()
 	for _, want := range []string{
-		"Ext-1", "Ext-2", "Ext-3", "Ext-4", "Ext-5", "Ext-6", "Ext-7", "Ext-8", "Ext-9", "Ext-10", "Ext-11", "Ext-12", "Ext-13", "Ext-14", "Ext-15", "Ext-16", "Ext-17",
+		"Ext-1", "Ext-2", "Ext-3", "Ext-4", "Ext-5", "Ext-6", "Ext-7", "Ext-8", "Ext-9", "Ext-10", "Ext-11", "Ext-12", "Ext-13", "Ext-14", "Ext-15", "Ext-16", "Ext-17", "Ext-18",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("missing %s", want)
@@ -115,6 +115,27 @@ func TestRunAllStudies(t *testing.T) {
 	}
 }
 
+// TestRunContentionBaselineRoundTrip writes a contention baseline, verifies a
+// fresh run passes the gate against it, and verifies an empty baseline is
+// refused.
+func TestRunContentionBaselineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "BENCH_contention.json")
+	var b strings.Builder
+	if err := run(&b, "contention", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", "", baseline, ""); err != nil {
+		t.Fatalf("contention baseline write: %v", err)
+	}
+	if err := run(&b, "contention", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", "", "", baseline); err != nil {
+		t.Fatalf("contention baseline check: %v", err)
+	}
+	if err := os.WriteFile(baseline, []byte(`{"study":"contention","rows":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&b, "contention", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", "", "", baseline); err == nil {
+		t.Fatal("empty baseline accepted")
+	}
+}
+
 // TestRunChaosBaselineRoundTrip writes a chaos baseline, verifies a fresh run
 // passes the regression gate against it, and verifies a baseline promising an
 // impossible MTTR fails the gate.
@@ -125,10 +146,10 @@ func TestRunChaosBaselineRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	baseline := filepath.Join(dir, "BENCH_chaos.json")
 	var b strings.Builder
-	if err := run(&b, "chaos", 7, time.Minute, 0.01, "premium:1", "", "", "", "", baseline, "", "", "", "", ""); err != nil {
+	if err := run(&b, "chaos", 7, time.Minute, 0.01, "premium:1", "", "", "", "", baseline, "", "", "", "", "", "", ""); err != nil {
 		t.Fatalf("chaos baseline write: %v", err)
 	}
-	if err := run(&b, "chaos", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", baseline, "", "", "", ""); err != nil {
+	if err := run(&b, "chaos", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", baseline, "", "", "", "", "", ""); err != nil {
 		t.Fatalf("chaos baseline check: %v", err)
 	}
 	// A baseline claiming a zero-MTTR flap recovery demands the impossible:
@@ -138,7 +159,7 @@ func TestRunChaosBaselineRoundTrip(t *testing.T) {
 	if err := os.WriteFile(baseline, []byte(doctored), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&b, "chaos", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", baseline, "", "", "", ""); err == nil {
+	if err := run(&b, "chaos", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", baseline, "", "", "", "", "", ""); err == nil {
 		t.Fatal("doctored baseline accepted")
 	}
 }
@@ -153,10 +174,10 @@ func TestRunMergeBaselineRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	baseline := filepath.Join(dir, "BENCH_merge.json")
 	var b strings.Builder
-	if err := run(&b, "merge", 1, time.Minute, 0.01, "premium:1", "", "", baseline, "", "", "", "", "", "", ""); err != nil {
+	if err := run(&b, "merge", 1, time.Minute, 0.01, "premium:1", "", "", baseline, "", "", "", "", "", "", "", "", ""); err != nil {
 		t.Fatalf("merge baseline write: %v", err)
 	}
-	if err := run(&b, "merge", 1, time.Minute, 0.01, "premium:1", "", "", "", baseline, "", "", "", "", "", ""); err != nil {
+	if err := run(&b, "merge", 1, time.Minute, 0.01, "premium:1", "", "", "", baseline, "", "", "", "", "", "", "", ""); err != nil {
 		t.Fatalf("merge baseline check: %v", err)
 	}
 	// Inflate the recorded unicast reads so the baseline demands a saving no
@@ -172,7 +193,7 @@ func TestRunMergeBaselineRoundTrip(t *testing.T) {
 	if err := os.WriteFile(baseline, []byte(doctored), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&b, "merge", 1, time.Minute, 0.01, "premium:1", "", "", "", baseline, "", "", "", "", "", ""); err == nil {
+	if err := run(&b, "merge", 1, time.Minute, 0.01, "premium:1", "", "", "", baseline, "", "", "", "", "", "", "", ""); err == nil {
 		t.Fatal("doctored baseline accepted")
 	}
 }
@@ -188,10 +209,10 @@ func TestRunLedgerBaselineRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	baseline := filepath.Join(dir, "BENCH_ledger.json")
 	var b strings.Builder
-	if err := run(&b, "ledger", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", baseline, "", "", ""); err != nil {
+	if err := run(&b, "ledger", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", baseline, "", "", "", "", ""); err != nil {
 		t.Fatalf("ledger baseline write: %v", err)
 	}
-	if err := run(&b, "ledger", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", baseline, "", ""); err != nil {
+	if err := run(&b, "ledger", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", baseline, "", "", "", ""); err != nil {
 		t.Fatalf("ledger baseline check: %v", err)
 	}
 	// An empty baseline carries nothing to certify against: the gate must
@@ -199,7 +220,7 @@ func TestRunLedgerBaselineRoundTrip(t *testing.T) {
 	if err := os.WriteFile(baseline, []byte(`{"study":"ledger","rows":[]}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&b, "ledger", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", baseline, "", ""); err == nil {
+	if err := run(&b, "ledger", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", baseline, "", "", "", ""); err == nil {
 		t.Fatal("empty baseline accepted")
 	}
 }
@@ -210,16 +231,16 @@ func TestRunChurnBaselineRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	baseline := filepath.Join(dir, "BENCH_churn.json")
 	var b strings.Builder
-	if err := run(&b, "churn", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", baseline, ""); err != nil {
+	if err := run(&b, "churn", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", baseline, "", "", ""); err != nil {
 		t.Fatalf("churn baseline write: %v", err)
 	}
-	if err := run(&b, "churn", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", baseline); err != nil {
+	if err := run(&b, "churn", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", baseline, "", ""); err != nil {
 		t.Fatalf("churn baseline check: %v", err)
 	}
 	if err := os.WriteFile(baseline, []byte(`{"study":"churn","rows":[]}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&b, "churn", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", baseline); err == nil {
+	if err := run(&b, "churn", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", baseline, "", ""); err == nil {
 		t.Fatal("empty baseline accepted")
 	}
 }

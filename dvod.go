@@ -298,6 +298,7 @@ func (s *Service) buildNodeStack(node NodeID) error {
 		brk, err = admission.New(admission.Config{
 			Node:         node,
 			CapacityMbps: o.admissionMbps,
+			Shards:       o.admissionShards,
 			Snapshot:     d.Snapshot,
 			Ledger:       led,
 			Clock:        o.clock,
@@ -322,8 +323,10 @@ func (s *Service) buildNodeStack(node NodeID) error {
 		s.trackers[node] = tr
 	}
 	dir, err := membership.NewDirector(membership.DirectorConfig{
-		Self:      node,
-		Holders:   d.Catalog().Holders,
+		Self: node,
+		// HoldersView keeps the per-request redirect scoring on the
+		// catalog's lock-free read path (the director only iterates).
+		Holders:   d.Catalog().HoldersView,
 		Lookup:    s.book.Lookup,
 		FrontDoor: o.frontDoor,
 		Resident:  dma.Resident,
@@ -1209,6 +1212,7 @@ type options struct {
 	faultSeed          int64
 	noDefense          bool
 	admissionMbps      float64
+	admissionShards    int
 	noLedger           bool
 	ledgerInterval     time.Duration
 	ledgerFanout       int
@@ -1262,6 +1266,8 @@ func (o options) validate() error {
 		return fmt.Errorf("dvod: negative merge window %d", o.mergeWindow)
 	case o.admissionMbps < 0:
 		return fmt.Errorf("dvod: negative admission capacity %v", o.admissionMbps)
+	case o.admissionShards < 0:
+		return fmt.Errorf("dvod: negative admission shard count %d", o.admissionShards)
 	case o.ledgerInterval <= 0:
 		return fmt.Errorf("dvod: bad ledger gossip interval %v", o.ledgerInterval)
 	case o.ledgerFanout < 0:
@@ -1380,6 +1386,15 @@ func WithoutDefense() Option {
 // local ones. Disabled by default.
 func WithAdmission(capacityMbps float64) Option {
 	return func(o *options) { o.admissionMbps = capacityMbps }
+}
+
+// WithAdmissionShards sets each broker's link-reservation and shared-group
+// shard count (default admission.DefaultShards). One shard reproduces the
+// historical single-lock broker for contention studies; more shards spread
+// reservation-map locking across cores under heavy watch setup/teardown.
+// Requires WithAdmission.
+func WithAdmissionShards(n int) Option {
+	return func(o *options) { o.admissionShards = n }
 }
 
 // WithLedgerGossipInterval tunes the reservation ledger's anti-entropy

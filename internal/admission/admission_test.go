@@ -303,11 +303,11 @@ func TestCalibratedLinkShare(t *testing.T) {
 	cases := []struct {
 		share, capacity, bitrate, want float64
 	}{
-		{1.0, 2, 1.5, 1.0},    // premium entitlement is never reduced
-		{0.85, 2, 1.5, 0.25},  // thin link: keep one full-rate session free
+		{1.0, 2, 1.5, 1.0},     // premium entitlement is never reduced
+		{0.85, 2, 1.5, 0.25},   // thin link: keep one full-rate session free
 		{0.85, 100, 1.5, 0.85}, // wide link: flat share unchanged
-		{0.5, 2, 4, 0},        // session larger than the link: clamp to zero
-		{0.85, 0, 1.5, 0.85},  // degenerate capacity: leave share alone
+		{0.5, 2, 4, 0},         // session larger than the link: clamp to zero
+		{0.85, 0, 1.5, 0.85},   // degenerate capacity: leave share alone
 	}
 	for _, c := range cases {
 		if got := CalibratedLinkShare(c.share, c.capacity, c.bitrate); got != c.want {

@@ -1,0 +1,223 @@
+package admission
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"dvod/internal/topology"
+)
+
+// stressGraph builds a hub-and-spoke topology with n spoke links, returning
+// the graph and its link IDs — enough distinct links that shard locks
+// actually spread.
+func stressGraph(t *testing.T, n int) (*topology.Graph, []topology.LinkID) {
+	t.Helper()
+	g := topology.NewGraph()
+	if err := g.AddNode("hub"); err != nil {
+		t.Fatal(err)
+	}
+	links := make([]topology.LinkID, 0, n)
+	for i := 0; i < n; i++ {
+		node := topology.NodeID(fmt.Sprintf("s%02d", i))
+		if err := g.AddNode(node); err != nil {
+			t.Fatal(err)
+		}
+		id, err := g.AddLink("hub", node, 10_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		links = append(links, id)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return g, links
+}
+
+// TestShardedAdmitReleaseStress drives concurrent watch setup/teardown
+// through every shard count and checks the cross-shard invariants the
+// sharding must preserve: the committed total never exceeds capacity, the
+// session count never exceeds the cap, and after every grant is released the
+// broker drains back to exactly zero (no leaked bandwidth, sessions, or
+// link reservations).
+func TestShardedAdmitReleaseStress(t *testing.T) {
+	g, links := stressGraph(t, 32)
+	snap, err := topology.NewSnapshot(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 8} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			const (
+				workers  = 8
+				rounds   = 300
+				capacity = 1 << 20 // wide open: exercise churn, not rejection
+			)
+			b, err := New(Config{
+				Node:         "hub",
+				CapacityMbps: capacity,
+				MaxSessions:  workers * 4,
+				Shards:       shards,
+				Snapshot:     func() (*topology.Snapshot, error) { return snap, nil },
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			var violations atomic.Int64
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(w)))
+					var held []*Grant
+					for i := 0; i < rounds; i++ {
+						route := []topology.LinkID{
+							links[rng.Intn(len(links))],
+							links[rng.Intn(len(links))],
+						}
+						if route[0] == route[1] {
+							route = route[:1]
+						}
+						g, err := b.Admit(Request{
+							Class:       Premium,
+							BitrateMbps: 1 + rng.Float64()*4,
+							Links:       route,
+						})
+						if err != nil {
+							var rej *RejectedError
+							if !errors.As(err, &rej) {
+								t.Errorf("unexpected error: %v", err)
+								return
+							}
+							continue
+						}
+						if c := b.CommittedMbps(); c > capacity {
+							violations.Add(1)
+						}
+						if s := b.Sessions(); s > b.MaxSessions() {
+							violations.Add(1)
+						}
+						held = append(held, g)
+						// Occasionally migrate, occasionally release an old
+						// grant, so setup/teardown/migration interleave.
+						switch rng.Intn(4) {
+						case 0:
+							b.Migrate(g, []topology.LinkID{links[rng.Intn(len(links))]})
+						case 1, 2:
+							if len(held) > 0 {
+								idx := rng.Intn(len(held))
+								b.Release(held[idx])
+								held = append(held[:idx], held[idx+1:]...)
+							}
+						}
+					}
+					for _, g := range held {
+						b.Release(g)
+					}
+				}(w)
+			}
+			wg.Wait()
+			if v := violations.Load(); v > 0 {
+				t.Fatalf("%d cap violations observed mid-flight", v)
+			}
+			if c := b.CommittedMbps(); c != 0 {
+				t.Fatalf("leaked committed bandwidth: %g Mbps", c)
+			}
+			if s := b.Sessions(); s != 0 {
+				t.Fatalf("leaked sessions: %d", s)
+			}
+			if res := b.LinkReservations(); len(res) != 0 {
+				t.Fatalf("leaked link reservations: %v", res)
+			}
+		})
+	}
+}
+
+// TestShardedSharedGroupStress races shared-group attach, first-admit, and
+// release across goroutines on a handful of keys, then checks the group
+// reservations fully drain — the ordering invariant between broker grants
+// and group teardown that AdmitWaitShared must keep under concurrency.
+func TestShardedSharedGroupStress(t *testing.T) {
+	const (
+		workers = 8
+		rounds  = 200
+	)
+	b, err := New(Config{
+		Node:         "hub",
+		CapacityMbps: 1 << 20,
+		MaxSessions:  workers * rounds,
+		Shards:       4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{"cohort:a", "cohort:b", "cohort:c"}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < rounds; i++ {
+				g, err := b.AdmitWaitShared(Request{
+					Class:       Standard,
+					BitrateMbps: 2,
+				}, keys[rng.Intn(len(keys))])
+				if err != nil {
+					t.Errorf("shared admit: %v", err)
+					return
+				}
+				b.Release(g)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c := b.CommittedMbps(); c != 0 {
+		t.Fatalf("leaked shared bandwidth: %g Mbps", c)
+	}
+	if s := b.Sessions(); s != 0 {
+		t.Fatalf("leaked sessions: %d", s)
+	}
+}
+
+// TestSessionCapUnderConcurrency hammers a tiny session cap from many
+// goroutines: the CAS-bounded slot counter must never let the concurrent
+// session count exceed the cap, even transiently.
+func TestSessionCapUnderConcurrency(t *testing.T) {
+	const cap = 4
+	b, err := New(Config{Node: "hub", CapacityMbps: 1000, MaxSessions: cap, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var peak atomic.Int64
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				g, err := b.Admit(Request{Class: Premium, BitrateMbps: 1})
+				if err != nil {
+					continue
+				}
+				if s := int64(b.Sessions()); s > peak.Load() {
+					peak.Store(s)
+				}
+				b.Release(g)
+			}
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > cap {
+		t.Fatalf("session count peaked at %d, cap %d", p, cap)
+	}
+	if s := b.Sessions(); s != 0 {
+		t.Fatalf("leaked sessions: %d", s)
+	}
+}

@@ -2,14 +2,28 @@
 // titles the service offers and which video servers currently hold each one.
 // It backs the user-facing web module's browse/search functions and supplies
 // the VRA with its candidate-server lists.
+//
+// # Concurrency model
+//
+// The catalog is sharded by title hash. Each shard publishes an immutable
+// view through an atomic.Pointer: every read (Title, Holders, HoldersView,
+// Search, ...) loads the current view and touches no mutex, so the watch-
+// planning hot path scales with cores instead of serializing on a catalog
+// lock. Mutations (AddTitle, SetHolding) take the owning shard's writer lock,
+// copy that shard's view, apply the change, and atomically publish the new
+// view (copy-on-write). Readers therefore always see a consistent view that
+// is at most one publish behind. See DESIGN.md "Concurrency model &
+// sharding".
 package catalog
 
 import (
 	"errors"
 	"fmt"
+	"hash/maphash"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"dvod/internal/media"
 	"dvod/internal/topology"
@@ -21,75 +35,117 @@ var (
 	ErrTitleUnknown = errors.New("title not in catalog")
 )
 
-// Catalog is safe for concurrent use.
+// DefaultShards is the shard count New uses. Shards only bound writer
+// contention — reads never lock regardless of the count.
+const DefaultShards = 8
+
+// shardSeed keys the title-hash shard function. One process-wide seed keeps
+// shard assignment stable across catalogs within a run.
+var shardSeed = maphash.MakeSeed()
+
+// shardView is one shard's immutable published state. The maps and the holder
+// slices they point at are never mutated after publish; writers replace the
+// whole view.
+type shardView struct {
+	titles map[string]media.Title
+	// holders maps title → sorted holder list. The slices are shared with
+	// readers via HoldersView and must be treated as read-only.
+	holders map[string][]topology.NodeID
+}
+
+// shard is one copy-on-write unit: mu serializes writers, view is the
+// lock-free read path.
+type shard struct {
+	mu   sync.Mutex
+	view atomic.Pointer[shardView]
+}
+
+// Catalog is the sharded title/holder store. All methods are safe for
+// concurrent use; read methods acquire no locks.
 type Catalog struct {
-	mu      sync.RWMutex
-	titles  map[string]media.Title
-	holders map[string]map[topology.NodeID]bool
+	shards []*shard
 }
 
-// New returns an empty catalog.
-func New() *Catalog {
-	return &Catalog{
-		titles:  make(map[string]media.Title),
-		holders: make(map[string]map[topology.NodeID]bool),
+// New returns an empty catalog with DefaultShards shards.
+func New() *Catalog { return NewSharded(DefaultShards) }
+
+// NewSharded returns an empty catalog with n shards (n < 1 is clamped to 1).
+// More shards reduce writer contention; the read path is lock-free at any
+// count.
+func NewSharded(n int) *Catalog {
+	if n < 1 {
+		n = 1
 	}
+	c := &Catalog{shards: make([]*shard, n)}
+	for i := range c.shards {
+		s := &shard{}
+		s.view.Store(&shardView{
+			titles:  map[string]media.Title{},
+			holders: map[string][]topology.NodeID{},
+		})
+		c.shards[i] = s
+	}
+	return c
 }
 
-// AddTitle registers a new title.
+// shardFor hashes a title name to its owning shard.
+func (c *Catalog) shardFor(name string) *shard {
+	return c.shards[maphash.String(shardSeed, name)%uint64(len(c.shards))]
+}
+
+// clone copies a shard view's maps (not the holder slices — those are
+// immutable and republished by reference until the holding itself changes).
+func (v *shardView) clone() *shardView {
+	nv := &shardView{
+		titles:  make(map[string]media.Title, len(v.titles)+1),
+		holders: make(map[string][]topology.NodeID, len(v.holders)+1),
+	}
+	for k, t := range v.titles {
+		nv.titles[k] = t
+	}
+	for k, h := range v.holders {
+		nv.holders[k] = h
+	}
+	return nv
+}
+
+// AddTitle registers a new title. Safe for concurrent use (takes the title's
+// shard writer lock).
 func (c *Catalog) AddTitle(t media.Title) error {
 	if err := t.Validate(); err != nil {
 		return err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.titles[t.Name]; ok {
+	s := c.shardFor(t.Name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := s.view.Load()
+	if _, ok := v.titles[t.Name]; ok {
 		return fmt.Errorf("%w: %s", ErrTitleExists, t.Name)
 	}
-	c.titles[t.Name] = t
-	c.holders[t.Name] = make(map[topology.NodeID]bool)
+	nv := v.clone()
+	nv.titles[t.Name] = t
+	nv.holders[t.Name] = nil
+	s.view.Store(nv)
 	return nil
 }
 
-// Title returns the title's metadata.
+// Title returns the title's metadata. Lock-free read.
 func (c *Catalog) Title(name string) (media.Title, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	t, ok := c.titles[name]
+	v := c.shardFor(name).view.Load()
+	t, ok := v.titles[name]
 	if !ok {
 		return media.Title{}, fmt.Errorf("%w: %s", ErrTitleUnknown, name)
 	}
 	return t, nil
 }
 
-// Titles returns all titles sorted by name.
+// Titles returns all titles sorted by name. Lock-free read; the result is a
+// fresh slice the caller owns.
 func (c *Catalog) Titles() []media.Title {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	out := make([]media.Title, 0, len(c.titles))
-	for _, t := range c.titles {
-		out = append(out, t)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	return out
-}
-
-// NumTitles returns the catalog size.
-func (c *Catalog) NumTitles() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.titles)
-}
-
-// Search returns titles whose name contains the query, case-insensitively,
-// sorted by name. An empty query returns every title.
-func (c *Catalog) Search(query string) []media.Title {
-	q := strings.ToLower(query)
-	c.mu.RLock()
-	defer c.mu.RUnlock()
 	var out []media.Title
-	for _, t := range c.titles {
-		if strings.Contains(strings.ToLower(t.Name), q) {
+	for _, s := range c.shards {
+		v := s.view.Load()
+		for _, t := range v.titles {
 			out = append(out, t)
 		}
 	}
@@ -97,53 +153,122 @@ func (c *Catalog) Search(query string) []media.Title {
 	return out
 }
 
-// SetHolding records whether node currently stores the title.
+// NumTitles returns the catalog size. Lock-free read.
+func (c *Catalog) NumTitles() int {
+	n := 0
+	for _, s := range c.shards {
+		n += len(s.view.Load().titles)
+	}
+	return n
+}
+
+// Search returns titles whose name contains the query, case-insensitively,
+// sorted by name. An empty query returns every title. Lock-free read.
+func (c *Catalog) Search(query string) []media.Title {
+	q := strings.ToLower(query)
+	var out []media.Title
+	for _, s := range c.shards {
+		v := s.view.Load()
+		for _, t := range v.titles {
+			if strings.Contains(strings.ToLower(t.Name), q) {
+				out = append(out, t)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// SetHolding records whether node currently stores the title. Safe for
+// concurrent use (takes the title's shard writer lock); the holder list is
+// rebuilt and republished so in-flight HoldersView readers keep their
+// consistent pre-change slice.
 func (c *Catalog) SetHolding(node topology.NodeID, name string, holds bool) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	h, ok := c.holders[name]
+	s := c.shardFor(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := s.view.Load()
+	old, ok := v.holders[name]
 	if !ok {
-		return fmt.Errorf("%w: %s", ErrTitleUnknown, name)
+		if _, titled := v.titles[name]; !titled {
+			return fmt.Errorf("%w: %s", ErrTitleUnknown, name)
+		}
+	}
+	present := false
+	for _, h := range old {
+		if h == node {
+			present = true
+			break
+		}
+	}
+	if holds == present {
+		return nil // no-op: keep the published view (and its slices) intact
+	}
+	next := make([]topology.NodeID, 0, len(old)+1)
+	for _, h := range old {
+		if h != node {
+			next = append(next, h)
+		}
 	}
 	if holds {
-		h[node] = true
-	} else {
-		delete(h, node)
+		next = append(next, node)
+		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
 	}
+	nv := v.clone()
+	nv.holders[name] = next
+	s.view.Store(nv)
 	return nil
 }
 
-// Holds reports whether node currently stores the title.
+// Holds reports whether node currently stores the title. Lock-free read.
 func (c *Catalog) Holds(node topology.NodeID, name string) bool {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.holders[name][node]
+	for _, h := range c.shardFor(name).view.Load().holders[name] {
+		if h == node {
+			return true
+		}
+	}
+	return false
 }
 
-// Holders returns the servers storing the title, sorted.
+// Holders returns the servers storing the title, sorted. Lock-free read; the
+// result is a fresh slice the caller owns (use HoldersView on hot paths that
+// only read).
 func (c *Catalog) Holders(name string) ([]topology.NodeID, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	h, ok := c.holders[name]
+	h, err := c.HoldersView(name)
+	if err != nil {
+		return nil, err
+	}
+	return append([]topology.NodeID(nil), h...), nil
+}
+
+// HoldersView returns the immutable, sorted holder list for the title
+// straight from the published shard view: zero locks, zero allocation. The
+// returned slice MUST NOT be modified — it is shared with every concurrent
+// reader. It reflects the holdings as of the last publish.
+func (c *Catalog) HoldersView(name string) ([]topology.NodeID, error) {
+	v := c.shardFor(name).view.Load()
+	h, ok := v.holders[name]
 	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrTitleUnknown, name)
+		if _, titled := v.titles[name]; !titled {
+			return nil, fmt.Errorf("%w: %s", ErrTitleUnknown, name)
+		}
 	}
-	out := make([]topology.NodeID, 0, len(h))
-	for n := range h {
-		out = append(out, n)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out, nil
+	return h, nil
 }
 
 // TitlesHeldBy returns the names of titles the node stores, sorted.
+// Lock-free read.
 func (c *Catalog) TitlesHeldBy(node topology.NodeID) []string {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
 	var out []string
-	for name, h := range c.holders {
-		if h[node] {
-			out = append(out, name)
+	for _, s := range c.shards {
+		v := s.view.Load()
+		for name, hs := range v.holders {
+			for _, h := range hs {
+				if h == node {
+					out = append(out, name)
+					break
+				}
+			}
 		}
 	}
 	sort.Strings(out)

@@ -85,18 +85,17 @@ func (p *Planner) healthView(snap *topology.Snapshot) (*topology.Snapshot, error
 	return snap.WithExtraUtilization(extra)
 }
 
-// Candidates resolves the servers currently able to provide the title.
+// Candidates resolves the servers currently able to provide the title. It
+// reads the catalog's published holder view — a lock-free atomic load — and
+// returns a fresh slice the caller may reorder or filter in place.
 func (p *Planner) Candidates(title string) ([]topology.NodeID, error) {
-	holders, err := p.db.Catalog().Holders(title)
+	holders, err := p.db.Catalog().HoldersView(title)
 	if err != nil {
 		return nil, err
 	}
-	if p.available == nil {
-		return holders, nil
-	}
-	out := holders[:0]
+	out := make([]topology.NodeID, 0, len(holders))
 	for _, h := range holders {
-		if p.available(h) {
+		if p.available == nil || p.available(h) {
 			out = append(out, h)
 		}
 	}

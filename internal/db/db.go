@@ -12,11 +12,23 @@
 // weights from the limited-access side. Change events are published to
 // subscribers so the continuous re-evaluation loop can react to updates
 // without polling.
+//
+// # Concurrency model
+//
+// The watch-planning hot path — Snapshot and the catalog's holder lookups —
+// is lock-free: both are served from immutable values swapped through
+// atomic.Pointer. Link statistics live in link-hashed shards with per-shard
+// writer locks, and every statistics mutation rebuilds and republishes the
+// topology snapshot copy-on-write (serialized by a publish lock so a stale
+// rebuild can never overwrite a fresher one). The rarely-touched admin plane
+// (server registry, event subscribers) keeps a single mutex. See DESIGN.md
+// "Concurrency model & sharding".
 package db
 
 import (
 	"errors"
 	"fmt"
+	"hash/maphash"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -33,8 +45,17 @@ var (
 	ErrStale         = errors.New("no statistics recorded for link")
 )
 
+// DefaultStatShards is the link-statistics shard count New uses. Shards only
+// bound SNMP-writer contention — Snapshot never locks regardless of the
+// count.
+const DefaultStatShards = 8
+
+// statSeed keys the link-hash shard function.
+var statSeed = maphash.MakeSeed()
+
 // ServerEntry is a limited-access record describing one registered video
 // server (the configuration the paper's initialization phase collects).
+// ServerEntry values are immutable once returned.
 type ServerEntry struct {
 	Node         topology.NodeID `json:"node"`
 	Description  string          `json:"description"`
@@ -42,6 +63,7 @@ type ServerEntry struct {
 }
 
 // LinkStats is a limited-access record: the latest SNMP sample for one link.
+// LinkStats values are immutable once returned.
 type LinkStats struct {
 	ID          topology.LinkID `json:"id"`
 	UsedMbps    float64         `json:"usedMbps"`
@@ -79,13 +101,21 @@ func (k EventKind) String() string {
 	}
 }
 
-// Event is one change notification.
+// Event is one change notification. Event values are immutable.
 type Event struct {
 	Kind  EventKind
 	Node  topology.NodeID // server events
 	Link  topology.LinkID // link events
 	Title string          // holding events
 	At    time.Time
+}
+
+// statShard is one link-hashed slice of the SNMP statistics. mu guards the
+// map; readers that need point lookups take it briefly, while the planning
+// hot path reads the published snapshot instead and never touches it.
+type statShard struct {
+	mu    sync.Mutex
+	stats map[topology.LinkID]LinkStats
 }
 
 // DB is the database module. All methods are safe for concurrent use.
@@ -96,46 +126,72 @@ type Event struct {
 // planners, the admission broker's snapshot hook, the SNMP agents — re-read
 // it every time, so mid-stream re-plans see post-churn links without any
 // shared-lock handshake.
+//
+// The network snapshot is maintained the same way: every statistics or
+// topology mutation republishes an immutable *topology.Snapshot, and
+// Snapshot is a bare atomic load. Watch planning therefore acquires zero
+// mutexes.
 type DB struct {
 	graph   atomic.Pointer[topology.Graph]
 	version atomic.Uint64
 	catalog *catalog.Catalog
 
-	mu      sync.RWMutex
+	shards []*statShard
+	// snap is the published network snapshot; snapMu serializes rebuilds so
+	// publishes are ordered (a rebuild that began before a concurrent
+	// mutation can never overwrite the newer publish).
+	snap   atomic.Pointer[topology.Snapshot]
+	snapMu sync.Mutex
+
+	// adminMu guards the cold admin plane: the server registry and the
+	// event-subscriber table.
+	adminMu sync.RWMutex
 	servers map[topology.NodeID]ServerEntry
-	stats   map[topology.LinkID]LinkStats
 	subs    map[int]chan Event
 	nextSub int
 }
 
-// New builds a database over the boot topology. The graph must be validated
-// by the caller; the DB treats each installed graph as immutable (grow or
-// shrink by building a new graph and calling SetGraph).
+// New builds a database over the boot topology with DefaultStatShards
+// statistics shards. The graph must be validated by the caller; the DB
+// treats each installed graph as immutable (grow or shrink by building a new
+// graph and calling SetGraph).
 func New(g *topology.Graph) *DB {
 	d := &DB{
 		catalog: catalog.New(),
+		shards:  make([]*statShard, DefaultStatShards),
 		servers: make(map[topology.NodeID]ServerEntry),
-		stats:   make(map[topology.LinkID]LinkStats),
 		subs:    make(map[int]chan Event),
+	}
+	for i := range d.shards {
+		d.shards[i] = &statShard{stats: make(map[topology.LinkID]LinkStats)}
 	}
 	d.graph.Store(g)
 	d.version.Store(1)
+	d.publishSnapshot()
 	return d
 }
 
-// Graph returns the current topology view. The returned graph is immutable;
-// callers must not cache it across requests if they want to observe churn.
+// shardFor hashes a link ID to its owning statistics shard.
+func (d *DB) shardFor(id topology.LinkID) *statShard {
+	return d.shards[maphash.String(statSeed, string(id))%uint64(len(d.shards))]
+}
+
+// Graph returns the current topology view via an atomic load (no locks).
+// The returned graph is immutable; callers must not cache it across requests
+// if they want to observe churn.
 func (d *DB) Graph() *topology.Graph { return d.graph.Load() }
 
 // GraphVersion returns the monotonically increasing version of the current
-// topology view (1 for the boot graph).
+// topology view (1 for the boot graph). Safe for concurrent use (atomic).
 func (d *DB) GraphVersion() uint64 { return d.version.Load() }
 
 // SetGraph atomically installs a new validated topology view — the elastic
 // membership layer calls it when a server joins or leaves the fleet. The
 // graph must already be validated; the DB treats it as immutable from here
 // on. Link statistics for links absent from the new graph are retained but
-// filtered out of snapshots until (if ever) the link returns.
+// filtered out of snapshots until (if ever) the link returns. The network
+// snapshot is republished over the new graph before the topology-changed
+// event fires.
 func (d *DB) SetGraph(g *topology.Graph, at time.Time) (uint64, error) {
 	if g == nil {
 		return 0, errors.New("db: nil graph")
@@ -145,48 +201,53 @@ func (d *DB) SetGraph(g *topology.Graph, at time.Time) (uint64, error) {
 	}
 	d.graph.Store(g)
 	v := d.version.Add(1)
+	d.publishSnapshot()
 	d.publish(Event{Kind: EventTopologyChanged, At: at})
 	return v, nil
 }
 
-// Catalog returns the full-access sub-module.
+// Catalog returns the full-access sub-module (itself safe for concurrent
+// use with lock-free reads).
 func (d *DB) Catalog() *catalog.Catalog { return d.catalog }
 
 // RegisterServer records a video server joining the service (the paper's
-// initialization phase). The node must exist in the topology.
+// initialization phase). The node must exist in the topology. Safe for
+// concurrent use (admin-plane lock).
 func (d *DB) RegisterServer(node topology.NodeID, description string, at time.Time) error {
 	if !d.Graph().HasNode(node) {
 		return fmt.Errorf("%w: %s", topology.ErrNodeUnknown, node)
 	}
-	d.mu.Lock()
+	d.adminMu.Lock()
 	if _, ok := d.servers[node]; ok {
-		d.mu.Unlock()
+		d.adminMu.Unlock()
 		return fmt.Errorf("%w: %s", ErrServerExists, node)
 	}
 	d.servers[node] = ServerEntry{Node: node, Description: description, RegisteredAt: at}
-	d.mu.Unlock()
+	d.adminMu.Unlock()
 	d.publish(Event{Kind: EventServerRegistered, Node: node, At: at})
 	return nil
 }
 
 // UnregisterServer removes a server's registration — the completion of a
-// graceful drain. Unknown nodes error.
+// graceful drain. Unknown nodes error. Safe for concurrent use (admin-plane
+// lock).
 func (d *DB) UnregisterServer(node topology.NodeID, at time.Time) error {
-	d.mu.Lock()
+	d.adminMu.Lock()
 	if _, ok := d.servers[node]; !ok {
-		d.mu.Unlock()
+		d.adminMu.Unlock()
 		return fmt.Errorf("%w: %s", ErrServerUnknown, node)
 	}
 	delete(d.servers, node)
-	d.mu.Unlock()
+	d.adminMu.Unlock()
 	d.publish(Event{Kind: EventServerUnregistered, Node: node, At: at})
 	return nil
 }
 
-// Server returns a registered server's entry.
+// Server returns a registered server's entry. Safe for concurrent use
+// (admin-plane lock).
 func (d *DB) Server(node topology.NodeID) (ServerEntry, error) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
+	d.adminMu.RLock()
+	defer d.adminMu.RUnlock()
 	e, ok := d.servers[node]
 	if !ok {
 		return ServerEntry{}, fmt.Errorf("%w: %s", ErrServerUnknown, node)
@@ -194,10 +255,11 @@ func (d *DB) Server(node topology.NodeID) (ServerEntry, error) {
 	return e, nil
 }
 
-// Servers returns all registered servers sorted by node ID.
+// Servers returns all registered servers sorted by node ID. Safe for
+// concurrent use (admin-plane lock); the result is a fresh slice.
 func (d *DB) Servers() []ServerEntry {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
+	d.adminMu.RLock()
+	defer d.adminMu.RUnlock()
 	out := make([]ServerEntry, 0, len(d.servers))
 	for _, e := range d.servers {
 		out = append(out, e)
@@ -207,7 +269,10 @@ func (d *DB) Servers() []ServerEntry {
 }
 
 // UpsertLinkStats records the latest SNMP sample for a link. Utilization is
-// derived from used bandwidth and the link's configured capacity.
+// derived from used bandwidth and the link's configured capacity. Safe for
+// concurrent use: the sample lands in the link's shard under that shard's
+// lock, then the network snapshot is republished so planners observe it
+// lock-free.
 func (d *DB) UpsertLinkStats(id topology.LinkID, usedMbps float64, at time.Time) error {
 	l, err := d.Graph().LinkByID(id)
 	if err != nil {
@@ -216,26 +281,30 @@ func (d *DB) UpsertLinkStats(id topology.LinkID, usedMbps float64, at time.Time)
 	if usedMbps < 0 {
 		usedMbps = 0
 	}
-	d.mu.Lock()
-	d.stats[id] = LinkStats{
+	s := d.shardFor(id)
+	s.mu.Lock()
+	s.stats[id] = LinkStats{
 		ID:          id,
 		UsedMbps:    usedMbps,
 		Utilization: usedMbps / l.CapacityMbps,
 		UpdatedAt:   at,
 	}
-	d.mu.Unlock()
+	s.mu.Unlock()
+	d.publishSnapshot()
 	d.publish(Event{Kind: EventLinkStatsUpdated, Link: id, At: at})
 	return nil
 }
 
-// LinkStats returns the latest sample for a link.
+// LinkStats returns the latest sample for a link. Safe for concurrent use
+// (brief shard lock).
 func (d *DB) LinkStats(id topology.LinkID) (LinkStats, error) {
 	if _, err := d.Graph().LinkByID(id); err != nil {
 		return LinkStats{}, err
 	}
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	s, ok := d.stats[id]
+	sh := d.shardFor(id)
+	sh.mu.Lock()
+	s, ok := sh.stats[id]
+	sh.mu.Unlock()
 	if !ok {
 		return LinkStats{}, fmt.Errorf("%w: %s", ErrStale, id)
 	}
@@ -243,20 +312,24 @@ func (d *DB) LinkStats(id topology.LinkID) (LinkStats, error) {
 }
 
 // AllLinkStats returns the latest samples for every reported link, sorted by
-// link ID.
+// link ID. Safe for concurrent use (brief per-shard locks); the result is a
+// fresh slice.
 func (d *DB) AllLinkStats() []LinkStats {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	out := make([]LinkStats, 0, len(d.stats))
-	for _, s := range d.stats {
-		out = append(out, s)
+	var out []LinkStats
+	for _, sh := range d.shards {
+		sh.mu.Lock()
+		for _, s := range sh.stats {
+			out = append(out, s)
+		}
+		sh.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
 // SetHolding records that a node stores (or no longer stores) a title,
-// updating the full-access catalog and notifying subscribers.
+// updating the full-access catalog and notifying subscribers. Safe for
+// concurrent use (delegates to the sharded catalog).
 func (d *DB) SetHolding(node topology.NodeID, title string, holds bool, at time.Time) error {
 	if err := d.catalog.SetHolding(node, title, holds); err != nil {
 		return err
@@ -265,35 +338,58 @@ func (d *DB) SetHolding(node topology.NodeID, title string, holds bool, at time.
 	return nil
 }
 
-// Snapshot builds a topology snapshot from the latest link statistics over
-// the current graph view. Links with no sample yet are treated as idle,
-// matching the paper's behaviour before the first SNMP poll lands; samples
-// for links no longer in the view (a shrunk fleet) are filtered out so churn
-// can never poison snapshot construction.
+// Snapshot returns the current published network snapshot: the latest link
+// statistics folded over the current graph view. It is a single atomic load
+// — zero mutex acquisitions — so per-request planning never contends with
+// SNMP writers or other planners. Links with no sample yet are treated as
+// idle, matching the paper's behaviour before the first SNMP poll lands;
+// samples for links no longer in the view (a shrunk fleet) are filtered out
+// at publish time so churn can never poison snapshot construction. The
+// returned snapshot is immutable.
 func (d *DB) Snapshot() (*topology.Snapshot, error) {
-	g := d.Graph()
-	d.mu.RLock()
-	util := make(map[topology.LinkID]float64, len(d.stats))
-	for id, s := range d.stats {
-		if _, err := g.LinkByID(id); err != nil {
-			continue
+	return d.snap.Load(), nil
+}
+
+// publishSnapshot rebuilds the network snapshot from the current shard
+// contents and graph and atomically swaps it in. snapMu orders concurrent
+// publishes: each rebuild reads the shards after taking the lock, so the
+// last store always reflects every mutation that preceded it.
+func (d *DB) publishSnapshot() {
+	d.snapMu.Lock()
+	defer d.snapMu.Unlock()
+	g := d.graph.Load()
+	util := make(map[topology.LinkID]float64)
+	for _, sh := range d.shards {
+		sh.mu.Lock()
+		for id, s := range sh.stats {
+			if _, err := g.LinkByID(id); err != nil {
+				continue
+			}
+			util[id] = s.Utilization
 		}
-		util[id] = s.Utilization
+		sh.mu.Unlock()
 	}
-	d.mu.RUnlock()
-	return topology.NewSnapshot(g, util)
+	snap, err := topology.NewSnapshot(g, util)
+	if err != nil {
+		// Unreachable: util is filtered to the graph's own links. Keep the
+		// previous snapshot rather than publish a broken one.
+		return
+	}
+	d.snap.Store(snap)
 }
 
 // StaleLinks returns links whose latest sample is older than maxAge at the
 // given instant (or never reported), sorted. The paper's SNMP module is
 // expected to refresh every 1-2 minutes; stale links indicate a dead agent.
+// Safe for concurrent use (brief per-shard locks).
 func (d *DB) StaleLinks(now time.Time, maxAge time.Duration) []topology.LinkID {
 	g := d.Graph()
-	d.mu.RLock()
-	defer d.mu.RUnlock()
 	var out []topology.LinkID
 	for _, l := range g.Links() {
-		s, ok := d.stats[l.ID]
+		sh := d.shardFor(l.ID)
+		sh.mu.Lock()
+		s, ok := sh.stats[l.ID]
+		sh.mu.Unlock()
 		if !ok || now.Sub(s.UpdatedAt) > maxAge {
 			out = append(out, l.ID)
 		}
@@ -303,32 +399,33 @@ func (d *DB) StaleLinks(now time.Time, maxAge time.Duration) []topology.LinkID {
 
 // Subscribe registers a change-event channel with the given buffer size and
 // returns it with a cancel function. Events that would block a full
-// subscriber are dropped (slow consumers must size their buffers).
+// subscriber are dropped (slow consumers must size their buffers). Safe for
+// concurrent use (admin-plane lock).
 func (d *DB) Subscribe(buffer int) (<-chan Event, func()) {
 	if buffer < 1 {
 		buffer = 1
 	}
 	ch := make(chan Event, buffer)
-	d.mu.Lock()
+	d.adminMu.Lock()
 	id := d.nextSub
 	d.nextSub++
 	d.subs[id] = ch
-	d.mu.Unlock()
+	d.adminMu.Unlock()
 	cancel := func() {
-		d.mu.Lock()
+		d.adminMu.Lock()
 		if _, ok := d.subs[id]; ok {
 			delete(d.subs, id)
 			close(ch)
 		}
-		d.mu.Unlock()
+		d.adminMu.Unlock()
 	}
 	return ch, cancel
 }
 
 // publish delivers an event to all subscribers without blocking.
 func (d *DB) publish(ev Event) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
+	d.adminMu.RLock()
+	defer d.adminMu.RUnlock()
 	for _, ch := range d.subs {
 		select {
 		case ch <- ev:

@@ -26,7 +26,10 @@ type DirectorConfig struct {
 	// as Alive (a front door without the membership layer still balances on
 	// placement, load, and health).
 	Members func() []Member
-	// Holders returns the catalog placement of a title. Required.
+	// Holders returns the catalog placement of a title. Required. The
+	// director only iterates the returned slice, so a shared read-only
+	// view (catalog.HoldersView) is safe and keeps the per-request
+	// redirect path lock-free.
 	Holders func(title string) ([]topology.NodeID, error)
 	// Load returns a node's committed-load fraction (broker committed Mbps
 	// over capacity, 0 when unknown). Nil scores every node 0.

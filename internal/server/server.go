@@ -412,7 +412,9 @@ func (s *Server) handleHolders(c *transport.Conn, m transport.Message) error {
 	if err != nil {
 		return err
 	}
-	holders, err := s.cfg.DB.Catalog().Holders(req.Title)
+	// Read-only holder view: the list is only encoded onto the wire, so the
+	// catalog's lock-free shared slice is safe here.
+	holders, err := s.cfg.DB.Catalog().HoldersView(req.Title)
 	if err != nil {
 		return err
 	}
