@@ -45,6 +45,8 @@ func main() {
 	csvDir := flag.String("csv", "", "also write each study's rows as CSV into this directory")
 	framingOut := flag.String("framing-out", "",
 		"write the framing study's rows as a JSON baseline to this file (framing study only)")
+	framingBaseline := flag.String("framing-baseline", "",
+		"gate the framing study against this baseline file: kernel rows present and taking the kernel path, proc-aware kernel-over-binary speedup (framing study only)")
 	mergeOut := flag.String("merge-out", "",
 		"write the merge study's rows as a JSON baseline to this file (merge study only)")
 	mergeBaseline := flag.String("merge-baseline", "",
@@ -66,13 +68,13 @@ func main() {
 	contentionBaseline := flag.String("contention-baseline", "",
 		"gate the contention study against this baseline file: absolute admissions/sec floor plus baseline-relative shard scaling (contention study only)")
 	flag.Parse()
-	if err := run(os.Stdout, *study, *seed, *duration, *rate, *classMix, *csvDir, *framingOut, *mergeOut, *mergeBaseline, *chaosOut, *chaosBaseline, *ledgerOut, *ledgerBaseline, *churnOut, *churnBaseline, *contentionOut, *contentionBaseline); err != nil {
+	if err := run(os.Stdout, *study, *seed, *duration, *rate, *classMix, *csvDir, *framingOut, *framingBaseline, *mergeOut, *mergeBaseline, *chaosOut, *chaosBaseline, *ledgerOut, *ledgerBaseline, *churnOut, *churnBaseline, *contentionOut, *contentionBaseline); err != nil {
 		fmt.Fprintln(os.Stderr, "vodbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, study string, seed int64, duration time.Duration, rate float64, classMix, csvDir, framingOut, mergeOut, mergeBaseline, chaosOut, chaosBaseline, ledgerOut, ledgerBaseline, churnOut, churnBaseline, contentionOut, contentionBaseline string) error {
+func run(w io.Writer, study string, seed int64, duration time.Duration, rate float64, classMix, csvDir, framingOut, framingBaseline, mergeOut, mergeBaseline, chaosOut, chaosBaseline, ledgerOut, ledgerBaseline, churnOut, churnBaseline, contentionOut, contentionBaseline string) error {
 	writeCSV := func(name string, rows any) error {
 		if csvDir == "" {
 			return nil
@@ -267,14 +269,16 @@ func run(w io.Writer, study string, seed int64, duration time.Duration, rate flo
 			return err
 		}
 		if framingOut != "" {
-			data, err := json.MarshalIndent(struct {
-				Study string                   `json:"study"`
-				Rows  []experiments.FramingRow `json:"rows"`
-			}{Study: "framing", Rows: rows}, "", "  ")
+			data, err := json.MarshalIndent(framingReport{Study: "framing", Rows: rows}, "", "  ")
 			if err != nil {
 				return err
 			}
 			if err := os.WriteFile(framingOut, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+		}
+		if framingBaseline != "" {
+			if err := checkFramingBaseline(w, rows, framingBaseline); err != nil {
 				return err
 			}
 		}
@@ -423,6 +427,38 @@ func run(w io.Writer, study string, seed int64, duration time.Duration, rate flo
 	return nil
 }
 
+// framingReport is the committed BENCH_framing.json schema.
+type framingReport struct {
+	Study string                   `json:"study"`
+	Rows  []experiments.FramingRow `json:"rows"`
+}
+
+// checkFramingBaseline gates the framing study. Structural bounds (kernel
+// rows measured, kernel path actually taken on Linux) bind on every machine;
+// the kernel-over-binary speedup target only binds where the runner can
+// demonstrate it — see FramingRegression for the proc-aware rules, which
+// print their single-core warning loudly instead of silently weakening the
+// gate.
+func checkFramingBaseline(w io.Writer, rows []experiments.FramingRow, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base framingReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("framing baseline %s: %w", path, err)
+	}
+	bad, notes := experiments.FramingRegression(rows, base.Rows)
+	for _, n := range notes {
+		fmt.Fprintln(w, n)
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("framing regression: %s", strings.Join(bad, "; "))
+	}
+	fmt.Fprintln(w, "framing baseline check passed")
+	return nil
+}
+
 // contentionReport is the committed BENCH_contention.json schema.
 type contentionReport struct {
 	Study string                      `json:"study"`
@@ -434,7 +470,8 @@ type contentionReport struct {
 // shard-scaling and raw-throughput comparisons only bind to the degree the
 // baseline machine could demonstrate them (see ContentionRegression) so a
 // baseline recorded on few cores never makes the gate flake on many, or vice
-// versa.
+// versa. The gate's notes — in particular the loud warning that a sub-4-proc
+// baseline cannot set the scaling bound — are printed verbatim.
 func checkContentionBaseline(w io.Writer, rows []experiments.ContentionRow, path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -448,7 +485,11 @@ func checkContentionBaseline(w io.Writer, rows []experiments.ContentionRow, path
 		fmt.Fprintf(w, "contention baseline shards=%d: %.0f adm/sec %.0f reads/sec (procs %d)\n",
 			r.Shards, r.AdmissionsPerSec, r.SnapshotReadsPerSec, r.Procs)
 	}
-	if bad := experiments.ContentionRegression(rows, base.Rows); len(bad) > 0 {
+	bad, notes := experiments.ContentionRegression(rows, base.Rows)
+	for _, n := range notes {
+		fmt.Fprintln(w, n)
+	}
+	if len(bad) > 0 {
 		return fmt.Errorf("contention regression: %s", strings.Join(bad, "; "))
 	}
 	return nil

@@ -20,7 +20,7 @@ func TestRunSingleStudies(t *testing.T) {
 	}
 	for _, tc := range cases {
 		var b strings.Builder
-		if err := run(&b, tc.study, 1, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", "", "", ""); err != nil {
+		if err := run(&b, tc.study, 1, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", "", "", "", ""); err != nil {
 			t.Fatalf("run(%s): %v", tc.study, err)
 		}
 		if !strings.Contains(b.String(), tc.want) {
@@ -31,7 +31,7 @@ func TestRunSingleStudies(t *testing.T) {
 
 func TestRunRoutingStudyShortTrace(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "routing", 1, 15*time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", "", "", ""); err != nil {
+	if err := run(&b, "routing", 1, 15*time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", "", "", "", ""); err != nil {
 		t.Fatalf("run(routing): %v", err)
 	}
 	out := b.String()
@@ -42,7 +42,7 @@ func TestRunRoutingStudyShortTrace(t *testing.T) {
 
 func TestRunUnknownStudy(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "bogus", 1, time.Minute, 1, "premium:1", "", "", "", "", "", "", "", "", "", "", "", ""); err == nil {
+	if err := run(&b, "bogus", 1, time.Minute, 1, "premium:1", "", "", "", "", "", "", "", "", "", "", "", "", ""); err == nil {
 		t.Fatal("unknown study accepted")
 	}
 }
@@ -54,7 +54,7 @@ func TestRunAllStudies(t *testing.T) {
 	}
 	dir := t.TempDir()
 	var b strings.Builder
-	if err := run(&b, "all", 1, 15*time.Minute, 0.01, "premium:0.2,standard:0.5,background:0.3", dir, filepath.Join(dir, "BENCH_framing.json"), filepath.Join(dir, "BENCH_merge.json"), "", filepath.Join(dir, "BENCH_chaos.json"), "", filepath.Join(dir, "BENCH_ledger.json"), "", filepath.Join(dir, "BENCH_churn.json"), "", "", ""); err != nil {
+	if err := run(&b, "all", 1, 15*time.Minute, 0.01, "premium:0.2,standard:0.5,background:0.3", dir, filepath.Join(dir, "BENCH_framing.json"), "", filepath.Join(dir, "BENCH_merge.json"), "", filepath.Join(dir, "BENCH_chaos.json"), "", filepath.Join(dir, "BENCH_ledger.json"), "", filepath.Join(dir, "BENCH_churn.json"), "", "", ""); err != nil {
 		t.Fatalf("run(all): %v", err)
 	}
 	// The CSV exports landed.
@@ -115,6 +115,29 @@ func TestRunAllStudies(t *testing.T) {
 	}
 }
 
+// TestRunFramingBaselineRoundTrip writes a framing baseline, verifies a
+// fresh run passes the gate against it, and verifies a baseline whose cells
+// the run no longer measures is refused.
+func TestRunFramingBaselineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "BENCH_framing.json")
+	var b strings.Builder
+	if err := run(&b, "framing", 7, time.Minute, 0.01, "premium:1", "", baseline, "", "", "", "", "", "", "", "", "", "", ""); err != nil {
+		t.Fatalf("framing baseline write: %v", err)
+	}
+	if err := run(&b, "framing", 7, time.Minute, 0.01, "premium:1", "", "", baseline, "", "", "", "", "", "", "", "", "", ""); err != nil {
+		t.Fatalf("framing baseline check: %v", err)
+	}
+	// A baseline promising a framing arm the run does not measure fails.
+	bogus := `{"study":"framing","rows":[{"Framing":"quic","ClusterBytes":65536,"MBps":1}]}`
+	if err := os.WriteFile(baseline, []byte(bogus), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&b, "framing", 7, time.Minute, 0.01, "premium:1", "", "", baseline, "", "", "", "", "", "", "", "", "", ""); err == nil {
+		t.Fatal("baseline with unmeasured cells accepted")
+	}
+}
+
 // TestRunContentionBaselineRoundTrip writes a contention baseline, verifies a
 // fresh run passes the gate against it, and verifies an empty baseline is
 // refused.
@@ -122,16 +145,16 @@ func TestRunContentionBaselineRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	baseline := filepath.Join(dir, "BENCH_contention.json")
 	var b strings.Builder
-	if err := run(&b, "contention", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", "", baseline, ""); err != nil {
+	if err := run(&b, "contention", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", "", "", baseline, ""); err != nil {
 		t.Fatalf("contention baseline write: %v", err)
 	}
-	if err := run(&b, "contention", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", "", "", baseline); err != nil {
+	if err := run(&b, "contention", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", "", "", "", baseline); err != nil {
 		t.Fatalf("contention baseline check: %v", err)
 	}
 	if err := os.WriteFile(baseline, []byte(`{"study":"contention","rows":[]}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&b, "contention", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", "", "", baseline); err == nil {
+	if err := run(&b, "contention", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", "", "", "", baseline); err == nil {
 		t.Fatal("empty baseline accepted")
 	}
 }
@@ -146,10 +169,10 @@ func TestRunChaosBaselineRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	baseline := filepath.Join(dir, "BENCH_chaos.json")
 	var b strings.Builder
-	if err := run(&b, "chaos", 7, time.Minute, 0.01, "premium:1", "", "", "", "", baseline, "", "", "", "", "", "", ""); err != nil {
+	if err := run(&b, "chaos", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", baseline, "", "", "", "", "", "", ""); err != nil {
 		t.Fatalf("chaos baseline write: %v", err)
 	}
-	if err := run(&b, "chaos", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", baseline, "", "", "", "", "", ""); err != nil {
+	if err := run(&b, "chaos", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", baseline, "", "", "", "", "", ""); err != nil {
 		t.Fatalf("chaos baseline check: %v", err)
 	}
 	// A baseline claiming a zero-MTTR flap recovery demands the impossible:
@@ -159,7 +182,7 @@ func TestRunChaosBaselineRoundTrip(t *testing.T) {
 	if err := os.WriteFile(baseline, []byte(doctored), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&b, "chaos", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", baseline, "", "", "", "", "", ""); err == nil {
+	if err := run(&b, "chaos", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", baseline, "", "", "", "", "", ""); err == nil {
 		t.Fatal("doctored baseline accepted")
 	}
 }
@@ -174,10 +197,10 @@ func TestRunMergeBaselineRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	baseline := filepath.Join(dir, "BENCH_merge.json")
 	var b strings.Builder
-	if err := run(&b, "merge", 1, time.Minute, 0.01, "premium:1", "", "", baseline, "", "", "", "", "", "", "", "", ""); err != nil {
+	if err := run(&b, "merge", 1, time.Minute, 0.01, "premium:1", "", "", "", baseline, "", "", "", "", "", "", "", "", ""); err != nil {
 		t.Fatalf("merge baseline write: %v", err)
 	}
-	if err := run(&b, "merge", 1, time.Minute, 0.01, "premium:1", "", "", "", baseline, "", "", "", "", "", "", "", ""); err != nil {
+	if err := run(&b, "merge", 1, time.Minute, 0.01, "premium:1", "", "", "", "", baseline, "", "", "", "", "", "", "", ""); err != nil {
 		t.Fatalf("merge baseline check: %v", err)
 	}
 	// Inflate the recorded unicast reads so the baseline demands a saving no
@@ -193,7 +216,7 @@ func TestRunMergeBaselineRoundTrip(t *testing.T) {
 	if err := os.WriteFile(baseline, []byte(doctored), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&b, "merge", 1, time.Minute, 0.01, "premium:1", "", "", "", baseline, "", "", "", "", "", "", "", ""); err == nil {
+	if err := run(&b, "merge", 1, time.Minute, 0.01, "premium:1", "", "", "", "", baseline, "", "", "", "", "", "", "", ""); err == nil {
 		t.Fatal("doctored baseline accepted")
 	}
 }
@@ -209,10 +232,10 @@ func TestRunLedgerBaselineRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	baseline := filepath.Join(dir, "BENCH_ledger.json")
 	var b strings.Builder
-	if err := run(&b, "ledger", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", baseline, "", "", "", "", ""); err != nil {
+	if err := run(&b, "ledger", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", baseline, "", "", "", "", ""); err != nil {
 		t.Fatalf("ledger baseline write: %v", err)
 	}
-	if err := run(&b, "ledger", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", baseline, "", "", "", ""); err != nil {
+	if err := run(&b, "ledger", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", baseline, "", "", "", ""); err != nil {
 		t.Fatalf("ledger baseline check: %v", err)
 	}
 	// An empty baseline carries nothing to certify against: the gate must
@@ -220,7 +243,7 @@ func TestRunLedgerBaselineRoundTrip(t *testing.T) {
 	if err := os.WriteFile(baseline, []byte(`{"study":"ledger","rows":[]}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&b, "ledger", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", baseline, "", "", "", ""); err == nil {
+	if err := run(&b, "ledger", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", baseline, "", "", "", ""); err == nil {
 		t.Fatal("empty baseline accepted")
 	}
 }
@@ -231,16 +254,16 @@ func TestRunChurnBaselineRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	baseline := filepath.Join(dir, "BENCH_churn.json")
 	var b strings.Builder
-	if err := run(&b, "churn", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", baseline, "", "", ""); err != nil {
+	if err := run(&b, "churn", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", baseline, "", "", ""); err != nil {
 		t.Fatalf("churn baseline write: %v", err)
 	}
-	if err := run(&b, "churn", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", baseline, "", ""); err != nil {
+	if err := run(&b, "churn", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", "", baseline, "", ""); err != nil {
 		t.Fatalf("churn baseline check: %v", err)
 	}
 	if err := os.WriteFile(baseline, []byte(`{"study":"churn","rows":[]}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&b, "churn", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", baseline, "", ""); err == nil {
+	if err := run(&b, "churn", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", "", baseline, "", ""); err == nil {
 		t.Fatal("empty baseline accepted")
 	}
 }

@@ -38,6 +38,7 @@ type config struct {
 	adminToken   string
 	topologyPath string
 	mergeWindow  int
+	dataDir      string
 }
 
 func main() {
@@ -51,6 +52,7 @@ func main() {
 	flag.StringVar(&cfg.adminToken, "admin-token", "", "bearer token for the limited-access module")
 	flag.StringVar(&cfg.topologyPath, "topology", "", "topology JSON file (default: the GRNET backbone)")
 	flag.IntVar(&cfg.mergeWindow, "merge-window", 0, "stream-merging window in clusters (0 = one stream per session)")
+	flag.StringVar(&cfg.dataDir, "data-dir", "", "back every disk with block files under this directory (empty = in-memory); enables the kernel sendfile path on Linux")
 	flag.Parse()
 
 	dep, err := setup(os.Stdout, cfg)
@@ -99,6 +101,9 @@ func setup(w io.Writer, cfg config) (*deployment, error) {
 	}
 	if cfg.mergeWindow != 0 {
 		opts = append(opts, dvod.WithMergeWindow(cfg.mergeWindow))
+	}
+	if cfg.dataDir != "" {
+		opts = append(opts, dvod.WithFileBackedDisks(cfg.dataDir))
 	}
 	for i, node := range spec.Nodes {
 		addr := "127.0.0.1:0"

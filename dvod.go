@@ -6,6 +6,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
@@ -253,7 +254,14 @@ func (s *Service) buildNodeStack(node NodeID) error {
 	o := s.opts
 	d := s.db
 	count, capBytes := o.arrayShape(node)
-	arr, err := disk.NewUniformArray(string(node), count, capBytes)
+	var arr *disk.Array
+	var err error
+	if o.dataDir != "" {
+		arr, err = disk.NewUniformFileArray(string(node), count, capBytes,
+			filepath.Join(o.dataDir, string(node)))
+	} else {
+		arr, err = disk.NewUniformArray(string(node), count, capBytes)
+	}
 	if err != nil {
 		return err
 	}
@@ -1218,6 +1226,7 @@ type options struct {
 	ledgerFanout       int
 	membershipInterval time.Duration
 	frontDoor          bool
+	dataDir            string
 }
 
 type diskShape struct {
@@ -1307,6 +1316,17 @@ func WithDisks(count int, capacityBytes int64) Option {
 		o.disksPerServer = count
 		o.diskCapacityBytes = capacityBytes
 	}
+}
+
+// WithFileBackedDisks stores every disk block as a real file under
+// dir/<node>/<disk>/ instead of in memory. Content, layout, and fault
+// injection are identical to the in-memory store; what changes is delivery:
+// on Linux, resident clusters are served straight from the block file's
+// descriptor with sendfile(2) (DESIGN.md § "Kernel delivery path"). The
+// directory is created as needed and not cleaned up on Close — callers own
+// its lifetime (tests pass t.TempDir()).
+func WithFileBackedDisks(dir string) Option {
+	return func(o *options) { o.dataDir = dir }
 }
 
 // WithNodeDisks overrides the array shape of one node (heterogeneous

@@ -2,13 +2,16 @@
 // disks with fixed capacity holding named blocks, grouped into the
 // multi-disk arrays the paper's DMA stripes titles across. Capacity
 // accounting is exact; block contents are held in memory (tests and
-// experiments use scaled-down title sizes). A simple service-time model
-// provides read latencies for the emulated plane.
+// experiments use scaled-down title sizes) or, for disks built with
+// NewFileBacked, in one backing file per block so the delivery plane can
+// hand bodies straight to sendfile(2) via FileRef. A simple service-time
+// model provides read latencies for the emulated plane.
 package disk
 
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -86,10 +89,13 @@ type Disk struct {
 	// intercept optionally injects faults into reads (set via
 	// SetReadInterceptor; consulted lock-free on the read hot path).
 	intercept atomic.Pointer[ReadInterceptor]
+	// dir, when non-empty, makes the disk file-backed: blocks live in one
+	// file each under dir instead of in memory (see NewFileBacked).
+	dir string
 
 	mu     sync.Mutex
 	used   int64
-	blocks map[BlockID][]byte
+	blocks map[BlockID]*block
 }
 
 // New returns a disk with the given identifier and capacity in bytes.
@@ -101,7 +107,7 @@ func New(id string, capacityBytes int64) (*Disk, error) {
 		id:       id,
 		capacity: capacityBytes,
 		model:    DefaultAccessModel(),
-		blocks:   make(map[BlockID][]byte),
+		blocks:   make(map[BlockID]*block),
 	}, nil
 }
 
@@ -147,9 +153,19 @@ func (d *Disk) Write(id BlockID, data []byte) error {
 		return fmt.Errorf("%w: %s needs %d, %s has %d free",
 			ErrDiskFull, id, len(data), d.id, d.capacity-d.used)
 	}
-	stored := make([]byte, len(data))
-	copy(stored, data)
-	d.blocks[id] = stored
+	b := &block{size: int64(len(data))}
+	if d.dir != "" {
+		f, err := writeBlockFile(d.dir, id, data)
+		if err != nil {
+			return fmt.Errorf("write %s on %s: %w", id, d.id, err)
+		}
+		b.f = f
+	} else {
+		b.data = make([]byte, len(data))
+		copy(b.data, data)
+	}
+	b.refs.Store(1)
+	d.blocks[id] = b
 	d.used += int64(len(data))
 	return nil
 }
@@ -181,14 +197,17 @@ func (d *Disk) Read(id BlockID) ([]byte, error) {
 		return nil, fmt.Errorf("read %s on %s: %w: %w", id, d.id, ErrInjectedRead, fault.Err)
 	}
 	d.mu.Lock()
-	data, ok := d.blocks[id]
+	b, ok := d.blocks[id]
 	if !ok {
 		d.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s on %s", ErrBlockUnknown, id, d.id)
 	}
-	out := make([]byte, len(data))
-	copy(out, data)
+	out := make([]byte, b.size)
+	err := readBlockInto(b, id, d.id, out)
 	d.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
 	if fault.ShortFraction > 0 && fault.ShortFraction < 1 {
 		n := int(fault.ShortFraction * float64(len(out)))
 		return out[:n], fmt.Errorf("read %s on %s: %w: short read %d of %d bytes",
@@ -207,15 +226,18 @@ func (d *Disk) ReadInto(id BlockID, dst []byte) (int, error) {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	data, ok := d.blocks[id]
+	b, ok := d.blocks[id]
 	if !ok {
 		return 0, fmt.Errorf("%w: %s on %s", ErrBlockUnknown, id, d.id)
 	}
-	if len(dst) < len(data) {
+	if int64(len(dst)) < b.size {
 		return 0, fmt.Errorf("read %s on %s: buffer %d bytes, block %d",
-			id, d.id, len(dst), len(data))
+			id, d.id, len(dst), b.size)
 	}
-	n := copy(dst, data)
+	if err := readBlockInto(b, id, d.id, dst[:b.size]); err != nil {
+		return 0, err
+	}
+	n := int(b.size)
 	if fault.ShortFraction > 0 && fault.ShortFraction < 1 {
 		short := int(fault.ShortFraction * float64(n))
 		return short, fmt.Errorf("read %s on %s: %w: short read %d of %d bytes",
@@ -232,16 +254,23 @@ func (d *Disk) Has(id BlockID) bool {
 	return ok
 }
 
-// Delete removes a block, freeing its space.
+// Delete removes a block, freeing its space. A file-backed block's file is
+// unlinked immediately; its descriptor stays open until any in-flight
+// FileRef pins (kernel sends) are closed.
 func (d *Disk) Delete(id BlockID) error {
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	data, ok := d.blocks[id]
+	b, ok := d.blocks[id]
 	if !ok {
+		d.mu.Unlock()
 		return fmt.Errorf("%w: %s on %s", ErrBlockUnknown, id, d.id)
 	}
 	delete(d.blocks, id)
-	d.used -= int64(len(data))
+	d.used -= b.size
+	d.mu.Unlock()
+	if b.f != nil {
+		_ = os.Remove(b.f.Name())
+	}
+	b.release()
 	return nil
 }
 
@@ -249,11 +278,11 @@ func (d *Disk) Delete(id BlockID) error {
 func (d *Disk) ReadTime(id BlockID) (time.Duration, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	data, ok := d.blocks[id]
+	b, ok := d.blocks[id]
 	if !ok {
 		return 0, fmt.Errorf("%w: %s on %s", ErrBlockUnknown, id, d.id)
 	}
-	return d.model.ReadTime(int64(len(data))), nil
+	return d.model.ReadTime(b.size), nil
 }
 
 // SetAccessModel replaces the disk's service-time model.

@@ -3,6 +3,8 @@ package experiments
 import (
 	"errors"
 	"fmt"
+	"os"
+	"runtime"
 	"strings"
 	"text/tabwriter"
 	"time"
@@ -18,16 +20,19 @@ import (
 	"dvod/internal/transport"
 )
 
-// --- Ext-13: JSON vs binary cluster framing throughput -----------------------
+// --- Ext-13: JSON vs binary vs kernel cluster framing throughput -------------
 
 // FramingStudyConfig parameterizes Ext-13: a live single-node deployment on
 // localhost TCP delivers a resident title once per framing at each cluster
 // size, measuring end-to-end delivery throughput of the canonical JSON
-// framing against the negotiated binary cluster frames (DESIGN.md § "Wire
-// format"). Content verification is disabled on the player so the measurement
+// framing against the negotiated binary cluster frames and against the
+// kernel delivery path (file-backed disks + sendfile; DESIGN.md § "Wire
+// format" and § "Kernel delivery path"). Each arm gets its own deployment so
+// the kernel arm can run a file-backed array while the others stay in
+// memory. Content verification is disabled on the player so the measurement
 // isolates the delivery pipeline — disk read, framing, socket, receive —
 // rather than the synthetic-content checker, which costs the same under
-// either framing.
+// every framing.
 type FramingStudyConfig struct {
 	// ClusterSizes are the cluster sizes to sweep, in bytes.
 	ClusterSizes []int64
@@ -48,14 +53,37 @@ func DefaultFramingStudyConfig() FramingStudyConfig {
 	}
 }
 
+// Framing arm names of FramingRow.Framing.
+const (
+	// FramingJSON is the canonical JSON control-frame delivery.
+	FramingJSON = "json"
+	// FramingBinary is binary cluster frames through the pooled-buffer copy.
+	FramingBinary = "binary"
+	// FramingKernel is binary cluster frames from a file-backed array, sent
+	// with sendfile(2) where the platform supports it.
+	FramingKernel = "kernel"
+)
+
 // FramingRow is one (framing, cluster size) outcome.
 type FramingRow struct {
-	Framing        string  // "json" or "binary"
+	Framing        string  // "json", "binary", or "kernel"
 	ClusterBytes   int64
 	Clusters       int     // clusters delivered per watch
 	ElapsedMs      float64 // mean wall time of one watch
 	ClustersPerSec float64
 	MBps           float64 // delivered payload bytes per second / 1e6
+	// KernelSends / FallbackSends split the serving node's cluster sends by
+	// the path taken (server.kernel_sends / server.fallback_sends), across
+	// the warmup and every timed run. The kernel arm must show KernelSends
+	// > 0 on Linux, or the study measured the fallback by mistake.
+	KernelSends   int64
+	FallbackSends int64
+	// Procs is GOMAXPROCS during the run. Cross-framing speedup gates only
+	// bind to the degree the runner can demonstrate them (see
+	// FramingRegression): on one core, delivered MB/s measures total copies
+	// of both directions and the receive side dominates, so the kernel
+	// path's sender-side savings cannot show up as wall-clock throughput.
+	Procs int
 }
 
 // FramingStudy runs Ext-13.
@@ -74,36 +102,53 @@ func FramingStudy(cfg FramingStudyConfig) ([]FramingRow, error) {
 		if size <= 0 {
 			return nil, fmt.Errorf("framing study: bad cluster size %d", size)
 		}
-		rows, err := framingCell(size, cfg.TitleClusters, cfg.Runs)
-		if err != nil {
-			return nil, fmt.Errorf("framing study @%d: %w", size, err)
+		for _, framing := range []string{FramingJSON, FramingBinary, FramingKernel} {
+			row, err := framingArm(framing, size, cfg.TitleClusters, cfg.Runs)
+			if err != nil {
+				return nil, fmt.Errorf("framing study %s @%d: %w", framing, size, err)
+			}
+			out = append(out, row)
 		}
-		out = append(out, rows...)
 	}
 	return out, nil
 }
 
-// framingCell brings up one live server holding a TitleClusters-long title at
-// the given cluster size and measures a JSON and a binary delivery against it.
-func framingCell(clusterBytes int64, titleClusters, runs int) ([]FramingRow, error) {
+// framingArm brings up one live server holding a TitleClusters-long title at
+// the given cluster size and measures one framing's delivery against it. The
+// kernel arm stores its blocks in a temporary directory so resident clusters
+// are served off descriptors; the other arms use the in-memory store.
+func framingArm(framing string, clusterBytes int64, titleClusters, runs int) (FramingRow, error) {
 	g, err := grnet.Backbone()
 	if err != nil {
-		return nil, err
+		return FramingRow{}, err
 	}
 	d := db.New(g)
 	titleBytes := clusterBytes * int64(titleClusters)
 	// Three disks, each sized to hold its share of the stripe with headroom.
-	arr, err := disk.NewUniformArray("fr", 3, titleBytes)
-	if err != nil {
-		return nil, err
+	var arr *disk.Array
+	if framing == FramingKernel {
+		dir, err := os.MkdirTemp("", "dvod-framing-")
+		if err != nil {
+			return FramingRow{}, err
+		}
+		defer os.RemoveAll(dir)
+		arr, err = disk.NewUniformFileArray("fr", 3, titleBytes, dir)
+		if err != nil {
+			return FramingRow{}, err
+		}
+	} else {
+		arr, err = disk.NewUniformArray("fr", 3, titleBytes)
+		if err != nil {
+			return FramingRow{}, err
+		}
 	}
 	dma, err := cache.NewDMA(cache.Config{Array: arr, ClusterBytes: clusterBytes})
 	if err != nil {
-		return nil, err
+		return FramingRow{}, err
 	}
 	planner, err := core.NewPlanner(d, core.VRA{}, nil)
 	if err != nil {
-		return nil, err
+		return FramingRow{}, err
 	}
 	book := transport.NewAddrBook()
 	srv, err := server.New(server.Config{
@@ -116,14 +161,14 @@ func framingCell(clusterBytes int64, titleClusters, runs int) ([]FramingRow, err
 		Book:         book,
 	})
 	if err != nil {
-		return nil, err
+		return FramingRow{}, err
 	}
 	if err := srv.Start(); err != nil {
-		return nil, err
+		return FramingRow{}, err
 	}
 	defer srv.Close()
 	if err := srv.WaitReady(5 * time.Second); err != nil {
-		return nil, err
+		return FramingRow{}, err
 	}
 	title := media.Title{
 		Name:        fmt.Sprintf("fr-%d", clusterBytes),
@@ -131,71 +176,178 @@ func framingCell(clusterBytes int64, titleClusters, runs int) ([]FramingRow, err
 		BitrateMbps: 4,
 	}
 	if err := d.Catalog().AddTitle(title); err != nil {
-		return nil, err
+		return FramingRow{}, err
 	}
 	if err := srv.Preload(title); err != nil {
-		return nil, err
+		return FramingRow{}, err
 	}
 
-	var out []FramingRow
-	for _, framing := range []string{"json", "binary"} {
-		opts := []client.Option{client.WithoutVerification()}
-		if framing == "json" {
-			opts = append(opts, client.WithoutBinaryFraming())
-		}
-		p, err := client.NewPlayer(grnet.Athens, book, opts...)
-		if err != nil {
-			return nil, err
-		}
-		row := FramingRow{Framing: framing, ClusterBytes: clusterBytes}
-		var elapsed time.Duration
-		for run := 0; run < runs+1; run++ {
-			stats, err := p.Watch(title.Name)
-			if err != nil {
-				return nil, fmt.Errorf("%s watch: %w", framing, err)
-			}
-			wantBinary := framing == "binary"
-			if stats.BinaryFraming != wantBinary {
-				return nil, fmt.Errorf("%s watch negotiated binary=%v", framing, stats.BinaryFraming)
-			}
-			if run == 0 {
-				continue // warmup
-			}
-			row.Clusters = stats.NumClusters
-			elapsed += stats.Elapsed
-		}
-		mean := elapsed / time.Duration(runs)
-		row.ElapsedMs = float64(mean) / float64(time.Millisecond)
-		if mean > 0 {
-			sec := mean.Seconds()
-			row.ClustersPerSec = float64(row.Clusters) / sec
-			row.MBps = float64(titleBytes) / sec / 1e6
-		}
-		out = append(out, row)
+	opts := []client.Option{client.WithoutVerification()}
+	if framing == FramingJSON {
+		opts = append(opts, client.WithoutBinaryFraming())
 	}
-	return out, nil
+	p, err := client.NewPlayer(grnet.Athens, book, opts...)
+	if err != nil {
+		return FramingRow{}, err
+	}
+	row := FramingRow{
+		Framing:      framing,
+		ClusterBytes: clusterBytes,
+		Procs:        runtime.GOMAXPROCS(0),
+	}
+	var elapsed time.Duration
+	for run := 0; run < runs+1; run++ {
+		stats, err := p.Watch(title.Name)
+		if err != nil {
+			return FramingRow{}, fmt.Errorf("%s watch: %w", framing, err)
+		}
+		wantBinary := framing != FramingJSON
+		if stats.BinaryFraming != wantBinary {
+			return FramingRow{}, fmt.Errorf("%s watch negotiated binary=%v", framing, stats.BinaryFraming)
+		}
+		if run == 0 {
+			continue // warmup
+		}
+		row.Clusters = stats.NumClusters
+		elapsed += stats.Elapsed
+	}
+	snap := srv.Metrics().Snapshot()
+	row.KernelSends = snap.Counters["server.kernel_sends"]
+	row.FallbackSends = snap.Counters["server.fallback_sends"]
+	mean := elapsed / time.Duration(runs)
+	row.ElapsedMs = float64(mean) / float64(time.Millisecond)
+	if mean > 0 {
+		sec := mean.Seconds()
+		row.ClustersPerSec = float64(row.Clusters) / sec
+		row.MBps = float64(titleBytes) / sec / 1e6
+	}
+	return row, nil
 }
 
-// FormatFramingStudy renders Ext-13, appending each binary row's speedup over
-// the JSON row at the same cluster size.
+// Ext-13 regression-gate thresholds, shared with cmd/vodbench.
+const (
+	// FramingKernelSpeedupTarget is the kernel-over-binary delivered-MB/s
+	// ratio expected at the largest cluster size on runners with at least
+	// FramingSpeedupMinProcs cores: sendfile halves the copies per delivered
+	// byte, and with sender and receiver on separate cores the saving is
+	// wall-clock.
+	FramingKernelSpeedupTarget = 2.0
+	// FramingSpeedupMinProcs is the smallest GOMAXPROCS at which the
+	// speedup target binds. Below it sender and receiver time-share one
+	// core, delivered MB/s measures the copies of BOTH directions, and the
+	// receive side (which sendfile cannot touch) dominates — the honest
+	// single-core expectation is parity, gated by FramingKernelParityFloor.
+	FramingSpeedupMinProcs = 4
+	// FramingKernelParityFloor is the kernel/binary MB/s floor on runners
+	// below FramingSpeedupMinProcs: the kernel path must never make
+	// delivery materially slower than the copy path it replaces. The floor
+	// is deliberately loose — single-core virtualized runners show ±25%
+	// run-to-run variance on this ratio — because its job is to catch a
+	// broken kernel path (stalls, tiny chunking), not to assert a win the
+	// topology cannot show.
+	FramingKernelParityFloor = 0.5
+)
+
+// FramingRegression compares a fresh Ext-13 run against the committed
+// baseline and returns one message per violated bound (empty means pass).
+//
+// Structural bounds bind everywhere: every baseline (framing, size) cell
+// must still be measured, kernel rows must exist, and on Linux the kernel
+// arm must actually take the kernel path (KernelSends > 0, or the study
+// silently measured the fallback). Speedup bounds are proc-aware, like
+// ContentionRegression: at FramingSpeedupMinProcs and above, the kernel arm
+// must reach FramingKernelSpeedupTarget× the binary arm's MB/s at the
+// largest cluster size; below that the target cannot physically manifest,
+// so the gate prints a loud warning through the returned notes channel and
+// demands only FramingKernelParityFloor× parity. A single-core baseline is
+// never used to tighten bounds.
+func FramingRegression(current, baseline []FramingRow) (bad, notes []string) {
+	if len(current) == 0 {
+		return []string{"framing run produced no rows"}, nil
+	}
+	type cell struct {
+		framing string
+		size    int64
+	}
+	cur := make(map[cell]FramingRow, len(current))
+	var maxSize int64
+	for _, r := range current {
+		cur[cell{r.Framing, r.ClusterBytes}] = r
+		if r.ClusterBytes > maxSize {
+			maxSize = r.ClusterBytes
+		}
+	}
+	for _, b := range baseline {
+		if _, ok := cur[cell{b.Framing, b.ClusterBytes}]; !ok {
+			bad = append(bad, fmt.Sprintf(
+				"baseline cell %s@%dKiB missing from current run", b.Framing, b.ClusterBytes>>10))
+		}
+	}
+	kernelRows := 0
+	for _, r := range current {
+		if r.Framing != FramingKernel {
+			continue
+		}
+		kernelRows++
+		if runtime.GOOS == "linux" && r.KernelSends == 0 {
+			bad = append(bad, fmt.Sprintf(
+				"kernel arm @%dKiB took zero kernel sends on linux (%d fallbacks): the study measured the fallback",
+				r.ClusterBytes>>10, r.FallbackSends))
+		}
+	}
+	if kernelRows == 0 {
+		bad = append(bad, "current run has no kernel framing rows")
+		return bad, notes
+	}
+	k, kok := cur[cell{FramingKernel, maxSize}]
+	b, bok := cur[cell{FramingBinary, maxSize}]
+	if kok && bok && b.MBps > 0 {
+		ratio := k.MBps / b.MBps
+		switch {
+		case k.Procs >= FramingSpeedupMinProcs:
+			if ratio < FramingKernelSpeedupTarget {
+				bad = append(bad, fmt.Sprintf(
+					"kernel/binary MB/s at %dKiB is %.2fx, want ≥ %.1fx at GOMAXPROCS %d",
+					maxSize>>10, ratio, FramingKernelSpeedupTarget, k.Procs))
+			}
+		default:
+			notes = append(notes, fmt.Sprintf(
+				"WARNING: framing study ran at GOMAXPROCS %d (< %d): the %.1fx kernel speedup target "+
+					"cannot manifest when sender and receiver time-share cores, so it is NOT enforced; "+
+					"holding the kernel arm to ≥ %.2fx of binary instead. Regenerate the gate on a "+
+					"multi-core runner to enforce the real target.",
+				k.Procs, FramingSpeedupMinProcs, FramingKernelSpeedupTarget, FramingKernelParityFloor))
+			if ratio < FramingKernelParityFloor {
+				bad = append(bad, fmt.Sprintf(
+					"kernel/binary MB/s at %dKiB is %.2fx, below the single-core parity floor %.2fx",
+					maxSize>>10, ratio, FramingKernelParityFloor))
+			}
+		}
+	}
+	return bad, notes
+}
+
+// FormatFramingStudy renders Ext-13, appending each non-JSON row's speedup
+// over the JSON row at the same cluster size and the kernel/fallback send
+// split.
 func FormatFramingStudy(rows []FramingRow) string {
 	jsonPerSec := make(map[int64]float64)
 	for _, r := range rows {
-		if r.Framing == "json" {
+		if r.Framing == FramingJSON {
 			jsonPerSec[r.ClusterBytes] = r.ClustersPerSec
 		}
 	}
 	var b strings.Builder
 	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
-	fmt.Fprintln(w, "ClusterKiB\tFraming\tClusters\tElapsedMs\tClusters/s\tMB/s\tSpeedup")
+	fmt.Fprintln(w, "ClusterKiB\tFraming\tClusters\tElapsedMs\tClusters/s\tMB/s\tSpeedup\tKernel\tFallback")
 	for _, r := range rows {
 		speedup := "-"
-		if j := jsonPerSec[r.ClusterBytes]; r.Framing == "binary" && j > 0 {
+		if j := jsonPerSec[r.ClusterBytes]; r.Framing != FramingJSON && j > 0 {
 			speedup = fmt.Sprintf("%.2fx", r.ClustersPerSec/j)
 		}
-		fmt.Fprintf(w, "%d\t%s\t%d\t%.2f\t%.0f\t%.1f\t%s\n",
+		fmt.Fprintf(w, "%d\t%s\t%d\t%.2f\t%.0f\t%.1f\t%s\t%d\t%d\n",
 			r.ClusterBytes>>10, r.Framing, r.Clusters, r.ElapsedMs,
-			r.ClustersPerSec, r.MBps, speedup)
+			r.ClustersPerSec, r.MBps, speedup, r.KernelSends, r.FallbackSends)
 	}
 	_ = w.Flush()
 	return b.String()

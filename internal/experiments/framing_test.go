@@ -1,6 +1,10 @@
 package experiments
 
-import "testing"
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
 
 func TestFramingStudyShape(t *testing.T) {
 	cfg := FramingStudyConfig{
@@ -12,11 +16,11 @@ func TestFramingStudyShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != len(cfg.ClusterSizes)*2 {
-		t.Fatalf("rows = %d, want %d", len(rows), len(cfg.ClusterSizes)*2)
+	if len(rows) != len(cfg.ClusterSizes)*3 {
+		t.Fatalf("rows = %d, want %d", len(rows), len(cfg.ClusterSizes)*3)
 	}
 	for _, r := range rows {
-		if r.Framing != "json" && r.Framing != "binary" {
+		if r.Framing != FramingJSON && r.Framing != FramingBinary && r.Framing != FramingKernel {
 			t.Fatalf("framing = %q", r.Framing)
 		}
 		if r.Clusters != cfg.TitleClusters {
@@ -25,6 +29,19 @@ func TestFramingStudyShape(t *testing.T) {
 		}
 		if r.ClustersPerSec <= 0 || r.MBps <= 0 || r.ElapsedMs <= 0 {
 			t.Fatalf("non-positive throughput row: %+v", r)
+		}
+		if r.Procs != runtime.GOMAXPROCS(0) {
+			t.Fatalf("row records procs %d, runtime says %d", r.Procs, runtime.GOMAXPROCS(0))
+		}
+		switch r.Framing {
+		case FramingKernel:
+			if runtime.GOOS == "linux" && r.KernelSends == 0 {
+				t.Fatalf("kernel arm made zero kernel sends on linux: %+v", r)
+			}
+		default:
+			if r.KernelSends != 0 {
+				t.Fatalf("%s arm counted kernel sends: %+v", r.Framing, r)
+			}
 		}
 	}
 	if s := FormatFramingStudy(rows); s == "" {
@@ -43,5 +60,64 @@ func TestFramingStudyValidation(t *testing.T) {
 		if _, err := FramingStudy(cfg); err == nil {
 			t.Fatalf("config %d accepted", i)
 		}
+	}
+}
+
+// framingFixture builds a consistent three-arm run at the given procs and
+// kernel/binary throughput ratio.
+func framingFixture(procs int, ratio float64) []FramingRow {
+	size := int64(1 << 20)
+	rows := []FramingRow{
+		{Framing: FramingJSON, ClusterBytes: size, MBps: 800, Procs: procs},
+		{Framing: FramingBinary, ClusterBytes: size, MBps: 1000, Procs: procs},
+		{Framing: FramingKernel, ClusterBytes: size, MBps: 1000 * ratio, Procs: procs, KernelSends: 96},
+	}
+	return rows
+}
+
+func TestFramingRegressionGates(t *testing.T) {
+	base := framingFixture(1, 0.9)
+
+	// Healthy single-core run: parity floor holds, warning is loud, no
+	// violations.
+	bad, notes := FramingRegression(framingFixture(1, 0.9), base)
+	if len(bad) != 0 {
+		t.Fatalf("healthy single-core run flagged: %v", bad)
+	}
+	if len(notes) == 0 || !strings.Contains(notes[0], "WARNING") {
+		t.Fatalf("single-core run must carry a loud warning, got %v", notes)
+	}
+
+	// Single-core run below the parity floor fails.
+	if bad, _ := FramingRegression(framingFixture(1, 0.4), base); len(bad) == 0 {
+		t.Fatal("kernel at 0.4x binary passed the single-core parity floor")
+	}
+
+	// Multi-core runs enforce the full speedup target, without a warning.
+	bad, notes = FramingRegression(framingFixture(8, 2.4), base)
+	if len(bad) != 0 || len(notes) != 0 {
+		t.Fatalf("healthy multi-core run: bad=%v notes=%v", bad, notes)
+	}
+	if bad, _ := FramingRegression(framingFixture(8, 1.5), base); len(bad) == 0 {
+		t.Fatal("kernel at 1.5x binary passed the multi-core 2x gate")
+	}
+
+	// A kernel row with zero kernel sends on linux is the study measuring
+	// the wrong path.
+	if runtime.GOOS == "linux" {
+		broken := framingFixture(1, 0.9)
+		broken[2].KernelSends = 0
+		if bad, _ := FramingRegression(broken, base); len(bad) == 0 {
+			t.Fatal("zero kernel sends passed")
+		}
+	}
+
+	// Baseline cells must stay measured.
+	missing := framingFixture(1, 0.9)[:2] // kernel row dropped
+	if bad, _ := FramingRegression(missing, base); len(bad) == 0 {
+		t.Fatal("missing kernel rows passed")
+	}
+	if bad, _ := FramingRegression(nil, base); len(bad) == 0 {
+		t.Fatal("empty run passed")
 	}
 }

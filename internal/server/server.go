@@ -442,20 +442,23 @@ func (s *Server) handleClusterGet(c *transport.Conn, m transport.Message) error 
 	if err != nil {
 		return err
 	}
-	data, payload, release, err := s.readLocalCluster(req.Title, req.Index)
+	frame, payload, err := s.readLocalCluster(req.Title, req.Index)
 	if err != nil {
 		return err
 	}
-	defer release()
+	defer frame.Release()
 	s.cfg.Metrics.Counter("server.clusters_served").Inc()
-	s.cfg.Metrics.Counter("server.bytes_served").Add(int64(len(data)))
-	return s.sendCluster(c, transport.TypeClusterOK, payload, data)
+	s.cfg.Metrics.Counter("server.bytes_served").Add(payload.Length)
+	return s.sendCluster(c, transport.TypeClusterOK, payload, frame)
 }
 
-// sendCluster writes one cluster on the negotiated framing: a binary
-// FrameCluster when the connection's hello exchange granted it, otherwise a
-// JSON control frame of msgType followed by the raw body. Delivery volume is
-// charged to the bytes-out/frames-out counters either way.
+// sendCluster writes one cluster on the negotiated framing via
+// transport.WriteClusterBody: file-backed bodies go out on the kernel path
+// (sendfile/splice) when the platform and stream support it, byte-backed or
+// refused bodies through the pooled copy, JSON framing as msgType + raw
+// body. Delivery volume is charged to the bytes-out/frames-out counters
+// either way, and each send lands in server.kernel_sends or
+// server.fallback_sends according to the path actually taken.
 //
 // Counter semantics: server.frames_out and server.bytes_out count per-client
 // deliveries — every handler that puts a cluster on a wire charges them,
@@ -463,59 +466,70 @@ func (s *Server) handleClusterGet(c *transport.Conn, m transport.Message) error 
 // the separate server.disk_reads / server.disk_bytes pair (and
 // server.remote_clusters for peer fetches); with stream merging active the
 // two deliberately diverge, and their ratio is the fan-out amplification.
-func (s *Server) sendCluster(c *transport.Conn, msgType string, payload transport.ClusterPayload, body []byte) error {
-	var err error
-	if c.BinaryFrames() {
-		err = c.WriteClusterFrame(payload, body)
-	} else {
-		var m transport.Message
-		if m, err = transport.Encode(msgType, payload); err != nil {
-			return err
-		}
-		err = c.WriteMessageWithBody(m, body)
-	}
+func (s *Server) sendCluster(c *transport.Conn, msgType string, payload transport.ClusterPayload, body *transport.Frame) error {
+	kernel, err := c.WriteClusterBody(s.cfg.Pool, msgType, payload, body)
 	if err != nil {
 		return err
 	}
+	if kernel {
+		s.cfg.Metrics.Counter("server.kernel_sends").Inc()
+	} else {
+		s.cfg.Metrics.Counter("server.fallback_sends").Inc()
+	}
 	s.cfg.Metrics.Counter("server.frames_out").Inc()
-	s.cfg.Metrics.Counter("server.bytes_out").Add(int64(len(body)))
+	s.cfg.Metrics.Counter("server.bytes_out").Add(body.BodyLen())
 	return nil
 }
 
-// readLocalCluster fetches one resident cluster from the local array into a
-// pool-leased buffer. The caller must invoke release when it is done with
-// the returned bytes; release is non-nil even on error.
-func (s *Server) readLocalCluster(title string, index int) ([]byte, transport.ClusterPayload, func(), error) {
-	release := func() {}
+// readLocalCluster fetches one resident cluster from the local array as a
+// transport frame the caller must Release. On a file-backed array with no
+// fault interceptor armed, the frame pins the block's descriptor
+// (disk.FileRef) and carries no bytes at all — sendCluster streams it with
+// sendfile. Otherwise the part is copied into a pool-leased buffer exactly
+// as before.
+func (s *Server) readLocalCluster(title string, index int) (*transport.Frame, transport.ClusterPayload, error) {
 	layout, ok := s.cfg.Cache.Layout(title)
 	if !ok {
-		return nil, transport.ClusterPayload{}, release, fmt.Errorf("title %q not resident on %s", title, s.cfg.Node)
+		return nil, transport.ClusterPayload{}, fmt.Errorf("title %q not resident on %s", title, s.cfg.Node)
 	}
 	off, length, err := layout.PartRange(index)
 	if err != nil {
-		return nil, transport.ClusterPayload{}, release, err
+		return nil, transport.ClusterPayload{}, err
 	}
-	buf := s.cfg.Pool.Get(int(length))
-	n, err := striping.ReadPartInto(s.cfg.Array, layout, index, buf)
-	if err != nil {
-		s.cfg.Pool.Put(buf)
-		return nil, transport.ClusterPayload{}, release, fmt.Errorf("read cluster %d of %q: %w", index, title, err)
-	}
-	if int64(n) != length {
-		s.cfg.Pool.Put(buf)
-		return nil, transport.ClusterPayload{}, release, fmt.Errorf("cluster %d of %q: read %d bytes, layout says %d", index, title, n, length)
-	}
-	// Disk-side accounting, distinct from the per-client frames_out /
-	// bytes_out pair: merged fan-out multiplies deliveries, not reads.
-	s.cfg.Metrics.Counter("server.disk_reads").Inc()
-	s.cfg.Metrics.Counter("server.disk_bytes").Add(length)
-	return buf, transport.ClusterPayload{
+	payload := transport.ClusterPayload{
 		Title:  title,
 		Index:  index,
 		Offset: off,
 		Length: length,
 		Source: s.cfg.Node,
-	}, func() { s.cfg.Pool.Put(buf) }, nil
+	}
+	// Disk-side accounting, distinct from the per-client frames_out /
+	// bytes_out pair: merged fan-out multiplies deliveries, not reads. The
+	// kernel path moves the same bytes off the same disk, so it charges the
+	// same counters.
+	if ref, ok := striping.PartFileRef(s.cfg.Array, layout, index); ok {
+		if ref.Size() == length {
+			s.cfg.Metrics.Counter("server.disk_reads").Inc()
+			s.cfg.Metrics.Counter("server.disk_bytes").Add(length)
+			return transport.NewFileFrame(ref.File(), ref.Offset(), ref.Size(), ref.Close), payload, nil
+		}
+		// A stored size disagreeing with the layout is store corruption;
+		// release the pin and let the copy path surface the typed error.
+		ref.Close()
+	}
+	buf := s.cfg.Pool.Get(int(length))
+	n, err := striping.ReadPartInto(s.cfg.Array, layout, index, buf)
+	if err != nil {
+		s.cfg.Pool.Put(buf)
+		return nil, transport.ClusterPayload{}, fmt.Errorf("read cluster %d of %q: %w", index, title, err)
+	}
+	if int64(n) != length {
+		s.cfg.Pool.Put(buf)
+		return nil, transport.ClusterPayload{}, fmt.Errorf("cluster %d of %q: read %d bytes, layout says %d", index, title, n, length)
+	}
+	s.cfg.Metrics.Counter("server.disk_reads").Inc()
+	s.cfg.Metrics.Counter("server.disk_bytes").Add(length)
+	return transport.NewLeasedFrame(s.cfg.Pool, buf), payload, nil
 }
 
 // handleLedgerSync answers one JSON-framed gossip exchange: merge the peer's
@@ -683,7 +697,11 @@ func (s *Server) handleWatch(c *transport.Conn, m transport.Message) error {
 	if err != nil {
 		return err
 	}
-	if err := c.WriteMessage(head); err != nil {
+	// Queued, not written: watch.ok (and a queued merge.info after it) ride
+	// the first cluster's writev as one syscall. Every later write — cluster,
+	// error, watch.done — flushes the queue first, so the wire order is
+	// unchanged on all paths.
+	if err := c.QueueMessage(head); err != nil {
 		return err
 	}
 	// Each watch session carries its own retry budget: a small reserve plus
@@ -801,14 +819,14 @@ func (s *Server) admitWatch(c *transport.Conn, req transport.WatchPayload, title
 // per fan-out subscriber instead of re-reading.
 func (s *Server) deliverCluster(title media.Title, index int, ws *watchSession) (*transport.Frame, transport.ClusterPayload, error) {
 	if s.cfg.Cache.Resident(title.Name) {
-		data, payload, _, err := s.readLocalCluster(title.Name, index)
+		frame, payload, err := s.readLocalCluster(title.Name, index)
 		if err != nil {
 			return nil, transport.ClusterPayload{}, err
 		}
 		// The title became resident mid-stream (a DMA admission): the
 		// session now serves locally and its trunk reservations come home.
 		s.migrateReservation(ws, nil)
-		return transport.NewLeasedFrame(s.cfg.Pool, data), payload, nil
+		return frame, payload, nil
 	}
 	exclude := make(map[topology.NodeID]bool)
 	var lastErr error
@@ -841,7 +859,7 @@ func (s *Server) deliverCluster(title media.Title, index int, ws *watchSession) 
 			ws.budget.OnSuccess()
 		}
 		if s.cfg.Counters != nil {
-			s.cfg.Counters.ChargePath(winner.Path.Links(), int64(len(frame.Payload)))
+			s.cfg.Counters.ChargePath(winner.Path.Links(), frame.BodyLen())
 		}
 		// The bytes crossed the winner's route; when that differs from the
 		// links the session reserved at admission, the reservation follows
@@ -988,7 +1006,7 @@ func (s *Server) deliverAndSend(c *transport.Conn, title media.Title, index int,
 	if err != nil {
 		return fmt.Errorf("cluster %d: %w", index, err)
 	}
-	err = s.sendCluster(c, transport.TypeCluster, payload, frame.Payload)
+	err = s.sendCluster(c, transport.TypeCluster, payload, frame)
 	frame.Release()
 	return err
 }
@@ -1053,7 +1071,7 @@ func (s *Server) streamMerged(c *transport.Conn, title media.Title, numClusters,
 		if !ok {
 			break
 		}
-		err := s.sendCluster(c, transport.TypeCluster, item.Payload, item.Frame.Payload)
+		err := s.sendCluster(c, transport.TypeCluster, item.Payload, item.Frame)
 		item.Frame.Release()
 		if err != nil {
 			return err
@@ -1070,17 +1088,18 @@ func (s *Server) streamMerged(c *transport.Conn, title media.Title, numClusters,
 	return nil
 }
 
-// sendMergeInfo announces a session's cohort attachment on the negotiated
-// framing.
+// sendMergeInfo queues a session's cohort-attachment announcement on the
+// negotiated framing. It joins the queued watch.ok in the first cluster
+// frame's writev (watch.done flushes it when the session has no clusters).
 func (s *Server) sendMergeInfo(c *transport.Conn, p transport.MergeInfoPayload) error {
 	if c.BinaryFrames() {
-		return c.WriteMergeInfoFrame(p)
+		return c.QueueMergeInfoFrame(p)
 	}
 	m, err := transport.Encode(transport.TypeMergeInfo, p)
 	if err != nil {
 		return err
 	}
-	return c.WriteMessage(m)
+	return c.QueueMessage(m)
 }
 
 // planCluster picks the serving replica for one cluster, bandwidth-aware

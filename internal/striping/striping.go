@@ -206,6 +206,23 @@ func ReadPartInto(arr *disk.Array, layout Layout, part int, dst []byte) (int, er
 	return d.ReadInto(disk.BlockID{Title: layout.Title, Part: part}, dst)
 }
 
+// PartFileRef pins one part's backing file for a kernel-path send
+// (transport.NewFileFrame → sendfile). It reports ok = false whenever the
+// part cannot be served straight off a descriptor — memory-backed disk,
+// absent block, or an installed read interceptor — and the caller falls back
+// to ReadPartInto. On success the caller owns the ref and must Close it.
+func PartFileRef(arr *disk.Array, layout Layout, part int) (disk.FileRef, bool) {
+	di, err := layout.DiskFor(part)
+	if err != nil {
+		return disk.FileRef{}, false
+	}
+	d, err := arr.Disk(di)
+	if err != nil {
+		return disk.FileRef{}, false
+	}
+	return d.FileRef(disk.BlockID{Title: layout.Title, Part: part})
+}
+
 // ReadRange reads an arbitrary byte range of the title by visiting the parts
 // that cover it.
 func ReadRange(arr *disk.Array, layout Layout, off, length int64) ([]byte, error) {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"sync/atomic"
 
 	"dvod/internal/topology"
@@ -109,6 +110,15 @@ type Frame struct {
 	pool *BufferPool
 	buf  []byte
 	refs atomic.Int32
+
+	// File-backed body (NewFileFrame): the bytes live in [foff, foff+fsize)
+	// of file instead of Payload, so a writer can hand them to the kernel
+	// send path (sendfile/splice) without a userspace copy. done releases
+	// the underlying pin (disk.FileRef.Close) on the final Release.
+	file  *os.File
+	foff  int64
+	fsize int64
+	done  func()
 }
 
 // NewLeasedFrame wraps a buffer leased from pool (Get) in a frame with one
@@ -119,6 +129,70 @@ func NewLeasedFrame(pool *BufferPool, buf []byte) *Frame {
 	f := &Frame{Payload: buf, pool: pool, buf: buf}
 	f.refs.Store(1)
 	return f
+}
+
+// NewFileFrame wraps a file-backed body — size bytes at offset off of file,
+// typically a pinned disk.FileRef — in a frame with one reference. The frame
+// flows through the same Retain/Release fan-out as byte-backed frames
+// (Payload stays nil; writers branch on FileBody), and done — which may be
+// nil — runs once when the last reference is released, releasing the pin.
+// Holders must only use positioned I/O on file, never Seek: the descriptor
+// is shared with every concurrent reader of the block.
+func NewFileFrame(file *os.File, off, size int64, done func()) *Frame {
+	f := &Frame{Type: FrameCluster, Version: FrameVersion, file: file, foff: off, fsize: size, done: done}
+	f.refs.Store(1)
+	return f
+}
+
+// FileBody returns the file-backed body's descriptor and data offset, with
+// ok reporting whether this frame is file-backed at all (byte-backed frames
+// return ok == false). The descriptor follows the frame's ownership rule:
+// valid until the holder's Release.
+func (f *Frame) FileBody() (file *os.File, off int64, ok bool) {
+	if f == nil || f.file == nil {
+		return nil, 0, false
+	}
+	return f.file, f.foff, true
+}
+
+// BodyLen returns the frame's body length in bytes for either backing.
+func (f *Frame) BodyLen() int64 {
+	if f == nil {
+		return 0
+	}
+	if f.file != nil {
+		return f.fsize
+	}
+	return int64(len(f.Payload))
+}
+
+// BodyBytes materializes the frame's body as a byte slice: byte-backed
+// frames return Payload directly (valid until the frame's Release, free() is
+// a no-op); file-backed frames lease a buffer from pool, pread the body into
+// it, and return it with a free() that puts the lease back. Callers must run
+// free() once they are done with the bytes — it is non-nil even on error.
+// This is the userspace fallback the JSON framing and non-sendfile platforms
+// use for file-backed bodies.
+func (f *Frame) BodyBytes(pool *BufferPool) (body []byte, free func(), err error) {
+	free = func() {}
+	if f == nil {
+		return nil, free, errors.New("transport: BodyBytes on nil frame")
+	}
+	if f.file == nil {
+		return f.Payload, free, nil
+	}
+	var buf []byte
+	if pool != nil {
+		buf = pool.Get(int(f.fsize))
+		free = func() { pool.Put(buf) }
+	} else {
+		buf = make([]byte, f.fsize)
+	}
+	if _, err := f.file.ReadAt(buf, f.foff); err != nil {
+		free()
+		return nil, func() {}, fmt.Errorf("read file-backed body: %w", err)
+	}
+	return buf, free, nil
 }
 
 // Retain adds one reference to the frame and returns it. Each Retain must be
@@ -151,7 +225,11 @@ func (f *Frame) Release() {
 	if f.pool != nil && f.buf != nil {
 		f.pool.Put(f.buf)
 	}
+	if f.done != nil {
+		f.done()
+	}
 	f.pool, f.buf, f.Payload = nil, nil, nil
+	f.file, f.done = nil, nil
 }
 
 // Refs reports the frame's current reference count (for tests).
@@ -219,36 +297,116 @@ func DecodeClusterFrame(f *Frame) (ClusterPayload, []byte, error) {
 	return p, body, nil
 }
 
+// buildClusterHeaderLocked assembles the binary frame header plus cluster
+// meta for a body of bodyLen bytes into the connection's scratch buffer
+// (reused across calls, so the steady state allocates nothing). Callers hold
+// wmu and must finish with the returned slice before the next write.
+func (c *Conn) buildClusterHeaderLocked(p ClusterPayload, bodyLen int64) ([]byte, error) {
+	scratch := append(c.wscratch[:0],
+		FrameMagic0, FrameMagic1, FrameVersion, FrameCluster, 0, // flags
+		0, 0, 0, 0) // payload-len placeholder
+	scratch, err := appendClusterMeta(scratch, p)
+	if err != nil {
+		return nil, err
+	}
+	payloadLen := int64(len(scratch)-FrameHeaderLen) + bodyLen
+	if payloadLen > MaxFramePayload {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, payloadLen)
+	}
+	binary.BigEndian.PutUint32(scratch[5:9], uint32(payloadLen))
+	c.wscratch = scratch[:0]
+	return scratch, nil
+}
+
 // WriteClusterFrame sends one cluster as a binary frame: header and meta are
 // assembled in a per-connection scratch buffer (reused across calls, so the
-// steady state allocates nothing) and the body is written straight from the
-// caller's buffer — no marshal, no copy. p.Length must equal len(body).
+// steady state allocates nothing) and the body goes out straight from the
+// caller's buffer in the same vectored write — no marshal, no copy, one
+// syscall. p.Length must equal len(body).
 func (c *Conn) WriteClusterFrame(p ClusterPayload, body []byte) error {
 	if p.Length != int64(len(body)) {
 		return fmt.Errorf("%w: payload length %d, body %d bytes", ErrBadFrame, p.Length, len(body))
 	}
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	scratch := append(c.wscratch[:0],
-		FrameMagic0, FrameMagic1, FrameVersion, FrameCluster, 0, // flags
-		0, 0, 0, 0) // payload-len placeholder
-	scratch, err := appendClusterMeta(scratch, p)
+	scratch, err := c.buildClusterHeaderLocked(p, int64(len(body)))
 	if err != nil {
 		return err
 	}
-	payloadLen := len(scratch) - FrameHeaderLen + len(body)
-	if payloadLen > MaxFramePayload {
-		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, payloadLen)
-	}
-	binary.BigEndian.PutUint32(scratch[5:9], uint32(payloadLen))
-	c.wscratch = scratch[:0]
-	if _, err := c.rw.Write(scratch); err != nil {
+	if err := c.writeVectoredLocked(scratch, body); err != nil {
 		return fmt.Errorf("write cluster frame: %w", err)
 	}
-	if _, err := c.rw.Write(body); err != nil {
-		return fmt.Errorf("write cluster body: %w", err)
-	}
 	return nil
+}
+
+// WriteClusterBody sends one cluster on the connection's negotiated framing
+// with the body taken from a frame, choosing the cheapest path available:
+//
+//   - binary framing + file-backed body: the frame header (and any queued
+//     control frames) go out in one writev, then the body travels file→socket
+//     inside the kernel via sendfile(2) — or splice(2) through the
+//     connection's pipe when sendfile is not applicable — and never enters Go
+//     userspace. Returns kernel = true.
+//   - binary framing + byte-backed body, or a file-backed body the platform
+//     or stream cannot kernel-send (non-TCP test pipes, !linux builds): the
+//     pooled-buffer copy path of WriteClusterFrame. Returns kernel = false.
+//   - JSON framing: a control frame of msgType followed by the raw body,
+//     exactly as WriteMessageWithBody sends it. Returns kernel = false.
+//
+// The fallback paths produce byte-identical wire output to the kernel path.
+// pool supplies the bounce buffer when a file-backed body must be copied
+// after all; the caller keeps its reference on body and still must Release
+// it. An error on the kernel path after the header went out leaves the
+// stream unframeable, like any partial write does.
+func (c *Conn) WriteClusterBody(pool *BufferPool, msgType string, p ClusterPayload, body *Frame) (kernel bool, err error) {
+	size := body.BodyLen()
+	if p.Length != size {
+		return false, fmt.Errorf("%w: payload length %d, body %d bytes", ErrBadFrame, p.Length, size)
+	}
+	if !c.BinaryFrames() {
+		m, err := Encode(msgType, p)
+		if err != nil {
+			return false, err
+		}
+		data, free, err := body.BodyBytes(pool)
+		if err != nil {
+			return false, err
+		}
+		defer free()
+		return false, c.WriteMessageWithBody(m, data)
+	}
+	file, off, ok := body.FileBody()
+	if !ok {
+		return false, c.WriteClusterFrame(p, body.Payload)
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	scratch, err := c.buildClusterHeaderLocked(p, size)
+	if err != nil {
+		return false, err
+	}
+	if err := c.writeVectoredLocked(scratch); err != nil {
+		return false, fmt.Errorf("write cluster frame: %w", err)
+	}
+	kernel, err = c.sendBodyLocked(file, off, size)
+	if err != nil {
+		return kernel, fmt.Errorf("write cluster body: %w", err)
+	}
+	if kernel {
+		return true, nil
+	}
+	// The stream cannot kernel-send (not a TCP socket, or a !linux build):
+	// bounce the body through a pooled buffer. The header is already on the
+	// wire, so only the raw bytes follow — identical wire output.
+	data, free, err := body.BodyBytes(pool)
+	if err != nil {
+		return false, err
+	}
+	defer free()
+	if _, err := c.rw.Write(data); err != nil {
+		return false, fmt.Errorf("write cluster body: %w", err)
+	}
+	return false, nil
 }
 
 // ReadFrameOrMessage reads the next item on the stream, demultiplexing on

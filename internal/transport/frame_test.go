@@ -566,5 +566,15 @@ func BenchmarkFraming(b *testing.B) {
 			snd.Close()
 			<-done
 		})
+
+		// The kernel arm runs over real loopback TCP — an in-memory pipe has
+		// no kernel path — with the timed loop on the SEND side, where
+		// sendfile lives. The receiver drains raw bytes without parsing so
+		// the alloc report (a CI gate: 0 allocs/op) charges only the send
+		// pipeline. Cross-framing MB/s comparisons live in Ext-13, which
+		// times all arms over the same live-TCP harness.
+		b.Run("kernel-"+name, func(b *testing.B) {
+			benchKernelArm(b, size, payload)
+		})
 	}
 }

@@ -160,7 +160,7 @@ func (c *Conn) WriteLedgerSyncFrame(p LedgerSyncPayload, reply bool) error {
 	}
 	binary.BigEndian.PutUint32(scratch[5:9], uint32(payloadLen))
 	c.wscratch = scratch[:0]
-	if _, err := c.rw.Write(scratch); err != nil {
+	if err := c.writeVectoredLocked(scratch); err != nil {
 		return fmt.Errorf("write ledger sync frame: %w", err)
 	}
 	return nil

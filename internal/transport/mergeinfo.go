@@ -53,8 +53,9 @@ const (
 	mergeRolePatchCode byte = 2
 )
 
-// WriteMergeInfoFrame sends one merge-info announcement as a binary frame.
-func (c *Conn) WriteMergeInfoFrame(p MergeInfoPayload) error {
+// appendMergeInfoFrame validates p and appends its full binary frame
+// (header + payload) to dst.
+func appendMergeInfoFrame(dst []byte, p MergeInfoPayload) ([]byte, error) {
 	var roleCode byte
 	switch p.Role {
 	case MergeRoleBase:
@@ -62,28 +63,53 @@ func (c *Conn) WriteMergeInfoFrame(p MergeInfoPayload) error {
 	case MergeRolePatch:
 		roleCode = mergeRolePatchCode
 	default:
-		return fmt.Errorf("%w: merge role %q", ErrBadFrame, p.Role)
+		return nil, fmt.Errorf("%w: merge role %q", ErrBadFrame, p.Role)
 	}
 	if p.Cohort < 0 || p.JoinIndex < 0 || p.PatchClusters < 0 {
-		return fmt.Errorf("%w: negative merge-info field", ErrBadFrame)
+		return nil, fmt.Errorf("%w: negative merge-info field", ErrBadFrame)
 	}
 	if int64(uint32(p.JoinIndex)) != int64(p.JoinIndex) ||
 		int64(uint32(p.PatchClusters)) != int64(p.PatchClusters) {
-		return fmt.Errorf("%w: merge-info field overflow", ErrBadFrame)
+		return nil, fmt.Errorf("%w: merge-info field overflow", ErrBadFrame)
 	}
-	c.wmu.Lock()
-	defer c.wmu.Unlock()
-	scratch := append(c.wscratch[:0],
+	dst = append(dst,
 		FrameMagic0, FrameMagic1, FrameVersion, FrameMergeInfo, 0, // flags
 		0, 0, 0, mergeInfoLen)
-	scratch = binary.BigEndian.AppendUint64(scratch, uint64(p.Cohort))
-	scratch = append(scratch, roleCode)
-	scratch = binary.BigEndian.AppendUint32(scratch, uint32(p.JoinIndex))
-	scratch = binary.BigEndian.AppendUint32(scratch, uint32(p.PatchClusters))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(p.Cohort))
+	dst = append(dst, roleCode)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(p.JoinIndex))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(p.PatchClusters))
+	return dst, nil
+}
+
+// WriteMergeInfoFrame sends one merge-info announcement as a binary frame
+// (together with any queued control frames, in one writev).
+func (c *Conn) WriteMergeInfoFrame(p MergeInfoPayload) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	scratch, err := appendMergeInfoFrame(c.wscratch[:0], p)
+	if err != nil {
+		return err
+	}
 	c.wscratch = scratch[:0]
-	if _, err := c.rw.Write(scratch); err != nil {
+	if err := c.writeVectoredLocked(scratch); err != nil {
 		return fmt.Errorf("write merge-info frame: %w", err)
 	}
+	return nil
+}
+
+// QueueMergeInfoFrame frames one merge-info announcement into the
+// connection's write queue instead of writing it: the binary twin of
+// QueueMessage, letting the announcement ride the next cluster frame's
+// writev (see Flush for the ordering contract).
+func (c *Conn) QueueMergeInfoFrame(p MergeInfoPayload) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	qbuf, err := appendMergeInfoFrame(c.qbuf, p)
+	if err != nil {
+		return err
+	}
+	c.qbuf = qbuf
 	return nil
 }
 

@@ -269,13 +269,34 @@ type Conn struct {
 	binary atomic.Bool
 	// wscratch holds binary frame headers between writes (guarded by wmu).
 	wscratch []byte
+	// qbuf accumulates control frames queued by QueueMessage (and the
+	// binary queue variants) as already-framed bytes; the next write on the
+	// connection — any framing — prepends them in the same writev, so small
+	// frames coalesce with the traffic that follows instead of costing a
+	// syscall each. Guarded by wmu.
+	qbuf []byte
+	// wvecBack is the reusable backing array for the writev vector and
+	// wvecIO the net.Buffers view WriteTo consumes (WriteTo advances the
+	// slice header, so the view is rebuilt from wvecBack on every write and
+	// the backing capacity survives). Both guarded by wmu.
+	wvecBack [][]byte
+	wvecIO   net.Buffers
+	// ks holds the platform kernel-send state (Linux: the lazily created
+	// splice pipe; elsewhere: empty). Guarded by wmu.
+	ks kernelState
 }
 
 // NewConn wraps a stream (net.Conn or net.Pipe end).
 func NewConn(rw io.ReadWriteCloser) *Conn { return &Conn{rw: rw} }
 
-// Close closes the underlying stream.
-func (c *Conn) Close() error { return c.rw.Close() }
+// Close closes the underlying stream (and the splice pipe, if the kernel
+// send path created one).
+func (c *Conn) Close() error {
+	c.wmu.Lock()
+	c.ks.close()
+	c.wmu.Unlock()
+	return c.rw.Close()
+}
 
 // SetReadDeadline forwards to the underlying stream when it supports
 // deadlines (net.Conn does; in-memory test pipes may not, in which case this
@@ -311,28 +332,56 @@ func Decode[T any](m Message) (T, error) {
 	return out, nil
 }
 
-// WriteMessage sends one control frame.
+// WriteMessage sends one control frame (plus any frames queued via
+// QueueMessage, which precede it in one writev).
 func (c *Conn) WriteMessage(m Message) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	return c.writeLocked(m)
+	return c.writeLocked(m, nil)
 }
 
 // WriteMessageWithBody sends a control frame immediately followed by raw
-// body bytes, atomically with respect to other writers on this Conn.
+// body bytes, atomically with respect to other writers on this Conn. Header,
+// frame, and body go out in a single vectored write.
 func (c *Conn) WriteMessageWithBody(m Message, body []byte) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	if err := c.writeLocked(m); err != nil {
-		return err
+	return c.writeLocked(m, body)
+}
+
+// QueueMessage frames a control message into the connection's queue without
+// writing it. The queued bytes precede the next write on the connection (any
+// framing, including Flush), so a burst of small control frames — or a
+// control frame directly followed by bulk data — costs one syscall instead
+// of one each. Queued frames are only ever sent in-order with later writes;
+// a connection must not sit on queued frames it expects the peer to answer
+// without calling Flush.
+func (c *Conn) QueueMessage(m Message) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("marshal frame: %w", err)
 	}
-	if _, err := c.rw.Write(body); err != nil {
-		return fmt.Errorf("write body: %w", err)
+	if len(data) > MaxFrameBytes {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(data))
 	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.qbuf = binary.BigEndian.AppendUint32(c.qbuf, uint32(len(data)))
+	c.qbuf = append(c.qbuf, data...)
 	return nil
 }
 
-func (c *Conn) writeLocked(m Message) error {
+// Flush writes any queued control frames now. A no-op when nothing is
+// queued.
+func (c *Conn) Flush() error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.writeVectoredLocked()
+}
+
+// writeLocked frames and writes one JSON control message and an optional raw
+// body in a single vectored write. Callers hold wmu.
+func (c *Conn) writeLocked(m Message, body []byte) error {
 	data, err := json.Marshal(m)
 	if err != nil {
 		return fmt.Errorf("marshal frame: %w", err)
@@ -342,11 +391,33 @@ func (c *Conn) writeLocked(m Message) error {
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
-	if _, err := c.rw.Write(hdr[:]); err != nil {
-		return fmt.Errorf("write frame header: %w", err)
+	return c.writeVectoredLocked(hdr[:], data, body)
+}
+
+// writeVectoredLocked writes the queued control frames followed by bufs in
+// one vectored write (writev on a TCP connection; sequential writes on
+// streams without writev support). Empty buffers are skipped. The queue is
+// consumed even on error: a partial writev leaves the stream unframeable, so
+// the connection is done for either way. Callers hold wmu.
+func (c *Conn) writeVectoredLocked(bufs ...[]byte) error {
+	vec := c.wvecBack[:0]
+	if len(c.qbuf) > 0 {
+		vec = append(vec, c.qbuf)
 	}
-	if _, err := c.rw.Write(data); err != nil {
-		return fmt.Errorf("write frame: %w", err)
+	for _, b := range bufs {
+		if len(b) > 0 {
+			vec = append(vec, b)
+		}
+	}
+	c.wvecBack = vec
+	if len(vec) == 0 {
+		return nil
+	}
+	c.wvecIO = net.Buffers(vec)
+	_, err := c.wvecIO.WriteTo(c.rw)
+	c.qbuf = c.qbuf[:0]
+	if err != nil {
+		return fmt.Errorf("write frames: %w", err)
 	}
 	return nil
 }
