@@ -1,0 +1,91 @@
+// The full sweep drives every study once, including Ext-19's 1000-node
+// fleet cells — minutes under the race detector for no extra interleaving
+// coverage (the membership simulation is single-threaded). The race CI lane
+// covers each subsystem through its dedicated matrix steps instead; this
+// sweep runs in the plain test lane.
+//go:build !race
+
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunAllStudies exercises every study once with a short routing trace.
+func TestRunAllStudies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full study sweep")
+	}
+	dir := t.TempDir()
+	var b strings.Builder
+	if err := run(&b, "all", 1, 15*time.Minute, 0.01, "premium:0.2,standard:0.5,background:0.3", dir, filepath.Join(dir, "BENCH_framing.json"), "", filepath.Join(dir, "BENCH_merge.json"), "", filepath.Join(dir, "BENCH_chaos.json"), "", filepath.Join(dir, "BENCH_ledger.json"), "", filepath.Join(dir, "BENCH_churn.json"), "", "", "", filepath.Join(dir, "BENCH_membership.json"), ""); err != nil {
+		t.Fatalf("run(all): %v", err)
+	}
+	// The CSV exports landed.
+	for _, name := range []string{"routing", "cache", "cluster", "striping",
+		"granularity", "scale", "parallel", "blocking", "placement", "adaptation", "admission", "framing", "merge", "chaos", "ledger", "churn", "contention", "membership"} {
+		data, err := os.ReadFile(filepath.Join(dir, name+".csv"))
+		if err != nil {
+			t.Errorf("csv %s: %v", name, err)
+			continue
+		}
+		if !strings.Contains(string(data), ",") {
+			t.Errorf("csv %s looks empty: %q", name, data)
+		}
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Ext-1", "Ext-2", "Ext-3", "Ext-4", "Ext-5", "Ext-6", "Ext-7", "Ext-8", "Ext-9", "Ext-10", "Ext-11", "Ext-12", "Ext-13", "Ext-14", "Ext-15", "Ext-16", "Ext-17", "Ext-18", "Ext-19",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %s", want)
+		}
+	}
+	// The framing and merge baselines landed as JSON.
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_framing.json"))
+	if err != nil {
+		t.Fatalf("framing baseline: %v", err)
+	}
+	if !strings.Contains(string(data), `"framing"`) {
+		t.Errorf("framing baseline looks wrong: %q", data)
+	}
+	data, err = os.ReadFile(filepath.Join(dir, "BENCH_merge.json"))
+	if err != nil {
+		t.Fatalf("merge baseline: %v", err)
+	}
+	if !strings.Contains(string(data), `"merge"`) {
+		t.Errorf("merge baseline looks wrong: %q", data)
+	}
+	data, err = os.ReadFile(filepath.Join(dir, "BENCH_chaos.json"))
+	if err != nil {
+		t.Fatalf("chaos baseline: %v", err)
+	}
+	if !strings.Contains(string(data), `"chaos"`) {
+		t.Errorf("chaos baseline looks wrong: %q", data)
+	}
+	data, err = os.ReadFile(filepath.Join(dir, "BENCH_ledger.json"))
+	if err != nil {
+		t.Fatalf("ledger baseline: %v", err)
+	}
+	if !strings.Contains(string(data), `"ledger"`) {
+		t.Errorf("ledger baseline looks wrong: %q", data)
+	}
+	data, err = os.ReadFile(filepath.Join(dir, "BENCH_churn.json"))
+	if err != nil {
+		t.Fatalf("churn baseline: %v", err)
+	}
+	if !strings.Contains(string(data), `"churn"`) {
+		t.Errorf("churn baseline looks wrong: %q", data)
+	}
+	data, err = os.ReadFile(filepath.Join(dir, "BENCH_membership.json"))
+	if err != nil {
+		t.Fatalf("membership baseline: %v", err)
+	}
+	if !strings.Contains(string(data), `"membership"`) {
+		t.Errorf("membership baseline looks wrong: %q", data)
+	}
+}

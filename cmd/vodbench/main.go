@@ -18,6 +18,7 @@
 //	Ext-16 -study ledger    per-server vs ledger-backed link admission
 //	Ext-17 -study churn     elastic membership: join / drain / kill lifecycle
 //	Ext-18 -study contention sharded admission + lock-free read hot paths
+//	Ext-19 -study membership WAN membership: delta-sync gossip at fleet scale
 //	       -study all       everything (default)
 package main
 
@@ -67,14 +68,18 @@ func main() {
 		"write the contention study's rows as a JSON baseline to this file (contention study only)")
 	contentionBaseline := flag.String("contention-baseline", "",
 		"gate the contention study against this baseline file: absolute admissions/sec floor plus baseline-relative shard scaling (contention study only)")
+	membershipOut := flag.String("membership-out", "",
+		"write the membership study's rows as a JSON baseline to this file (membership study only)")
+	membershipBaseline := flag.String("membership-baseline", "",
+		"gate the membership study against this baseline file: delta bytes/round at least 5x under full sync, convergence within 2x, zero false Failed verdicts under the loss plan (membership study only)")
 	flag.Parse()
-	if err := run(os.Stdout, *study, *seed, *duration, *rate, *classMix, *csvDir, *framingOut, *framingBaseline, *mergeOut, *mergeBaseline, *chaosOut, *chaosBaseline, *ledgerOut, *ledgerBaseline, *churnOut, *churnBaseline, *contentionOut, *contentionBaseline); err != nil {
+	if err := run(os.Stdout, *study, *seed, *duration, *rate, *classMix, *csvDir, *framingOut, *framingBaseline, *mergeOut, *mergeBaseline, *chaosOut, *chaosBaseline, *ledgerOut, *ledgerBaseline, *churnOut, *churnBaseline, *contentionOut, *contentionBaseline, *membershipOut, *membershipBaseline); err != nil {
 		fmt.Fprintln(os.Stderr, "vodbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, study string, seed int64, duration time.Duration, rate float64, classMix, csvDir, framingOut, framingBaseline, mergeOut, mergeBaseline, chaosOut, chaosBaseline, ledgerOut, ledgerBaseline, churnOut, churnBaseline, contentionOut, contentionBaseline string) error {
+func run(w io.Writer, study string, seed int64, duration time.Duration, rate float64, classMix, csvDir, framingOut, framingBaseline, mergeOut, mergeBaseline, chaosOut, chaosBaseline, ledgerOut, ledgerBaseline, churnOut, churnBaseline, contentionOut, contentionBaseline, membershipOut, membershipBaseline string) error {
 	writeCSV := func(name string, rows any) error {
 		if csvDir == "" {
 			return nil
@@ -421,6 +426,34 @@ func run(w io.Writer, study string, seed int64, duration time.Duration, rate flo
 			}
 		}
 	}
+	if study == "membership" || study == "all" {
+		known = true
+		cfg := experiments.DefaultMembershipStudyConfig()
+		cfg.Seed = seed
+		rows, err := experiments.MembershipStudy(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "Ext-19. WAN membership: delta-sync gossip vs full views under loss")
+		fmt.Fprintln(w, experiments.FormatMembershipStudy(rows))
+		if err := writeCSV("membership", rows); err != nil {
+			return err
+		}
+		if membershipOut != "" {
+			data, err := json.MarshalIndent(membershipReport{Study: "membership", Rows: rows}, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(membershipOut, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+		}
+		if membershipBaseline != "" {
+			if err := checkMembershipBaseline(w, rows, membershipBaseline); err != nil {
+				return err
+			}
+		}
+	}
 	if !known {
 		return fmt.Errorf("unknown study %q", study)
 	}
@@ -549,6 +582,37 @@ func checkChurnBaseline(w io.Writer, rows []experiments.ChurnRow, path string) e
 	}
 	if bad := experiments.ChurnRegression(rows, base.Rows); len(bad) > 0 {
 		return fmt.Errorf("churn regression: %s", strings.Join(bad, "; "))
+	}
+	return nil
+}
+
+// membershipReport is the committed BENCH_membership.json schema.
+type membershipReport struct {
+	Study string                      `json:"study"`
+	Rows  []experiments.MembershipRow `json:"rows"`
+}
+
+// checkMembershipBaseline gates the membership study on its structural
+// invariants: every cell converged and detected the kills, delta steady
+// bytes at least 5x under full sync per size, delta convergence within 2x of
+// full's, and zero false Failed verdicts anywhere under the loss plan. The
+// checks count rounds and bytes, not wall-clock, so the gate is stable on
+// loaded CI machines.
+func checkMembershipBaseline(w io.Writer, rows []experiments.MembershipRow, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base membershipReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("membership baseline %s: %w", path, err)
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "membership baseline %d/%s: converge %d detect %d bytes/round %d falseFailed %d\n",
+			r.Nodes, r.Mode, r.ConvergeRounds, r.DetectRounds, r.SteadyBytesPerRound, r.FalseFailed)
+	}
+	if bad := experiments.MembershipRegression(rows, base.Rows); len(bad) > 0 {
+		return fmt.Errorf("membership regression: %s", strings.Join(bad, "; "))
 	}
 	return nil
 }

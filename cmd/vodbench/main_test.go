@@ -1,11 +1,14 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
+
+	"dvod/internal/experiments"
 )
 
 func TestRunSingleStudies(t *testing.T) {
@@ -20,7 +23,7 @@ func TestRunSingleStudies(t *testing.T) {
 	}
 	for _, tc := range cases {
 		var b strings.Builder
-		if err := run(&b, tc.study, 1, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", "", "", "", ""); err != nil {
+		if err := run(&b, tc.study, 1, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", "", "", "", "", "", ""); err != nil {
 			t.Fatalf("run(%s): %v", tc.study, err)
 		}
 		if !strings.Contains(b.String(), tc.want) {
@@ -31,7 +34,7 @@ func TestRunSingleStudies(t *testing.T) {
 
 func TestRunRoutingStudyShortTrace(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "routing", 1, 15*time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", "", "", "", ""); err != nil {
+	if err := run(&b, "routing", 1, 15*time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", "", "", "", "", "", ""); err != nil {
 		t.Fatalf("run(routing): %v", err)
 	}
 	out := b.String()
@@ -42,76 +45,8 @@ func TestRunRoutingStudyShortTrace(t *testing.T) {
 
 func TestRunUnknownStudy(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "bogus", 1, time.Minute, 1, "premium:1", "", "", "", "", "", "", "", "", "", "", "", "", ""); err == nil {
+	if err := run(&b, "bogus", 1, time.Minute, 1, "premium:1", "", "", "", "", "", "", "", "", "", "", "", "", "", "", ""); err == nil {
 		t.Fatal("unknown study accepted")
-	}
-}
-
-// TestRunAllStudies exercises every study once with a short routing trace.
-func TestRunAllStudies(t *testing.T) {
-	if testing.Short() {
-		t.Skip("full study sweep")
-	}
-	dir := t.TempDir()
-	var b strings.Builder
-	if err := run(&b, "all", 1, 15*time.Minute, 0.01, "premium:0.2,standard:0.5,background:0.3", dir, filepath.Join(dir, "BENCH_framing.json"), "", filepath.Join(dir, "BENCH_merge.json"), "", filepath.Join(dir, "BENCH_chaos.json"), "", filepath.Join(dir, "BENCH_ledger.json"), "", filepath.Join(dir, "BENCH_churn.json"), "", "", ""); err != nil {
-		t.Fatalf("run(all): %v", err)
-	}
-	// The CSV exports landed.
-	for _, name := range []string{"routing", "cache", "cluster", "striping",
-		"granularity", "scale", "parallel", "blocking", "placement", "adaptation", "admission", "framing", "merge", "chaos", "ledger", "churn", "contention"} {
-		data, err := os.ReadFile(filepath.Join(dir, name+".csv"))
-		if err != nil {
-			t.Errorf("csv %s: %v", name, err)
-			continue
-		}
-		if !strings.Contains(string(data), ",") {
-			t.Errorf("csv %s looks empty: %q", name, data)
-		}
-	}
-	out := b.String()
-	for _, want := range []string{
-		"Ext-1", "Ext-2", "Ext-3", "Ext-4", "Ext-5", "Ext-6", "Ext-7", "Ext-8", "Ext-9", "Ext-10", "Ext-11", "Ext-12", "Ext-13", "Ext-14", "Ext-15", "Ext-16", "Ext-17", "Ext-18",
-	} {
-		if !strings.Contains(out, want) {
-			t.Errorf("missing %s", want)
-		}
-	}
-	// The framing and merge baselines landed as JSON.
-	data, err := os.ReadFile(filepath.Join(dir, "BENCH_framing.json"))
-	if err != nil {
-		t.Fatalf("framing baseline: %v", err)
-	}
-	if !strings.Contains(string(data), `"framing"`) {
-		t.Errorf("framing baseline looks wrong: %q", data)
-	}
-	data, err = os.ReadFile(filepath.Join(dir, "BENCH_merge.json"))
-	if err != nil {
-		t.Fatalf("merge baseline: %v", err)
-	}
-	if !strings.Contains(string(data), `"merge"`) {
-		t.Errorf("merge baseline looks wrong: %q", data)
-	}
-	data, err = os.ReadFile(filepath.Join(dir, "BENCH_chaos.json"))
-	if err != nil {
-		t.Fatalf("chaos baseline: %v", err)
-	}
-	if !strings.Contains(string(data), `"chaos"`) {
-		t.Errorf("chaos baseline looks wrong: %q", data)
-	}
-	data, err = os.ReadFile(filepath.Join(dir, "BENCH_ledger.json"))
-	if err != nil {
-		t.Fatalf("ledger baseline: %v", err)
-	}
-	if !strings.Contains(string(data), `"ledger"`) {
-		t.Errorf("ledger baseline looks wrong: %q", data)
-	}
-	data, err = os.ReadFile(filepath.Join(dir, "BENCH_churn.json"))
-	if err != nil {
-		t.Fatalf("churn baseline: %v", err)
-	}
-	if !strings.Contains(string(data), `"churn"`) {
-		t.Errorf("churn baseline looks wrong: %q", data)
 	}
 }
 
@@ -122,10 +57,10 @@ func TestRunFramingBaselineRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	baseline := filepath.Join(dir, "BENCH_framing.json")
 	var b strings.Builder
-	if err := run(&b, "framing", 7, time.Minute, 0.01, "premium:1", "", baseline, "", "", "", "", "", "", "", "", "", "", ""); err != nil {
+	if err := run(&b, "framing", 7, time.Minute, 0.01, "premium:1", "", baseline, "", "", "", "", "", "", "", "", "", "", "", "", ""); err != nil {
 		t.Fatalf("framing baseline write: %v", err)
 	}
-	if err := run(&b, "framing", 7, time.Minute, 0.01, "premium:1", "", "", baseline, "", "", "", "", "", "", "", "", "", ""); err != nil {
+	if err := run(&b, "framing", 7, time.Minute, 0.01, "premium:1", "", "", baseline, "", "", "", "", "", "", "", "", "", "", "", ""); err != nil {
 		t.Fatalf("framing baseline check: %v", err)
 	}
 	// A baseline promising a framing arm the run does not measure fails.
@@ -133,7 +68,7 @@ func TestRunFramingBaselineRoundTrip(t *testing.T) {
 	if err := os.WriteFile(baseline, []byte(bogus), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&b, "framing", 7, time.Minute, 0.01, "premium:1", "", "", baseline, "", "", "", "", "", "", "", "", "", ""); err == nil {
+	if err := run(&b, "framing", 7, time.Minute, 0.01, "premium:1", "", "", baseline, "", "", "", "", "", "", "", "", "", "", "", ""); err == nil {
 		t.Fatal("baseline with unmeasured cells accepted")
 	}
 }
@@ -145,16 +80,16 @@ func TestRunContentionBaselineRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	baseline := filepath.Join(dir, "BENCH_contention.json")
 	var b strings.Builder
-	if err := run(&b, "contention", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", "", "", baseline, ""); err != nil {
+	if err := run(&b, "contention", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", "", "", baseline, "", "", ""); err != nil {
 		t.Fatalf("contention baseline write: %v", err)
 	}
-	if err := run(&b, "contention", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", "", "", "", baseline); err != nil {
+	if err := run(&b, "contention", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", "", "", "", baseline, "", ""); err != nil {
 		t.Fatalf("contention baseline check: %v", err)
 	}
 	if err := os.WriteFile(baseline, []byte(`{"study":"contention","rows":[]}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&b, "contention", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", "", "", "", baseline); err == nil {
+	if err := run(&b, "contention", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", "", "", "", baseline, "", ""); err == nil {
 		t.Fatal("empty baseline accepted")
 	}
 }
@@ -169,10 +104,10 @@ func TestRunChaosBaselineRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	baseline := filepath.Join(dir, "BENCH_chaos.json")
 	var b strings.Builder
-	if err := run(&b, "chaos", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", baseline, "", "", "", "", "", "", ""); err != nil {
+	if err := run(&b, "chaos", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", baseline, "", "", "", "", "", "", "", "", ""); err != nil {
 		t.Fatalf("chaos baseline write: %v", err)
 	}
-	if err := run(&b, "chaos", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", baseline, "", "", "", "", "", ""); err != nil {
+	if err := run(&b, "chaos", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", baseline, "", "", "", "", "", "", "", ""); err != nil {
 		t.Fatalf("chaos baseline check: %v", err)
 	}
 	// A baseline claiming a zero-MTTR flap recovery demands the impossible:
@@ -182,7 +117,7 @@ func TestRunChaosBaselineRoundTrip(t *testing.T) {
 	if err := os.WriteFile(baseline, []byte(doctored), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&b, "chaos", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", baseline, "", "", "", "", "", ""); err == nil {
+	if err := run(&b, "chaos", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", baseline, "", "", "", "", "", "", "", ""); err == nil {
 		t.Fatal("doctored baseline accepted")
 	}
 }
@@ -197,10 +132,10 @@ func TestRunMergeBaselineRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	baseline := filepath.Join(dir, "BENCH_merge.json")
 	var b strings.Builder
-	if err := run(&b, "merge", 1, time.Minute, 0.01, "premium:1", "", "", "", baseline, "", "", "", "", "", "", "", "", ""); err != nil {
+	if err := run(&b, "merge", 1, time.Minute, 0.01, "premium:1", "", "", "", baseline, "", "", "", "", "", "", "", "", "", "", ""); err != nil {
 		t.Fatalf("merge baseline write: %v", err)
 	}
-	if err := run(&b, "merge", 1, time.Minute, 0.01, "premium:1", "", "", "", "", baseline, "", "", "", "", "", "", "", ""); err != nil {
+	if err := run(&b, "merge", 1, time.Minute, 0.01, "premium:1", "", "", "", "", baseline, "", "", "", "", "", "", "", "", "", ""); err != nil {
 		t.Fatalf("merge baseline check: %v", err)
 	}
 	// Inflate the recorded unicast reads so the baseline demands a saving no
@@ -216,7 +151,7 @@ func TestRunMergeBaselineRoundTrip(t *testing.T) {
 	if err := os.WriteFile(baseline, []byte(doctored), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&b, "merge", 1, time.Minute, 0.01, "premium:1", "", "", "", "", baseline, "", "", "", "", "", "", "", ""); err == nil {
+	if err := run(&b, "merge", 1, time.Minute, 0.01, "premium:1", "", "", "", "", baseline, "", "", "", "", "", "", "", "", "", ""); err == nil {
 		t.Fatal("doctored baseline accepted")
 	}
 }
@@ -232,10 +167,10 @@ func TestRunLedgerBaselineRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	baseline := filepath.Join(dir, "BENCH_ledger.json")
 	var b strings.Builder
-	if err := run(&b, "ledger", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", baseline, "", "", "", "", ""); err != nil {
+	if err := run(&b, "ledger", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", baseline, "", "", "", "", "", "", ""); err != nil {
 		t.Fatalf("ledger baseline write: %v", err)
 	}
-	if err := run(&b, "ledger", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", baseline, "", "", "", ""); err != nil {
+	if err := run(&b, "ledger", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", baseline, "", "", "", "", "", ""); err != nil {
 		t.Fatalf("ledger baseline check: %v", err)
 	}
 	// An empty baseline carries nothing to certify against: the gate must
@@ -243,7 +178,7 @@ func TestRunLedgerBaselineRoundTrip(t *testing.T) {
 	if err := os.WriteFile(baseline, []byte(`{"study":"ledger","rows":[]}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&b, "ledger", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", baseline, "", "", "", ""); err == nil {
+	if err := run(&b, "ledger", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", baseline, "", "", "", "", "", ""); err == nil {
 		t.Fatal("empty baseline accepted")
 	}
 }
@@ -254,16 +189,58 @@ func TestRunChurnBaselineRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	baseline := filepath.Join(dir, "BENCH_churn.json")
 	var b strings.Builder
-	if err := run(&b, "churn", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", baseline, "", "", ""); err != nil {
+	if err := run(&b, "churn", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", baseline, "", "", "", "", ""); err != nil {
 		t.Fatalf("churn baseline write: %v", err)
 	}
-	if err := run(&b, "churn", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", "", baseline, "", ""); err != nil {
+	if err := run(&b, "churn", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", "", baseline, "", "", "", ""); err != nil {
 		t.Fatalf("churn baseline check: %v", err)
 	}
 	if err := os.WriteFile(baseline, []byte(`{"study":"churn","rows":[]}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&b, "churn", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", "", baseline, "", ""); err == nil {
+	if err := run(&b, "churn", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", "", baseline, "", "", "", ""); err == nil {
+		t.Fatal("empty baseline accepted")
+	}
+}
+
+// TestMembershipGateRoundTrip exercises the Ext-19 CLI gate without re-running
+// the study (the full grid runs in TestRunAllStudies): a healthy report passes
+// against itself, an empty baseline is refused, and doctored current rows —
+// a false Failed verdict, or delta bytes creeping toward full sync — fail.
+func TestMembershipGateRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "BENCH_membership.json")
+	rows := []experiments.MembershipRow{
+		{Nodes: 512, Mode: "full", Converged: true, Detected: true,
+			ConvergeRounds: 5, DetectRounds: 15, SteadyBytesPerRound: 22000000},
+		{Nodes: 512, Mode: "delta", Converged: true, Detected: true,
+			ConvergeRounds: 5, DetectRounds: 15, SteadyBytesPerRound: 1300000},
+	}
+	data, err := json.Marshal(membershipReport{Study: "membership", Rows: rows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(baseline, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := checkMembershipBaseline(&b, rows, baseline); err != nil {
+		t.Fatalf("healthy rows failed the gate: %v", err)
+	}
+	falseFailed := append([]experiments.MembershipRow(nil), rows...)
+	falseFailed[1].FalseFailed = 1
+	if err := checkMembershipBaseline(&b, falseFailed, baseline); err == nil {
+		t.Fatal("false Failed verdict passed the gate")
+	}
+	fat := append([]experiments.MembershipRow(nil), rows...)
+	fat[1].SteadyBytesPerRound = 9000000
+	if err := checkMembershipBaseline(&b, fat, baseline); err == nil {
+		t.Fatal("delta bytes within 5x of full passed the gate")
+	}
+	if err := os.WriteFile(baseline, []byte(`{"study":"membership","rows":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkMembershipBaseline(&b, rows, baseline); err == nil {
 		t.Fatal("empty baseline accepted")
 	}
 }

@@ -157,10 +157,14 @@ type Service struct {
 	ledgers   map[NodeID]*ledger.Ledger
 	gossipers map[NodeID]*ledger.Gossiper
 	stopped   map[NodeID]bool
-	hbStop    chan struct{}
-	hbDone    chan struct{}
-	started   bool
-	closed    bool
+	// epochs counts each node's boots: a tracker rebuilt by AddServer after
+	// StopServer announces a fresh epoch so peers reset their delta-sync
+	// acks instead of trusting state the restarted node no longer holds.
+	epochs  map[NodeID]uint64
+	hbStop  chan struct{}
+	hbDone  chan struct{}
+	started bool
+	closed  bool
 }
 
 // New assembles a service over the topology. Call Start to bring the
@@ -223,6 +227,7 @@ func New(spec TopologySpec, opts ...Option) (*Service, error) {
 		injector:  injector,
 		scores:    scores,
 		stopped:   make(map[NodeID]bool),
+		epochs:    make(map[NodeID]uint64),
 		hbStop:    make(chan struct{}),
 		hbDone:    make(chan struct{}),
 	}
@@ -319,11 +324,19 @@ func (s *Service) buildNodeStack(node NodeID) error {
 	}
 	var tr *membership.Tracker
 	if o.membershipInterval > 0 {
+		// No lock: New is single-threaded and AddServer already holds s.mu;
+		// epochs is touched nowhere else.
+		s.epochs[node]++
 		tr, err = membership.New(membership.Config{
-			Self:    node,
-			Seeds:   d.Graph().Nodes(),
-			OnEvent: s.memberEventHook(led),
-			Metrics: reg,
+			Self:          node,
+			Seeds:         d.Graph().Nodes(),
+			SuspectRounds: o.membershipSuspectRounds,
+			FailRounds:    o.membershipFailRounds,
+			ProbeFanout:   o.membershipProbeFanout,
+			FullSyncEvery: o.membershipFullSyncEvery,
+			Epoch:         s.epochs[node],
+			OnEvent:       s.memberEventHook(led),
+			Metrics:       reg,
 		})
 		if err != nil {
 			return err
@@ -370,6 +383,7 @@ func (s *Service) buildNodeStack(node NodeID) error {
 		DisableDefense: o.noDefense,
 		Director:       dir,
 		Members:        mv,
+		MemberProbe:    s.memberProbe(node),
 	})
 	if err != nil {
 		return err
@@ -397,12 +411,14 @@ func (s *Service) buildNodeStack(node NodeID) error {
 	}
 	if tr != nil {
 		mg, err := membership.NewGossiper(membership.GossipConfig{
-			Tracker:  tr,
-			Lookup:   s.book.Lookup,
-			Dial:     s.gossipDialer(node),
-			Interval: o.membershipInterval,
-			Clock:    o.clock,
-			Metrics:  reg,
+			Tracker:         tr,
+			Fanout:          o.membershipFanout,
+			ExchangeTimeout: o.membershipExchangeTimeout,
+			Lookup:          s.book.Lookup,
+			Dial:            s.gossipDialer(node),
+			Interval:        o.membershipInterval,
+			Clock:           o.clock,
+			Metrics:         reg,
 		})
 		if err != nil {
 			return err
@@ -510,6 +526,49 @@ func (s *Service) gossipDialer(self NodeID) func(NodeID, string) (*transport.Con
 		return transport.DialWith(addr, func(rw io.ReadWriteCloser) io.ReadWriteCloser {
 			return inj.WrapStream(peer, nil, rw)
 		})
+	}
+}
+
+// memberProbe dials and pings target on behalf of a member.ping-req sender:
+// the helper leg of the membership failure detector. The dial runs through
+// the fault injector, so a partitioned target fails the indirect probe
+// exactly like it fails direct gossip — and a target only *this* helper
+// cannot reach clears the asker's false suspicion.
+func (s *Service) memberProbe(self NodeID) func(NodeID, string) error {
+	dial := s.gossipDialer(self)
+	return func(target NodeID, addr string) error {
+		if addr == "" {
+			a, err := s.book.Lookup(target)
+			if err != nil {
+				return err
+			}
+			addr = a
+		}
+		conn, err := dial(target, addr)
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		timeout := s.opts.membershipExchangeTimeout
+		if timeout <= 0 {
+			timeout = membership.DefaultExchangeTimeout
+		}
+		_ = conn.SetDeadline(time.Now().Add(timeout))
+		m, err := transport.Encode(transport.TypePing, nil)
+		if err != nil {
+			return err
+		}
+		if err := conn.WriteMessage(m); err != nil {
+			return err
+		}
+		reply, err := conn.ReadMessage()
+		if err != nil {
+			return err
+		}
+		if reply.Type != transport.TypePong {
+			return fmt.Errorf("probe %s: unexpected reply %q", target, reply.Type)
+		}
+		return nil
 	}
 }
 
@@ -1225,8 +1284,15 @@ type options struct {
 	ledgerInterval     time.Duration
 	ledgerFanout       int
 	membershipInterval time.Duration
-	frontDoor          bool
-	dataDir            string
+	// WAN-tuning knobs of the membership plane (zero = membership defaults).
+	membershipFanout          int
+	membershipSuspectRounds   int
+	membershipFailRounds      int
+	membershipProbeFanout     int
+	membershipFullSyncEvery   int
+	membershipExchangeTimeout time.Duration
+	frontDoor                 bool
+	dataDir                   string
 }
 
 type diskShape struct {
@@ -1283,6 +1349,15 @@ func (o options) validate() error {
 		return fmt.Errorf("dvod: negative ledger fan-out %d", o.ledgerFanout)
 	case o.membershipInterval < 0:
 		return fmt.Errorf("dvod: negative membership interval %v", o.membershipInterval)
+	case o.membershipFanout < 0:
+		return fmt.Errorf("dvod: negative membership fan-out %d", o.membershipFanout)
+	case o.membershipExchangeTimeout < 0:
+		return fmt.Errorf("dvod: negative membership exchange timeout %v", o.membershipExchangeTimeout)
+	case o.membershipSuspectRounds < 0 || o.membershipFailRounds < 0:
+		return fmt.Errorf("dvod: negative membership windows %d/%d",
+			o.membershipSuspectRounds, o.membershipFailRounds)
+	case o.membershipFullSyncEvery < 0:
+		return fmt.Errorf("dvod: negative membership full-sync period %d", o.membershipFullSyncEvery)
 	}
 	if o.noLedger && o.admissionMbps <= 0 {
 		return errors.New("dvod: WithoutLedger needs WithAdmission")
@@ -1457,6 +1532,51 @@ func WithMembership(interval time.Duration) Option {
 		}
 		o.membershipInterval = interval
 	}
+}
+
+// WithMembershipWindows sets the failure-detection windows in gossip rounds:
+// suspect consecutive failed contacts trigger the indirect probe whose
+// failure marks a member Suspect, and fail−suspect further unrefuted rounds
+// make it Failed. Zeroes keep the defaults (3 and 6). WAN fleets with lossy
+// links run wider windows (e.g. 4/12) to trade detection latency for a lower
+// false-suspicion rate; the Lifeguard local-health multiplier stretches
+// whichever windows are set when the observer itself is struggling.
+func WithMembershipWindows(suspect, fail int) Option {
+	return func(o *options) {
+		o.membershipSuspectRounds = suspect
+		o.membershipFailRounds = fail
+	}
+}
+
+// WithMembershipFanout sets how many rotation peers each membership gossip
+// round exchanges with (default membership.DefaultFanout, 2). Detection
+// retries and Failed-member redials ride on top of this.
+func WithMembershipFanout(n int) Option {
+	return func(o *options) { o.membershipFanout = n }
+}
+
+// WithMembershipIndirectProbes sets how many live helpers are asked (via
+// member.ping-req) before a quiet member is marked Suspect. Zero keeps the
+// default (3); negative disables indirect probing, convicting on direct
+// failures alone — the pre-WAN behavior.
+func WithMembershipIndirectProbes(k int) Option {
+	return func(o *options) { o.membershipProbeFanout = k }
+}
+
+// WithMembershipFullSyncEvery sets the delta-sync anti-entropy safety net:
+// every nth exchange with one peer ships the full membership view even when
+// the delta would be smaller (default 32). Lower values trade bytes for
+// faster repair after lost updates.
+func WithMembershipFullSyncEvery(n int) Option {
+	return func(o *options) { o.membershipFullSyncEvery = n }
+}
+
+// WithMembershipExchangeTimeout bounds one membership exchange's or indirect
+// probe's socket I/O (default membership.DefaultExchangeTimeout, 2 s).
+// Exchanges within a round run concurrently, so a round facing stalled peers
+// costs one timeout, not one per peer.
+func WithMembershipExchangeTimeout(d time.Duration) Option {
+	return func(o *options) { o.membershipExchangeTimeout = d }
 }
 
 // WithFrontDoor turns every node into a stateless redirect front door: a

@@ -22,13 +22,21 @@ const DefaultGossipInterval = 250 * time.Millisecond
 // O(N) per-round cost of flooding.
 const DefaultFanout = 2
 
+// DefaultExchangeTimeout bounds one exchange's socket I/O. A stalled peer
+// costs at most this much wall time per round — and since exchanges run
+// concurrently within a round, several stalled peers still cost one timeout,
+// not one each.
+const DefaultExchangeTimeout = 2 * time.Second
+
 // GossipConfig assembles a Gossiper.
 type GossipConfig struct {
 	// Tracker is the view this gossiper disseminates. Required.
 	Tracker *Tracker
-	// Peers returns the current gossip targets. Nil uses the tracker's own
-	// GossipPeers (everyone known, not failed or left) — the usual choice,
-	// which makes the peer set itself elastic.
+	// Peers optionally restricts the dialable peer set: when non-nil, the
+	// contact plan rotates only over members it returns (see
+	// Tracker.PlanContactsWithin). Nil (the usual choice) lets the tracker
+	// plan over every known live member plus detection retries and
+	// Failed-member redials.
 	Peers func() []topology.NodeID
 	// Lookup resolves a peer to a dialable address. Required.
 	Lookup func(topology.NodeID) (string, error)
@@ -38,27 +46,31 @@ type GossipConfig struct {
 	Dial func(peer topology.NodeID, addr string) (*transport.Conn, error)
 	// Interval is the gossip cadence. Zero uses DefaultGossipInterval.
 	Interval time.Duration
-	// Fanout is how many peers each round exchanges with. Zero uses
-	// DefaultFanout.
+	// Fanout is how many rotation peers each round exchanges with. Zero uses
+	// DefaultFanout. (Detection retries and due Failed-member redials ride
+	// on top; see Tracker.PlanContacts.)
 	Fanout int
+	// ExchangeTimeout bounds one exchange's or indirect probe's socket I/O.
+	// Zero uses DefaultExchangeTimeout.
+	ExchangeTimeout time.Duration
 	// Clock paces rounds; nil is wall time.
 	Clock clock.Clock
-	// Metrics receives membership.gossip_rounds / membership.gossip_errors;
-	// nil falls back to the tracker's registry.
+	// Metrics receives membership.gossip_rounds / gossip_errors /
+	// bytes_out / bytes_in; nil falls back to the tracker's registry.
 	Metrics *metrics.Registry
 }
 
 // Gossiper disseminates the membership view: every interval it beats the
-// tracker (advancing the heartbeat and the failure detector) and push-pulls
-// the full view with the next Fanout peers in round-robin order over the
-// member list.
+// tracker's failure detector, push-pulls deltas with this round's contact
+// plan (all exchanges concurrently, so a stalled peer costs one timeout, not
+// the round), and runs any indirect probes the detector requests before a
+// Suspect verdict.
 type Gossiper struct {
 	cfg GossipConfig
 
 	// runMu serializes rounds: the background loop and direct RunOnce
 	// callers (deterministic tests) may overlap.
 	runMu sync.Mutex
-	next  int
 
 	mu      sync.Mutex
 	stop    chan struct{}
@@ -86,14 +98,17 @@ func NewGossiper(cfg GossipConfig) (*Gossiper, error) {
 	if cfg.Fanout == 0 {
 		cfg.Fanout = DefaultFanout
 	}
+	if cfg.ExchangeTimeout < 0 {
+		return nil, fmt.Errorf("membership: negative exchange timeout %v", cfg.ExchangeTimeout)
+	}
+	if cfg.ExchangeTimeout == 0 {
+		cfg.ExchangeTimeout = DefaultExchangeTimeout
+	}
 	if cfg.Clock == nil {
 		cfg.Clock = clock.Wall{}
 	}
 	if cfg.Metrics == nil {
 		cfg.Metrics = cfg.Tracker.reg
-	}
-	if cfg.Peers == nil {
-		cfg.Peers = cfg.Tracker.GossipPeers
 	}
 	if cfg.Dial == nil {
 		cfg.Dial = func(_ topology.NodeID, addr string) (*transport.Conn, error) {
@@ -146,33 +161,63 @@ func (g *Gossiper) loop(stop, done chan struct{}) {
 }
 
 // RunOnce executes one gossip round synchronously: beat the failure
-// detector, then exchange views with the next Fanout peers (round-robin over
-// the sorted current peer set). Tests drive convergence deterministically by
-// calling it directly instead of Start.
+// detector, exchange deltas with the tracker's contact plan (concurrently —
+// the round's wall cost is the slowest peer, not the sum), then resolve any
+// indirect probes the detector queued. Tests drive convergence
+// deterministically by calling it directly instead of Start.
 func (g *Gossiper) RunOnce() {
 	g.runMu.Lock()
 	defer g.runMu.Unlock()
-	g.cfg.Tracker.Beat()
+	tr := g.cfg.Tracker
+	tr.Beat()
 	g.cfg.Metrics.Counter("membership.gossip_rounds").Inc()
-	peers := g.cfg.Peers()
-	if len(peers) == 0 {
-		return
-	}
-	fanout := g.cfg.Fanout
-	if fanout > len(peers) {
-		fanout = len(peers)
-	}
-	for i := 0; i < fanout; i++ {
-		peer := peers[g.next%len(peers)]
-		g.next++
-		if err := g.exchange(peer); err != nil {
-			g.cfg.Metrics.Counter("membership.gossip_errors").Inc()
+	// The peer restriction goes into the planner, not over its output:
+	// filtering afterwards would burn rotation slots on undialable members
+	// and starve the fair cadence once the view outgrows the dialable set.
+	var allowed func(topology.NodeID) bool
+	if g.cfg.Peers != nil {
+		set := make(map[topology.NodeID]bool)
+		for _, p := range g.cfg.Peers() {
+			set[p] = true
 		}
+		allowed = func(n topology.NodeID) bool { return set[n] }
 	}
+	plan := tr.PlanContactsWithin(g.cfg.Fanout, allowed)
+	var wg sync.WaitGroup
+	for _, peer := range plan {
+		wg.Add(1)
+		go func(peer topology.NodeID) {
+			defer wg.Done()
+			if err := g.exchange(peer); err != nil {
+				g.cfg.Metrics.Counter("membership.gossip_errors").Inc()
+				tr.ReportContactFailed(peer)
+			}
+		}(peer)
+	}
+	wg.Wait()
+	probes := tr.StartProbes()
+	var pwg sync.WaitGroup
+	for _, p := range probes {
+		pwg.Add(1)
+		go func(p Probe) {
+			defer pwg.Done()
+			ok := false
+			for _, h := range p.Helpers {
+				if g.pingReq(h, p.Target) == nil {
+					ok = true
+					break
+				}
+			}
+			tr.ReportIndirect(p.Target, ok)
+		}(p)
+	}
+	pwg.Wait()
 }
 
-// exchange performs one push-pull view exchange with peer over a fresh
-// connection: member.sync out, member.sync.ok back, merge the reply.
+// exchange performs one push-pull delta exchange with peer over a fresh
+// connection: negotiate the binary framing, send our unacknowledged rows,
+// merge the reply. Success doubles as liveness evidence for the peer (via
+// MergeReply); the caller charges failures to the failure detector.
 func (g *Gossiper) exchange(peer topology.NodeID) error {
 	addr, err := g.cfg.Lookup(peer)
 	if err != nil {
@@ -184,29 +229,109 @@ func (g *Gossiper) exchange(peer topology.NodeID) error {
 	}
 	defer conn.Close()
 	// Wall time deliberately: the deadline guards a real socket even when
-	// the gossip cadence runs on a virtual clock.
-	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
-	m, err := transport.Encode(transport.TypeMemberSync, g.cfg.Tracker.Sync())
+	// the gossip cadence runs on a virtual clock. Both directions are
+	// bounded — a silent peer can stall writes as well as reads.
+	conn.SetDeadline(time.Now().Add(g.cfg.ExchangeTimeout))
+	granted, err := conn.NegotiateCaps(transport.CapMemberSync, transport.CapClusterFrames)
 	if err != nil {
-		return fmt.Errorf("encode sync for %s: %w", peer, err)
+		return fmt.Errorf("negotiate with %s: %w", peer, err)
 	}
-	if err := conn.WriteMessage(m); err != nil {
-		return fmt.Errorf("send sync to %s: %w", peer, err)
+	req := g.cfg.Tracker.SyncFor(peer)
+	binary := granted[transport.CapMemberSync] && granted[transport.CapClusterFrames]
+	if binary {
+		enc, err := transport.AppendMemberSyncPayload(nil, req)
+		if err != nil {
+			return fmt.Errorf("encode sync for %s: %w", peer, err)
+		}
+		g.cfg.Metrics.Counter("membership.bytes_out").Add(int64(len(enc) + transport.FrameHeaderLen))
+		if err := conn.WriteMemberSyncFrame(req, false); err != nil {
+			return fmt.Errorf("send sync to %s: %w", peer, err)
+		}
+	} else {
+		m, err := transport.Encode(transport.TypeMemberSync, req)
+		if err != nil {
+			return fmt.Errorf("encode sync for %s: %w", peer, err)
+		}
+		g.cfg.Metrics.Counter("membership.bytes_out").Add(int64(len(m.Payload)))
+		if err := conn.WriteMessage(m); err != nil {
+			return fmt.Errorf("send sync to %s: %w", peer, err)
+		}
 	}
-	reply, err := conn.ReadMessage()
+	m, f, err := conn.ReadFrameOrMessage(nil)
 	if err != nil {
 		return fmt.Errorf("read reply from %s: %w", peer, err)
 	}
-	if reply.Type == transport.TypeError {
-		return fmt.Errorf("reply from %s: remote error", peer)
+	var reply transport.MemberSyncPayload
+	if f != nil {
+		defer f.Release()
+		if f.Type != transport.FrameMemberSync {
+			return fmt.Errorf("reply from %s: unexpected frame 0x%02x", peer, f.Type)
+		}
+		g.cfg.Metrics.Counter("membership.bytes_in").Add(int64(len(f.Payload) + transport.FrameHeaderLen))
+		reply, err = transport.DecodeMemberSyncFrame(f)
+		if err != nil {
+			return fmt.Errorf("reply from %s: %w", peer, err)
+		}
+	} else {
+		if m.Type == transport.TypeError {
+			return fmt.Errorf("reply from %s: remote error", peer)
+		}
+		if m.Type != transport.TypeMemberSyncOK {
+			return fmt.Errorf("reply from %s: unexpected %q", peer, m.Type)
+		}
+		g.cfg.Metrics.Counter("membership.bytes_in").Add(int64(len(m.Payload)))
+		reply, err = transport.Decode[transport.MemberSyncPayload](m)
+		if err != nil {
+			return fmt.Errorf("reply from %s: %w", peer, err)
+		}
 	}
-	if reply.Type != transport.TypeMemberSyncOK {
-		return fmt.Errorf("reply from %s: unexpected %q", peer, reply.Type)
-	}
-	view, err := transport.Decode[transport.MemberSyncPayload](reply)
+	g.cfg.Tracker.MergeReply(peer, reply)
+	return nil
+}
+
+// pingReq asks helper to probe target on our behalf (member.ping-req): the
+// indirect leg of the failure detector. Returns nil only when the helper
+// answered and reported the target reachable.
+func (g *Gossiper) pingReq(helper, target topology.NodeID) error {
+	haddr, err := g.cfg.Lookup(helper)
 	if err != nil {
-		return fmt.Errorf("reply from %s: %w", peer, err)
+		return fmt.Errorf("lookup helper %s: %w", helper, err)
 	}
-	g.cfg.Tracker.Merge(view)
+	// Resolve the target's address for the helper; best effort — the helper
+	// can resolve it from its own address book when omitted.
+	taddr, _ := g.cfg.Lookup(target)
+	conn, err := g.cfg.Dial(helper, haddr)
+	if err != nil {
+		return fmt.Errorf("dial helper %s: %w", helper, err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(g.cfg.ExchangeTimeout))
+	m, err := transport.Encode(transport.TypeMemberPingReq, transport.MemberPingReqPayload{
+		From:   g.cfg.Tracker.Self(),
+		Target: target,
+		Addr:   taddr,
+	})
+	if err != nil {
+		return fmt.Errorf("encode ping-req for %s: %w", helper, err)
+	}
+	g.cfg.Metrics.Counter("membership.bytes_out").Add(int64(len(m.Payload)))
+	if err := conn.WriteMessage(m); err != nil {
+		return fmt.Errorf("send ping-req to %s: %w", helper, err)
+	}
+	reply, err := conn.ReadMessage()
+	if err != nil {
+		return fmt.Errorf("read ping-ack from %s: %w", helper, err)
+	}
+	if reply.Type != transport.TypeMemberPingAck {
+		return fmt.Errorf("reply from %s: unexpected %q", helper, reply.Type)
+	}
+	g.cfg.Metrics.Counter("membership.bytes_in").Add(int64(len(reply.Payload)))
+	ack, err := transport.Decode[transport.MemberPingAckPayload](reply)
+	if err != nil {
+		return fmt.Errorf("ping-ack from %s: %w", helper, err)
+	}
+	if !ack.OK {
+		return fmt.Errorf("helper %s could not reach %s", helper, target)
+	}
 	return nil
 }

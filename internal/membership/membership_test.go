@@ -1,19 +1,18 @@
 package membership
 
 import (
-	"errors"
-	"net"
 	"testing"
-	"time"
 
-	"dvod/internal/clock"
+	"dvod/internal/metrics"
 	"dvod/internal/topology"
 	"dvod/internal/transport"
 )
 
 func newTestTracker(t *testing.T, self topology.NodeID, seeds ...topology.NodeID) *Tracker {
 	t.Helper()
-	tr, err := New(Config{Self: self, Seeds: seeds})
+	// Local health is disabled in unit trackers so detection windows are the
+	// configured constants; TestLocalHealthStretchesWindows covers the LHM.
+	tr, err := New(Config{Self: self, Seeds: seeds, DisableLocalHealth: true})
 	if err != nil {
 		t.Fatalf("new tracker %s: %v", self, err)
 	}
@@ -25,6 +24,30 @@ func newTestTracker(t *testing.T, self topology.NodeID, seeds ...topology.NodeID
 func syncPair(a, b *Tracker) {
 	reply := b.HandleSync(a.Sync())
 	a.Merge(reply)
+}
+
+// failNode drives tr's failure detector against n exactly like rounds of
+// failed dials would: pending contacts to the suspect threshold, a failed
+// indirect probe, then the suspect-age sweep to the fail verdict.
+func failNode(t *testing.T, tr *Tracker, n topology.NodeID) {
+	t.Helper()
+	for i := 0; i < DefaultSuspectRounds; i++ {
+		tr.Beat()
+		tr.ReportContactFailed(n)
+	}
+	probed := false
+	for _, p := range tr.StartProbes() {
+		if p.Target == n {
+			probed = true
+			tr.ReportIndirect(n, false)
+		}
+	}
+	if !probed {
+		t.Fatalf("no indirect probe for %s after %d failed contacts", n, DefaultSuspectRounds)
+	}
+	for i := DefaultSuspectRounds; i < DefaultFailRounds; i++ {
+		tr.Beat()
+	}
 }
 
 func stateOf(t *testing.T, tr *Tracker, n topology.NodeID) State {
@@ -121,28 +144,95 @@ func TestMergeCommutes(t *testing.T) {
 	}
 }
 
-func TestRoundCountedFailureDetection(t *testing.T) {
+// TestMixedVersionStateDegradesToSuspect pins parseState's safety rule: a
+// state string minted by a newer build must degrade to Suspect (never count
+// as healthy) when an older node merges it — the JSON-path twin of the
+// binary codec's memberStateByte degradation.
+func TestMixedVersionStateDegradesToSuspect(t *testing.T) {
+	for _, unknown := range []string{"quarantined-v9", "ALIVE", ""} {
+		if got := parseState(unknown); got != Suspect {
+			t.Fatalf("parseState(%q) = %v, want suspect", unknown, got)
+		}
+	}
+	tr := newTestTracker(t, "A", "B")
+	tr.Merge(transport.MemberSyncPayload{From: "C", Members: []transport.MemberEntry{
+		{Node: "B", Incarnation: 7, Heartbeat: 1, State: "quarantined-v9"},
+	}})
+	if got := stateOf(t, tr, "B"); got != Suspect {
+		t.Fatalf("B %v after merging an unknown future state, want the suspect degradation", got)
+	}
+	// And the degraded entry still obeys the usual refutation rules.
+	tr.Merge(transport.MemberSyncPayload{From: "B", Members: []transport.MemberEntry{
+		{Node: "B", Incarnation: 8, Heartbeat: 1, State: "alive"},
+	}})
+	if got := stateOf(t, tr, "B"); got != Alive {
+		t.Fatalf("B %v after refuting the degraded state, want alive", got)
+	}
+}
+
+// TestProbeDrivenFailureDetection pins the detection pipeline: consecutive
+// failed contacts alone do not convict — the verdict needs the failed
+// indirect probe, and the fail verdict needs the suspect-age sweep.
+func TestProbeDrivenFailureDetection(t *testing.T) {
 	var events []Event
-	tr, err := New(Config{Self: "A", Seeds: []topology.NodeID{"B"},
+	reg := metrics.NewRegistry()
+	tr, err := New(Config{Self: "A", Seeds: []topology.NodeID{"B", "C", "D"},
+		DisableLocalHealth: true, Metrics: reg,
 		OnEvent: func(ev Event) { events = append(events, ev) }})
 	if err != nil {
 		t.Fatalf("new: %v", err)
 	}
 	for i := 0; i < DefaultSuspectRounds-1; i++ {
 		tr.Beat()
+		tr.ReportContactFailed("B")
 	}
-	if got := stateOf(t, tr, "B"); got != Alive {
-		t.Fatalf("B %v after %d quiet rounds, want alive", got, DefaultSuspectRounds-1)
+	if probes := tr.StartProbes(); len(probes) != 0 {
+		t.Fatalf("probe fired after %d failures, want none before the threshold", DefaultSuspectRounds-1)
 	}
 	tr.Beat()
+	tr.ReportContactFailed("B")
+	if got := stateOf(t, tr, "B"); got != Alive {
+		t.Fatalf("B %v before the indirect probe resolved, want alive (no verdict on direct evidence alone)", got)
+	}
+	probes := tr.StartProbes()
+	if len(probes) != 1 || probes[0].Target != "B" {
+		t.Fatalf("probes %+v, want exactly one for B", probes)
+	}
+	if len(probes[0].Helpers) == 0 {
+		t.Fatalf("probe for B got no helpers with C and D alive")
+	}
+	for _, h := range probes[0].Helpers {
+		if h == "A" || h == "B" {
+			t.Fatalf("helper set %v includes self or the target", probes[0].Helpers)
+		}
+	}
+	// A rescue clears the streak: the fault was on our path, not the member.
+	tr.ReportIndirect("B", true)
+	if got := stateOf(t, tr, "B"); got != Alive {
+		t.Fatalf("B %v after an indirect rescue, want alive", got)
+	}
+	if got := reg.Counter("membership.indirect_rescues").Value(); got != 1 {
+		t.Fatalf("indirect_rescues %d, want 1", got)
+	}
+
+	// A fresh streak plus a failed probe convicts.
+	for i := 0; i < DefaultSuspectRounds; i++ {
+		tr.Beat()
+		tr.ReportContactFailed("B")
+	}
+	probes = tr.StartProbes()
+	if len(probes) != 1 {
+		t.Fatalf("probes %+v, want one for the fresh streak", probes)
+	}
+	tr.ReportIndirect("B", false)
 	if got := stateOf(t, tr, "B"); got != Suspect {
-		t.Fatalf("B %v after %d quiet rounds, want suspect", got, DefaultSuspectRounds)
+		t.Fatalf("B %v after the failed indirect probe, want suspect", got)
 	}
 	for i := DefaultSuspectRounds; i < DefaultFailRounds; i++ {
 		tr.Beat()
 	}
 	if got := stateOf(t, tr, "B"); got != Failed {
-		t.Fatalf("B %v after %d quiet rounds, want failed", got, DefaultFailRounds)
+		t.Fatalf("B %v after the suspect-age sweep, want failed", got)
 	}
 	var kinds []EventKind
 	for _, ev := range events {
@@ -150,6 +240,9 @@ func TestRoundCountedFailureDetection(t *testing.T) {
 	}
 	if len(kinds) != 2 || kinds[0] != EventSuspect || kinds[1] != EventFail {
 		t.Fatalf("event kinds %v, want [suspect fail]", kinds)
+	}
+	if got := reg.Counter("membership.indirect_probes").Value(); got != 2 {
+		t.Fatalf("indirect_probes %d, want 2", got)
 	}
 	// A failed member STAYS in the gossip peer set — the periodic dial is
 	// its refutation channel, without which two sides of a healed partition
@@ -167,19 +260,20 @@ func TestRoundCountedFailureDetection(t *testing.T) {
 
 // TestFailedVerdictIsRefutable pins partition healing: after A fails B, an
 // exchange finally reaching the live B lets it refute at a higher
-// incarnation, A emits a recover event, and the verdict is undone.
+// incarnation, A emits a recover event plus the false-suspect accounting,
+// and the verdict is undone.
 func TestFailedVerdictIsRefutable(t *testing.T) {
 	var events []Event
+	reg := metrics.NewRegistry()
 	a, err := New(Config{Self: "A", Seeds: []topology.NodeID{"B"},
+		DisableLocalHealth: true, Metrics: reg,
 		OnEvent: func(ev Event) { events = append(events, ev) }})
 	if err != nil {
 		t.Fatalf("new: %v", err)
 	}
 	b := newTestTracker(t, "B", "A")
 	syncPair(a, b)
-	for i := 0; i < DefaultFailRounds; i++ {
-		a.Beat()
-	}
+	failNode(t, a, "B")
 	if got := stateOf(t, a, "B"); got != Failed {
 		t.Fatalf("B %v on A, want failed", got)
 	}
@@ -202,9 +296,17 @@ func TestFailedVerdictIsRefutable(t *testing.T) {
 	if !sawRecover {
 		t.Fatal("no recover event for the revived member")
 	}
+	// A originated this suspicion and it proved wrong: the false-suspect
+	// counter (the study's false-positive measure) must record it.
+	if got := reg.Counter("membership.false_suspects").Value(); got != 1 {
+		t.Fatalf("false_suspects %d, want 1", got)
+	}
 }
 
-func TestHeartbeatAdvanceResetsDetection(t *testing.T) {
+// TestSteadyGossipKeepsAlive pins that successful contacts reset detection:
+// two nodes exchanging every round never suspect each other, however many
+// rounds pass.
+func TestSteadyGossipKeepsAlive(t *testing.T) {
 	a := newTestTracker(t, "A", "B")
 	b := newTestTracker(t, "B", "A")
 	for round := 0; round < 5*DefaultFailRounds; round++ {
@@ -227,10 +329,7 @@ func TestRefutationSpreads(t *testing.T) {
 	// A learns B's real (incarnation 1) entry, so the later fail verdict is
 	// at an incarnation B must actually outbid to refute.
 	syncPair(a, b)
-	// B's gossip stops reaching A long enough for a fail verdict.
-	for i := 0; i < DefaultFailRounds; i++ {
-		a.Beat()
-	}
+	failNode(t, a, "B")
 	if got := stateOf(t, a, "B"); got != Failed {
 		t.Fatalf("B %v on A, want failed", got)
 	}
@@ -248,11 +347,146 @@ func TestRefutationSpreads(t *testing.T) {
 	}
 }
 
+// TestLocalHealthStretchesWindows pins the Lifeguard multiplier: an observer
+// whose own rounds are erroring takes proportionally longer to suspect
+// anyone, and recovers its normal windows once its rounds go clean.
+func TestLocalHealthStretchesWindows(t *testing.T) {
+	tr, err := New(Config{Self: "A", Seeds: []topology.NodeID{"B", "C"}})
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	// Every contact fails: the node itself is unhealthy. The multiplier
+	// climbs and the suspect threshold stretches past the default.
+	for i := 0; i < DefaultSuspectRounds; i++ {
+		tr.Beat()
+		tr.ReportContactFailed("B")
+		tr.ReportContactFailed("C")
+	}
+	if tr.LocalHealth() == 0 {
+		t.Fatal("local health multiplier stayed 0 through all-failing rounds")
+	}
+	if probes := tr.StartProbes(); len(probes) != 0 {
+		t.Fatalf("probes %+v fired at the unstretched threshold despite degraded local health", probes)
+	}
+	// Clean rounds drain the multiplier back to zero.
+	for i := 0; i < 2*maxLocalHealth; i++ {
+		tr.Beat()
+		tr.ReportContact("B")
+		tr.ReportContact("C")
+	}
+	if got := tr.LocalHealth(); got != 0 {
+		t.Fatalf("local health %d after clean rounds, want 0", got)
+	}
+
+	// Control: with local health disabled the same failure pattern probes
+	// right at the default threshold.
+	ctl := newTestTracker(t, "A", "B", "C")
+	for i := 0; i < DefaultSuspectRounds; i++ {
+		ctl.Beat()
+		ctl.ReportContactFailed("B")
+		ctl.ReportContactFailed("C")
+	}
+	if probes := ctl.StartProbes(); len(probes) != 2 {
+		t.Fatalf("control probes %+v, want both members at the unstretched threshold", probes)
+	}
+}
+
+// TestDeltaSyncProtocol pins the ack-driven delta exchange: first contact is
+// full both ways, a steady pair converges to empty deltas, a local change
+// travels as a one-row delta, and a peer restart (new epoch) forces a full
+// resync.
+func TestDeltaSyncProtocol(t *testing.T) {
+	a := newTestTracker(t, "A", "B")
+	b := newTestTracker(t, "B", "A")
+
+	exchange := func(x, y *Tracker, peerOfX, peerOfY topology.NodeID) transport.MemberSyncPayload {
+		req := x.SyncFor(peerOfX)
+		reply := y.HandleSync(req)
+		x.MergeReply(peerOfX, reply)
+		return req
+	}
+
+	first := a.SyncFor("B")
+	if !first.Full || len(first.Members) != 2 {
+		t.Fatalf("first leg %+v, want a full 2-row view", first)
+	}
+	reply := b.HandleSync(first)
+	if !reply.Full {
+		t.Fatalf("first reply %+v, want full (B never heard from A either)", reply)
+	}
+	a.MergeReply("B", reply)
+
+	// A few steady exchanges: the pair settles into empty deltas.
+	for i := 0; i < 3; i++ {
+		exchange(a, b, "B", "A")
+	}
+	steady := a.SyncFor("B")
+	if steady.Full {
+		t.Fatalf("steady leg still full: %+v", steady)
+	}
+	if len(steady.Members) != 0 {
+		t.Fatalf("steady delta carries %d rows, want 0 (nothing changed)", len(steady.Members))
+	}
+	b.HandleSync(steady)
+
+	// One local change on B travels as a one-row delta to A.
+	b.SetLocalState(Draining)
+	req := a.SyncFor("B")
+	reply = b.HandleSync(req)
+	if reply.Full {
+		t.Fatalf("post-change reply went full: %+v", reply)
+	}
+	if len(reply.Members) != 1 || reply.Members[0].Node != "B" || reply.Members[0].State != "draining" {
+		t.Fatalf("post-change delta %+v, want exactly B's draining row", reply.Members)
+	}
+	a.MergeReply("B", reply)
+	if got := stateOf(t, a, "B"); got != Draining {
+		t.Fatalf("B %v on A after the delta, want draining", got)
+	}
+
+	// A view-count mismatch triggers the want-full fallback.
+	mismatch := transport.MemberSyncPayload{From: "A", Epoch: a.Epoch(), Seq: 1, Known: 5}
+	if got := b.HandleSync(mismatch); !got.WantFull {
+		t.Fatalf("reply %+v, want WantFull after a larger-view claim", got)
+	}
+
+	// B restarts with a new epoch: A's next leg after hearing it must be a
+	// full view again (the restarted B lost all its acks).
+	b2, err := New(Config{Self: "B", Seeds: []topology.NodeID{"A"}, Epoch: 2, DisableLocalHealth: true})
+	if err != nil {
+		t.Fatalf("restart B: %v", err)
+	}
+	a.MergeReply("B", b2.HandleSync(a.SyncFor("B")))
+	if leg := a.SyncFor("B"); !leg.Full {
+		t.Fatalf("leg after B's epoch change %+v, want full", leg)
+	}
+}
+
+// TestLegacyPeerGetsFullViews pins the mixed-fleet fallback: a peer whose
+// payloads carry no epoch (an old build) is served full views forever, and
+// merging its full view still works.
+func TestLegacyPeerGetsFullViews(t *testing.T) {
+	a := newTestTracker(t, "A", "B")
+	legacy := transport.MemberSyncPayload{From: "B", Members: []transport.MemberEntry{
+		{Node: "A", Incarnation: 1, Heartbeat: 1, State: "alive"},
+		{Node: "B", Incarnation: 1, Heartbeat: 5, State: "alive"},
+	}}
+	for i := 0; i < 3; i++ {
+		reply := a.HandleSync(legacy)
+		if !reply.Full || len(reply.Members) != 2 {
+			t.Fatalf("reply %d to a legacy peer: %+v, want a full view every time", i, reply)
+		}
+	}
+	if got, _ := a.Member("B"); got.Heartbeat != 5 {
+		t.Fatalf("legacy view not merged: %+v", got)
+	}
+}
+
 func TestDrainAndLeaveAnnouncements(t *testing.T) {
 	a := newTestTracker(t, "A", "B")
 	b := newTestTracker(t, "B", "A")
 	var kinds []EventKind
-	c, err := New(Config{Self: "C", Seeds: []topology.NodeID{"A", "B"},
+	c, err := New(Config{Self: "C", Seeds: []topology.NodeID{"A", "B"}, DisableLocalHealth: true,
 		OnEvent: func(ev Event) { kinds = append(kinds, ev.Kind) }})
 	if err != nil {
 		t.Fatalf("new: %v", err)
@@ -290,89 +524,93 @@ func TestDrainAndLeaveAnnouncements(t *testing.T) {
 	}
 }
 
-// dialTo answers exactly one member.sync exchange against the target
-// tracker, mirroring Server.handleMemberSync over an in-memory pipe.
-func dialTo(target *Tracker) func(topology.NodeID, string) (*transport.Conn, error) {
-	return func(topology.NodeID, string) (*transport.Conn, error) {
-		cp, sp := net.Pipe()
-		client, server := transport.NewConn(cp), transport.NewConn(sp)
-		go func() {
-			defer server.Close()
-			m, err := server.ReadMessage()
-			if err != nil || m.Type != transport.TypeMemberSync {
-				return
-			}
-			req, err := transport.Decode[transport.MemberSyncPayload](m)
-			if err != nil {
-				return
-			}
-			reply, err := transport.Encode(transport.TypeMemberSyncOK, target.HandleSync(req))
-			if err != nil {
-				return
-			}
-			server.WriteMessage(reply)
-		}()
-		return client, nil
+// TestRotationFairness pins the stable-cursor rotation: with a fixed
+// membership every peer is visited exactly once per cycle, and a member
+// joining mid-cycle slots into the rotation without starving anyone — the
+// failure mode of the old index-modulo rotation over a re-fetched slice.
+func TestRotationFairness(t *testing.T) {
+	tr := newTestTracker(t, "M", "B", "C", "D", "E", "F")
+	var picks []topology.NodeID
+	for i := 0; i < 10; i++ {
+		got := tr.PlanContacts(1)
+		if len(got) != 1 {
+			t.Fatalf("plan %v, want exactly one rotation pick", got)
+		}
+		picks = append(picks, got[0])
+	}
+	want := []topology.NodeID{"B", "C", "D", "E", "F", "B", "C", "D", "E", "F"}
+	for i := range want {
+		if picks[i] != want[i] {
+			t.Fatalf("rotation %v, want %v", picks, want)
+		}
+	}
+
+	// A new member whose ID sorts before the whole pool joins mid-cycle
+	// (after the cursor passed "C"): the next full cycle must still visit
+	// all six peers exactly once each.
+	tr.Merge(transport.MemberSyncPayload{From: "AA", Members: []transport.MemberEntry{
+		{Node: "AA", Incarnation: 1, Heartbeat: 1, State: "alive"},
+	}})
+	tr.PlanContacts(1) // advance to D
+	seen := map[topology.NodeID]int{}
+	for i := 0; i < 6; i++ {
+		got := tr.PlanContacts(1)
+		seen[got[0]]++
+	}
+	for _, n := range []topology.NodeID{"AA", "B", "C", "D", "E", "F"} {
+		if seen[n] != 1 {
+			t.Fatalf("churned rotation visited %v; %s seen %d times, want exactly once each", seen, n, seen[n])
+		}
 	}
 }
 
-func TestGossiperConvergesAndDetects(t *testing.T) {
-	clk := clock.NewVirtual(time.Unix(0, 0))
-	nodes := []topology.NodeID{"A", "B", "C"}
-	trackers := map[topology.NodeID]*Tracker{}
-	for _, n := range nodes {
-		trackers[n] = newTestTracker(t, n, nodes...)
+// TestPlanContactsSections pins the plan's composition: detection retries
+// ride on top of the rotation every round, and Failed members are dialed on
+// the decaying schedule with the skipped dials counted.
+func TestPlanContactsSections(t *testing.T) {
+	reg := metrics.NewRegistry()
+	tr, err := New(Config{Self: "A", Seeds: []topology.NodeID{"B", "C", "D", "E"},
+		DisableLocalHealth: true, Metrics: reg})
+	if err != nil {
+		t.Fatalf("new: %v", err)
 	}
-	alive := map[topology.NodeID]bool{"A": true, "B": true, "C": true}
-	gossipers := map[topology.NodeID]*Gossiper{}
-	for _, n := range nodes {
-		tr := trackers[n]
-		g, err := NewGossiper(GossipConfig{
-			Tracker: tr,
-			Lookup:  func(p topology.NodeID) (string, error) { return "mem", nil },
-			Dial: func(peer topology.NodeID, _ string) (*transport.Conn, error) {
-				if !alive[peer] {
-					return nil, errors.New("connection refused")
-				}
-				return dialTo(trackers[peer])(peer, "mem")
-			},
-			Clock: clk,
-		})
-		if err != nil {
-			t.Fatalf("gossiper %s: %v", n, err)
-		}
-		gossipers[n] = g
-	}
-	round := func() {
-		for _, n := range nodes {
-			if alive[n] {
-				gossipers[n].RunOnce()
-			}
-		}
-	}
+	// A pending streak on E keeps it in every plan regardless of rotation.
+	tr.Beat()
+	tr.ReportContactFailed("E")
 	for i := 0; i < 3; i++ {
-		round()
-	}
-	for _, n := range nodes {
-		for _, m := range nodes {
-			if got := stateOf(t, trackers[n], m); got != Alive {
-				t.Fatalf("%s sees %s as %v after steady rounds, want alive", n, m, got)
+		plan := tr.PlanContacts(1)
+		found := false
+		for _, n := range plan {
+			if n == "E" {
+				found = true
 			}
+		}
+		if !found {
+			t.Fatalf("plan %v on round %d omits the pending member E", plan, i)
 		}
 	}
 
-	// Kill C: its gossiper stops and dials toward it refuse. Survivors mark
-	// it suspect and then failed after the round-counted windows.
-	alive["C"] = false
-	for i := 0; i < DefaultFailRounds; i++ {
-		round()
+	// Fail E, then count its redials over the next 40 rounds: the decaying
+	// 2^n schedule allows ~5, versus 40 under every-round dialing, and the
+	// saved dials are accounted.
+	failNode(t, tr, "E")
+	if got := stateOf(t, tr, "E"); got != Failed {
+		t.Fatalf("E %v, want failed", got)
 	}
-	for _, n := range []topology.NodeID{"A", "B"} {
-		if got := stateOf(t, trackers[n], "C"); got != Failed {
-			t.Fatalf("%s sees C as %v after kill, want failed", n, got)
+	redials := 0
+	for i := 0; i < 40; i++ {
+		tr.Beat()
+		for _, n := range tr.PlanContacts(2) {
+			if n == "E" {
+				redials++
+			}
 		}
 	}
-	if got := trackers["A"].Alive(); len(got) != 2 {
-		t.Fatalf("A's alive set %v, want 2 members", got)
+	if redials == 0 || redials > 7 {
+		t.Fatalf("failed member redialed %d times in 40 rounds, want a handful on the decaying schedule", redials)
+	}
+	saved := reg.Counter("membership.failed_dials_saved").Value()
+	if saved < 30 {
+		t.Fatalf("failed_dials_saved %d, want ≥ 30 of the 40 rounds skipped", saved)
 	}
 }

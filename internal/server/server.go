@@ -129,6 +129,11 @@ type Config struct {
 	// member.sync exchanges are merged and answered here (normally a
 	// membership.Tracker). Nil refuses member.sync requests.
 	Members MemberView
+	// MemberProbe performs one liveness probe on behalf of a member.ping-req
+	// sender: reach the target node at addr and report nil when it answers.
+	// Nil answers every ping-req with OK=false (no second opinion — the
+	// asker falls back to its direct evidence).
+	MemberProbe func(target topology.NodeID, addr string) error
 }
 
 // Director is the redirect decision hook (implemented by
@@ -334,9 +339,16 @@ func (s *Server) handleConn(c *transport.Conn) {
 		}
 		_ = c.SetReadDeadline(time.Time{})
 		if f != nil {
-			// The only binary frame a peer initiates is a ledger sync (the
-			// gossip anti-entropy exchange on a negotiated connection).
-			err := s.handleLedgerSyncFrame(c, f)
+			// A peer initiates two kinds of binary frame: ledger and
+			// membership syncs (the gossip anti-entropy exchanges on a
+			// negotiated connection).
+			var err error
+			switch f.Type {
+			case transport.FrameMemberSync:
+				err = s.handleMemberSyncFrame(c, f)
+			default:
+				err = s.handleLedgerSyncFrame(c, f)
+			}
 			f.Release()
 			if err != nil {
 				s.cfg.Metrics.Counter("server.errors").Inc()
@@ -378,6 +390,8 @@ func (s *Server) dispatch(c *transport.Conn, m transport.Message) error {
 		return s.handleLedgerSync(c, m)
 	case transport.TypeMemberSync:
 		return s.handleMemberSync(c, m)
+	case transport.TypeMemberPingReq:
+		return s.handleMemberPingReq(c, m)
 	default:
 		return fmt.Errorf("unknown message type %q", m.Type)
 	}
@@ -581,6 +595,44 @@ func (s *Server) handleMemberSync(c *transport.Conn, m transport.Message) error 
 	}
 	s.cfg.Metrics.Counter("server.member_syncs").Inc()
 	resp, err := transport.Encode(transport.TypeMemberSyncOK, s.cfg.Members.HandleSync(req))
+	if err != nil {
+		return err
+	}
+	return c.WriteMessage(resp)
+}
+
+// handleMemberSyncFrame is the binary-framed twin of handleMemberSync, used
+// on connections whose hello exchange granted member-sync-v1 + cluster
+// frames. The reply goes back on the same framing, flagged as a reply.
+func (s *Server) handleMemberSyncFrame(c *transport.Conn, f *transport.Frame) error {
+	if s.cfg.Members == nil {
+		return fmt.Errorf("no membership view on %s", s.cfg.Node)
+	}
+	req, err := transport.DecodeMemberSyncFrame(f)
+	if err != nil {
+		return err
+	}
+	s.cfg.Metrics.Counter("server.member_syncs").Inc()
+	return c.WriteMemberSyncFrame(s.cfg.Members.HandleSync(req), true)
+}
+
+// handleMemberPingReq probes a third node on a peer's behalf: the indirect
+// leg of the membership failure detector. The answer is advisory — OK only
+// when this node actually reached the target just now.
+func (s *Server) handleMemberPingReq(c *transport.Conn, m transport.Message) error {
+	req, err := transport.Decode[transport.MemberPingReqPayload](m)
+	if err != nil {
+		return err
+	}
+	s.cfg.Metrics.Counter("server.member_ping_reqs").Inc()
+	ok := false
+	if s.cfg.MemberProbe != nil && req.Target != "" {
+		ok = s.cfg.MemberProbe(req.Target, req.Addr) == nil
+	}
+	resp, err := transport.Encode(transport.TypeMemberPingAck, transport.MemberPingAckPayload{
+		Target: req.Target,
+		OK:     ok,
+	})
 	if err != nil {
 		return err
 	}

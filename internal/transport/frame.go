@@ -554,6 +554,8 @@ func (c *Conn) AcceptHello(m Message) error {
 				c.EnableBinaryFrames()
 			case CapLedgerSync:
 				granted = append(granted, CapLedgerSync)
+			case CapMemberSync:
+				granted = append(granted, CapMemberSync)
 			}
 		}
 	}

@@ -93,6 +93,12 @@ const (
 	// merged view.
 	TypeMemberSync   = "member.sync"
 	TypeMemberSyncOK = "member.sync.ok"
+	// TypeMemberPingReq asks a helper node to probe a third member on the
+	// sender's behalf (MemberPingReqPayload) — the indirect-probing leg of
+	// the failure detector, so one bad link cannot produce a Suspect
+	// verdict. TypeMemberPingAck answers with the probe outcome.
+	TypeMemberPingReq = "member.ping-req"
+	TypeMemberPingAck = "member.ping-ack"
 )
 
 // Message is one control frame.
@@ -207,11 +213,52 @@ type MemberEntry struct {
 	State       string          `json:"state"`
 }
 
-// MemberSyncPayload carries one gossiper's full membership view (member
-// counts are small, so full-state push-pull beats delta bookkeeping).
+// MemberSyncPayload carries one leg of a membership anti-entropy exchange.
+// Since the delta-sync protocol, Members usually holds only the rows that
+// changed since the receiver's last acknowledged update sequence; a
+// first-contact, mismatch, restart, or periodic exchange ships the full view
+// with Full set. Legacy peers leave Epoch zero and always ship full views —
+// a receiver treats such payloads exactly as before the delta protocol.
 type MemberSyncPayload struct {
 	From    topology.NodeID `json:"from"`
 	Members []MemberEntry   `json:"members"`
+	// Epoch is the sender's boot epoch: a restarted tracker announces a new
+	// one, which resets the receiver's per-peer ack state (the restarted
+	// side lost its acks, so deltas computed against them would be unsound).
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Seq is the sender's update sequence covered by this payload; the
+	// receiver echoes it back as Ack once the rows are merged.
+	Seq uint64 `json:"seq,omitempty"`
+	// Ack is the highest Seq of the receiver's own state that the sender has
+	// merged — the scalar ack the receiver's next delta is computed against.
+	Ack uint64 `json:"ack,omitempty"`
+	// Full marks a full-view payload (first contact, restart, explicit
+	// request, or the periodic anti-entropy safety net).
+	Full bool `json:"full,omitempty"`
+	// WantFull asks the receiver to make its next payload toward the sender
+	// a full view (ack-state mismatch recovery).
+	WantFull bool `json:"wantFull,omitempty"`
+	// Known is the size of the sender's view; a count disagreement after a
+	// delta merge triggers the full-sync fallback in whichever direction is
+	// missing rows.
+	Known int `json:"known,omitempty"`
+}
+
+// MemberPingReqPayload asks the receiving helper to probe Target on the
+// sender's behalf: the indirect leg of the SWIM-style failure detector. Addr
+// is the target's dialable endpoint as the sender knows it (the helper may
+// resolve its own if empty).
+type MemberPingReqPayload struct {
+	From   topology.NodeID `json:"from"`
+	Target topology.NodeID `json:"target"`
+	Addr   string          `json:"addr,omitempty"`
+}
+
+// MemberPingAckPayload reports an indirect probe's outcome: OK means the
+// helper reached Target.
+type MemberPingAckPayload struct {
+	Target topology.NodeID `json:"target"`
+	OK     bool            `json:"ok"`
 }
 
 // ClusterPayload announces one cluster's raw bytes, which follow the frame.
@@ -304,6 +351,17 @@ func (c *Conn) Close() error {
 func (c *Conn) SetReadDeadline(t time.Time) error {
 	if d, ok := c.rw.(interface{ SetReadDeadline(time.Time) error }); ok {
 		return d.SetReadDeadline(t)
+	}
+	return nil
+}
+
+// SetDeadline bounds both directions when the underlying stream supports
+// deadlines. Exchanges that must stay on cadence use this rather than
+// SetReadDeadline: a peer that accepted and went silent can stall the write
+// leg too (full socket buffers), not just the reply read.
+func (c *Conn) SetDeadline(t time.Time) error {
+	if d, ok := c.rw.(interface{ SetDeadline(time.Time) error }); ok {
+		return d.SetDeadline(t)
 	}
 	return nil
 }
