@@ -24,6 +24,7 @@ fuzz:
 	$(GO) test ./internal/transport/ -fuzz FuzzRoundTrip -fuzztime 30s
 	$(GO) test ./internal/transport/ -fuzz FuzzDecodeFrame -fuzztime 30s
 	$(GO) test ./internal/transport/ -fuzz FuzzLedgerSyncFrame -fuzztime 30s
+	$(GO) test ./internal/transport/ -fuzz FuzzPrefixAnnounceFrame -fuzztime 30s
 
 cover:
 	$(GO) test -cover ./...

@@ -22,12 +22,12 @@ func TestRunAllStudies(t *testing.T) {
 	}
 	dir := t.TempDir()
 	var b strings.Builder
-	if err := run(&b, "all", 1, 15*time.Minute, 0.01, "premium:0.2,standard:0.5,background:0.3", dir, filepath.Join(dir, "BENCH_framing.json"), "", filepath.Join(dir, "BENCH_merge.json"), "", filepath.Join(dir, "BENCH_chaos.json"), "", filepath.Join(dir, "BENCH_ledger.json"), "", filepath.Join(dir, "BENCH_churn.json"), "", "", "", filepath.Join(dir, "BENCH_membership.json"), ""); err != nil {
+	if err := run(&b, "all", 1, 15*time.Minute, 0.01, "premium:0.2,standard:0.5,background:0.3", dir, filepath.Join(dir, "BENCH_framing.json"), "", filepath.Join(dir, "BENCH_merge.json"), "", filepath.Join(dir, "BENCH_chaos.json"), "", filepath.Join(dir, "BENCH_ledger.json"), "", filepath.Join(dir, "BENCH_churn.json"), "", "", "", filepath.Join(dir, "BENCH_membership.json"), "", filepath.Join(dir, "BENCH_prefix.json"), ""); err != nil {
 		t.Fatalf("run(all): %v", err)
 	}
 	// The CSV exports landed.
 	for _, name := range []string{"routing", "cache", "cluster", "striping",
-		"granularity", "scale", "parallel", "blocking", "placement", "adaptation", "admission", "framing", "merge", "chaos", "ledger", "churn", "contention", "membership"} {
+		"granularity", "scale", "parallel", "blocking", "placement", "adaptation", "admission", "framing", "merge", "chaos", "ledger", "churn", "contention", "membership", "prefix"} {
 		data, err := os.ReadFile(filepath.Join(dir, name+".csv"))
 		if err != nil {
 			t.Errorf("csv %s: %v", name, err)
@@ -39,7 +39,7 @@ func TestRunAllStudies(t *testing.T) {
 	}
 	out := b.String()
 	for _, want := range []string{
-		"Ext-1", "Ext-2", "Ext-3", "Ext-4", "Ext-5", "Ext-6", "Ext-7", "Ext-8", "Ext-9", "Ext-10", "Ext-11", "Ext-12", "Ext-13", "Ext-14", "Ext-15", "Ext-16", "Ext-17", "Ext-18", "Ext-19",
+		"Ext-1", "Ext-2", "Ext-3", "Ext-4", "Ext-5", "Ext-6", "Ext-7", "Ext-8", "Ext-9", "Ext-10", "Ext-11", "Ext-12", "Ext-13", "Ext-14", "Ext-15", "Ext-16", "Ext-17", "Ext-18", "Ext-19", "Ext-20",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("missing %s", want)
@@ -87,5 +87,12 @@ func TestRunAllStudies(t *testing.T) {
 	}
 	if !strings.Contains(string(data), `"membership"`) {
 		t.Errorf("membership baseline looks wrong: %q", data)
+	}
+	data, err = os.ReadFile(filepath.Join(dir, "BENCH_prefix.json"))
+	if err != nil {
+		t.Fatalf("prefix baseline: %v", err)
+	}
+	if !strings.Contains(string(data), `"prefix"`) {
+		t.Errorf("prefix baseline looks wrong: %q", data)
 	}
 }

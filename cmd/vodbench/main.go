@@ -19,6 +19,7 @@
 //	Ext-17 -study churn     elastic membership: join / drain / kill lifecycle
 //	Ext-18 -study contention sharded admission + lock-free read hot paths
 //	Ext-19 -study membership WAN membership: delta-sync gossip at fleet scale
+//	Ext-20 -study prefix    prefix replication tier + cohort relays (flash crowd)
 //	       -study all       everything (default)
 package main
 
@@ -72,14 +73,18 @@ func main() {
 		"write the membership study's rows as a JSON baseline to this file (membership study only)")
 	membershipBaseline := flag.String("membership-baseline", "",
 		"gate the membership study against this baseline file: delta bytes/round at least 5x under full sync, convergence within 2x, zero false Failed verdicts under the loss plan (membership study only)")
+	prefixOut := flag.String("prefix-out", "",
+		"write the prefix study's rows as a JSON baseline to this file (prefix study only)")
+	prefixBaseline := flag.String("prefix-baseline", "",
+		"gate the prefix study against this baseline file: zero remote startups on the prefix arms, at least 5x fewer origin reads with cohort relays, proc-aware startup P99 halving (prefix study only)")
 	flag.Parse()
-	if err := run(os.Stdout, *study, *seed, *duration, *rate, *classMix, *csvDir, *framingOut, *framingBaseline, *mergeOut, *mergeBaseline, *chaosOut, *chaosBaseline, *ledgerOut, *ledgerBaseline, *churnOut, *churnBaseline, *contentionOut, *contentionBaseline, *membershipOut, *membershipBaseline); err != nil {
+	if err := run(os.Stdout, *study, *seed, *duration, *rate, *classMix, *csvDir, *framingOut, *framingBaseline, *mergeOut, *mergeBaseline, *chaosOut, *chaosBaseline, *ledgerOut, *ledgerBaseline, *churnOut, *churnBaseline, *contentionOut, *contentionBaseline, *membershipOut, *membershipBaseline, *prefixOut, *prefixBaseline); err != nil {
 		fmt.Fprintln(os.Stderr, "vodbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, study string, seed int64, duration time.Duration, rate float64, classMix, csvDir, framingOut, framingBaseline, mergeOut, mergeBaseline, chaosOut, chaosBaseline, ledgerOut, ledgerBaseline, churnOut, churnBaseline, contentionOut, contentionBaseline, membershipOut, membershipBaseline string) error {
+func run(w io.Writer, study string, seed int64, duration time.Duration, rate float64, classMix, csvDir, framingOut, framingBaseline, mergeOut, mergeBaseline, chaosOut, chaosBaseline, ledgerOut, ledgerBaseline, churnOut, churnBaseline, contentionOut, contentionBaseline, membershipOut, membershipBaseline, prefixOut, prefixBaseline string) error {
 	writeCSV := func(name string, rows any) error {
 		if csvDir == "" {
 			return nil
@@ -454,6 +459,33 @@ func run(w io.Writer, study string, seed int64, duration time.Duration, rate flo
 			}
 		}
 	}
+	if study == "prefix" || study == "all" {
+		known = true
+		cfg := experiments.DefaultPrefixStudyConfig()
+		rows, err := experiments.PrefixStudy(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, "Ext-20. Prefix replication tier + cohort relays under a flash crowd")
+		fmt.Fprintln(w, experiments.FormatPrefixStudy(rows))
+		if err := writeCSV("prefix", rows); err != nil {
+			return err
+		}
+		if prefixOut != "" {
+			data, err := json.MarshalIndent(prefixReport{Study: "prefix", Rows: rows}, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(prefixOut, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+		}
+		if prefixBaseline != "" {
+			if err := checkPrefixBaseline(w, rows, prefixBaseline); err != nil {
+				return err
+			}
+		}
+	}
 	if !known {
 		return fmt.Errorf("unknown study %q", study)
 	}
@@ -613,6 +645,42 @@ func checkMembershipBaseline(w io.Writer, rows []experiments.MembershipRow, path
 	}
 	if bad := experiments.MembershipRegression(rows, base.Rows); len(bad) > 0 {
 		return fmt.Errorf("membership regression: %s", strings.Join(bad, "; "))
+	}
+	return nil
+}
+
+// prefixReport is the committed BENCH_prefix.json schema.
+type prefixReport struct {
+	Study string                  `json:"study"`
+	Rows  []experiments.PrefixRow `json:"rows"`
+}
+
+// checkPrefixBaseline gates the prefix study. Structural bounds bind on every
+// machine: zero announced remote startups on the prefix arms, prefix reads
+// actually served, one shared relay upstream with no fallbacks, and the
+// prefix+relay arm's origin reads at least 5x under the same run's baseline
+// arm (and within 20% of the committed baseline's cut). The startup-P99
+// halving binds only at GOMAXPROCS >= 4; below that, the gate relaxes to a
+// loose parity bound and says so loudly.
+func checkPrefixBaseline(w io.Writer, rows []experiments.PrefixRow, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base prefixReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("prefix baseline %s: %w", path, err)
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "prefix baseline %s: originReads %d startP99 %.1fms remoteStarts %d prefixServed %d upstreams %d\n",
+			r.Arm, r.OriginReads, r.StartupP99Ms, r.StartupRemoteFetches, r.PrefixServed, r.RelayUpstreams)
+	}
+	bad, notes := experiments.PrefixRegression(rows, base.Rows)
+	for _, n := range notes {
+		fmt.Fprintln(w, n)
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("prefix regression: %s", strings.Join(bad, "; "))
 	}
 	return nil
 }

@@ -23,7 +23,7 @@ func TestRunSingleStudies(t *testing.T) {
 	}
 	for _, tc := range cases {
 		var b strings.Builder
-		if err := run(&b, tc.study, 1, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", "", "", "", "", "", ""); err != nil {
+		if err := run(&b, tc.study, 1, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", "", "", "", "", "", "", "", ""); err != nil {
 			t.Fatalf("run(%s): %v", tc.study, err)
 		}
 		if !strings.Contains(b.String(), tc.want) {
@@ -34,7 +34,7 @@ func TestRunSingleStudies(t *testing.T) {
 
 func TestRunRoutingStudyShortTrace(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "routing", 1, 15*time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", "", "", "", "", "", ""); err != nil {
+	if err := run(&b, "routing", 1, 15*time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", "", "", "", "", "", "", "", ""); err != nil {
 		t.Fatalf("run(routing): %v", err)
 	}
 	out := b.String()
@@ -45,7 +45,7 @@ func TestRunRoutingStudyShortTrace(t *testing.T) {
 
 func TestRunUnknownStudy(t *testing.T) {
 	var b strings.Builder
-	if err := run(&b, "bogus", 1, time.Minute, 1, "premium:1", "", "", "", "", "", "", "", "", "", "", "", "", "", "", ""); err == nil {
+	if err := run(&b, "bogus", 1, time.Minute, 1, "premium:1", "", "", "", "", "", "", "", "", "", "", "", "", "", "", "", "", ""); err == nil {
 		t.Fatal("unknown study accepted")
 	}
 }
@@ -57,10 +57,10 @@ func TestRunFramingBaselineRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	baseline := filepath.Join(dir, "BENCH_framing.json")
 	var b strings.Builder
-	if err := run(&b, "framing", 7, time.Minute, 0.01, "premium:1", "", baseline, "", "", "", "", "", "", "", "", "", "", "", "", ""); err != nil {
+	if err := run(&b, "framing", 7, time.Minute, 0.01, "premium:1", "", baseline, "", "", "", "", "", "", "", "", "", "", "", "", "", "", ""); err != nil {
 		t.Fatalf("framing baseline write: %v", err)
 	}
-	if err := run(&b, "framing", 7, time.Minute, 0.01, "premium:1", "", "", baseline, "", "", "", "", "", "", "", "", "", "", "", ""); err != nil {
+	if err := run(&b, "framing", 7, time.Minute, 0.01, "premium:1", "", "", baseline, "", "", "", "", "", "", "", "", "", "", "", "", "", ""); err != nil {
 		t.Fatalf("framing baseline check: %v", err)
 	}
 	// A baseline promising a framing arm the run does not measure fails.
@@ -68,7 +68,7 @@ func TestRunFramingBaselineRoundTrip(t *testing.T) {
 	if err := os.WriteFile(baseline, []byte(bogus), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&b, "framing", 7, time.Minute, 0.01, "premium:1", "", "", baseline, "", "", "", "", "", "", "", "", "", "", "", ""); err == nil {
+	if err := run(&b, "framing", 7, time.Minute, 0.01, "premium:1", "", "", baseline, "", "", "", "", "", "", "", "", "", "", "", "", "", ""); err == nil {
 		t.Fatal("baseline with unmeasured cells accepted")
 	}
 }
@@ -80,16 +80,16 @@ func TestRunContentionBaselineRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	baseline := filepath.Join(dir, "BENCH_contention.json")
 	var b strings.Builder
-	if err := run(&b, "contention", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", "", "", baseline, "", "", ""); err != nil {
+	if err := run(&b, "contention", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", "", "", baseline, "", "", "", "", ""); err != nil {
 		t.Fatalf("contention baseline write: %v", err)
 	}
-	if err := run(&b, "contention", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", "", "", "", baseline, "", ""); err != nil {
+	if err := run(&b, "contention", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", "", "", "", baseline, "", "", "", ""); err != nil {
 		t.Fatalf("contention baseline check: %v", err)
 	}
 	if err := os.WriteFile(baseline, []byte(`{"study":"contention","rows":[]}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&b, "contention", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", "", "", "", baseline, "", ""); err == nil {
+	if err := run(&b, "contention", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", "", "", "", baseline, "", "", "", ""); err == nil {
 		t.Fatal("empty baseline accepted")
 	}
 }
@@ -104,10 +104,10 @@ func TestRunChaosBaselineRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	baseline := filepath.Join(dir, "BENCH_chaos.json")
 	var b strings.Builder
-	if err := run(&b, "chaos", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", baseline, "", "", "", "", "", "", "", "", ""); err != nil {
+	if err := run(&b, "chaos", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", baseline, "", "", "", "", "", "", "", "", "", "", ""); err != nil {
 		t.Fatalf("chaos baseline write: %v", err)
 	}
-	if err := run(&b, "chaos", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", baseline, "", "", "", "", "", "", "", ""); err != nil {
+	if err := run(&b, "chaos", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", baseline, "", "", "", "", "", "", "", "", "", ""); err != nil {
 		t.Fatalf("chaos baseline check: %v", err)
 	}
 	// A baseline claiming a zero-MTTR flap recovery demands the impossible:
@@ -117,7 +117,7 @@ func TestRunChaosBaselineRoundTrip(t *testing.T) {
 	if err := os.WriteFile(baseline, []byte(doctored), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&b, "chaos", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", baseline, "", "", "", "", "", "", "", ""); err == nil {
+	if err := run(&b, "chaos", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", baseline, "", "", "", "", "", "", "", "", "", ""); err == nil {
 		t.Fatal("doctored baseline accepted")
 	}
 }
@@ -132,10 +132,10 @@ func TestRunMergeBaselineRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	baseline := filepath.Join(dir, "BENCH_merge.json")
 	var b strings.Builder
-	if err := run(&b, "merge", 1, time.Minute, 0.01, "premium:1", "", "", "", baseline, "", "", "", "", "", "", "", "", "", "", ""); err != nil {
+	if err := run(&b, "merge", 1, time.Minute, 0.01, "premium:1", "", "", "", baseline, "", "", "", "", "", "", "", "", "", "", "", "", ""); err != nil {
 		t.Fatalf("merge baseline write: %v", err)
 	}
-	if err := run(&b, "merge", 1, time.Minute, 0.01, "premium:1", "", "", "", "", baseline, "", "", "", "", "", "", "", "", "", ""); err != nil {
+	if err := run(&b, "merge", 1, time.Minute, 0.01, "premium:1", "", "", "", "", baseline, "", "", "", "", "", "", "", "", "", "", "", ""); err != nil {
 		t.Fatalf("merge baseline check: %v", err)
 	}
 	// Inflate the recorded unicast reads so the baseline demands a saving no
@@ -151,7 +151,7 @@ func TestRunMergeBaselineRoundTrip(t *testing.T) {
 	if err := os.WriteFile(baseline, []byte(doctored), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&b, "merge", 1, time.Minute, 0.01, "premium:1", "", "", "", "", baseline, "", "", "", "", "", "", "", "", "", ""); err == nil {
+	if err := run(&b, "merge", 1, time.Minute, 0.01, "premium:1", "", "", "", "", baseline, "", "", "", "", "", "", "", "", "", "", "", ""); err == nil {
 		t.Fatal("doctored baseline accepted")
 	}
 }
@@ -167,10 +167,10 @@ func TestRunLedgerBaselineRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	baseline := filepath.Join(dir, "BENCH_ledger.json")
 	var b strings.Builder
-	if err := run(&b, "ledger", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", baseline, "", "", "", "", "", "", ""); err != nil {
+	if err := run(&b, "ledger", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", baseline, "", "", "", "", "", "", "", "", ""); err != nil {
 		t.Fatalf("ledger baseline write: %v", err)
 	}
-	if err := run(&b, "ledger", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", baseline, "", "", "", "", "", ""); err != nil {
+	if err := run(&b, "ledger", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", baseline, "", "", "", "", "", "", "", ""); err != nil {
 		t.Fatalf("ledger baseline check: %v", err)
 	}
 	// An empty baseline carries nothing to certify against: the gate must
@@ -178,7 +178,7 @@ func TestRunLedgerBaselineRoundTrip(t *testing.T) {
 	if err := os.WriteFile(baseline, []byte(`{"study":"ledger","rows":[]}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&b, "ledger", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", baseline, "", "", "", "", "", ""); err == nil {
+	if err := run(&b, "ledger", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", baseline, "", "", "", "", "", "", "", ""); err == nil {
 		t.Fatal("empty baseline accepted")
 	}
 }
@@ -189,16 +189,16 @@ func TestRunChurnBaselineRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	baseline := filepath.Join(dir, "BENCH_churn.json")
 	var b strings.Builder
-	if err := run(&b, "churn", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", baseline, "", "", "", "", ""); err != nil {
+	if err := run(&b, "churn", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", baseline, "", "", "", "", "", "", ""); err != nil {
 		t.Fatalf("churn baseline write: %v", err)
 	}
-	if err := run(&b, "churn", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", "", baseline, "", "", "", ""); err != nil {
+	if err := run(&b, "churn", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", "", baseline, "", "", "", "", "", ""); err != nil {
 		t.Fatalf("churn baseline check: %v", err)
 	}
 	if err := os.WriteFile(baseline, []byte(`{"study":"churn","rows":[]}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&b, "churn", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", "", baseline, "", "", "", ""); err == nil {
+	if err := run(&b, "churn", 7, time.Minute, 0.01, "premium:1", "", "", "", "", "", "", "", "", "", "", baseline, "", "", "", "", "", ""); err == nil {
 		t.Fatal("empty baseline accepted")
 	}
 }
@@ -242,5 +242,52 @@ func TestMembershipGateRoundTrip(t *testing.T) {
 	}
 	if err := checkMembershipBaseline(&b, rows, baseline); err == nil {
 		t.Fatal("empty baseline accepted")
+	}
+}
+
+// TestPrefixGateRoundTrip exercises the Ext-20 CLI gate without re-running the
+// study (the full three-arm run lands in TestRunAllStudies): a healthy report
+// passes against itself, doctored rows — remote startups on a prefix arm, a
+// collapsed origin-read cut, relay fallbacks — fail, and an empty baseline
+// still gates the structural bounds.
+func TestPrefixGateRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "BENCH_prefix.json")
+	rows := []experiments.PrefixRow{
+		{Arm: "baseline", Watchers: 120, OriginReads: 5120,
+			StartupP99Ms: 40, StartupRemoteFetches: 120, Procs: 1},
+		{Arm: "prefix", Watchers: 120, PrefixK: 512, OriginReads: 2560,
+			StartupP99Ms: 30, PrefixServed: 61440, Procs: 1},
+		{Arm: "prefix+relay", Watchers: 120, PrefixK: 512, OriginReads: 512,
+			StartupP99Ms: 30, PrefixServed: 61440, RelayUpstreams: 5, Procs: 1},
+	}
+	data, err := json.Marshal(prefixReport{Study: "prefix", Rows: rows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(baseline, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := checkPrefixBaseline(&b, rows, baseline); err != nil {
+		t.Fatalf("healthy rows failed the gate: %v", err)
+	}
+	if !strings.Contains(b.String(), "WARNING") {
+		t.Fatalf("single-core gate must warn about the relaxed startup bound:\n%s", b.String())
+	}
+	remote := append([]experiments.PrefixRow(nil), rows...)
+	remote[2].StartupRemoteFetches = 7
+	if err := checkPrefixBaseline(&b, remote, baseline); err == nil {
+		t.Fatal("remote startups on the relay arm passed the gate")
+	}
+	weak := append([]experiments.PrefixRow(nil), rows...)
+	weak[2].OriginReads = 2000 // 2.6x cut, below the 5x target
+	if err := checkPrefixBaseline(&b, weak, baseline); err == nil {
+		t.Fatal("collapsed origin-read cut passed the gate")
+	}
+	fallen := append([]experiments.PrefixRow(nil), rows...)
+	fallen[2].RelayFallbacks = 3
+	if err := checkPrefixBaseline(&b, fallen, baseline); err == nil {
+		t.Fatal("relay fallbacks passed the gate")
 	}
 }

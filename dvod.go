@@ -24,6 +24,7 @@ import (
 	"dvod/internal/media"
 	"dvod/internal/membership"
 	"dvod/internal/metrics"
+	"dvod/internal/prefix"
 	"dvod/internal/server"
 	"dvod/internal/snmp"
 	"dvod/internal/topology"
@@ -145,6 +146,8 @@ type Service struct {
 	mu      sync.Mutex
 	servers map[NodeID]*server.Server
 	caches  map[NodeID]*cache.DMA
+	// prefixes exist per node with WithPrefixBudget.
+	prefixes map[NodeID]*prefix.Manager
 	// directors exist for every node (the stateless front door; inert
 	// until draining or WithFrontDoor).
 	directors map[NodeID]*membership.Director
@@ -163,6 +166,8 @@ type Service struct {
 	epochs  map[NodeID]uint64
 	hbStop  chan struct{}
 	hbDone  chan struct{}
+	pfStop  chan struct{}
+	pfDone  chan struct{}
 	started bool
 	closed  bool
 }
@@ -230,6 +235,11 @@ func New(spec TopologySpec, opts ...Option) (*Service, error) {
 		epochs:    make(map[NodeID]uint64),
 		hbStop:    make(chan struct{}),
 		hbDone:    make(chan struct{}),
+		pfStop:    make(chan struct{}),
+		pfDone:    make(chan struct{}),
+	}
+	if o.prefixBudgetBytes > 0 {
+		svc.prefixes = make(map[NodeID]*prefix.Manager, g.NumNodes())
 	}
 	if o.membershipInterval > 0 {
 		svc.trackers = make(map[NodeID]*membership.Tracker, g.NumNodes())
@@ -274,6 +284,40 @@ func (s *Service) buildNodeStack(node NodeID) error {
 	if err != nil {
 		return err
 	}
+	// One registry per node shared by the server, its prefix manager, its
+	// broker, its ledger replica, and its membership tracker, so prefix.*,
+	// admission.*, ledger.*, and membership.* surface together in
+	// Service.Metrics.
+	reg := metrics.NewRegistry()
+	var pfx *prefix.Manager
+	if o.prefixBudgetBytes > 0 {
+		// The prefix tier gets its own single-disk store, sized exactly to
+		// the budget, so pinned prefixes never compete with whole-title DMA
+		// caching for array room. It is file-backed whenever the node's main
+		// array is, which keeps prefix reads on the sendfile kernel path.
+		var parr *disk.Array
+		if o.dataDir != "" {
+			parr, err = disk.NewUniformFileArray(string(node)+"-prefix", 1,
+				o.prefixBudgetBytes, filepath.Join(o.dataDir, string(node), "prefix"))
+		} else {
+			parr, err = disk.NewUniformArray(string(node)+"-prefix", 1, o.prefixBudgetBytes)
+		}
+		if err != nil {
+			return err
+		}
+		pfx, err = prefix.New(prefix.Config{
+			Array:        parr,
+			ClusterBytes: o.clusterBytes,
+			BudgetBytes:  o.prefixBudgetBytes,
+			Points:       dma.Points,
+			Catalog:      d.Catalog().Titles,
+			Metrics:      reg,
+		})
+		if err != nil {
+			return err
+		}
+		s.prefixes[node] = pfx
+	}
 	nodePlanner, err := core.NewPlanner(d, o.selector, s.available)
 	if err != nil {
 		return err
@@ -284,10 +328,6 @@ func (s *Service) buildNodeStack(node NodeID) error {
 	if s.injector != nil {
 		arr.SetReadInterceptor(s.injector.ReadInterceptor(node))
 	}
-	// One registry per node shared by the server, its broker, its ledger
-	// replica, and its membership tracker, so admission.*, ledger.*, and
-	// membership.* surface together in Service.Metrics.
-	reg := metrics.NewRegistry()
 	var (
 		brk *admission.Broker
 		led *ledger.Ledger
@@ -384,6 +424,8 @@ func (s *Service) buildNodeStack(node NodeID) error {
 		Director:       dir,
 		Members:        mv,
 		MemberProbe:    s.memberProbe(node),
+		Prefix:         pfx,
+		RelayCohorts:   o.relayCohorts,
 	})
 	if err != nil {
 		return err
@@ -638,8 +680,65 @@ func (s *Service) Start() error {
 	} else {
 		close(s.hbDone)
 	}
+	if s.opts.prefixEpoch > 0 && s.prefixes != nil {
+		go s.prefixEpochLoop()
+	} else {
+		close(s.pfDone)
+	}
 	s.started = true
 	return nil
+}
+
+// prefixEpochLoop re-solves every node's prefix knapsack on the configured
+// epoch, jittered ±25% so a fleet of services does not re-replicate in
+// lockstep. Deterministic tests drive epochs through PrefixResolve instead.
+func (s *Service) prefixEpochLoop() {
+	defer close(s.pfDone)
+	rng := rand.New(rand.NewSource(s.opts.faultSeed ^ 0x70666978)) // "pfix"
+	for {
+		select {
+		case <-s.opts.clock.After(faults.Jitter(s.opts.prefixEpoch, 0.25, rng)):
+			_ = s.PrefixResolve()
+		case <-s.pfStop:
+			return
+		}
+	}
+}
+
+// PrefixResolve drives one synchronous prefix epoch on every live node:
+// popularity is snapshotted, the knapsack re-solved, and the pinned prefixes
+// re-replicated to match. Studies and tests on a virtual clock use it instead
+// of waiting out WithPrefixEpoch intervals. It returns the first
+// re-replication error (later nodes still resolve). No-op without
+// WithPrefixBudget.
+func (s *Service) PrefixResolve() error {
+	var firstErr error
+	for _, node := range s.db.Graph().Nodes() {
+		s.mu.Lock()
+		pm := s.prefixes[node]
+		down := s.stopped[node]
+		s.mu.Unlock()
+		if down || pm == nil {
+			continue
+		}
+		if _, _, err := pm.Resolve(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("dvod: prefix resolve %s: %w", node, err)
+		}
+	}
+	return firstErr
+}
+
+// PrefixClusters reports how many leading clusters of the title are pinned on
+// the node's prefix store right now (0 without WithPrefixBudget or for
+// unknown nodes).
+func (s *Service) PrefixClusters(node NodeID, title string) int {
+	s.mu.Lock()
+	pm := s.prefixes[node]
+	s.mu.Unlock()
+	if pm == nil {
+		return 0
+	}
+	return pm.PrefixClusters(title)
 }
 
 // heartbeatLoop refreshes liveness for every non-stopped server. Each wait
@@ -989,6 +1088,10 @@ func (s *Service) Close() error {
 		close(s.hbStop)
 		<-s.hbDone
 	}
+	if s.started && s.opts.prefixEpoch > 0 && s.prefixes != nil {
+		close(s.pfStop)
+		<-s.pfDone
+	}
 	if s.poller != nil {
 		s.poller.Stop()
 	}
@@ -1293,6 +1396,9 @@ type options struct {
 	membershipExchangeTimeout time.Duration
 	frontDoor                 bool
 	dataDir                   string
+	prefixBudgetBytes         int64
+	prefixEpoch               time.Duration
+	relayCohorts              bool
 }
 
 type diskShape struct {
@@ -1361,6 +1467,18 @@ func (o options) validate() error {
 	}
 	if o.noLedger && o.admissionMbps <= 0 {
 		return errors.New("dvod: WithoutLedger needs WithAdmission")
+	}
+	if o.prefixBudgetBytes < 0 {
+		return fmt.Errorf("dvod: negative prefix budget %d", o.prefixBudgetBytes)
+	}
+	if o.prefixEpoch < 0 {
+		return fmt.Errorf("dvod: negative prefix epoch %v", o.prefixEpoch)
+	}
+	if o.prefixEpoch > 0 && o.prefixBudgetBytes <= 0 {
+		return errors.New("dvod: WithPrefixEpoch needs WithPrefixBudget")
+	}
+	if o.relayCohorts && o.mergeWindow <= 0 {
+		return errors.New("dvod: WithCohortRelay needs WithMergeWindow")
 	}
 	for node, s := range o.nodeDisks {
 		if s.count <= 0 || s.capacityBytes <= 0 {
@@ -1577,6 +1695,38 @@ func WithMembershipFullSyncEvery(n int) Option {
 // costs one timeout, not one per peer.
 func WithMembershipExchangeTimeout(d time.Duration) Option {
 	return func(o *options) { o.membershipExchangeTimeout = d }
+}
+
+// WithPrefixBudget gives every video server a prefix replication tier: a
+// dedicated local store of budgetBytes onto which the server pins the first
+// K(title) clusters of popular titles, K chosen per title by a knapsack over
+// the budget weighted by DMA popularity points. Watches then stream those
+// leading clusters straight off local disk — zero cross-network round trips
+// at startup — while the VRA plans only the tail, and late joiners' merge
+// patches come from the prefix instead of origin reads. Re-solve epochs run
+// on WithPrefixEpoch, or explicitly via Service.PrefixResolve. Disabled by
+// default.
+func WithPrefixBudget(budgetBytes int64) Option {
+	return func(o *options) { o.prefixBudgetBytes = budgetBytes }
+}
+
+// WithPrefixEpoch runs the prefix knapsack re-solve on the given cadence
+// (jittered ±25%), re-replicating the delta as popularity shifts. Requires
+// WithPrefixBudget. Without it, prefixes change only when Service.
+// PrefixResolve is called — the deterministic mode studies use.
+func WithPrefixEpoch(d time.Duration) Option {
+	return func(o *options) { o.prefixEpoch = d }
+}
+
+// WithCohortRelay lets a server whose merge cohort streams a non-resident
+// title subscribe once to the title's origin (relay.join) and fan that single
+// upstream stream out to all local cohort members, instead of fetching every
+// tail cluster per-watch. On the origin side the relay session joins the
+// origin's own merge registry, so N relay servers share one disk-read stream.
+// A broken upstream falls back to per-cluster peer fetches after one
+// re-subscribe attempt. Requires WithMergeWindow. Disabled by default.
+func WithCohortRelay() Option {
+	return func(o *options) { o.relayCohorts = true }
 }
 
 // WithFrontDoor turns every node into a stateless redirect front door: a

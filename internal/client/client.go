@@ -256,6 +256,16 @@ type PlaybackStats struct {
 	MergeRole     string
 	MergeCohort   int64
 	PatchClusters int
+	// PrefixClusters echoes the server's prefix.info announcement: how many
+	// leading clusters (from the session's start position) were served off
+	// the server's local prefix pin, with zero cross-network fetches.
+	// StartupRTTs is the server-reported count of remote fetches its first
+	// cluster needed (0 when it came from the DMA cache or the prefix tier),
+	// and RelayTail reports that the tail rode a shared cross-server relay
+	// subscription. All are 0/false against servers without a prefix tier.
+	PrefixClusters int
+	StartupRTTs    int
+	RelayTail      bool
 	// Retries counts mid-stream resume attempts (always 0 without
 	// WithResume).
 	Retries int
@@ -414,6 +424,8 @@ func mergeResumed(agg *PlaybackStats, part PlaybackStats) {
 		agg.MergeCohort = part.MergeCohort
 		agg.PatchClusters += part.PatchClusters
 	}
+	agg.PrefixClusters += part.PrefixClusters
+	agg.RelayTail = agg.RelayTail || part.RelayTail
 	agg.ReservationMigrations += part.ReservationMigrations
 }
 
@@ -546,6 +558,15 @@ stream:
 				recordMergeInfo(&stats, mi)
 				continue
 			}
+			if frame.Type == transport.FramePrefixAnnounce {
+				pi, derr := transport.DecodePrefixAnnounceFrame(frame)
+				frame.Release()
+				if derr != nil {
+					return stats, info, derr
+				}
+				recordPrefixInfo(&stats, pi)
+				continue
+			}
 			// Binary cluster frame: the body aliases the pooled payload,
 			// so it must be fully consumed before Release.
 			payload, body, derr := transport.DecodeClusterFrame(frame)
@@ -576,6 +597,12 @@ stream:
 				return stats, info, derr
 			}
 			recordMergeInfo(&stats, mi)
+		case transport.TypePrefixInfo:
+			pi, derr := transport.Decode[transport.PrefixAnnouncePayload](m)
+			if derr != nil {
+				return stats, info, derr
+			}
+			recordPrefixInfo(&stats, pi)
 		case transport.TypeCluster:
 			payload, derr := transport.Decode[transport.ClusterPayload](m)
 			if derr != nil {
@@ -605,6 +632,14 @@ func recordMergeInfo(stats *PlaybackStats, mi transport.MergeInfoPayload) {
 	stats.MergeRole = mi.Role
 	stats.MergeCohort = mi.Cohort
 	stats.PatchClusters = mi.PatchClusters
+}
+
+// recordPrefixInfo notes the server's prefix-tier announcement — like
+// merge.info it is purely observational and changes nothing about delivery.
+func recordPrefixInfo(stats *PlaybackStats, pi transport.PrefixAnnouncePayload) {
+	stats.PrefixClusters = pi.PrefixClusters
+	stats.StartupRTTs = pi.StartupRTTs
+	stats.RelayTail = pi.RelayTail
 }
 
 // recordCluster accounts one delivered cluster: length check, optional

@@ -35,6 +35,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"dvod/internal/metrics"
 	"dvod/internal/transport"
@@ -124,6 +125,27 @@ func (r *Registry) Window() int { return r.cfg.Window }
 // used when a cohort is created; an existing cohort keeps reading through
 // the source of its base session.
 func (r *Registry) Join(title string, numClusters, start int, src Source) (*Sub, error) {
+	return r.JoinSource(title, numClusters, start, src, nil)
+}
+
+// JoinSource is Join with a source-cleanup hook: closeSrc is invoked exactly
+// once, when the cohort pump exits, IF this call created the cohort. When
+// the session attaches to an existing cohort instead, src is unused and
+// closeSrc is never invoked — a source holding real resources (the
+// relay-cohort upstream connection) must therefore acquire them lazily on
+// its first read.
+func (r *Registry) JoinSource(title string, numClusters, start int, src Source, closeSrc func()) (*Sub, error) {
+	return r.JoinSourceHold(title, numClusters, start, src, closeSrc, 0)
+}
+
+// JoinSourceHold is JoinSource with an aggregation hold-down: when this call
+// creates the cohort, its pump waits hold before the first source read, so
+// near-simultaneous joiners (a flash crowd of downstream relay servers, say)
+// all attach at the base position with zero patch clusters — the batching
+// idea from the VoD literature. The hold delays only the shared stream's
+// first cluster, never a session's locally-served prefix, and a hold of zero
+// starts the pump immediately.
+func (r *Registry) JoinSourceHold(title string, numClusters, start int, src Source, closeSrc func(), hold time.Duration) (*Sub, error) {
 	if numClusters <= 0 || start < 0 || start >= numClusters {
 		return nil, fmt.Errorf("merge: start %d outside [0, %d)", start, numClusters)
 	}
@@ -139,13 +161,15 @@ func (r *Registry) Join(title string, numClusters, start int, src Source) (*Sub,
 		}
 	}
 	c := &Cohort{
-		id:    r.nextID,
-		title: title,
-		end:   numClusters,
-		reg:   r,
-		src:   src,
-		pos:   start,
-		subs:  make(map[*Sub]struct{}),
+		id:       r.nextID,
+		title:    title,
+		end:      numClusters,
+		reg:      r,
+		src:      src,
+		closeSrc: closeSrc,
+		hold:     hold,
+		pos:      start,
+		subs:     make(map[*Sub]struct{}),
 	}
 	r.nextID++
 	c.cond = sync.NewCond(&c.mu)
@@ -200,11 +224,13 @@ func (r *Registry) publishCohortsLocked() {
 
 // Cohort is one base stream and its attached sessions.
 type Cohort struct {
-	id    int64
-	title string
-	end   int
-	reg   *Registry
-	src   Source
+	id       int64
+	title    string
+	end      int
+	reg      *Registry
+	src      Source
+	closeSrc func()        // optional; invoked once when the pump exits
+	hold     time.Duration // aggregation hold-down before the first read
 
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -241,6 +267,11 @@ func (c *Cohort) tryJoin(start, numClusters int) *Sub {
 // detached, or the source fails (subscribers are then evicted and resume as
 // private unicast streams — failover without a gap).
 func (c *Cohort) run() {
+	// Aggregation hold-down: batch joiners arriving within the hold at the
+	// base position before the first read (see JoinSourceHold).
+	if c.hold > 0 {
+		time.Sleep(c.hold)
+	}
 	defer func() {
 		c.mu.Lock()
 		c.done = true
@@ -250,6 +281,9 @@ func (c *Cohort) run() {
 		}
 		c.mu.Unlock()
 		c.reg.remove(c)
+		if c.closeSrc != nil {
+			c.closeSrc()
+		}
 	}()
 	for {
 		c.mu.Lock()

@@ -518,3 +518,73 @@ func BenchmarkMergeFanout(b *testing.B) {
 		b.Fatalf("source reads = %d, want %d", got, clusters)
 	}
 }
+
+// TestMergeHoldDownBatchesJoiners covers the aggregation hold-down: joiners
+// arriving while a held cohort's pump has not yet read all attach at the base
+// position with zero patch clusters, so one source stream serves everyone —
+// the relay-cohort batching path.
+func TestMergeHoldDownBatchesJoiners(t *testing.T) {
+	const clusters = 16
+	pool := transport.NewBufferPool(nil)
+	r, err := merge.NewRegistry(merge.Config{Window: clusters})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reads atomic.Int64
+	src := gatedSource(pool, &reads, nil)
+	lead, err := r.JoinSourceHold("hot-title", clusters, 0, src, nil, 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lead.Created() {
+		t.Fatal("first join did not create the cohort")
+	}
+	const followers = 4
+	subs := make([]*merge.Sub, followers)
+	for i := range subs {
+		s, err := r.Join("hot-title", clusters, 0, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Created() {
+			t.Fatalf("follower %d opened a second cohort during the hold", i)
+		}
+		if s.Start() != 0 {
+			t.Fatalf("follower %d attached at %d, want 0 (no patch inside the hold)", i, s.Start())
+		}
+		subs[i] = s
+	}
+	var wg sync.WaitGroup
+	for _, s := range append(subs, lead) {
+		wg.Add(1)
+		go func(s *merge.Sub) {
+			defer wg.Done()
+			wantRange(t, drain(t, s), 0, clusters)
+		}(s)
+	}
+	wg.Wait()
+	if got := reads.Load(); got != clusters {
+		t.Fatalf("source reads = %d, want %d (one shared stream)", got, clusters)
+	}
+}
+
+// TestMergeZeroHoldStartsImmediately pins the hold-down's no-op contract: a
+// zero hold must not delay the pump (JoinSource always passes zero).
+func TestMergeZeroHoldStartsImmediately(t *testing.T) {
+	const clusters = 4
+	pool := transport.NewBufferPool(nil)
+	r, err := merge.NewRegistry(merge.Config{Window: clusters})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reads atomic.Int64
+	s, err := r.JoinSourceHold("hot-title", clusters, 0, gatedSource(pool, &reads, nil), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	wantRange(t, drain(t, s), 0, clusters)
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("zero-hold stream took %v", d)
+	}
+}

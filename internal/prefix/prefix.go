@@ -1,0 +1,411 @@
+// Package prefix implements a popularity-weighted prefix replication tier:
+// every server pins the first K(title) clusters of hot titles on a local
+// prefix store so playback starts from local disk with zero cross-network
+// round trips while the VRA fetches the tail. K is chosen per title by a
+// knapsack over the server's prefix disk budget, weighted by the DMA's
+// popularity points (PAPERS.md "An Optimal Prefix Replication Strategy for
+// VoD Services"): the marginal value of a title's k-th prefix cluster decays
+// harmonically with k, so the greedy exchange argument that solves the
+// concave knapsack exactly spends each budget cluster where it saves the
+// most expected startup fetches.
+//
+// The manager re-solves the knapsack on an epoch tick (driven by the owner —
+// the dvod facade runs one epoch loop per node) and re-replicates the delta:
+// grown prefixes are written through the striping layer onto the prefix
+// array (file-backed when the node's store is), shrunk prefixes are unpinned
+// block by block. Lookups on the delivery hot path read an immutable
+// snapshot behind an atomic pointer, so serving a prefix cluster takes no
+// lock; a read that races a shrink simply misses and falls back to the
+// normal remote path.
+package prefix
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"dvod/internal/disk"
+	"dvod/internal/media"
+	"dvod/internal/metrics"
+	"dvod/internal/striping"
+)
+
+// Candidate is one title offered to the knapsack: its name, total length in
+// clusters, and current popularity points (the DMA feed).
+type Candidate struct {
+	Name     string
+	Clusters int64
+	Points   int64
+}
+
+// Solve chooses the prefix length K(title), in clusters, for every candidate
+// under a total budget of budgetClusters. The value of pinning title t's
+// k-th prefix cluster (1-based) is (Points+1)/k — every title has a small
+// baseline value so an idle catalog still earns prefixes when the budget
+// allows, and the harmonic decay concentrates the budget on the heads of hot
+// titles, which is where startup latency and patch load live. Per-title
+// value is therefore concave in K, so greedy-by-marginal-value is exact.
+//
+// The result is deterministic: ties break on higher points, then
+// lexicographically smaller title name, then smaller cluster index. Titles
+// assigned K=0 are omitted from the result.
+func Solve(cands []Candidate, budgetClusters int64) map[string]int {
+	out := make(map[string]int)
+	if budgetClusters <= 0 || len(cands) == 0 {
+		return out
+	}
+	h := make(candHeap, 0, len(cands))
+	for _, c := range cands {
+		if c.Clusters <= 0 || c.Points < 0 {
+			continue
+		}
+		h = append(h, &candState{cand: c, nextK: 1})
+	}
+	// Heap order is deterministic only given a deterministic starting
+	// arrangement; the input order of equal candidates must not matter.
+	sort.Slice(h, func(i, j int) bool { return h[i].less(h[j]) })
+	heap.Init(&h)
+	for budgetClusters > 0 && h.Len() > 0 {
+		top := h[0]
+		out[top.cand.Name]++
+		budgetClusters--
+		top.nextK++
+		if top.nextK > top.cand.Clusters {
+			heap.Pop(&h)
+		} else {
+			heap.Fix(&h, 0)
+		}
+	}
+	return out
+}
+
+// candState tracks one candidate's next unpinned prefix cluster during the
+// greedy solve.
+type candState struct {
+	cand  Candidate
+	nextK int64 // 1-based index of the next cluster to consider
+}
+
+// marginal returns the value of the candidate's next prefix cluster.
+func (c *candState) marginal() float64 {
+	return float64(c.cand.Points+1) / float64(c.nextK)
+}
+
+// less is the deterministic heap order: larger marginal value first, ties on
+// higher points, then smaller title name, then smaller next cluster.
+func (c *candState) less(o *candState) bool {
+	a, b := c.marginal(), o.marginal()
+	if a != b {
+		return a > b
+	}
+	if c.cand.Points != o.cand.Points {
+		return c.cand.Points > o.cand.Points
+	}
+	if c.cand.Name != o.cand.Name {
+		return c.cand.Name < o.cand.Name
+	}
+	return c.nextK < o.nextK
+}
+
+// candHeap is a max-heap of candidate states under the deterministic order.
+type candHeap []*candState
+
+func (h candHeap) Len() int           { return len(h) }
+func (h candHeap) Less(i, j int) bool { return h[i].less(h[j]) }
+func (h candHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *candHeap) Push(x any)        { *h = append(*h, x.(*candState)) }
+func (h *candHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}
+
+// Config parameterizes a Manager.
+type Config struct {
+	// Array is the dedicated prefix store (its own disks, separate from the
+	// DMA's array, so pinning never competes with whole-title caching).
+	Array *disk.Array
+	// ClusterBytes is the delivery cluster size c.
+	ClusterBytes int64
+	// BudgetBytes caps the bytes the knapsack may pin; zero defaults to the
+	// array's capacity. Must not exceed it.
+	BudgetBytes int64
+	// Points returns a title's current popularity points (normally
+	// cache.DMA.Points). Required.
+	Points func(name string) int64
+	// Catalog snapshots the title universe the knapsack ranks. Required.
+	Catalog func() []media.Title
+	// Content supplies title bytes for pinning; nil uses the canonical
+	// synthetic generator (striping.TitleContent), exactly as Preload does.
+	Content func(name string) striping.ContentFunc
+	// Metrics receives the prefix.* counters and gauges; nil allocates a
+	// private registry.
+	Metrics *metrics.Registry
+}
+
+// Manager owns one server's prefix tier: the pinned prefix lengths, the
+// blocks behind them, and the epoch re-solve that keeps both tracking
+// popularity. Lookup/PrefixClusters are safe for concurrent use with
+// Resolve; Resolve serializes with itself.
+type Manager struct {
+	cfg            Config
+	budgetClusters int64
+
+	// view is the immutable published state: title -> pinned entry. The
+	// delivery hot path loads it once per lookup and never locks.
+	view atomic.Pointer[map[string]Entry]
+
+	// mu serializes Resolve (the only writer).
+	mu sync.Mutex
+
+	cResolves    *metrics.Counter
+	cPins        *metrics.Counter
+	cUnpins      *metrics.Counter
+	cPinFailures *metrics.Counter
+	gClusters    *metrics.Gauge
+	gBytes       *metrics.Gauge
+	gTitles      *metrics.Gauge
+}
+
+// Entry is one title's published prefix state: the striped layout over the
+// prefix array and the number of leading clusters actually pinned.
+type Entry struct {
+	Layout striping.Layout
+	K      int
+}
+
+// New validates the configuration. The manager starts empty; the first
+// Resolve populates it.
+func New(cfg Config) (*Manager, error) {
+	switch {
+	case cfg.Array == nil:
+		return nil, errors.New("prefix: nil array")
+	case cfg.ClusterBytes <= 0:
+		return nil, fmt.Errorf("prefix: bad cluster size %d", cfg.ClusterBytes)
+	case cfg.Points == nil:
+		return nil, errors.New("prefix: nil points feed")
+	case cfg.Catalog == nil:
+		return nil, errors.New("prefix: nil catalog")
+	}
+	if cfg.BudgetBytes == 0 {
+		cfg.BudgetBytes = cfg.Array.Capacity()
+	}
+	if cfg.BudgetBytes < 0 || cfg.BudgetBytes > cfg.Array.Capacity() {
+		return nil, fmt.Errorf("prefix: budget %d outside array capacity %d",
+			cfg.BudgetBytes, cfg.Array.Capacity())
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	m := &Manager{
+		cfg:            cfg,
+		budgetClusters: cfg.BudgetBytes / cfg.ClusterBytes,
+		cResolves:      cfg.Metrics.Counter("prefix.resolves"),
+		cPins:          cfg.Metrics.Counter("prefix.pins"),
+		cUnpins:        cfg.Metrics.Counter("prefix.unpins"),
+		cPinFailures:   cfg.Metrics.Counter("prefix.pin_failures"),
+		gClusters:      cfg.Metrics.Gauge("prefix.pinned_clusters"),
+		gBytes:         cfg.Metrics.Gauge("prefix.pinned_bytes"),
+		gTitles:        cfg.Metrics.Gauge("prefix.titles"),
+	}
+	empty := make(map[string]Entry)
+	m.view.Store(&empty)
+	return m, nil
+}
+
+// BudgetClusters returns the knapsack budget in clusters.
+func (m *Manager) BudgetClusters() int64 { return m.budgetClusters }
+
+// Array exposes the prefix store for kernel-path sends
+// (striping.PartFileRef against a Lookup'd layout).
+func (m *Manager) Array() *disk.Array { return m.cfg.Array }
+
+// PrefixClusters returns how many leading clusters of the title are pinned
+// locally right now (0 when none). Lock-free.
+func (m *Manager) PrefixClusters(name string) int {
+	e, ok := (*m.view.Load())[name]
+	if !ok {
+		return 0
+	}
+	return e.K
+}
+
+// Lookup returns the title's prefix entry when index falls inside the pinned
+// prefix. Lock-free; a miss means the caller serves the cluster through the
+// normal delivery path.
+func (m *Manager) Lookup(name string, index int) (Entry, bool) {
+	e, ok := (*m.view.Load())[name]
+	if !ok || index < 0 || index >= e.K {
+		return Entry{}, false
+	}
+	return e, true
+}
+
+// Resolve runs one epoch: snapshot popularity, re-solve the knapsack, and
+// re-replicate the delta — shrink first (publishing the shorter prefix
+// before deleting blocks, so hot-path readers miss instead of reading a
+// deleted block), then grow. A grow that runs out of per-disk room keeps the
+// clusters that did fit: a shorter prefix is still a valid prefix. It
+// returns the clusters pinned and unpinned this epoch.
+func (m *Manager) Resolve() (pinned, unpinned int, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cResolves.Inc()
+
+	titles := m.cfg.Catalog()
+	cands := make([]Candidate, 0, len(titles))
+	byName := make(map[string]media.Title, len(titles))
+	for _, t := range titles {
+		if t.SizeBytes <= 0 {
+			continue
+		}
+		byName[t.Name] = t
+		cands = append(cands, Candidate{
+			Name:     t.Name,
+			Clusters: (t.SizeBytes + m.cfg.ClusterBytes - 1) / m.cfg.ClusterBytes,
+			Points:   m.cfg.Points(t.Name),
+		})
+	}
+	target := Solve(cands, m.budgetClusters)
+
+	cur := *m.view.Load()
+	next := make(map[string]Entry, len(target))
+
+	// Shrink pass: publish reduced prefixes, then free their blocks.
+	type unpin struct {
+		layout   striping.Layout
+		from, to int // delete parts [from, to)
+	}
+	var frees []unpin
+	for name, e := range cur {
+		want := target[name]
+		if _, known := byName[name]; !known {
+			want = 0 // title left the catalog
+		}
+		if want >= e.K {
+			next[name] = e
+			continue
+		}
+		if want > 0 {
+			next[name] = Entry{Layout: e.Layout, K: want}
+		}
+		frees = append(frees, unpin{layout: e.Layout, from: want, to: e.K})
+	}
+	m.publish(next)
+	for _, f := range frees {
+		for part := f.from; part < f.to; part++ {
+			if derr := m.deletePart(f.layout, part); derr == nil {
+				unpinned++
+				m.cUnpins.Inc()
+			}
+		}
+	}
+
+	// Grow pass: write the missing leading clusters, then publish the longer
+	// prefix (readers never see a K ahead of the store).
+	for _, c := range cands {
+		name := c.Name
+		want := target[name]
+		have := next[name].K
+		if want <= have {
+			continue
+		}
+		layout, lerr := striping.NewLayout(byName[name], m.cfg.ClusterBytes, m.cfg.Array.NumDisks())
+		if lerr != nil {
+			err = lerr
+			continue
+		}
+		if e, ok := next[name]; ok {
+			layout = e.Layout
+		}
+		content := m.content(name)
+		k := have
+		for part := have; part < want; part++ {
+			if werr := m.writePart(layout, part, content); werr != nil {
+				m.cPinFailures.Inc()
+				err = werr
+				break
+			}
+			k = part + 1
+			pinned++
+			m.cPins.Inc()
+		}
+		if k > 0 {
+			next[name] = Entry{Layout: layout, K: k}
+		}
+	}
+	m.publish(next)
+	return pinned, unpinned, err
+}
+
+// content resolves the title's pin content source.
+func (m *Manager) content(name string) striping.ContentFunc {
+	if m.cfg.Content != nil {
+		return m.cfg.Content(name)
+	}
+	return striping.TitleContent(name)
+}
+
+// writePart stores one prefix cluster on the prefix array under the title's
+// cyclic layout. An already-present block (a previous epoch's pin the view
+// lost track of, e.g. after a failed grow) counts as success.
+func (m *Manager) writePart(layout striping.Layout, part int, content striping.ContentFunc) error {
+	di, err := layout.DiskFor(part)
+	if err != nil {
+		return err
+	}
+	d, err := m.cfg.Array.Disk(di)
+	if err != nil {
+		return err
+	}
+	id := disk.BlockID{Title: layout.Title, Part: part}
+	if d.Has(id) {
+		return nil
+	}
+	off, length, err := layout.PartRange(part)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, length)
+	content(off, buf)
+	return d.Write(id, buf)
+}
+
+// deletePart frees one pinned cluster's block.
+func (m *Manager) deletePart(layout striping.Layout, part int) error {
+	di, err := layout.DiskFor(part)
+	if err != nil {
+		return err
+	}
+	d, err := m.cfg.Array.Disk(di)
+	if err != nil {
+		return err
+	}
+	return d.Delete(disk.BlockID{Title: layout.Title, Part: part})
+}
+
+// publish swaps in a new immutable view and refreshes the gauges.
+func (m *Manager) publish(next map[string]Entry) {
+	snap := make(map[string]Entry, len(next))
+	var clusters int64
+	var bytes int64
+	for name, e := range next {
+		snap[name] = e
+		clusters += int64(e.K)
+		for part := 0; part < e.K; part++ {
+			if _, length, err := e.Layout.PartRange(part); err == nil {
+				bytes += length
+			}
+		}
+	}
+	m.view.Store(&snap)
+	m.gClusters.Set(float64(clusters))
+	m.gBytes.Set(float64(bytes))
+	m.gTitles.Set(float64(len(snap)))
+}

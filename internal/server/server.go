@@ -43,6 +43,7 @@ import (
 	"dvod/internal/media"
 	"dvod/internal/merge"
 	"dvod/internal/metrics"
+	"dvod/internal/prefix"
 	"dvod/internal/striping"
 	"dvod/internal/topology"
 	"dvod/internal/transport"
@@ -134,7 +135,37 @@ type Config struct {
 	// Nil answers every ping-req with OK=false (no second opinion — the
 	// asker falls back to its direct evidence).
 	MemberProbe func(target topology.NodeID, addr string) error
+	// Prefix optionally serves the popularity-weighted prefix tier: clusters
+	// inside a title's pinned prefix are read from the local prefix store —
+	// zero cross-network fetches — before the remote delivery path is even
+	// planned, on every path that obtains clusters (watch start, late-joiner
+	// patches, post-eviction unicast tails). Nil disables the tier.
+	Prefix *prefix.Manager
+	// RelayCohorts extends stream merging across servers: when a merged
+	// cohort is created here for a non-resident title, its source opens ONE
+	// relay.join subscription to the title's holder and fans that stream to
+	// every local watcher, instead of issuing per-cluster peer fetches. On
+	// the holder's side relay sessions join its own merge registry, so N
+	// relay servers share one origin disk-read stream. Requires MergeWindow.
+	RelayCohorts bool
+	// RelayHoldDown is the aggregation hold-down applied to cohorts created
+	// for incoming relay.join sessions: the cohort's pump waits this long
+	// before its first read, so a flash crowd of downstream relays dialing
+	// within the hold all batch onto the base stream with zero patch
+	// clusters (VoD batching). It delays only the shared tail — a relay's
+	// watchers are streaming their locally-pinned prefixes meanwhile — and
+	// never an interactive watch. Zero selects DefaultRelayHoldDown;
+	// negative disables the hold.
+	RelayHoldDown time.Duration
 }
+
+// DefaultRelayHoldDown is the aggregation hold-down for relay-fed cohorts
+// when Config.RelayHoldDown is zero: long enough to batch a burst of
+// downstream relay.join dials even when the downstream servers' sessions are
+// queueing on loaded cores, short next to any pinned-prefix head (a relay
+// dials at session start — the tail prefetches behind the head — so the
+// hold delays only a stream the viewer is not yet watching).
+const DefaultRelayHoldDown = 250 * time.Millisecond
 
 // Director is the redirect decision hook (implemented by
 // membership.Director). Route reports the peer a watch for title — already
@@ -214,6 +245,12 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.MergeWindow < 0 {
 		return nil, fmt.Errorf("server: negative merge window %d", cfg.MergeWindow)
+	}
+	if cfg.RelayCohorts && cfg.MergeWindow <= 0 {
+		return nil, errors.New("server: relay cohorts require a merge window")
+	}
+	if cfg.RelayHoldDown == 0 {
+		cfg.RelayHoldDown = DefaultRelayHoldDown
 	}
 	srv := &Server{cfg: cfg, connSem: make(chan struct{}, cfg.MaxConns)}
 	if !cfg.DisableDefense {
@@ -386,6 +423,8 @@ func (s *Server) dispatch(c *transport.Conn, m transport.Message) error {
 		return s.handleClusterGet(c, m)
 	case transport.TypeWatch:
 		return s.handleWatch(c, m)
+	case transport.TypeRelayJoin:
+		return s.handleRelay(c, m)
 	case transport.TypeLedgerSync:
 		return s.handleLedgerSync(c, m)
 	case transport.TypeMemberSync:
@@ -546,6 +585,48 @@ func (s *Server) readLocalCluster(title string, index int) (*transport.Frame, tr
 	return transport.NewLeasedFrame(s.cfg.Pool, buf), payload, nil
 }
 
+// readPrefixCluster serves one cluster from the pinned prefix store — the
+// prefix tier's twin of readLocalCluster, with the same kernel-path
+// preference (a file-backed prefix block goes out via sendfile). It reports
+// ok=false on any miss or error: a racing epoch shrink may free a block
+// between the lookup and the read, and the caller then falls through to the
+// normal delivery path instead of failing the session.
+func (s *Server) readPrefixCluster(title string, index int) (*transport.Frame, transport.ClusterPayload, bool) {
+	e, ok := s.cfg.Prefix.Lookup(title, index)
+	if !ok {
+		return nil, transport.ClusterPayload{}, false
+	}
+	off, length, err := e.Layout.PartRange(index)
+	if err != nil {
+		return nil, transport.ClusterPayload{}, false
+	}
+	payload := transport.ClusterPayload{
+		Title:  title,
+		Index:  index,
+		Offset: off,
+		Length: length,
+		Source: s.cfg.Node,
+	}
+	arr := s.cfg.Prefix.Array()
+	if ref, ok := striping.PartFileRef(arr, e.Layout, index); ok {
+		if ref.Size() == length {
+			s.cfg.Metrics.Counter("server.prefix_reads").Inc()
+			s.cfg.Metrics.Counter("server.prefix_bytes").Add(length)
+			return transport.NewFileFrame(ref.File(), ref.Offset(), ref.Size(), ref.Close), payload, true
+		}
+		ref.Close()
+	}
+	buf := s.cfg.Pool.Get(int(length))
+	n, err := striping.ReadPartInto(arr, e.Layout, index, buf)
+	if err != nil || int64(n) != length {
+		s.cfg.Pool.Put(buf)
+		return nil, transport.ClusterPayload{}, false
+	}
+	s.cfg.Metrics.Counter("server.prefix_reads").Inc()
+	s.cfg.Metrics.Counter("server.prefix_bytes").Add(length)
+	return transport.NewLeasedFrame(s.cfg.Pool, buf), payload, true
+}
+
 // handleLedgerSync answers one JSON-framed gossip exchange: merge the peer's
 // delta, reply with ours.
 func (s *Server) handleLedgerSync(c *transport.Conn, m transport.Message) error {
@@ -648,6 +729,10 @@ type watchSession struct {
 	budget     *faults.RetryBudget
 	grant      *admission.Grant
 	migrations atomic.Int32
+	// holdDown is the aggregation hold-down a cohort created by this session
+	// applies before its first read; set for relay.join sessions only, so a
+	// burst of downstream relays batches onto one base stream.
+	holdDown time.Duration
 }
 
 // migrateReservation follows a routing switch with the session's bandwidth
@@ -749,12 +834,17 @@ func (s *Server) handleWatch(c *transport.Conn, m transport.Message) error {
 	if err != nil {
 		return err
 	}
-	// Queued, not written: watch.ok (and a queued merge.info after it) ride
-	// the first cluster's writev as one syscall. Every later write — cluster,
-	// error, watch.done — flushes the queue first, so the wire order is
-	// unchanged on all paths.
+	// Queued, not written: watch.ok (and queued prefix.info / merge.info
+	// after it) ride the first cluster's writev as one syscall. Every later
+	// write — cluster, error, watch.done — flushes the queue first, so the
+	// wire order is unchanged on all paths.
 	if err := c.QueueMessage(head); err != nil {
 		return err
+	}
+	if s.cfg.Prefix != nil {
+		if err := s.sendPrefixInfo(c, s.prefixAnnouncement(title, layout.NumParts(), req.StartCluster)); err != nil {
+			return err
+		}
 	}
 	// Each watch session carries its own retry budget: a small reserve plus
 	// a fractional deposit per delivered cluster, so transient faults retry
@@ -799,8 +889,10 @@ func (s *Server) admitWatch(c *transport.Conn, req transport.WatchPayload, title
 	// bitrate on the links it will cross. Local service needs no links; a
 	// failed plan falls back to a node-level-only reservation rather than
 	// refusing outright (the per-cluster re-plan may still find a route).
+	// The tail plan is offset by the pinned prefix: when K reaches the end
+	// of the title there is no tail left to fetch, so no links to reserve.
 	var links []topology.LinkID
-	if !s.cfg.Cache.Resident(title.Name) {
+	if !s.cfg.Cache.Resident(title.Name) && !s.prefixCoversAll(title, req.StartCluster) {
 		if dec, err := s.cfg.Planner.PlanBandwidth(s.cfg.Node, title.Name, title.BitrateMbps, nil); err == nil && !dec.Local {
 			links = dec.Path.Links()
 		}
@@ -879,6 +971,16 @@ func (s *Server) deliverCluster(title media.Title, index int, ws *watchSession) 
 		// session now serves locally and its trunk reservations come home.
 		s.migrateReservation(ws, nil)
 		return frame, payload, nil
+	}
+	// Local prefix store next: every path that lands here — watch starts,
+	// late-joiner patch streams, and the post-eviction unicast tail — serves
+	// pinned leading clusters off local disk before dialing anywhere. (The
+	// eviction fallback used to go straight to the remote plan even when the
+	// evicting server held the cluster in its prefix.)
+	if s.cfg.Prefix != nil {
+		if frame, payload, ok := s.readPrefixCluster(title.Name, index); ok {
+			return frame, payload, nil
+		}
 	}
 	exclude := make(map[topology.NodeID]bool)
 	var lastErr error
@@ -1084,6 +1186,337 @@ func (s *Server) mergeSource(title media.Title, ws *watchSession) merge.Source {
 	}
 }
 
+// joinCohort attaches one session to the merge registry. For a non-resident
+// title with relay cohorts enabled, a newly created cohort reads through one
+// shared upstream relay.join subscription — N local watchers cost the origin
+// one stream — instead of per-cluster peer fetches; the relay source is lazy
+// (its connection opens on the first pump read) because Join only uses the
+// source when this session actually creates the cohort.
+func (s *Server) joinCohort(title media.Title, numClusters, start int, ws *watchSession) (*merge.Sub, error) {
+	if s.cfg.RelayCohorts && !s.cfg.Cache.Resident(title.Name) {
+		rs := &relaySource{s: s, title: title, ws: ws}
+		return s.merges.JoinSource(title.Name, numClusters, start, rs.read, rs.close)
+	}
+	return s.merges.JoinSourceHold(title.Name, numClusters, start, s.mergeSource(title, ws), nil, ws.holdDown)
+}
+
+// prefixCoversAll reports whether the pinned prefix alone serves the whole
+// session: the admission-time tail plan is offset by K, and when K reaches
+// the title's end there is no tail to reserve links for.
+func (s *Server) prefixCoversAll(title media.Title, start int) bool {
+	if s.cfg.Prefix == nil || start < 0 {
+		return false
+	}
+	k := s.cfg.Prefix.PrefixClusters(title.Name)
+	if k == 0 {
+		return false
+	}
+	layout, err := striping.NewLayout(title, s.cfg.ClusterBytes, 1)
+	if err != nil {
+		return false
+	}
+	return k >= layout.NumParts()
+}
+
+// prefixAnnouncement computes one session's prefix.info: how many leading
+// clusters (from its start position) come off the local prefix, how many
+// remote round trips the first cluster costs, and whether the tail rides a
+// shared relay subscription.
+func (s *Server) prefixAnnouncement(title media.Title, numClusters, start int) transport.PrefixAnnouncePayload {
+	var p transport.PrefixAnnouncePayload
+	resident := s.cfg.Cache.Resident(title.Name)
+	if !resident {
+		if k := s.cfg.Prefix.PrefixClusters(title.Name); k > start {
+			p.PrefixClusters = min(k, numClusters) - start
+		}
+	}
+	if !resident && p.PrefixClusters == 0 && start < numClusters {
+		p.StartupRTTs = 1
+	}
+	if s.cfg.RelayCohorts && s.merges != nil && !resident && start+p.PrefixClusters < numClusters {
+		p.RelayTail = true
+	}
+	return p
+}
+
+// sendPrefixInfo queues a session's prefix-tier announcement on the
+// negotiated framing; like the queued watch.ok it rides the first cluster
+// frame's writev.
+func (s *Server) sendPrefixInfo(c *transport.Conn, p transport.PrefixAnnouncePayload) error {
+	if c.BinaryFrames() {
+		return c.QueuePrefixAnnounceFrame(p)
+	}
+	m, err := transport.Encode(transport.TypePrefixInfo, p)
+	if err != nil {
+		return err
+	}
+	return c.QueueMessage(m)
+}
+
+// relaySource adapts one upstream relay.join subscription into a cohort
+// source: the cross-server merging extension. The pump is the only caller
+// (reads are sequential and never concurrent, and the cleanup hook runs
+// after the last read), so the source needs no locking. On upstream failure
+// it reopens against the next replica once, then falls back permanently to
+// the private per-cluster delivery path — the cohort keeps streaming either
+// way.
+type relaySource struct {
+	s     *Server
+	title media.Title
+	ws    *watchSession
+
+	conn    *transport.Conn
+	peer    topology.NodeID
+	links   []topology.LinkID
+	next    int // next cluster index expected from the upstream stream
+	broken  bool
+	exclude map[topology.NodeID]bool
+}
+
+// read obtains one cluster for the cohort pump.
+func (r *relaySource) read(index int) (*transport.Frame, transport.ClusterPayload, error) {
+	if r.broken {
+		return r.s.deliverCluster(r.title, index, r.ws)
+	}
+	for attempt := 0; attempt < 2; attempt++ {
+		if r.conn == nil || index < r.next {
+			if err := r.reopen(index); err != nil {
+				break
+			}
+		}
+		frame, payload, err := r.readAt(index)
+		if err == nil {
+			return frame, payload, nil
+		}
+		r.closeConn()
+	}
+	// Out of upstream replicas (or a misbehaving stream): the rest of this
+	// cohort is served by the private path, whose own retry loop, breakers,
+	// and prefix checks still apply.
+	r.broken = true
+	r.s.cfg.Metrics.Counter("server.relay_fallbacks").Inc()
+	return r.s.deliverCluster(r.title, index, r.ws)
+}
+
+// close is the cohort's source-cleanup hook.
+func (r *relaySource) close() { r.closeConn() }
+
+func (r *relaySource) closeConn() {
+	if r.conn != nil {
+		_ = r.conn.Close()
+		r.conn = nil
+	}
+}
+
+// reopen plans the current holder, dials it, and subscribes from index. The
+// previous upstream peer (if any) is excluded so a failing holder is not
+// redialed.
+func (r *relaySource) reopen(index int) error {
+	r.closeConn()
+	if r.exclude == nil {
+		r.exclude = make(map[topology.NodeID]bool)
+	}
+	if r.peer != "" {
+		r.exclude[r.peer] = true
+	}
+	dec, err := r.s.planDefended(r.title.Name, r.ws.planRate, r.exclude)
+	if err != nil {
+		return err
+	}
+	if dec.Server == r.s.cfg.Node {
+		return fmt.Errorf("holding inconsistency for %q on %s", r.title.Name, r.s.cfg.Node)
+	}
+	addr, err := r.s.cfg.Book.Lookup(dec.Server)
+	if err != nil {
+		return err
+	}
+	var wrap func(io.ReadWriteCloser) io.ReadWriteCloser
+	if r.s.cfg.Faults != nil {
+		links := dec.Path.Links()
+		if ferr := r.s.cfg.Faults.DialError(dec.Server, links); ferr != nil {
+			return ferr
+		}
+		wrap = func(rw io.ReadWriteCloser) io.ReadWriteCloser {
+			return r.s.cfg.Faults.WrapStream(dec.Server, links, rw)
+		}
+	}
+	conn, err := transport.DialWith(addr, wrap)
+	if err != nil {
+		return err
+	}
+	// Binary framing keeps the relay stream on the kernel-send path at the
+	// origin; a legacy holder refuses the hello and the stream continues on
+	// JSON framing.
+	_, _ = conn.Negotiate()
+	req, err := transport.Encode(transport.TypeRelayJoin, transport.RelayJoinPayload{
+		Title:        r.title.Name,
+		StartCluster: index,
+	})
+	if err != nil {
+		_ = conn.Close()
+		return err
+	}
+	if err := conn.WriteMessage(req); err != nil {
+		_ = conn.Close()
+		return err
+	}
+	r.conn = conn
+	r.peer = dec.Server
+	r.links = dec.Path.Links()
+	r.next = index
+	r.s.cfg.Metrics.Counter("server.relay_upstreams").Inc()
+	return nil
+}
+
+// readAt consumes the upstream stream until the wanted cluster arrives,
+// skipping control announcements (watch.ok, merge.info, prefix.info) and any
+// clusters before index (the origin streams sequentially from the subscribed
+// position; a jump past already-broadcast clusters discards the overlap).
+func (r *relaySource) readAt(index int) (*transport.Frame, transport.ClusterPayload, error) {
+	for {
+		m, f, err := r.conn.ReadFrameOrMessage(r.s.cfg.Pool)
+		if err != nil {
+			return nil, transport.ClusterPayload{}, err
+		}
+		if f != nil {
+			if f.Type != transport.FrameCluster {
+				f.Release() // merge.info / prefix.info announcements
+				continue
+			}
+			payload, body, derr := transport.DecodeClusterFrame(f)
+			if derr != nil {
+				f.Release()
+				return nil, transport.ClusterPayload{}, derr
+			}
+			if payload.Index < index {
+				f.Release()
+				continue
+			}
+			if payload.Index > index {
+				f.Release()
+				return nil, transport.ClusterPayload{}, fmt.Errorf("relay stream at cluster %d, want %d", payload.Index, index)
+			}
+			// The frame's pooled payload holds meta + body; the cohort needs
+			// a body-only frame, so the cluster is copied into its own lease.
+			buf := r.s.cfg.Pool.Get(len(body))
+			copy(buf, body)
+			f.Release()
+			r.account(payload)
+			return transport.NewLeasedFrame(r.s.cfg.Pool, buf), payload, nil
+		}
+		switch m.Type {
+		case transport.TypeWatchOK, transport.TypeMergeInfo, transport.TypePrefixInfo:
+			continue
+		case transport.TypeWatchDone:
+			return nil, transport.ClusterPayload{}, fmt.Errorf("relay upstream finished before cluster %d", index)
+		case transport.TypeError:
+			return nil, transport.ClusterPayload{}, transport.AsError(m)
+		case transport.TypeCluster:
+			payload, derr := transport.Decode[transport.ClusterPayload](m)
+			if derr != nil {
+				return nil, transport.ClusterPayload{}, derr
+			}
+			bodyFrame, derr := r.conn.ReadBody(payload.Length, r.s.cfg.Pool)
+			if derr != nil {
+				return nil, transport.ClusterPayload{}, derr
+			}
+			if payload.Index < index {
+				bodyFrame.Release()
+				continue
+			}
+			if payload.Index > index {
+				bodyFrame.Release()
+				return nil, transport.ClusterPayload{}, fmt.Errorf("relay stream at cluster %d, want %d", payload.Index, index)
+			}
+			r.account(payload)
+			return bodyFrame, payload, nil
+		default:
+			return nil, transport.ClusterPayload{}, fmt.Errorf("unexpected relay stream message %q", m.Type)
+		}
+	}
+}
+
+// account charges one relayed cluster: the shared-stream counter and the
+// links the bytes crossed (the SNMP estimator sees relay traffic like any
+// other delivery).
+func (r *relaySource) account(payload transport.ClusterPayload) {
+	r.next = payload.Index + 1
+	r.s.cfg.Metrics.Counter("server.relay_clusters").Inc()
+	if r.s.cfg.Counters != nil {
+		r.s.cfg.Counters.ChargePath(r.links, payload.Length)
+	}
+}
+
+// handleRelay answers one relay.join: stream the title to a downstream
+// relay server exactly as a watch would — through this node's own merge
+// registry when enabled, so N relays subscribing within the window share one
+// disk-read stream. A relay join counts one demand signal into the DMA (one
+// downstream cohort aggregates many viewers) but takes no admission grant
+// and is never redirected: the relay already planned this holder.
+func (s *Server) handleRelay(c *transport.Conn, m transport.Message) error {
+	req, err := transport.Decode[transport.RelayJoinPayload](m)
+	if err != nil {
+		return err
+	}
+	title, err := s.cfg.DB.Catalog().Title(req.Title)
+	if err != nil {
+		return err
+	}
+	outcome, err := s.cfg.Cache.OnRequest(title)
+	if err != nil {
+		return fmt.Errorf("dma: %w", err)
+	}
+	now := s.cfg.Clock.Now()
+	for _, ev := range outcome.Evicted {
+		if err := s.cfg.DB.SetHolding(s.cfg.Node, ev, false, now); err != nil {
+			return err
+		}
+	}
+	if outcome.Admitted {
+		if err := s.cfg.DB.SetHolding(s.cfg.Node, title.Name, true, now); err != nil {
+			return err
+		}
+	}
+	layout, err := striping.NewLayout(title, s.cfg.ClusterBytes, 1)
+	if err != nil {
+		return err
+	}
+	if req.StartCluster < 0 || req.StartCluster >= layout.NumParts() {
+		return fmt.Errorf("start cluster %d outside [0, %d)", req.StartCluster, layout.NumParts())
+	}
+	head, err := transport.Encode(transport.TypeWatchOK, transport.WatchOKPayload{
+		Title:        title.Name,
+		SizeBytes:    title.SizeBytes,
+		BitrateMbps:  title.BitrateMbps,
+		ClusterBytes: s.cfg.ClusterBytes,
+		NumClusters:  layout.NumParts(),
+	})
+	if err != nil {
+		return err
+	}
+	if err := c.QueueMessage(head); err != nil {
+		return err
+	}
+	ws := &watchSession{holdDown: max(s.cfg.RelayHoldDown, 0)}
+	if !s.cfg.DisableDefense {
+		ws.budget = faults.NewRetryBudget(3, 0.1)
+	}
+	s.cfg.Metrics.Counter("server.relay_watchers").Inc()
+	if s.merges != nil {
+		err = s.streamMerged(c, title, layout.NumParts(), req.StartCluster, ws)
+	} else {
+		err = s.streamUnicast(c, title, layout.NumParts(), req.StartCluster, ws)
+	}
+	if err != nil {
+		return err
+	}
+	done, err := transport.Encode(transport.TypeWatchDone, transport.WatchDonePayload{})
+	if err != nil {
+		return err
+	}
+	return c.WriteMessage(done)
+}
+
 // streamMerged delivers a watch session through the stream-merging layer:
 // join (or open) a cohort, announce the merge to the client, privately patch
 // the gap up to the join position, then relay the shared base stream. When
@@ -1092,27 +1525,58 @@ func (s *Server) mergeSource(title media.Title, ws *watchSession) merge.Source {
 // unicast path, whose own replica retry absorbs server failures, so the
 // client sees an unbroken in-order stream either way.
 func (s *Server) streamMerged(c *transport.Conn, title media.Title, numClusters, start int, ws *watchSession) error {
-	sub, err := s.merges.Join(title.Name, numClusters, start, s.mergeSource(title, ws))
-	if err != nil {
-		return err
+	// Local-prefix fast path: clusters [start, head) are pinned locally and
+	// stream with zero cross-network fetches — instant start. The cohort is
+	// joined at head, so the shared stream (and its upstream relay, when
+	// enabled) carries only the tail the VRA must fetch.
+	head := start
+	if s.cfg.Prefix != nil && !s.cfg.Cache.Resident(title.Name) {
+		if k := s.cfg.Prefix.PrefixClusters(title.Name); k > head {
+			head = min(k, numClusters)
+		}
 	}
-	// Leave is idempotent and releases any queued frames on error paths.
-	defer sub.Leave()
-	role := transport.MergeRolePatch
-	if sub.Created() {
-		role = transport.MergeRoleBase
+	// The tail cohort is joined BEFORE the head streams: the subscription
+	// queue buffers the shared stream while the pinned prefix plays, so the
+	// tail is prefetched behind the head (the patching literature's
+	// prefix/suffix pipelining). For relay cohorts this is what makes the
+	// upstream relay.join land at session start — every relay server in a
+	// flash crowd dials the origin within the aggregation hold-down, however
+	// long its pinned head takes to play out — instead of at head
+	// completion, whose timing spreads with load.
+	var sub *merge.Sub
+	if head < numClusters {
+		var err error
+		sub, err = s.joinCohort(title, numClusters, head, ws)
+		if err != nil {
+			return err
+		}
+		// Leave is idempotent and releases any queued frames on error paths.
+		defer sub.Leave()
+		role := transport.MergeRolePatch
+		if sub.Created() {
+			role = transport.MergeRoleBase
+		}
+		if err := s.sendMergeInfo(c, transport.MergeInfoPayload{
+			Cohort:        sub.CohortID(),
+			Role:          role,
+			JoinIndex:     sub.Start(),
+			PatchClusters: sub.Start() - head,
+		}); err != nil {
+			return err
+		}
 	}
-	if err := s.sendMergeInfo(c, transport.MergeInfoPayload{
-		Cohort:        sub.CohortID(),
-		Role:          role,
-		JoinIndex:     sub.Start(),
-		PatchClusters: sub.Start() - start,
-	}); err != nil {
-		return err
+	for idx := start; idx < head; idx++ {
+		if err := s.deliverAndSend(c, title, idx, ws); err != nil {
+			return err
+		}
+	}
+	if sub == nil {
+		return nil
 	}
 	// Patch stream: the clusters this session missed, read privately while
-	// the subscription queue buffers the ongoing base stream.
-	for idx := start; idx < sub.Start(); idx++ {
+	// the subscription queue buffers the ongoing base stream. With a prefix
+	// pinned past the join position the patch never leaves local disk.
+	for idx := head; idx < sub.Start(); idx++ {
 		if err := s.deliverAndSend(c, title, idx, ws); err != nil {
 			return err
 		}
